@@ -1,0 +1,105 @@
+//! Error type for the ATE substrate.
+
+use std::fmt;
+
+/// Result alias used throughout [`crate`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building test programs, testing devices or
+/// (de)serialising datalogs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A test number appears twice in a program.
+    DuplicateTestNumber(u32),
+    /// Limits are inverted (`lo > hi`).
+    InvalidLimits {
+        /// The offending test number.
+        test: u32,
+        /// Lower limit.
+        lo: f64,
+        /// Upper limit.
+        hi: f64,
+    },
+    /// The program references a net missing from the circuit.
+    UnknownNet(String),
+    /// A suite name appears twice in a program.
+    DuplicateSuite(String),
+    /// Simulation failed while testing a device.
+    Simulation(abbd_blocks::Error),
+    /// A datalog line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateTestNumber(n) => {
+                write!(f, "test number {n} is already used")
+            }
+            Error::InvalidLimits { test, lo, hi } => {
+                write!(f, "test {test} has inverted limits [{lo}, {hi}]")
+            }
+            Error::UnknownNet(name) => write!(f, "unknown net `{name}`"),
+            Error::DuplicateSuite(name) => write!(f, "suite `{name}` is already declared"),
+            Error::Simulation(e) => write!(f, "simulation failed: {e}"),
+            Error::Parse { line, reason } => {
+                write!(f, "datalog parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<abbd_blocks::Error> for Error {
+    fn from(e: abbd_blocks::Error) -> Self {
+        Error::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let samples = [
+            Error::DuplicateTestNumber(7),
+            Error::InvalidLimits { test: 1, lo: 2.0, hi: 1.0 },
+            Error::UnknownNet("x".into()),
+            Error::DuplicateSuite("s".into()),
+            Error::Simulation(abbd_blocks::Error::UnknownNet("n".into())),
+            Error::Parse { line: 3, reason: "bad".into() },
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn simulation_error_has_source() {
+        use std::error::Error as _;
+        let e = Error::Simulation(abbd_blocks::Error::UnknownNet("n".into()));
+        assert!(e.source().is_some());
+        assert!(Error::DuplicateTestNumber(1).source().is_none());
+    }
+
+    #[test]
+    fn from_blocks_error() {
+        let e: Error = abbd_blocks::Error::DuplicateNet("n".into()).into();
+        assert!(matches!(e, Error::Simulation(_)));
+    }
+}

@@ -1,0 +1,247 @@
+//! Specification test programs: limits, test definitions and suites.
+//!
+//! A [`TestProgram`] mirrors how the paper describes analogue production
+//! test: "beginning with the contact and short-circuit tests, the test-set
+//! iteratively evaluates each specification" under different stimulus
+//! conditions. Each [`TestSuite`] is one stimulus configuration; each
+//! [`TestDef`] measures one net against `[lo, hi]` limits.
+
+use crate::error::{Error, Result};
+use abbd_blocks::{Circuit, NetId, Stimulus};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Pass limits for one measurement: pass iff `lo <= value <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Limits {
+    /// Inclusive lower limit (volts).
+    pub lo: f64,
+    /// Inclusive upper limit (volts).
+    pub hi: f64,
+}
+
+impl Limits {
+    /// Builds a limit pair; validation happens when the program is built.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Limits { lo, hi }
+    }
+
+    /// `true` when `value` passes.
+    pub fn passes(&self, value: f64) -> bool {
+        value.is_finite() && value >= self.lo && value <= self.hi
+    }
+}
+
+/// One specification test: measure a net, compare against limits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestDef {
+    /// Unique test number (ATE convention).
+    pub number: u32,
+    /// Human-readable test name.
+    pub name: String,
+    /// The net whose voltage is measured.
+    pub measured: NetId,
+    /// Pass limits.
+    pub limits: Limits,
+}
+
+/// One stimulus configuration plus the tests executed under it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestSuite {
+    /// Suite name (unique within a program).
+    pub name: String,
+    /// Forced input-net levels for every test in the suite.
+    pub stimulus: Stimulus,
+    /// Tests executed under this stimulus, in order.
+    pub tests: Vec<TestDef>,
+}
+
+/// An ordered collection of suites forming the full-circuit test program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TestProgram {
+    suites: Vec<TestSuite>,
+}
+
+impl TestProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a suite.
+    pub fn push_suite(&mut self, suite: TestSuite) -> &mut Self {
+        self.suites.push(suite);
+        self
+    }
+
+    /// The suites in execution order.
+    pub fn suites(&self) -> &[TestSuite] {
+        &self.suites
+    }
+
+    /// Total number of tests across all suites.
+    pub fn test_count(&self) -> usize {
+        self.suites.iter().map(|s| s.tests.len()).sum()
+    }
+
+    /// Number of suites.
+    pub fn suite_count(&self) -> usize {
+        self.suites.len()
+    }
+
+    /// Finds a test definition by number.
+    pub fn find_test(&self, number: u32) -> Option<(&TestSuite, &TestDef)> {
+        self.suites.iter().find_map(|s| {
+            s.tests.iter().find(|t| t.number == number).map(|t| (s, t))
+        })
+    }
+
+    /// Validates the program against a circuit: unique suite names and test
+    /// numbers, sane limits, nets in range, stimulus only on input nets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, circuit: &Circuit) -> Result<()> {
+        let mut suite_names = HashSet::new();
+        let mut numbers = HashSet::new();
+        for suite in &self.suites {
+            if !suite_names.insert(suite.name.as_str()) {
+                return Err(Error::DuplicateSuite(suite.name.clone()));
+            }
+            for (net, _) in suite.stimulus.iter() {
+                if net.index() >= circuit.net_count() {
+                    return Err(Error::UnknownNet(format!("{net}")));
+                }
+                if circuit.driver_of(net).is_some() {
+                    return Err(Error::UnknownNet(format!(
+                        "{} (driven net used as stimulus)",
+                        circuit.net_name(net)
+                    )));
+                }
+            }
+            for test in &suite.tests {
+                if !numbers.insert(test.number) {
+                    return Err(Error::DuplicateTestNumber(test.number));
+                }
+                if test.limits.lo > test.limits.hi {
+                    return Err(Error::InvalidLimits {
+                        test: test.number,
+                        lo: test.limits.lo,
+                        hi: test.limits.hi,
+                    });
+                }
+                if test.measured.index() >= circuit.net_count() {
+                    return Err(Error::UnknownNet(format!("{}", test.measured)));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<TestSuite> for TestProgram {
+    fn from_iter<I: IntoIterator<Item = TestSuite>>(iter: I) -> Self {
+        TestProgram { suites: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abbd_blocks::{Behavior, CircuitBuilder};
+
+    fn circuit() -> Circuit {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.net("a").unwrap();
+        let o = cb.net("o").unwrap();
+        cb.block("buf", Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 }, [a], o)
+            .unwrap();
+        cb.build().unwrap()
+    }
+
+    fn suite(circuit: &Circuit, name: &str, first_number: u32) -> TestSuite {
+        let a = circuit.find_net("a").unwrap();
+        let o = circuit.find_net("o").unwrap();
+        let mut stimulus = Stimulus::new();
+        stimulus.force(a, 2.0);
+        TestSuite {
+            name: name.into(),
+            stimulus,
+            tests: vec![TestDef {
+                number: first_number,
+                name: format!("{name}_vout"),
+                measured: o,
+                limits: Limits::new(1.9, 2.1),
+            }],
+        }
+    }
+
+    #[test]
+    fn limits_pass_fail() {
+        let l = Limits::new(1.0, 2.0);
+        assert!(l.passes(1.0));
+        assert!(l.passes(2.0));
+        assert!(!l.passes(0.99));
+        assert!(!l.passes(2.01));
+        assert!(!l.passes(f64::NAN));
+        assert!(!l.passes(f64::INFINITY));
+    }
+
+    #[test]
+    fn program_accessors() {
+        let c = circuit();
+        let program: TestProgram =
+            [suite(&c, "s1", 100), suite(&c, "s2", 200)].into_iter().collect();
+        assert_eq!(program.suite_count(), 2);
+        assert_eq!(program.test_count(), 2);
+        assert!(program.validate(&c).is_ok());
+        let (s, t) = program.find_test(200).unwrap();
+        assert_eq!(s.name, "s2");
+        assert_eq!(t.name, "s2_vout");
+        assert!(program.find_test(999).is_none());
+    }
+
+    #[test]
+    fn rejects_duplicate_suite_and_number() {
+        let c = circuit();
+        let mut program = TestProgram::new();
+        program.push_suite(suite(&c, "s1", 100));
+        program.push_suite(suite(&c, "s1", 200));
+        assert!(matches!(program.validate(&c), Err(Error::DuplicateSuite(_))));
+
+        let mut program = TestProgram::new();
+        program.push_suite(suite(&c, "s1", 100));
+        program.push_suite(suite(&c, "s2", 100));
+        assert!(matches!(
+            program.validate(&c),
+            Err(Error::DuplicateTestNumber(100))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_limits_and_nets() {
+        let c = circuit();
+        let mut s = suite(&c, "s1", 100);
+        s.tests[0].limits = Limits::new(3.0, 1.0);
+        let program: TestProgram = [s].into_iter().collect();
+        assert!(matches!(program.validate(&c), Err(Error::InvalidLimits { .. })));
+
+        let mut s = suite(&c, "s1", 100);
+        s.tests[0].measured = NetId::from_index(77);
+        let program: TestProgram = [s].into_iter().collect();
+        assert!(matches!(program.validate(&c), Err(Error::UnknownNet(_))));
+    }
+
+    #[test]
+    fn rejects_stimulus_on_driven_net() {
+        let c = circuit();
+        let o = c.find_net("o").unwrap();
+        let mut s = suite(&c, "s1", 100);
+        let mut stim = Stimulus::new();
+        stim.force(o, 1.0);
+        s.stimulus = stim;
+        let program: TestProgram = [s].into_iter().collect();
+        assert!(matches!(program.validate(&c), Err(Error::UnknownNet(_))));
+    }
+}

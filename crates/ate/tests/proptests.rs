@@ -1,0 +1,86 @@
+//! Property-based tests for the ATE layer: datalog round-trips on random
+//! logs and limit semantics.
+
+use abbd_ate::{parse_datalog, write_datalog, DeviceLog, Limits, Record};
+use proptest::prelude::*;
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (
+        "[a-z][a-z0-9_]{0,10}",
+        0u32..10_000,
+        "[a-z][a-z0-9_]{0,10}",
+        "[a-z][a-z0-9_]{0,10}",
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        proptest::option::of(-500.0f64..500.0),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(suite, number, name, net, lo, hi, value, passed)| Record {
+            suite,
+            test_number: number,
+            test_name: name,
+            net,
+            lo,
+            hi,
+            value: value.unwrap_or(f64::NAN),
+            passed,
+        })
+}
+
+fn log_strategy() -> impl Strategy<Value = DeviceLog> {
+    (
+        0u64..1_000_000,
+        proptest::collection::vec("[a-z]{1,8}:[a-z]{1,8}", 0..3),
+        proptest::collection::vec(record_strategy(), 0..12),
+    )
+        .prop_map(|(device_id, truth, records)| DeviceLog { device_id, truth, records })
+}
+
+/// Values survive the %.6f datalog formatting within half an LSB.
+fn close(a: f64, b: f64) -> bool {
+    (a.is_nan() && b.is_nan()) || (a - b).abs() <= 5e-7
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn datalog_roundtrip(logs in proptest::collection::vec(log_strategy(), 0..6)) {
+        let text = write_datalog(&logs);
+        let parsed = parse_datalog(&text).unwrap();
+        prop_assert_eq!(parsed.len(), logs.len());
+        for (a, b) in logs.iter().zip(&parsed) {
+            prop_assert_eq!(a.device_id, b.device_id);
+            prop_assert_eq!(&a.truth, &b.truth);
+            prop_assert_eq!(a.records.len(), b.records.len());
+            for (ra, rb) in a.records.iter().zip(&b.records) {
+                prop_assert_eq!(&ra.suite, &rb.suite);
+                prop_assert_eq!(ra.test_number, rb.test_number);
+                prop_assert_eq!(&ra.test_name, &rb.test_name);
+                prop_assert_eq!(&ra.net, &rb.net);
+                prop_assert_eq!(ra.passed, rb.passed);
+                prop_assert!(close(ra.lo, rb.lo), "{} vs {}", ra.lo, rb.lo);
+                prop_assert!(close(ra.hi, rb.hi), "{} vs {}", ra.hi, rb.hi);
+                prop_assert!(close(ra.value, rb.value), "{} vs {}", ra.value, rb.value);
+            }
+        }
+    }
+
+    #[test]
+    fn limits_partition_the_line(lo in -10.0f64..10.0, width in 0.0f64..5.0, v in -20.0f64..20.0) {
+        let limits = Limits::new(lo, lo + width);
+        let pass = limits.passes(v);
+        prop_assert_eq!(pass, v >= lo && v <= lo + width);
+        // NaN never passes.
+        prop_assert!(!limits.passes(f64::NAN));
+    }
+
+    #[test]
+    fn fail_counts_are_consistent(logs in proptest::collection::vec(log_strategy(), 1..4)) {
+        for log in &logs {
+            let failures = log.records.iter().filter(|r| !r.passed).count();
+            prop_assert_eq!(log.fail_count(), failures);
+            prop_assert_eq!(log.all_passed(), failures == 0);
+        }
+    }
+}

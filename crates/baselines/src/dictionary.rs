@@ -1,0 +1,142 @@
+//! The classic fault dictionary: store labelled fault signatures, diagnose
+//! by nearest-neighbour lookup (the approach behind the paper's refs
+//! [8]–[15] and the standard industrial practice the BBN method competes
+//! with).
+
+use crate::signature::DeviceSignature;
+use crate::{Diagnoser, Ranking};
+use std::collections::BTreeMap;
+
+/// A nearest-neighbour fault dictionary over device signatures.
+///
+/// # Examples
+///
+/// ```
+/// use abbd_baselines::{Diagnoser, FaultDictionary, DeviceSignature};
+/// use std::collections::BTreeMap;
+///
+/// let mut features = BTreeMap::new();
+/// features.insert(("s1".to_string(), "out".to_string()), 0usize);
+/// let train = DeviceSignature {
+///     device_id: 1,
+///     features: features.clone(),
+///     failing: true,
+///     truth_blocks: vec!["bias".into()],
+/// };
+/// let dict = FaultDictionary::train(&[train.clone()]);
+/// let ranking = dict.diagnose(&train);
+/// assert_eq!(ranking[0].0, "bias");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultDictionary {
+    entries: Vec<DeviceSignature>,
+}
+
+impl FaultDictionary {
+    /// Stores every labelled failing signature. Unlabelled (good) devices
+    /// are skipped — a dictionary only contains fault entries.
+    pub fn train(signatures: &[DeviceSignature]) -> Self {
+        FaultDictionary {
+            entries: signatures
+                .iter()
+                .filter(|s| !s.truth_blocks.is_empty())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Number of dictionary entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Diagnoser for FaultDictionary {
+    fn name(&self) -> &str {
+        "fault-dictionary"
+    }
+
+    /// Ranks blocks by the distance of their closest dictionary entry to
+    /// the observed signature (score `1 / (1 + distance)`).
+    fn diagnose(&self, signature: &DeviceSignature) -> Ranking {
+        let mut best: BTreeMap<&str, usize> = BTreeMap::new();
+        for entry in &self.entries {
+            let d = entry.distance(signature);
+            for block in &entry.truth_blocks {
+                let slot = best.entry(block.as_str()).or_insert(usize::MAX);
+                if d < *slot {
+                    *slot = d;
+                }
+            }
+        }
+        let mut ranking: Ranking = best
+            .into_iter()
+            .map(|(block, d)| (block.to_string(), 1.0 / (1.0 + d as f64)))
+            .collect();
+        ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+        ranking
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sig(id: u64, pairs: &[(&str, usize)], truth: &[&str]) -> DeviceSignature {
+        DeviceSignature {
+            device_id: id,
+            features: pairs
+                .iter()
+                .map(|(n, s)| (("s".to_string(), n.to_string()), *s))
+                .collect::<BTreeMap<_, _>>(),
+            failing: !truth.is_empty(),
+            truth_blocks: truth.iter().map(|t| t.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn exact_match_wins() {
+        let dict = FaultDictionary::train(&[
+            sig(1, &[("a", 0), ("b", 1)], &["blk_x"]),
+            sig(2, &[("a", 1), ("b", 0)], &["blk_y"]),
+        ]);
+        assert_eq!(dict.len(), 2);
+        let probe = sig(9, &[("a", 0), ("b", 1)], &[]);
+        let ranking = dict.diagnose(&probe);
+        assert_eq!(ranking[0].0, "blk_x");
+        assert!((ranking[0].1 - 1.0).abs() < 1e-12, "distance zero");
+        assert!(ranking[1].1 < ranking[0].1);
+    }
+
+    #[test]
+    fn nearest_neighbour_on_partial_match() {
+        let dict = FaultDictionary::train(&[
+            sig(1, &[("a", 0), ("b", 0), ("c", 0)], &["blk_x"]),
+            sig(2, &[("a", 1), ("b", 1), ("c", 1)], &["blk_y"]),
+        ]);
+        let probe = sig(9, &[("a", 0), ("b", 0), ("c", 1)], &[]);
+        let ranking = dict.diagnose(&probe);
+        assert_eq!(ranking[0].0, "blk_x", "one mismatch beats two");
+    }
+
+    #[test]
+    fn good_devices_are_not_stored() {
+        let dict = FaultDictionary::train(&[sig(1, &[("a", 0)], &[])]);
+        assert!(dict.is_empty());
+        assert!(dict.diagnose(&sig(2, &[("a", 0)], &[])).is_empty());
+        assert_eq!(dict.name(), "fault-dictionary");
+    }
+
+    #[test]
+    fn multi_label_entries_score_all_blocks() {
+        let dict = FaultDictionary::train(&[sig(1, &[("a", 0)], &["x", "y"])]);
+        let ranking = dict.diagnose(&sig(2, &[("a", 0)], &[]));
+        assert_eq!(ranking.len(), 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! # abbd-baselines — comparison diagnosers
+//!
+//! The paper validates its BBN candidates against a human diagnostic
+//! expert. To quantify the method against automated alternatives, this
+//! crate implements the two classic data-driven diagnosis baselines of the
+//! analogue-test literature (the fault-dictionary family of the paper's
+//! refs \[8\]–\[15\], and a naive-Bayes classifier) plus a random-guess floor.
+//!
+//! All diagnosers consume [`DeviceSignature`]s — the state-binned outcome
+//! of a whole device across every test suite — and return a ranked list of
+//! suspected blocks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dictionary;
+mod naive;
+mod random;
+mod signature;
+
+pub use dictionary::FaultDictionary;
+pub use naive::NaiveBayes;
+pub use random::RandomGuess;
+pub use signature::{group_by_device, DeviceSignature};
+
+/// A ranked diagnosis: block names with scores, most suspicious first.
+pub type Ranking = Vec<(String, f64)>;
+
+/// Common interface over the baseline diagnosers.
+pub trait Diagnoser {
+    /// A short display name.
+    fn name(&self) -> &str;
+
+    /// Ranks suspected blocks for one device signature.
+    fn diagnose(&self, signature: &DeviceSignature) -> Ranking;
+}
+
+/// `true` when any of the top-`k` ranked blocks matches a truth block.
+pub fn hit_at_k(ranking: &Ranking, truth_blocks: &[String], k: usize) -> bool {
+    ranking
+        .iter()
+        .take(k)
+        .any(|(block, _)| truth_blocks.iter().any(|t| t == block))
+}
+
+/// Fraction of signatures whose top-`k` ranking contains the truth.
+pub fn accuracy_at_k<D: Diagnoser + ?Sized>(
+    diagnoser: &D,
+    signatures: &[DeviceSignature],
+    k: usize,
+) -> f64 {
+    if signatures.is_empty() {
+        return 0.0;
+    }
+    let hits = signatures
+        .iter()
+        .filter(|s| hit_at_k(&diagnoser.diagnose(s), &s.truth_blocks, k))
+        .count();
+    hits as f64 / signatures.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(Ranking);
+    impl Diagnoser for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn diagnose(&self, _s: &DeviceSignature) -> Ranking {
+            self.0.clone()
+        }
+    }
+
+    fn sig(truth: &str) -> DeviceSignature {
+        DeviceSignature {
+            device_id: 0,
+            features: Default::default(),
+            failing: true,
+            truth_blocks: vec![truth.to_string()],
+        }
+    }
+
+    #[test]
+    fn hit_at_k_respects_rank() {
+        let ranking: Ranking =
+            vec![("a".into(), 0.9), ("b".into(), 0.5), ("c".into(), 0.1)];
+        assert!(hit_at_k(&ranking, &["a".into()], 1));
+        assert!(!hit_at_k(&ranking, &["b".into()], 1));
+        assert!(hit_at_k(&ranking, &["b".into()], 2));
+        assert!(!hit_at_k(&ranking, &["z".into()], 3));
+        assert!(!hit_at_k(&ranking, &[], 3));
+    }
+
+    #[test]
+    fn accuracy_counts_hits() {
+        let d = Fixed(vec![("a".into(), 1.0), ("b".into(), 0.5)]);
+        let sigs = vec![sig("a"), sig("b"), sig("c")];
+        assert!((accuracy_at_k(&d, &sigs, 1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((accuracy_at_k(&d, &sigs, 2) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy_at_k(&d, &[], 1), 0.0);
+        assert_eq!(d.name(), "fixed");
+    }
+}

@@ -1,0 +1,190 @@
+//! Naive-Bayes fault classification: every `(suite, variable)` feature is
+//! assumed conditionally independent given the faulty block.
+
+use crate::signature::DeviceSignature;
+use crate::{Diagnoser, Ranking};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A Laplace-smoothed naive-Bayes classifier over device signatures.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    classes: Vec<String>,
+    class_counts: Vec<f64>,
+    /// `(class index, feature key) -> state counts`.
+    feature_counts: BTreeMap<(usize, (String, String)), BTreeMap<usize, f64>>,
+    feature_keys: BTreeSet<(String, String)>,
+    /// Largest state index seen per feature (for smoothing denominators).
+    feature_cards: BTreeMap<(String, String), usize>,
+    alpha: f64,
+}
+
+impl NaiveBayes {
+    /// Trains on labelled failing signatures with Laplace constant `alpha`.
+    pub fn train(signatures: &[DeviceSignature], alpha: f64) -> Self {
+        let mut classes: Vec<String> = Vec::new();
+        let mut class_counts: Vec<f64> = Vec::new();
+        let mut feature_counts: BTreeMap<(usize, (String, String)), BTreeMap<usize, f64>> =
+            BTreeMap::new();
+        let mut feature_keys = BTreeSet::new();
+        let mut feature_cards: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for sig in signatures.iter().filter(|s| !s.truth_blocks.is_empty()) {
+            for block in &sig.truth_blocks {
+                let class = match classes.iter().position(|c| c == block) {
+                    Some(i) => i,
+                    None => {
+                        classes.push(block.clone());
+                        class_counts.push(0.0);
+                        classes.len() - 1
+                    }
+                };
+                class_counts[class] += 1.0;
+                for (key, &state) in &sig.features {
+                    feature_keys.insert(key.clone());
+                    let card = feature_cards.entry(key.clone()).or_insert(0);
+                    *card = (*card).max(state + 1);
+                    *feature_counts
+                        .entry((class, key.clone()))
+                        .or_default()
+                        .entry(state)
+                        .or_default() += 1.0;
+                }
+            }
+        }
+        NaiveBayes {
+            classes,
+            class_counts,
+            feature_counts,
+            feature_keys,
+            feature_cards,
+            alpha: alpha.max(1e-9),
+        }
+    }
+
+    /// Number of fault classes learned.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    fn log_likelihood(&self, class: usize, key: &(String, String), state: usize) -> f64 {
+        let card = self.feature_cards.get(key).copied().unwrap_or(state + 1).max(state + 1);
+        let counts = self.feature_counts.get(&(class, key.clone()));
+        let state_count =
+            counts.and_then(|m| m.get(&state)).copied().unwrap_or(0.0);
+        let total: f64 = counts.map(|m| m.values().sum()).unwrap_or(0.0);
+        ((state_count + self.alpha) / (total + self.alpha * card as f64)).ln()
+    }
+}
+
+impl Diagnoser for NaiveBayes {
+    fn name(&self) -> &str {
+        "naive-bayes"
+    }
+
+    fn diagnose(&self, signature: &DeviceSignature) -> Ranking {
+        if self.classes.is_empty() {
+            return Vec::new();
+        }
+        let total: f64 = self.class_counts.iter().sum();
+        let mut log_posts: Vec<f64> = self
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(ci, _)| {
+                let mut lp = (self.class_counts[ci] / total).ln();
+                for (key, &state) in &signature.features {
+                    if self.feature_keys.contains(key) {
+                        lp += self.log_likelihood(ci, key, state);
+                    }
+                }
+                lp
+            })
+            .collect();
+        // Normalise through softmax for interpretable scores.
+        let max = log_posts.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut z = 0.0;
+        for lp in &mut log_posts {
+            *lp = (*lp - max).exp();
+            z += *lp;
+        }
+        let mut ranking: Ranking = self
+            .classes
+            .iter()
+            .zip(&log_posts)
+            .map(|(c, p)| (c.clone(), p / z))
+            .collect();
+        ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+        ranking
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sig(id: u64, pairs: &[(&str, usize)], truth: &[&str]) -> DeviceSignature {
+        DeviceSignature {
+            device_id: id,
+            features: pairs
+                .iter()
+                .map(|(n, s)| (("s".to_string(), n.to_string()), *s))
+                .collect::<BTreeMap<_, _>>(),
+            failing: !truth.is_empty(),
+            truth_blocks: truth.iter().map(|t| t.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn learns_separable_classes() {
+        let train = vec![
+            sig(1, &[("a", 0), ("b", 1)], &["blk_x"]),
+            sig(2, &[("a", 0), ("b", 1)], &["blk_x"]),
+            sig(3, &[("a", 1), ("b", 0)], &["blk_y"]),
+            sig(4, &[("a", 1), ("b", 0)], &["blk_y"]),
+        ];
+        let nb = NaiveBayes::train(&train, 1.0);
+        assert_eq!(nb.class_count(), 2);
+        let r = nb.diagnose(&sig(9, &[("a", 0), ("b", 1)], &[]));
+        assert_eq!(r[0].0, "blk_x");
+        assert!(r[0].1 > r[1].1);
+        let total: f64 = r.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9, "scores form a distribution");
+    }
+
+    #[test]
+    fn prior_dominates_without_features() {
+        let train = vec![
+            sig(1, &[("a", 0)], &["common"]),
+            sig(2, &[("a", 0)], &["common"]),
+            sig(3, &[("a", 0)], &["common"]),
+            sig(4, &[("a", 1)], &["rare"]),
+        ];
+        let nb = NaiveBayes::train(&train, 1.0);
+        let empty = DeviceSignature {
+            device_id: 9,
+            features: BTreeMap::new(),
+            failing: true,
+            truth_blocks: vec![],
+        };
+        let r = nb.diagnose(&empty);
+        assert_eq!(r[0].0, "common");
+    }
+
+    #[test]
+    fn unseen_features_are_ignored() {
+        let train = vec![sig(1, &[("a", 0)], &["x"]), sig(2, &[("a", 1)], &["y"])];
+        let nb = NaiveBayes::train(&train, 1.0);
+        let probe = sig(9, &[("zzz", 3)], &[]);
+        let r = nb.diagnose(&probe);
+        assert_eq!(r.len(), 2, "unknown feature must not crash or skew");
+        assert!((r[0].1 - r[1].1).abs() < 1e-9, "equal priors -> tie");
+    }
+
+    #[test]
+    fn empty_training_yields_empty_ranking() {
+        let nb = NaiveBayes::train(&[], 1.0);
+        assert_eq!(nb.class_count(), 0);
+        assert!(nb.diagnose(&sig(1, &[("a", 0)], &[])).is_empty());
+        assert_eq!(nb.name(), "naive-bayes");
+    }
+}

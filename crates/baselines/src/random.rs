@@ -1,0 +1,113 @@
+//! Random-guess floor: ranks the known blocks in a device-dependent but
+//! reproducible pseudo-random order.
+
+use crate::signature::DeviceSignature;
+use crate::{Diagnoser, Ranking};
+
+/// Ranks blocks uniformly at random (seeded by the device id, so repeated
+/// evaluations are reproducible). Any serious diagnoser must beat this.
+#[derive(Debug, Clone)]
+pub struct RandomGuess {
+    blocks: Vec<String>,
+    seed: u64,
+}
+
+impl RandomGuess {
+    /// Creates a floor over the given candidate blocks.
+    pub fn new<I, S>(blocks: I, seed: u64) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        RandomGuess { blocks: blocks.into_iter().map(Into::into).collect(), seed }
+    }
+
+    /// The candidate block list.
+    pub fn blocks(&self) -> &[String] {
+        &self.blocks
+    }
+}
+
+/// SplitMix64 — tiny deterministic mixer, enough for a shuffling floor.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Diagnoser for RandomGuess {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn diagnose(&self, signature: &DeviceSignature) -> Ranking {
+        let mut order: Vec<usize> = (0..self.blocks.len()).collect();
+        let mut state = self.seed ^ signature.device_id.wrapping_mul(0x9E37_79B9);
+        // Fisher–Yates with the deterministic mixer.
+        for i in (1..order.len()).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        order
+            .into_iter()
+            .enumerate()
+            .map(|(rank, idx)| {
+                (self.blocks[idx].clone(), 1.0 / (rank + 1) as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sig(id: u64) -> DeviceSignature {
+        DeviceSignature {
+            device_id: id,
+            features: BTreeMap::new(),
+            failing: true,
+            truth_blocks: vec![],
+        }
+    }
+
+    #[test]
+    fn deterministic_per_device() {
+        let r = RandomGuess::new(["a", "b", "c", "d"], 7);
+        assert_eq!(r.blocks().len(), 4);
+        let first = r.diagnose(&sig(1));
+        let again = r.diagnose(&sig(1));
+        assert_eq!(first, again);
+        assert_eq!(first.len(), 4);
+        assert_eq!(r.name(), "random");
+    }
+
+    #[test]
+    fn different_devices_get_different_orders() {
+        let r = RandomGuess::new(["a", "b", "c", "d", "e", "f"], 7);
+        let orders: std::collections::HashSet<Vec<String>> = (0..20)
+            .map(|id| {
+                r.diagnose(&sig(id)).into_iter().map(|(b, _)| b).collect()
+            })
+            .collect();
+        assert!(orders.len() > 5, "shuffles must vary across devices");
+    }
+
+    #[test]
+    fn roughly_uniform_top_choice() {
+        let r = RandomGuess::new(["a", "b", "c", "d"], 99);
+        let mut counts = BTreeMap::new();
+        let n = 8000;
+        for id in 0..n {
+            let top = r.diagnose(&sig(id))[0].0.clone();
+            *counts.entry(top).or_insert(0usize) += 1;
+        }
+        for (_, c) in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.25).abs() < 0.05, "top-choice frequency {frac}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Device-level signatures assembled from per-suite cases.
+
+use abbd_dlog2bbn::NamedCase;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The complete state-binned outcome of one device: a feature per
+/// `(suite, variable)`, plus the ground-truth block labels used for
+/// training and scoring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSignature {
+    /// Device serial number.
+    pub device_id: u64,
+    /// `(suite, variable) -> state` features.
+    pub features: BTreeMap<(String, String), usize>,
+    /// `true` when any measurement failed its limits.
+    pub failing: bool,
+    /// Ground-truth faulty block names (empty for good devices).
+    pub truth_blocks: Vec<String>,
+}
+
+impl DeviceSignature {
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` when the signature carries no features.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Symmetric feature distance: features present in one signature but
+    /// not the other, or present in both with different states, each
+    /// count one.
+    pub fn distance(&self, other: &DeviceSignature) -> usize {
+        let mut d = 0usize;
+        for (key, state) in &self.features {
+            match other.features.get(key) {
+                Some(s) if s == state => {}
+                _ => d += 1,
+            }
+        }
+        for key in other.features.keys() {
+            if !self.features.contains_key(key) {
+                d += 1;
+            }
+        }
+        d
+    }
+}
+
+/// Extracts the block name from a datalog truth tag (`block:mode`).
+pub(crate) fn truth_block(tag: &str) -> String {
+    tag.split(':').next().unwrap_or(tag).to_string()
+}
+
+/// Groups per-suite cases into one signature per device.
+pub fn group_by_device(cases: &[NamedCase]) -> Vec<DeviceSignature> {
+    let mut by_device: BTreeMap<u64, DeviceSignature> = BTreeMap::new();
+    for case in cases {
+        let entry = by_device.entry(case.device_id).or_insert_with(|| DeviceSignature {
+            device_id: case.device_id,
+            features: BTreeMap::new(),
+            failing: false,
+            truth_blocks: case.truth.iter().map(|t| truth_block(t)).collect(),
+        });
+        for (var, state) in &case.assignment {
+            entry
+                .features
+                .insert((case.suite.clone(), var.clone()), *state);
+        }
+        if !case.failing.is_empty() {
+            entry.failing = true;
+        }
+    }
+    by_device.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(device: u64, suite: &str, pairs: &[(&str, usize)], truth: &[&str]) -> NamedCase {
+        NamedCase {
+            device_id: device,
+            suite: suite.into(),
+            assignment: pairs.iter().map(|(n, s)| (n.to_string(), *s)).collect(),
+            failing: vec![],
+            truth: truth.iter().map(|t| t.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn grouping_merges_suites() {
+        let cases = vec![
+            case(1, "s1", &[("a", 0), ("b", 1)], &["blk:dead"]),
+            case(1, "s2", &[("a", 1)], &["blk:dead"]),
+            case(2, "s1", &[("a", 1)], &[]),
+        ];
+        let sigs = group_by_device(&cases);
+        assert_eq!(sigs.len(), 2);
+        let d1 = &sigs[0];
+        assert_eq!(d1.device_id, 1);
+        assert_eq!(d1.len(), 3);
+        assert_eq!(d1.truth_blocks, vec!["blk".to_string()]);
+        assert_eq!(
+            d1.features[&("s1".to_string(), "a".to_string())],
+            0
+        );
+        assert!(!sigs[1].is_empty());
+    }
+
+    #[test]
+    fn failing_flag_from_cases() {
+        let mut failing_case = case(3, "s1", &[("a", 0)], &[]);
+        failing_case.failing = vec!["a".into()];
+        let sigs = group_by_device(&[failing_case]);
+        assert!(sigs[0].failing);
+        let sigs = group_by_device(&[case(3, "s1", &[("a", 0)], &[])]);
+        assert!(!sigs[0].failing);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_counts_mismatches() {
+        let cases = vec![
+            case(1, "s1", &[("a", 0), ("b", 1)], &[]),
+            case(2, "s1", &[("a", 1), ("c", 0)], &[]),
+        ];
+        let sigs = group_by_device(&cases);
+        let (x, y) = (&sigs[0], &sigs[1]);
+        // a differs (1), b only in x (1), c only in y (1).
+        assert_eq!(x.distance(y), 3);
+        assert_eq!(y.distance(x), 3);
+        assert_eq!(x.distance(x), 0);
+    }
+
+    #[test]
+    fn truth_block_strips_mode() {
+        assert_eq!(truth_block("lcbg:dead"), "lcbg");
+        assert_eq!(truth_block("plain"), "plain");
+    }
+}

@@ -1,0 +1,162 @@
+//! CPT authoring helpers: canonical parameterised tables (noisy-OR /
+//! noisy-AND) that let a domain expert specify large conditional tables
+//! with a handful of numbers — the standard entry format for
+//! expert-seeded networks like the paper's.
+
+use crate::error::{Error, Result};
+
+/// Builds the rows of a **noisy-OR** CPT for a binary child (state 1 =
+/// "effect present") with binary parents (state 1 = "cause present").
+///
+/// `leak` is the probability of the effect with no cause present;
+/// `strengths[i]` is the probability that cause `i` *alone* produces the
+/// effect. Rows are returned over parent configurations with the last
+/// parent varying fastest, each row `[P(child=0 | pa), P(child=1 | pa)]`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidCpt`] when `leak` or any strength is outside
+/// `[0, 1)` / `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), abbd_bbn::Error> {
+/// use abbd_bbn::cpt::noisy_or_rows;
+///
+/// let rows = noisy_or_rows(0.01, &[0.9, 0.7])?;
+/// assert_eq!(rows.len(), 4);
+/// // Both causes absent: only the leak fires.
+/// assert!((rows[0][1] - 0.01).abs() < 1e-12);
+/// // Both causes present: 1 - (1-λ)(1-0.9)(1-0.7).
+/// assert!((rows[3][1] - (1.0 - 0.99 * 0.1 * 0.3)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn noisy_or_rows(leak: f64, strengths: &[f64]) -> Result<Vec<Vec<f64>>> {
+    if !(0.0..1.0).contains(&leak) {
+        return Err(Error::InvalidCpt {
+            variable: "noisy-or".into(),
+            reason: format!("leak {leak} outside [0, 1)"),
+        });
+    }
+    for (i, s) in strengths.iter().enumerate() {
+        if !(0.0..=1.0).contains(s) {
+            return Err(Error::InvalidCpt {
+                variable: "noisy-or".into(),
+                reason: format!("strength {i} = {s} outside [0, 1]"),
+            });
+        }
+    }
+    let configs = 1usize << strengths.len();
+    let mut rows = Vec::with_capacity(configs);
+    for config in 0..configs {
+        // Last parent fastest: bit 0 of `config` is the last parent.
+        let mut p_none = 1.0 - leak;
+        for (i, s) in strengths.iter().enumerate() {
+            let bit = strengths.len() - 1 - i;
+            if (config >> bit) & 1 == 1 {
+                p_none *= 1.0 - s;
+            }
+        }
+        rows.push(vec![p_none, 1.0 - p_none]);
+    }
+    Ok(rows)
+}
+
+/// Builds the rows of a **noisy-AND** CPT for a binary child (state 1 =
+/// "output present") with binary parents (state 1 = "input present"):
+/// every absent input independently disables the output except with
+/// probability `slip[i]`; `inhibit` is the probability the output fails
+/// even with all inputs present.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidCpt`] for out-of-range parameters.
+pub fn noisy_and_rows(inhibit: f64, slips: &[f64]) -> Result<Vec<Vec<f64>>> {
+    if !(0.0..1.0).contains(&inhibit) {
+        return Err(Error::InvalidCpt {
+            variable: "noisy-and".into(),
+            reason: format!("inhibit {inhibit} outside [0, 1)"),
+        });
+    }
+    for (i, s) in slips.iter().enumerate() {
+        if !(0.0..=1.0).contains(s) {
+            return Err(Error::InvalidCpt {
+                variable: "noisy-and".into(),
+                reason: format!("slip {i} = {s} outside [0, 1]"),
+            });
+        }
+    }
+    let configs = 1usize << slips.len();
+    let mut rows = Vec::with_capacity(configs);
+    for config in 0..configs {
+        let mut p_on = 1.0 - inhibit;
+        for (i, s) in slips.iter().enumerate() {
+            let bit = slips.len() - 1 - i;
+            if (config >> bit) & 1 == 0 {
+                p_on *= s;
+            }
+        }
+        rows.push(vec![1.0 - p_on, p_on]);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+
+    #[test]
+    fn noisy_or_limits() {
+        let rows = noisy_or_rows(0.0, &[1.0]).unwrap();
+        assert_eq!(rows[0], vec![1.0, 0.0], "no cause, no leak: never fires");
+        assert_eq!(rows[1], vec![0.0, 1.0], "sure cause always fires");
+        assert!(noisy_or_rows(1.0, &[0.5]).is_err());
+        assert!(noisy_or_rows(0.1, &[1.5]).is_err());
+        assert!(noisy_or_rows(-0.1, &[0.5]).is_err());
+    }
+
+    #[test]
+    fn noisy_or_is_monotone_in_causes() {
+        let rows = noisy_or_rows(0.05, &[0.8, 0.6, 0.4]).unwrap();
+        assert_eq!(rows.len(), 8);
+        // Adding a cause can only increase the firing probability.
+        for config in 0..8usize {
+            for bit in 0..3 {
+                if (config >> bit) & 1 == 0 {
+                    let with = config | (1 << bit);
+                    assert!(
+                        rows[with][1] >= rows[config][1] - 1e-12,
+                        "config {config:03b} -> {with:03b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_and_limits() {
+        let rows = noisy_and_rows(0.0, &[0.0, 0.0]).unwrap();
+        assert_eq!(rows[3], vec![0.0, 1.0], "all inputs present: output on");
+        assert_eq!(rows[0], vec![1.0, 0.0], "no slip: any missing input kills it");
+        assert!(noisy_and_rows(1.0, &[0.0]).is_err());
+        assert!(noisy_and_rows(0.0, &[2.0]).is_err());
+    }
+
+    #[test]
+    fn rows_install_into_a_network() {
+        let mut b = NetworkBuilder::new();
+        let a = b.variable("a", ["0", "1"]).unwrap();
+        let c = b.variable("c", ["0", "1"]).unwrap();
+        let e = b.variable("e", ["0", "1"]).unwrap();
+        b.prior(a, [0.7, 0.3]).unwrap();
+        b.prior(c, [0.6, 0.4]).unwrap();
+        b.cpt(e, [a, c], noisy_or_rows(0.02, &[0.9, 0.5]).unwrap()).unwrap();
+        let net = b.build().unwrap();
+        // P(e=1 | a=1, c=0) = 1 - 0.98*0.1
+        let row = net.cpt_row(net.var("e").unwrap(), &[1, 0]).unwrap();
+        assert!((row[1] - (1.0 - 0.98 * 0.1)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,246 @@
+//! Evidence: hard state observations and soft (virtual) likelihood findings.
+
+use crate::error::{Error, Result};
+use crate::network::{Network, VarId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A set of findings to condition a network on.
+///
+/// *Hard* evidence pins a variable to one state (a measured block voltage
+/// binned into a state band, in the paper's flow). *Soft* evidence attaches
+/// a per-state likelihood vector (Pearl's virtual evidence), useful when a
+/// measurement sits near a band edge.
+///
+/// # Examples
+///
+/// ```
+/// use abbd_bbn::{Evidence, VarId};
+///
+/// let v = VarId::from_index(3);
+/// let mut e = Evidence::new();
+/// e.observe(v, 1);
+/// assert_eq!(e.state_of(v), Some(1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Evidence {
+    hard: BTreeMap<VarId, usize>,
+    soft: BTreeMap<VarId, Vec<f64>>,
+}
+
+impl Evidence {
+    /// Creates an empty evidence set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins `var` to `state`, replacing any previous finding on `var`.
+    pub fn observe(&mut self, var: VarId, state: usize) -> &mut Self {
+        self.soft.remove(&var);
+        self.hard.insert(var, state);
+        self
+    }
+
+    /// Attaches a likelihood vector to `var`, replacing previous findings.
+    pub fn observe_likelihood(&mut self, var: VarId, weights: Vec<f64>) -> &mut Self {
+        self.hard.remove(&var);
+        self.soft.insert(var, weights);
+        self
+    }
+
+    /// Removes any finding on `var`.
+    pub fn retract(&mut self, var: VarId) -> &mut Self {
+        self.hard.remove(&var);
+        self.soft.remove(&var);
+        self
+    }
+
+    /// The hard-observed state of `var`, if any.
+    pub fn state_of(&self, var: VarId) -> Option<usize> {
+        self.hard.get(&var).copied()
+    }
+
+    /// The soft likelihood on `var`, if any.
+    pub fn likelihood_of(&self, var: VarId) -> Option<&[f64]> {
+        self.soft.get(&var).map(|w| w.as_slice())
+    }
+
+    /// `true` when no findings are present.
+    pub fn is_empty(&self) -> bool {
+        self.hard.is_empty() && self.soft.is_empty()
+    }
+
+    /// Number of findings (hard + soft).
+    pub fn len(&self) -> usize {
+        self.hard.len() + self.soft.len()
+    }
+
+    /// Iterator over hard findings.
+    pub fn hard_iter(&self) -> impl Iterator<Item = (VarId, usize)> + '_ {
+        self.hard.iter().map(|(v, s)| (*v, *s))
+    }
+
+    /// Iterator over soft findings.
+    pub fn soft_iter(&self) -> impl Iterator<Item = (VarId, &[f64])> + '_ {
+        self.soft.iter().map(|(v, w)| (*v, w.as_slice()))
+    }
+
+    /// `true` when `var` carries any finding.
+    pub fn mentions(&self, var: VarId) -> bool {
+        self.hard.contains_key(&var) || self.soft.contains_key(&var)
+    }
+
+    /// Checks all findings against a network's cardinalities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidEvidence`] for out-of-range states, wrong
+    /// likelihood lengths, negative weights, or findings on variables the
+    /// network does not contain.
+    pub fn validate(&self, net: &Network) -> Result<()> {
+        for (&var, &state) in &self.hard {
+            if var.index() >= net.var_count() {
+                return Err(Error::InvalidEvidence {
+                    variable: format!("{var}"),
+                    reason: "not in network".into(),
+                });
+            }
+            if state >= net.card(var) {
+                return Err(Error::InvalidEvidence {
+                    variable: net.name(var).into(),
+                    reason: format!("state {state} out of range {}", net.card(var)),
+                });
+            }
+        }
+        for (&var, weights) in &self.soft {
+            if var.index() >= net.var_count() {
+                return Err(Error::InvalidEvidence {
+                    variable: format!("{var}"),
+                    reason: "not in network".into(),
+                });
+            }
+            if weights.len() != net.card(var) {
+                return Err(Error::InvalidEvidence {
+                    variable: net.name(var).into(),
+                    reason: format!(
+                        "likelihood length {} does not match cardinality {}",
+                        weights.len(),
+                        net.card(var)
+                    ),
+                });
+            }
+            if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+                return Err(Error::InvalidEvidence {
+                    variable: net.name(var).into(),
+                    reason: "likelihood has negative or non-finite weight".into(),
+                });
+            }
+            if weights.iter().all(|w| *w == 0.0) {
+                return Err(Error::InvalidEvidence {
+                    variable: net.name(var).into(),
+                    reason: "likelihood is all zero".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(VarId, usize)> for Evidence {
+    fn from_iter<I: IntoIterator<Item = (VarId, usize)>>(iter: I) -> Self {
+        let mut e = Evidence::new();
+        for (v, s) in iter {
+            e.observe(v, s);
+        }
+        e
+    }
+}
+
+impl Extend<(VarId, usize)> for Evidence {
+    fn extend<I: IntoIterator<Item = (VarId, usize)>>(&mut self, iter: I) {
+        for (v, s) in iter {
+            self.observe(v, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    #[test]
+    fn observe_and_retract() {
+        let mut e = Evidence::new();
+        assert!(e.is_empty());
+        e.observe(v(0), 2).observe(v(1), 0);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.state_of(v(0)), Some(2));
+        assert!(e.mentions(v(1)));
+        e.retract(v(0));
+        assert_eq!(e.state_of(v(0)), None);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn soft_replaces_hard_and_vice_versa() {
+        let mut e = Evidence::new();
+        e.observe(v(0), 1);
+        e.observe_likelihood(v(0), vec![0.2, 0.8]);
+        assert_eq!(e.state_of(v(0)), None);
+        assert_eq!(e.likelihood_of(v(0)), Some(&[0.2, 0.8][..]));
+        e.observe(v(0), 0);
+        assert_eq!(e.likelihood_of(v(0)), None);
+        assert_eq!(e.state_of(v(0)), Some(0));
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let e: Evidence = vec![(v(0), 1), (v(2), 0)].into_iter().collect();
+        assert_eq!(e.len(), 2);
+        let mut e2 = Evidence::new();
+        e2.extend([(v(1), 1)]);
+        assert!(e2.mentions(v(1)));
+    }
+
+    #[test]
+    fn validate_against_network() {
+        let mut b = NetworkBuilder::new();
+        let x = b.variable("x", ["a", "b"]).unwrap();
+        b.prior(x, [0.5, 0.5]).unwrap();
+        let net = b.build().unwrap();
+
+        let mut ok = Evidence::new();
+        ok.observe(x, 1);
+        assert!(ok.validate(&net).is_ok());
+
+        let mut bad_state = Evidence::new();
+        bad_state.observe(x, 7);
+        assert!(bad_state.validate(&net).is_err());
+
+        let mut bad_var = Evidence::new();
+        bad_var.observe(v(9), 0);
+        assert!(bad_var.validate(&net).is_err());
+
+        let mut bad_soft_len = Evidence::new();
+        bad_soft_len.observe_likelihood(x, vec![1.0]);
+        assert!(bad_soft_len.validate(&net).is_err());
+
+        let mut bad_soft_neg = Evidence::new();
+        bad_soft_neg.observe_likelihood(x, vec![-1.0, 1.0]);
+        assert!(bad_soft_neg.validate(&net).is_err());
+
+        let mut bad_soft_zero = Evidence::new();
+        bad_soft_zero.observe_likelihood(x, vec![0.0, 0.0]);
+        assert!(bad_soft_zero.validate(&net).is_err());
+
+        let mut ok_soft = Evidence::new();
+        ok_soft.observe_likelihood(x, vec![0.5, 2.0]);
+        assert!(ok_soft.validate(&net).is_ok());
+    }
+}

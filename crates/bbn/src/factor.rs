@@ -1,0 +1,668 @@
+//! Discrete factors (potentials) over sets of network variables.
+//!
+//! A [`Factor`] is a non-negative table indexed by the joint states of its
+//! *scope*. Values are stored row-major with the **last** scope variable
+//! varying fastest. Factors are the workhorse of every exact-inference
+//! routine in this crate: conditional probability tables are factors,
+//! variable elimination multiplies and sums them, and junction-tree
+//! propagation divides them.
+
+use crate::error::{Error, Result};
+use crate::network::VarId;
+use serde::{Deserialize, Serialize};
+
+/// A non-negative real-valued table over the joint states of a variable set.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), abbd_bbn::Error> {
+/// use abbd_bbn::{Factor, VarId};
+///
+/// let a = VarId::from_index(0);
+/// let b = VarId::from_index(1);
+/// // P(B | A) for binary A, ternary B, flattened with B fastest.
+/// let f = Factor::new(vec![a, b], vec![2, 3], vec![0.2, 0.3, 0.5, 0.6, 0.3, 0.1])?;
+/// let marginal = f.sum_out(b)?;
+/// assert_eq!(marginal.scope(), &[a]);
+/// assert!((marginal.values()[0] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Factor {
+    scope: Vec<VarId>,
+    cards: Vec<usize>,
+    values: Vec<f64>,
+}
+
+/// Result of maximising a variable out of a factor; keeps the argmax table
+/// needed for most-probable-explanation traceback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxOut {
+    /// The reduced factor over the remaining scope.
+    pub factor: Factor,
+    /// For every cell of `factor`, the state of the eliminated variable that
+    /// achieved the maximum.
+    pub argmax: Vec<usize>,
+}
+
+impl Factor {
+    /// Creates a factor over `scope` with per-variable cardinalities `cards`
+    /// and a flat `values` table (last scope variable fastest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `values.len()` is not the product
+    /// of the cardinalities, [`Error::DuplicateInScope`] if a variable
+    /// repeats, and [`Error::InvalidCpt`] if any value is negative or not
+    /// finite.
+    pub fn new(scope: Vec<VarId>, cards: Vec<usize>, values: Vec<f64>) -> Result<Self> {
+        if scope.len() != cards.len() {
+            return Err(Error::ShapeMismatch { expected: scope.len(), actual: cards.len() });
+        }
+        for (i, v) in scope.iter().enumerate() {
+            if scope[i + 1..].contains(v) {
+                return Err(Error::DuplicateInScope(format!("{v:?}")));
+            }
+        }
+        let expected: usize = cards.iter().product();
+        if values.len() != expected {
+            return Err(Error::ShapeMismatch { expected, actual: values.len() });
+        }
+        if cards.iter().any(|&c| c == 0) {
+            return Err(Error::ShapeMismatch { expected, actual: 0 });
+        }
+        if let Some(bad) = values.iter().find(|v| !v.is_finite() || **v < 0.0) {
+            return Err(Error::InvalidCpt {
+                variable: "factor".into(),
+                reason: format!("non-finite or negative value {bad}"),
+            });
+        }
+        Ok(Factor { scope, cards, values })
+    }
+
+    /// The multiplicative identity: an empty-scope factor holding `1.0`.
+    pub fn unit() -> Self {
+        Factor { scope: Vec::new(), cards: Vec::new(), values: vec![1.0] }
+    }
+
+    /// A scalar factor holding `value`.
+    pub fn scalar(value: f64) -> Self {
+        Factor { scope: Vec::new(), cards: Vec::new(), values: vec![value] }
+    }
+
+    /// The ordered variable scope.
+    pub fn scope(&self) -> &[VarId] {
+        &self.scope
+    }
+
+    /// Cardinalities aligned with [`Factor::scope`].
+    pub fn cards(&self) -> &[usize] {
+        &self.cards
+    }
+
+    /// The flat value table (last scope variable fastest).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the flat value table.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Number of cells in the table.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the factor is a scalar (empty scope).
+    pub fn is_empty(&self) -> bool {
+        self.scope.is_empty()
+    }
+
+    /// Position of `var` within the scope, if present.
+    pub fn position(&self, var: VarId) -> Option<usize> {
+        self.scope.iter().position(|&v| v == var)
+    }
+
+    /// `true` when `var` participates in this factor.
+    pub fn contains(&self, var: VarId) -> bool {
+        self.position(var).is_some()
+    }
+
+    /// Row-major stride of the scope variable at `pos`.
+    fn stride_at(&self, pos: usize) -> usize {
+        self.cards[pos + 1..].iter().product()
+    }
+
+    /// Row-major stride of `var`, or `None` if not in scope.
+    pub fn stride_of(&self, var: VarId) -> Option<usize> {
+        self.position(var).map(|p| self.stride_at(p))
+    }
+
+    /// Linear index of a full assignment (one state per scope variable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `assignment` does not match the
+    /// scope arity, or [`Error::InvalidEvidence`] on an out-of-range state.
+    pub fn index_of(&self, assignment: &[usize]) -> Result<usize> {
+        if assignment.len() != self.scope.len() {
+            return Err(Error::ShapeMismatch {
+                expected: self.scope.len(),
+                actual: assignment.len(),
+            });
+        }
+        let mut idx = 0usize;
+        for (pos, &state) in assignment.iter().enumerate() {
+            if state >= self.cards[pos] {
+                return Err(Error::InvalidEvidence {
+                    variable: format!("{:?}", self.scope[pos]),
+                    reason: format!("state {state} out of range {}", self.cards[pos]),
+                });
+            }
+            idx = idx * self.cards[pos] + state;
+        }
+        Ok(idx)
+    }
+
+    /// The assignment (one state per scope variable) at linear index `idx`.
+    pub fn assignment_of(&self, mut idx: usize) -> Vec<usize> {
+        let mut out = vec![0usize; self.scope.len()];
+        for pos in (0..self.scope.len()).rev() {
+            out[pos] = idx % self.cards[pos];
+            idx /= self.cards[pos];
+        }
+        out
+    }
+
+    /// Pointwise product; the result scope is this factor's scope followed by
+    /// the other factor's new variables.
+    pub fn product(&self, other: &Factor) -> Factor {
+        let mut scope = self.scope.clone();
+        let mut cards = self.cards.clone();
+        for (pos, &v) in other.scope.iter().enumerate() {
+            if !scope.contains(&v) {
+                scope.push(v);
+                cards.push(other.cards[pos]);
+            }
+        }
+        let total: usize = cards.iter().product::<usize>().max(1);
+        let mut values = vec![0.0; total];
+
+        let self_strides: Vec<usize> =
+            scope.iter().map(|&v| self.stride_of(v).unwrap_or(0)).collect();
+        let other_strides: Vec<usize> =
+            scope.iter().map(|&v| other.stride_of(v).unwrap_or(0)).collect();
+
+        let mut assign = vec![0usize; scope.len()];
+        let mut i_self = 0usize;
+        let mut i_other = 0usize;
+        for slot in values.iter_mut() {
+            *slot = self.values[i_self] * other.values[i_other];
+            for pos in (0..scope.len()).rev() {
+                assign[pos] += 1;
+                i_self += self_strides[pos];
+                i_other += other_strides[pos];
+                if assign[pos] == cards[pos] {
+                    assign[pos] = 0;
+                    i_self -= self_strides[pos] * cards[pos];
+                    i_other -= other_strides[pos] * cards[pos];
+                } else {
+                    break;
+                }
+            }
+        }
+        Factor { scope, cards, values }
+    }
+
+    /// Pointwise division by a factor whose scope is a subset of this one.
+    /// Division by zero yields zero (the junction-tree convention: `0/0 = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotInScope`] if `other` mentions a variable absent
+    /// from this factor.
+    pub fn divide(&self, other: &Factor) -> Result<Factor> {
+        for v in &other.scope {
+            if !self.contains(*v) {
+                return Err(Error::NotInScope(format!("{v:?}")));
+            }
+        }
+        let other_strides: Vec<usize> =
+            self.scope.iter().map(|&v| other.stride_of(v).unwrap_or(0)).collect();
+        let mut values = vec![0.0; self.values.len()];
+        let mut assign = vec![0usize; self.scope.len()];
+        let mut i_other = 0usize;
+        for (out_idx, slot) in values.iter_mut().enumerate() {
+            let denom = other.values[i_other];
+            *slot = if denom == 0.0 { 0.0 } else { self.values[out_idx] / denom };
+            for pos in (0..self.scope.len()).rev() {
+                assign[pos] += 1;
+                i_other += other_strides[pos];
+                if assign[pos] == self.cards[pos] {
+                    assign[pos] = 0;
+                    i_other -= other_strides[pos] * self.cards[pos];
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(Factor { scope: self.scope.clone(), cards: self.cards.clone(), values })
+    }
+
+    /// Sums `var` out of the factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotInScope`] if `var` is not in the scope.
+    pub fn sum_out(&self, var: VarId) -> Result<Factor> {
+        let pos = self.position(var).ok_or_else(|| Error::NotInScope(format!("{var:?}")))?;
+        let card = self.cards[pos];
+        let suffix = self.stride_at(pos);
+        let prefix_count = self.values.len() / (card * suffix);
+
+        let mut scope = self.scope.clone();
+        let mut cards = self.cards.clone();
+        scope.remove(pos);
+        cards.remove(pos);
+        let mut values = vec![0.0; prefix_count * suffix];
+        for p in 0..prefix_count {
+            let in_base = p * card * suffix;
+            let out_base = p * suffix;
+            for s in 0..suffix {
+                let mut acc = 0.0;
+                for k in 0..card {
+                    acc += self.values[in_base + k * suffix + s];
+                }
+                values[out_base + s] = acc;
+            }
+        }
+        Ok(Factor { scope, cards, values })
+    }
+
+    /// Maximises `var` out of the factor, recording per-cell argmax states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotInScope`] if `var` is not in the scope.
+    pub fn max_out(&self, var: VarId) -> Result<MaxOut> {
+        let pos = self.position(var).ok_or_else(|| Error::NotInScope(format!("{var:?}")))?;
+        let card = self.cards[pos];
+        let suffix = self.stride_at(pos);
+        let prefix_count = self.values.len() / (card * suffix);
+
+        let mut scope = self.scope.clone();
+        let mut cards = self.cards.clone();
+        scope.remove(pos);
+        cards.remove(pos);
+        let mut values = vec![0.0; prefix_count * suffix];
+        let mut argmax = vec![0usize; prefix_count * suffix];
+        for p in 0..prefix_count {
+            let in_base = p * card * suffix;
+            let out_base = p * suffix;
+            for s in 0..suffix {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_k = 0usize;
+                for k in 0..card {
+                    let v = self.values[in_base + k * suffix + s];
+                    if v > best {
+                        best = v;
+                        best_k = k;
+                    }
+                }
+                values[out_base + s] = best;
+                argmax[out_base + s] = best_k;
+            }
+        }
+        Ok(MaxOut { factor: Factor { scope, cards, values }, argmax })
+    }
+
+    /// Restricts the factor to `var = state` and drops `var` from the scope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotInScope`] if absent, or [`Error::InvalidEvidence`]
+    /// for an out-of-range state.
+    pub fn condition(&self, var: VarId, state: usize) -> Result<Factor> {
+        let pos = self.position(var).ok_or_else(|| Error::NotInScope(format!("{var:?}")))?;
+        let card = self.cards[pos];
+        if state >= card {
+            return Err(Error::InvalidEvidence {
+                variable: format!("{var:?}"),
+                reason: format!("state {state} out of range {card}"),
+            });
+        }
+        let suffix = self.stride_at(pos);
+        let prefix_count = self.values.len() / (card * suffix);
+        let mut scope = self.scope.clone();
+        let mut cards = self.cards.clone();
+        scope.remove(pos);
+        cards.remove(pos);
+        let mut values = vec![0.0; prefix_count * suffix];
+        for p in 0..prefix_count {
+            let in_base = p * card * suffix + state * suffix;
+            values[p * suffix..(p + 1) * suffix]
+                .copy_from_slice(&self.values[in_base..in_base + suffix]);
+        }
+        Ok(Factor { scope, cards, values })
+    }
+
+    /// Multiplies a per-state likelihood vector into the axis of `var`
+    /// (soft/virtual evidence in the sense of Pearl).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotInScope`] or [`Error::ShapeMismatch`] on a
+    /// wrong-length likelihood vector.
+    pub fn scale_axis(&mut self, var: VarId, weights: &[f64]) -> Result<()> {
+        let pos = self.position(var).ok_or_else(|| Error::NotInScope(format!("{var:?}")))?;
+        let card = self.cards[pos];
+        if weights.len() != card {
+            return Err(Error::ShapeMismatch { expected: card, actual: weights.len() });
+        }
+        let suffix = self.stride_at(pos);
+        let prefix_count = self.values.len() / (card * suffix);
+        for p in 0..prefix_count {
+            for k in 0..card {
+                let base = p * card * suffix + k * suffix;
+                for s in 0..suffix {
+                    self.values[base + s] *= weights[k];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sums out every scope variable not in `keep`; the result is then
+    /// reordered to match the order of `keep`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotInScope`] if `keep` mentions a variable absent
+    /// from the factor.
+    pub fn marginalize_to(&self, keep: &[VarId]) -> Result<Factor> {
+        for v in keep {
+            if !self.contains(*v) {
+                return Err(Error::NotInScope(format!("{v:?}")));
+            }
+        }
+        let mut f = self.clone();
+        let drop: Vec<VarId> =
+            self.scope.iter().copied().filter(|v| !keep.contains(v)).collect();
+        for v in drop {
+            f = f.sum_out(v)?;
+        }
+        f.reorder(keep)
+    }
+
+    /// Returns a copy whose scope is permuted to `new_scope` (which must be a
+    /// permutation of the current scope).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] or [`Error::NotInScope`] when
+    /// `new_scope` is not a permutation of the scope.
+    pub fn reorder(&self, new_scope: &[VarId]) -> Result<Factor> {
+        if new_scope.len() != self.scope.len() {
+            return Err(Error::ShapeMismatch {
+                expected: self.scope.len(),
+                actual: new_scope.len(),
+            });
+        }
+        if new_scope == self.scope {
+            return Ok(self.clone());
+        }
+        let positions: Vec<usize> = new_scope
+            .iter()
+            .map(|&v| self.position(v).ok_or_else(|| Error::NotInScope(format!("{v:?}"))))
+            .collect::<Result<_>>()?;
+        let cards: Vec<usize> = positions.iter().map(|&p| self.cards[p]).collect();
+        let strides: Vec<usize> = positions.iter().map(|&p| self.stride_at(p)).collect();
+        let total = self.values.len();
+        let mut values = vec![0.0; total];
+        let mut assign = vec![0usize; cards.len()];
+        let mut src = 0usize;
+        for slot in values.iter_mut() {
+            *slot = self.values[src];
+            for pos in (0..cards.len()).rev() {
+                assign[pos] += 1;
+                src += strides[pos];
+                if assign[pos] == cards[pos] {
+                    assign[pos] = 0;
+                    src -= strides[pos] * cards[pos];
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(Factor { scope: new_scope.to_vec(), cards, values })
+    }
+
+    /// Sum of all cells.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Normalises in place so the cells sum to one; returns the former total.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ImpossibleEvidence`] when the factor sums to zero.
+    pub fn normalize(&mut self) -> Result<f64> {
+        let z = self.total();
+        if z <= 0.0 || !z.is_finite() {
+            return Err(Error::ImpossibleEvidence);
+        }
+        for v in &mut self.values {
+            *v /= z;
+        }
+        Ok(z)
+    }
+
+    /// Normalised copy; see [`Factor::normalize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ImpossibleEvidence`] when the factor sums to zero.
+    pub fn normalized(&self) -> Result<Factor> {
+        let mut f = self.clone();
+        f.normalize()?;
+        Ok(f)
+    }
+
+    /// Consumes the factor, returning its flat value table.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+impl Default for Factor {
+    fn default() -> Self {
+        Factor::unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    fn fab() -> Factor {
+        // f(A,B), A binary, B ternary, B fastest.
+        Factor::new(vec![v(0), v(1)], vec![2, 3], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_bad_shapes() {
+        assert!(Factor::new(vec![v(0)], vec![2], vec![0.5]).is_err());
+        assert!(Factor::new(vec![v(0)], vec![2, 3], vec![0.5, 0.5]).is_err());
+        assert!(Factor::new(vec![v(0), v(0)], vec![2, 2], vec![0.0; 4]).is_err());
+        assert!(Factor::new(vec![v(0)], vec![2], vec![-0.5, 1.5]).is_err());
+        assert!(Factor::new(vec![v(0)], vec![2], vec![f64::NAN, 1.0]).is_err());
+        assert!(Factor::new(vec![v(0)], vec![0], vec![]).is_err());
+    }
+
+    #[test]
+    fn unit_is_multiplicative_identity() {
+        let f = fab();
+        let g = f.product(&Factor::unit());
+        assert_eq!(f, g);
+        let h = Factor::unit().product(&f);
+        assert_eq!(h.marginalize_to(f.scope()).unwrap(), f);
+    }
+
+    #[test]
+    fn index_assignment_roundtrip() {
+        let f = fab();
+        for idx in 0..f.len() {
+            let a = f.assignment_of(idx);
+            assert_eq!(f.index_of(&a).unwrap(), idx);
+        }
+        assert!(f.index_of(&[0]).is_err());
+        assert!(f.index_of(&[0, 3]).is_err());
+    }
+
+    #[test]
+    fn product_matches_manual() {
+        // f(A) * g(B) = outer product.
+        let f = Factor::new(vec![v(0)], vec![2], vec![0.3, 0.7]).unwrap();
+        let g = Factor::new(vec![v(1)], vec![2], vec![0.9, 0.1]).unwrap();
+        let p = f.product(&g);
+        assert_eq!(p.scope(), &[v(0), v(1)]);
+        let expect = [0.27, 0.03, 0.63, 0.07];
+        for (a, b) in p.values().iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn product_shared_variable() {
+        // f(A,B) * g(B) scales along B.
+        let f = fab();
+        let g = Factor::new(vec![v(1)], vec![3], vec![2.0, 0.0, 1.0]).unwrap();
+        let p = f.product(&g);
+        assert_eq!(p.scope(), &[v(0), v(1)]);
+        let expect = [0.2, 0.0, 0.3, 0.8, 0.0, 0.6];
+        for (a, b) in p.values().iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn product_is_commutative_up_to_reorder() {
+        let f = fab();
+        let g = Factor::new(vec![v(1), v(2)], vec![3, 2], vec![0.5, 0.5, 0.1, 0.9, 0.3, 0.7])
+            .unwrap();
+        let fg = f.product(&g);
+        let gf = g.product(&f).reorder(fg.scope()).unwrap();
+        for (a, b) in fg.values().iter().zip(gf.values().iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sum_out_first_and_last() {
+        let f = fab();
+        let no_b = f.sum_out(v(1)).unwrap();
+        assert_eq!(no_b.scope(), &[v(0)]);
+        assert!((no_b.values()[0] - 0.6).abs() < 1e-12);
+        assert!((no_b.values()[1] - 1.5).abs() < 1e-12);
+
+        let no_a = f.sum_out(v(0)).unwrap();
+        assert_eq!(no_a.scope(), &[v(1)]);
+        let expect = [0.5, 0.7, 0.9];
+        for (a, b) in no_a.values().iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(f.sum_out(v(9)).is_err());
+    }
+
+    #[test]
+    fn condition_slices() {
+        let f = fab();
+        let a1 = f.condition(v(0), 1).unwrap();
+        assert_eq!(a1.scope(), &[v(1)]);
+        assert_eq!(a1.values(), &[0.4, 0.5, 0.6]);
+        let b2 = f.condition(v(1), 2).unwrap();
+        assert_eq!(b2.scope(), &[v(0)]);
+        assert_eq!(b2.values(), &[0.3, 0.6]);
+        assert!(f.condition(v(1), 3).is_err());
+        assert!(f.condition(v(7), 0).is_err());
+    }
+
+    #[test]
+    fn max_out_tracks_argmax() {
+        let f = fab();
+        let m = f.max_out(v(0)).unwrap();
+        assert_eq!(m.factor.scope(), &[v(1)]);
+        assert_eq!(m.factor.values(), &[0.4, 0.5, 0.6]);
+        assert_eq!(m.argmax, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn divide_handles_zero() {
+        let f = Factor::new(vec![v(0)], vec![2], vec![0.4, 0.0]).unwrap();
+        let g = Factor::new(vec![v(0)], vec![2], vec![0.8, 0.0]).unwrap();
+        let d = f.divide(&g).unwrap();
+        assert_eq!(d.values(), &[0.5, 0.0]);
+        // subset-scope division
+        let fab = fab();
+        let gb = Factor::new(vec![v(1)], vec![3], vec![0.5, 1.0, 2.0]).unwrap();
+        let d2 = fab.divide(&gb).unwrap();
+        let expect = [0.2, 0.2, 0.15, 0.8, 0.5, 0.3];
+        for (a, b) in d2.values().iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(gb.divide(&fab).is_err());
+    }
+
+    #[test]
+    fn scale_axis_applies_likelihood() {
+        let mut f = fab();
+        f.scale_axis(v(1), &[1.0, 0.0, 2.0]).unwrap();
+        let expect = [0.1, 0.0, 0.6, 0.4, 0.0, 1.2];
+        for (a, b) in f.values().iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(f.scale_axis(v(1), &[1.0]).is_err());
+        assert!(f.scale_axis(v(5), &[1.0]).is_err());
+    }
+
+    #[test]
+    fn marginalize_to_reorders() {
+        let f = fab();
+        let m = f.marginalize_to(&[v(1)]).unwrap();
+        assert_eq!(m.scope(), &[v(1)]);
+        let swapped = f.marginalize_to(&[v(1), v(0)]).unwrap();
+        assert_eq!(swapped.scope(), &[v(1), v(0)]);
+        assert!((swapped.values()[0] - 0.1).abs() < 1e-12); // B=0, A=0
+        assert!((swapped.values()[1] - 0.4).abs() < 1e-12); // B=0, A=1
+        assert!(f.marginalize_to(&[v(9)]).is_err());
+    }
+
+    #[test]
+    fn reorder_roundtrip() {
+        let f = fab();
+        let r = f.reorder(&[v(1), v(0)]).unwrap();
+        let back = r.reorder(&[v(0), v(1)]).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn normalize_and_total() {
+        let mut f = fab();
+        let total = f.total();
+        assert!((total - 2.1).abs() < 1e-12);
+        let z = f.normalize().unwrap();
+        assert!((z - 2.1).abs() < 1e-12);
+        assert!((f.total() - 1.0).abs() < 1e-12);
+        let mut zero = Factor::new(vec![v(0)], vec![2], vec![0.0, 0.0]).unwrap();
+        assert_eq!(zero.normalize(), Err(Error::ImpossibleEvidence));
+    }
+}

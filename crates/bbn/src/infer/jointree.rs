@@ -1,0 +1,704 @@
+//! Junction-tree (clique-tree) compilation and Hugin belief propagation.
+//!
+//! This is the crate's replacement for the commercial Netica engine used in
+//! the paper: compile once, then answer *all* block-state posteriors for a
+//! failing device with two sweeps over the tree.
+
+use crate::error::{Error, Result};
+use crate::evidence::Evidence;
+use crate::factor::Factor;
+use crate::graph::{elimination_order, moral_graph, OrderingHeuristic};
+use crate::infer::Posteriors;
+use crate::network::{Network, VarId};
+
+/// Size statistics of a compiled junction tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JunctionTreeStats {
+    /// Number of cliques.
+    pub cliques: usize,
+    /// Largest clique width (variable count).
+    pub max_clique_width: usize,
+    /// Sum of clique table sizes (cells).
+    pub total_table_size: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Clique {
+    scope: Vec<VarId>,
+    cards: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct TreeEdge {
+    a: usize,
+    b: usize,
+    sepset: Vec<VarId>,
+}
+
+/// A compiled junction tree over a network.
+///
+/// Compilation moralises and triangulates the structure, extracts maximal
+/// cliques, and connects them by a maximum-spanning tree over sepset sizes.
+/// The tree owns a clone of the network; [`JunctionTree::propagate`] reads
+/// the current CPTs from it.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), abbd_bbn::Error> {
+/// use abbd_bbn::{Evidence, JunctionTree, NetworkBuilder};
+///
+/// let mut b = NetworkBuilder::new();
+/// let x = b.variable("x", ["0", "1"])?;
+/// let y = b.variable("y", ["0", "1"])?;
+/// b.prior(x, [0.6, 0.4])?;
+/// b.cpt(y, [x], [[0.9, 0.1], [0.2, 0.8]])?;
+/// let jt = JunctionTree::compile(&b.build()?)?;
+///
+/// let mut e = Evidence::new();
+/// e.observe(y, 1);
+/// let calibrated = jt.propagate(&e)?;
+/// let px = calibrated.posterior(x)?;
+/// assert!(px[1] > 0.8); // y=1 strongly suggests x=1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct JunctionTree {
+    net: Network,
+    cliques: Vec<Clique>,
+    edges: Vec<TreeEdge>,
+    /// For each clique, its tree neighbours as `(clique index, edge index)`.
+    neighbors: Vec<Vec<(usize, usize)>>,
+    /// For each variable, the clique containing its whole family.
+    family_clique: Vec<usize>,
+    /// For each variable, the smallest clique containing it.
+    home_clique: Vec<usize>,
+    /// Collect order: edges as `(child clique, parent clique, edge index)`
+    /// from the leaves towards clique 0.
+    collect_schedule: Vec<(usize, usize, usize)>,
+}
+
+impl JunctionTree {
+    /// Compiles a junction tree for `net` using min-fill triangulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-shape errors; compilation itself cannot fail on a
+    /// validated [`Network`].
+    pub fn compile(net: &Network) -> Result<Self> {
+        Self::compile_with(net, OrderingHeuristic::MinFill)
+    }
+
+    /// Compiles with an explicit triangulation heuristic.
+    ///
+    /// # Errors
+    ///
+    /// See [`JunctionTree::compile`].
+    pub fn compile_with(net: &Network, heuristic: OrderingHeuristic) -> Result<Self> {
+        let n = net.var_count();
+        let moral = moral_graph(net);
+        let all: Vec<usize> = (0..n).collect();
+        let topo: Vec<usize> = net.topological_order().iter().map(|v| v.index()).collect();
+        let order = elimination_order(&moral, &all, heuristic, &topo);
+
+        // Elimination cliques: {v} ∪ current neighbours at elimination time.
+        let mut work = moral.clone();
+        let mut raw_cliques: Vec<Vec<usize>> = Vec::new();
+        for &v in &order {
+            let mut clique: Vec<usize> = work.neighbors(v).iter().copied().collect();
+            clique.push(v);
+            clique.sort_unstable();
+            raw_cliques.push(clique);
+            work.eliminate(v);
+        }
+        // Keep only maximal cliques (dedup + subset removal).
+        raw_cliques.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        let mut maximal: Vec<Vec<usize>> = Vec::new();
+        for c in raw_cliques {
+            if !maximal.iter().any(|m| c.iter().all(|v| m.contains(v))) {
+                maximal.push(c);
+            }
+        }
+
+        let cliques: Vec<Clique> = maximal
+            .iter()
+            .map(|scope| {
+                let scope_vars: Vec<VarId> =
+                    scope.iter().map(|&i| VarId::from_index(i)).collect();
+                let cards = scope_vars.iter().map(|v| net.card(*v)).collect();
+                Clique { scope: scope_vars, cards }
+            })
+            .collect();
+
+        // Maximum-spanning tree over sepset cardinality (Kruskal). Edges
+        // with empty sepsets are allowed so disconnected components still
+        // form a single tree; propagation handles scalar messages.
+        let mut candidates: Vec<(usize, usize, usize)> = Vec::new(); // (weight, a, b)
+        for i in 0..cliques.len() {
+            for j in i + 1..cliques.len() {
+                let w = cliques[i]
+                    .scope
+                    .iter()
+                    .filter(|v| cliques[j].scope.contains(v))
+                    .count();
+                candidates.push((w, i, j));
+            }
+        }
+        candidates.sort_by_key(|&(w, _, _)| std::cmp::Reverse(w));
+        let mut dsu: Vec<usize> = (0..cliques.len()).collect();
+        fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
+            if dsu[x] != x {
+                let root = find(dsu, dsu[x]);
+                dsu[x] = root;
+            }
+            dsu[x]
+        }
+        let mut edges: Vec<TreeEdge> = Vec::new();
+        let mut neighbors: Vec<Vec<(usize, usize)>> = vec![Vec::new(); cliques.len()];
+        for (_, a, b) in candidates {
+            let (ra, rb) = (find(&mut dsu, a), find(&mut dsu, b));
+            if ra != rb {
+                dsu[ra] = rb;
+                let sepset: Vec<VarId> = cliques[a]
+                    .scope
+                    .iter()
+                    .copied()
+                    .filter(|v| cliques[b].scope.contains(v))
+                    .collect();
+                let idx = edges.len();
+                neighbors[a].push((b, idx));
+                neighbors[b].push((a, idx));
+                edges.push(TreeEdge { a, b, sepset });
+            }
+        }
+
+        // Family and home cliques.
+        let mut family_clique = vec![0usize; n];
+        let mut home_clique = vec![0usize; n];
+        for var in net.variables() {
+            let family = net.family(var);
+            let fam_idx = cliques
+                .iter()
+                .position(|c| family.iter().all(|v| c.scope.contains(v)))
+                .ok_or_else(|| Error::InvalidCpt {
+                    variable: net.name(var).into(),
+                    reason: "triangulation lost the family clique".into(),
+                })?;
+            family_clique[var.index()] = fam_idx;
+            let home_idx = cliques
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.scope.contains(&var))
+                .min_by_key(|(_, c)| c.scope.len())
+                .map(|(i, _)| i)
+                .expect("family clique contains the variable");
+            home_clique[var.index()] = home_idx;
+        }
+
+        // Collect schedule: BFS tree rooted at clique 0, emitted leaves-first.
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; cliques.len()];
+        let mut visited = vec![false; cliques.len()];
+        let mut bfs = std::collections::VecDeque::from([0usize]);
+        visited[0] = true;
+        let mut bfs_order = Vec::new();
+        while let Some(c) = bfs.pop_front() {
+            bfs_order.push(c);
+            for &(nb, eidx) in &neighbors[c] {
+                if !visited[nb] {
+                    visited[nb] = true;
+                    parent[nb] = Some((c, eidx));
+                    bfs.push_back(nb);
+                }
+            }
+        }
+        let collect_schedule: Vec<(usize, usize, usize)> = bfs_order
+            .iter()
+            .rev()
+            .filter_map(|&c| parent[c].map(|(p, e)| (c, p, e)))
+            .collect();
+
+        Ok(JunctionTree {
+            net: net.clone(),
+            cliques,
+            edges,
+            neighbors,
+            family_clique,
+            home_clique,
+            collect_schedule,
+        })
+    }
+
+    /// The network this tree was compiled from.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Replaces the CPTs with those of `net`, which must share the exact
+    /// structure (names, states, parents) of the compiled network. Used by
+    /// EM so re-triangulation is not needed every iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when structures differ.
+    pub fn update_parameters(&mut self, net: &Network) -> Result<()> {
+        if net.var_count() != self.net.var_count() {
+            return Err(Error::ShapeMismatch {
+                expected: self.net.var_count(),
+                actual: net.var_count(),
+            });
+        }
+        for var in self.net.variables() {
+            if net.parents(var) != self.net.parents(var)
+                || net.card(var) != self.net.card(var)
+            {
+                return Err(Error::ShapeMismatch {
+                    expected: self.net.card(var),
+                    actual: net.card(var),
+                });
+            }
+        }
+        self.net = net.clone();
+        Ok(())
+    }
+
+    /// The clique scopes, in compilation order.
+    pub fn clique_scopes(&self) -> Vec<Vec<VarId>> {
+        self.cliques.iter().map(|c| c.scope.clone()).collect()
+    }
+
+    /// Renders the clique tree in Graphviz DOT syntax (cliques as nodes,
+    /// sepsets as edge labels); handy when documenting a compiled model.
+    pub fn to_dot(&self) -> String {
+        let label = |c: &Clique| {
+            c.scope
+                .iter()
+                .map(|v| self.net.name(*v))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut out = String::from("graph jointree {\n");
+        for (i, c) in self.cliques.iter().enumerate() {
+            out.push_str(&format!("  c{i} [label=\"{{{}}}\"];\n", label(c)));
+        }
+        for e in &self.edges {
+            let sep = e
+                .sepset
+                .iter()
+                .map(|v| self.net.name(*v))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!("  c{} -- c{} [label=\"{sep}\"];\n", e.a, e.b));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Tree degree of clique `i` (number of neighbours).
+    pub fn clique_degree(&self, i: usize) -> usize {
+        self.neighbors.get(i).map_or(0, |n| n.len())
+    }
+
+    /// Size statistics of the compiled tree.
+    pub fn stats(&self) -> JunctionTreeStats {
+        JunctionTreeStats {
+            cliques: self.cliques.len(),
+            max_clique_width: self.cliques.iter().map(|c| c.scope.len()).max().unwrap_or(0),
+            total_table_size: self
+                .cliques
+                .iter()
+                .map(|c| c.cards.iter().product::<usize>())
+                .sum(),
+        }
+    }
+
+    /// Runs a full Hugin propagation (collect + distribute) under the given
+    /// evidence, returning calibrated clique beliefs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ImpossibleEvidence`] when `P(e) = 0`, plus evidence
+    /// validation errors.
+    pub fn propagate(&self, evidence: &Evidence) -> Result<CalibratedTree<'_>> {
+        evidence.validate(&self.net)?;
+
+        // Initialise clique potentials: unit tables times assigned families.
+        let mut beliefs: Vec<Factor> = self
+            .cliques
+            .iter()
+            .map(|c| {
+                let total: usize = c.cards.iter().product();
+                Factor::new(c.scope.clone(), c.cards.clone(), vec![1.0; total])
+                    .expect("clique shapes are consistent")
+            })
+            .collect();
+        for var in self.net.variables() {
+            let fam = self.net.family_factor(var);
+            let idx = self.family_clique[var.index()];
+            beliefs[idx] = beliefs[idx].product(&fam);
+        }
+        // Absorb evidence as per-axis likelihoods in the home clique. Hard
+        // evidence becomes a one-hot likelihood: the variable stays in scope
+        // and its posterior collapses to a point mass.
+        for (var, state) in evidence.hard_iter() {
+            let mut onehot = vec![0.0; self.net.card(var)];
+            onehot[state] = 1.0;
+            beliefs[self.home_clique[var.index()]].scale_axis(var, &onehot)?;
+        }
+        for (var, lik) in evidence.soft_iter() {
+            beliefs[self.home_clique[var.index()]].scale_axis(var, lik.to_vec().as_slice())?;
+        }
+
+        let mut sepset_msgs: Vec<Option<Factor>> = vec![None; self.edges.len()];
+        let mut log_scale = 0.0f64;
+
+        // Collect: leaves towards clique 0. Messages are normalised and the
+        // normaliser accumulated so deep trees cannot underflow.
+        for &(child, par, eidx) in &self.collect_schedule {
+            let sep = &self.edges[eidx].sepset;
+            let mut msg = beliefs[child].marginalize_to(sep)?;
+            let z = msg.total();
+            if z <= 0.0 {
+                return Err(Error::ImpossibleEvidence);
+            }
+            for v in msg.values_mut() {
+                *v /= z;
+            }
+            log_scale += z.ln();
+            beliefs[par] = beliefs[par].product(&msg);
+            sepset_msgs[eidx] = Some(msg);
+        }
+
+        let root_total = beliefs[0].total();
+        if root_total <= 0.0 {
+            return Err(Error::ImpossibleEvidence);
+        }
+        let log_likelihood = root_total.ln() + log_scale;
+
+        // Distribute: root towards leaves, dividing out the stored message.
+        for &(child, par, eidx) in self.collect_schedule.iter().rev() {
+            let sep = &self.edges[eidx].sepset;
+            let mut new_msg = beliefs[par].marginalize_to(sep)?;
+            let z = new_msg.total();
+            if z <= 0.0 {
+                return Err(Error::ImpossibleEvidence);
+            }
+            for v in new_msg.values_mut() {
+                *v /= z;
+            }
+            let old = sepset_msgs[eidx].take().expect("collect filled every sepset");
+            let update = new_msg.divide(&old)?;
+            beliefs[child] = beliefs[child].product(&update);
+            sepset_msgs[eidx] = Some(new_msg);
+        }
+
+        // Normalise beliefs to clique posteriors P(C | e).
+        for b in &mut beliefs {
+            b.normalize()?;
+        }
+
+        Ok(CalibratedTree { tree: self, beliefs, log_likelihood })
+    }
+
+    /// Convenience wrapper: propagate and extract all posterior marginals.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JunctionTree::propagate`].
+    pub fn posteriors(&self, evidence: &Evidence) -> Result<Posteriors> {
+        self.propagate(evidence)?.all_posteriors()
+    }
+}
+
+/// The result of a Hugin propagation: calibrated clique beliefs plus the
+/// evidence log-likelihood. Borrowed from the compiled tree.
+#[derive(Debug, Clone)]
+pub struct CalibratedTree<'jt> {
+    tree: &'jt JunctionTree,
+    beliefs: Vec<Factor>,
+    log_likelihood: f64,
+}
+
+impl CalibratedTree<'_> {
+    /// Natural log of the evidence probability `ln P(e)`.
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_likelihood
+    }
+
+    /// Posterior distribution of one variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownVariable`] for out-of-range handles.
+    pub fn posterior(&self, var: VarId) -> Result<Vec<f64>> {
+        if var.index() >= self.tree.net.var_count() {
+            return Err(Error::UnknownVariable(format!("{var}")));
+        }
+        let clique = self.tree.home_clique[var.index()];
+        let marg = self.beliefs[clique].marginalize_to(&[var])?;
+        Ok(marg.normalized()?.into_values())
+    }
+
+    /// Posterior marginals for every variable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CalibratedTree::posterior`] errors.
+    pub fn all_posteriors(&self) -> Result<Posteriors> {
+        let mut out = Vec::with_capacity(self.tree.net.var_count());
+        for var in self.tree.net.variables() {
+            out.push(self.posterior(var)?);
+        }
+        Ok(Posteriors::new(out))
+    }
+
+    /// The posterior family marginal `P(parents(var), var | e)` with scope
+    /// ordered `parents ++ [var]` — exactly the shape of the CPT, which is
+    /// what EM's expected counts need.
+    ///
+    /// # Errors
+    ///
+    /// Returns factor-shape errors (the family always fits one clique).
+    pub fn family_marginal(&self, var: VarId) -> Result<Factor> {
+        let clique = self.tree.family_clique[var.index()];
+        let family = self.tree.net.family(var);
+        let marg = self.beliefs[clique].marginalize_to(&family)?;
+        marg.normalized()
+    }
+
+    /// Joint posterior over a set of variables, provided some clique
+    /// contains them all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotInScope`] when no single clique covers `vars`
+    /// (fall back to [`crate::VariableElimination::joint_marginal`]).
+    pub fn joint_marginal(&self, vars: &[VarId]) -> Result<Factor> {
+        let clique = self
+            .tree
+            .cliques
+            .iter()
+            .position(|c| vars.iter().all(|v| c.scope.contains(v)))
+            .ok_or_else(|| {
+                Error::NotInScope(format!("no clique covers all of {vars:?}"))
+            })?;
+        let marg = self.beliefs[clique].marginalize_to(vars)?;
+        marg.normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::enumerate_posteriors;
+    use crate::network::NetworkBuilder;
+
+    fn sprinkler() -> Network {
+        let mut b = NetworkBuilder::new();
+        let cloudy = b.variable("cloudy", ["n", "y"]).unwrap();
+        let sprinkler = b.variable("sprinkler", ["n", "y"]).unwrap();
+        let rain = b.variable("rain", ["n", "y"]).unwrap();
+        let wet = b.variable("wet", ["n", "y"]).unwrap();
+        b.prior(cloudy, [0.5, 0.5]).unwrap();
+        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]]).unwrap();
+        b.cpt(rain, [cloudy], [[0.8, 0.2], [0.2, 0.8]]).unwrap();
+        b.cpt(wet, [sprinkler, rain], [[1.0, 0.0], [0.1, 0.9], [0.1, 0.9], [0.01, 0.99]])
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn compile_stats_are_sane() {
+        let net = sprinkler();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let stats = jt.stats();
+        assert!(stats.cliques >= 1);
+        assert!(stats.max_clique_width >= 3, "wet's family has width 3");
+        assert!(stats.total_table_size >= 8);
+        assert_eq!(jt.network().var_count(), 4);
+        assert_eq!(jt.clique_scopes().len(), stats.cliques);
+        let dot = jt.to_dot();
+        assert!(dot.contains("graph jointree"));
+        assert!(dot.contains("wet"));
+        let degrees: usize = (0..stats.cliques).map(|i| jt.clique_degree(i)).sum();
+        assert_eq!(degrees, (stats.cliques - 1) * 2, "tree has n-1 edges");
+        assert_eq!(jt.clique_degree(usize::MAX), 0);
+    }
+
+    #[test]
+    fn matches_enumeration_without_evidence() {
+        let net = sprinkler();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let exact = enumerate_posteriors(&net, &Evidence::new()).unwrap();
+        let got = jt.posteriors(&Evidence::new()).unwrap();
+        assert!(got.max_abs_diff(&exact).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn matches_enumeration_with_hard_evidence() {
+        let net = sprinkler();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let wet = net.var("wet").unwrap();
+        let sprinkler_v = net.var("sprinkler").unwrap();
+        for (wv, sv) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            let mut e = Evidence::new();
+            e.observe(wet, wv).observe(sprinkler_v, sv);
+            let exact = enumerate_posteriors(&net, &e).unwrap();
+            let got = jt.posteriors(&e).unwrap();
+            assert!(got.max_abs_diff(&exact).unwrap() < 1e-10, "wet={wv} spr={sv}");
+        }
+    }
+
+    #[test]
+    fn matches_enumeration_with_soft_evidence() {
+        let net = sprinkler();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let rain = net.var("rain").unwrap();
+        let wet = net.var("wet").unwrap();
+        let mut e = Evidence::new();
+        e.observe_likelihood(rain, vec![0.3, 1.2]);
+        e.observe(wet, 1);
+        let exact = enumerate_posteriors(&net, &e).unwrap();
+        let got = jt.posteriors(&e).unwrap();
+        assert!(got.max_abs_diff(&exact).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn log_likelihood_matches_ve() {
+        let net = sprinkler();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let ve = crate::VariableElimination::new(&net);
+        let wet = net.var("wet").unwrap();
+        let cloudy = net.var("cloudy").unwrap();
+        let mut e = Evidence::new();
+        e.observe(wet, 1).observe(cloudy, 0);
+        let cal = jt.propagate(&e).unwrap();
+        let expect = ve.log_likelihood(&e).unwrap();
+        assert!((cal.log_likelihood() - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn family_marginal_shape_and_consistency() {
+        let net = sprinkler();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let wet = net.var("wet").unwrap();
+        let cal = jt.propagate(&Evidence::new()).unwrap();
+        let fam = cal.family_marginal(wet).unwrap();
+        assert_eq!(fam.scope().len(), 3);
+        assert_eq!(*fam.scope().last().unwrap(), wet);
+        assert!((fam.total() - 1.0).abs() < 1e-10);
+        // Marginalising the family onto wet equals the posterior of wet.
+        let from_family = fam.marginalize_to(&[wet]).unwrap();
+        let direct = cal.posterior(wet).unwrap();
+        for (a, b) in from_family.values().iter().zip(direct.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn joint_marginal_within_clique() {
+        let net = sprinkler();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let s = net.var("sprinkler").unwrap();
+        let r = net.var("rain").unwrap();
+        let cal = jt.propagate(&Evidence::new()).unwrap();
+        // sprinkler and rain are married in the moral graph, so some clique
+        // holds both.
+        let j = cal.joint_marginal(&[s, r]).unwrap();
+        assert_eq!(j.scope(), &[s, r]);
+        let ve = crate::VariableElimination::new(&net);
+        let expect = ve.joint_marginal(&Evidence::new(), &[s, r]).unwrap();
+        for (a, b) in j.values().iter().zip(expect.values()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn impossible_evidence_is_detected() {
+        let mut b = NetworkBuilder::new();
+        let a = b.variable("a", ["0", "1"]).unwrap();
+        let c = b.variable("c", ["0", "1"]).unwrap();
+        b.prior(a, [1.0, 0.0]).unwrap();
+        b.cpt(c, [a], [[1.0, 0.0], [0.0, 1.0]]).unwrap();
+        let net = b.build().unwrap();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let mut e = Evidence::new();
+        e.observe(c, 1);
+        assert!(matches!(jt.propagate(&e), Err(Error::ImpossibleEvidence)));
+    }
+
+    #[test]
+    fn disconnected_networks_propagate() {
+        let mut b = NetworkBuilder::new();
+        let a = b.variable("a", ["0", "1"]).unwrap();
+        let c = b.variable("c", ["0", "1"]).unwrap();
+        b.prior(a, [0.25, 0.75]).unwrap();
+        b.prior(c, [0.9, 0.1]).unwrap();
+        let net = b.build().unwrap();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let mut e = Evidence::new();
+        e.observe(c, 1);
+        let cal = jt.propagate(&e).unwrap();
+        let pa = cal.posterior(a).unwrap();
+        assert!((pa[1] - 0.75).abs() < 1e-10, "independent evidence must not leak");
+        assert!((cal.log_likelihood() - 0.1f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn update_parameters_requires_same_structure() {
+        let net = sprinkler();
+        let mut jt = JunctionTree::compile(&net).unwrap();
+        let mut altered = net.clone();
+        let rain = altered.var("rain").unwrap();
+        altered.set_cpt_values(rain, vec![0.5, 0.5, 0.5, 0.5]).unwrap();
+        assert!(jt.update_parameters(&altered).is_ok());
+        let got = jt.posteriors(&Evidence::new()).unwrap();
+        let exact = enumerate_posteriors(&altered, &Evidence::new()).unwrap();
+        assert!(got.max_abs_diff(&exact).unwrap() < 1e-10);
+
+        let mut b = NetworkBuilder::new();
+        let x = b.variable("x", ["0", "1"]).unwrap();
+        b.prior(x, [0.5, 0.5]).unwrap();
+        let other = b.build().unwrap();
+        assert!(jt.update_parameters(&other).is_err());
+    }
+
+    #[test]
+    fn bigger_random_network_agrees_with_ve() {
+        // A 7-variable layered DAG exercises multi-clique trees.
+        let mut b = NetworkBuilder::new();
+        let v0 = b.variable("v0", ["0", "1"]).unwrap();
+        let v1 = b.variable("v1", ["0", "1", "2"]).unwrap();
+        let v2 = b.variable("v2", ["0", "1"]).unwrap();
+        let v3 = b.variable("v3", ["0", "1"]).unwrap();
+        let v4 = b.variable("v4", ["0", "1"]).unwrap();
+        let v5 = b.variable("v5", ["0", "1", "2"]).unwrap();
+        let v6 = b.variable("v6", ["0", "1"]).unwrap();
+        b.prior(v0, [0.4, 0.6]).unwrap();
+        b.prior(v1, [0.2, 0.5, 0.3]).unwrap();
+        b.cpt(v2, [v0], [[0.7, 0.3], [0.1, 0.9]]).unwrap();
+        b.cpt(v3, [v0, v1], [
+            [0.5, 0.5], [0.4, 0.6], [0.3, 0.7],
+            [0.2, 0.8], [0.6, 0.4], [0.9, 0.1],
+        ])
+        .unwrap();
+        b.cpt(v4, [v2], [[0.25, 0.75], [0.85, 0.15]]).unwrap();
+        b.cpt(v5, [v3], [[0.1, 0.6, 0.3], [0.5, 0.25, 0.25]]).unwrap();
+        b.cpt(v6, [v4, v5], [
+            [0.9, 0.1], [0.8, 0.2], [0.7, 0.3],
+            [0.4, 0.6], [0.3, 0.7], [0.05, 0.95],
+        ])
+        .unwrap();
+        let net = b.build().unwrap();
+
+        let jt = JunctionTree::compile(&net).unwrap();
+        let ve = crate::VariableElimination::new(&net);
+        let mut e = Evidence::new();
+        e.observe(v6, 1).observe(v1, 2);
+        let got = jt.posteriors(&e).unwrap();
+        let expect = ve.all_posteriors(&e).unwrap();
+        assert!(got.max_abs_diff(&expect).unwrap() < 1e-9);
+        let cal = jt.propagate(&e).unwrap();
+        assert!((cal.log_likelihood() - ve.log_likelihood(&e).unwrap()).abs() < 1e-9);
+    }
+}

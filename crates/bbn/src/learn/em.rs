@@ -1,0 +1,345 @@
+//! Expectation–maximisation for CPT learning with hidden variables.
+//!
+//! The paper's cases observe only controllable and observable blocks; the
+//! internal block states are never seen, so maximum-likelihood counting is
+//! not available. EM alternates junction-tree inference (expected family
+//! counts) with posterior-mean re-estimation, starting from the product
+//! expert's CPTs.
+
+use crate::error::{Error, Result};
+use crate::infer::JunctionTree;
+use crate::learn::counts::{Case, DirichletPrior, SuffStats};
+use crate::network::Network;
+
+/// Knobs for [`fit_em`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmConfig {
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Relative tolerance on the MAP objective for convergence.
+    pub tolerance: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig { max_iterations: 100, tolerance: 1e-5 }
+    }
+}
+
+/// The result of an EM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmOutcome {
+    /// Network with the fitted CPTs (structure unchanged).
+    pub network: Network,
+    /// Observed-data log-likelihood after each iteration.
+    pub log_likelihood_trace: Vec<f64>,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// `true` when the objective change fell below tolerance.
+    pub converged: bool,
+    /// Cases skipped because they had zero probability under the model.
+    pub skipped_cases: usize,
+}
+
+/// One E-step: expected sufficient statistics and the observed-data
+/// log-likelihood of `cases` under the network held by `jt`.
+///
+/// Cases that are impossible under the current parameters are skipped and
+/// counted, mirroring how an industrial flow must tolerate datalog rows
+/// that disagree with a coarse model.
+///
+/// # Errors
+///
+/// Propagates propagation and shape errors other than
+/// [`Error::ImpossibleEvidence`], which is converted into a skip.
+pub fn expected_statistics(
+    jt: &JunctionTree,
+    cases: &[Case],
+) -> Result<(SuffStats, f64, usize)> {
+    let net = jt.network();
+    let mut stats = SuffStats::new(net);
+    let mut log_likelihood = 0.0;
+    let mut skipped = 0usize;
+    for case in cases {
+        let evidence = case.to_evidence();
+        let calibrated = match jt.propagate(&evidence) {
+            Ok(c) => c,
+            Err(Error::ImpossibleEvidence) => {
+                skipped += 1;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        log_likelihood += case.weight() * calibrated.log_likelihood();
+        for var in net.variables() {
+            let fam = calibrated.family_marginal(var)?;
+            stats.add_family_marginal(var, &fam, case.weight())?;
+        }
+    }
+    Ok((stats, log_likelihood, skipped))
+}
+
+/// Fits CPTs by MAP expectation–maximisation.
+///
+/// `net` provides both the structure and the starting point (typically the
+/// expert estimate); `prior` regularises every M-step. The observed-data
+/// log-likelihood plus the log-prior is non-decreasing across iterations up
+/// to numerical noise — the property tests rely on this.
+///
+/// # Errors
+///
+/// Returns [`Error::NoCases`] for an empty case list, plus shape errors.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), abbd_bbn::Error> {
+/// use abbd_bbn::learn::{fit_em, Case, DirichletPrior, EmConfig};
+/// use abbd_bbn::NetworkBuilder;
+///
+/// let mut b = NetworkBuilder::new();
+/// let hidden = b.variable("hidden", ["ok", "bad"])?;
+/// let seen = b.variable("seen", ["pass", "fail"])?;
+/// b.prior(hidden, [0.7, 0.3])?;
+/// b.cpt(seen, [hidden], [[0.9, 0.1], [0.2, 0.8]])?;
+/// let net = b.build()?;
+///
+/// // Observe only `seen`; EM re-estimates all CPTs.
+/// let cases: Vec<Case> = (0..10)
+///     .map(|i| Case::from_pairs([(seen, (i % 3 == 0) as usize)]))
+///     .collect();
+/// let out = fit_em(&net, &cases, &DirichletPrior::uniform(&net, 0.5), &EmConfig::default())?;
+/// assert!(out.iterations >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_em(
+    net: &Network,
+    cases: &[Case],
+    prior: &DirichletPrior,
+    config: &EmConfig,
+) -> Result<EmOutcome> {
+    if cases.is_empty() {
+        return Err(Error::NoCases);
+    }
+    prior.validate(net)?;
+    let mut current = net.clone();
+    let mut jt = JunctionTree::compile(&current)?;
+    let mut trace = Vec::new();
+    let mut prev_objective = f64::NEG_INFINITY;
+    let mut converged = false;
+    let mut iterations = 0usize;
+    let mut skipped_total = 0usize;
+
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        let (stats, log_likelihood, skipped) = expected_statistics(&jt, cases)?;
+        skipped_total = skipped;
+        trace.push(log_likelihood);
+
+        // M-step: posterior-mean update.
+        let new_cpts = stats.to_cpts(prior);
+        for (i, cpt) in new_cpts.into_iter().enumerate() {
+            current.set_cpt_values(crate::network::VarId::from_index(i), cpt)?;
+        }
+        jt.update_parameters(&current)?;
+
+        let objective = log_likelihood + prior.log_density(&current);
+        if (objective - prev_objective).abs() <= config.tolerance * (1.0 + objective.abs()) {
+            converged = true;
+            break;
+        }
+        prev_objective = objective;
+    }
+
+    Ok(EmOutcome {
+        network: current,
+        log_likelihood_trace: trace,
+        iterations,
+        converged,
+        skipped_cases: skipped_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::{forward_sample_cases, JunctionTree};
+    use crate::network::NetworkBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hidden_chain() -> Network {
+        // hidden -> obs1, hidden -> obs2
+        let mut b = NetworkBuilder::new();
+        let hidden = b.variable("hidden", ["0", "1"]).unwrap();
+        let obs1 = b.variable("obs1", ["0", "1"]).unwrap();
+        let obs2 = b.variable("obs2", ["0", "1"]).unwrap();
+        b.prior(hidden, [0.6, 0.4]).unwrap();
+        b.cpt(obs1, [hidden], [[0.9, 0.1], [0.2, 0.8]]).unwrap();
+        b.cpt(obs2, [hidden], [[0.8, 0.2], [0.3, 0.7]]).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Mildly perturbed starting parameters.
+    fn perturbed(net: &Network) -> Network {
+        let mut start = net.clone();
+        for v in net.variables() {
+            let card = net.card(v);
+            let cpt: Vec<f64> = net
+                .cpt(v)
+                .chunks(card)
+                .flat_map(|row| {
+                    let mixed: Vec<f64> =
+                        row.iter().map(|p| 0.5 * p + 0.5 / card as f64).collect();
+                    mixed
+                })
+                .collect();
+            start.set_cpt_values(v, cpt).unwrap();
+        }
+        start
+    }
+
+    #[test]
+    fn em_increases_likelihood_monotonically() {
+        let truth = hidden_chain();
+        let mut rng = StdRng::seed_from_u64(21);
+        let samples = forward_sample_cases(&truth, 400, &mut rng);
+        let hidden = truth.var("hidden").unwrap();
+        // Hide the `hidden` column.
+        let cases: Vec<Case> = samples
+            .iter()
+            .map(|s| {
+                Case::from_pairs(
+                    truth
+                        .variables()
+                        .filter(|v| *v != hidden)
+                        .map(|v| (v, s[v.index()])),
+                )
+            })
+            .collect();
+        let start = perturbed(&truth);
+        let out = fit_em(
+            &start,
+            &cases,
+            &DirichletPrior::zero(&start),
+            &EmConfig { max_iterations: 40, tolerance: 1e-9 },
+        )
+        .unwrap();
+        for pair in out.log_likelihood_trace.windows(2) {
+            assert!(
+                pair[1] >= pair[0] - 1e-7,
+                "ML-EM log-likelihood decreased: {} -> {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        assert_eq!(out.skipped_cases, 0);
+    }
+
+    #[test]
+    fn em_with_complete_data_matches_counting() {
+        let truth = hidden_chain();
+        let mut rng = StdRng::seed_from_u64(33);
+        let samples = forward_sample_cases(&truth, 300, &mut rng);
+        let cases: Vec<Case> =
+            samples.iter().map(|s| Case::from_complete(s)).collect();
+        let prior = DirichletPrior::uniform(&truth, 1.0);
+        let em = fit_em(
+            &truth,
+            &cases,
+            &prior,
+            &EmConfig { max_iterations: 3, tolerance: 1e-12 },
+        )
+        .unwrap();
+        let counted =
+            crate::learn::fit_complete(&truth, &samples, &prior).unwrap();
+        for v in truth.variables() {
+            for (a, b) in em.network.cpt(v).iter().zip(counted.cpt(v)) {
+                assert!((a - b).abs() < 1e-9, "var {v}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn em_recovers_observable_margins() {
+        // Even if hidden-state semantics are unidentifiable, the fitted
+        // model must reproduce the observable joint distribution.
+        let truth = hidden_chain();
+        let mut rng = StdRng::seed_from_u64(55);
+        let samples = forward_sample_cases(&truth, 4000, &mut rng);
+        let hidden = truth.var("hidden").unwrap();
+        let obs1 = truth.var("obs1").unwrap();
+        let obs2 = truth.var("obs2").unwrap();
+        let cases: Vec<Case> = samples
+            .iter()
+            .map(|s| {
+                Case::from_pairs([(obs1, s[obs1.index()]), (obs2, s[obs2.index()])])
+            })
+            .collect();
+        let start = perturbed(&truth);
+        let out = fit_em(
+            &start,
+            &cases,
+            &DirichletPrior::uniform(&start, 0.1),
+            &EmConfig { max_iterations: 200, tolerance: 1e-10 },
+        )
+        .unwrap();
+        // Compare fitted P(obs1, obs2) with the empirical joint.
+        let jt = JunctionTree::compile(&out.network).unwrap();
+        let cal = jt.propagate(&crate::Evidence::new()).unwrap();
+        let ve = crate::VariableElimination::new(&out.network);
+        let joint = ve
+            .joint_marginal(&crate::Evidence::new(), &[obs1, obs2])
+            .unwrap();
+        let _ = cal;
+        let mut empirical = [[0.0f64; 2]; 2];
+        for s in &samples {
+            empirical[s[obs1.index()]][s[obs2.index()]] += 1.0 / samples.len() as f64;
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                let fitted = joint.values()[joint.index_of(&[i, j]).unwrap()];
+                assert!(
+                    (fitted - empirical[i][j]).abs() < 0.02,
+                    "P(obs1={i}, obs2={j}): fitted {fitted} vs empirical {}",
+                    empirical[i][j]
+                );
+            }
+        }
+        let _ = hidden;
+    }
+
+    #[test]
+    fn em_rejects_empty_cases() {
+        let net = hidden_chain();
+        assert!(matches!(
+            fit_em(&net, &[], &DirichletPrior::zero(&net), &EmConfig::default()),
+            Err(Error::NoCases)
+        ));
+    }
+
+    #[test]
+    fn em_skips_impossible_cases() {
+        // Deterministic CPT makes obs1=1 impossible when hidden=0 is forced
+        // by another deterministic observation path.
+        let mut b = NetworkBuilder::new();
+        let h = b.variable("h", ["0", "1"]).unwrap();
+        let o = b.variable("o", ["0", "1"]).unwrap();
+        b.prior(h, [1.0, 0.0]).unwrap();
+        b.cpt(o, [h], [[1.0, 0.0], [0.0, 1.0]]).unwrap();
+        let net = b.build().unwrap();
+        let cases = vec![
+            Case::from_pairs([(o, 0)]),
+            Case::from_pairs([(o, 1)]), // impossible: P(o=1) = 0
+        ];
+        let out = fit_em(
+            &net,
+            &cases,
+            &DirichletPrior::zero(&net),
+            &EmConfig { max_iterations: 2, tolerance: 1e-9 },
+        )
+        .unwrap();
+        assert_eq!(out.skipped_cases, 1);
+    }
+}

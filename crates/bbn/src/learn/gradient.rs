@@ -1,0 +1,360 @@
+//! Conjugate-gradient parameter learning — the alternative algorithm the
+//! paper names next to EM (§III-A.2, citing Hastie et al.).
+//!
+//! CPT rows are reparameterised through a softmax so the ascent is
+//! unconstrained; the objective is the MAP log-posterior (observed-data
+//! log-likelihood plus Dirichlet log-prior). Search directions follow
+//! Polak–Ribière with automatic restarts, and steps are chosen by a
+//! backtracking Armijo line search.
+
+use crate::error::{Error, Result};
+use crate::infer::JunctionTree;
+use crate::learn::counts::{Case, DirichletPrior};
+use crate::learn::em::expected_statistics;
+use crate::network::Network;
+
+/// Knobs for [`fit_conjugate_gradient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgConfig {
+    /// Hard iteration cap (one line search per iteration).
+    pub max_iterations: usize,
+    /// Relative tolerance on the objective for convergence.
+    pub tolerance: f64,
+    /// Initial step length tried by the line search.
+    pub initial_step: f64,
+    /// Multiplicative backtracking factor in `(0, 1)`.
+    pub backtrack: f64,
+    /// Armijo sufficient-decrease constant.
+    pub armijo: f64,
+    /// Maximum backtracking attempts per line search.
+    pub max_backtracks: usize,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        CgConfig {
+            max_iterations: 60,
+            tolerance: 1e-6,
+            initial_step: 1.0,
+            backtrack: 0.5,
+            armijo: 1e-4,
+            max_backtracks: 30,
+        }
+    }
+}
+
+/// The result of a conjugate-gradient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOutcome {
+    /// Network with the fitted CPTs.
+    pub network: Network,
+    /// MAP objective after each accepted step.
+    pub objective_trace: Vec<f64>,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// `true` when the objective change fell below tolerance.
+    pub converged: bool,
+}
+
+/// Flattened softmax parameters: one entry per CPT cell, grouped per row.
+#[derive(Debug, Clone)]
+struct Params {
+    /// Per variable: flat table of logits, CPT layout.
+    eta: Vec<Vec<f64>>,
+}
+
+impl Params {
+    fn from_network(net: &Network) -> Self {
+        Params {
+            eta: net
+                .variables()
+                .map(|v| net.cpt(v).iter().map(|p| p.max(1e-12).ln()).collect())
+                .collect(),
+        }
+    }
+
+    /// Writes softmaxed CPTs into `net`.
+    fn install(&self, net: &mut Network) -> Result<()> {
+        for (i, table) in self.eta.iter().enumerate() {
+            let var = crate::network::VarId::from_index(i);
+            let card = net.card(var);
+            let mut cpt = vec![0.0; table.len()];
+            for (r, row) in table.chunks(card).enumerate() {
+                let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut z = 0.0;
+                for (k, &l) in row.iter().enumerate() {
+                    let e = (l - m).exp();
+                    cpt[r * card + k] = e;
+                    z += e;
+                }
+                for k in 0..card {
+                    cpt[r * card + k] /= z;
+                }
+            }
+            net.set_cpt_values(var, cpt)?;
+        }
+        Ok(())
+    }
+
+    fn axpy(&mut self, alpha: f64, dir: &[Vec<f64>]) {
+        for (table, d) in self.eta.iter_mut().zip(dir) {
+            for (x, g) in table.iter_mut().zip(d) {
+                *x += alpha * g;
+            }
+        }
+    }
+}
+
+fn dot(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| x.iter().zip(y).map(|(p, q)| p * q).sum::<f64>())
+        .sum()
+}
+
+/// Objective and gradient at the current parameters.
+///
+/// The gradient of the MAP objective w.r.t. a row's logits is
+/// `(EC + α) − Σ(EC + α) · softmax(η)`, where `EC` are the expected family
+/// counts produced by one junction-tree E-step.
+fn objective_and_gradient(
+    net: &Network,
+    cases: &[Case],
+    prior: &DirichletPrior,
+) -> Result<(f64, Vec<Vec<f64>>)> {
+    let jt = JunctionTree::compile(net)?;
+    let (stats, log_likelihood, _skipped) = expected_statistics(&jt, cases)?;
+    let objective = log_likelihood + prior.log_density(net);
+    let mut grad: Vec<Vec<f64>> = Vec::with_capacity(net.var_count());
+    for var in net.variables() {
+        let card = net.card(var);
+        let counts = stats.counts(var);
+        let pseudo = prior.pseudo(var);
+        let theta = net.cpt(var);
+        let mut g = vec![0.0; counts.len()];
+        for r in 0..counts.len() / card {
+            let lo = r * card;
+            let hi = lo + card;
+            let total: f64 =
+                counts[lo..hi].iter().zip(&pseudo[lo..hi]).map(|(c, a)| c + a).sum();
+            for k in lo..hi {
+                g[k] = (counts[k] + pseudo[k]) - total * theta[k];
+            }
+        }
+        grad.push(g);
+    }
+    Ok((objective, grad))
+}
+
+/// Fits CPTs by conjugate-gradient ascent on the MAP objective.
+///
+/// # Errors
+///
+/// Returns [`Error::NoCases`] for an empty case list and propagates shape
+/// errors. A line search that cannot make progress terminates the run with
+/// `converged = true` at the best point found (the gradient is numerically
+/// zero there).
+pub fn fit_conjugate_gradient(
+    net: &Network,
+    cases: &[Case],
+    prior: &DirichletPrior,
+    config: &CgConfig,
+) -> Result<CgOutcome> {
+    if cases.is_empty() {
+        return Err(Error::NoCases);
+    }
+    prior.validate(net)?;
+    let mut current = net.clone();
+    let mut params = Params::from_network(&current);
+    params.install(&mut current)?;
+
+    let (mut objective, mut grad) = objective_and_gradient(&current, cases, prior)?;
+    let mut direction = grad.clone();
+    let mut trace = vec![objective];
+    let mut converged = false;
+    let mut iterations = 0usize;
+
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        let g_dot_d = dot(&grad, &direction);
+        // Restart on a non-ascent direction.
+        let (g_dot_d, used_dir) = if g_dot_d <= 0.0 {
+            direction = grad.clone();
+            (dot(&grad, &grad), &direction)
+        } else {
+            (g_dot_d, &direction)
+        };
+        if g_dot_d.sqrt() < 1e-12 {
+            converged = true;
+            break;
+        }
+
+        // Backtracking Armijo line search.
+        let mut step = config.initial_step;
+        let mut accepted = None;
+        for _ in 0..config.max_backtracks {
+            let mut trial_params = params.clone();
+            trial_params.axpy(step, used_dir);
+            let mut trial_net = current.clone();
+            trial_params.install(&mut trial_net)?;
+            let (trial_obj, trial_grad) =
+                objective_and_gradient(&trial_net, cases, prior)?;
+            if trial_obj >= objective + config.armijo * step * g_dot_d {
+                accepted = Some((trial_params, trial_net, trial_obj, trial_grad));
+                break;
+            }
+            step *= config.backtrack;
+        }
+        let Some((new_params, new_net, new_obj, new_grad)) = accepted else {
+            converged = true; // no ascent possible — stationary point
+            break;
+        };
+
+        // Polak–Ribière coefficient.
+        let gg = dot(&grad, &grad);
+        let mut beta = if gg > 0.0 {
+            (dot(&new_grad, &new_grad) - dot(&new_grad, &grad)) / gg
+        } else {
+            0.0
+        };
+        if !beta.is_finite() || beta < 0.0 {
+            beta = 0.0;
+        }
+        for (d, g) in direction.iter_mut().zip(&new_grad) {
+            for (dv, gv) in d.iter_mut().zip(g) {
+                *dv = gv + beta * *dv;
+            }
+        }
+
+        let improvement = new_obj - objective;
+        params = new_params;
+        current = new_net;
+        grad = new_grad;
+        objective = new_obj;
+        trace.push(objective);
+
+        if improvement.abs() <= config.tolerance * (1.0 + objective.abs()) {
+            converged = true;
+            break;
+        }
+    }
+
+    Ok(CgOutcome { network: current, objective_trace: trace, iterations, converged })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::forward_sample_cases;
+    use crate::learn::{fit_em, EmConfig};
+    use crate::network::NetworkBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hidden_chain() -> Network {
+        let mut b = NetworkBuilder::new();
+        let hidden = b.variable("hidden", ["0", "1"]).unwrap();
+        let obs1 = b.variable("obs1", ["0", "1"]).unwrap();
+        let obs2 = b.variable("obs2", ["0", "1"]).unwrap();
+        b.prior(hidden, [0.6, 0.4]).unwrap();
+        b.cpt(obs1, [hidden], [[0.9, 0.1], [0.2, 0.8]]).unwrap();
+        b.cpt(obs2, [hidden], [[0.8, 0.2], [0.3, 0.7]]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn observed_cases(net: &Network, n: usize, seed: u64) -> Vec<Case> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = forward_sample_cases(net, n, &mut rng);
+        let hidden = net.var("hidden").unwrap();
+        samples
+            .iter()
+            .map(|s| {
+                Case::from_pairs(
+                    net.variables().filter(|v| *v != hidden).map(|v| (v, s[v.index()])),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cg_objective_is_nondecreasing() {
+        let net = hidden_chain();
+        let cases = observed_cases(&net, 200, 9);
+        let out = fit_conjugate_gradient(
+            &net,
+            &cases,
+            &DirichletPrior::uniform(&net, 0.5),
+            &CgConfig { max_iterations: 25, ..CgConfig::default() },
+        )
+        .unwrap();
+        for pair in out.objective_trace.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-9, "objective fell: {pair:?}");
+        }
+        assert!(out.iterations >= 1);
+    }
+
+    #[test]
+    fn cg_and_em_reach_similar_likelihood() {
+        let net = hidden_chain();
+        let cases = observed_cases(&net, 300, 17);
+        let prior = DirichletPrior::uniform(&net, 0.5);
+        let em = fit_em(
+            &net,
+            &cases,
+            &prior,
+            &EmConfig { max_iterations: 200, tolerance: 1e-10 },
+        )
+        .unwrap();
+        let cg = fit_conjugate_gradient(
+            &net,
+            &cases,
+            &prior,
+            &CgConfig { max_iterations: 200, tolerance: 1e-10, ..CgConfig::default() },
+        )
+        .unwrap();
+        let jt_em = JunctionTree::compile(&em.network).unwrap();
+        let jt_cg = JunctionTree::compile(&cg.network).unwrap();
+        let (_, ll_em, _) = expected_statistics(&jt_em, &cases).unwrap();
+        let (_, ll_cg, _) = expected_statistics(&jt_cg, &cases).unwrap();
+        // Both optimise the same bowl; they should agree within a hair.
+        assert!(
+            (ll_em - ll_cg).abs() < 0.05 * (1.0 + ll_em.abs()) * 0.05 + 2.0,
+            "EM ll {ll_em} vs CG ll {ll_cg}"
+        );
+    }
+
+    #[test]
+    fn cg_rejects_empty_cases() {
+        let net = hidden_chain();
+        assert!(matches!(
+            fit_conjugate_gradient(
+                &net,
+                &[],
+                &DirichletPrior::zero(&net),
+                &CgConfig::default()
+            ),
+            Err(Error::NoCases)
+        ));
+    }
+
+    #[test]
+    fn cg_fitted_cpts_are_valid() {
+        let net = hidden_chain();
+        let cases = observed_cases(&net, 100, 3);
+        let out = fit_conjugate_gradient(
+            &net,
+            &cases,
+            &DirichletPrior::uniform(&net, 1.0),
+            &CgConfig { max_iterations: 10, ..CgConfig::default() },
+        )
+        .unwrap();
+        for v in out.network.variables() {
+            let card = out.network.card(v);
+            for row in out.network.cpt(v).chunks(card) {
+                let sum: f64 = row.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-6);
+                assert!(row.iter().all(|&p| p >= 0.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Parameter learning: sufficient statistics with Dirichlet priors,
+//! complete-data fitting, expectation–maximisation for hidden variables,
+//! and a conjugate-gradient alternative (the two algorithms the paper names
+//! in §III-A.2).
+
+mod counts;
+mod em;
+mod gradient;
+
+pub use counts::{fit_complete, Case, DirichletPrior, SuffStats};
+pub use em::{expected_statistics, fit_em, EmConfig, EmOutcome};
+pub use gradient::{fit_conjugate_gradient, CgConfig, CgOutcome};

@@ -1,0 +1,62 @@
+//! # abbd-bbn — Bayesian belief networks for analogue-circuit diagnosis
+//!
+//! A self-contained discrete Bayesian-network engine: structure building,
+//! exact inference (variable elimination and junction trees), approximate
+//! inference (forward sampling, likelihood weighting, Gibbs), MPE/MAP
+//! queries, and parameter learning (complete-data counting, EM and
+//! conjugate gradient, all with Dirichlet priors).
+//!
+//! The crate replaces the commercial Netica engine used by *Block-Level
+//! Bayesian Diagnosis of Analogue Electronic Circuits* (DATE 2010): the
+//! diagnosis core compiles a circuit model into a [`Network`], enters the
+//! measured block states as [`Evidence`], and reads back posteriors from a
+//! [`JunctionTree`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), abbd_bbn::Error> {
+//! use abbd_bbn::{Evidence, JunctionTree, NetworkBuilder};
+//!
+//! // A two-block toy circuit: a bias block drives an output block.
+//! let mut b = NetworkBuilder::new();
+//! let bias = b.variable("bias", ["dead", "ok"])?;
+//! let output = b.variable("output", ["fail", "pass"])?;
+//! b.prior(bias, [0.1, 0.9])?;
+//! b.cpt(output, [bias], [[0.95, 0.05], [0.2, 0.8]])?;
+//! let net = b.build()?;
+//!
+//! // The tester saw the output failing — how is the bias block doing?
+//! let mut seen = Evidence::new();
+//! seen.observe(output, 0);
+//! let jt = JunctionTree::compile(&net)?;
+//! let posterior = jt.propagate(&seen)?.posterior(bias)?;
+//! assert!(posterior[0] > 0.3); // the failure implicates the bias block
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpt;
+mod error;
+mod evidence;
+mod factor;
+pub mod graph;
+mod infer;
+pub mod learn;
+mod network;
+mod query;
+
+pub use error::{Error, Result};
+pub use evidence::Evidence;
+pub use factor::{Factor, MaxOut};
+pub use graph::{d_separated, moral_graph, OrderingHeuristic, UndirectedGraph};
+pub use infer::{
+    enumerate_posteriors, forward_sample, forward_sample_cases, likelihood_weighting,
+    CalibratedTree, GibbsSampler, JunctionTree, JunctionTreeStats, Posteriors,
+    VariableElimination,
+};
+pub use network::{Network, NetworkBuilder, VarId};
+pub use query::{map_query, most_probable_explanation, Explanation};

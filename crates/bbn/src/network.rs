@@ -1,0 +1,682 @@
+//! Bayesian-network structure and conditional probability tables.
+
+use crate::error::{Error, Result};
+use crate::factor::Factor;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Opaque handle to a network variable (a *model variable* in the paper's
+/// terminology — one per functional block or stimulus pin).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Builds a `VarId` from a raw index. Chiefly useful in tests and when
+    /// constructing free-standing [`Factor`]s.
+    pub fn from_index(index: usize) -> Self {
+        VarId(index as u32)
+    }
+
+    /// The underlying index into the network's variable list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One variable: name, state labels, parent set and CPT.
+///
+/// The CPT is stored flat: for each parent configuration (mixed-radix index
+/// over the parents in declared order, **last parent fastest**), a
+/// probability distribution over the variable's own states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Node {
+    name: String,
+    states: Vec<String>,
+    parents: Vec<VarId>,
+    cpt: Vec<f64>,
+}
+
+/// Incremental constructor for [`Network`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), abbd_bbn::Error> {
+/// use abbd_bbn::NetworkBuilder;
+///
+/// let mut b = NetworkBuilder::new();
+/// let rain = b.variable("rain", ["no", "yes"])?;
+/// let grass = b.variable("wet_grass", ["dry", "wet"])?;
+/// b.prior(rain, [0.8, 0.2])?;
+/// b.cpt(grass, [rain], [[0.9, 0.1], [0.2, 0.8]])?;
+/// let net = b.build()?;
+/// assert_eq!(net.var_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetworkBuilder {
+    nodes: Vec<Node>,
+    by_name: HashMap<String, VarId>,
+    cpt_set: Vec<bool>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a variable with the given state labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DuplicateVariable`] for a repeated name and
+    /// [`Error::TooFewStates`] when fewer than two states are given.
+    pub fn variable<N, S, I>(&mut self, name: N, states: I) -> Result<VarId>
+    where
+        N: Into<String>,
+        S: Into<String>,
+        I: IntoIterator<Item = S>,
+    {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(Error::DuplicateVariable(name));
+        }
+        let states: Vec<String> = states.into_iter().map(Into::into).collect();
+        if states.len() < 2 {
+            return Err(Error::TooFewStates { variable: name, states: states.len() });
+        }
+        let id = VarId(self.nodes.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.nodes.push(Node { name, states, parents: Vec::new(), cpt: Vec::new() });
+        self.cpt_set.push(false);
+        Ok(id)
+    }
+
+    /// Sets a root (parentless) variable's prior distribution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same validation as [`NetworkBuilder::cpt`].
+    pub fn prior<I>(&mut self, var: VarId, dist: I) -> Result<()>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let values: Vec<f64> = dist.into_iter().collect();
+        self.cpt_flat(var, [], values)
+    }
+
+    /// Sets the CPT of `var` given `parents`, one row per parent
+    /// configuration (last parent fastest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCpt`] when the row count or row lengths do not
+    /// match, rows do not sum to one, or entries are negative.
+    pub fn cpt<P, R, V>(&mut self, var: VarId, parents: P, rows: R) -> Result<()>
+    where
+        P: IntoIterator<Item = VarId>,
+        R: IntoIterator<Item = V>,
+        V: IntoIterator<Item = f64>,
+    {
+        let flat: Vec<f64> = rows.into_iter().flat_map(|r| r.into_iter()).collect();
+        self.cpt_flat(var, parents, flat)
+    }
+
+    /// Sets the CPT of `var` from an already-flat table.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetworkBuilder::cpt`].
+    pub fn cpt_flat<P>(&mut self, var: VarId, parents: P, values: Vec<f64>) -> Result<()>
+    where
+        P: IntoIterator<Item = VarId>,
+    {
+        let parents: Vec<VarId> = parents.into_iter().collect();
+        let n = self.nodes.len();
+        if var.index() >= n {
+            return Err(Error::UnknownVariable(format!("{var}")));
+        }
+        for p in &parents {
+            if p.index() >= n {
+                return Err(Error::UnknownVariable(format!("{p}")));
+            }
+            if *p == var {
+                return Err(Error::CycleDetected(self.nodes[var.index()].name.clone()));
+            }
+        }
+        for (i, p) in parents.iter().enumerate() {
+            if parents[i + 1..].contains(p) {
+                return Err(Error::InvalidCpt {
+                    variable: self.nodes[var.index()].name.clone(),
+                    reason: format!("parent `{}` repeated", self.nodes[p.index()].name),
+                });
+            }
+        }
+        let card = self.nodes[var.index()].states.len();
+        let configs: usize =
+            parents.iter().map(|p| self.nodes[p.index()].states.len()).product();
+        validate_cpt(&self.nodes[var.index()].name, card, configs, &values)?;
+        let node = &mut self.nodes[var.index()];
+        node.parents = parents;
+        node.cpt = values;
+        self.cpt_set[var.index()] = true;
+        Ok(())
+    }
+
+    /// Looks up a previously declared variable by name.
+    pub fn var(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Finalises the network, verifying that every variable has a CPT and
+    /// that the dependency graph is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCpt`] for missing CPTs and
+    /// [`Error::CycleDetected`] for cyclic structures.
+    pub fn build(self) -> Result<Network> {
+        for (i, set) in self.cpt_set.iter().enumerate() {
+            if !set {
+                return Err(Error::InvalidCpt {
+                    variable: self.nodes[i].name.clone(),
+                    reason: "no CPT was set".into(),
+                });
+            }
+        }
+        let net = Network::from_nodes(self.nodes, self.by_name)?;
+        Ok(net)
+    }
+}
+
+/// A validated discrete Bayesian network: an acyclic directed graph of
+/// variables, each with a conditional probability table.
+///
+/// `Network` is immutable except for [`Network::set_cpt_values`], which
+/// parameter-learning algorithms use to install refreshed tables without
+/// touching the structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    nodes: Vec<Node>,
+    by_name: HashMap<String, VarId>,
+    children: Vec<Vec<VarId>>,
+    topo: Vec<VarId>,
+}
+
+impl Network {
+    fn from_nodes(nodes: Vec<Node>, by_name: HashMap<String, VarId>) -> Result<Self> {
+        let n = nodes.len();
+        let mut children: Vec<Vec<VarId>> = vec![Vec::new(); n];
+        for (i, node) in nodes.iter().enumerate() {
+            for p in &node.parents {
+                children[p.index()].push(VarId(i as u32));
+            }
+        }
+        // Kahn's algorithm for a topological order; also detects cycles.
+        let mut indegree: Vec<usize> = nodes.iter().map(|nd| nd.parents.len()).collect();
+        let mut queue: Vec<VarId> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(|i| VarId(i as u32))
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            topo.push(v);
+            for &c in &children[v.index()] {
+                indegree[c.index()] -= 1;
+                if indegree[c.index()] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if topo.len() != n {
+            let stuck = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .map(|i| nodes[i].name.clone())
+                .unwrap_or_default();
+            return Err(Error::CycleDetected(stuck));
+        }
+        Ok(Network { nodes, by_name, children, topo })
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterator over all variable handles in declaration order.
+    pub fn variables(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.nodes.len()).map(|i| VarId(i as u32))
+    }
+
+    /// Looks up a variable by name.
+    pub fn var(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Like [`Network::var`] but returns an error mentioning the name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownVariable`].
+    pub fn require_var(&self, name: &str) -> Result<VarId> {
+        self.var(name).ok_or_else(|| Error::UnknownVariable(name.into()))
+    }
+
+    fn node(&self, var: VarId) -> &Node {
+        &self.nodes[var.index()]
+    }
+
+    /// The variable's name.
+    pub fn name(&self, var: VarId) -> &str {
+        &self.node(var).name
+    }
+
+    /// The variable's state labels.
+    pub fn states(&self, var: VarId) -> &[String] {
+        &self.node(var).states
+    }
+
+    /// Number of states (cardinality).
+    pub fn card(&self, var: VarId) -> usize {
+        self.node(var).states.len()
+    }
+
+    /// Index of the named state of `var`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidEvidence`] when the label is unknown.
+    pub fn state_index(&self, var: VarId, label: &str) -> Result<usize> {
+        self.node(var)
+            .states
+            .iter()
+            .position(|s| s == label)
+            .ok_or_else(|| Error::InvalidEvidence {
+                variable: self.name(var).into(),
+                reason: format!("unknown state label `{label}`"),
+            })
+    }
+
+    /// The declared parents of `var`.
+    pub fn parents(&self, var: VarId) -> &[VarId] {
+        &self.node(var).parents
+    }
+
+    /// The children of `var` (derived at build time).
+    pub fn children(&self, var: VarId) -> &[VarId] {
+        &self.children[var.index()]
+    }
+
+    /// The family of `var`: its parents followed by the variable itself.
+    pub fn family(&self, var: VarId) -> Vec<VarId> {
+        let mut fam = self.node(var).parents.clone();
+        fam.push(var);
+        fam
+    }
+
+    /// The flat CPT of `var`: one row per parent configuration (last
+    /// parent fastest), each row a distribution over the variable's states.
+    pub fn cpt(&self, var: VarId) -> &[f64] {
+        &self.node(var).cpt
+    }
+
+    /// Number of parent configurations of `var`.
+    pub fn parent_configs(&self, var: VarId) -> usize {
+        self.node(var).parents.iter().map(|p| self.card(*p)).product()
+    }
+
+    /// The CPT row (distribution over `var`'s states) for a parent
+    /// configuration given as one state per parent, in parent order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] or [`Error::InvalidEvidence`] on a
+    /// malformed configuration.
+    pub fn cpt_row(&self, var: VarId, parent_states: &[usize]) -> Result<&[f64]> {
+        let node = self.node(var);
+        if parent_states.len() != node.parents.len() {
+            return Err(Error::ShapeMismatch {
+                expected: node.parents.len(),
+                actual: parent_states.len(),
+            });
+        }
+        let mut config = 0usize;
+        for (p, &s) in node.parents.iter().zip(parent_states) {
+            let c = self.card(*p);
+            if s >= c {
+                return Err(Error::InvalidEvidence {
+                    variable: self.name(*p).into(),
+                    reason: format!("state {s} out of range {c}"),
+                });
+            }
+            config = config * c + s;
+        }
+        let card = node.states.len();
+        Ok(&node.cpt[config * card..(config + 1) * card])
+    }
+
+    /// Replaces the CPT values of `var` without changing structure; used by
+    /// the learning algorithms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCpt`] when shape or normalisation is wrong.
+    pub fn set_cpt_values(&mut self, var: VarId, values: Vec<f64>) -> Result<()> {
+        let card = self.card(var);
+        let configs = self.parent_configs(var);
+        validate_cpt(&self.node(var).name.clone(), card, configs, &values)?;
+        self.nodes[var.index()].cpt = values;
+        Ok(())
+    }
+
+    /// The family factor of `var`: a [`Factor`] over `parents(var) ++ [var]`
+    /// holding `P(var | parents)`.
+    pub fn family_factor(&self, var: VarId) -> Factor {
+        let node = self.node(var);
+        let mut scope = node.parents.clone();
+        scope.push(var);
+        let cards: Vec<usize> = scope.iter().map(|v| self.card(*v)).collect();
+        // CPT layout (parent configs outer, child fastest) is exactly
+        // row-major over `parents ++ [var]`, so the values can be reused.
+        Factor::new(scope, cards, node.cpt.clone())
+            .expect("validated CPT always forms a well-shaped factor")
+    }
+
+    /// A topological order of the variables (parents before children).
+    pub fn topological_order(&self) -> &[VarId] {
+        &self.topo
+    }
+
+    /// Joint probability of a complete assignment (one state per variable,
+    /// in declaration order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] or [`Error::InvalidEvidence`] on a
+    /// malformed assignment.
+    pub fn joint_probability(&self, assignment: &[usize]) -> Result<f64> {
+        if assignment.len() != self.nodes.len() {
+            return Err(Error::ShapeMismatch {
+                expected: self.nodes.len(),
+                actual: assignment.len(),
+            });
+        }
+        let mut p = 1.0;
+        for v in self.variables() {
+            let parent_states: Vec<usize> =
+                self.parents(v).iter().map(|p| assignment[p.index()]).collect();
+            let row = self.cpt_row(v, &parent_states)?;
+            let s = assignment[v.index()];
+            if s >= row.len() {
+                return Err(Error::InvalidEvidence {
+                    variable: self.name(v).into(),
+                    reason: format!("state {s} out of range {}", row.len()),
+                });
+            }
+            p *= row[s];
+        }
+        Ok(p)
+    }
+
+    /// Renders the structure in Graphviz DOT syntax.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph bbn {\n  rankdir=TB;\n");
+        for v in self.variables() {
+            out.push_str(&format!("  \"{}\";\n", self.name(v)));
+        }
+        for v in self.variables() {
+            for p in self.parents(v) {
+                out.push_str(&format!("  \"{}\" -> \"{}\";\n", self.name(*p), self.name(v)));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Serialises the network to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on serialisation failure.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| Error::Io(e.to_string()))
+    }
+
+    /// Restores a network from [`Network::to_json`] output, re-validating
+    /// structure and CPTs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on parse failure or the usual validation errors.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let raw: Network = serde_json::from_str(text).map_err(|e| Error::Io(e.to_string()))?;
+        // Re-validate: rebuild derived fields instead of trusting the file.
+        let mut by_name = HashMap::new();
+        for (i, node) in raw.nodes.iter().enumerate() {
+            if by_name.insert(node.name.clone(), VarId(i as u32)).is_some() {
+                return Err(Error::DuplicateVariable(node.name.clone()));
+            }
+            let configs: usize =
+                node.parents.iter().map(|p| raw.nodes[p.index()].states.len()).product();
+            validate_cpt(&node.name, node.states.len(), configs, &node.cpt)?;
+        }
+        Network::from_nodes(raw.nodes, by_name)
+    }
+}
+
+/// Checks that `values` is a well-formed CPT: `configs` rows of `card`
+/// non-negative entries, each row summing to one (within tolerance).
+fn validate_cpt(name: &str, card: usize, configs: usize, values: &[f64]) -> Result<()> {
+    let expected = card * configs;
+    if values.len() != expected {
+        return Err(Error::InvalidCpt {
+            variable: name.into(),
+            reason: format!("expected {expected} values, got {}", values.len()),
+        });
+    }
+    for (r, row) in values.chunks(card).enumerate() {
+        let mut sum = 0.0;
+        for &v in row {
+            if !v.is_finite() || v < 0.0 {
+                return Err(Error::InvalidCpt {
+                    variable: name.into(),
+                    reason: format!("row {r} has non-finite or negative entry {v}"),
+                });
+            }
+            sum += v;
+        }
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(Error::InvalidCpt {
+                variable: name.into(),
+                reason: format!("row {r} sums to {sum}, expected 1"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic sprinkler network used across this crate's tests.
+    pub(crate) fn sprinkler() -> Network {
+        let mut b = NetworkBuilder::new();
+        let cloudy = b.variable("cloudy", ["no", "yes"]).unwrap();
+        let sprinkler = b.variable("sprinkler", ["off", "on"]).unwrap();
+        let rain = b.variable("rain", ["no", "yes"]).unwrap();
+        let wet = b.variable("wet", ["dry", "wet"]).unwrap();
+        b.prior(cloudy, [0.5, 0.5]).unwrap();
+        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]]).unwrap();
+        b.cpt(rain, [cloudy], [[0.8, 0.2], [0.2, 0.8]]).unwrap();
+        b.cpt(
+            wet,
+            [sprinkler, rain],
+            [[1.0, 0.0], [0.1, 0.9], [0.1, 0.9], [0.01, 0.99]],
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let net = sprinkler();
+        assert_eq!(net.var_count(), 4);
+        let wet = net.var("wet").unwrap();
+        assert_eq!(net.name(wet), "wet");
+        assert_eq!(net.states(wet), &["dry".to_string(), "wet".to_string()]);
+        assert_eq!(net.card(wet), 2);
+        assert_eq!(net.parents(wet).len(), 2);
+        assert!(net.var("nope").is_none());
+        assert!(net.require_var("nope").is_err());
+        assert_eq!(net.state_index(wet, "wet").unwrap(), 1);
+        assert!(net.state_index(wet, "soggy").is_err());
+    }
+
+    #[test]
+    fn children_are_derived() {
+        let net = sprinkler();
+        let cloudy = net.var("cloudy").unwrap();
+        let mut kids: Vec<&str> =
+            net.children(cloudy).iter().map(|v| net.name(*v)).collect();
+        kids.sort_unstable();
+        assert_eq!(kids, vec!["rain", "sprinkler"]);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let net = sprinkler();
+        let order = net.topological_order();
+        let pos = |name: &str| {
+            order.iter().position(|v| net.name(*v) == name).unwrap()
+        };
+        assert!(pos("cloudy") < pos("sprinkler"));
+        assert!(pos("cloudy") < pos("rain"));
+        assert!(pos("sprinkler") < pos("wet"));
+        assert!(pos("rain") < pos("wet"));
+    }
+
+    #[test]
+    fn rejects_duplicate_and_single_state() {
+        let mut b = NetworkBuilder::new();
+        b.variable("x", ["a", "b"]).unwrap();
+        assert!(matches!(b.variable("x", ["a", "b"]), Err(Error::DuplicateVariable(_))));
+        assert!(matches!(
+            b.variable("y", ["only"]),
+            Err(Error::TooFewStates { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unnormalised_cpt() {
+        let mut b = NetworkBuilder::new();
+        let x = b.variable("x", ["a", "b"]).unwrap();
+        assert!(b.prior(x, [0.5, 0.6]).is_err());
+        assert!(b.prior(x, [0.5]).is_err());
+        assert!(b.prior(x, [-0.5, 1.5]).is_err());
+        b.prior(x, [0.25, 0.75]).unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_cpt() {
+        let mut b = NetworkBuilder::new();
+        b.variable("x", ["a", "b"]).unwrap();
+        assert!(matches!(b.build(), Err(Error::InvalidCpt { .. })));
+    }
+
+    #[test]
+    fn rejects_self_loop_and_cycle() {
+        let mut b = NetworkBuilder::new();
+        let x = b.variable("x", ["a", "b"]).unwrap();
+        assert!(b.cpt(x, [x], [[0.5, 0.5], [0.5, 0.5]]).is_err());
+
+        let mut b = NetworkBuilder::new();
+        let x = b.variable("x", ["a", "b"]).unwrap();
+        let y = b.variable("y", ["a", "b"]).unwrap();
+        b.cpt(x, [y], [[0.5, 0.5], [0.5, 0.5]]).unwrap();
+        b.cpt(y, [x], [[0.5, 0.5], [0.5, 0.5]]).unwrap();
+        assert!(matches!(b.build(), Err(Error::CycleDetected(_))));
+    }
+
+    #[test]
+    fn cpt_row_indexing() {
+        let net = sprinkler();
+        let wet = net.var("wet").unwrap();
+        // parents: sprinkler, rain; last parent fastest.
+        assert_eq!(net.cpt_row(wet, &[0, 0]).unwrap(), &[1.0, 0.0]);
+        assert_eq!(net.cpt_row(wet, &[0, 1]).unwrap(), &[0.1, 0.9]);
+        assert_eq!(net.cpt_row(wet, &[1, 0]).unwrap(), &[0.1, 0.9]);
+        assert_eq!(net.cpt_row(wet, &[1, 1]).unwrap(), &[0.01, 0.99]);
+        assert!(net.cpt_row(wet, &[0]).is_err());
+        assert!(net.cpt_row(wet, &[0, 5]).is_err());
+    }
+
+    #[test]
+    fn family_factor_matches_cpt() {
+        let net = sprinkler();
+        let wet = net.var("wet").unwrap();
+        let f = net.family_factor(wet);
+        assert_eq!(f.scope().len(), 3);
+        assert_eq!(f.values(), net.cpt(wet));
+        // Summing the child out of a CPT factor yields all-ones.
+        let ones = f.sum_out(wet).unwrap();
+        for v in ones.values() {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn joint_probability_chain_rule() {
+        let net = sprinkler();
+        // P(cloudy=1, sprinkler=0, rain=1, wet=1) = .5 * .9 * .8 * .9
+        let p = net.joint_probability(&[1, 0, 1, 1]).unwrap();
+        assert!((p - 0.5 * 0.9 * 0.8 * 0.9).abs() < 1e-12);
+        // All assignments sum to 1.
+        let mut total = 0.0;
+        for idx in 0..16 {
+            let a = [(idx >> 3) & 1, (idx >> 2) & 1, (idx >> 1) & 1, idx & 1];
+            total += net.joint_probability(&a).unwrap();
+        }
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(net.joint_probability(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn set_cpt_values_validates() {
+        let mut net = sprinkler();
+        let rain = net.var("rain").unwrap();
+        assert!(net.set_cpt_values(rain, vec![0.3, 0.7, 0.6, 0.4]).is_ok());
+        assert_eq!(net.cpt(rain), &[0.3, 0.7, 0.6, 0.4]);
+        assert!(net.set_cpt_values(rain, vec![0.3, 0.7]).is_err());
+        assert!(net.set_cpt_values(rain, vec![0.3, 0.8, 0.6, 0.4]).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let net = sprinkler();
+        let text = net.to_json().unwrap();
+        let back = Network::from_json(&text).unwrap();
+        assert_eq!(net, back);
+        assert!(Network::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn dot_mentions_every_edge() {
+        let net = sprinkler();
+        let dot = net.to_dot();
+        assert!(dot.contains("\"cloudy\" -> \"rain\""));
+        assert!(dot.contains("\"sprinkler\" -> \"wet\""));
+    }
+}

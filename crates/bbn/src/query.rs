@@ -1,0 +1,317 @@
+//! Most-probable-explanation (MPE) and maximum-a-posteriori (MAP) queries.
+
+use crate::error::{Error, Result};
+use crate::evidence::Evidence;
+use crate::factor::Factor;
+use crate::graph::{elimination_order, OrderingHeuristic, UndirectedGraph};
+use crate::infer::VariableElimination;
+use crate::network::{Network, VarId};
+
+/// The outcome of an MPE query: a complete assignment plus its log joint
+/// probability together with the evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// One state per network variable, in declaration order.
+    pub assignment: Vec<usize>,
+    /// `ln max_x P(x, e)`.
+    pub log_probability: f64,
+}
+
+/// Computes the most probable explanation: the single complete assignment
+/// maximising `P(x, e)`, via max-product variable elimination with argmax
+/// traceback.
+///
+/// # Errors
+///
+/// Returns [`Error::ImpossibleEvidence`] when `P(e) = 0`, plus evidence
+/// validation errors.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), abbd_bbn::Error> {
+/// use abbd_bbn::{most_probable_explanation, Evidence, NetworkBuilder};
+///
+/// let mut b = NetworkBuilder::new();
+/// let x = b.variable("x", ["0", "1"])?;
+/// let y = b.variable("y", ["0", "1"])?;
+/// b.prior(x, [0.7, 0.3])?;
+/// b.cpt(y, [x], [[0.9, 0.1], [0.2, 0.8]])?;
+/// let net = b.build()?;
+/// let mut e = Evidence::new();
+/// e.observe(y, 1);
+/// let mpe = most_probable_explanation(&net, &e)?;
+/// assert_eq!(mpe.assignment, vec![1, 1]); // x=1 best explains y=1
+/// # Ok(())
+/// # }
+/// ```
+pub fn most_probable_explanation(net: &Network, evidence: &Evidence) -> Result<Explanation> {
+    evidence.validate(net)?;
+
+    let mut factors: Vec<Factor> = Vec::with_capacity(net.var_count());
+    for var in net.variables() {
+        let mut f = net.family_factor(var);
+        if let Some(lik) = evidence.likelihood_of(var) {
+            f.scale_axis(var, lik)?;
+        }
+        factors.push(f);
+    }
+    for (var, state) in evidence.hard_iter() {
+        for f in &mut factors {
+            if f.contains(var) {
+                *f = f.condition(var, state)?;
+            }
+        }
+    }
+
+    let mut present = vec![false; net.var_count()];
+    for f in &factors {
+        for v in f.scope() {
+            present[v.index()] = true;
+        }
+    }
+    let targets: Vec<usize> = (0..net.var_count()).filter(|&i| present[i]).collect();
+    let mut graph = UndirectedGraph::empty(net.var_count());
+    for f in &factors {
+        let scope = f.scope();
+        for (i, a) in scope.iter().enumerate() {
+            for b in &scope[i + 1..] {
+                graph.add_edge(a.index(), b.index());
+            }
+        }
+    }
+    let topo: Vec<usize> = net.topological_order().iter().map(|v| v.index()).collect();
+    let order = elimination_order(&graph, &targets, OrderingHeuristic::MinFill, &topo);
+
+    // Eliminate with max-product, recording traceback tables.
+    struct Step {
+        var: VarId,
+        scope: Vec<VarId>,
+        cards: Vec<usize>,
+        argmax: Vec<usize>,
+    }
+    let mut steps: Vec<Step> = Vec::with_capacity(order.len());
+    for idx in &order {
+        let var = VarId::from_index(*idx);
+        let (touching, rest): (Vec<Factor>, Vec<Factor>) =
+            factors.into_iter().partition(|f| f.contains(var));
+        factors = rest;
+        let mut product = Factor::unit();
+        for f in &touching {
+            product = product.product(f);
+        }
+        let maxed = product.max_out(var)?;
+        steps.push(Step {
+            var,
+            scope: maxed.factor.scope().to_vec(),
+            cards: maxed.factor.cards().to_vec(),
+            argmax: maxed.argmax,
+        });
+        factors.push(maxed.factor);
+    }
+
+    let mut remaining = Factor::unit();
+    for f in &factors {
+        remaining = remaining.product(f);
+    }
+    let best = remaining.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if best <= 0.0 {
+        return Err(Error::ImpossibleEvidence);
+    }
+
+    // Traceback in reverse elimination order.
+    let mut assignment = vec![usize::MAX; net.var_count()];
+    for (var, state) in evidence.hard_iter() {
+        assignment[var.index()] = state;
+    }
+    for step in steps.iter().rev() {
+        let mut idx = 0usize;
+        for (pos, v) in step.scope.iter().enumerate() {
+            let s = assignment[v.index()];
+            debug_assert_ne!(s, usize::MAX, "traceback scope must already be assigned");
+            idx = idx * step.cards[pos] + s;
+        }
+        assignment[step.var.index()] = step.argmax[idx];
+    }
+    // Variables absent from every factor (fully conditioned singletons) get
+    // their CPT argmax given already-assigned parents.
+    for &var in net.topological_order() {
+        if assignment[var.index()] == usize::MAX {
+            let parent_states: Vec<usize> =
+                net.parents(var).iter().map(|p| assignment[p.index()]).collect();
+            let row = net.cpt_row(var, &parent_states)?;
+            let s = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("CPT has no NaN"))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            assignment[var.index()] = s;
+        }
+    }
+
+    Ok(Explanation { assignment, log_probability: best.ln() })
+}
+
+/// Exact MAP over a small set of `targets`: marginalises everything else
+/// out (sum-product) and maximises over the joint of the targets.
+///
+/// The runtime is exponential in `targets.len()`; intended for candidate
+/// short-lists, not whole networks.
+///
+/// # Errors
+///
+/// Propagates [`VariableElimination::joint_marginal`] errors.
+pub fn map_query(
+    net: &Network,
+    evidence: &Evidence,
+    targets: &[VarId],
+) -> Result<(Vec<usize>, f64)> {
+    let ve = VariableElimination::new(net);
+    let joint = ve.joint_marginal(evidence, targets)?;
+    let (best_idx, best_p) = joint
+        .values()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("marginal has no NaN"))
+        .map(|(i, p)| (i, *p))
+        .ok_or(Error::ImpossibleEvidence)?;
+    Ok((joint.assignment_of(best_idx), best_p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+
+    fn sprinkler() -> Network {
+        let mut b = NetworkBuilder::new();
+        let cloudy = b.variable("cloudy", ["n", "y"]).unwrap();
+        let sprinkler = b.variable("sprinkler", ["n", "y"]).unwrap();
+        let rain = b.variable("rain", ["n", "y"]).unwrap();
+        let wet = b.variable("wet", ["n", "y"]).unwrap();
+        b.prior(cloudy, [0.5, 0.5]).unwrap();
+        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]]).unwrap();
+        b.cpt(rain, [cloudy], [[0.8, 0.2], [0.2, 0.8]]).unwrap();
+        b.cpt(wet, [sprinkler, rain], [[1.0, 0.0], [0.1, 0.9], [0.1, 0.9], [0.01, 0.99]])
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    /// Brute-force MPE oracle.
+    fn brute_mpe(net: &Network, evidence: &Evidence) -> (Vec<usize>, f64) {
+        let cards: Vec<usize> = net.variables().map(|v| net.card(v)).collect();
+        let total: usize = cards.iter().product();
+        let mut best = (vec![], f64::NEG_INFINITY);
+        let mut a = vec![0usize; cards.len()];
+        for _ in 0..total {
+            let mut ok = true;
+            for (var, s) in evidence.hard_iter() {
+                if a[var.index()] != s {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                let mut p = net.joint_probability(&a).unwrap();
+                for (var, lik) in evidence.soft_iter() {
+                    p *= lik[a[var.index()]];
+                }
+                if p > best.1 {
+                    best = (a.clone(), p);
+                }
+            }
+            for pos in (0..cards.len()).rev() {
+                a[pos] += 1;
+                if a[pos] == cards[pos] {
+                    a[pos] = 0;
+                } else {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn mpe_matches_brute_force() {
+        let net = sprinkler();
+        let wet = net.var("wet").unwrap();
+        for state in [0usize, 1] {
+            let mut e = Evidence::new();
+            e.observe(wet, state);
+            let got = most_probable_explanation(&net, &e).unwrap();
+            let (expect_a, expect_p) = brute_mpe(&net, &e);
+            assert_eq!(got.assignment, expect_a, "wet={state}");
+            assert!((got.log_probability - expect_p.ln()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mpe_no_evidence() {
+        let net = sprinkler();
+        let got = most_probable_explanation(&net, &Evidence::new()).unwrap();
+        let (expect_a, expect_p) = brute_mpe(&net, &Evidence::new());
+        assert_eq!(got.assignment, expect_a);
+        assert!((got.log_probability - expect_p.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mpe_with_soft_evidence() {
+        let net = sprinkler();
+        let rain = net.var("rain").unwrap();
+        let mut e = Evidence::new();
+        e.observe_likelihood(rain, vec![0.1, 5.0]);
+        let got = most_probable_explanation(&net, &e).unwrap();
+        let (expect_a, _) = brute_mpe(&net, &e);
+        assert_eq!(got.assignment, expect_a);
+    }
+
+    #[test]
+    fn mpe_fully_observed() {
+        let net = sprinkler();
+        let mut e = Evidence::new();
+        for v in net.variables() {
+            e.observe(v, 1);
+        }
+        let got = most_probable_explanation(&net, &e).unwrap();
+        assert_eq!(got.assignment, vec![1, 1, 1, 1]);
+        let expect = net.joint_probability(&[1, 1, 1, 1]).unwrap();
+        assert!((got.log_probability - expect.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mpe_impossible_evidence() {
+        let mut b = NetworkBuilder::new();
+        let a = b.variable("a", ["0", "1"]).unwrap();
+        let c = b.variable("c", ["0", "1"]).unwrap();
+        b.prior(a, [1.0, 0.0]).unwrap();
+        b.cpt(c, [a], [[1.0, 0.0], [0.0, 1.0]]).unwrap();
+        let net = b.build().unwrap();
+        let mut e = Evidence::new();
+        e.observe(c, 1);
+        assert!(matches!(
+            most_probable_explanation(&net, &e),
+            Err(Error::ImpossibleEvidence)
+        ));
+    }
+
+    #[test]
+    fn map_query_over_pair() {
+        let net = sprinkler();
+        let s = net.var("sprinkler").unwrap();
+        let r = net.var("rain").unwrap();
+        let wet = net.var("wet").unwrap();
+        let mut e = Evidence::new();
+        e.observe(wet, 1);
+        let (states, p) = map_query(&net, &e, &[s, r]).unwrap();
+        assert_eq!(states.len(), 2);
+        assert!(p > 0.0 && p <= 1.0);
+        // MAP of a single variable equals the posterior argmax.
+        let ve = VariableElimination::new(&net);
+        let post = ve.posterior(&e, r).unwrap();
+        let (single, _) = map_query(&net, &e, &[r]).unwrap();
+        let argmax = if post[1] > post[0] { 1 } else { 0 };
+        assert_eq!(single[0], argmax);
+    }
+}

@@ -1,0 +1,331 @@
+//! Property-based tests: random networks, random factors, random evidence.
+//! Every inference engine must agree with brute-force enumeration, and the
+//! learning algorithms must respect their monotonicity contracts.
+
+use abbd_bbn::learn::{fit_complete, fit_em, Case, DirichletPrior, EmConfig};
+use abbd_bbn::{
+    enumerate_posteriors, forward_sample_cases, most_probable_explanation, Evidence,
+    Factor, JunctionTree, Network, NetworkBuilder, VarId, VariableElimination,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Recipe for a random small network: per-variable cardinalities, an edge
+/// mask over the upper triangle, and raw CPT material.
+#[derive(Debug, Clone)]
+struct NetRecipe {
+    cards: Vec<usize>,
+    edges: Vec<bool>,
+    raw: Vec<f64>,
+}
+
+fn net_recipe(max_vars: usize) -> impl Strategy<Value = NetRecipe> {
+    (2..=max_vars)
+        .prop_flat_map(|n| {
+            let pairs = n * (n - 1) / 2;
+            (
+                proptest::collection::vec(2usize..=3, n),
+                proptest::collection::vec(proptest::bool::weighted(0.45), pairs),
+                proptest::collection::vec(0.05f64..1.0, 4096),
+            )
+        })
+        .prop_map(|(cards, edges, raw)| NetRecipe { cards, edges, raw })
+}
+
+/// Materialises a recipe into a validated network. Edges always point from
+/// lower to higher index, so the result is a DAG by construction. Parent
+/// sets are capped at 3 to bound CPT sizes.
+fn build_net(recipe: &NetRecipe) -> Network {
+    let n = recipe.cards.len();
+    let mut b = NetworkBuilder::new();
+    let vars: Vec<VarId> = (0..n)
+        .map(|i| {
+            let labels: Vec<String> =
+                (0..recipe.cards[i]).map(|s| format!("s{s}")).collect();
+            b.variable(format!("x{i}"), labels).unwrap()
+        })
+        .collect();
+    let mut raw_iter = recipe.raw.iter().copied().cycle();
+    let mut edge_iter = recipe.edges.iter().copied();
+    for j in 0..n {
+        let mut parents = Vec::new();
+        for i in 0..j {
+            if edge_iter.next().unwrap_or(false) && parents.len() < 3 {
+                parents.push(vars[i]);
+            }
+        }
+        let configs: usize = parents.iter().map(|p| recipe.cards[p.index()]).product();
+        let card = recipe.cards[j];
+        let mut flat = Vec::with_capacity(configs * card);
+        for _ in 0..configs {
+            let mut row: Vec<f64> = (0..card).map(|_| raw_iter.next().unwrap()).collect();
+            let z: f64 = row.iter().sum();
+            for v in &mut row {
+                *v /= z;
+            }
+            // Compensate accumulated rounding on the last entry.
+            let err: f64 = 1.0 - row.iter().sum::<f64>();
+            *row.last_mut().unwrap() += err;
+            flat.extend(row);
+        }
+        b.cpt_flat(vars[j], parents, flat).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Random hard evidence over roughly a third of the variables.
+fn pick_evidence(net: &Network, seed: u64) -> Evidence {
+    let mut rng = StdRng::seed_from_u64(seed);
+    use rand::Rng;
+    let mut e = Evidence::new();
+    for v in net.variables() {
+        if rng.gen_bool(0.33) {
+            e.observe(v, rng.gen_range(0..net.card(v)));
+        }
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn ve_matches_enumeration(recipe in net_recipe(6), seed in 0u64..1000) {
+        let net = build_net(&recipe);
+        let evidence = pick_evidence(&net, seed);
+        let exact = enumerate_posteriors(&net, &evidence);
+        let ve = VariableElimination::new(&net).all_posteriors(&evidence);
+        match (exact, ve) {
+            (Ok(a), Ok(b)) => prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-8),
+            (Err(_), Err(_)) => {} // both reject impossible evidence
+            (a, b) => prop_assert!(false, "engines disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn jt_matches_enumeration(recipe in net_recipe(6), seed in 0u64..1000) {
+        let net = build_net(&recipe);
+        let evidence = pick_evidence(&net, seed);
+        let exact = enumerate_posteriors(&net, &evidence);
+        let jt = JunctionTree::compile(&net).unwrap();
+        let got = jt.posteriors(&evidence);
+        match (exact, got) {
+            (Ok(a), Ok(b)) => prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-8),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "engines disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn jt_and_ve_log_likelihood_agree(recipe in net_recipe(6), seed in 0u64..1000) {
+        let net = build_net(&recipe);
+        let evidence = pick_evidence(&net, seed);
+        let jt = JunctionTree::compile(&net).unwrap();
+        let ve = VariableElimination::new(&net);
+        match (jt.propagate(&evidence), ve.log_likelihood(&evidence)) {
+            (Ok(cal), Ok(ll)) => {
+                prop_assert!((cal.log_likelihood() - ll).abs() < 1e-8 * (1.0 + ll.abs()));
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn mpe_beats_or_ties_every_enumerated_assignment(
+        recipe in net_recipe(5),
+        seed in 0u64..1000,
+    ) {
+        let net = build_net(&recipe);
+        let evidence = pick_evidence(&net, seed);
+        let Ok(mpe) = most_probable_explanation(&net, &evidence) else { return Ok(()); };
+        // The claimed assignment must be consistent with the evidence...
+        for (v, s) in evidence.hard_iter() {
+            prop_assert_eq!(mpe.assignment[v.index()], s);
+        }
+        // ...achieve its claimed probability...
+        let p = net.joint_probability(&mpe.assignment).unwrap();
+        prop_assert!((p.ln() - mpe.log_probability).abs() < 1e-8);
+        // ...and dominate every consistent assignment.
+        let cards: Vec<usize> = net.variables().map(|v| net.card(v)).collect();
+        let total: usize = cards.iter().product();
+        let mut a = vec![0usize; cards.len()];
+        for _ in 0..total {
+            let consistent =
+                evidence.hard_iter().all(|(v, s)| a[v.index()] == s);
+            if consistent {
+                let q = net.joint_probability(&a).unwrap();
+                prop_assert!(q <= p + 1e-12, "found better assignment {a:?}");
+            }
+            for pos in (0..cards.len()).rev() {
+                a[pos] += 1;
+                if a[pos] == cards[pos] { a[pos] = 0; } else { break; }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_samples_have_positive_probability(
+        recipe in net_recipe(6),
+        seed in 0u64..1000,
+    ) {
+        let net = build_net(&recipe);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for s in forward_sample_cases(&net, 16, &mut rng) {
+            prop_assert!(net.joint_probability(&s).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn complete_fit_reproduces_empirical_root_margins(
+        recipe in net_recipe(5),
+        seed in 0u64..1000,
+    ) {
+        let net = build_net(&recipe);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = forward_sample_cases(&net, 256, &mut rng);
+        let fitted = fit_complete(&net, &samples, &DirichletPrior::zero(&net)).unwrap();
+        // For every root variable, the fitted prior equals the sample frequency.
+        for v in net.variables() {
+            if net.parents(v).is_empty() {
+                for s in 0..net.card(v) {
+                    let freq = samples.iter().filter(|a| a[v.index()] == s).count()
+                        as f64 / samples.len() as f64;
+                    prop_assert!((fitted.cpt(v)[s] - freq).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn em_ml_loglik_nondecreasing(recipe in net_recipe(4), seed in 0u64..500) {
+        let net = build_net(&recipe);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = forward_sample_cases(&net, 64, &mut rng);
+        // Hide variable 0 in every case.
+        let hidden = VarId::from_index(0);
+        let cases: Vec<Case> = samples
+            .iter()
+            .map(|s| Case::from_pairs(
+                net.variables().filter(|v| *v != hidden).map(|v| (v, s[v.index()])),
+            ))
+            .collect();
+        let out = fit_em(
+            &net,
+            &cases,
+            &DirichletPrior::zero(&net),
+            &EmConfig { max_iterations: 12, tolerance: 0.0 },
+        )
+        .unwrap();
+        for w in out.log_likelihood_trace.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-6, "EM decreased: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn factor_product_commutes(
+        vals_a in proptest::collection::vec(0.0f64..1.0, 6),
+        vals_b in proptest::collection::vec(0.0f64..1.0, 6),
+    ) {
+        let a = VarId::from_index(0);
+        let b = VarId::from_index(1);
+        let c = VarId::from_index(2);
+        let f = Factor::new(vec![a, b], vec![2, 3], vals_a).unwrap();
+        let g = Factor::new(vec![b, c], vec![3, 2], vals_b).unwrap();
+        let fg = f.product(&g);
+        let gf = g.product(&f).reorder(fg.scope()).unwrap();
+        for (x, y) in fg.values().iter().zip(gf.values()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn factor_sum_out_order_irrelevant(
+        vals in proptest::collection::vec(0.0f64..1.0, 12),
+    ) {
+        let a = VarId::from_index(0);
+        let b = VarId::from_index(1);
+        let c = VarId::from_index(2);
+        let f = Factor::new(vec![a, b, c], vec![2, 3, 2], vals).unwrap();
+        let ab_first = f.sum_out(a).unwrap().sum_out(b).unwrap();
+        let ba_first = f.sum_out(b).unwrap().sum_out(a).unwrap();
+        for (x, y) in ab_first.values().iter().zip(ba_first.values()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+        // Total mass is preserved by summation.
+        prop_assert!((ab_first.total() - f.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factor_product_distributes_over_sum_out(
+        vals_a in proptest::collection::vec(0.05f64..1.0, 4),
+        vals_b in proptest::collection::vec(0.05f64..1.0, 6),
+    ) {
+        // (f(a) * g(b,c)) with b summed out == f(a) * (g with b summed out):
+        // summing a variable absent from f commutes with the product.
+        let a = VarId::from_index(0);
+        let b = VarId::from_index(1);
+        let c = VarId::from_index(2);
+        let f = Factor::new(vec![a], vec![4], vals_a).unwrap();
+        let g = Factor::new(vec![b, c], vec![3, 2], vals_b).unwrap();
+        let lhs = f.product(&g).sum_out(b).unwrap();
+        let rhs = f.product(&g.sum_out(b).unwrap()).reorder(lhs.scope()).unwrap();
+        for (x, y) in lhs.values().iter().zip(rhs.values()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn network_json_roundtrip(recipe in net_recipe(6)) {
+        let net = build_net(&recipe);
+        let text = net.to_json().unwrap();
+        let back = Network::from_json(&text).unwrap();
+        prop_assert_eq!(net, back);
+    }
+
+    #[test]
+    fn d_separation_implies_numerical_independence(
+        recipe in net_recipe(5),
+        xi in 0usize..5,
+        yi in 0usize..5,
+        zmask in 0usize..32,
+        seed in 0u64..500,
+    ) {
+        let net = build_net(&recipe);
+        let n = net.var_count();
+        let x = VarId::from_index(xi % n);
+        let y = VarId::from_index(yi % n);
+        if x == y { return Ok(()); }
+        let z: Vec<VarId> = (0..n)
+            .filter(|&i| (zmask >> i) & 1 == 1)
+            .map(VarId::from_index)
+            .filter(|v| *v != x && *v != y)
+            .collect();
+        if !abbd_bbn::d_separated(&net, x, y, &z) {
+            return Ok(()); // only the implication direction is a theorem
+        }
+        // Draw a consistent assignment for Z via forward sampling so the
+        // conditional is well-defined.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = abbd_bbn::forward_sample(&net, &mut rng);
+        let mut ez = Evidence::new();
+        for &v in &z {
+            ez.observe(v, sample[v.index()]);
+        }
+        let ve = VariableElimination::new(&net);
+        let p_x = ve.posterior(&ez, x).unwrap();
+        // Condition additionally on every state of y and compare.
+        for ys in 0..net.card(y) {
+            let mut ezy = ez.clone();
+            ezy.observe(y, ys);
+            let Ok(p_x_given_y) = ve.posterior(&ezy, x) else { continue };
+            for (a, b) in p_x.iter().zip(&p_x_given_y) {
+                prop_assert!(
+                    (a - b).abs() < 1e-8,
+                    "d-separated pair is numerically dependent: {a} vs {b}"
+                );
+            }
+        }
+    }
+}

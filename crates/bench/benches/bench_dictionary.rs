@@ -1,0 +1,49 @@
+//! Baseline benchmarks: fault-dictionary build/lookup and naive-Bayes
+//! training/scoring as a function of the training-population size.
+
+use abbd_baselines::{Diagnoser, FaultDictionary, NaiveBayes};
+use abbd_designs::regulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_dictionary(c: &mut Criterion) {
+    let probe_pop = regulator::synthesize(5, 123, 9_000_000).expect("probe population");
+    let probe = abbd_baselines::group_by_device(&probe_pop.cases)
+        .into_iter()
+        .next()
+        .expect("one probe");
+
+    let mut build_group = c.benchmark_group("dictionary_build");
+    for n in [25usize, 100, 400] {
+        let pop = regulator::synthesize(n, 321, 0).expect("population");
+        let sigs = abbd_baselines::group_by_device(&pop.cases);
+        build_group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| FaultDictionary::train(black_box(&sigs)))
+        });
+    }
+    build_group.finish();
+
+    let mut lookup_group = c.benchmark_group("dictionary_lookup");
+    for n in [25usize, 100, 400] {
+        let pop = regulator::synthesize(n, 321, 0).expect("population");
+        let sigs = abbd_baselines::group_by_device(&pop.cases);
+        let dict = FaultDictionary::train(&sigs);
+        lookup_group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| dict.diagnose(black_box(&probe)))
+        });
+    }
+    lookup_group.finish();
+
+    let mut nb_group = c.benchmark_group("naive_bayes");
+    let pop = regulator::synthesize(100, 321, 0).expect("population");
+    let sigs = abbd_baselines::group_by_device(&pop.cases);
+    nb_group.bench_function("train_100", |b| {
+        b.iter(|| NaiveBayes::train(black_box(&sigs), 1.0))
+    });
+    let nb = NaiveBayes::train(&sigs, 1.0);
+    nb_group.bench_function("score_one", |b| b.iter(|| nb.diagnose(black_box(&probe))));
+    nb_group.finish();
+}
+
+criterion_group!(benches, bench_dictionary);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Inference-engine benchmarks: posterior queries on the regulator network
+//! and on synthetic chains, comparing variable elimination, junction-tree
+//! propagation and likelihood weighting (the Netica-replacement cost).
+
+use abbd_bbn::{
+    likelihood_weighting, Evidence, JunctionTree, Network, NetworkBuilder,
+    VariableElimination,
+};
+use abbd_designs::regulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// The fitted regulator network plus the d1 evidence set.
+fn regulator_setup() -> (Network, Evidence) {
+    let fitted = regulator::fit(30, 2010, regulator::default_algorithm())
+        .expect("pipeline runs");
+    let net = fitted.engine.model().network().clone();
+    let case = &regulator::cases::case_studies()[0];
+    let evidence = fitted
+        .engine
+        .evidence_from(&case.observation())
+        .expect("evidence maps");
+    (net, evidence)
+}
+
+/// A binary chain x0 -> x1 -> ... -> x{n-1}.
+fn chain(n: usize) -> Network {
+    let mut b = NetworkBuilder::new();
+    let mut prev = b.variable("x0", ["0", "1"]).unwrap();
+    b.prior(prev, [0.6, 0.4]).unwrap();
+    for i in 1..n {
+        let v = b.variable(format!("x{i}"), ["0", "1"]).unwrap();
+        b.cpt(v, [prev], [[0.9, 0.1], [0.2, 0.8]]).unwrap();
+        prev = v;
+    }
+    b.build().unwrap()
+}
+
+fn bench_regulator_inference(c: &mut Criterion) {
+    let (net, evidence) = regulator_setup();
+    let mut group = c.benchmark_group("regulator_posteriors");
+
+    group.bench_function("variable_elimination_all", |b| {
+        let ve = VariableElimination::new(&net);
+        b.iter(|| ve.all_posteriors(black_box(&evidence)).unwrap())
+    });
+    group.bench_function("junction_tree_compile", |b| {
+        b.iter(|| JunctionTree::compile(black_box(&net)).unwrap())
+    });
+    group.bench_function("junction_tree_propagate", |b| {
+        let jt = JunctionTree::compile(&net).unwrap();
+        b.iter(|| jt.posteriors(black_box(&evidence)).unwrap())
+    });
+    group.bench_function("likelihood_weighting_2k", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| likelihood_weighting(&net, black_box(&evidence), 2_000, &mut rng).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_chain_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_posteriors");
+    for n in [10usize, 40, 160] {
+        let net = chain(n);
+        let mut evidence = Evidence::new();
+        evidence.observe(net.var(&format!("x{}", n - 1)).unwrap(), 1);
+        group.bench_with_input(BenchmarkId::new("junction_tree", n), &n, |b, _| {
+            let jt = JunctionTree::compile(&net).unwrap();
+            b.iter(|| jt.posteriors(black_box(&evidence)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ve_single_query", n), &n, |b, _| {
+            let ve = VariableElimination::new(&net);
+            let x0 = net.var("x0").unwrap();
+            b.iter(|| ve.posterior(black_box(&evidence), x0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regulator_inference, bench_chain_scaling);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Learning benchmarks: EM iterations and complete-data counting on the
+//! regulator cases, plus the conjugate-gradient alternative.
+
+use abbd_bbn::learn::{
+    fit_complete, fit_conjugate_gradient, fit_em, Case, CgConfig, DirichletPrior,
+    EmConfig,
+};
+use abbd_bbn::{forward_sample_cases, Network};
+use abbd_core::ModelBuilder;
+use abbd_designs::regulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup() -> (Network, Vec<Case>) {
+    let rig = regulator::rig();
+    let population = regulator::synthesize(70, 2010, 0).expect("population");
+    let network = ModelBuilder::new(rig.model.clone())
+        .with_expert(rig.expert.clone())
+        .build_network()
+        .expect("network builds");
+    let cases: Vec<Case> = population
+        .cases
+        .iter()
+        .map(|c| {
+            Case::from_pairs(c.assignment.iter().map(|(name, state)| {
+                (network.var(name).expect("case variables exist"), *state)
+            }))
+        })
+        .collect();
+    (network, cases)
+}
+
+fn bench_em(c: &mut Criterion) {
+    let (network, cases) = setup();
+    let prior = DirichletPrior::from_network(&network, regulator::DEFAULT_ESS);
+    let mut group = c.benchmark_group("regulator_learning");
+    group.sample_size(10);
+    for iters in [1usize, 5] {
+        group.bench_with_input(BenchmarkId::new("em", iters), &iters, |b, &iters| {
+            b.iter(|| {
+                fit_em(
+                    black_box(&network),
+                    black_box(&cases),
+                    &prior,
+                    &EmConfig { max_iterations: iters, tolerance: 0.0 },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.bench_function("conjugate_gradient_3", |b| {
+        b.iter(|| {
+            fit_conjugate_gradient(
+                black_box(&network),
+                black_box(&cases),
+                &prior,
+                &CgConfig { max_iterations: 3, ..CgConfig::default() },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_complete_counting(c: &mut Criterion) {
+    let (network, _) = setup();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("complete_data_counting");
+    for n in [100usize, 1_000, 10_000] {
+        let samples = forward_sample_cases(&network, n, &mut rng);
+        let prior = DirichletPrior::uniform(&network, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| fit_complete(black_box(&network), black_box(&samples), &prior).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_em, bench_complete_counting);
+criterion_main!(benches);

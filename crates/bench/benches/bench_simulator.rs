@@ -1,0 +1,70 @@
+//! Circuit-simulator benchmarks: fixed-point solves and Monte-Carlo
+//! population generation.
+
+use abbd_blocks::{
+    sample_defective_devices, sample_good_devices, Device, SimConfig, Simulator,
+    Stimulus,
+};
+use abbd_designs::regulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn nominal_stimulus(circuit: &abbd_blocks::Circuit) -> Stimulus {
+    let mut s = Stimulus::new();
+    for (net, volts) in [
+        ("vp1", 12.0),
+        ("vp1x", 15.0),
+        ("vp2", 8.0),
+        ("enb13_pin", 1.2),
+        ("enb4_pin", 1.2),
+        ("enbsw_pin", 1.2),
+    ] {
+        s.force(circuit.find_net(net).unwrap(), volts);
+    }
+    s
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let rig = regulator::rig();
+    let sim = Simulator::new(&rig.circuit, SimConfig::default());
+    let stimulus = nominal_stimulus(&rig.circuit);
+    let golden = Device::golden(&rig.circuit);
+    let mut rng = StdRng::seed_from_u64(8);
+    let faulty =
+        sample_defective_devices(&rig.circuit, &rig.universe, 1, 0, &mut rng)
+            .into_iter()
+            .next()
+            .expect("one device");
+
+    let mut group = c.benchmark_group("dc_solve");
+    group.bench_function("golden", |b| {
+        b.iter(|| sim.solve(black_box(&golden), black_box(&stimulus)).unwrap())
+    });
+    group.bench_function("faulty", |b| {
+        b.iter(|| sim.solve(black_box(&faulty), black_box(&stimulus)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_population(c: &mut Criterion) {
+    let rig = regulator::rig();
+    let mut group = c.benchmark_group("population_sampling");
+    for n in [10usize, 100, 1_000] {
+        group.bench_with_input(BenchmarkId::new("good", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sample_good_devices(&rig.circuit, n, 0, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("defective", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                sample_defective_devices(&rig.circuit, &rig.universe, n, 0, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_population);
+criterion_main!(benches);

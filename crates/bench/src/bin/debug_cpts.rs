@@ -1,0 +1,39 @@
+//! Developer utility: prints the learned CPT rows of the latent chain to
+//! understand the EM equilibrium. Not part of the paper's tables.
+
+use abbd_core::LearnAlgorithm;
+use abbd_designs::regulator;
+
+fn main() {
+    let fitted = regulator::fit(70, 2010, LearnAlgorithm::default()).expect("pipeline");
+    let net = fitted.engine.model().network();
+    for name in ["vx", "enblSen", "hcbg", "warnvpst", "enb13", "enbsw", "lcbg", "sw"] {
+        let var = net.var(name).unwrap();
+        let parents: Vec<&str> =
+            net.parents(var).iter().map(|p| net.name(*p)).collect();
+        println!("\n{name} | {}", parents.join(", "));
+        let card = net.card(var);
+        let configs = net.parent_configs(var);
+        // Print at most 12 rows to keep vx's 125 rows manageable.
+        for config in 0..configs.min(12) {
+            let row = &net.cpt(var)[config * card..(config + 1) * card];
+            let cells: Vec<String> = row.iter().map(|p| format!("{p:.3}")).collect();
+            println!("  config {config:>3}: [{}]", cells.join(", "));
+        }
+        if configs > 12 {
+            println!("  ... ({configs} configs total)");
+        }
+    }
+
+    // Count the truth mix of the population.
+    let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+    for log in &fitted.logs {
+        for t in &log.truth {
+            *counts.entry(t.clone()).or_default() += 1;
+        }
+    }
+    println!("\npopulation truth mix:");
+    for (tag, n) in counts {
+        println!("  {tag}: {n}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Developer utility: traces devices whose true block never appears in
+//! the merged ranking.
+
+use abbd_baselines::{group_by_device, Diagnoser};
+use abbd_bench::BbnDeviceDiagnoser;
+use abbd_designs::regulator::{self, program::suite_plans};
+
+fn main() {
+    let fitted = regulator::fit(70, 2010, regulator::default_algorithm()).unwrap();
+    let adapter = BbnDeviceDiagnoser::new(&fitted.engine);
+    let test = regulator::synthesize(400, 777, 1_000_000).unwrap();
+    let sigs = group_by_device(&test.cases);
+
+    let mut shown = 0;
+    for sig in &sigs {
+        let truth = sig.truth_blocks.first().cloned().unwrap_or_default();
+        if truth != "warnvpst" && truth != "enbsw" && truth != "lcbg" {
+            continue;
+        }
+        let ranking = adapter.diagnose(sig);
+        if ranking.iter().any(|(b, _)| *b == truth) {
+            continue;
+        }
+        shown += 1;
+        if shown > 3 {
+            break;
+        }
+        println!("\n=== device {} truth {truth} ranking {ranking:?}", sig.device_id);
+        // Per-suite detail.
+        for plan in suite_plans() {
+            let mut obs = abbd_core::Observation::new();
+            let mut failing = Vec::new();
+            for ((suite, var), &state) in &sig.features {
+                if suite == plan.name {
+                    obs.set(var.clone(), state);
+                    if let Some(oi) =
+                        regulator::program::OBSERVED_VARS.iter().position(|o| o == var)
+                    {
+                        if state != plan.healthy_states[oi] {
+                            obs.mark_failing(var.clone());
+                            failing.push(var.clone());
+                        }
+                    }
+                }
+            }
+            if failing.is_empty() {
+                println!("  suite {:<16} no deviations", plan.name);
+                continue;
+            }
+            match fitted.engine.diagnose(&obs) {
+                Ok(d) => {
+                    let cands: Vec<String> = d
+                        .candidates()
+                        .iter()
+                        .map(|c| {
+                            format!(
+                                "{}({:.2},anc{:.2},cond{:.2})",
+                                c.variable,
+                                c.fault_mass,
+                                c.ancestor_fault_probability,
+                                c.conditional_fault_expectation
+                            )
+                        })
+                        .collect();
+                    let states: Vec<String> =
+                        obs.iter().map(|(n, s)| format!("{n}={s}")).collect();
+                    println!(
+                        "  suite {:<16} failing {:?} cands [{}]",
+                        plan.name,
+                        failing,
+                        cands.join(", ")
+                    );
+                    println!("        obs: {}", states.join(" "));
+                }
+                Err(e) => println!("  suite {:<16} ERROR: {e}", plan.name),
+            }
+        }
+    }
+    if shown == 0 {
+        println!("no missed devices found");
+    }
+}

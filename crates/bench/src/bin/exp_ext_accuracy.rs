@@ -1,0 +1,59 @@
+//! Extension experiment: diagnosis accuracy vs training-set size, BBN vs
+//! fault dictionary vs naive Bayes vs random guess, on a held-out
+//! population of failing devices.
+//!
+//! Not in the paper (which validates against a human expert on five
+//! cases); this quantifies the same pipeline on a statistically meaningful
+//! sample.
+//!
+//! Run: `cargo run --release -p abbd-bench --bin exp_ext_accuracy [n_test]`
+
+use abbd_baselines::{
+    accuracy_at_k, group_by_device, Diagnoser, FaultDictionary, NaiveBayes, RandomGuess,
+};
+use abbd_bench::BbnDeviceDiagnoser;
+use abbd_designs::regulator::{self, model::VARIABLES};
+
+fn main() {
+    let n_test: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+
+    // Held-out evaluation set, disjoint seed and id space.
+    let test_pop =
+        regulator::synthesize(n_test, 777, 1_000_000).expect("test population");
+    let test_sigs = group_by_device(&test_pop.cases);
+    println!(
+        "EXT-ACCURACY — top-k diagnosis accuracy on {} held-out failing devices",
+        test_sigs.len()
+    );
+    println!(
+        "\n{:>7} {:>18} {:>6} {:>6}  (k = 1 / 2)",
+        "train", "method", "acc@1", "acc@2"
+    );
+
+    for n_train in [10usize, 30, 70, 150, 300] {
+        let fitted = regulator::fit(n_train, 2010, regulator::default_algorithm())
+            .expect("training pipeline");
+        let train_sigs = group_by_device(&fitted.cases);
+
+        let bbn = BbnDeviceDiagnoser::new(&fitted.engine);
+        let dictionary = FaultDictionary::train(&train_sigs);
+        let naive = NaiveBayes::train(&train_sigs, 1.0);
+        let random = RandomGuess::new(VARIABLES.iter().copied(), 99);
+
+        let methods: Vec<(&str, &dyn Diagnoser)> = vec![
+            ("bbn", &bbn),
+            ("fault-dictionary", &dictionary),
+            ("naive-bayes", &naive),
+            ("random", &random),
+        ];
+        for (name, method) in methods {
+            let a1 = accuracy_at_k(method, &test_sigs, 1);
+            let a2 = accuracy_at_k(method, &test_sigs, 2);
+            println!("{n_train:>7} {name:>18} {a1:>6.3} {a2:>6.3}");
+        }
+        println!();
+    }
+}

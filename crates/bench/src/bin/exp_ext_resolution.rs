@@ -1,0 +1,74 @@
+//! Extension experiment: diagnostic resolution across the whole fault
+//! universe — for every catalogued fault, where does the true block land
+//! in the ranked candidate list, and how long is the list?
+//!
+//! Run: `cargo run --release -p abbd-bench --bin exp_ext_resolution`
+
+use abbd_baselines::{group_by_device, Diagnoser};
+use abbd_bench::BbnDeviceDiagnoser;
+use abbd_designs::regulator::{self, faults::fault_catalog};
+use std::collections::BTreeMap;
+
+fn main() {
+    let fitted = regulator::fit(70, 2010, regulator::default_algorithm())
+        .expect("training pipeline");
+    let adapter = BbnDeviceDiagnoser::new(&fitted.engine);
+
+    // A large held-out population so every catalogue entry appears.
+    let test = regulator::synthesize(400, 777, 1_000_000).expect("test population");
+    let sigs = group_by_device(&test.cases);
+
+    #[derive(Default)]
+    struct Agg {
+        n: usize,
+        rank_sum: usize,
+        hits1: usize,
+        list_len_sum: usize,
+        missed: usize,
+    }
+    let mut per_block: BTreeMap<String, Agg> = BTreeMap::new();
+    for sig in &sigs {
+        let truth = sig.truth_blocks.first().cloned().unwrap_or_default();
+        let ranking = adapter.diagnose(sig);
+        let agg = per_block.entry(truth.clone()).or_default();
+        agg.n += 1;
+        agg.list_len_sum += ranking.len();
+        match ranking.iter().position(|(b, _)| *b == truth) {
+            Some(pos) => {
+                agg.rank_sum += pos + 1;
+                if pos == 0 {
+                    agg.hits1 += 1;
+                }
+            }
+            None => agg.missed += 1,
+        }
+    }
+
+    println!(
+        "EXT-RESOLUTION — rank of the true block over {} held-out devices",
+        sigs.len()
+    );
+    println!(
+        "\n{:<10} {:>4} {:>7} {:>9} {:>9} {:>7}",
+        "block", "n", "acc@1", "mean rank", "list len", "missed"
+    );
+    for (block, agg) in &per_block {
+        let found = agg.n - agg.missed;
+        println!(
+            "{:<10} {:>4} {:>7.3} {:>9.2} {:>9.2} {:>7}",
+            block,
+            agg.n,
+            agg.hits1 as f64 / agg.n as f64,
+            if found > 0 { agg.rank_sum as f64 / found as f64 } else { f64::NAN },
+            agg.list_len_sum as f64 / agg.n as f64,
+            agg.missed
+        );
+    }
+    let total: usize = per_block.values().map(|a| a.n).sum();
+    let hits: usize = per_block.values().map(|a| a.hits1).sum();
+    println!(
+        "\noverall acc@1: {:.3} over {total} devices ({} catalogued fault modes)",
+        hits as f64 / total as f64,
+        fault_catalog().len()
+    );
+}

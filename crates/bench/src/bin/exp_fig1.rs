@@ -1,0 +1,30 @@
+//! Regenerates paper Fig. 1: the hypothetical four-block circuit (1a) and
+//! its BBN structural model (1b).
+//!
+//! Run: `cargo run --release -p abbd-bench --bin exp_fig1`
+
+use abbd_designs::hypothetical;
+
+fn main() {
+    let circuit = hypothetical::circuit();
+    println!("FIG. 1a — HYPOTHETICAL ANALOGUE CIRCUIT (block netlist)\n");
+    for b in circuit.blocks() {
+        let blk = circuit.block(b);
+        let inputs: Vec<&str> =
+            blk.inputs.iter().map(|n| circuit.net_name(*n)).collect();
+        println!(
+            "  {:<8} inputs: [{}] -> output: {}",
+            blk.name,
+            inputs.join(", "),
+            circuit.net_name(blk.output)
+        );
+    }
+    println!("\nGraphviz:\n{}", circuit.to_dot());
+
+    let model = hypothetical::circuit_model();
+    println!("FIG. 1b — BBN STRUCTURAL MODEL\n");
+    for (parent, child) in model.edges() {
+        println!("  {parent} -> {child}");
+    }
+    println!("\nGraphviz:\n{}", model.to_dot());
+}

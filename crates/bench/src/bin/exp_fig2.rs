@@ -1,0 +1,26 @@
+//! Regenerates paper Fig. 2: the functional block schematic of the
+//! multiple-output voltage regulator (block and net inventory).
+//!
+//! Run: `cargo run --release -p abbd-bench --bin exp_fig2`
+
+use abbd_designs::regulator::circuit::circuit;
+
+fn main() {
+    let c = circuit();
+    println!("FIG. 2 — FUNCTIONAL BLOCK SCHEMATIC OF THE MULTIPLE-OUTPUT VOLTAGE REGULATOR\n");
+    println!("{} functional blocks, {} nets\n", c.block_count(), c.net_count());
+    println!("{:<10} {:<42} -> output net", "block", "input nets");
+    for b in c.blocks() {
+        let blk = c.block(b);
+        let inputs: Vec<&str> = blk.inputs.iter().map(|n| c.net_name(*n)).collect();
+        println!(
+            "{:<10} {:<42} -> {}",
+            blk.name,
+            inputs.join(", "),
+            c.net_name(blk.output)
+        );
+    }
+    let inputs: Vec<&str> = c.input_nets().iter().map(|n| c.net_name(*n)).collect();
+    println!("\nexternal inputs (stimulus): {}", inputs.join(", "));
+    println!("\nGraphviz:\n{}", c.to_dot());
+}

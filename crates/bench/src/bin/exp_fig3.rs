@@ -1,0 +1,26 @@
+//! Regenerates paper Fig. 3: the BBN model variables and structural
+//! dependencies of the voltage regulator.
+//!
+//! Run: `cargo run --release -p abbd-bench --bin exp_fig3`
+
+use abbd_designs::regulator::model::circuit_model;
+
+fn main() {
+    let m = circuit_model();
+    println!("FIG. 3 — BBN MODEL VARIABLES AND STRUCTURAL DEPENDENCIES\n");
+    println!("{} model variables, {} dependency edges\n", m.spec().len(), m.edges().len());
+    for v in m.spec().variables() {
+        let parents = m.parents_of(&v.name);
+        if parents.is_empty() {
+            println!("  {:<10} (root, {})", v.name, v.ftype.label());
+        } else {
+            println!(
+                "  {:<10} <- {:<30} ({})",
+                v.name,
+                parents.join(", "),
+                v.ftype.label()
+            );
+        }
+    }
+    println!("\nGraphviz:\n{}", m.to_dot());
+}

@@ -1,0 +1,21 @@
+//! Regenerates paper Table I: model functional types of the hypothetical
+//! circuit.
+//!
+//! Run: `cargo run --release -p abbd-bench --bin exp_table1`
+
+use abbd_designs::hypothetical;
+use abbd_dlog2bbn::FunctionalType;
+
+fn main() {
+    println!("TABLE I — MODEL FUNCTIONAL TYPE\n");
+    println!("{:<10} {:<22} Remarks", "Model", "Type");
+    for v in hypothetical::model_spec().variables() {
+        let remark = match v.ftype {
+            FunctionalType::Control => "Controllable node",
+            FunctionalType::Observe => "Observable node",
+            FunctionalType::ControlObserve => "Controllable and Observable node",
+            FunctionalType::Latent => "Neither Controllable nor Observable node",
+        };
+        println!("{:<10} {:<22} {remark}", v.name, v.ftype.label());
+    }
+}

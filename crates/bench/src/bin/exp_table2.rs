@@ -1,0 +1,23 @@
+//! Regenerates paper Table II: model-variable state definitions of the
+//! hypothetical circuit (states, lower/upper limits, remarks).
+//!
+//! Run: `cargo run --release -p abbd-bench --bin exp_table2`
+
+use abbd_designs::hypothetical;
+
+fn main() {
+    println!("TABLE II — MODEL VARIABLES STATE DEFINITIONS\n");
+    println!(
+        "{:<10} {:>6} {:>12} {:>12} Remarks",
+        "Block", "States", "LLimit (V)", "ULimit (V)"
+    );
+    for v in hypothetical::model_spec().variables() {
+        for (i, band) in v.bands.iter().enumerate() {
+            let name = if i == 0 { v.name.as_str() } else { "" };
+            println!(
+                "{:<10} {:>6} {:>12.2} {:>12.2} {}",
+                name, band.label, band.lo, band.hi, band.remark
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates paper Table III: conditional probabilities P(Block-2 |
+//! Block-1) and P(Block-3 | Block-1) of the hypothetical circuit — the
+//! expert's estimate next to the values fine-tuned on simulated failing
+//! devices.
+//!
+//! Run: `cargo run --release -p abbd-bench --bin exp_table3`
+
+use abbd_core::LearnAlgorithm;
+use abbd_designs::hypothetical;
+
+fn print_cpt(title: &str, net: &abbd_bbn::Network, child: &str, parent: &str) {
+    let c = net.var(child).expect("variable exists");
+    let p = net.var(parent).expect("variable exists");
+    println!("\n{title}: P({child} | {parent})");
+    let child_card = net.card(c);
+    let header: Vec<String> =
+        (0..child_card).map(|s| format!("State:{s}")).collect();
+    println!("  {:<10} {}", parent, header.join("   "));
+    for ps in 0..net.card(p) {
+        let row = net.cpt_row(c, &[ps]).expect("row exists");
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:.3}  ")).collect();
+        println!("  State:{ps}    {}", cells.join("   "));
+    }
+}
+
+fn main() {
+    println!("TABLE III — CONDITIONAL PROBABILITY: BLOCK-1→BLOCK-2 AND BLOCK-1→BLOCK-3");
+
+    // Expert estimate (the P_blk21_xx / P_blk31_xx entries).
+    let expert_model = abbd_core::ModelBuilder::new(hypothetical::circuit_model())
+        .with_expert(hypothetical::expert_knowledge(40.0))
+        .build_expert_only()
+        .expect("static model builds");
+    print_cpt("expert estimate", expert_model.network(), "block2", "block1");
+    print_cpt("expert estimate", expert_model.network(), "block3", "block1");
+
+    // Fine-tuned on 60 simulated failing devices.
+    let fitted = hypothetical::fit(60, 2010, LearnAlgorithm::default())
+        .expect("hypothetical pipeline");
+    let net = fitted.engine.model().network();
+    print_cpt("fine-tuned on 60 failing devices", net, "block2", "block1");
+    print_cpt("fine-tuned on 60 failing devices", net, "block3", "block1");
+}

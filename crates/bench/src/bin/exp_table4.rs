@@ -1,0 +1,30 @@
+//! Regenerates paper Table IV: conditional probability P(Block-4 |
+//! Block-3) of the hypothetical circuit, expert vs fine-tuned.
+//!
+//! Run: `cargo run --release -p abbd-bench --bin exp_table4`
+
+use abbd_core::LearnAlgorithm;
+use abbd_designs::hypothetical;
+
+fn print_cpt(title: &str, net: &abbd_bbn::Network) {
+    let c = net.var("block4").expect("variable exists");
+    println!("\n{title}: P(block4 | block3)");
+    println!("  block3     State:0    State:1");
+    for ps in 0..2 {
+        let row = net.cpt_row(c, &[ps]).expect("row exists");
+        println!("  State:{ps}    {:.3}      {:.3}", row[0], row[1]);
+    }
+}
+
+fn main() {
+    println!("TABLE IV — CONDITIONAL PROBABILITY: BLOCK-3, BLOCK-4");
+    let expert_model = abbd_core::ModelBuilder::new(hypothetical::circuit_model())
+        .with_expert(hypothetical::expert_knowledge(40.0))
+        .build_expert_only()
+        .expect("static model builds");
+    print_cpt("expert estimate", expert_model.network());
+
+    let fitted = hypothetical::fit(60, 2010, LearnAlgorithm::default())
+        .expect("hypothetical pipeline");
+    print_cpt("fine-tuned on 60 failing devices", fitted.engine.model().network());
+}

@@ -1,0 +1,19 @@
+//! Regenerates paper Table V: the BBN model variables of the voltage
+//! regulator circuit with circuit references and functional types.
+//!
+//! Run: `cargo run --release -p abbd-bench --bin exp_table5`
+
+use abbd_designs::regulator::model::model_spec;
+
+fn main() {
+    println!("TABLE V — BBN MODEL VARIABLES OF VOLTAGE REGULATOR CIRCUIT\n");
+    println!("{:<12} {:<10} Type", "MVar.", "Ckt.Ref.");
+    for v in model_spec().variables() {
+        println!(
+            "{:<12} {:<10} {}",
+            v.name,
+            v.ckt_ref.as_deref().unwrap_or("-"),
+            v.ftype.label()
+        );
+    }
+}

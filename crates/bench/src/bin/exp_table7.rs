@@ -1,0 +1,112 @@
+//! Regenerates paper Table VII: the full diagnostic state-probability
+//! table of the voltage regulator — every model variable, every usable
+//! state, voltage limits, the initial probabilities after parameter
+//! learning, and the updated probabilities for the five diagnostic cases —
+//! followed by a quantitative paper-vs-measured comparison.
+//!
+//! Run: `cargo run --release -p abbd-bench --bin exp_table7`
+
+use abbd_core::{render_state_table, Diagnosis};
+use abbd_designs::regulator::{self, cases::case_studies, model::LATENTS, paper};
+
+fn main() {
+    let fitted = regulator::fit(70, 2010, regulator::default_algorithm())
+        .expect("regulator pipeline");
+    let baseline = fitted.engine.baseline().expect("baseline propagation");
+
+    let studies = case_studies();
+    let diagnoses: Vec<(String, Diagnosis)> = studies
+        .iter()
+        .map(|c| {
+            (
+                c.id.to_string(),
+                fitted.engine.diagnose(&c.observation()).expect("diagnosis"),
+            )
+        })
+        .collect();
+    let columns: Vec<(&str, &Diagnosis)> =
+        diagnoses.iter().map(|(id, d)| (id.as_str(), d)).collect();
+
+    println!("TABLE VII — DIAGNOSTIC CASE STUDIES: MODEL VARIABLE STATE PROBABILITIES\n");
+    println!(
+        "{}",
+        render_state_table(fitted.engine.model(), &baseline, &columns)
+    );
+
+    // Paper-vs-measured: the Init column.
+    println!("\nINIT COLUMN VS PAPER (percent, per state)");
+    println!("{:<12} {:<28} {:<28}", "MVar.", "measured", "paper");
+    let mut init_argmax_matches = 0usize;
+    let mut init_vars = 0usize;
+    for (name, dist) in &baseline {
+        let Some(paper_dist) = paper::init_percent(name) else { continue };
+        let ours: Vec<String> = dist.iter().map(|p| format!("{:.1}", p * 100.0)).collect();
+        let theirs: Vec<String> = paper_dist.iter().map(|p| format!("{p:.1}")).collect();
+        println!("{:<12} {:<28} {:<28}", name, ours.join(" "), theirs.join(" "));
+        init_vars += 1;
+        let our_argmax = dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i);
+        let paper_argmax = paper_dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i);
+        if our_argmax == paper_argmax {
+            init_argmax_matches += 1;
+        }
+    }
+
+    // Paper-vs-measured: latent fault-state mass per diagnostic case.
+    println!("\nLATENT FAULT-STATE MASS VS PAPER (percent)");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "latent", "d1 us/paper", "d2 us/paper", "d3 us/paper", "d4 us/paper", "d5 us/paper"
+    );
+    let policy = fitted.engine.policy();
+    let mut class_matches = 0usize;
+    let mut class_total = 0usize;
+    for latent in LATENTS {
+        let paper_mass = paper::latent_fault_percent(latent).expect("reference data");
+        let mut row = format!("{latent:<10}");
+        for (ci, (_, diagnosis)) in diagnoses.iter().enumerate() {
+            let ours = diagnosis.fault_mass()[latent] * 100.0;
+            let theirs = paper_mass[ci];
+            row.push_str(&format!(" {:>6.1}/{:<7.1}", ours, theirs));
+            class_total += 1;
+            // Qualitative agreement: same side of the ambiguity window.
+            let ours_class = policy.classify(ours / 100.0);
+            let paper_class = policy.classify(theirs / 100.0);
+            if ours_class == paper_class {
+                class_matches += 1;
+            }
+        }
+        println!("{row}");
+    }
+
+    println!("\nAGREEMENT SUMMARY");
+    println!(
+        "  init argmax state agreement:        {init_argmax_matches}/{init_vars} variables"
+    );
+    println!(
+        "  latent health-class agreement:      {class_matches}/{class_total} (latent, case) pairs"
+    );
+    let candidate_matches = studies
+        .iter()
+        .zip(&diagnoses)
+        .filter(|(case, (_, d))| {
+            let mut got: Vec<&str> =
+                d.candidates().iter().map(|c| c.variable.as_str()).collect();
+            got.sort_unstable();
+            let mut want = case.expected_candidates.to_vec();
+            want.sort_unstable();
+            got == want
+        })
+        .count();
+    println!(
+        "  candidate-set agreement (Table VI): {candidate_matches}/{} cases",
+        studies.len()
+    );
+}

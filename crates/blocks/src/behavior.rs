@@ -1,0 +1,270 @@
+//! DC behavioural models of analogue functional blocks.
+//!
+//! Every block computes one output voltage from its input voltages. Models
+//! are deliberately *block-level*: smooth enough to converge under
+//! fixed-point iteration, detailed enough that block faults change the
+//! voltages an ATE program measures — which is the only thing the paper's
+//! diagnosis flow observes.
+
+use serde::{Deserialize, Serialize};
+
+/// How a logic-style block combines qualified inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogicOp {
+    /// All inputs must qualify.
+    And,
+    /// At least one input must qualify.
+    Or,
+}
+
+/// A voltage window `[lo, hi]` used to qualify an analogue level as "good".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    /// Inclusive lower bound in volts.
+    pub lo: f64,
+    /// Inclusive upper bound in volts.
+    pub hi: f64,
+}
+
+impl Window {
+    /// Builds a window; callers should keep `lo <= hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Window { lo, hi }
+    }
+
+    /// `true` when `v` lies inside the window.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+}
+
+/// The DC transfer behaviour of a functional block.
+///
+/// Input counts are fixed per variant and validated at netlist build time:
+///
+/// | variant      | inputs                                  |
+/// |--------------|-----------------------------------------|
+/// | `Reference`  | `[supply]`                              |
+/// | `Regulator`  | `[supply, enable, reference]`           |
+/// | `Switch`     | `[supply, enable]`                      |
+/// | `Logic`      | one per window                          |
+/// | `LevelShift` | `[input]`                               |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Behavior {
+    /// A bandgap-style voltage reference: outputs `nominal` once the supply
+    /// clears `min_supply`, degrading proportionally below it.
+    Reference {
+        /// Nominal reference voltage.
+        nominal: f64,
+        /// Minimum supply for full regulation.
+        min_supply: f64,
+    },
+    /// A linear regulator: `nominal` out when the supply has headroom, the
+    /// enable is high and the reference is inside its window; tracks
+    /// `supply - dropout` when starved; 0 V when disabled or unreferenced.
+    Regulator {
+        /// Nominal regulated output.
+        nominal: f64,
+        /// Dropout voltage (headroom) required above `nominal`.
+        dropout: f64,
+        /// Enable input threshold (high-active).
+        enable_threshold: f64,
+        /// Window qualifying the reference input.
+        reference: Window,
+    },
+    /// A high-side power switch: passes `supply - drop` when enabled,
+    /// clamping at `clamp`; 0 V when disabled.
+    Switch {
+        /// Series voltage drop when conducting.
+        drop: f64,
+        /// Output clamp level.
+        clamp: f64,
+        /// Enable input threshold (high-active).
+        enable_threshold: f64,
+    },
+    /// Analogue decision logic: each input is qualified by its own window,
+    /// the qualifications are combined with `op`, and the block outputs
+    /// `out_high` or `out_low`.
+    Logic {
+        /// Combination operator.
+        op: LogicOp,
+        /// One qualification window per input.
+        windows: Vec<Window>,
+        /// Output voltage when the combination is false.
+        out_low: f64,
+        /// Output voltage when the combination is true.
+        out_high: f64,
+    },
+    /// An affine level shifter / buffer: `gain * input + offset`, clipped
+    /// to `[0, rail]`.
+    LevelShift {
+        /// Voltage gain.
+        gain: f64,
+        /// Output offset in volts.
+        offset: f64,
+        /// Positive clipping rail.
+        rail: f64,
+    },
+}
+
+impl Behavior {
+    /// Number of inputs this behaviour expects.
+    pub fn arity(&self) -> usize {
+        match self {
+            Behavior::Reference { .. } => 1,
+            Behavior::Regulator { .. } => 3,
+            Behavior::Switch { .. } => 2,
+            Behavior::Logic { windows, .. } => windows.len(),
+            Behavior::LevelShift { .. } => 1,
+        }
+    }
+
+    /// Evaluates the healthy transfer function.
+    ///
+    /// `inputs` must have exactly [`Behavior::arity`] entries; the netlist
+    /// guarantees this for simulator calls.
+    pub fn evaluate(&self, inputs: &[f64]) -> f64 {
+        match self {
+            Behavior::Reference { nominal, min_supply } => {
+                let supply = inputs[0];
+                if supply >= *min_supply {
+                    *nominal
+                } else if supply <= 0.0 {
+                    0.0
+                } else {
+                    nominal * supply / min_supply
+                }
+            }
+            Behavior::Regulator { nominal, dropout, enable_threshold, reference } => {
+                let supply = inputs[0];
+                let enable = inputs[1];
+                let vref = inputs[2];
+                if enable < *enable_threshold || !reference.contains(vref) {
+                    return 0.0;
+                }
+                if supply >= nominal + dropout {
+                    *nominal
+                } else {
+                    (supply - dropout).max(0.0)
+                }
+            }
+            Behavior::Switch { drop, clamp, enable_threshold } => {
+                let supply = inputs[0];
+                let enable = inputs[1];
+                if enable < *enable_threshold {
+                    0.0
+                } else {
+                    (supply - drop).clamp(0.0, *clamp)
+                }
+            }
+            Behavior::Logic { op, windows, out_low, out_high } => {
+                let decided = match op {
+                    LogicOp::And => windows
+                        .iter()
+                        .zip(inputs)
+                        .all(|(w, &v)| w.contains(v)),
+                    LogicOp::Or => windows
+                        .iter()
+                        .zip(inputs)
+                        .any(|(w, &v)| w.contains(v)),
+                };
+                if decided {
+                    *out_high
+                } else {
+                    *out_low
+                }
+            }
+            Behavior::LevelShift { gain, offset, rail } => {
+                (gain * inputs[0] + offset).clamp(0.0, *rail)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_contains_bounds() {
+        let w = Window::new(1.0, 2.0);
+        assert!(w.contains(1.0));
+        assert!(w.contains(2.0));
+        assert!(w.contains(1.5));
+        assert!(!w.contains(0.999));
+        assert!(!w.contains(2.001));
+    }
+
+    #[test]
+    fn reference_degrades_below_min_supply() {
+        let b = Behavior::Reference { nominal: 1.2, min_supply: 4.0 };
+        assert_eq!(b.arity(), 1);
+        assert_eq!(b.evaluate(&[8.0]), 1.2);
+        assert_eq!(b.evaluate(&[4.0]), 1.2);
+        assert!((b.evaluate(&[2.0]) - 0.6).abs() < 1e-12);
+        assert_eq!(b.evaluate(&[0.0]), 0.0);
+        assert_eq!(b.evaluate(&[-1.0]), 0.0);
+    }
+
+    #[test]
+    fn regulator_modes() {
+        let b = Behavior::Regulator {
+            nominal: 5.0,
+            dropout: 0.5,
+            enable_threshold: 2.0,
+            reference: Window::new(1.1, 1.3),
+        };
+        assert_eq!(b.arity(), 3);
+        // Fully operational.
+        assert_eq!(b.evaluate(&[12.0, 3.0, 1.2]), 5.0);
+        // Disabled.
+        assert_eq!(b.evaluate(&[12.0, 0.0, 1.2]), 0.0);
+        // Reference lost.
+        assert_eq!(b.evaluate(&[12.0, 3.0, 0.0]), 0.0);
+        // Supply starved: tracks supply - dropout.
+        assert!((b.evaluate(&[4.0, 3.0, 1.2]) - 3.5).abs() < 1e-12);
+        // Deeply starved clamps at zero.
+        assert_eq!(b.evaluate(&[0.2, 3.0, 1.2]), 0.0);
+    }
+
+    #[test]
+    fn switch_modes() {
+        let b = Behavior::Switch { drop: 0.3, clamp: 16.0, enable_threshold: 2.0 };
+        assert_eq!(b.arity(), 2);
+        assert!((b.evaluate(&[13.0, 3.0]) - 12.7).abs() < 1e-12);
+        assert_eq!(b.evaluate(&[13.0, 1.0]), 0.0);
+        // Clamp engages on load-dump supplies.
+        assert_eq!(b.evaluate(&[40.0, 3.0]), 16.0);
+        assert_eq!(b.evaluate(&[0.1, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn logic_and_or() {
+        let and = Behavior::Logic {
+            op: LogicOp::And,
+            windows: vec![Window::new(1.0, 2.0), Window::new(4.0, 6.0)],
+            out_low: 0.0,
+            out_high: 5.0,
+        };
+        assert_eq!(and.arity(), 2);
+        assert_eq!(and.evaluate(&[1.5, 5.0]), 5.0);
+        assert_eq!(and.evaluate(&[0.5, 5.0]), 0.0);
+        let or = Behavior::Logic {
+            op: LogicOp::Or,
+            windows: vec![Window::new(1.0, 2.0), Window::new(4.0, 6.0)],
+            out_low: 0.2,
+            out_high: 4.8,
+        };
+        assert_eq!(or.evaluate(&[0.0, 5.0]), 4.8);
+        assert_eq!(or.evaluate(&[0.0, 0.0]), 0.2);
+    }
+
+    #[test]
+    fn level_shift_clips() {
+        let b = Behavior::LevelShift { gain: 2.0, offset: -1.0, rail: 5.0 };
+        assert_eq!(b.arity(), 1);
+        assert!((b.evaluate(&[2.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(b.evaluate(&[10.0]), 5.0);
+        assert_eq!(b.evaluate(&[0.0]), 0.0);
+    }
+}

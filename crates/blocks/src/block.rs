@@ -1,0 +1,91 @@
+//! Block and net handles plus the block definition record.
+
+use crate::behavior::Behavior;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque handle to a functional block within a [`crate::Circuit`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Builds a handle from a raw index (tests and cross-crate tables).
+    pub fn from_index(index: usize) -> Self {
+        BlockId(index as u32)
+    }
+
+    /// The underlying index into the circuit's block list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Opaque handle to a net (a named electrical node).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct NetId(u32);
+
+impl NetId {
+    /// Builds a handle from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
+
+    /// The underlying index into the circuit's net list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One functional block: behaviour, wiring and process-variation spreads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Human-readable block name (unique within a circuit).
+    pub name: String,
+    /// DC transfer behaviour.
+    pub behavior: Behavior,
+    /// Input nets, in the order the behaviour expects.
+    pub inputs: Vec<NetId>,
+    /// The single output net this block drives.
+    pub output: NetId,
+    /// 1-sigma multiplicative process spread of the output (e.g. `0.01`).
+    pub gain_sigma: f64,
+    /// 1-sigma additive process spread of the output, in volts.
+    pub offset_sigma: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_roundtrip_and_display() {
+        let b = BlockId::from_index(7);
+        assert_eq!(b.index(), 7);
+        assert_eq!(b.to_string(), "b7");
+        let n = NetId::from_index(3);
+        assert_eq!(n.index(), 3);
+        assert_eq!(n.to_string(), "n3");
+    }
+
+    #[test]
+    fn handles_order_by_index() {
+        assert!(BlockId::from_index(1) < BlockId::from_index(2));
+        assert!(NetId::from_index(0) < NetId::from_index(9));
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type for circuit construction and simulation.
+
+use std::fmt;
+
+/// Result alias used throughout [`crate`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building or simulating a block-level circuit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A block with this name was already declared.
+    DuplicateBlock(String),
+    /// A net with this name was already declared.
+    DuplicateNet(String),
+    /// The named block does not exist.
+    UnknownBlock(String),
+    /// The named net does not exist.
+    UnknownNet(String),
+    /// A net is driven by more than one block output.
+    MultipleDrivers {
+        /// The contested net.
+        net: String,
+        /// The block whose output collided.
+        block: String,
+    },
+    /// A block was declared with the wrong number of inputs for its
+    /// behaviour.
+    ArityMismatch {
+        /// The offending block.
+        block: String,
+        /// Inputs the behaviour expects.
+        expected: usize,
+        /// Inputs actually wired.
+        actual: usize,
+    },
+    /// A behaviour parameter is out of its legal range.
+    InvalidParameter {
+        /// The offending block.
+        block: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The fixed-point solver did not settle within its iteration budget.
+    NotConverged {
+        /// Iterations attempted.
+        iterations: usize,
+        /// Worst per-net voltage delta at give-up time.
+        residual: f64,
+    },
+    /// The stimulus drives a net that is also a block output.
+    StimulusOnDrivenNet(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateBlock(name) => write!(f, "block `{name}` is already declared"),
+            Error::DuplicateNet(name) => write!(f, "net `{name}` is already declared"),
+            Error::UnknownBlock(name) => write!(f, "unknown block `{name}`"),
+            Error::UnknownNet(name) => write!(f, "unknown net `{name}`"),
+            Error::MultipleDrivers { net, block } => {
+                write!(f, "net `{net}` already has a driver; block `{block}` collides")
+            }
+            Error::ArityMismatch { block, expected, actual } => write!(
+                f,
+                "block `{block}` expects {expected} input(s), got {actual}"
+            ),
+            Error::InvalidParameter { block, reason } => {
+                write!(f, "invalid parameter on block `{block}`: {reason}")
+            }
+            Error::NotConverged { iterations, residual } => write!(
+                f,
+                "simulation did not converge after {iterations} iterations \
+                 (residual {residual} V)"
+            ),
+            Error::StimulusOnDrivenNet(net) => {
+                write!(f, "stimulus forces net `{net}` which is driven by a block")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let samples = [
+            Error::DuplicateBlock("b".into()),
+            Error::DuplicateNet("n".into()),
+            Error::UnknownBlock("b".into()),
+            Error::UnknownNet("n".into()),
+            Error::MultipleDrivers { net: "n".into(), block: "b".into() },
+            Error::ArityMismatch { block: "b".into(), expected: 2, actual: 1 },
+            Error::InvalidParameter { block: "b".into(), reason: "neg".into() },
+            Error::NotConverged { iterations: 9, residual: 0.5 },
+            Error::StimulusOnDrivenNet("n".into()),
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,279 @@
+//! Block-level fault models and fault universes.
+//!
+//! The paper learns from "a sufficiently large number of defective samples"
+//! (70 customer returns for the regulator). We have no silicon, so
+//! defective devices are synthesised by injecting one of these fault modes
+//! into a functional block and re-simulating the test program.
+
+use crate::block::BlockId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a faulty block's output deviates from its healthy behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultMode {
+    /// Output collapses to 0 V (dead block, open supply bond).
+    Dead,
+    /// Output stuck at a fixed level (shorted node, latched driver).
+    StuckAt(f64),
+    /// Output shorted to the block's first input (typically its supply).
+    ShortToInput,
+    /// Multiplicative parametric drift: output scaled by the factor.
+    GainDrift(f64),
+    /// Additive parametric drift: offset in volts.
+    OffsetDrift(f64),
+    /// Output floats; a weak pulldown takes it near ground.
+    FloatingOutput,
+}
+
+impl FaultMode {
+    /// Applies the fault to a healthy output value given the block inputs.
+    pub fn apply(&self, healthy: f64, inputs: &[f64]) -> f64 {
+        match self {
+            FaultMode::Dead => 0.0,
+            FaultMode::StuckAt(level) => *level,
+            FaultMode::ShortToInput => inputs.first().copied().unwrap_or(0.0),
+            FaultMode::GainDrift(k) => healthy * k,
+            FaultMode::OffsetDrift(dv) => healthy + dv,
+            FaultMode::FloatingOutput => 0.05,
+        }
+    }
+
+    /// A short human-readable tag (used in datalogs and reports).
+    pub fn tag(&self) -> String {
+        match self {
+            FaultMode::Dead => "dead".into(),
+            FaultMode::StuckAt(v) => format!("stuck@{v:.2}V"),
+            FaultMode::ShortToInput => "short-to-input".into(),
+            FaultMode::GainDrift(k) => format!("gain×{k:.2}"),
+            FaultMode::OffsetDrift(dv) => format!("offset{dv:+.2}V"),
+            FaultMode::FloatingOutput => "floating".into(),
+        }
+    }
+}
+
+/// A concrete fault: one block in one mode (single-fault assumption, the
+/// standard setting for analogue diagnosis).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fault {
+    /// The faulty block.
+    pub block: BlockId,
+    /// Its failure mode.
+    pub mode: FaultMode,
+}
+
+impl Fault {
+    /// Convenience constructor.
+    pub fn new(block: BlockId, mode: FaultMode) -> Self {
+        Fault { block, mode }
+    }
+}
+
+/// The fault state of one device under test: healthy, or carrying faults.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceFaults {
+    modes: BTreeMap<BlockId, FaultMode>,
+}
+
+impl DeviceFaults {
+    /// A healthy device.
+    pub fn healthy() -> Self {
+        Self::default()
+    }
+
+    /// A device with a single fault.
+    pub fn single(fault: Fault) -> Self {
+        let mut modes = BTreeMap::new();
+        modes.insert(fault.block, fault.mode);
+        DeviceFaults { modes }
+    }
+
+    /// Injects an additional fault (multi-fault devices for stress tests).
+    pub fn inject(&mut self, fault: Fault) -> &mut Self {
+        self.modes.insert(fault.block, fault.mode);
+        self
+    }
+
+    /// The fault mode of `block`, if any.
+    pub fn mode_of(&self, block: BlockId) -> Option<FaultMode> {
+        self.modes.get(&block).copied()
+    }
+
+    /// `true` for a fault-free device.
+    pub fn is_healthy(&self) -> bool {
+        self.modes.is_empty()
+    }
+
+    /// Number of faulty blocks.
+    pub fn len(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// `true` when no fault is present (alias of [`DeviceFaults::is_healthy`]).
+    pub fn is_empty(&self) -> bool {
+        self.modes.is_empty()
+    }
+
+    /// Iterates the injected faults.
+    pub fn iter(&self) -> impl Iterator<Item = Fault> + '_ {
+        self.modes.iter().map(|(b, m)| Fault::new(*b, *m))
+    }
+}
+
+/// A weighted catalogue of candidate faults — the population defective
+/// devices are drawn from.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultUniverse {
+    entries: Vec<(Fault, f64)>,
+}
+
+impl FaultUniverse {
+    /// An empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault with a relative occurrence weight.
+    pub fn add(&mut self, fault: Fault, weight: f64) -> &mut Self {
+        self.entries.push((fault, weight.max(0.0)));
+        self
+    }
+
+    /// Number of catalogued faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(fault, weight)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Fault, f64)> + '_ {
+        self.entries.iter().map(|(f, w)| (*f, *w))
+    }
+
+    /// Draws one fault according to the weights.
+    ///
+    /// Returns `None` on an empty universe or all-zero weights.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<Fault> {
+        let total: f64 = self.entries.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut u = rng.gen::<f64>() * total;
+        for (fault, w) in &self.entries {
+            u -= w;
+            if u <= 0.0 {
+                return Some(*fault);
+            }
+        }
+        self.entries.last().map(|(f, _)| *f)
+    }
+}
+
+impl FromIterator<(Fault, f64)> for FaultUniverse {
+    fn from_iter<I: IntoIterator<Item = (Fault, f64)>>(iter: I) -> Self {
+        let mut u = FaultUniverse::new();
+        for (f, w) in iter {
+            u.add(f, w);
+        }
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn b(i: usize) -> BlockId {
+        BlockId::from_index(i)
+    }
+
+    #[test]
+    fn fault_modes_transform_output() {
+        let inputs = [12.0, 3.0];
+        assert_eq!(FaultMode::Dead.apply(5.0, &inputs), 0.0);
+        assert_eq!(FaultMode::StuckAt(1.8).apply(5.0, &inputs), 1.8);
+        assert_eq!(FaultMode::ShortToInput.apply(5.0, &inputs), 12.0);
+        assert_eq!(FaultMode::ShortToInput.apply(5.0, &[]), 0.0);
+        assert!((FaultMode::GainDrift(0.8).apply(5.0, &inputs) - 4.0).abs() < 1e-12);
+        assert!((FaultMode::OffsetDrift(-0.7).apply(5.0, &inputs) - 4.3).abs() < 1e-12);
+        assert!(FaultMode::FloatingOutput.apply(5.0, &inputs) < 0.1);
+    }
+
+    #[test]
+    fn tags_are_distinct_and_nonempty() {
+        let tags: Vec<String> = [
+            FaultMode::Dead,
+            FaultMode::StuckAt(1.0),
+            FaultMode::ShortToInput,
+            FaultMode::GainDrift(0.5),
+            FaultMode::OffsetDrift(0.5),
+            FaultMode::FloatingOutput,
+        ]
+        .iter()
+        .map(|m| m.tag())
+        .collect();
+        for t in &tags {
+            assert!(!t.is_empty());
+        }
+        let unique: std::collections::HashSet<&String> = tags.iter().collect();
+        assert_eq!(unique.len(), tags.len());
+    }
+
+    #[test]
+    fn device_faults_accessors() {
+        let mut d = DeviceFaults::healthy();
+        assert!(d.is_healthy());
+        assert!(d.is_empty());
+        d.inject(Fault::new(b(2), FaultMode::Dead));
+        d.inject(Fault::new(b(5), FaultMode::GainDrift(1.2)));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.mode_of(b(2)), Some(FaultMode::Dead));
+        assert_eq!(d.mode_of(b(9)), None);
+        assert_eq!(d.iter().count(), 2);
+
+        let single = DeviceFaults::single(Fault::new(b(1), FaultMode::Dead));
+        assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn universe_sampling_respects_weights() {
+        let mut u = FaultUniverse::new();
+        u.add(Fault::new(b(0), FaultMode::Dead), 9.0);
+        u.add(Fault::new(b(1), FaultMode::Dead), 1.0);
+        let mut rng = StdRng::seed_from_u64(19);
+        let n = 20_000;
+        let hits0 = (0..n)
+            .filter(|_| u.sample(&mut rng).unwrap().block == b(0))
+            .count();
+        let frac = hits0 as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn empty_or_zero_weight_universe_yields_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(FaultUniverse::new().sample(&mut rng).is_none());
+        let mut zeros = FaultUniverse::new();
+        zeros.add(Fault::new(b(0), FaultMode::Dead), 0.0);
+        assert!(zeros.sample(&mut rng).is_none());
+        // Negative weights are clamped to zero.
+        let mut neg = FaultUniverse::new();
+        neg.add(Fault::new(b(0), FaultMode::Dead), -5.0);
+        assert!(neg.sample(&mut rng).is_none());
+    }
+
+    #[test]
+    fn universe_from_iterator() {
+        let u: FaultUniverse =
+            [(Fault::new(b(0), FaultMode::Dead), 1.0)].into_iter().collect();
+        assert_eq!(u.len(), 1);
+        assert!(!u.is_empty());
+        assert_eq!(u.iter().count(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! # abbd-blocks — block-level behavioural analogue circuit simulation
+//!
+//! The physical substrate of the DATE 2010 reproduction: functional blocks
+//! with DC behavioural models, wired into a [`Circuit`]; a fixed-point
+//! [`Simulator`] that solves net voltages under a [`Stimulus`]; block-level
+//! [`FaultMode`]s standing in for real silicon defects; and Monte-Carlo
+//! population generation with per-block process variation.
+//!
+//! Everything the ATE layer measures — and therefore everything the
+//! Bayesian diagnosis ever sees — comes out of this crate.
+//!
+//! ## Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), abbd_blocks::Error> {
+//! use abbd_blocks::{
+//!     Behavior, CircuitBuilder, Device, DeviceFaults, Fault, FaultMode, SimConfig,
+//!     Simulator, Stimulus, Window,
+//! };
+//!
+//! // Bandgap feeding a 5 V regulator.
+//! let mut cb = CircuitBuilder::new();
+//! let vbat = cb.net("vbat")?;
+//! let en = cb.net("en")?;
+//! let vref = cb.net("vref")?;
+//! let vout = cb.net("vout")?;
+//! let bg = cb.block("bg", Behavior::Reference { nominal: 1.2, min_supply: 4.0 }, [vbat], vref)?;
+//! cb.block(
+//!     "reg",
+//!     Behavior::Regulator {
+//!         nominal: 5.0,
+//!         dropout: 0.5,
+//!         enable_threshold: 2.0,
+//!         reference: Window::new(1.1, 1.3),
+//!     },
+//!     [vbat, en, vref],
+//!     vout,
+//! )?;
+//! let circuit = cb.build()?;
+//!
+//! // A device whose bandgap died: the regulator output collapses too.
+//! let mut dut = Device::golden(&circuit);
+//! dut.faults = DeviceFaults::single(Fault::new(bg, FaultMode::Dead));
+//! let sim = Simulator::new(&circuit, SimConfig::default());
+//! let mut stim = Stimulus::new();
+//! stim.force(vbat, 12.0).force(en, 3.3);
+//! let op = sim.solve(&dut, &stim)?;
+//! assert_eq!(op.voltage(vout), 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavior;
+mod block;
+mod error;
+mod fault;
+mod mc;
+mod netlist;
+mod sim;
+
+pub use behavior::{Behavior, LogicOp, Window};
+pub use block::{Block, BlockId, NetId};
+pub use error::{Error, Result};
+pub use fault::{DeviceFaults, Fault, FaultMode, FaultUniverse};
+pub use mc::{
+    sample_defective_devices, sample_good_devices, standard_normal, Variation,
+};
+pub use netlist::{Circuit, CircuitBuilder};
+pub use sim::{Device, OperatingPoint, SimConfig, Simulator, Stimulus};

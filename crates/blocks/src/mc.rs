@@ -1,0 +1,168 @@
+//! Monte-Carlo device populations: process variation and fault sampling.
+//!
+//! This module stands in for the paper's supply of real defective devices:
+//! it fabricates good devices (process spread only) and defective devices
+//! (process spread plus one sampled fault).
+
+use crate::fault::{DeviceFaults, FaultUniverse};
+use crate::netlist::Circuit;
+use crate::sim::Device;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-block process variation, stored as z-scores so the block's declared
+/// sigmas scale them at simulation time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Variation {
+    gain_z: Vec<f64>,
+    offset_z: Vec<f64>,
+}
+
+impl Variation {
+    /// No variation at all (golden device).
+    pub fn nominal(block_count: usize) -> Self {
+        Variation { gain_z: vec![0.0; block_count], offset_z: vec![0.0; block_count] }
+    }
+
+    /// Builds from explicit z-score vectors (tests, corner analysis).
+    pub fn from_z_scores(gain_z: Vec<f64>, offset_z: Vec<f64>) -> Self {
+        Variation { gain_z, offset_z }
+    }
+
+    /// Draws i.i.d. standard-normal z-scores for every block.
+    pub fn sample<R: Rng + ?Sized>(block_count: usize, rng: &mut R) -> Self {
+        Variation {
+            gain_z: (0..block_count).map(|_| standard_normal(rng)).collect(),
+            offset_z: (0..block_count).map(|_| standard_normal(rng)).collect(),
+        }
+    }
+
+    /// Gain z-score of block `index` (0.0 when out of range).
+    pub fn gain_z(&self, index: usize) -> f64 {
+        self.gain_z.get(index).copied().unwrap_or(0.0)
+    }
+
+    /// Offset z-score of block `index` (0.0 when out of range).
+    pub fn offset_z(&self, index: usize) -> f64 {
+        self.offset_z.get(index).copied().unwrap_or(0.0)
+    }
+}
+
+/// Standard-normal draw via the Box–Muller transform (keeps the dependency
+/// surface at `rand` alone).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates `n` good devices (process variation, no faults).
+pub fn sample_good_devices<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    n: usize,
+    first_id: u64,
+    rng: &mut R,
+) -> Vec<Device> {
+    (0..n)
+        .map(|i| Device {
+            id: first_id + i as u64,
+            variation: Variation::sample(circuit.block_count(), rng),
+            faults: DeviceFaults::healthy(),
+        })
+        .collect()
+}
+
+/// Generates `n` defective devices, each carrying one fault drawn from the
+/// universe. Returns an empty vector when the universe cannot be sampled.
+pub fn sample_defective_devices<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    universe: &FaultUniverse,
+    n: usize,
+    first_id: u64,
+    rng: &mut R,
+) -> Vec<Device> {
+    (0..n)
+        .filter_map(|i| {
+            let fault = universe.sample(rng)?;
+            Some(Device {
+                id: first_id + i as u64,
+                variation: Variation::sample(circuit.block_count(), rng),
+                faults: DeviceFaults::single(fault),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Behavior;
+    use crate::block::BlockId;
+    use crate::fault::{Fault, FaultMode};
+    use crate::netlist::CircuitBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn one_block_circuit() -> Circuit {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.net("a").unwrap();
+        let o = cb.net("o").unwrap();
+        cb.block("buf", Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 }, [a], o)
+            .unwrap();
+        cb.build().unwrap()
+    }
+
+    #[test]
+    fn nominal_variation_is_zero() {
+        let v = Variation::nominal(3);
+        for i in 0..3 {
+            assert_eq!(v.gain_z(i), 0.0);
+            assert_eq!(v.offset_z(i), 0.0);
+        }
+        assert_eq!(v.gain_z(99), 0.0, "out of range reads as nominal");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn good_devices_are_healthy_with_spread() {
+        let c = one_block_circuit();
+        let mut rng = StdRng::seed_from_u64(4);
+        let devices = sample_good_devices(&c, 50, 100, &mut rng);
+        assert_eq!(devices.len(), 50);
+        assert_eq!(devices[0].id, 100);
+        assert_eq!(devices[49].id, 149);
+        assert!(devices.iter().all(|d| d.is_healthy()));
+        // Not all variations identical (overwhelmingly likely).
+        assert!(devices.windows(2).any(|w| w[0].variation != w[1].variation));
+    }
+
+    #[test]
+    fn defective_devices_carry_one_fault() {
+        let c = one_block_circuit();
+        let mut universe = FaultUniverse::new();
+        universe.add(Fault::new(BlockId::from_index(0), FaultMode::Dead), 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let devices = sample_defective_devices(&c, &universe, 20, 0, &mut rng);
+        assert_eq!(devices.len(), 20);
+        assert!(devices.iter().all(|d| d.faults.len() == 1));
+    }
+
+    #[test]
+    fn empty_universe_yields_no_devices() {
+        let c = one_block_circuit();
+        let mut rng = StdRng::seed_from_u64(4);
+        let devices =
+            sample_defective_devices(&c, &FaultUniverse::new(), 5, 0, &mut rng);
+        assert!(devices.is_empty());
+    }
+}

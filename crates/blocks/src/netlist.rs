@@ -1,0 +1,423 @@
+//! Block-level netlists: nets, blocks, wiring validation.
+
+use crate::behavior::Behavior;
+use crate::block::{Block, BlockId, NetId};
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Incremental constructor for [`Circuit`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), abbd_blocks::Error> {
+/// use abbd_blocks::{Behavior, CircuitBuilder};
+///
+/// let mut cb = CircuitBuilder::new();
+/// let vbat = cb.net("vbat")?;
+/// let vref = cb.net("vref")?;
+/// cb.block(
+///     "bandgap",
+///     Behavior::Reference { nominal: 1.2, min_supply: 4.0 },
+///     [vbat],
+///     vref,
+/// )?;
+/// let circuit = cb.build()?;
+/// assert_eq!(circuit.block_count(), 1);
+/// assert_eq!(circuit.input_nets(), vec![vbat]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CircuitBuilder {
+    nets: Vec<String>,
+    nets_by_name: HashMap<String, NetId>,
+    blocks: Vec<Block>,
+    blocks_by_name: HashMap<String, BlockId>,
+    driver: HashMap<NetId, BlockId>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DuplicateNet`] for repeated names.
+    pub fn net<N: Into<String>>(&mut self, name: N) -> Result<NetId> {
+        let name = name.into();
+        if self.nets_by_name.contains_key(&name) {
+            return Err(Error::DuplicateNet(name));
+        }
+        let id = NetId::from_index(self.nets.len());
+        self.nets_by_name.insert(name.clone(), id);
+        self.nets.push(name);
+        Ok(id)
+    }
+
+    /// Declares a block with default process spreads (1% gain, 10 mV
+    /// offset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DuplicateBlock`], [`Error::UnknownNet`],
+    /// [`Error::ArityMismatch`] or [`Error::MultipleDrivers`].
+    pub fn block<N, I>(
+        &mut self,
+        name: N,
+        behavior: Behavior,
+        inputs: I,
+        output: NetId,
+    ) -> Result<BlockId>
+    where
+        N: Into<String>,
+        I: IntoIterator<Item = NetId>,
+    {
+        self.block_with_spread(name, behavior, inputs, output, 0.01, 0.01)
+    }
+
+    /// Declares a block with explicit process spreads.
+    ///
+    /// # Errors
+    ///
+    /// See [`CircuitBuilder::block`]; additionally
+    /// [`Error::InvalidParameter`] for negative spreads.
+    pub fn block_with_spread<N, I>(
+        &mut self,
+        name: N,
+        behavior: Behavior,
+        inputs: I,
+        output: NetId,
+        gain_sigma: f64,
+        offset_sigma: f64,
+    ) -> Result<BlockId>
+    where
+        N: Into<String>,
+        I: IntoIterator<Item = NetId>,
+    {
+        let name = name.into();
+        if self.blocks_by_name.contains_key(&name) {
+            return Err(Error::DuplicateBlock(name));
+        }
+        let inputs: Vec<NetId> = inputs.into_iter().collect();
+        for n in inputs.iter().chain([&output]) {
+            if n.index() >= self.nets.len() {
+                return Err(Error::UnknownNet(format!("{n}")));
+            }
+        }
+        if behavior.arity() != inputs.len() {
+            return Err(Error::ArityMismatch {
+                block: name,
+                expected: behavior.arity(),
+                actual: inputs.len(),
+            });
+        }
+        if gain_sigma < 0.0 || offset_sigma < 0.0 {
+            return Err(Error::InvalidParameter {
+                block: name,
+                reason: "process spreads must be non-negative".into(),
+            });
+        }
+        if let Some(existing) = self.driver.get(&output) {
+            return Err(Error::MultipleDrivers {
+                net: self.nets[output.index()].clone(),
+                block: self.blocks[existing.index()].name.clone(),
+            });
+        }
+        let id = BlockId::from_index(self.blocks.len());
+        self.driver.insert(output, id);
+        self.blocks_by_name.insert(name.clone(), id);
+        self.blocks.push(Block { name, behavior, inputs, output, gain_sigma, offset_sigma });
+        Ok(id)
+    }
+
+    /// Looks up a previously declared net.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets_by_name.get(name).copied()
+    }
+
+    /// Finalises the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a builder that only accepted valid calls;
+    /// kept fallible for forward compatibility.
+    pub fn build(self) -> Result<Circuit> {
+        Ok(Circuit {
+            nets: self.nets,
+            nets_by_name: self.nets_by_name,
+            blocks: self.blocks,
+            blocks_by_name: self.blocks_by_name,
+        })
+    }
+}
+
+/// A validated block-level circuit: named nets, blocks with behaviours,
+/// and single-driver wiring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    nets: Vec<String>,
+    nets_by_name: HashMap<String, NetId>,
+    blocks: Vec<Block>,
+    blocks_by_name: HashMap<String, BlockId>,
+}
+
+impl Circuit {
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterator over all block handles in declaration order.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len()).map(BlockId::from_index)
+    }
+
+    /// Iterator over all net handles in declaration order.
+    pub fn nets(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len()).map(NetId::from_index)
+    }
+
+    /// The definition record of `block`.
+    pub fn block(&self, block: BlockId) -> &Block {
+        &self.blocks[block.index()]
+    }
+
+    /// The name of `net`.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.nets[net.index()]
+    }
+
+    /// Looks up a block by name.
+    pub fn find_block(&self, name: &str) -> Option<BlockId> {
+        self.blocks_by_name.get(name).copied()
+    }
+
+    /// Looks up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets_by_name.get(name).copied()
+    }
+
+    /// Like [`Circuit::find_net`] but returns an error carrying the name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNet`].
+    pub fn require_net(&self, name: &str) -> Result<NetId> {
+        self.find_net(name).ok_or_else(|| Error::UnknownNet(name.into()))
+    }
+
+    /// Like [`Circuit::find_block`] but returns an error carrying the name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownBlock`].
+    pub fn require_block(&self, name: &str) -> Result<BlockId> {
+        self.find_block(name).ok_or_else(|| Error::UnknownBlock(name.into()))
+    }
+
+    /// The block driving `net`, if any.
+    pub fn driver_of(&self, net: NetId) -> Option<BlockId> {
+        self.blocks().find(|b| self.blocks[b.index()].output == net)
+    }
+
+    /// Nets with no driving block — the circuit's external inputs, which a
+    /// [`crate::Stimulus`] is expected to force.
+    pub fn input_nets(&self) -> Vec<NetId> {
+        self.nets().filter(|n| self.driver_of(*n).is_none()).collect()
+    }
+
+    /// Renders the block diagram in Graphviz DOT syntax.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph circuit {\n  rankdir=LR;\n");
+        for b in self.blocks() {
+            out.push_str(&format!("  \"{}\" [shape=box];\n", self.block(b).name));
+        }
+        for b in self.blocks() {
+            let blk = self.block(b);
+            for i in &blk.inputs {
+                match self.driver_of(*i) {
+                    Some(src) => out.push_str(&format!(
+                        "  \"{}\" -> \"{}\" [label=\"{}\"];\n",
+                        self.block(src).name,
+                        blk.name,
+                        self.net_name(*i)
+                    )),
+                    None => out.push_str(&format!(
+                        "  \"{}\" [shape=plaintext];\n  \"{}\" -> \"{}\";\n",
+                        self.net_name(*i),
+                        self.net_name(*i),
+                        blk.name
+                    )),
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{LogicOp, Window};
+
+    fn tiny() -> Circuit {
+        let mut cb = CircuitBuilder::new();
+        let vbat = cb.net("vbat").unwrap();
+        let en = cb.net("en").unwrap();
+        let vref = cb.net("vref").unwrap();
+        let vout = cb.net("vout").unwrap();
+        cb.block(
+            "bandgap",
+            Behavior::Reference { nominal: 1.2, min_supply: 4.0 },
+            [vbat],
+            vref,
+        )
+        .unwrap();
+        cb.block(
+            "reg",
+            Behavior::Regulator {
+                nominal: 5.0,
+                dropout: 0.5,
+                enable_threshold: 2.0,
+                reference: Window::new(1.1, 1.3),
+            },
+            [vbat, en, vref],
+            vout,
+        )
+        .unwrap();
+        cb.build().unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let c = tiny();
+        assert_eq!(c.net_count(), 4);
+        assert_eq!(c.block_count(), 2);
+        let reg = c.find_block("reg").unwrap();
+        assert_eq!(c.block(reg).name, "reg");
+        assert_eq!(c.block(reg).inputs.len(), 3);
+        assert!(c.find_block("nope").is_none());
+        assert!(c.require_block("nope").is_err());
+        let vout = c.find_net("vout").unwrap();
+        assert_eq!(c.net_name(vout), "vout");
+        assert!(c.require_net("ghost").is_err());
+        assert_eq!(c.driver_of(vout), Some(reg));
+    }
+
+    #[test]
+    fn input_nets_are_undriven() {
+        let c = tiny();
+        let names: Vec<&str> =
+            c.input_nets().iter().map(|n| c.net_name(*n)).collect();
+        assert_eq!(names, vec!["vbat", "en"]);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut cb = CircuitBuilder::new();
+        cb.net("a").unwrap();
+        assert!(matches!(cb.net("a"), Err(Error::DuplicateNet(_))));
+        let n = cb.net("out").unwrap();
+        let s = cb.net("in").unwrap();
+        cb.block("x", Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 }, [s], n)
+            .unwrap();
+        assert!(matches!(
+            cb.block("x", Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 }, [s], n),
+            Err(Error::DuplicateBlock(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_multiple_drivers() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.net("a").unwrap();
+        let out = cb.net("out").unwrap();
+        cb.block("x", Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 }, [a], out)
+            .unwrap();
+        let err = cb.block(
+            "y",
+            Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 },
+            [a],
+            out,
+        );
+        assert!(matches!(err, Err(Error::MultipleDrivers { .. })));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch_and_bad_spread() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.net("a").unwrap();
+        let out = cb.net("out").unwrap();
+        assert!(matches!(
+            cb.block(
+                "or2",
+                Behavior::Logic {
+                    op: LogicOp::Or,
+                    windows: vec![Window::new(0.0, 1.0), Window::new(0.0, 1.0)],
+                    out_low: 0.0,
+                    out_high: 5.0,
+                },
+                [a],
+                out,
+            ),
+            Err(Error::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            cb.block_with_spread(
+                "bad",
+                Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 },
+                [a],
+                out,
+                -0.1,
+                0.0,
+            ),
+            Err(Error::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_net_handle() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.net("a").unwrap();
+        let ghost = NetId::from_index(42);
+        assert!(matches!(
+            cb.block(
+                "x",
+                Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 },
+                [a],
+                ghost,
+            ),
+            Err(Error::UnknownNet(_))
+        ));
+    }
+
+    #[test]
+    fn dot_render_mentions_blocks_and_nets() {
+        let c = tiny();
+        let dot = c.to_dot();
+        assert!(dot.contains("\"bandgap\""));
+        assert!(dot.contains("\"reg\""));
+        assert!(dot.contains("vref"));
+        assert!(dot.contains("vbat"));
+    }
+
+    #[test]
+    fn builder_find_net() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.net("a").unwrap();
+        assert_eq!(cb.find_net("a"), Some(a));
+        assert_eq!(cb.find_net("b"), None);
+    }
+}

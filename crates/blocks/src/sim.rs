@@ -1,0 +1,390 @@
+//! DC fixed-point simulation of a block-level circuit under stimulus,
+//! process variation and injected faults.
+
+use crate::block::NetId;
+use crate::error::{Error, Result};
+use crate::fault::DeviceFaults;
+use crate::mc::Variation;
+use crate::netlist::Circuit;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Forced voltages on external input nets (supplies, enable pins).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Stimulus {
+    forced: BTreeMap<NetId, f64>,
+}
+
+impl Stimulus {
+    /// An empty stimulus (all inputs float to 0 V).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forces `net` to `volts`, replacing any previous value.
+    pub fn force(&mut self, net: NetId, volts: f64) -> &mut Self {
+        self.forced.insert(net, volts);
+        self
+    }
+
+    /// The forced level on `net`, if any.
+    pub fn level_of(&self, net: NetId) -> Option<f64> {
+        self.forced.get(&net).copied()
+    }
+
+    /// Iterates `(net, volts)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NetId, f64)> + '_ {
+        self.forced.iter().map(|(n, v)| (*n, *v))
+    }
+
+    /// Number of forced nets.
+    pub fn len(&self) -> usize {
+        self.forced.len()
+    }
+
+    /// `true` when nothing is forced.
+    pub fn is_empty(&self) -> bool {
+        self.forced.is_empty()
+    }
+}
+
+impl FromIterator<(NetId, f64)> for Stimulus {
+    fn from_iter<I: IntoIterator<Item = (NetId, f64)>>(iter: I) -> Self {
+        Stimulus { forced: iter.into_iter().collect() }
+    }
+}
+
+/// One device under test: identity, process variation and fault state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Serial number (unique within a population).
+    pub id: u64,
+    /// Per-block process variation.
+    pub variation: Variation,
+    /// Injected faults (empty for a good device).
+    pub faults: DeviceFaults,
+}
+
+impl Device {
+    /// A nominal, fault-free device (no process variation).
+    pub fn golden(circuit: &Circuit) -> Self {
+        Device {
+            id: 0,
+            variation: Variation::nominal(circuit.block_count()),
+            faults: DeviceFaults::healthy(),
+        }
+    }
+
+    /// `true` when no fault is injected.
+    pub fn is_healthy(&self) -> bool {
+        self.faults.is_healthy()
+    }
+}
+
+/// Solver knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Maximum Gauss–Seidel sweeps.
+    pub max_iterations: usize,
+    /// Convergence threshold on the worst per-net voltage delta.
+    pub tolerance: f64,
+    /// Relaxation factor in `(0, 1]`; lower values damp feedback loops.
+    pub damping: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { max_iterations: 200, tolerance: 1e-9, damping: 1.0 }
+    }
+}
+
+/// The solved DC operating point of a device under one stimulus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    voltages: Vec<f64>,
+    iterations: usize,
+}
+
+impl OperatingPoint {
+    /// The voltage on `net`.
+    pub fn voltage(&self, net: NetId) -> f64 {
+        self.voltages[net.index()]
+    }
+
+    /// All net voltages, indexed by net.
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// Sweeps the solver needed to settle.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+/// DC solver: repeated Gauss–Seidel sweeps over the blocks until every net
+/// settles.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), abbd_blocks::Error> {
+/// use abbd_blocks::{Behavior, CircuitBuilder, Device, SimConfig, Simulator, Stimulus};
+///
+/// let mut cb = CircuitBuilder::new();
+/// let vbat = cb.net("vbat")?;
+/// let vref = cb.net("vref")?;
+/// cb.block("bg", Behavior::Reference { nominal: 1.2, min_supply: 4.0 }, [vbat], vref)?;
+/// let circuit = cb.build()?;
+///
+/// let sim = Simulator::new(&circuit, SimConfig::default());
+/// let mut stim = Stimulus::new();
+/// stim.force(vbat, 12.0);
+/// let op = sim.solve(&Device::golden(&circuit), &stim)?;
+/// assert!((op.voltage(vref) - 1.2).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    circuit: &'a Circuit,
+    config: SimConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a solver over `circuit`.
+    pub fn new(circuit: &'a Circuit, config: SimConfig) -> Self {
+        Simulator { circuit, config }
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// Solves the DC operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::StimulusOnDrivenNet`] when the stimulus collides
+    /// with a block output, and [`Error::NotConverged`] when the fixed
+    /// point does not settle (oscillating feedback).
+    pub fn solve(&self, device: &Device, stimulus: &Stimulus) -> Result<OperatingPoint> {
+        for (net, _) in stimulus.iter() {
+            if net.index() >= self.circuit.net_count() {
+                return Err(Error::UnknownNet(format!("{net}")));
+            }
+            if self.circuit.driver_of(net).is_some() {
+                return Err(Error::StimulusOnDrivenNet(
+                    self.circuit.net_name(net).into(),
+                ));
+            }
+        }
+
+        let mut voltages = vec![0.0f64; self.circuit.net_count()];
+        for (net, v) in stimulus.iter() {
+            voltages[net.index()] = v;
+        }
+
+        let mut inputs_buf: Vec<f64> = Vec::new();
+        for sweep in 0..self.config.max_iterations {
+            let mut residual = 0.0f64;
+            for b in self.circuit.blocks() {
+                let blk = self.circuit.block(b);
+                inputs_buf.clear();
+                inputs_buf.extend(blk.inputs.iter().map(|n| voltages[n.index()]));
+                let healthy = blk.behavior.evaluate(&inputs_buf);
+                let varied = self.apply_variation(device, b.index(), healthy);
+                let out = match device.faults.mode_of(b) {
+                    Some(mode) => mode.apply(varied, &inputs_buf),
+                    None => varied,
+                };
+                let slot = &mut voltages[blk.output.index()];
+                let next = *slot + self.config.damping * (out - *slot);
+                residual = residual.max((next - *slot).abs());
+                *slot = next;
+            }
+            if residual <= self.config.tolerance {
+                return Ok(OperatingPoint { voltages, iterations: sweep + 1 });
+            }
+        }
+        Err(Error::NotConverged {
+            iterations: self.config.max_iterations,
+            residual: f64::NAN,
+        })
+    }
+
+    fn apply_variation(&self, device: &Device, block_index: usize, value: f64) -> f64 {
+        let blk = self.circuit.block(crate::block::BlockId::from_index(block_index));
+        let gain = 1.0 + blk.gain_sigma * device.variation.gain_z(block_index);
+        let offset = blk.offset_sigma * device.variation.offset_z(block_index);
+        value * gain + offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{Behavior, LogicOp, Window};
+    use crate::block::BlockId;
+    use crate::fault::{Fault, FaultMode};
+    use crate::netlist::CircuitBuilder;
+
+    /// bandgap -> regulator chain with an enable pin.
+    fn chain() -> (Circuit, NetId, NetId, NetId, NetId) {
+        let mut cb = CircuitBuilder::new();
+        let vbat = cb.net("vbat").unwrap();
+        let en = cb.net("en").unwrap();
+        let vref = cb.net("vref").unwrap();
+        let vout = cb.net("vout").unwrap();
+        cb.block(
+            "bandgap",
+            Behavior::Reference { nominal: 1.2, min_supply: 4.0 },
+            [vbat],
+            vref,
+        )
+        .unwrap();
+        cb.block(
+            "reg",
+            Behavior::Regulator {
+                nominal: 5.0,
+                dropout: 0.5,
+                enable_threshold: 2.0,
+                reference: Window::new(1.1, 1.3),
+            },
+            [vbat, en, vref],
+            vout,
+        )
+        .unwrap();
+        (cb.build().unwrap(), vbat, en, vref, vout)
+    }
+
+    #[test]
+    fn healthy_chain_regulates() {
+        let (c, vbat, en, vref, vout) = chain();
+        let sim = Simulator::new(&c, SimConfig::default());
+        let mut stim = Stimulus::new();
+        stim.force(vbat, 12.0).force(en, 3.3);
+        let op = sim.solve(&Device::golden(&c), &stim).unwrap();
+        assert!((op.voltage(vref) - 1.2).abs() < 1e-9);
+        assert!((op.voltage(vout) - 5.0).abs() < 1e-9);
+        assert!(op.iterations() <= 5);
+        assert_eq!(op.voltages().len(), 4);
+    }
+
+    #[test]
+    fn disabled_regulator_outputs_zero() {
+        let (c, vbat, en, _, vout) = chain();
+        let sim = Simulator::new(&c, SimConfig::default());
+        let mut stim = Stimulus::new();
+        stim.force(vbat, 12.0).force(en, 0.0);
+        let op = sim.solve(&Device::golden(&c), &stim).unwrap();
+        assert_eq!(op.voltage(vout), 0.0);
+    }
+
+    #[test]
+    fn dead_bandgap_kills_downstream_regulator() {
+        let (c, vbat, en, vref, vout) = chain();
+        let bandgap = c.find_block("bandgap").unwrap();
+        let sim = Simulator::new(&c, SimConfig::default());
+        let mut stim = Stimulus::new();
+        stim.force(vbat, 12.0).force(en, 3.3);
+        let mut dut = Device::golden(&c);
+        dut.faults = DeviceFaults::single(Fault::new(bandgap, FaultMode::Dead));
+        let op = sim.solve(&dut, &stim).unwrap();
+        assert_eq!(op.voltage(vref), 0.0);
+        assert_eq!(op.voltage(vout), 0.0, "regulator loses its reference");
+    }
+
+    #[test]
+    fn gain_drift_propagates() {
+        let (c, vbat, en, vref, vout) = chain();
+        let bandgap = c.find_block("bandgap").unwrap();
+        let sim = Simulator::new(&c, SimConfig::default());
+        let mut stim = Stimulus::new();
+        stim.force(vbat, 12.0).force(en, 3.3);
+        let mut dut = Device::golden(&c);
+        // 20% low reference leaves the qualification window -> reg drops out.
+        dut.faults = DeviceFaults::single(Fault::new(bandgap, FaultMode::GainDrift(0.8)));
+        let op = sim.solve(&dut, &stim).unwrap();
+        assert!((op.voltage(vref) - 0.96).abs() < 1e-9);
+        assert_eq!(op.voltage(vout), 0.0);
+    }
+
+    #[test]
+    fn stimulus_on_driven_net_is_rejected() {
+        let (c, _, _, vref, _) = chain();
+        let sim = Simulator::new(&c, SimConfig::default());
+        let mut stim = Stimulus::new();
+        stim.force(vref, 1.2);
+        assert!(matches!(
+            sim.solve(&Device::golden(&c), &stim),
+            Err(Error::StimulusOnDrivenNet(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_stimulus_net_is_rejected() {
+        let (c, _, _, _, _) = chain();
+        let sim = Simulator::new(&c, SimConfig::default());
+        let mut stim = Stimulus::new();
+        stim.force(NetId::from_index(99), 1.0);
+        assert!(matches!(
+            sim.solve(&Device::golden(&c), &stim),
+            Err(Error::UnknownNet(_))
+        ));
+    }
+
+    #[test]
+    fn oscillating_loop_reports_nonconvergence() {
+        // An inverter driving itself through the logic window flips forever.
+        let mut cb = CircuitBuilder::new();
+        let x = cb.net("x").unwrap();
+        cb.block(
+            "inv",
+            Behavior::Logic {
+                op: LogicOp::And,
+                windows: vec![Window::new(0.0, 1.0)], // high when input low
+                out_low: 0.0,
+                out_high: 5.0,
+            },
+            [x],
+            x,
+        )
+        .unwrap();
+        let c = cb.build().unwrap();
+        let sim = Simulator::new(&c, SimConfig { damping: 1.0, ..SimConfig::default() });
+        let err = sim.solve(&Device::golden(&c), &Stimulus::new());
+        assert!(matches!(err, Err(Error::NotConverged { .. })));
+    }
+
+    #[test]
+    fn variation_shifts_outputs() {
+        let (c, vbat, en, vref, _) = chain();
+        let sim = Simulator::new(&c, SimConfig::default());
+        let mut stim = Stimulus::new();
+        stim.force(vbat, 12.0).force(en, 3.3);
+        let mut dut = Device::golden(&c);
+        // +3 sigma gain on every block: bandgap 1% sigma -> +3%.
+        dut.variation = Variation::from_z_scores(
+            vec![3.0; c.block_count()],
+            vec![0.0; c.block_count()],
+        );
+        let op = sim.solve(&dut, &stim).unwrap();
+        assert!((op.voltage(vref) - 1.2 * 1.03).abs() < 1e-9);
+        let _ = (vref, en);
+    }
+
+    #[test]
+    fn stimulus_collection_helpers() {
+        let mut s = Stimulus::new();
+        assert!(s.is_empty());
+        s.force(NetId::from_index(0), 1.5);
+        s.force(NetId::from_index(0), 2.5); // replaces
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.level_of(NetId::from_index(0)), Some(2.5));
+        let s2: Stimulus = [(NetId::from_index(1), 3.0)].into_iter().collect();
+        assert_eq!(s2.iter().count(), 1);
+        let _ = BlockId::from_index(0);
+    }
+}

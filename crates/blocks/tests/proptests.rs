@@ -1,0 +1,137 @@
+//! Property-based tests for the block-level simulator: random chains and
+//! stimuli must converge, fault transforms must respect their contracts,
+//! and process variation must stay bounded.
+
+use abbd_blocks::{
+    Behavior, Circuit, CircuitBuilder, Device, DeviceFaults, Fault, FaultMode,
+    SimConfig, Simulator, Stimulus, Variation, Window,
+};
+use proptest::prelude::*;
+
+/// A random feed-forward chain of level shifters and references.
+fn random_chain(stages: &[(f64, f64)]) -> Circuit {
+    let mut cb = CircuitBuilder::new();
+    let mut prev = cb.net("in").unwrap();
+    for (i, (gain, offset)) in stages.iter().enumerate() {
+        let out = cb.net(format!("n{i}")).unwrap();
+        cb.block(
+            format!("b{i}"),
+            Behavior::LevelShift { gain: *gain, offset: *offset, rail: 20.0 },
+            [prev],
+            out,
+        )
+        .unwrap();
+        prev = out;
+    }
+    cb.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn feedforward_chains_always_converge(
+        stages in proptest::collection::vec((0.1f64..2.0, -1.0f64..1.0), 1..12),
+        vin in 0.0f64..15.0,
+    ) {
+        let circuit = random_chain(&stages);
+        let sim = Simulator::new(&circuit, SimConfig::default());
+        let mut stim = Stimulus::new();
+        stim.force(circuit.find_net("in").unwrap(), vin);
+        let op = sim.solve(&Device::golden(&circuit), &stim).unwrap();
+        // A DAG settles within depth+1 sweeps.
+        prop_assert!(op.iterations() <= stages.len() + 1);
+        // Every voltage respects the rail clamps.
+        for v in op.voltages() {
+            prop_assert!((0.0..=20.0).contains(v) || *v == vin);
+        }
+    }
+
+    #[test]
+    fn dead_fault_always_zeroes_its_output(
+        stages in proptest::collection::vec((0.2f64..1.5, 0.0f64..0.5), 2..8),
+        vin in 1.0f64..10.0,
+        which in 0usize..8,
+    ) {
+        let circuit = random_chain(&stages);
+        let which = which % stages.len();
+        let block = circuit.find_block(&format!("b{which}")).unwrap();
+        let mut dut = Device::golden(&circuit);
+        dut.faults = DeviceFaults::single(Fault::new(block, FaultMode::Dead));
+        let sim = Simulator::new(&circuit, SimConfig::default());
+        let mut stim = Stimulus::new();
+        stim.force(circuit.find_net("in").unwrap(), vin);
+        let op = sim.solve(&dut, &stim).unwrap();
+        let out = circuit.block(block).output;
+        prop_assert_eq!(op.voltage(out), 0.0);
+    }
+
+    #[test]
+    fn stuck_fault_pins_its_output(
+        stages in proptest::collection::vec((0.2f64..1.5, 0.0f64..0.5), 1..6),
+        vin in 0.0f64..10.0,
+        level in -2.0f64..18.0,
+    ) {
+        let circuit = random_chain(&stages);
+        let block = circuit.find_block("b0").unwrap();
+        let mut dut = Device::golden(&circuit);
+        dut.faults = DeviceFaults::single(Fault::new(block, FaultMode::StuckAt(level)));
+        let sim = Simulator::new(&circuit, SimConfig::default());
+        let mut stim = Stimulus::new();
+        stim.force(circuit.find_net("in").unwrap(), vin);
+        let op = sim.solve(&dut, &stim).unwrap();
+        prop_assert_eq!(op.voltage(circuit.block(block).output), level);
+    }
+
+    #[test]
+    fn gain_drift_scales_healthy_output(
+        vin in 1.0f64..10.0,
+        k in 0.1f64..1.5,
+    ) {
+        let circuit = random_chain(&[(1.0, 0.0)]);
+        let block = circuit.find_block("b0").unwrap();
+        let sim = Simulator::new(&circuit, SimConfig::default());
+        let mut stim = Stimulus::new();
+        stim.force(circuit.find_net("in").unwrap(), vin);
+
+        let healthy = sim.solve(&Device::golden(&circuit), &stim).unwrap();
+        let mut dut = Device::golden(&circuit);
+        dut.faults = DeviceFaults::single(Fault::new(block, FaultMode::GainDrift(k)));
+        let drifted = sim.solve(&dut, &stim).unwrap();
+        let out = circuit.block(block).output;
+        prop_assert!(
+            (drifted.voltage(out) - healthy.voltage(out) * k).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn regulator_output_is_monotone_in_supply(
+        v_lo in 0.0f64..6.0,
+        delta in 0.0f64..10.0,
+    ) {
+        let reg = Behavior::Regulator {
+            nominal: 5.0,
+            dropout: 0.7,
+            enable_threshold: 2.0,
+            reference: Window::new(1.0, 1.4),
+        };
+        let lo = reg.evaluate(&[v_lo, 3.0, 1.2]);
+        let hi = reg.evaluate(&[v_lo + delta, 3.0, 1.2]);
+        prop_assert!(hi >= lo - 1e-12, "supply up, output must not fall");
+        prop_assert!(hi <= 5.0 + 1e-12, "never exceeds nominal");
+    }
+
+    #[test]
+    fn variation_z_scores_roundtrip(
+        gains in proptest::collection::vec(-3.0f64..3.0, 1..10),
+        offsets in proptest::collection::vec(-3.0f64..3.0, 1..10),
+    ) {
+        let n = gains.len().min(offsets.len());
+        let v = Variation::from_z_scores(gains[..n].to_vec(), offsets[..n].to_vec());
+        for i in 0..n {
+            prop_assert_eq!(v.gain_z(i), gains[i]);
+            prop_assert_eq!(v.offset_z(i), offsets[i]);
+        }
+        prop_assert_eq!(v.gain_z(n + 5), 0.0);
+    }
+}

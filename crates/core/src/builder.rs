@@ -1,0 +1,502 @@
+//! The model builder: structure + expert estimate + cases → a fitted
+//! diagnostic model (the paper's §III-A modelling flow end to end).
+
+use crate::error::{Error, Result};
+use crate::model::CircuitModel;
+use abbd_bbn::learn::{
+    fit_conjugate_gradient, fit_em, Case, CgConfig, DirichletPrior, EmConfig,
+};
+use abbd_bbn::{Network, NetworkBuilder, VarId};
+use abbd_dlog2bbn::NamedCase;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The product expert's rough CPT estimates (paper: "the product designer
+/// initially provided a rough estimate of the conditional probability
+/// tables"), with an equivalent sample size controlling how strongly the
+/// estimate resists the data during fine-tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpertKnowledge {
+    cpts: BTreeMap<String, Vec<f64>>,
+    equivalent_sample_size: f64,
+}
+
+impl ExpertKnowledge {
+    /// An empty estimate with the given equivalent sample size; variables
+    /// without an explicit table start from uniform CPTs.
+    pub fn new(equivalent_sample_size: f64) -> Self {
+        ExpertKnowledge { cpts: BTreeMap::new(), equivalent_sample_size }
+    }
+
+    /// Sets the expert CPT of `variable` as rows over parent configurations
+    /// (last declared parent fastest), each row a distribution over the
+    /// variable's states.
+    pub fn cpt<N, R, V>(&mut self, variable: N, rows: R) -> &mut Self
+    where
+        N: Into<String>,
+        R: IntoIterator<Item = V>,
+        V: IntoIterator<Item = f64>,
+    {
+        self.cpts.insert(
+            variable.into(),
+            rows.into_iter().flat_map(|r| r.into_iter()).collect(),
+        );
+        self
+    }
+
+    /// The equivalent sample size of the estimate.
+    pub fn equivalent_sample_size(&self) -> f64 {
+        self.equivalent_sample_size
+    }
+
+    /// The flat expert table for `variable`, if provided.
+    pub fn table(&self, variable: &str) -> Option<&[f64]> {
+        self.cpts.get(variable).map(Vec::as_slice)
+    }
+}
+
+/// Which learning algorithm fine-tunes the CPTs (the two named in the
+/// paper, §III-A.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearnAlgorithm {
+    /// Expectation–maximisation (the default).
+    Em(EmConfig),
+    /// Conjugate-gradient ascent on the MAP objective.
+    ConjugateGradient(CgConfig),
+}
+
+impl Default for LearnAlgorithm {
+    fn default() -> Self {
+        LearnAlgorithm::Em(EmConfig::default())
+    }
+}
+
+/// Summary of a fine-tuning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnSummary {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the optimiser converged within its budget.
+    pub converged: bool,
+    /// Objective trace (log-likelihood for EM, MAP objective for CG).
+    pub objective_trace: Vec<f64>,
+    /// Cases used.
+    pub case_count: usize,
+    /// Cases skipped as impossible under the model.
+    pub skipped_cases: usize,
+}
+
+/// A ready-to-diagnose model: the fitted Bayesian network plus the circuit
+/// model it was built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnosticModel {
+    model: CircuitModel,
+    network: Network,
+    summary: Option<LearnSummary>,
+}
+
+impl DiagnosticModel {
+    /// The fitted network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The structural circuit model.
+    pub fn circuit_model(&self) -> &CircuitModel {
+        &self.model
+    }
+
+    /// The learning summary (absent for an expert-only model).
+    pub fn summary(&self) -> Option<&LearnSummary> {
+        self.summary.as_ref()
+    }
+
+    /// The network handle of a model variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownVariable`].
+    pub fn var(&self, name: &str) -> Result<VarId> {
+        self.network.var(name).ok_or_else(|| Error::UnknownVariable(name.into()))
+    }
+}
+
+/// Builds diagnostic models from a [`CircuitModel`], optional expert
+/// knowledge, and learning cases.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), abbd_core::Error> {
+/// use abbd_core::{CircuitModel, ModelBuilder};
+/// use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
+///
+/// let spec = ModelSpec::new([
+///     VariableSpec {
+///         name: "bias".into(),
+///         ftype: FunctionalType::Latent,
+///         bands: vec![
+///             StateBand::new("0", 0.0, 1.0, "non-operational"),
+///             StateBand::new("1", 1.0, 1.4, "operational"),
+///         ],
+///         ckt_ref: None,
+///     },
+///     VariableSpec {
+///         name: "out".into(),
+///         ftype: FunctionalType::Observe,
+///         bands: vec![
+///             StateBand::new("0", 0.0, 4.5, "fail"),
+///             StateBand::new("1", 4.5, 5.5, "pass"),
+///         ],
+///         ckt_ref: None,
+///     },
+/// ])?;
+/// let mut model = CircuitModel::new(spec);
+/// model.depends("bias", "out")?;
+/// let diagnostic = ModelBuilder::new(model).build_expert_only()?;
+/// assert_eq!(diagnostic.network().var_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelBuilder {
+    model: CircuitModel,
+    expert: Option<ExpertKnowledge>,
+}
+
+impl ModelBuilder {
+    /// Starts from a structural circuit model.
+    pub fn new(model: CircuitModel) -> Self {
+        ModelBuilder { model, expert: None }
+    }
+
+    /// Attaches the product expert's estimates.
+    pub fn with_expert(mut self, expert: ExpertKnowledge) -> Self {
+        self.expert = Some(expert);
+        self
+    }
+
+    /// Builds the bare network: structure from the circuit model, CPTs from
+    /// the expert estimate where given, uniform otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns structure errors (cycles, shapes) and
+    /// [`Error::ExpertShape`] for mis-sized expert tables.
+    pub fn build_network(&self) -> Result<Network> {
+        let mut b = NetworkBuilder::new();
+        let mut ids: BTreeMap<&str, VarId> = BTreeMap::new();
+        for v in self.model.spec().variables() {
+            let labels: Vec<String> =
+                v.bands.iter().map(|band| band.label.clone()).collect();
+            let id = b.variable(v.name.clone(), labels).map_err(Error::Bbn)?;
+            ids.insert(v.name.as_str(), id);
+        }
+        for v in self.model.spec().variables() {
+            let parents: Vec<VarId> = self
+                .model
+                .parents_of(&v.name)
+                .iter()
+                .map(|p| ids[p])
+                .collect();
+            let configs: usize = self
+                .model
+                .parents_of(&v.name)
+                .iter()
+                .map(|p| self.model.spec().require(p).map(|pv| pv.card()))
+                .collect::<abbd_dlog2bbn::Result<Vec<_>>>()?
+                .into_iter()
+                .product();
+            let card = v.card();
+            let expected = configs * card;
+            let table = match self.expert.as_ref().and_then(|e| e.table(&v.name)) {
+                Some(t) => {
+                    if t.len() != expected {
+                        return Err(Error::ExpertShape {
+                            variable: v.name.clone(),
+                            expected,
+                            actual: t.len(),
+                        });
+                    }
+                    t.to_vec()
+                }
+                None => vec![1.0 / card as f64; expected],
+            };
+            b.cpt_flat(ids[v.name.as_str()], parents, table).map_err(Error::Bbn)?;
+        }
+        b.build().map_err(Error::Bbn)
+    }
+
+    /// Builds a diagnostic model without any data fine-tuning (expert or
+    /// uniform CPTs only) — the ablation baseline.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelBuilder::build_network`].
+    pub fn build_expert_only(&self) -> Result<DiagnosticModel> {
+        Ok(DiagnosticModel {
+            model: self.model.clone(),
+            network: self.build_network()?,
+            summary: None,
+        })
+    }
+
+    /// Builds the network and fine-tunes its CPTs on cases with the chosen
+    /// algorithm. The expert estimate acts both as the starting point and
+    /// as a Dirichlet prior with its equivalent sample size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structure and learning errors, plus
+    /// [`Error::InvalidObservation`] for cases naming unknown variables.
+    pub fn learn(
+        &self,
+        cases: &[NamedCase],
+        algorithm: LearnAlgorithm,
+    ) -> Result<DiagnosticModel> {
+        let network = self.build_network()?;
+        let bbn_cases = convert_cases(&network, self.model.spec(), cases)?;
+        let ess = self
+            .expert
+            .as_ref()
+            .map(|e| e.equivalent_sample_size())
+            .unwrap_or(1.0);
+        let prior = DirichletPrior::from_network(&network, ess);
+        let (fitted, summary) = match algorithm {
+            LearnAlgorithm::Em(config) => {
+                let out = fit_em(&network, &bbn_cases, &prior, &config).map_err(Error::Bbn)?;
+                let summary = LearnSummary {
+                    iterations: out.iterations,
+                    converged: out.converged,
+                    objective_trace: out.log_likelihood_trace,
+                    case_count: bbn_cases.len(),
+                    skipped_cases: out.skipped_cases,
+                };
+                (out.network, summary)
+            }
+            LearnAlgorithm::ConjugateGradient(config) => {
+                let out = fit_conjugate_gradient(&network, &bbn_cases, &prior, &config)
+                    .map_err(Error::Bbn)?;
+                let summary = LearnSummary {
+                    iterations: out.iterations,
+                    converged: out.converged,
+                    objective_trace: out.objective_trace,
+                    case_count: bbn_cases.len(),
+                    skipped_cases: 0,
+                };
+                (out.network, summary)
+            }
+        };
+        Ok(DiagnosticModel {
+            model: self.model.clone(),
+            network: fitted,
+            summary: Some(summary),
+        })
+    }
+
+    /// The structural circuit model this builder wraps.
+    pub fn circuit_model(&self) -> &CircuitModel {
+        &self.model
+    }
+}
+
+/// Converts name-keyed cases into network-keyed learning cases.
+fn convert_cases(
+    network: &Network,
+    spec: &abbd_dlog2bbn::ModelSpec,
+    cases: &[NamedCase],
+) -> Result<Vec<Case>> {
+    let mut out = Vec::with_capacity(cases.len());
+    for case in cases {
+        let mut pairs: Vec<(VarId, usize)> = Vec::with_capacity(case.assignment.len());
+        for (name, state) in &case.assignment {
+            let var = network
+                .var(name)
+                .ok_or_else(|| Error::UnknownVariable(name.clone()))?;
+            let card = spec.require(name)?.card();
+            if *state >= card {
+                return Err(Error::InvalidObservation {
+                    variable: name.clone(),
+                    reason: format!("state {state} out of range {card}"),
+                });
+            }
+            pairs.push((var, *state));
+        }
+        out.push(Case::from_pairs(pairs));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
+
+    fn two_state(name: &str, ftype: FunctionalType) -> VariableSpec {
+        VariableSpec {
+            name: name.into(),
+            ftype,
+            bands: vec![
+                StateBand::new("0", 0.0, 1.0, "bad"),
+                StateBand::new("1", 1.0, 2.0, "good"),
+            ],
+            ckt_ref: None,
+        }
+    }
+
+    fn model() -> CircuitModel {
+        let spec = ModelSpec::new([
+            two_state("pin", FunctionalType::Control),
+            two_state("bias", FunctionalType::Latent),
+            two_state("out", FunctionalType::Observe),
+        ])
+        .unwrap();
+        let mut m = CircuitModel::new(spec);
+        m.depends("pin", "bias").unwrap();
+        m.depends("bias", "out").unwrap();
+        m
+    }
+
+    fn expert() -> ExpertKnowledge {
+        let mut e = ExpertKnowledge::new(10.0);
+        e.cpt("pin", [[0.5, 0.5]]);
+        e.cpt("bias", [[0.9, 0.1], [0.1, 0.9]]);
+        e.cpt("out", [[0.95, 0.05], [0.2, 0.8]]);
+        e
+    }
+
+    #[test]
+    fn uniform_network_without_expert() {
+        let dm = ModelBuilder::new(model()).build_expert_only().unwrap();
+        let net = dm.network();
+        assert_eq!(net.var_count(), 3);
+        let bias = net.var("bias").unwrap();
+        assert_eq!(net.cpt(bias), &[0.5, 0.5, 0.5, 0.5]);
+        assert!(dm.summary().is_none());
+        assert!(dm.var("bias").is_ok());
+        assert!(dm.var("ghost").is_err());
+    }
+
+    #[test]
+    fn expert_cpts_are_installed() {
+        let dm = ModelBuilder::new(model())
+            .with_expert(expert())
+            .build_expert_only()
+            .unwrap();
+        let net = dm.network();
+        let out = net.var("out").unwrap();
+        assert_eq!(net.cpt(out), &[0.95, 0.05, 0.2, 0.8]);
+        // Parent order comes from the dependency declarations.
+        let bias = net.var("bias").unwrap();
+        assert_eq!(net.parents(bias).len(), 1);
+    }
+
+    #[test]
+    fn expert_shape_mismatch_is_reported() {
+        let mut e = ExpertKnowledge::new(5.0);
+        e.cpt("bias", [[0.9, 0.1]]); // needs 2 rows (pin has 2 states)
+        let err = ModelBuilder::new(model()).with_expert(e).build_expert_only();
+        assert!(matches!(err, Err(Error::ExpertShape { .. })));
+    }
+
+    #[test]
+    fn learning_from_cases_moves_cpts() {
+        let mut cases = Vec::new();
+        // pin=1 always; out almost always bad => bias likely bad given pin=1.
+        for i in 0..40 {
+            cases.push(NamedCase {
+                device_id: i,
+                suite: "s".into(),
+                assignment: vec![
+                    ("pin".into(), 1),
+                    ("out".into(), usize::from(i % 10 == 0)),
+                ],
+                failing: vec![],
+                truth: vec![],
+            });
+        }
+        let dm = ModelBuilder::new(model())
+            .with_expert(expert())
+            .learn(&cases, LearnAlgorithm::default())
+            .unwrap();
+        let summary = dm.summary().unwrap();
+        assert_eq!(summary.case_count, 40);
+        assert!(summary.iterations >= 1);
+        assert!(!summary.objective_trace.is_empty());
+        // The fitted model must put less mass on out=good than the expert
+        // prior did, since out fails in 90% of cases.
+        let net = dm.network();
+        let out = net.var("out").unwrap();
+        let p_good_given_biasgood = net.cpt_row(out, &[1]).unwrap()[1];
+        assert!(
+            p_good_given_biasgood < 0.8,
+            "fine-tuning must pull the CPT towards the data, got {p_good_given_biasgood}"
+        );
+    }
+
+    #[test]
+    fn conjugate_gradient_also_learns() {
+        let cases: Vec<NamedCase> = (0..20)
+            .map(|i| NamedCase {
+                device_id: i,
+                suite: "s".into(),
+                assignment: vec![("pin".into(), 1), ("out".into(), 0)],
+                failing: vec![],
+                truth: vec![],
+            })
+            .collect();
+        let dm = ModelBuilder::new(model())
+            .with_expert(expert())
+            .learn(
+                &cases,
+                LearnAlgorithm::ConjugateGradient(CgConfig {
+                    max_iterations: 10,
+                    ..CgConfig::default()
+                }),
+            )
+            .unwrap();
+        assert!(dm.summary().unwrap().iterations >= 1);
+    }
+
+    #[test]
+    fn bad_cases_are_rejected() {
+        let ghost = vec![NamedCase {
+            device_id: 0,
+            suite: "s".into(),
+            assignment: vec![("ghost".into(), 0)],
+            failing: vec![],
+            truth: vec![],
+        }];
+        assert!(matches!(
+            ModelBuilder::new(model()).learn(&ghost, LearnAlgorithm::default()),
+            Err(Error::UnknownVariable(_))
+        ));
+        let out_of_range = vec![NamedCase {
+            device_id: 0,
+            suite: "s".into(),
+            assignment: vec![("pin".into(), 5)],
+            failing: vec![],
+            truth: vec![],
+        }];
+        assert!(matches!(
+            ModelBuilder::new(model()).learn(&out_of_range, LearnAlgorithm::default()),
+            Err(Error::InvalidObservation { .. })
+        ));
+    }
+
+    #[test]
+    fn cyclic_model_fails_at_network_build() {
+        let spec = ModelSpec::new([
+            two_state("a", FunctionalType::Latent),
+            two_state("b", FunctionalType::Latent),
+        ])
+        .unwrap();
+        let mut m = CircuitModel::new(spec);
+        m.depends("a", "b").unwrap();
+        m.depends("b", "a").unwrap();
+        assert!(matches!(
+            ModelBuilder::new(m).build_expert_only(),
+            Err(Error::Bbn(abbd_bbn::Error::CycleDetected(_)))
+        ));
+    }
+}

@@ -1,0 +1,577 @@
+//! Automated candidate deduction — the paper's §IV-B backward iteration
+//! ("with the knowledge of probability values for all non-observable
+//! blocks, in combination with parent–child relationships, a common parent
+//! block can be iteratively deduced…") formalised as a thresholded
+//! root-cause walk with explaining-away.
+//!
+//! The procedure:
+//!
+//! 1. classify every latent block by its posterior fault-state mass:
+//!    `FAULTY` above the faulty threshold, `HEALTHY` below the healthy
+//!    threshold, `AMBIGUOUS` between;
+//! 2. collect suspects: every `FAULTY` latent (seed) plus all non-healthy
+//!    latent ancestors reachable from seeds through latent variables;
+//! 3. *exonerate by explanation*: prune a suspect whenever the probability
+//!    that **at least one of its latent ancestors is faulty** reaches the
+//!    faulty threshold — its failure is then an expected consequence, and
+//!    "the suspicion falls back to the parent" exactly as in the paper;
+//! 4. add a *self-candidate* for any observable block whose measurement
+//!    failed but whose latent ancestry is likely healthy (the block itself
+//!    is broken);
+//! 5. rank the survivors by fault mass.
+//!
+//! With the default thresholds this reproduces the paper's candidate lists
+//! for all five regulator case studies (d1 → `{warnvpst, hcbg}`, d2 →
+//! `{enb13}`, d3 → `{warnvpst}`, d4 → `{lcbg}`, d5 → `{enbsw}`).
+
+use crate::error::{Error, Result};
+use crate::model::CircuitModel;
+use abbd_bbn::{Evidence, Network, VarId, VariableElimination};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Health classification of a latent block under a diagnosis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthClass {
+    /// Fault mass at or above the faulty threshold.
+    Faulty,
+    /// Fault mass between the thresholds.
+    Ambiguous,
+    /// Fault mass at or below the healthy threshold.
+    Healthy,
+}
+
+/// Thresholds of the deduction walk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeductionPolicy {
+    /// Fault-state posterior mass at or above which a block is FAULTY.
+    pub faulty_threshold: f64,
+    /// Fault-state posterior mass at or below which a block is HEALTHY.
+    pub healthy_threshold: f64,
+    /// When no latent reaches the faulty threshold, seed the walk with the
+    /// highest-mass ambiguous latent instead of reporting nothing.
+    pub seed_with_best_ambiguous: bool,
+    /// Joint tables larger than this fall back to an independence
+    /// approximation when computing ancestor-disjunction probabilities.
+    pub max_joint_cells: usize,
+}
+
+impl Default for DeductionPolicy {
+    fn default() -> Self {
+        DeductionPolicy {
+            faulty_threshold: 0.55,
+            healthy_threshold: 0.35,
+            seed_with_best_ambiguous: true,
+            max_joint_cells: 1 << 16,
+        }
+    }
+}
+
+impl DeductionPolicy {
+    /// Validates threshold consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidPolicy`] when thresholds are out of `[0, 1]`
+    /// or inverted.
+    pub fn validate(&self) -> Result<()> {
+        let ok_range = |x: f64| (0.0..=1.0).contains(&x);
+        if !ok_range(self.faulty_threshold) || !ok_range(self.healthy_threshold) {
+            return Err(Error::InvalidPolicy("thresholds must lie in [0, 1]".into()));
+        }
+        if self.healthy_threshold >= self.faulty_threshold {
+            return Err(Error::InvalidPolicy(
+                "healthy threshold must be below the faulty threshold".into(),
+            ));
+        }
+        if self.max_joint_cells == 0 {
+            return Err(Error::InvalidPolicy("max_joint_cells must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Classifies a fault-mass value.
+    pub fn classify(&self, fault_mass: f64) -> HealthClass {
+        if fault_mass >= self.faulty_threshold {
+            HealthClass::Faulty
+        } else if fault_mass <= self.healthy_threshold {
+            HealthClass::Healthy
+        } else {
+            HealthClass::Ambiguous
+        }
+    }
+}
+
+/// One ranked fail candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Model-variable name of the suspected block.
+    pub variable: String,
+    /// For latent candidates: posterior mass on fault states. For
+    /// observable self-candidates: confidence that no upstream block
+    /// explains the failure.
+    pub fault_mass: f64,
+    /// Classification that put it on the list (`Faulty` for observable
+    /// self-candidates).
+    pub class: HealthClass,
+    /// Probability that at least one latent ancestor is faulty — the
+    /// explaining-away pressure this candidate survived.
+    pub ancestor_fault_probability: f64,
+    /// How strongly the block's fault state is already implied by its
+    /// *inputs being what they are* (controls at their observed values,
+    /// latent parents healthy) — condition pressure this candidate
+    /// survived.
+    pub conditional_fault_expectation: f64,
+}
+
+/// CPT-level fault expectation of `variable` given its parents' *benign*
+/// configuration: control/observable parents take their observed (or most
+/// probable) states, latent parents take their most probable **non-fault**
+/// state. A high value means the block is expected to sit in a fault-band
+/// state purely because of the test conditions — the paper's
+/// "non-operational because the stimulus says so" situation (e.g. every
+/// enable is off when the pins are grounded), which must not produce a
+/// candidate.
+///
+/// # Errors
+///
+/// Propagates inference errors.
+pub fn conditional_fault_expectation(
+    model: &CircuitModel,
+    network: &Network,
+    evidence: &Evidence,
+    variable: &str,
+) -> Result<f64> {
+    let var = network
+        .var(variable)
+        .ok_or_else(|| Error::UnknownVariable(variable.into()))?;
+    let parents = network.parents(var).to_vec();
+    if parents.is_empty() {
+        return Ok(0.0);
+    }
+    let ve = VariableElimination::new(network);
+    let mut parent_states = Vec::with_capacity(parents.len());
+    for p in &parents {
+        let p_name = network.name(*p).to_string();
+        let is_latent = model.latents().iter().any(|l| *l == p_name);
+        let state = if let Some(s) = evidence.state_of(*p) {
+            s
+        } else {
+            let posterior = ve.posterior(evidence, *p).map_err(Error::Bbn)?;
+            if is_latent {
+                // Most probable non-fault state.
+                let faults = model.fault_states(&p_name);
+                posterior
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !faults.contains(i))
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            } else {
+                posterior
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            }
+        };
+        parent_states.push(state);
+    }
+    let row = network.cpt_row(var, &parent_states).map_err(Error::Bbn)?;
+    Ok(model
+        .fault_states(variable)
+        .iter()
+        .filter_map(|&s| row.get(s))
+        .sum())
+}
+
+/// Probability that at least one latent ancestor of `variable` is in a
+/// fault state, given the evidence. Exact via a joint marginal when the
+/// ancestor state space fits `policy.max_joint_cells`; otherwise an
+/// independence approximation over the single-variable posteriors.
+///
+/// # Errors
+///
+/// Propagates inference errors.
+pub fn ancestor_fault_probability(
+    model: &CircuitModel,
+    network: &Network,
+    evidence: &Evidence,
+    variable: &str,
+    policy: &DeductionPolicy,
+) -> Result<f64> {
+    let ancestors = model.latent_ancestors(variable);
+    if ancestors.is_empty() {
+        return Ok(0.0);
+    }
+    let ids: Vec<VarId> = ancestors
+        .iter()
+        .map(|a| network.var(a).ok_or_else(|| Error::UnknownVariable(a.clone())))
+        .collect::<Result<_>>()?;
+    let cells: usize = ids.iter().map(|v| network.card(*v)).product();
+    let ve = VariableElimination::new(network);
+    if cells <= policy.max_joint_cells {
+        let joint = ve.joint_marginal(evidence, &ids).map_err(Error::Bbn)?;
+        // P(all ancestors healthy): sum cells where every ancestor avoids
+        // its fault states.
+        let fault_sets: Vec<Vec<usize>> =
+            ancestors.iter().map(|a| model.fault_states(a)).collect();
+        let mut healthy = 0.0;
+        for (idx, p) in joint.values().iter().enumerate() {
+            let assignment = joint.assignment_of(idx);
+            let all_ok = assignment
+                .iter()
+                .zip(&fault_sets)
+                .all(|(s, faults)| !faults.contains(s));
+            if all_ok {
+                healthy += p;
+            }
+        }
+        Ok((1.0 - healthy).clamp(0.0, 1.0))
+    } else {
+        let mut healthy = 1.0;
+        for (a, id) in ancestors.iter().zip(&ids) {
+            let post = ve.posterior(evidence, *id).map_err(Error::Bbn)?;
+            let mass: f64 =
+                model.fault_states(a).iter().filter_map(|&s| post.get(s)).sum();
+            healthy *= 1.0 - mass.clamp(0.0, 1.0);
+        }
+        Ok((1.0 - healthy).clamp(0.0, 1.0))
+    }
+}
+
+/// Runs the deduction over per-latent fault masses.
+///
+/// * `fault_mass` maps every latent variable to its posterior fault-state
+///   mass (computed by the diagnostic engine).
+/// * `failing_observables` lists observable variables whose source
+///   measurement failed its ATE limits — candidates of last resort.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidPolicy`] for malformed thresholds and
+/// propagates inference errors from the exoneration queries.
+pub fn deduce_candidates(
+    model: &CircuitModel,
+    network: &Network,
+    evidence: &Evidence,
+    fault_mass: &BTreeMap<String, f64>,
+    failing_observables: &[String],
+    policy: &DeductionPolicy,
+) -> Result<Vec<Candidate>> {
+    policy.validate()?;
+
+    let classes: BTreeMap<&str, HealthClass> = fault_mass
+        .iter()
+        .map(|(name, &mass)| (name.as_str(), policy.classify(mass)))
+        .collect();
+    let class_of = |name: &str| classes.get(name).copied().unwrap_or(HealthClass::Healthy);
+
+    // Seeds: faulty latents; fallback to the single worst ambiguous latent.
+    let mut seeds: Vec<&str> = fault_mass
+        .iter()
+        .filter(|(name, _)| class_of(name) == HealthClass::Faulty)
+        .map(|(name, _)| name.as_str())
+        .collect();
+    if seeds.is_empty() && policy.seed_with_best_ambiguous {
+        if let Some((best, _)) = fault_mass
+            .iter()
+            .filter(|(name, _)| class_of(name) == HealthClass::Ambiguous)
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("fault mass has no NaN"))
+        {
+            seeds.push(best.as_str());
+        }
+    }
+
+    // Walk upwards through non-healthy latent ancestors.
+    let mut suspects: Vec<&str> = Vec::new();
+    let mut stack: Vec<&str> = seeds.clone();
+    while let Some(v) = stack.pop() {
+        if !suspects.contains(&v) {
+            suspects.push(v);
+            for anc in model.latent_ancestors(v) {
+                if let Some((key, _)) = fault_mass.get_key_value(&anc) {
+                    if class_of(key) != HealthClass::Healthy
+                        && !suspects.contains(&key.as_str())
+                    {
+                        stack.push(key.as_str());
+                    }
+                }
+            }
+        }
+    }
+
+    // Exonerate suspects explained by their ancestry or by the test
+    // conditions themselves.
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for &v in &suspects {
+        let p_anc = ancestor_fault_probability(model, network, evidence, v, policy)?;
+        let p_cond = conditional_fault_expectation(model, network, evidence, v)?;
+        if p_anc < policy.faulty_threshold && p_cond < policy.faulty_threshold {
+            candidates.push(Candidate {
+                variable: v.to_string(),
+                fault_mass: fault_mass[v],
+                class: class_of(v),
+                ancestor_fault_probability: p_anc,
+                conditional_fault_expectation: p_cond,
+            });
+        }
+    }
+    candidates.sort_by(|a, b| {
+        b.fault_mass.partial_cmp(&a.fault_mass).expect("fault mass has no NaN")
+    });
+
+    // Self-candidates: failing observables with healthy-looking ancestry
+    // whose failure is not the expected outcome of the conditions.
+    let mut self_candidates: Vec<Candidate> = Vec::new();
+    for name in failing_observables {
+        let p_anc = ancestor_fault_probability(model, network, evidence, name, policy)?;
+        let p_cond = conditional_fault_expectation(model, network, evidence, name)?;
+        if p_anc < policy.faulty_threshold && p_cond < policy.faulty_threshold {
+            self_candidates.push(Candidate {
+                variable: name.clone(),
+                fault_mass: 1.0 - p_anc,
+                class: HealthClass::Faulty,
+                ancestor_fault_probability: p_anc,
+                conditional_fault_expectation: p_cond,
+            });
+        }
+    }
+    self_candidates.sort_by(|a, b| {
+        b.fault_mass.partial_cmp(&a.fault_mass).expect("fault mass has no NaN")
+    });
+    candidates.extend(self_candidates);
+    Ok(candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ExpertKnowledge, ModelBuilder};
+    use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
+
+    /// A miniature of the regulator's latent chain:
+    /// root -> mid -> {leaf_a, leaf_b} (all latent), leaves drive one
+    /// observable each, plus `obs_c` driven directly by `root`.
+    fn model() -> CircuitModel {
+        let var = |name: &str, ftype| VariableSpec {
+            name: name.into(),
+            ftype,
+            bands: vec![
+                StateBand::new("0", 0.0, 1.0, "non-operational"),
+                StateBand::new("1", 1.0, 2.0, "operational"),
+            ],
+            ckt_ref: None,
+        };
+        let spec = ModelSpec::new([
+            var("root", FunctionalType::Latent),
+            var("mid", FunctionalType::Latent),
+            var("leaf_a", FunctionalType::Latent),
+            var("leaf_b", FunctionalType::Latent),
+            var("obs_a", FunctionalType::Observe),
+            var("obs_b", FunctionalType::Observe),
+            var("obs_c", FunctionalType::Observe),
+        ])
+        .unwrap();
+        let mut m = CircuitModel::new(spec);
+        m.depends("root", "mid").unwrap();
+        m.depends("mid", "leaf_a").unwrap();
+        m.depends("mid", "leaf_b").unwrap();
+        m.depends("leaf_a", "obs_a").unwrap();
+        m.depends("leaf_b", "obs_b").unwrap();
+        m.depends("root", "obs_c").unwrap();
+        m
+    }
+
+    fn network(m: &CircuitModel) -> Network {
+        let mut e = ExpertKnowledge::new(10.0);
+        e.cpt("root", [[0.05, 0.95]]);
+        e.cpt("mid", [[0.97, 0.03], [0.05, 0.95]]);
+        e.cpt("leaf_a", [[0.95, 0.05], [0.05, 0.95]]);
+        e.cpt("leaf_b", [[0.95, 0.05], [0.05, 0.95]]);
+        e.cpt("obs_a", [[0.97, 0.03], [0.03, 0.97]]);
+        e.cpt("obs_b", [[0.97, 0.03], [0.03, 0.97]]);
+        e.cpt("obs_c", [[0.97, 0.03], [0.03, 0.97]]);
+        ModelBuilder::new(m.clone())
+            .with_expert(e)
+            .build_expert_only()
+            .unwrap()
+            .network()
+            .clone()
+    }
+
+    fn masses(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(n, m)| (n.to_string(), *m)).collect()
+    }
+
+    fn evidence_for(net: &Network, pairs: &[(&str, usize)]) -> Evidence {
+        let mut e = Evidence::new();
+        for (n, s) in pairs {
+            e.observe(net.var(n).unwrap(), *s);
+        }
+        e
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(DeductionPolicy::default().validate().is_ok());
+        let bad = DeductionPolicy {
+            faulty_threshold: 0.3,
+            healthy_threshold: 0.5,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let oob = DeductionPolicy { faulty_threshold: 1.5, ..Default::default() };
+        assert!(oob.validate().is_err());
+        let zero = DeductionPolicy { max_joint_cells: 0, ..Default::default() };
+        assert!(zero.validate().is_err());
+        let p = DeductionPolicy::default();
+        assert_eq!(p.classify(0.9), HealthClass::Faulty);
+        assert_eq!(p.classify(0.45), HealthClass::Ambiguous);
+        assert_eq!(p.classify(0.1), HealthClass::Healthy);
+    }
+
+    #[test]
+    fn single_faulty_leaf_with_healthy_parents_is_the_candidate() {
+        // Mirrors paper cases d2/d5: obs_a fails, obs_b and obs_c fine.
+        let m = model();
+        let net = network(&m);
+        let ev = evidence_for(&net, &[("obs_a", 0), ("obs_b", 1), ("obs_c", 1)]);
+        let fm = masses(&[("root", 0.02), ("mid", 0.05), ("leaf_a", 0.95), ("leaf_b", 0.03)]);
+        let c = deduce_candidates(
+            &m,
+            &net,
+            &ev,
+            &fm,
+            &["obs_a".into()],
+            &DeductionPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(c[0].variable, "leaf_a");
+        assert_eq!(c[0].class, HealthClass::Faulty);
+        // obs_a is explained by leaf_a, so no self-candidate for it.
+        assert!(!c.iter().any(|x| x.variable == "obs_a"), "{c:?}");
+    }
+
+    #[test]
+    fn faulty_siblings_fall_back_to_ambiguous_parent_chain() {
+        // Mirrors paper case d1: both leaves look faulty, mid and root are
+        // ambiguous -> the ambiguous ancestors are reported, leaves pruned
+        // because their ancestor disjunction is high.
+        let m = model();
+        let net = network(&m);
+        let ev = evidence_for(&net, &[("obs_a", 0), ("obs_b", 0)]);
+        let fm = masses(&[("root", 0.45), ("mid", 0.48), ("leaf_a", 0.9), ("leaf_b", 0.88)]);
+        let c = deduce_candidates(&m, &net, &ev, &fm, &[], &DeductionPolicy::default())
+            .unwrap();
+        let names: Vec<&str> = c.iter().map(|c| c.variable.as_str()).collect();
+        // Under this evidence, P(root bad or mid bad) is high (both failing
+        // leaves), so the leaves are pruned; mid survives only if its own
+        // ancestor disjunction (root alone) stays below threshold.
+        assert!(!names.contains(&"leaf_a"), "{names:?}");
+        assert!(!names.contains(&"leaf_b"), "{names:?}");
+        assert!(names.contains(&"mid") || names.contains(&"root"), "{names:?}");
+    }
+
+    #[test]
+    fn clearly_faulty_root_explains_everything() {
+        // Mirrors paper case d4: root is implicated by obs_c too.
+        let m = model();
+        let net = network(&m);
+        let ev = evidence_for(&net, &[("obs_a", 0), ("obs_b", 0), ("obs_c", 0)]);
+        let fm = masses(&[("root", 0.9), ("mid", 0.92), ("leaf_a", 0.95), ("leaf_b", 0.93)]);
+        let c = deduce_candidates(&m, &net, &ev, &fm, &[], &DeductionPolicy::default())
+            .unwrap();
+        assert_eq!(c.len(), 1, "{c:?}");
+        assert_eq!(c[0].variable, "root");
+        assert_eq!(c[0].ancestor_fault_probability, 0.0);
+    }
+
+    #[test]
+    fn lone_observable_failure_becomes_self_candidate() {
+        let m = model();
+        let net = network(&m);
+        // Everything healthy upstream; obs_a failed its limits anyway.
+        let ev = evidence_for(&net, &[("obs_a", 1), ("obs_b", 1), ("obs_c", 1)]);
+        let fm = masses(&[("root", 0.02), ("mid", 0.03), ("leaf_a", 0.04), ("leaf_b", 0.03)]);
+        let c = deduce_candidates(
+            &m,
+            &net,
+            &ev,
+            &fm,
+            &["obs_a".into()],
+            &DeductionPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].variable, "obs_a");
+        assert!(c[0].fault_mass > 0.8);
+    }
+
+    #[test]
+    fn all_healthy_yields_no_candidates() {
+        let m = model();
+        let net = network(&m);
+        let ev = evidence_for(&net, &[("obs_a", 1), ("obs_b", 1), ("obs_c", 1)]);
+        let fm = masses(&[("root", 0.05), ("mid", 0.04), ("leaf_a", 0.03), ("leaf_b", 0.02)]);
+        let c = deduce_candidates(&m, &net, &ev, &fm, &[], &DeductionPolicy::default())
+            .unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn ambiguous_fallback_seed() {
+        let m = model();
+        let net = network(&m);
+        // obs_b and obs_c pass, which exonerates mid and root; obs_a's
+        // failure leaves leaf_a merely ambiguous.
+        let ev = evidence_for(&net, &[("obs_a", 0), ("obs_b", 1), ("obs_c", 1)]);
+        let fm = masses(&[("root", 0.1), ("mid", 0.2), ("leaf_a", 0.5), ("leaf_b", 0.1)]);
+        let with = deduce_candidates(&m, &net, &ev, &fm, &[], &DeductionPolicy::default())
+            .unwrap();
+        assert_eq!(with.len(), 1);
+        assert_eq!(with[0].variable, "leaf_a");
+        assert_eq!(with[0].class, HealthClass::Ambiguous);
+
+        let without = deduce_candidates(
+            &m,
+            &net,
+            &ev,
+            &fm,
+            &[],
+            &DeductionPolicy { seed_with_best_ambiguous: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!(without.is_empty());
+    }
+
+    #[test]
+    fn approximate_and_exact_disjunction_agree_roughly() {
+        let m = model();
+        let net = network(&m);
+        let ev = evidence_for(&net, &[("obs_a", 0), ("obs_b", 0)]);
+        let exact = ancestor_fault_probability(
+            &m,
+            &net,
+            &ev,
+            "leaf_a",
+            &DeductionPolicy::default(),
+        )
+        .unwrap();
+        let approx = ancestor_fault_probability(
+            &m,
+            &net,
+            &ev,
+            "leaf_a",
+            &DeductionPolicy { max_joint_cells: 1, ..Default::default() },
+        )
+        .unwrap();
+        assert!((exact - approx).abs() < 0.25, "exact {exact} vs approx {approx}");
+        // No latent ancestors -> zero.
+        let root = ancestor_fault_probability(&m, &net, &ev, "root", &DeductionPolicy::default())
+            .unwrap();
+        assert_eq!(root, 0.0);
+    }
+}

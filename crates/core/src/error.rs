@@ -1,0 +1,125 @@
+//! Error type for the diagnosis core.
+
+use std::fmt;
+
+/// Result alias used throughout [`crate`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building diagnostic models or running diagnoses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The underlying Bayesian-network engine failed.
+    Bbn(abbd_bbn::Error),
+    /// The case generator / model spec layer failed.
+    Spec(abbd_dlog2bbn::Error),
+    /// A dependency edge references an unknown model variable.
+    UnknownVariable(String),
+    /// The same dependency edge was declared twice.
+    DuplicateEdge {
+        /// Parent variable name.
+        parent: String,
+        /// Child variable name.
+        child: String,
+    },
+    /// An expert CPT's shape does not match the variable.
+    ExpertShape {
+        /// The offending variable.
+        variable: String,
+        /// Expected cell count.
+        expected: usize,
+        /// Provided cell count.
+        actual: usize,
+    },
+    /// A fault-state index is outside the variable's state range.
+    FaultStateOutOfRange {
+        /// The offending variable.
+        variable: String,
+        /// The out-of-range state.
+        state: usize,
+    },
+    /// An observation refers to an unknown variable or state.
+    InvalidObservation {
+        /// The offending variable.
+        variable: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The deduction policy thresholds are inconsistent.
+    InvalidPolicy(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Bbn(e) => write!(f, "bayesian network error: {e}"),
+            Error::Spec(e) => write!(f, "model spec error: {e}"),
+            Error::UnknownVariable(name) => write!(f, "unknown model variable `{name}`"),
+            Error::DuplicateEdge { parent, child } => {
+                write!(f, "dependency `{parent}` -> `{child}` declared twice")
+            }
+            Error::ExpertShape { variable, expected, actual } => write!(
+                f,
+                "expert CPT for `{variable}` has {actual} cells, expected {expected}"
+            ),
+            Error::FaultStateOutOfRange { variable, state } => {
+                write!(f, "fault state {state} out of range for `{variable}`")
+            }
+            Error::InvalidObservation { variable, reason } => {
+                write!(f, "invalid observation on `{variable}`: {reason}")
+            }
+            Error::InvalidPolicy(reason) => write!(f, "invalid deduction policy: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Bbn(e) => Some(e),
+            Error::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<abbd_bbn::Error> for Error {
+    fn from(e: abbd_bbn::Error) -> Self {
+        Error::Bbn(e)
+    }
+}
+
+impl From<abbd_dlog2bbn::Error> for Error {
+    fn from(e: abbd_dlog2bbn::Error) -> Self {
+        Error::Spec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let samples = [
+            Error::Bbn(abbd_bbn::Error::NoCases),
+            Error::Spec(abbd_dlog2bbn::Error::UnknownVariable("v".into())),
+            Error::UnknownVariable("v".into()),
+            Error::DuplicateEdge { parent: "a".into(), child: "b".into() },
+            Error::ExpertShape { variable: "v".into(), expected: 4, actual: 2 },
+            Error::FaultStateOutOfRange { variable: "v".into(), state: 9 },
+            Error::InvalidObservation { variable: "v".into(), reason: "r".into() },
+            Error::InvalidPolicy("p".into()),
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error as _;
+        assert!(Error::Bbn(abbd_bbn::Error::NoCases).source().is_some());
+        assert!(Error::UnknownVariable("v".into()).source().is_none());
+    }
+}

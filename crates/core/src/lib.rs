@@ -1,0 +1,48 @@
+//! # abbd-core — block-level Bayesian diagnosis of analogue circuits
+//!
+//! The primary contribution of *Block-Level Bayesian Diagnosis of Analogue
+//! Electronic Circuits* (DATE 2010), reimplemented as a library:
+//!
+//! 1. **Structure modelling** — [`CircuitModel`]: model variables with
+//!    functional types and voltage state bands (from
+//!    [`abbd_dlog2bbn::ModelSpec`]) plus the cause–effect dependency DAG.
+//! 2. **Parameter modelling** — [`ModelBuilder`]: the product expert's CPT
+//!    estimates ([`ExpertKnowledge`]) fine-tuned on ATE-derived cases with
+//!    EM or conjugate gradient ([`LearnAlgorithm`]), yielding a
+//!    [`DiagnosticModel`].
+//! 3. **Diagnostic mode** — [`DiagnosticEngine`]: enter the controllable
+//!    and observable block states of a failing device as an
+//!    [`Observation`], read back posterior state probabilities for every
+//!    block, and receive the ranked failing-block [`Candidate`]s produced
+//!    by the automated §IV-B deduction ([`DeductionPolicy`]).
+//!
+//! Reports in the paper's Table VII layout come from [`render_state_table`]
+//! and [`render_candidates`]. When diagnosis leaves several candidates,
+//! [`DiagnosticEngine::rank_probes`] orders the internal blocks by value
+//! of information for the paper's step two (physical probing).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod deduce;
+mod engine;
+mod error;
+mod explain;
+mod model;
+mod probe;
+mod report;
+
+pub use builder::{
+    DiagnosticModel, ExpertKnowledge, LearnAlgorithm, LearnSummary, ModelBuilder,
+};
+pub use deduce::{
+    ancestor_fault_probability, conditional_fault_expectation, deduce_candidates,
+    Candidate, DeductionPolicy, HealthClass,
+};
+pub use engine::{Diagnosis, DiagnosticEngine, Observation};
+pub use error::{Error, Result};
+pub use explain::FindingImpact;
+pub use model::CircuitModel;
+pub use probe::ProbeSuggestion;
+pub use report::{render_candidates, render_state_table};

@@ -1,0 +1,204 @@
+//! Probe planning: which internal block should the paper's *step two*
+//! (structural test, FIB/SEM probing) look at first?
+//!
+//! After block-level diagnosis, several latent blocks may remain plausible
+//! (case d1 ends with two candidates). Physically probing an internal
+//! block is expensive, so the order matters. This module ranks latent
+//! blocks by the **expected reduction in posterior uncertainty** over all
+//! other latents if that block's state were observed — a value-of-
+//! information computation over the same junction tree the diagnosis used.
+
+use crate::engine::{DiagnosticEngine, Observation};
+use crate::error::{Error, Result};
+use abbd_bbn::Evidence;
+use serde::{Deserialize, Serialize};
+
+/// One ranked probe suggestion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeSuggestion {
+    /// The latent block to probe.
+    pub variable: String,
+    /// Expected reduction (in nats) of the summed posterior entropy of the
+    /// *other* latent blocks if this block's state were measured.
+    pub expected_information_gain: f64,
+    /// The block's own posterior entropy (how uncertain its state is).
+    pub own_entropy: f64,
+}
+
+fn entropy(dist: &[f64]) -> f64 {
+    dist.iter()
+        .filter(|p| **p > 0.0)
+        .map(|p| -p * p.ln())
+        .sum()
+}
+
+impl DiagnosticEngine {
+    /// Ranks unprobed latent blocks by expected information gain under the
+    /// given observation.
+    ///
+    /// For each latent `p`, the gain is
+    /// `Σ_{v≠p} H(v | e)  −  E_{s ~ P(p|e)} Σ_{v≠p} H(v | e, p=s)`,
+    /// i.e. how much the remaining latent uncertainty shrinks on average
+    /// once the probe answers. Suggestions are sorted by gain, descending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates observation-validation and propagation errors.
+    pub fn rank_probes(&self, observation: &Observation) -> Result<Vec<ProbeSuggestion>> {
+        let evidence = self.evidence_from(observation)?;
+        let jt = abbd_bbn::JunctionTree::compile(self.model().network()).map_err(Error::Bbn)?;
+        let latents: Vec<String> = self
+            .model()
+            .circuit_model()
+            .latents()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let base = jt.propagate(&evidence).map_err(Error::Bbn)?;
+        let base_posteriors: Vec<(String, Vec<f64>)> = latents
+            .iter()
+            .map(|name| {
+                let id = self.model().var(name)?;
+                Ok((name.clone(), base.posterior(id).map_err(Error::Bbn)?))
+            })
+            .collect::<Result<_>>()?;
+
+        let mut suggestions = Vec::with_capacity(latents.len());
+        for (probe_name, probe_dist) in &base_posteriors {
+            let probe_id = self.model().var(probe_name)?;
+            let rest_entropy_before: f64 = base_posteriors
+                .iter()
+                .filter(|(n, _)| n != probe_name)
+                .map(|(_, d)| entropy(d))
+                .sum();
+            let mut expected_after = 0.0;
+            for (state, &p_state) in probe_dist.iter().enumerate() {
+                if p_state <= 1e-12 {
+                    continue;
+                }
+                let mut with_probe: Evidence = evidence.clone();
+                with_probe.observe(probe_id, state);
+                let cal = jt.propagate(&with_probe).map_err(Error::Bbn)?;
+                let mut h = 0.0;
+                for (name, _) in &base_posteriors {
+                    if name == probe_name {
+                        continue;
+                    }
+                    let id = self.model().var(name)?;
+                    h += entropy(&cal.posterior(id).map_err(Error::Bbn)?);
+                }
+                expected_after += p_state * h;
+            }
+            suggestions.push(ProbeSuggestion {
+                variable: probe_name.clone(),
+                expected_information_gain: (rest_entropy_before - expected_after)
+                    .max(0.0),
+                own_entropy: entropy(probe_dist),
+            });
+        }
+        suggestions.sort_by(|a, b| {
+            b.expected_information_gain
+                .partial_cmp(&a.expected_information_gain)
+                .expect("gains are finite")
+        });
+        Ok(suggestions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ExpertKnowledge, ModelBuilder};
+    use crate::model::CircuitModel;
+    use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
+
+    /// Two latent hypotheses drive one shared symptom; a third latent is
+    /// independent noise. Probing either hypothesis block should carry
+    /// more information than probing the bystander.
+    fn engine() -> DiagnosticEngine {
+        let var = |name: &str, ftype| VariableSpec {
+            name: name.into(),
+            ftype,
+            bands: vec![
+                StateBand::new("0", 0.0, 1.0, "bad"),
+                StateBand::new("1", 1.0, 2.0, "good"),
+            ],
+            ckt_ref: None,
+        };
+        let spec = ModelSpec::new([
+            var("ha", FunctionalType::Latent),
+            var("hb", FunctionalType::Latent),
+            var("bystander", FunctionalType::Latent),
+            var("symptom", FunctionalType::Observe),
+            var("other", FunctionalType::Observe),
+        ])
+        .unwrap();
+        let mut m = CircuitModel::new(spec);
+        m.depends("ha", "symptom").unwrap();
+        m.depends("hb", "symptom").unwrap();
+        m.depends("bystander", "other").unwrap();
+
+        let mut e = ExpertKnowledge::new(10.0);
+        e.cpt("ha", [[0.1, 0.9]]);
+        e.cpt("hb", [[0.1, 0.9]]);
+        e.cpt("bystander", [[0.1, 0.9]]);
+        // symptom bad iff ha bad OR hb bad (tight OR of failures).
+        e.cpt(
+            "symptom",
+            [[0.98, 0.02], [0.95, 0.05], [0.95, 0.05], [0.03, 0.97]],
+        );
+        e.cpt("other", [[0.9, 0.1], [0.1, 0.9]]);
+        let dm = ModelBuilder::new(m).with_expert(e).build_expert_only().unwrap();
+        DiagnosticEngine::new(dm).unwrap()
+    }
+
+    #[test]
+    fn ambiguous_hypotheses_rank_above_bystanders() {
+        let eng = engine();
+        let mut obs = Observation::new();
+        obs.set("symptom", 0).set("other", 1);
+        let probes = eng.rank_probes(&obs).unwrap();
+        assert_eq!(probes.len(), 3);
+        let gain = |name: &str| {
+            probes
+                .iter()
+                .find(|p| p.variable == name)
+                .unwrap()
+                .expected_information_gain
+        };
+        assert!(gain("ha") > gain("bystander") * 3.0, "{probes:?}");
+        assert!(gain("hb") > gain("bystander") * 3.0, "{probes:?}");
+        // Top suggestion is one of the two competing hypotheses.
+        assert!(probes[0].variable == "ha" || probes[0].variable == "hb");
+        assert!(probes[0].own_entropy > 0.0);
+    }
+
+    #[test]
+    fn resolved_cases_carry_little_information() {
+        let eng = engine();
+        // Nothing failing: posteriors near-certain, all gains tiny.
+        let mut obs = Observation::new();
+        obs.set("symptom", 1).set("other", 1);
+        let probes = eng.rank_probes(&obs).unwrap();
+        for p in &probes {
+            assert!(
+                p.expected_information_gain < 0.2,
+                "unexpectedly informative probe: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gains_are_nonnegative_and_sorted() {
+        let eng = engine();
+        let mut obs = Observation::new();
+        obs.set("symptom", 0);
+        let probes = eng.rank_probes(&obs).unwrap();
+        for w in probes.windows(2) {
+            assert!(w[0].expected_information_gain >= w[1].expected_information_gain);
+        }
+        for p in &probes {
+            assert!(p.expected_information_gain >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for the reference-design pipelines.
+
+use std::fmt;
+
+/// Result alias used throughout [`crate`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the end-to-end design pipelines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A circuit/simulation layer failure.
+    Blocks(abbd_blocks::Error),
+    /// An ATE layer failure.
+    Ate(abbd_ate::Error),
+    /// A case-generation failure.
+    Dlog(abbd_dlog2bbn::Error),
+    /// A model-building or diagnosis failure.
+    Core(abbd_core::Error),
+    /// A pipeline-level invariant was violated.
+    Pipeline(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Blocks(e) => write!(f, "circuit error: {e}"),
+            Error::Ate(e) => write!(f, "ate error: {e}"),
+            Error::Dlog(e) => write!(f, "case generation error: {e}"),
+            Error::Core(e) => write!(f, "diagnosis error: {e}"),
+            Error::Pipeline(msg) => write!(f, "pipeline error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Blocks(e) => Some(e),
+            Error::Ate(e) => Some(e),
+            Error::Dlog(e) => Some(e),
+            Error::Core(e) => Some(e),
+            Error::Pipeline(_) => None,
+        }
+    }
+}
+
+impl From<abbd_blocks::Error> for Error {
+    fn from(e: abbd_blocks::Error) -> Self {
+        Error::Blocks(e)
+    }
+}
+
+impl From<abbd_ate::Error> for Error {
+    fn from(e: abbd_ate::Error) -> Self {
+        Error::Ate(e)
+    }
+}
+
+impl From<abbd_dlog2bbn::Error> for Error {
+    fn from(e: abbd_dlog2bbn::Error) -> Self {
+        Error::Dlog(e)
+    }
+}
+
+impl From<abbd_core::Error> for Error {
+    fn from(e: abbd_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error as _;
+        let samples: Vec<Error> = vec![
+            abbd_blocks::Error::UnknownNet("n".into()).into(),
+            abbd_ate::Error::DuplicateTestNumber(1).into(),
+            abbd_dlog2bbn::Error::UnknownVariable("v".into()).into(),
+            abbd_core::Error::UnknownVariable("v".into()).into(),
+            Error::Pipeline("p".into()),
+        ];
+        for e in &samples {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(samples[0].source().is_some());
+        assert!(samples[4].source().is_none());
+    }
+}

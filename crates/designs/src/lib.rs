@@ -1,0 +1,39 @@
+//! # abbd-designs — reference designs for block-level Bayesian diagnosis
+//!
+//! The two circuits of the DATE 2010 paper, modelled end to end:
+//!
+//! * [`hypothetical`] — the four-block worked example of Fig. 1 and
+//!   Tables I–IV;
+//! * [`regulator`] — the industrial multiple-output automotive voltage
+//!   regulator of Fig. 2/3 and Tables V–VII, including the five
+//!   diagnostic case studies (d1–d5) and the paper's reference numbers.
+//!
+//! Each design bundles a behavioural circuit, the model-variable spec,
+//! the BBN structure, the product expert's CPT estimate, a specification
+//! test program with its Dlog2BBN mapping, a fault universe, and an
+//! end-to-end `fit` pipeline that fabricates failing devices, tests them,
+//! generates cases and fine-tunes the model.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! # fn main() -> Result<(), abbd_designs::Error> {
+//! use abbd_designs::regulator;
+//!
+//! // Fabricate 70 failing regulators, learn, and diagnose case d2.
+//! let fitted = regulator::fit(70, 2010, regulator::default_algorithm())?;
+//! let d2 = &regulator::cases::case_studies()[1];
+//! let diagnosis = fitted.engine.diagnose(&d2.observation())?;
+//! assert_eq!(diagnosis.top_candidate(), Some("enb13"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod hypothetical;
+pub mod regulator;
+
+pub use error::{Error, Result};

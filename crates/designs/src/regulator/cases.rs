@@ -1,0 +1,206 @@
+//! The five diagnostic case studies of paper Table VI: test conditions,
+//! observed responses, the expert's fail-block verdicts, and the physical
+//! fault each case corresponds to in the behavioural circuit.
+
+use crate::regulator::program::{suite_plans, OBSERVED_VARS};
+use abbd_blocks::FaultMode;
+use abbd_core::Observation;
+
+/// One Table VI row.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// Case label (`d1`..`d5`).
+    pub id: &'static str,
+    /// The test-program suite whose conditions the case was observed under.
+    pub suite: &'static str,
+    /// Controllable block states (paper "Controllable blocks / State").
+    pub controls: [(&'static str, usize); 6],
+    /// Observable block states (paper "Observable blocks / State").
+    pub observables: [(&'static str, usize); 5],
+    /// The paper's fail-block verdicts ("Fail blocks" column).
+    pub expected_candidates: &'static [&'static str],
+    /// The physical block fault that produces this signature in the
+    /// behavioural circuit (used to re-simulate the case end to end).
+    pub injected: (&'static str, FaultMode),
+}
+
+/// All five case studies, transcribed from Table VI.
+pub fn case_studies() -> Vec<CaseStudy> {
+    vec![
+        CaseStudy {
+            id: "d1",
+            suite: "nominal_on",
+            controls: [
+                ("vp1", 2),
+                ("vp1x", 4),
+                ("vp2", 2),
+                ("enb13_pin", 1),
+                ("enb4_pin", 1),
+                ("enbsw_pin", 1),
+            ],
+            observables: [("reg1", 0), ("reg2", 1), ("reg3", 0), ("reg4", 0), ("sw", 0)],
+            expected_candidates: &["warnvpst", "hcbg"],
+            injected: ("hcbg", FaultMode::Dead),
+        },
+        CaseStudy {
+            id: "d2",
+            suite: "nominal_on",
+            controls: [
+                ("vp1", 2),
+                ("vp1x", 4),
+                ("vp2", 2),
+                ("enb13_pin", 1),
+                ("enb4_pin", 1),
+                ("enbsw_pin", 1),
+            ],
+            observables: [("reg1", 0), ("reg2", 1), ("reg3", 0), ("reg4", 1), ("sw", 2)],
+            expected_candidates: &["enb13"],
+            injected: ("enb13", FaultMode::Dead),
+        },
+        CaseStudy {
+            id: "d3",
+            suite: "intermediate_on",
+            controls: [
+                ("vp1", 1),
+                ("vp1x", 3),
+                ("vp2", 1),
+                ("enb13_pin", 1),
+                ("enb4_pin", 1),
+                ("enbsw_pin", 1),
+            ],
+            observables: [("reg1", 0), ("reg2", 1), ("reg3", 0), ("reg4", 0), ("sw", 0)],
+            expected_candidates: &["warnvpst"],
+            injected: ("warnvpst", FaultMode::Dead),
+        },
+        CaseStudy {
+            id: "d4",
+            suite: "high_enable",
+            controls: [
+                ("vp1", 2),
+                ("vp1x", 4),
+                ("vp2", 2),
+                ("enb13_pin", 3),
+                ("enb4_pin", 3),
+                ("enbsw_pin", 3),
+            ],
+            observables: [("reg1", 0), ("reg2", 0), ("reg3", 0), ("reg4", 0), ("sw", 0)],
+            expected_candidates: &["lcbg"],
+            injected: ("lcbg", FaultMode::Dead),
+        },
+        CaseStudy {
+            id: "d5",
+            suite: "nominal_on",
+            controls: [
+                ("vp1", 2),
+                ("vp1x", 4),
+                ("vp2", 2),
+                ("enb13_pin", 1),
+                ("enb4_pin", 1),
+                ("enbsw_pin", 1),
+            ],
+            observables: [("reg1", 1), ("reg2", 1), ("reg3", 1), ("reg4", 1), ("sw", 0)],
+            expected_candidates: &["enbsw"],
+            injected: ("enbsw", FaultMode::Dead),
+        },
+    ]
+}
+
+impl CaseStudy {
+    /// Builds the diagnostic observation: all controls and observables,
+    /// with observables deviating from the suite's healthy states marked
+    /// as failing.
+    pub fn observation(&self) -> Observation {
+        let plan = suite_plans()
+            .into_iter()
+            .find(|p| p.name == self.suite)
+            .expect("case suites exist");
+        let mut obs = Observation::new();
+        for (name, state) in self.controls {
+            obs.set(name, state);
+        }
+        for (i, (name, state)) in self.observables.into_iter().enumerate() {
+            debug_assert_eq!(name, OBSERVED_VARS[i]);
+            obs.set(name, state);
+            if state != plan.healthy_states[i] {
+                obs.mark_failing(name);
+            }
+        }
+        obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regulator::circuit::circuit;
+    use crate::regulator::model::model_spec;
+    use crate::regulator::program::{test_number, test_program};
+    use abbd_ate::{test_device, NoiseModel};
+    use abbd_blocks::{Device, DeviceFaults, Fault};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn five_cases_with_known_suites() {
+        let cases = case_studies();
+        assert_eq!(cases.len(), 5);
+        let suites: Vec<&str> = suite_plans().iter().map(|p| p.name).collect();
+        for c in &cases {
+            assert!(suites.contains(&c.suite), "{} uses unknown suite", c.id);
+            assert!(!c.expected_candidates.is_empty());
+        }
+    }
+
+    #[test]
+    fn observations_mark_deviating_outputs() {
+        let cases = case_studies();
+        let d1 = &cases[0];
+        let obs = d1.observation();
+        assert_eq!(obs.len(), 11);
+        assert!(obs.failing().contains(&"reg1".to_string()));
+        assert!(obs.failing().contains(&"sw".to_string()));
+        assert!(!obs.failing().contains(&"reg2".to_string()));
+        // d3's reg1=0 matches the healthy intermediate state: not failing.
+        let d3 = &cases[2];
+        let obs3 = d3.observation();
+        assert!(!obs3.failing().contains(&"reg1".to_string()));
+        assert!(obs3.failing().contains(&"reg3".to_string()));
+        // d5 fails only on sw.
+        let d5 = &cases[4];
+        assert_eq!(d5.observation().failing(), &["sw".to_string()]);
+    }
+
+    /// The central physical-fidelity check: injecting each case's fault
+    /// into the behavioural circuit and running the test suite reproduces
+    /// exactly the observable states Table VI lists.
+    #[test]
+    fn injected_faults_reproduce_table_vi_signatures() {
+        let c = circuit();
+        let (program, _) = test_program(&c);
+        let spec = model_spec();
+        let plans = suite_plans();
+        let mut rng = StdRng::seed_from_u64(11);
+        for case in case_studies() {
+            let (block, mode) = case.injected;
+            let id = c.require_block(block).unwrap();
+            let mut dut = Device::golden(&c);
+            dut.faults = DeviceFaults::single(Fault::new(id, mode));
+            let log =
+                test_device(&c, &program, &dut, NoiseModel::none(), &mut rng).unwrap();
+            let si = plans.iter().position(|p| p.name == case.suite).unwrap();
+            for (oi, (var, expected_state)) in case.observables.into_iter().enumerate() {
+                let number = test_number(si, oi);
+                let record =
+                    log.records.iter().find(|r| r.test_number == number).unwrap();
+                let got = spec.find(var).unwrap().bin(record.value);
+                assert_eq!(
+                    got,
+                    Some(expected_state),
+                    "case {}: {var} measured {} V, expected state {expected_state}",
+                    case.id,
+                    record.value
+                );
+            }
+        }
+    }
+}

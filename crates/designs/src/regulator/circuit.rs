@@ -1,0 +1,361 @@
+//! The behavioural block-level circuit of the multiple-output voltage
+//! regulator (paper Fig. 2): a battery-supplied automotive regulator with
+//! four regulated outputs, a high-side power switch, dual bandgap
+//! references and supply-status gating of the output enables.
+//!
+//! Physical narrative (reconstructed from the paper's §IV):
+//!
+//! * `lcbg` — the always-on low-current bandgap, supplied from `vp1`; it
+//!   references the always-on `reg2` and the enable-sense logic.
+//! * `vx` — the OR of the three enable pins (paper: "the or-functionality
+//!   of the enblx inputs").
+//! * `enblSen` — enable sense: wakes the high-current machinery when any
+//!   enable pin is asserted *and* the low-current bandgap is alive.
+//! * `hcbg` — the high-current bandgap, powered from `vp1`, gated by
+//!   `enblSen`; it references the three switched regulators.
+//! * `warnvpst` — the supply-status flag: asserted only when both bandgaps
+//!   are healthy; it gates every output enable.
+//! * `enb13`, `enb4`, `enbsw` — internal enables combining `warnvpst` with
+//!   the corresponding pin.
+//! * `reg1` (8.5 V), `reg3` (5 V), `reg4` (3.3 V) — switched regulators
+//!   from `vp1`; `reg2` (5 V) — always-on regulator from `vp2`; `sw` — the
+//!   high-side power switch from `vp1x` with a 16 V clamp.
+
+use abbd_blocks::{Behavior, Circuit, CircuitBuilder, LogicOp, Window};
+
+/// Net names of the regulator's external inputs, in stimulus order.
+pub const INPUT_NETS: [&str; 6] =
+    ["vp1", "vp1x", "vp2", "enb13_pin", "enb4_pin", "enbsw_pin"];
+
+/// Net names of the regulator's measured outputs.
+pub const OUTPUT_NETS: [&str; 5] = ["sw_out", "reg1_out", "reg2_out", "reg3_out", "reg4_out"];
+
+/// Pin voltage above which an enable input counts as asserted.
+pub const PIN_THRESHOLD: f64 = 0.4;
+
+/// Builds the voltage-regulator circuit.
+///
+/// Block names deliberately match the paper's model-variable names
+/// (Table V) so the model layer can map blocks to variables by name.
+pub fn circuit() -> Circuit {
+    let mut cb = CircuitBuilder::new();
+    let vp1 = cb.net("vp1").expect("fresh builder");
+    let vp1x = cb.net("vp1x").expect("fresh builder");
+    let vp2 = cb.net("vp2").expect("fresh builder");
+    let enb13_pin = cb.net("enb13_pin").expect("fresh builder");
+    let enb4_pin = cb.net("enb4_pin").expect("fresh builder");
+    let enbsw_pin = cb.net("enbsw_pin").expect("fresh builder");
+    let lcbg_out = cb.net("lcbg_out").expect("fresh builder");
+    let vx_out = cb.net("vx_out").expect("fresh builder");
+    let enblsen_out = cb.net("enblsen_out").expect("fresh builder");
+    let hcbg_out = cb.net("hcbg_out").expect("fresh builder");
+    let warnvpst_out = cb.net("warnvpst_out").expect("fresh builder");
+    let enb13_out = cb.net("enb13_out").expect("fresh builder");
+    let enb4_out = cb.net("enb4_out").expect("fresh builder");
+    let enbsw_out = cb.net("enbsw_out").expect("fresh builder");
+    let sw_out = cb.net("sw_out").expect("fresh builder");
+    let reg1_out = cb.net("reg1_out").expect("fresh builder");
+    let reg2_out = cb.net("reg2_out").expect("fresh builder");
+    let reg3_out = cb.net("reg3_out").expect("fresh builder");
+    let reg4_out = cb.net("reg4_out").expect("fresh builder");
+
+    let pin_window = Window::new(PIN_THRESHOLD, 100.0);
+    let logic_levels = (0.1, 5.0); // (out_low, out_high)
+
+    cb.block_with_spread(
+        "lcbg",
+        Behavior::Reference { nominal: 1.2, min_supply: 3.5 },
+        [vp1],
+        lcbg_out,
+        0.01,
+        0.005,
+    )
+    .expect("static netlist");
+    cb.block_with_spread(
+        "vx",
+        Behavior::Logic {
+            op: LogicOp::Or,
+            windows: vec![pin_window, pin_window, pin_window],
+            out_low: logic_levels.0,
+            out_high: logic_levels.1,
+        },
+        [enb13_pin, enb4_pin, enbsw_pin],
+        vx_out,
+        0.02,
+        0.02,
+    )
+    .expect("static netlist");
+    cb.block_with_spread(
+        "enblSen",
+        Behavior::Logic {
+            op: LogicOp::And,
+            windows: vec![Window::new(1.1, 100.0), Window::new(1.05, 1.35)],
+            out_low: logic_levels.0,
+            out_high: logic_levels.1,
+        },
+        [vx_out, lcbg_out],
+        enblsen_out,
+        0.02,
+        0.02,
+    )
+    .expect("static netlist");
+    cb.block_with_spread(
+        "hcbg",
+        Behavior::Regulator {
+            nominal: 1.2,
+            dropout: 0.8,
+            enable_threshold: 2.5,
+            reference: Window::new(0.0, 200.0),
+        },
+        [vp1, enblsen_out, vp1],
+        hcbg_out,
+        0.01,
+        0.005,
+    )
+    .expect("static netlist");
+    cb.block_with_spread(
+        "warnvpst",
+        Behavior::Logic {
+            op: LogicOp::And,
+            windows: vec![Window::new(1.05, 1.35), Window::new(1.1, 100.0)],
+            out_low: logic_levels.0,
+            out_high: logic_levels.1,
+        },
+        [lcbg_out, hcbg_out],
+        warnvpst_out,
+        0.02,
+        0.02,
+    )
+    .expect("static netlist");
+    for (name, pin, out) in [
+        ("enb13", enb13_pin, enb13_out),
+        ("enb4", enb4_pin, enb4_out),
+        ("enbsw", enbsw_pin, enbsw_out),
+    ] {
+        cb.block_with_spread(
+            name,
+            Behavior::Logic {
+                op: LogicOp::And,
+                windows: vec![Window::new(2.5, 100.0), pin_window],
+                out_low: logic_levels.0,
+                out_high: logic_levels.1,
+            },
+            [warnvpst_out, pin],
+            out,
+            0.02,
+            0.02,
+        )
+        .expect("static netlist");
+    }
+    let reference = Window::new(1.05, 1.35);
+    cb.block_with_spread(
+        "reg1",
+        Behavior::Regulator { nominal: 8.5, dropout: 1.0, enable_threshold: 2.5, reference },
+        [vp1, enb13_out, hcbg_out],
+        reg1_out,
+        0.005,
+        0.01,
+    )
+    .expect("static netlist");
+    cb.block_with_spread(
+        "reg3",
+        Behavior::Regulator { nominal: 5.0, dropout: 1.0, enable_threshold: 2.5, reference },
+        [vp1, enb13_out, hcbg_out],
+        reg3_out,
+        0.005,
+        0.01,
+    )
+    .expect("static netlist");
+    cb.block_with_spread(
+        "reg4",
+        Behavior::Regulator { nominal: 3.3, dropout: 0.7, enable_threshold: 2.5, reference },
+        [vp1, enb4_out, hcbg_out],
+        reg4_out,
+        0.005,
+        0.01,
+    )
+    .expect("static netlist");
+    // reg2 is the always-on regulator: its enable rides on its own supply.
+    cb.block_with_spread(
+        "reg2",
+        Behavior::Regulator { nominal: 5.0, dropout: 0.8, enable_threshold: 2.5, reference },
+        [vp2, vp2, lcbg_out],
+        reg2_out,
+        0.005,
+        0.01,
+    )
+    .expect("static netlist");
+    cb.block_with_spread(
+        "sw",
+        Behavior::Switch { drop: 0.3, clamp: 16.0, enable_threshold: 2.5 },
+        [vp1x, enbsw_out],
+        sw_out,
+        0.005,
+        0.02,
+    )
+    .expect("static netlist");
+
+    cb.build().expect("static netlist always validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abbd_blocks::{Device, DeviceFaults, Fault, FaultMode, SimConfig, Simulator, Stimulus};
+
+    fn nominal_stimulus(c: &Circuit) -> Stimulus {
+        let mut s = Stimulus::new();
+        s.force(c.find_net("vp1").unwrap(), 12.0);
+        s.force(c.find_net("vp1x").unwrap(), 15.0);
+        s.force(c.find_net("vp2").unwrap(), 8.0);
+        s.force(c.find_net("enb13_pin").unwrap(), 1.2);
+        s.force(c.find_net("enb4_pin").unwrap(), 1.2);
+        s.force(c.find_net("enbsw_pin").unwrap(), 1.2);
+        s
+    }
+
+    #[test]
+    fn structure_inventory() {
+        let c = circuit();
+        assert_eq!(c.block_count(), 13);
+        assert_eq!(c.net_count(), 19);
+        let inputs: Vec<&str> =
+            c.input_nets().iter().map(|n| c.net_name(*n)).collect();
+        assert_eq!(inputs, INPUT_NETS.to_vec());
+        for name in OUTPUT_NETS {
+            assert!(c.find_net(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn healthy_nominal_operating_point() {
+        let c = circuit();
+        let sim = Simulator::new(&c, SimConfig::default());
+        let op = sim.solve(&Device::golden(&c), &nominal_stimulus(&c)).unwrap();
+        let v = |name: &str| op.voltage(c.find_net(name).unwrap());
+        assert!((v("lcbg_out") - 1.2).abs() < 1e-9);
+        assert!((v("hcbg_out") - 1.2).abs() < 1e-9);
+        assert!(v("warnvpst_out") > 2.5);
+        assert!(v("enb13_out") > 2.5);
+        assert!((v("reg1_out") - 8.5).abs() < 1e-9);
+        assert!((v("reg2_out") - 5.0).abs() < 1e-9);
+        assert!((v("reg3_out") - 5.0).abs() < 1e-9);
+        assert!((v("reg4_out") - 3.3).abs() < 1e-9);
+        assert!((v("sw_out") - 14.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grounded_pins_switch_everything_off_except_reg2() {
+        let c = circuit();
+        let sim = Simulator::new(&c, SimConfig::default());
+        let mut stim = nominal_stimulus(&c);
+        for pin in ["enb13_pin", "enb4_pin", "enbsw_pin"] {
+            stim.force(c.find_net(pin).unwrap(), 0.0);
+        }
+        let op = sim.solve(&Device::golden(&c), &stim).unwrap();
+        let v = |name: &str| op.voltage(c.find_net(name).unwrap());
+        assert!(v("vx_out") < 1.0, "no pin asserted");
+        assert!(v("reg1_out") < 0.2);
+        assert!(v("reg3_out") < 0.2);
+        assert!(v("reg4_out") < 0.2);
+        assert!(v("sw_out") < 0.2);
+        assert!((v("reg2_out") - 5.0).abs() < 1e-9, "reg2 is always on");
+    }
+
+    #[test]
+    fn dead_lcbg_kills_reg2_too() {
+        // Paper case d4's physical mechanism.
+        let c = circuit();
+        let sim = Simulator::new(&c, SimConfig::default());
+        let lcbg = c.find_block("lcbg").unwrap();
+        let mut dut = Device::golden(&c);
+        dut.faults = DeviceFaults::single(Fault::new(lcbg, FaultMode::Dead));
+        let op = sim.solve(&dut, &nominal_stimulus(&c)).unwrap();
+        let v = |name: &str| op.voltage(c.find_net(name).unwrap());
+        assert!(v("reg2_out") < 0.2, "reg2 loses its reference");
+        assert!(v("hcbg_out") < 0.2, "enable sense drops");
+        assert!(v("reg1_out") < 0.2);
+        assert!(v("sw_out") < 0.2);
+    }
+
+    #[test]
+    fn dead_hcbg_mimics_dead_warnvpst() {
+        // Paper case d1's ambiguity: hcbg-dead and warnvpst-dead produce
+        // the same observable signature.
+        let c = circuit();
+        let sim = Simulator::new(&c, SimConfig::default());
+        let stim = nominal_stimulus(&c);
+        let observed = |fault_block: &str| {
+            let b = c.find_block(fault_block).unwrap();
+            let mut dut = Device::golden(&c);
+            dut.faults = DeviceFaults::single(Fault::new(b, FaultMode::Dead));
+            let op = sim.solve(&dut, &stim).unwrap();
+            OUTPUT_NETS
+                .iter()
+                .map(|n| op.voltage(c.find_net(n).unwrap()))
+                .collect::<Vec<f64>>()
+        };
+        let via_hcbg = observed("hcbg");
+        let via_warn = observed("warnvpst");
+        for (a, b) in via_hcbg.iter().zip(&via_warn) {
+            assert!((a - b).abs() < 1e-9, "signatures must coincide: {a} vs {b}");
+        }
+        // reg2 survives in both.
+        assert!((via_hcbg[2] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dead_enb13_spares_reg4_and_sw() {
+        // Paper case d2's signature.
+        let c = circuit();
+        let sim = Simulator::new(&c, SimConfig::default());
+        let b = c.find_block("enb13").unwrap();
+        let mut dut = Device::golden(&c);
+        dut.faults = DeviceFaults::single(Fault::new(b, FaultMode::Dead));
+        let op = sim.solve(&dut, &nominal_stimulus(&c)).unwrap();
+        let v = |name: &str| op.voltage(c.find_net(name).unwrap());
+        assert!(v("reg1_out") < 0.2);
+        assert!(v("reg3_out") < 0.2);
+        assert!((v("reg4_out") - 3.3).abs() < 1e-9);
+        assert!((v("sw_out") - 14.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intermediate_supply_drops_reg1_naturally() {
+        // Paper case d3's test condition: healthy devices already show
+        // reg1 below regulation.
+        let c = circuit();
+        let sim = Simulator::new(&c, SimConfig::default());
+        let mut stim = Stimulus::new();
+        stim.force(c.find_net("vp1").unwrap(), 6.5);
+        stim.force(c.find_net("vp1x").unwrap(), 7.0);
+        stim.force(c.find_net("vp2").unwrap(), 5.9);
+        for pin in ["enb13_pin", "enb4_pin", "enbsw_pin"] {
+            stim.force(c.find_net(pin).unwrap(), 1.2);
+        }
+        let op = sim.solve(&Device::golden(&c), &stim).unwrap();
+        let v = |name: &str| op.voltage(c.find_net(name).unwrap());
+        assert!((v("reg1_out") - 5.5).abs() < 1e-9, "tracks vp1 - dropout");
+        assert!((v("reg3_out") - 5.0).abs() < 1e-9, "still in regulation");
+        assert!((v("reg4_out") - 3.3).abs() < 1e-9);
+        assert!((v("reg2_out") - 5.0).abs() < 1e-9, "5.9 V leaves just enough headroom");
+        assert!((v("sw_out") - 6.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loaddump_engages_switch_clamp() {
+        let c = circuit();
+        let sim = Simulator::new(&c, SimConfig::default());
+        let mut stim = Stimulus::new();
+        stim.force(c.find_net("vp1").unwrap(), 20.0);
+        stim.force(c.find_net("vp1x").unwrap(), 20.0);
+        stim.force(c.find_net("vp2").unwrap(), 16.0);
+        for pin in ["enb13_pin", "enb4_pin", "enbsw_pin"] {
+            stim.force(c.find_net(pin).unwrap(), 1.2);
+        }
+        let op = sim.solve(&Device::golden(&c), &stim).unwrap();
+        let v = |name: &str| op.voltage(c.find_net(name).unwrap());
+        assert!((v("sw_out") - 16.0).abs() < 1e-9, "clamped");
+        assert!((v("reg1_out") - 8.5).abs() < 1e-9);
+    }
+}

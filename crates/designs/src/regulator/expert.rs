@@ -1,0 +1,271 @@
+//! The product designer's rough CPT estimate for the regulator (the paper:
+//! "the product designer initially provided a rough estimate of the
+//! conditional probability tables for all circuit model variables").
+//!
+//! Tables are generated from the block logic with explicit leak
+//! probabilities — the designer's belief about how often each block
+//! misbehaves despite healthy inputs. The leak asymmetries matter for the
+//! case studies: `hcbg` is believed to fail mostly at nominal/load-dump
+//! supply (stress-related), which is what lets case d3 exonerate it while
+//! case d1 cannot.
+
+use abbd_core::ExpertKnowledge;
+
+/// Enumerates parent configurations (last parent fastest) and builds one
+/// CPT row per configuration.
+pub(crate) fn rule_rows<F>(parent_cards: &[usize], rule: F) -> Vec<Vec<f64>>
+where
+    F: Fn(&[usize]) -> Vec<f64>,
+{
+    let configs: usize = parent_cards.iter().product::<usize>().max(1);
+    let mut rows = Vec::with_capacity(configs);
+    let mut assignment = vec![0usize; parent_cards.len()];
+    for _ in 0..configs {
+        rows.push(rule(&assignment));
+        for pos in (0..parent_cards.len()).rev() {
+            assignment[pos] += 1;
+            if assignment[pos] == parent_cards[pos] {
+                assignment[pos] = 0;
+            } else {
+                break;
+            }
+        }
+    }
+    rows
+}
+
+/// `true` when an enable-pin state index means "pin asserted" (all bands
+/// except `2` (below threshold) and `4` (ground) sit above the 0.4 V
+/// assertion threshold).
+fn pin_asserted(state: usize) -> bool {
+    matches!(state, 0 | 1 | 3)
+}
+
+/// The expert estimate with the given equivalent sample size.
+pub fn expert_knowledge(equivalent_sample_size: f64) -> ExpertKnowledge {
+    let mut e = ExpertKnowledge::new(equivalent_sample_size);
+
+    // Priors over the controllable conditions (overwritten by the observed
+    // condition frequencies during fine-tuning).
+    e.cpt("vp1", [vec![0.20, 0.30, 0.40, 0.10]]);
+    e.cpt("vp1x", [vec![0.15, 0.05, 0.05, 0.15, 0.60]]);
+    e.cpt("vp2", [vec![0.20, 0.20, 0.50, 0.10]]);
+    for pin in ["enb13_pin", "enb4_pin", "enbsw_pin"] {
+        e.cpt(pin, [vec![0.05, 0.45, 0.05, 0.30, 0.15]]);
+    }
+
+    // lcbg | vp1 — alive from intermediate supply upwards.
+    e.cpt(
+        "lcbg",
+        rule_rows(&[4], |pa| match pa[0] {
+            0 => vec![0.90, 0.07, 0.02, 0.01],
+            3 => vec![0.06, 0.85, 0.05, 0.04],
+            _ => vec![0.06, 0.90, 0.03, 0.01],
+        }),
+    );
+
+    // vx | enb13_pin, enb4_pin, enbsw_pin — OR of the assertions. The OR
+    // gate is passive and regarded as near-perfectly reliable.
+    e.cpt(
+        "vx",
+        rule_rows(&[5, 5, 5], |pa| {
+            if pa.iter().any(|&s| pin_asserted(s)) {
+                vec![0.005, 0.995]
+            } else {
+                vec![0.99, 0.01]
+            }
+        }),
+    );
+
+    // enblSen | vx, lcbg — AND of vx asserted and lcbg nominal; also a
+    // simple, reliable gate.
+    e.cpt(
+        "enblSen",
+        rule_rows(&[2, 4], |pa| {
+            if pa[0] == 1 && pa[1] == 1 {
+                vec![0.004, 0.996]
+            } else {
+                vec![0.99, 0.01]
+            }
+        }),
+    );
+
+    // hcbg | vp1, enblSen — the supply-stress asymmetry: the designer
+    // believes hcbg defects manifest at nominal/load-dump supply.
+    e.cpt(
+        "hcbg",
+        rule_rows(&[4, 2], |pa| match (pa[0], pa[1]) {
+            (0, 1) => vec![0.90, 0.10],
+            (1, 1) => vec![0.01, 0.99],
+            (_, 1) => vec![0.07, 0.93],
+            _ => vec![0.97, 0.03],
+        }),
+    );
+
+    // warnvpst | lcbg, hcbg — AND of both bandgaps healthy; the supply
+    // monitor itself is believed to be the most failure-prone gate.
+    e.cpt(
+        "warnvpst",
+        rule_rows(&[4, 2], |pa| {
+            if pa[0] == 1 && pa[1] == 1 {
+                vec![0.12, 0.88]
+            } else {
+                vec![0.96, 0.04]
+            }
+        }),
+    );
+
+    // Internal enables | warnvpst, pin.
+    for enable in ["enb13", "enb4", "enbsw"] {
+        e.cpt(
+            enable,
+            rule_rows(&[2, 5], |pa| {
+                if pa[0] == 1 && pin_asserted(pa[1]) {
+                    vec![0.08, 0.92]
+                } else {
+                    vec![0.97, 0.03]
+                }
+            }),
+        );
+    }
+
+    // reg1 | vp1, enb13, hcbg — 8.5 V output needs nominal supply.
+    e.cpt(
+        "reg1",
+        rule_rows(&[4, 2, 2], |pa| match (pa[0], pa[1], pa[2]) {
+            (2, 1, 1) => vec![0.05, 0.90, 0.04, 0.01],
+            (3, 1, 1) => vec![0.05, 0.85, 0.09, 0.01],
+            (_, 1, 1) => vec![0.93, 0.04, 0.02, 0.01],
+            _ => vec![0.95, 0.02, 0.02, 0.01],
+        }),
+    );
+    // reg3 | vp1, enb13, hcbg — 5 V output regulates from intermediate up.
+    e.cpt(
+        "reg3",
+        rule_rows(&[4, 2, 2], |pa| match (pa[0], pa[1], pa[2]) {
+            (0, 1, 1) => vec![0.95, 0.03, 0.01, 0.01],
+            (1, 1, 1) => vec![0.10, 0.85, 0.04, 0.01],
+            (_, 1, 1) => vec![0.05, 0.90, 0.04, 0.01],
+            _ => vec![0.95, 0.02, 0.02, 0.01],
+        }),
+    );
+    // reg4 | vp1, enb4, hcbg — 3.3 V output regulates from intermediate up.
+    e.cpt(
+        "reg4",
+        rule_rows(&[4, 2, 2], |pa| match (pa[0], pa[1], pa[2]) {
+            (0, 1, 1) => vec![0.90, 0.07, 0.02, 0.01],
+            (_, 1, 1) => vec![0.05, 0.90, 0.04, 0.01],
+            _ => vec![0.95, 0.02, 0.02, 0.01],
+        }),
+    );
+    // reg2 | vp2, lcbg — always-on, referenced from lcbg.
+    e.cpt(
+        "reg2",
+        rule_rows(&[4, 4], |pa| match (pa[0], pa[1]) {
+            (0, 1) => vec![0.95, 0.03, 0.01, 0.01],
+            (_, 1) => vec![0.05, 0.90, 0.04, 0.01],
+            _ => vec![0.90, 0.04, 0.05, 0.01],
+        }),
+    );
+    // sw | vp1x, enbsw — level-dependent: high battery engages the clamp.
+    e.cpt(
+        "sw",
+        rule_rows(&[5, 2], |pa| match (pa[0], pa[1]) {
+            (4, 1) => vec![0.025, 0.25, 0.695, 0.03],
+            (3, 1) => vec![0.90, 0.07, 0.02, 0.01],
+            (0, 1) => vec![0.97, 0.01, 0.01, 0.01],
+            (_, 1) => vec![0.93, 0.04, 0.02, 0.01],
+            _ => vec![0.96, 0.02, 0.01, 0.01],
+        }),
+    );
+
+    e
+}
+
+/// A deliberately *rough* version of the expert estimate: every CPT row is
+/// blended halfway towards uniform, washing out the calibration while
+/// keeping the directional structure. This models the paper's starting
+/// point — "a rough estimate of the conditional probability tables" — and
+/// is what the knowledge-source ablation fine-tunes.
+pub fn rough_expert_knowledge(equivalent_sample_size: f64) -> ExpertKnowledge {
+    let sharp = expert_knowledge(equivalent_sample_size);
+    let spec = crate::regulator::model::model_spec();
+    let mut rough = ExpertKnowledge::new(equivalent_sample_size);
+    for v in spec.variables() {
+        let Some(table) = sharp.table(&v.name) else { continue };
+        let card = v.card();
+        let uniform = 1.0 / card as f64;
+        let rows: Vec<Vec<f64>> = table
+            .chunks(card)
+            .map(|row| row.iter().map(|p| 0.5 * p + 0.5 * uniform).collect())
+            .collect();
+        rough.cpt(v.name.clone(), rows);
+    }
+    rough
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regulator::model::circuit_model;
+    use abbd_core::ModelBuilder;
+
+    #[test]
+    fn rule_rows_enumerates_last_parent_fastest() {
+        let rows = rule_rows(&[2, 3], |pa| vec![pa[0] as f64, pa[1] as f64]);
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0], vec![0.0, 0.0]);
+        assert_eq!(rows[1], vec![0.0, 1.0]);
+        assert_eq!(rows[2], vec![0.0, 2.0]);
+        assert_eq!(rows[3], vec![1.0, 0.0]);
+        // No parents: a single row.
+        let prior = rule_rows(&[], |_| vec![0.5, 0.5]);
+        assert_eq!(prior.len(), 1);
+    }
+
+    #[test]
+    fn expert_tables_fit_the_model() {
+        let expert = expert_knowledge(30.0);
+        let dm = ModelBuilder::new(circuit_model())
+            .with_expert(expert)
+            .build_expert_only()
+            .unwrap();
+        // Every CPT validated at build time; spot-check one asymmetry.
+        let net = dm.network();
+        let hcbg = net.var("hcbg").unwrap();
+        // parents: vp1, enblSen (last fastest): row (vp1=2, enblSen=1).
+        let nominal = net.cpt_row(hcbg, &[2, 1]).unwrap();
+        let intermediate = net.cpt_row(hcbg, &[1, 1]).unwrap();
+        assert!(
+            nominal[0] > intermediate[0],
+            "designer believes hcbg fails more at nominal supply"
+        );
+    }
+
+    #[test]
+    fn pin_assertion_convention() {
+        assert!(pin_asserted(0));
+        assert!(pin_asserted(1));
+        assert!(!pin_asserted(2));
+        assert!(pin_asserted(3));
+        assert!(!pin_asserted(4));
+    }
+
+    #[test]
+    fn rough_expert_is_a_uniform_blend() {
+        let sharp = expert_knowledge(10.0);
+        let rough = rough_expert_knowledge(10.0);
+        let sharp_warn = sharp.table("warnvpst").unwrap();
+        let rough_warn = rough.table("warnvpst").unwrap();
+        assert_eq!(sharp_warn.len(), rough_warn.len());
+        for (s, r) in sharp_warn.iter().zip(rough_warn) {
+            assert!((r - (0.5 * s + 0.25)).abs() < 1e-12);
+        }
+        // Rows still sum to one, so the model builds.
+        let dm = ModelBuilder::new(circuit_model())
+            .with_expert(rough)
+            .build_expert_only()
+            .unwrap();
+        assert_eq!(dm.network().var_count(), 19);
+    }
+}

@@ -1,0 +1,90 @@
+//! The regulator's fault universe: the catalogue of block-level defects
+//! the synthetic "customer return" population is drawn from (standing in
+//! for the paper's 70 failed products).
+
+use abbd_blocks::{Circuit, Fault, FaultMode, FaultUniverse};
+
+/// Relative occurrence weights per `(block, mode)`. The mix is skewed the
+/// way the paper's case studies suggest: supply-status (`warnvpst`) and
+/// high-current bandgap (`hcbg`) defects are common, the enable sense and
+/// OR gate rarely fail, and every output block can die on its own.
+pub fn fault_catalog() -> Vec<(&'static str, FaultMode, f64)> {
+    vec![
+        ("lcbg", FaultMode::Dead, 2.5),
+        ("lcbg", FaultMode::GainDrift(0.7), 1.0),
+        ("lcbg", FaultMode::ShortToInput, 0.5),
+        ("hcbg", FaultMode::Dead, 2.2),
+        ("hcbg", FaultMode::GainDrift(0.8), 0.5),
+        ("warnvpst", FaultMode::Dead, 4.0),
+        ("warnvpst", FaultMode::StuckAt(0.1), 0.5),
+        ("enblSen", FaultMode::Dead, 0.2),
+        ("vx", FaultMode::Dead, 0.15),
+        ("enb13", FaultMode::Dead, 2.5),
+        ("enb4", FaultMode::Dead, 1.5),
+        ("enbsw", FaultMode::Dead, 3.5),
+        ("reg1", FaultMode::Dead, 1.5),
+        ("reg1", FaultMode::GainDrift(1.15), 0.5),
+        ("reg2", FaultMode::Dead, 1.0),
+        ("reg3", FaultMode::Dead, 1.5),
+        ("reg4", FaultMode::Dead, 1.0),
+        ("sw", FaultMode::Dead, 0.6),
+        ("sw", FaultMode::StuckAt(17.0), 0.2),
+    ]
+}
+
+/// Builds the weighted fault universe over a circuit instance.
+pub fn fault_universe(circuit: &Circuit) -> FaultUniverse {
+    fault_catalog()
+        .into_iter()
+        .map(|(block, mode, weight)| {
+            let id = circuit.require_block(block).expect("catalog names exist");
+            (Fault::new(id, mode), weight)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regulator::circuit::circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn universe_covers_every_latent_block() {
+        let c = circuit();
+        let u = fault_universe(&c);
+        assert_eq!(u.len(), fault_catalog().len());
+        for latent in ["lcbg", "hcbg", "warnvpst", "enblSen", "vx", "enb13", "enb4", "enbsw"] {
+            let id = c.require_block(latent).unwrap();
+            assert!(
+                u.iter().any(|(f, _)| f.block == id),
+                "no fault catalogued for {latent}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_respects_skew() {
+        let c = circuit();
+        let u = fault_universe(&c);
+        let warn = c.require_block("warnvpst").unwrap();
+        let vx = c.require_block("vx").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mut warn_hits = 0usize;
+        let mut vx_hits = 0usize;
+        for _ in 0..n {
+            let f = u.sample(&mut rng).unwrap();
+            if f.block == warn {
+                warn_hits += 1;
+            } else if f.block == vx {
+                vx_hits += 1;
+            }
+        }
+        assert!(
+            warn_hits > 5 * vx_hits,
+            "warnvpst ({warn_hits}) must dominate vx ({vx_hits})"
+        );
+    }
+}

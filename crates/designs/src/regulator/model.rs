@@ -1,0 +1,280 @@
+//! The regulator's model variables (paper Table V), usable states with
+//! voltage bands (paper Table VII columns LL/UL/Remarks) and the BBN
+//! dependency structure (paper Fig. 3, reconstructed from the case-study
+//! narrative of §IV-B).
+
+use abbd_core::CircuitModel;
+use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
+
+/// The 19 model-variable names in paper Table VII order.
+pub const VARIABLES: [&str; 19] = [
+    "vp1", "vp1x", "vp2", "enb13_pin", "enb4_pin", "enbsw_pin", "sw", "reg1", "reg2",
+    "reg3", "reg4", "lcbg", "enbsw", "warnvpst", "enblSen", "vx", "hcbg", "enb4",
+    "enb13",
+];
+
+/// The 8 latent (NOT CONTROL/OBSERVE) model variables.
+pub const LATENTS: [&str; 8] =
+    ["lcbg", "enbsw", "warnvpst", "enblSen", "vx", "hcbg", "enb4", "enb13"];
+
+fn enable_pin_bands() -> Vec<StateBand> {
+    vec![
+        StateBand::new("0", 0.9, 1.9, "bad state"),
+        StateBand::new("1", 0.4, 2.4, "good state"),
+        StateBand::new("2", 0.0, 0.9, "bad state"),
+        StateBand::new("3", 2.4, 100.0, "good state"),
+        StateBand::new("4", 0.0, 0.0, "ground"),
+    ]
+}
+
+fn active_bands(low_remark: &str, high_remark: &str) -> Vec<StateBand> {
+    vec![
+        StateBand::new("0", 0.0, 2.5, low_remark),
+        StateBand::new("1", 2.5, 100.0, high_remark),
+    ]
+}
+
+fn bandgap_level_bands(bad: &str, good: &str) -> Vec<StateBand> {
+    vec![
+        StateBand::new("0", 0.0, 1.1, bad),
+        StateBand::new("1", 1.1, 100.0, good),
+    ]
+}
+
+/// Meter noise floor: a dead output reads as 0 V plus millivolt-scale
+/// noise, so the "off" band must reach slightly below zero or dead
+/// outputs randomly fall into the "negative voltage" band (or out of
+/// every band for variables without one).
+const NOISE_FLOOR: f64 = -0.05;
+
+fn regulator_bands(nominal_lo: f64, nominal_hi: f64, off_remark: &str) -> Vec<StateBand> {
+    vec![
+        StateBand::new("0", NOISE_FLOOR, nominal_lo, off_remark),
+        StateBand::new("1", nominal_lo, nominal_hi, "in regulation"),
+        StateBand::new("2", nominal_hi, 500.0, "out of regulation"),
+        StateBand::new("3", -500.0, NOISE_FLOOR, "negative voltage"),
+    ]
+}
+
+/// The model-variable specification of paper Tables V and VII.
+pub fn model_spec() -> ModelSpec {
+    let v = |name: &str, ftype, bands, ckt_ref: Option<&str>| VariableSpec {
+        name: name.into(),
+        ftype,
+        bands,
+        ckt_ref: ckt_ref.map(str::to_string),
+    };
+    ModelSpec::new([
+        v(
+            "vp1",
+            FunctionalType::Control,
+            vec![
+                StateBand::new("0", 0.0, 4.0, "low level"),
+                StateBand::new("1", 4.0, 7.5, "intermediate level"),
+                StateBand::new("2", 7.5, 14.4, "nominal level"),
+                StateBand::new("3", 14.4, 100.0, "loaddump level"),
+            ],
+            Some("1"),
+        ),
+        v(
+            "vp1x",
+            FunctionalType::Control,
+            vec![
+                StateBand::new("0", 0.0, 4.0, "bad state"),
+                StateBand::new("1", 4.0, 5.0, "off state"),
+                StateBand::new("2", 5.0, 6.5, "off-up/on-down"),
+                StateBand::new("3", 6.5, 7.5, "on state"),
+                StateBand::new("4", 7.5, 100.0, "on state"),
+            ],
+            Some("1"),
+        ),
+        v(
+            "vp2",
+            FunctionalType::Control,
+            vec![
+                StateBand::new("0", 0.0, 3.5, "low level"),
+                StateBand::new("1", 4.75, 6.0, "intermediate level"),
+                StateBand::new("2", 6.0, 14.4, "nominal level"),
+                StateBand::new("3", 14.4, 100.0, "loaddump level"),
+            ],
+            Some("2"),
+        ),
+        v("enb13_pin", FunctionalType::Control, enable_pin_bands(), Some("3")),
+        v("enb4_pin", FunctionalType::Control, enable_pin_bands(), Some("4")),
+        v("enbsw_pin", FunctionalType::Control, enable_pin_bands(), Some("5")),
+        v(
+            "sw",
+            FunctionalType::Observe,
+            vec![
+                StateBand::new("0", NOISE_FLOOR, 8.0, "short circuit"),
+                StateBand::new("1", 8.0, 13.5, "normal mode"),
+                StateBand::new("2", 13.5, 16.0, "clamp level"),
+                StateBand::new("3", 16.0, 100.0, "others"),
+            ],
+            Some("6"),
+        ),
+        v(
+            "reg1",
+            FunctionalType::Observe,
+            vec![
+                StateBand::new("0", NOISE_FLOOR, 8.0, "switch off/defect"),
+                StateBand::new("1", 8.0, 9.0, "in regulation"),
+                StateBand::new("2", 9.0, 500.0, "out of regulation"),
+                StateBand::new("3", -500.0, NOISE_FLOOR, "negative voltage"),
+            ],
+            Some("7"),
+        ),
+        v("reg2", FunctionalType::Observe, regulator_bands(4.75, 5.25, "out of regulation"), Some("8")),
+        v("reg3", FunctionalType::Observe, regulator_bands(4.75, 5.25, "out of regulation"), Some("9")),
+        v("reg4", FunctionalType::Observe, regulator_bands(3.14, 3.46, "out of regulation"), Some("10")),
+        v(
+            "lcbg",
+            FunctionalType::Latent,
+            vec![
+                StateBand::new("0", 0.0, 1.1, "non operational"),
+                StateBand::new("1", 1.1, 1.3, "nominal operating"),
+                StateBand::new("2", 1.3, 14.4, "non operational"),
+                StateBand::new("3", 14.4, 100.0, "short circuit"),
+            ],
+            Some("12"),
+        ),
+        v("enbsw", FunctionalType::Latent, active_bands("non-active", "active"), Some("11")),
+        v("warnvpst", FunctionalType::Latent, active_bands("off", "on"), Some("13")),
+        v("enblSen", FunctionalType::Latent, active_bands("non-active", "active"), Some("14")),
+        v("vx", FunctionalType::Latent, bandgap_level_bands("bad state", "good state"), None),
+        v("hcbg", FunctionalType::Latent, bandgap_level_bands("bad state", "good state"), None),
+        v("enb4", FunctionalType::Latent, active_bands("non-active", "active"), Some("15")),
+        v("enb13", FunctionalType::Latent, active_bands("non-active", "active"), Some("16")),
+    ])
+    .expect("static spec always validates")
+}
+
+/// The BBN structure of paper Fig. 3: model variables plus the
+/// cause–effect dependencies named in the case-study walkthroughs
+/// (warnvpst ← {lcbg, hcbg}; the enables ← {warnvpst, pin}; the
+/// lcbg→enblSen→hcbg chain; vx as the OR of the enable pins; outputs fed
+/// by their enable, reference and supply).
+pub fn circuit_model() -> CircuitModel {
+    let mut m = CircuitModel::new(model_spec());
+    let dep = |m: &mut CircuitModel, p: &str, c: &str| {
+        m.depends(p, c).expect("static edges always validate");
+    };
+    dep(&mut m, "vp1", "lcbg");
+    dep(&mut m, "enb13_pin", "vx");
+    dep(&mut m, "enb4_pin", "vx");
+    dep(&mut m, "enbsw_pin", "vx");
+    dep(&mut m, "vx", "enblSen");
+    dep(&mut m, "lcbg", "enblSen");
+    dep(&mut m, "vp1", "hcbg");
+    dep(&mut m, "enblSen", "hcbg");
+    dep(&mut m, "lcbg", "warnvpst");
+    dep(&mut m, "hcbg", "warnvpst");
+    dep(&mut m, "warnvpst", "enb13");
+    dep(&mut m, "enb13_pin", "enb13");
+    dep(&mut m, "warnvpst", "enb4");
+    dep(&mut m, "enb4_pin", "enb4");
+    dep(&mut m, "warnvpst", "enbsw");
+    dep(&mut m, "enbsw_pin", "enbsw");
+    dep(&mut m, "vp1", "reg1");
+    dep(&mut m, "enb13", "reg1");
+    dep(&mut m, "hcbg", "reg1");
+    dep(&mut m, "vp1", "reg3");
+    dep(&mut m, "enb13", "reg3");
+    dep(&mut m, "hcbg", "reg3");
+    dep(&mut m, "vp1", "reg4");
+    dep(&mut m, "enb4", "reg4");
+    dep(&mut m, "hcbg", "reg4");
+    dep(&mut m, "vp2", "reg2");
+    dep(&mut m, "lcbg", "reg2");
+    dep(&mut m, "vp1x", "sw");
+    dep(&mut m, "enbsw", "sw");
+    // lcbg fails in three of its four states (dead, drifted high, short).
+    m.set_fault_states("lcbg", &[0, 2, 3]).expect("static fault states");
+    // Observable fault states are condition-relative; state 0 is the "off
+    // or defective" band used for self-candidate triggering.
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_paper_inventory() {
+        let spec = model_spec();
+        assert_eq!(spec.len(), 19);
+        let names: Vec<&str> =
+            spec.variables().iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, VARIABLES.to_vec());
+        // Functional-type counts from Table V: 6 control, 5 observe, 8 latent.
+        let controls = spec.variables().iter().filter(|v| v.ftype.is_control()).count();
+        let observables =
+            spec.variables().iter().filter(|v| v.ftype.is_observable()).count();
+        let latents = spec
+            .variables()
+            .iter()
+            .filter(|v| v.ftype == FunctionalType::Latent)
+            .count();
+        assert_eq!((controls, observables, latents), (6, 5, 8));
+    }
+
+    #[test]
+    fn cardinalities_match_table_vii() {
+        let spec = model_spec();
+        let card = |n: &str| spec.find(n).unwrap().card();
+        assert_eq!(card("vp1"), 4);
+        assert_eq!(card("vp1x"), 5);
+        assert_eq!(card("vp2"), 4);
+        assert_eq!(card("enb13_pin"), 5);
+        assert_eq!(card("sw"), 4);
+        assert_eq!(card("reg1"), 4);
+        assert_eq!(card("lcbg"), 4);
+        assert_eq!(card("warnvpst"), 2);
+        assert_eq!(card("hcbg"), 2);
+        assert_eq!(card("enb13"), 2);
+    }
+
+    #[test]
+    fn binning_examples_from_table_vii() {
+        let spec = model_spec();
+        // Healthy nominal outputs land in their "in regulation" states.
+        assert_eq!(spec.bin("reg1", 8.5).unwrap(), Some(1));
+        assert_eq!(spec.bin("reg2", 5.0).unwrap(), Some(1));
+        assert_eq!(spec.bin("reg4", 3.3).unwrap(), Some(1));
+        assert_eq!(spec.bin("sw", 14.7).unwrap(), Some(2));
+        assert_eq!(spec.bin("sw", 12.0).unwrap(), Some(1));
+        // Dead outputs land in state 0.
+        assert_eq!(spec.bin("reg1", 0.0).unwrap(), Some(0));
+        assert_eq!(spec.bin("sw", 0.05).unwrap(), Some(0));
+        // lcbg levels.
+        assert_eq!(spec.bin("lcbg", 1.2).unwrap(), Some(1));
+        assert_eq!(spec.bin("lcbg", 0.3).unwrap(), Some(0));
+        assert_eq!(spec.bin("lcbg", 12.0).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn structure_matches_narrative() {
+        let m = circuit_model();
+        assert_eq!(m.parents_of("warnvpst"), vec!["lcbg", "hcbg"]);
+        assert_eq!(m.parents_of("enb13"), vec!["warnvpst", "enb13_pin"]);
+        assert_eq!(m.parents_of("vx"), vec!["enb13_pin", "enb4_pin", "enbsw_pin"]);
+        assert_eq!(m.parents_of("hcbg"), vec!["vp1", "enblSen"]);
+        assert_eq!(m.parents_of("reg2"), vec!["vp2", "lcbg"]);
+        assert_eq!(m.parents_of("sw"), vec!["vp1x", "enbsw"]);
+        // The lcbg -> enblSen -> hcbg chain the paper's d4 walkthrough uses.
+        let anc = m.latent_ancestors("hcbg");
+        assert!(anc.contains(&"enblSen".to_string()));
+        assert!(anc.contains(&"lcbg".to_string()));
+        assert!(anc.contains(&"vx".to_string()));
+        assert_eq!(m.latents(), LATENTS.to_vec());
+        assert_eq!(m.fault_states("lcbg"), vec![0, 2, 3]);
+        assert_eq!(m.fault_states("warnvpst"), vec![0]);
+    }
+
+    #[test]
+    fn model_builds_into_an_acyclic_network() {
+        let m = circuit_model();
+        let dm = abbd_core::ModelBuilder::new(m).build_expert_only().unwrap();
+        assert_eq!(dm.network().var_count(), 19);
+    }
+}

@@ -1,0 +1,73 @@
+//! Reference numbers transcribed from the paper, used by the experiment
+//! harness to print paper-vs-measured comparisons.
+
+/// Paper Table VII "Init. prob. %" column: the state distribution of every
+/// model variable after parameter learning on 70 failed products.
+pub fn init_percent(variable: &str) -> Option<&'static [f64]> {
+    let dist: &'static [f64] = match variable {
+        "vp1" => &[20.0, 59.9, 20.0, 0.1],
+        "vp1x" => &[20.0, 20.0, 20.0, 20.0, 20.0],
+        "vp2" => &[20.0, 59.9, 20.0, 0.1],
+        "enb13_pin" | "enb4_pin" | "enbsw_pin" => &[20.0, 20.0, 20.0, 20.0, 20.0],
+        "sw" => &[73.6, 9.09, 16.3, 1.00],
+        "reg1" => &[80.2, 18.4, 1.20, 0.15],
+        "reg2" => &[27.7, 51.6, 20.0, 0.66],
+        "reg3" => &[89.9, 8.36, 1.55, 0.23],
+        "reg4" => &[80.8, 13.1, 5.62, 0.48],
+        "lcbg" => &[27.7, 57.7, 13.6, 0.90],
+        "enbsw" => &[80.8, 19.2],
+        "warnvpst" => &[53.3, 46.7],
+        "enblSen" => &[35.7, 64.3],
+        "vx" => &[17.5, 82.5],
+        "hcbg" => &[41.4, 58.6],
+        "enb4" => &[80.7, 19.3],
+        "enb13" => &[77.0, 23.0],
+        _ => return None,
+    };
+    Some(dist)
+}
+
+/// Paper Table VII: posterior fault-state mass (%) of each latent variable
+/// for the five diagnostic cases, in order `[d1, d2, d3, d4, d5]`.
+/// The fault states are `{0}` for the two-state latents and `{0, 2, 3}`
+/// for `lcbg`.
+pub fn latent_fault_percent(variable: &str) -> Option<[f64; 5]> {
+    Some(match variable {
+        "lcbg" => [1.81, 0.0, 10.354, 59.17, 0.0],
+        "enbsw" => [83.7, 0.33, 99.3, 94.9, 93.5],
+        "warnvpst" => [40.8, 0.0, 98.1, 94.8, 0.0],
+        "enblSen" => [4.17, 0.78, 10.7, 53.6, 0.67],
+        "vx" => [1.36, 0.76, 1.01, 1.04, 0.72],
+        "hcbg" => [42.4, 7.31, 29.1, 66.4, 5.26],
+        "enb4" => [85.3, 0.07, 99.4, 94.9, 0.07],
+        "enb13" => [89.5, 97.7, 99.2, 93.1, 0.0],
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regulator::model::{LATENTS, VARIABLES};
+
+    #[test]
+    fn init_column_is_complete_and_near_normalised() {
+        for v in VARIABLES {
+            let dist = init_percent(v).unwrap_or_else(|| panic!("missing {v}"));
+            let total: f64 = dist.iter().sum();
+            assert!(
+                (total - 100.0).abs() < 1.5,
+                "{v} init column sums to {total}%"
+            );
+        }
+        assert!(init_percent("ghost").is_none());
+    }
+
+    #[test]
+    fn latent_reference_is_complete() {
+        for v in LATENTS {
+            assert!(latent_fault_percent(v).is_some(), "missing {v}");
+        }
+        assert!(latent_fault_percent("reg1").is_none());
+    }
+}

@@ -1,0 +1,213 @@
+//! The regulator's specification test program: six stimulus suites
+//! covering the paper's test conditions (nominal, intermediate supply,
+//! high enable levels, all-off, low supply, load dump), plus the
+//! Dlog2BBN mapping that turns datalogs into cases.
+
+use abbd_ate::{Limits, TestDef, TestProgram, TestSuite};
+use abbd_blocks::{Circuit, Stimulus};
+use abbd_dlog2bbn::CaseMapping;
+
+/// One stimulus configuration with its declared control states and
+/// expected healthy observable states (used to mark failing observables
+/// and to cross-check the behavioural circuit).
+#[derive(Debug, Clone)]
+pub struct SuitePlan {
+    /// Suite name.
+    pub name: &'static str,
+    /// Forced voltages `[vp1, vp1x, vp2, enb13_pin, enb4_pin, enbsw_pin]`.
+    pub voltages: [f64; 6],
+    /// Declared control states for case generation, Table VI style.
+    pub control_states: [usize; 6],
+    /// Per-output `(lo, hi)` test limits `[reg1, reg2, reg3, reg4, sw]`.
+    pub limits: [(f64, f64); 5],
+    /// The state a healthy device shows per output `[reg1, reg2, reg3,
+    /// reg4, sw]` after binning.
+    pub healthy_states: [usize; 5],
+}
+
+/// The observable variables in test order within each suite.
+pub const OBSERVED_VARS: [&str; 5] = ["reg1", "reg2", "reg3", "reg4", "sw"];
+
+/// The six suites of the regulator test program.
+pub fn suite_plans() -> Vec<SuitePlan> {
+    vec![
+        SuitePlan {
+            name: "nominal_on",
+            voltages: [12.0, 15.0, 8.0, 1.2, 1.2, 1.2],
+            control_states: [2, 4, 2, 1, 1, 1],
+            limits: [(8.0, 9.0), (4.75, 5.25), (4.75, 5.25), (3.14, 3.46), (13.5, 16.0)],
+            healthy_states: [1, 1, 1, 1, 2],
+        },
+        SuitePlan {
+            name: "intermediate_on",
+            voltages: [6.5, 7.0, 5.9, 1.2, 1.2, 1.2],
+            control_states: [1, 3, 1, 1, 1, 1],
+            limits: [(5.0, 6.0), (4.75, 5.25), (4.75, 5.25), (3.14, 3.46), (6.2, 7.2)],
+            healthy_states: [0, 1, 1, 1, 0],
+        },
+        SuitePlan {
+            name: "high_enable",
+            voltages: [12.0, 15.0, 8.0, 3.3, 3.3, 3.3],
+            control_states: [2, 4, 2, 3, 3, 3],
+            limits: [(8.0, 9.0), (4.75, 5.25), (4.75, 5.25), (3.14, 3.46), (13.5, 16.0)],
+            healthy_states: [1, 1, 1, 1, 2],
+        },
+        SuitePlan {
+            name: "all_off",
+            voltages: [12.0, 15.0, 8.0, 0.0, 0.0, 0.0],
+            control_states: [2, 4, 2, 4, 4, 4],
+            limits: [(-0.1, 0.5), (4.75, 5.25), (-0.1, 0.5), (-0.1, 0.5), (-0.1, 0.5)],
+            healthy_states: [0, 1, 0, 0, 0],
+        },
+        SuitePlan {
+            name: "low_supply",
+            voltages: [2.0, 2.0, 2.0, 1.2, 1.2, 1.2],
+            control_states: [0, 0, 0, 1, 1, 1],
+            limits: [(-0.1, 0.5), (-0.1, 0.5), (-0.1, 0.5), (-0.1, 0.5), (-0.1, 0.5)],
+            healthy_states: [0, 0, 0, 0, 0],
+        },
+        SuitePlan {
+            name: "loaddump",
+            voltages: [20.0, 20.0, 16.0, 1.2, 1.2, 1.2],
+            control_states: [3, 4, 3, 1, 1, 1],
+            limits: [(8.0, 9.0), (4.75, 5.25), (4.75, 5.25), (3.14, 3.46), (15.5, 16.0)],
+            healthy_states: [1, 1, 1, 1, 2],
+        },
+    ]
+}
+
+/// The ATE test number of `(suite index, output index)`.
+pub fn test_number(suite_index: usize, output_index: usize) -> u32 {
+    ((suite_index + 1) * 100 + output_index + 1) as u32
+}
+
+/// The control variable names in stimulus order.
+pub const CONTROL_VARS: [&str; 6] =
+    ["vp1", "vp1x", "vp2", "enb13_pin", "enb4_pin", "enbsw_pin"];
+
+/// Builds the test program and the matching Dlog2BBN case mapping.
+pub fn test_program(circuit: &Circuit) -> (TestProgram, CaseMapping) {
+    let mut mapping = CaseMapping::new();
+    let program: TestProgram = suite_plans()
+        .iter()
+        .enumerate()
+        .map(|(si, plan)| {
+            let mut stimulus = Stimulus::new();
+            for (net_name, volts) in CONTROL_VARS.iter().zip(plan.voltages) {
+                let net = circuit.require_net(net_name).expect("static nets exist");
+                stimulus.force(net, volts);
+            }
+            let tests: Vec<TestDef> = OBSERVED_VARS
+                .iter()
+                .enumerate()
+                .map(|(oi, var)| {
+                    let number = test_number(si, oi);
+                    mapping.map_test(number, *var);
+                    TestDef {
+                        number,
+                        name: format!("{}_{}", plan.name, var),
+                        measured: circuit
+                            .require_net(&format!("{var}_out"))
+                            .expect("static nets exist"),
+                        limits: Limits::new(plan.limits[oi].0, plan.limits[oi].1),
+                    }
+                })
+                .collect();
+            mapping.declare_suite(
+                plan.name,
+                CONTROL_VARS.iter().zip(plan.control_states).map(|(n, s)| (*n, s)),
+            );
+            TestSuite { name: plan.name.into(), stimulus, tests }
+        })
+        .collect();
+    (program, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regulator::circuit::circuit;
+    use crate::regulator::model::model_spec;
+    use abbd_ate::{test_device, NoiseModel};
+    use abbd_blocks::Device;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn program_validates_against_circuit_and_spec() {
+        let c = circuit();
+        let (program, mapping) = test_program(&c);
+        assert_eq!(program.suite_count(), 6);
+        assert_eq!(program.test_count(), 30);
+        program.validate(&c).unwrap();
+        mapping.validate(&model_spec()).unwrap();
+    }
+
+    #[test]
+    fn control_states_match_declared_voltages() {
+        // Every declared control state band must contain the forced voltage
+        // (the paper's enable-pin bands overlap, so check containment, not
+        // first-match binning).
+        let spec = model_spec();
+        for plan in suite_plans() {
+            for ((var, volts), state) in
+                CONTROL_VARS.iter().zip(plan.voltages).zip(plan.control_states)
+            {
+                let v = spec.find(var).unwrap();
+                let band = &v.bands[state];
+                assert!(
+                    band.contains(volts),
+                    "suite {}: {var}={volts} V not in declared state {state} ({}..{})",
+                    plan.name,
+                    band.lo,
+                    band.hi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn golden_device_passes_and_bins_to_healthy_states() {
+        let c = circuit();
+        let (program, _) = test_program(&c);
+        let spec = model_spec();
+        let mut rng = StdRng::seed_from_u64(77);
+        let log = test_device(
+            &c,
+            &program,
+            &Device::golden(&c),
+            NoiseModel::none(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(log.all_passed(), "golden device must pass the whole program");
+        for (si, plan) in suite_plans().iter().enumerate() {
+            for (oi, var) in OBSERVED_VARS.iter().enumerate() {
+                let number = test_number(si, oi);
+                let record = log
+                    .records
+                    .iter()
+                    .find(|r| r.test_number == number)
+                    .unwrap();
+                let state = spec.find(var).unwrap().bin(record.value);
+                assert_eq!(
+                    state,
+                    Some(plan.healthy_states[oi]),
+                    "suite {} {var}: {} V",
+                    plan.name,
+                    record.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn test_numbers_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for si in 0..6 {
+            for oi in 0..5 {
+                assert!(seen.insert(test_number(si, oi)));
+            }
+        }
+    }
+}

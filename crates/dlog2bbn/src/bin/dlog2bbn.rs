@@ -1,0 +1,80 @@
+//! `dlog2bbn` — the file-based case generator CLI.
+//!
+//! ```text
+//! dlog2bbn <spec.json> <mapping.json> <datalog.txt> -o <cases.json> [--failing-only]
+//! ```
+//!
+//! Reads a model-variable spec and a test→variable mapping, converts an
+//! ASCII ATE datalog into learning cases, and writes them as JSON.
+
+use abbd_dlog2bbn::{cases_to_json, generate_cases, CaseMapping, ModelSpec};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: dlog2bbn <spec.json> <mapping.json> <datalog.txt> -o <cases.json> [--failing-only]"
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut output: Option<&str> = None;
+    let mut failing_only = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--output" => {
+                output = Some(
+                    it.next().ok_or_else(|| format!("-o needs a path\n{}", usage()))?,
+                );
+            }
+            "--failing-only" => failing_only = true,
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other => positional.push(other),
+        }
+    }
+    let [spec_path, mapping_path, datalog_path] = positional.as_slice() else {
+        return Err(usage().to_string());
+    };
+    let output = output.ok_or_else(|| format!("missing -o <cases.json>\n{}", usage()))?;
+
+    let spec_text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = ModelSpec::from_json(&spec_text).map_err(|e| e.to_string())?;
+    let mapping_text = std::fs::read_to_string(mapping_path)
+        .map_err(|e| format!("cannot read {mapping_path}: {e}"))?;
+    let mapping = CaseMapping::from_json(&mapping_text).map_err(|e| e.to_string())?;
+    let datalog_text = std::fs::read_to_string(datalog_path)
+        .map_err(|e| format!("cannot read {datalog_path}: {e}"))?;
+    let logs = abbd_ate::parse_datalog(&datalog_text).map_err(|e| e.to_string())?;
+    let logs: Vec<_> = if failing_only {
+        logs.into_iter().filter(|l| !l.all_passed()).collect()
+    } else {
+        logs
+    };
+
+    let (cases, stats) = generate_cases(&spec, &mapping, &logs).map_err(|e| e.to_string())?;
+    let json = cases_to_json(&cases).map_err(|e| e.to_string())?;
+    std::fs::write(output, json).map_err(|e| format!("cannot write {output}: {e}"))?;
+    eprintln!(
+        "dlog2bbn: {} device log(s) -> {} case(s) ({} unbinnable measurement(s), \
+         {} empty suite instance(s))",
+        logs.len(),
+        stats.cases,
+        stats.unbinnable,
+        stats.empty_suites
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dlog2bbn: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Case generation: datalogs + mapping → name-keyed learning cases.
+
+use crate::error::{Error, Result};
+use crate::spec::ModelSpec;
+use abbd_ate::DeviceLog;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Declares how datalog content maps onto model variables:
+///
+/// * observable variables get their state by **binning the measured value**
+///   of a specific test number;
+/// * controllable variables get their state **declared per suite** (the
+///   test conditions are known states, not measurements — paper Table VI).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CaseMapping {
+    /// Test number → observable variable name.
+    test_to_var: BTreeMap<u32, String>,
+    /// Suite name → declared control states `(variable, state index)`.
+    suite_controls: BTreeMap<String, Vec<(String, usize)>>,
+}
+
+impl CaseMapping {
+    /// An empty mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps a test number to an observable model variable.
+    pub fn map_test<N: Into<String>>(&mut self, test_number: u32, variable: N) -> &mut Self {
+        self.test_to_var.insert(test_number, variable.into());
+        self
+    }
+
+    /// Declares the control states in force for a suite.
+    pub fn declare_suite<S: Into<String>, N: Into<String>, I>(
+        &mut self,
+        suite: S,
+        controls: I,
+    ) -> &mut Self
+    where
+        I: IntoIterator<Item = (N, usize)>,
+    {
+        self.suite_controls.insert(
+            suite.into(),
+            controls.into_iter().map(|(n, s)| (n.into(), s)).collect(),
+        );
+        self
+    }
+
+    /// The observable variable a test feeds, if mapped.
+    pub fn variable_of_test(&self, test_number: u32) -> Option<&str> {
+        self.test_to_var.get(&test_number).map(String::as_str)
+    }
+
+    /// The suites that generate cases.
+    pub fn suites(&self) -> impl Iterator<Item = &str> + '_ {
+        self.suite_controls.keys().map(String::as_str)
+    }
+
+    /// Validates the mapping against a spec: mapped variables exist, have
+    /// the right functional type, and declared states are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, spec: &ModelSpec) -> Result<()> {
+        for (num, name) in &self.test_to_var {
+            let var = spec.require(name)?;
+            if !var.ftype.is_observable() {
+                return Err(Error::TypeMismatch {
+                    variable: name.clone(),
+                    reason: format!("test {num} maps to a non-observable variable"),
+                });
+            }
+        }
+        for controls in self.suite_controls.values() {
+            for (name, state) in controls {
+                let var = spec.require(name)?;
+                if !var.ftype.is_control() {
+                    return Err(Error::TypeMismatch {
+                        variable: name.clone(),
+                        reason: "declared as a suite control but not controllable".into(),
+                    });
+                }
+                if *state >= var.card() {
+                    return Err(Error::StateOutOfRange {
+                        variable: name.clone(),
+                        state: *state,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on serialisation failure.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| Error::Io(e.to_string()))
+    }
+
+    /// Parses a mapping from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on parse failure.
+    pub fn from_json(text: &str) -> Result<Self> {
+        serde_json::from_str(text).map_err(|e| Error::Io(e.to_string()))
+    }
+}
+
+/// One generated case: the state-binned observation of one device under one
+/// suite, keyed by model-variable **name** (the Bayesian network may not
+/// exist yet when cases are generated).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedCase {
+    /// Source device serial number.
+    pub device_id: u64,
+    /// Source suite name.
+    pub suite: String,
+    /// `(variable name, state index)` observations.
+    pub assignment: Vec<(String, usize)>,
+    /// Observable variables whose source measurement failed its ATE limits.
+    #[serde(default)]
+    pub failing: Vec<String>,
+    /// Ground-truth fault tags copied from the datalog (scoring only).
+    pub truth: Vec<String>,
+}
+
+impl NamedCase {
+    /// The observed state of `variable`, if present.
+    pub fn state_of(&self, variable: &str) -> Option<usize> {
+        self.assignment
+            .iter()
+            .find(|(n, _)| n == variable)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Statistics of one generation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenerationStats {
+    /// Cases emitted.
+    pub cases: usize,
+    /// Measurements skipped because no state band contained the value.
+    pub unbinnable: usize,
+    /// Suites skipped because the log had no mapped records for them.
+    pub empty_suites: usize,
+}
+
+/// Converts device logs into learning cases: one case per `(device, mapped
+/// suite)` pair. Observables are binned through the spec; controls come
+/// from the suite declaration; latent variables stay unobserved.
+///
+/// # Errors
+///
+/// Returns mapping/spec validation errors.
+pub fn generate_cases(
+    spec: &ModelSpec,
+    mapping: &CaseMapping,
+    logs: &[DeviceLog],
+) -> Result<(Vec<NamedCase>, GenerationStats)> {
+    mapping.validate(spec)?;
+    let mut out = Vec::new();
+    let mut stats = GenerationStats::default();
+    for log in logs {
+        for suite in mapping.suites() {
+            let mut assignment: Vec<(String, usize)> = Vec::new();
+            let mut failing: Vec<String> = Vec::new();
+            let mut saw_record = false;
+            for record in log.suite_records(suite) {
+                let Some(var_name) = mapping.variable_of_test(record.test_number) else {
+                    continue;
+                };
+                saw_record = true;
+                let var = spec.require(var_name)?;
+                match var.bin(record.value) {
+                    Some(state) => assignment.push((var_name.to_string(), state)),
+                    None => stats.unbinnable += 1,
+                }
+                if !record.passed && !failing.iter().any(|f| f == var_name) {
+                    failing.push(var_name.to_string());
+                }
+            }
+            if !saw_record {
+                stats.empty_suites += 1;
+                continue;
+            }
+            for (name, state) in &mapping.suite_controls[suite] {
+                assignment.push((name.clone(), *state));
+            }
+            assignment.sort();
+            failing.sort();
+            out.push(NamedCase {
+                device_id: log.device_id,
+                suite: suite.to_string(),
+                assignment,
+                failing,
+                truth: log.truth.clone(),
+            });
+            stats.cases += 1;
+        }
+    }
+    Ok((out, stats))
+}
+
+/// Serialises cases to JSON (the CLI tool's output format).
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] on serialisation failure.
+pub fn cases_to_json(cases: &[NamedCase]) -> Result<String> {
+    serde_json::to_string_pretty(cases).map_err(|e| Error::Io(e.to_string()))
+}
+
+/// Parses cases from JSON.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] on parse failure.
+pub fn cases_from_json(text: &str) -> Result<Vec<NamedCase>> {
+    serde_json::from_str(text).map_err(|e| Error::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FunctionalType, StateBand, VariableSpec};
+    use abbd_ate::Record;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::new([
+            VariableSpec {
+                name: "vp1".into(),
+                ftype: FunctionalType::Control,
+                bands: vec![
+                    StateBand::new("0", 0.0, 4.0, "low"),
+                    StateBand::new("1", 4.0, 14.4, "nominal"),
+                ],
+                ckt_ref: None,
+            },
+            VariableSpec {
+                name: "reg1".into(),
+                ftype: FunctionalType::Observe,
+                bands: vec![
+                    StateBand::new("0", 0.0, 4.75, "fail"),
+                    StateBand::new("1", 4.75, 5.25, "in regulation"),
+                ],
+                ckt_ref: None,
+            },
+            VariableSpec {
+                name: "lcbg".into(),
+                ftype: FunctionalType::Latent,
+                bands: vec![
+                    StateBand::new("0", 0.0, 1.1, "bad"),
+                    StateBand::new("1", 1.1, 1.3, "good"),
+                ],
+                ckt_ref: None,
+            },
+        ])
+        .unwrap()
+    }
+
+    fn mapping() -> CaseMapping {
+        let mut m = CaseMapping::new();
+        m.map_test(100, "reg1");
+        m.declare_suite("powerup", [("vp1", 1usize)]);
+        m
+    }
+
+    fn record(suite: &str, number: u32, value: f64) -> Record {
+        Record {
+            suite: suite.into(),
+            test_number: number,
+            test_name: format!("t{number}"),
+            net: "vout".into(),
+            lo: 4.75,
+            hi: 5.25,
+            value,
+            passed: value >= 4.75 && value <= 5.25,
+        }
+    }
+
+    #[test]
+    fn generates_one_case_per_device_suite() {
+        let logs = vec![
+            DeviceLog {
+                device_id: 1,
+                truth: vec![],
+                records: vec![record("powerup", 100, 5.0)],
+            },
+            DeviceLog {
+                device_id: 2,
+                truth: vec!["lcbg:dead".into()],
+                records: vec![record("powerup", 100, 0.2)],
+            },
+        ];
+        let (cases, stats) = generate_cases(&spec(), &mapping(), &logs).unwrap();
+        assert_eq!(stats.cases, 2);
+        assert_eq!(stats.unbinnable, 0);
+        assert_eq!(cases[0].state_of("reg1"), Some(1));
+        assert_eq!(cases[0].state_of("vp1"), Some(1), "control from suite declaration");
+        assert_eq!(cases[0].state_of("lcbg"), None, "latent stays hidden");
+        assert_eq!(cases[1].state_of("reg1"), Some(0));
+        assert_eq!(cases[1].truth, vec!["lcbg:dead".to_string()]);
+    }
+
+    #[test]
+    fn unbinnable_and_unmapped_records() {
+        let logs = vec![DeviceLog {
+            device_id: 3,
+            truth: vec![],
+            records: vec![
+                record("powerup", 100, 400.0), // outside every band
+                record("powerup", 999, 5.0),   // unmapped test number
+            ],
+        }];
+        let (cases, stats) = generate_cases(&spec(), &mapping(), &logs).unwrap();
+        assert_eq!(stats.cases, 1);
+        assert_eq!(stats.unbinnable, 1);
+        // Case still carries the declared control state.
+        assert_eq!(cases[0].state_of("vp1"), Some(1));
+        assert_eq!(cases[0].state_of("reg1"), None);
+    }
+
+    #[test]
+    fn suites_without_mapped_records_are_skipped() {
+        let logs = vec![DeviceLog {
+            device_id: 4,
+            truth: vec![],
+            records: vec![record("other_suite", 100, 5.0)],
+        }];
+        let (cases, stats) = generate_cases(&spec(), &mapping(), &logs).unwrap();
+        assert!(cases.is_empty());
+        assert_eq!(stats.empty_suites, 1);
+    }
+
+    #[test]
+    fn mapping_validation_catches_type_errors() {
+        let spec = spec();
+        // Test mapped to a control variable.
+        let mut m = CaseMapping::new();
+        m.map_test(100, "vp1");
+        assert!(matches!(m.validate(&spec), Err(Error::TypeMismatch { .. })));
+        // Control declared on a latent variable.
+        let mut m = CaseMapping::new();
+        m.declare_suite("s", [("lcbg", 0usize)]);
+        assert!(matches!(m.validate(&spec), Err(Error::TypeMismatch { .. })));
+        // State out of range.
+        let mut m = CaseMapping::new();
+        m.declare_suite("s", [("vp1", 5usize)]);
+        assert!(matches!(m.validate(&spec), Err(Error::StateOutOfRange { .. })));
+        // Unknown variable.
+        let mut m = CaseMapping::new();
+        m.map_test(1, "ghost");
+        assert!(matches!(m.validate(&spec), Err(Error::UnknownVariable(_))));
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let m = mapping();
+        let back = CaseMapping::from_json(&m.to_json().unwrap()).unwrap();
+        assert_eq!(m, back);
+
+        let cases = vec![NamedCase {
+            device_id: 9,
+            suite: "s".into(),
+            assignment: vec![("a".into(), 1)],
+            failing: vec![],
+            truth: vec!["b:dead".into()],
+        }];
+        let back = cases_from_json(&cases_to_json(&cases).unwrap()).unwrap();
+        assert_eq!(cases, back);
+        assert!(cases_from_json("]").is_err());
+        assert!(CaseMapping::from_json("]").is_err());
+    }
+}

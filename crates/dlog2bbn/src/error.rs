@@ -1,0 +1,95 @@
+//! Error type for case generation.
+
+use std::fmt;
+
+/// Result alias used throughout [`crate`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while validating specs, mappings, or generating cases.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A model variable name appears twice.
+    DuplicateVariable(String),
+    /// The named model variable does not exist in the spec.
+    UnknownVariable(String),
+    /// A variable was declared with fewer than two state bands.
+    TooFewStates {
+        /// The offending variable.
+        variable: String,
+        /// Declared band count.
+        states: usize,
+    },
+    /// A state band is inverted (`lo > hi`).
+    InvalidBand {
+        /// The offending variable.
+        variable: String,
+        /// The offending band label.
+        state: String,
+    },
+    /// The mapping references a state index outside the variable's range.
+    StateOutOfRange {
+        /// The offending variable.
+        variable: String,
+        /// The out-of-range state index.
+        state: usize,
+    },
+    /// The mapping maps a test to a non-observable variable, or declares a
+    /// control state for a non-control variable.
+    TypeMismatch {
+        /// The offending variable.
+        variable: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// (De)serialisation failure.
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateVariable(name) => {
+                write!(f, "model variable `{name}` is already declared")
+            }
+            Error::UnknownVariable(name) => write!(f, "unknown model variable `{name}`"),
+            Error::TooFewStates { variable, states } => write!(
+                f,
+                "model variable `{variable}` has {states} state(s); at least 2 required"
+            ),
+            Error::InvalidBand { variable, state } => {
+                write!(f, "state `{state}` of `{variable}` has inverted limits")
+            }
+            Error::StateOutOfRange { variable, state } => {
+                write!(f, "state index {state} out of range for `{variable}`")
+            }
+            Error::TypeMismatch { variable, reason } => {
+                write!(f, "functional-type mismatch on `{variable}`: {reason}")
+            }
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let samples = [
+            Error::DuplicateVariable("v".into()),
+            Error::UnknownVariable("v".into()),
+            Error::TooFewStates { variable: "v".into(), states: 1 },
+            Error::InvalidBand { variable: "v".into(), state: "s".into() },
+            Error::StateOutOfRange { variable: "v".into(), state: 9 },
+            Error::TypeMismatch { variable: "v".into(), reason: "r".into() },
+            Error::Io("x".into()),
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # abbd-dlog2bbn — ATE datalogs to Bayesian-network learning cases
+//!
+//! A reimplementation of the paper's **Dlog2BBN** model-builder tool
+//! (§III-A.3): "together with the information about model variables,
+//! functional types, usable states and test definitions, the model builder
+//! Dlog2BBN converts ATE test files into cases for model parameter
+//! modeling".
+//!
+//! * [`ModelSpec`] — model variables, functional types, voltage state bands
+//!   (the content of the paper's Tables I/II/V).
+//! * [`CaseMapping`] — which ATE test feeds which observable variable, and
+//!   which control states each suite declares.
+//! * [`generate_cases`] — datalogs in, name-keyed [`NamedCase`]s out;
+//!   latent variables stay hidden for EM.
+//!
+//! A CLI binary (`dlog2bbn`) wraps the same flow for file-based use.
+//!
+//! ## Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), abbd_dlog2bbn::Error> {
+//! use abbd_dlog2bbn::{
+//!     generate_cases, CaseMapping, FunctionalType, ModelSpec, StateBand, VariableSpec,
+//! };
+//!
+//! let spec = ModelSpec::new([
+//!     VariableSpec {
+//!         name: "vout".into(),
+//!         ftype: FunctionalType::Observe,
+//!         bands: vec![
+//!             StateBand::new("0", 0.0, 4.75, "fail"),
+//!             StateBand::new("1", 4.75, 5.25, "in regulation"),
+//!         ],
+//!         ckt_ref: None,
+//!     },
+//! ])?;
+//! let mut mapping = CaseMapping::new();
+//! mapping.map_test(100, "vout").declare_suite::<_, String, _>("dc", []);
+//! let (cases, stats) = generate_cases(&spec, &mapping, &[])?;
+//! assert!(cases.is_empty());
+//! assert_eq!(stats.cases, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cases;
+mod error;
+mod spec;
+
+pub use cases::{
+    cases_from_json, cases_to_json, generate_cases, CaseMapping, GenerationStats,
+    NamedCase,
+};
+pub use error::{Error, Result};
+pub use spec::{FunctionalType, ModelSpec, StateBand, VariableSpec};

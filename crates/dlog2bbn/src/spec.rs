@@ -1,0 +1,323 @@
+//! Model-variable specifications: functional types and voltage state bands.
+//!
+//! This is the vocabulary shared between the model builder and the case
+//! generator — the paper's Tables I/II (hypothetical circuit) and V/VII
+//! (voltage regulator) are instances of a [`ModelSpec`].
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The paper's functional type of a model variable (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FunctionalType {
+    /// Set by the tester (stimulus pins, supplies).
+    Control,
+    /// Measured by the tester (circuit outputs).
+    Observe,
+    /// Both controllable and observable.
+    ControlObserve,
+    /// Neither — an internal block whose state must be inferred.
+    Latent,
+}
+
+impl FunctionalType {
+    /// `true` for `Control` and `ControlObserve`.
+    pub fn is_control(self) -> bool {
+        matches!(self, FunctionalType::Control | FunctionalType::ControlObserve)
+    }
+
+    /// `true` for `Observe` and `ControlObserve`.
+    pub fn is_observable(self) -> bool {
+        matches!(self, FunctionalType::Observe | FunctionalType::ControlObserve)
+    }
+
+    /// The paper's table rendering (e.g. `NOT CONTROL/OBSERVE`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FunctionalType::Control => "CONTROL",
+            FunctionalType::Observe => "OBSERVE",
+            FunctionalType::ControlObserve => "CONTROL/OBSERVE",
+            FunctionalType::Latent => "NOT CONTROL/OBSERVE",
+        }
+    }
+}
+
+/// One usable state of a model variable: a voltage band with semantics
+/// (paper Table II: `States`, `LLimit`, `ULimit`, `Remarks`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateBand {
+    /// Short state label (often the state index as text).
+    pub label: String,
+    /// Lower voltage limit (inclusive).
+    pub lo: f64,
+    /// Upper voltage limit (inclusive).
+    pub hi: f64,
+    /// Semantic remark ("non-operational", "in regulation", ...).
+    pub remark: String,
+}
+
+impl StateBand {
+    /// Convenience constructor.
+    pub fn new<L: Into<String>, R: Into<String>>(label: L, lo: f64, hi: f64, remark: R) -> Self {
+        StateBand { label: label.into(), lo, hi, remark: remark.into() }
+    }
+
+    /// `true` when `volts` lies inside the band.
+    pub fn contains(&self, volts: f64) -> bool {
+        volts.is_finite() && volts >= self.lo && volts <= self.hi
+    }
+}
+
+/// One model variable: name, functional type, usable states and the
+/// circuit-reference annotation of paper Table V.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariableSpec {
+    /// Model variable name (unique within a spec).
+    pub name: String,
+    /// Functional type.
+    pub ftype: FunctionalType,
+    /// Usable states, in index order.
+    pub bands: Vec<StateBand>,
+    /// Reference location in the functional block schematic (`Ckt.Ref`).
+    pub ckt_ref: Option<String>,
+}
+
+impl VariableSpec {
+    /// Bins a measured voltage into a state index. With overlapping bands
+    /// (the paper's enable-pin states overlap) the **first declared** match
+    /// wins; `None` when no band contains the value.
+    pub fn bin(&self, volts: f64) -> Option<usize> {
+        self.bands.iter().position(|b| b.contains(volts))
+    }
+
+    /// Number of usable states.
+    pub fn card(&self) -> usize {
+        self.bands.len()
+    }
+}
+
+/// A complete model-variable specification for one product.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    vars: Vec<VariableSpec>,
+    #[serde(skip)]
+    by_name: HashMap<String, usize>,
+}
+
+impl ModelSpec {
+    /// Builds a spec from variable definitions, validating names and bands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DuplicateVariable`], [`Error::TooFewStates`] or
+    /// [`Error::InvalidBand`].
+    pub fn new<I: IntoIterator<Item = VariableSpec>>(vars: I) -> Result<Self> {
+        let vars: Vec<VariableSpec> = vars.into_iter().collect();
+        let mut by_name = HashMap::new();
+        for (i, v) in vars.iter().enumerate() {
+            if by_name.insert(v.name.clone(), i).is_some() {
+                return Err(Error::DuplicateVariable(v.name.clone()));
+            }
+            if v.bands.len() < 2 {
+                return Err(Error::TooFewStates {
+                    variable: v.name.clone(),
+                    states: v.bands.len(),
+                });
+            }
+            for b in &v.bands {
+                if b.lo > b.hi {
+                    return Err(Error::InvalidBand {
+                        variable: v.name.clone(),
+                        state: b.label.clone(),
+                    });
+                }
+            }
+        }
+        Ok(ModelSpec { vars, by_name })
+    }
+
+    /// The variables in declaration order.
+    pub fn variables(&self) -> &[VariableSpec] {
+        &self.vars
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` for an empty spec.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Looks up a variable by name.
+    pub fn find(&self, name: &str) -> Option<&VariableSpec> {
+        self.by_name.get(name).map(|&i| &self.vars[i])
+    }
+
+    /// Like [`ModelSpec::find`] but returns an error carrying the name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownVariable`].
+    pub fn require(&self, name: &str) -> Result<&VariableSpec> {
+        self.find(name).ok_or_else(|| Error::UnknownVariable(name.into()))
+    }
+
+    /// Bins `volts` for the named variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownVariable`].
+    pub fn bin(&self, name: &str, volts: f64) -> Result<Option<usize>> {
+        Ok(self.require(name)?.bin(volts))
+    }
+
+    /// Serialises to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on serialisation failure.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| Error::Io(e.to_string()))
+    }
+
+    /// Restores a spec from [`ModelSpec::to_json`] output, re-validating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on parse failure plus validation errors.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let raw: ModelSpec = serde_json::from_str(text).map_err(|e| Error::Io(e.to_string()))?;
+        ModelSpec::new(raw.vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::new([
+            VariableSpec {
+                name: "vp1".into(),
+                ftype: FunctionalType::Control,
+                bands: vec![
+                    StateBand::new("0", 0.0, 4.0, "low level"),
+                    StateBand::new("1", 4.0, 7.5, "intermediate level"),
+                    StateBand::new("2", 7.5, 14.4, "nominal level"),
+                ],
+                ckt_ref: Some("1".into()),
+            },
+            VariableSpec {
+                name: "reg1".into(),
+                ftype: FunctionalType::Observe,
+                bands: vec![
+                    StateBand::new("0", 0.0, 8.0, "switch off/defect"),
+                    StateBand::new("1", 8.0, 9.0, "in regulation"),
+                ],
+                ckt_ref: Some("7".into()),
+            },
+            VariableSpec {
+                name: "lcbg".into(),
+                ftype: FunctionalType::Latent,
+                bands: vec![
+                    StateBand::new("0", 0.0, 1.1, "non operational"),
+                    StateBand::new("1", 1.1, 1.3, "nominal operating"),
+                ],
+                ckt_ref: Some("12".into()),
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn functional_type_predicates() {
+        assert!(FunctionalType::Control.is_control());
+        assert!(!FunctionalType::Control.is_observable());
+        assert!(FunctionalType::Observe.is_observable());
+        assert!(FunctionalType::ControlObserve.is_control());
+        assert!(FunctionalType::ControlObserve.is_observable());
+        assert!(!FunctionalType::Latent.is_control());
+        assert!(!FunctionalType::Latent.is_observable());
+        assert_eq!(FunctionalType::Latent.label(), "NOT CONTROL/OBSERVE");
+    }
+
+    #[test]
+    fn binning_first_match_wins() {
+        let s = spec();
+        // 4.0 is in both band 0 (0..4) and band 1 (4..7.5): first wins.
+        assert_eq!(s.bin("vp1", 4.0).unwrap(), Some(0));
+        assert_eq!(s.bin("vp1", 12.0).unwrap(), Some(2));
+        assert_eq!(s.bin("vp1", 99.0).unwrap(), None);
+        assert_eq!(s.bin("vp1", f64::NAN).unwrap(), None);
+        assert!(s.bin("ghost", 1.0).is_err());
+    }
+
+    #[test]
+    fn lookups() {
+        let s = spec();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.find("reg1").unwrap().card(), 2);
+        assert!(s.find("ghost").is_none());
+        assert!(s.require("lcbg").is_ok());
+        assert_eq!(s.variables()[0].name, "vp1");
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        let dup = ModelSpec::new([
+            VariableSpec {
+                name: "x".into(),
+                ftype: FunctionalType::Control,
+                bands: vec![
+                    StateBand::new("0", 0.0, 1.0, ""),
+                    StateBand::new("1", 1.0, 2.0, ""),
+                ],
+                ckt_ref: None,
+            },
+            VariableSpec {
+                name: "x".into(),
+                ftype: FunctionalType::Control,
+                bands: vec![
+                    StateBand::new("0", 0.0, 1.0, ""),
+                    StateBand::new("1", 1.0, 2.0, ""),
+                ],
+                ckt_ref: None,
+            },
+        ]);
+        assert!(matches!(dup, Err(Error::DuplicateVariable(_))));
+
+        let few = ModelSpec::new([VariableSpec {
+            name: "x".into(),
+            ftype: FunctionalType::Control,
+            bands: vec![StateBand::new("0", 0.0, 1.0, "")],
+            ckt_ref: None,
+        }]);
+        assert!(matches!(few, Err(Error::TooFewStates { .. })));
+
+        let inverted = ModelSpec::new([VariableSpec {
+            name: "x".into(),
+            ftype: FunctionalType::Control,
+            bands: vec![
+                StateBand::new("0", 2.0, 1.0, ""),
+                StateBand::new("1", 1.0, 2.0, ""),
+            ],
+            ckt_ref: None,
+        }]);
+        assert!(matches!(inverted, Err(Error::InvalidBand { .. })));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = spec();
+        let text = s.to_json().unwrap();
+        let back = ModelSpec::from_json(&text).unwrap();
+        assert_eq!(s.variables(), back.variables());
+        assert!(back.find("vp1").is_some(), "lookup table must be rebuilt");
+        assert!(ModelSpec::from_json("{oops").is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end tests of the `dlog2bbn` command-line tool.
+
+use abbd_dlog2bbn::{
+    cases_from_json, CaseMapping, FunctionalType, ModelSpec, StateBand, VariableSpec,
+};
+use std::process::Command;
+
+fn spec_json() -> String {
+    ModelSpec::new([
+        VariableSpec {
+            name: "vout".into(),
+            ftype: FunctionalType::Observe,
+            bands: vec![
+                StateBand::new("0", -0.05, 4.75, "fail"),
+                StateBand::new("1", 4.75, 5.25, "in regulation"),
+            ],
+            ckt_ref: None,
+        },
+        VariableSpec {
+            name: "vin".into(),
+            ftype: FunctionalType::Control,
+            bands: vec![
+                StateBand::new("0", 0.0, 6.0, "low"),
+                StateBand::new("1", 6.0, 20.0, "nominal"),
+            ],
+            ckt_ref: None,
+        },
+    ])
+    .unwrap()
+    .to_json()
+    .unwrap()
+}
+
+fn mapping_json() -> String {
+    let mut m = CaseMapping::new();
+    m.map_test(100, "vout");
+    m.declare_suite("dc", [("vin", 1usize)]);
+    m.to_json().unwrap()
+}
+
+fn datalog() -> &'static str {
+    "#ABBD-DATALOG v1\n\
+     DEVICE 1\n\
+     RECORD dc|100|t_vout|vout|4.750000|5.250000|5.010000|P\n\
+     END\n\
+     DEVICE 2 truth=reg:dead\n\
+     RECORD dc|100|t_vout|vout|4.750000|5.250000|0.010000|F\n\
+     END\n"
+}
+
+fn run(dir: &std::path::Path, extra: &[&str]) -> std::process::Output {
+    let spec = dir.join("spec.json");
+    let mapping = dir.join("mapping.json");
+    let dlog = dir.join("log.dlog");
+    let out = dir.join("cases.json");
+    std::fs::write(&spec, spec_json()).unwrap();
+    std::fs::write(&mapping, mapping_json()).unwrap();
+    std::fs::write(&dlog, datalog()).unwrap();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dlog2bbn"));
+    cmd.arg(&spec).arg(&mapping).arg(&dlog).arg("-o").arg(&out);
+    for e in extra {
+        cmd.arg(e);
+    }
+    cmd.output().expect("binary runs")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dlog2bbn-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn converts_datalog_to_cases() {
+    let dir = temp_dir("basic");
+    let output = run(&dir, &[]);
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let cases =
+        cases_from_json(&std::fs::read_to_string(dir.join("cases.json")).unwrap()).unwrap();
+    assert_eq!(cases.len(), 2);
+    assert_eq!(cases[0].state_of("vout"), Some(1));
+    assert_eq!(cases[0].state_of("vin"), Some(1));
+    assert_eq!(cases[1].state_of("vout"), Some(0));
+    assert_eq!(cases[1].failing, vec!["vout".to_string()]);
+    assert_eq!(cases[1].truth, vec!["reg:dead".to_string()]);
+}
+
+#[test]
+fn failing_only_filters_passing_devices() {
+    let dir = temp_dir("failing");
+    let output = run(&dir, &["--failing-only"]);
+    assert!(output.status.success());
+    let cases =
+        cases_from_json(&std::fs::read_to_string(dir.join("cases.json")).unwrap()).unwrap();
+    assert_eq!(cases.len(), 1);
+    assert_eq!(cases[0].device_id, 2);
+}
+
+#[test]
+fn missing_arguments_fail_with_usage() {
+    let output = Command::new(env!("CARGO_BIN_EXE_dlog2bbn"))
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}
+
+#[test]
+fn help_flag_succeeds() {
+    let output = Command::new(env!("CARGO_BIN_EXE_dlog2bbn"))
+        .arg("--help")
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("usage:"));
+}
+
+#[test]
+fn unreadable_input_reports_error() {
+    let dir = temp_dir("unreadable");
+    let output = Command::new(env!("CARGO_BIN_EXE_dlog2bbn"))
+        .arg(dir.join("nope.json"))
+        .arg(dir.join("nope2.json"))
+        .arg(dir.join("nope3.dlog"))
+        .arg("-o")
+        .arg(dir.join("out.json"))
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot read"), "stderr: {stderr}");
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the case generator: binning invariants and
+//! spec round-trips under random band layouts.
+
+use abbd_dlog2bbn::{
+    generate_cases, CaseMapping, FunctionalType, ModelSpec, StateBand, VariableSpec,
+};
+use abbd_ate::{DeviceLog, Record};
+use proptest::prelude::*;
+
+fn bands_strategy() -> impl Strategy<Value = Vec<StateBand>> {
+    proptest::collection::vec((0.0f64..10.0, 0.0f64..5.0, "[a-z]{1,8}"), 2..6).prop_map(
+        |raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (lo, width, remark))| {
+                    StateBand::new(i.to_string(), lo, lo + width, remark)
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, .. ProptestConfig::default() })]
+
+    #[test]
+    fn binning_returns_first_containing_band(
+        bands in bands_strategy(),
+        volts in -1.0f64..16.0,
+    ) {
+        let spec = ModelSpec::new([VariableSpec {
+            name: "v".into(),
+            ftype: FunctionalType::Observe,
+            bands: bands.clone(),
+            ckt_ref: None,
+        }])
+        .unwrap();
+        let var = spec.find("v").unwrap();
+        match var.bin(volts) {
+            Some(state) => {
+                prop_assert!(bands[state].contains(volts));
+                for earlier in &bands[..state] {
+                    prop_assert!(!earlier.contains(volts), "earlier band should win");
+                }
+            }
+            None => {
+                for band in &bands {
+                    prop_assert!(!band.contains(volts));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spec_json_roundtrip(bands in bands_strategy()) {
+        let spec = ModelSpec::new([
+            VariableSpec {
+                name: "x".into(),
+                ftype: FunctionalType::Control,
+                bands: bands.clone(),
+                ckt_ref: Some("7".into()),
+            },
+            VariableSpec {
+                name: "y".into(),
+                ftype: FunctionalType::Latent,
+                bands,
+                ckt_ref: None,
+            },
+        ])
+        .unwrap();
+        let back = ModelSpec::from_json(&spec.to_json().unwrap()).unwrap();
+        prop_assert_eq!(spec.variables(), back.variables());
+    }
+
+    #[test]
+    fn generated_cases_only_contain_known_states(
+        values in proptest::collection::vec(-5.0f64..20.0, 1..10),
+    ) {
+        let spec = ModelSpec::new([
+            VariableSpec {
+                name: "out".into(),
+                ftype: FunctionalType::Observe,
+                bands: vec![
+                    StateBand::new("0", 0.0, 5.0, "low"),
+                    StateBand::new("1", 5.0, 10.0, "high"),
+                ],
+                ckt_ref: None,
+            },
+            VariableSpec {
+                name: "pin".into(),
+                ftype: FunctionalType::Control,
+                bands: vec![
+                    StateBand::new("0", 0.0, 1.0, "off"),
+                    StateBand::new("1", 1.0, 2.0, "on"),
+                ],
+                ckt_ref: None,
+            },
+        ])
+        .unwrap();
+        let mut mapping = CaseMapping::new();
+        mapping.map_test(1, "out");
+        mapping.declare_suite("s", [("pin", 1usize)]);
+
+        let logs: Vec<DeviceLog> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| DeviceLog {
+                device_id: i as u64,
+                truth: vec![],
+                records: vec![Record {
+                    suite: "s".into(),
+                    test_number: 1,
+                    test_name: "t".into(),
+                    net: "out".into(),
+                    lo: 0.0,
+                    hi: 10.0,
+                    value: v,
+                    passed: (0.0..=10.0).contains(&v),
+                }],
+            })
+            .collect();
+        let (cases, stats) = generate_cases(&spec, &mapping, &logs).unwrap();
+        prop_assert_eq!(cases.len(), logs.len());
+        let binnable = values.iter().filter(|v| (0.0..=10.0).contains(*v)).count();
+        prop_assert_eq!(stats.unbinnable, values.len() - binnable);
+        for case in &cases {
+            prop_assert_eq!(case.state_of("pin"), Some(1));
+            if let Some(state) = case.state_of("out") {
+                prop_assert!(state < 2);
+            }
+            // Failing marks only on failing records.
+            let value = values[case.device_id as usize];
+            prop_assert_eq!(
+                case.failing.contains(&"out".to_string()),
+                !(0.0..=10.0).contains(&value)
+            );
+        }
+    }
+}

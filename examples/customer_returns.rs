@@ -1,0 +1,100 @@
+//! The motivating scenario of the paper's introduction: a batch of
+//! customer returns arrives and the defect investigation report is due in
+//! ten calendar days. Diagnose the whole batch automatically and score the
+//! candidates against the (normally unknown) injected ground truth.
+//!
+//! Run: `cargo run --release --example customer_returns [batch_size]`
+
+use abbd::baselines::group_by_device;
+use abbd::core::Observation;
+use abbd::designs::regulator::{
+    self,
+    program::{suite_plans, OBSERVED_VARS},
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch_size: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+
+    println!("fitting the diagnostic model on 70 historical failing devices...");
+    let fitted = regulator::fit(70, 2010, regulator::default_algorithm())?;
+
+    println!("receiving a batch of {batch_size} customer returns...\n");
+    let returns = regulator::synthesize(batch_size, 4242, 500_000)?;
+    let signatures = group_by_device(&returns.cases);
+
+    let plans = suite_plans();
+    let mut top1 = 0usize;
+    let mut top2 = 0usize;
+    println!(
+        "{:<8} {:<22} {:<34} {:>5}",
+        "device", "ground truth", "candidates (ranked)", "hit"
+    );
+    for sig in &signatures {
+        // Diagnose every suite that shows deviations; merge candidates.
+        let mut merged: Vec<(String, f64)> = Vec::new();
+        for plan in &plans {
+            let mut obs = Observation::new();
+            let mut failing = false;
+            for ((suite, var), &state) in &sig.features {
+                if suite == plan.name {
+                    obs.set(var.clone(), state);
+                    if let Some(oi) = OBSERVED_VARS.iter().position(|o| o == var) {
+                        if state != plan.healthy_states[oi] {
+                            obs.mark_failing(var.clone());
+                            failing = true;
+                        }
+                    }
+                }
+            }
+            if !failing {
+                continue;
+            }
+            let diagnosis = fitted.engine.diagnose(&obs)?;
+            for c in diagnosis.candidates() {
+                match merged.iter_mut().find(|(n, _)| *n == c.variable) {
+                    Some(slot) => slot.1 = slot.1.max(c.fault_mass),
+                    None => merged.push((c.variable.clone(), c.fault_mass)),
+                }
+            }
+        }
+        merged.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+
+        let truth = sig.truth_blocks.join(",");
+        let shown: Vec<String> = merged
+            .iter()
+            .take(3)
+            .map(|(n, m)| format!("{n}({m:.2})"))
+            .collect();
+        let hit1 = merged
+            .first()
+            .is_some_and(|(n, _)| sig.truth_blocks.iter().any(|t| t == n));
+        let hit2 = merged
+            .iter()
+            .take(2)
+            .any(|(n, _)| sig.truth_blocks.iter().any(|t| t == n));
+        top1 += usize::from(hit1);
+        top2 += usize::from(hit2);
+        println!(
+            "{:<8} {:<22} {:<34} {:>5}",
+            sig.device_id,
+            truth,
+            shown.join(" "),
+            if hit1 { "top1" } else if hit2 { "top2" } else { "-" }
+        );
+    }
+    println!(
+        "\nbatch summary: true block ranked first for {top1}/{} devices, \
+         in the top two for {top2}/{}",
+        signatures.len(),
+        signatures.len()
+    );
+    println!(
+        "(the remaining devices carry faults that are observationally \
+         ambiguous at block level — the paper's step two, structural test, \
+         takes over from here)"
+    );
+    Ok(())
+}

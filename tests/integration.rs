@@ -1,0 +1,235 @@
+//! Cross-crate integration tests: the full paper pipeline from behavioural
+//! simulation through ATE datalogs, case generation, learning and
+//! diagnosis.
+
+use abbd::ate::{parse_datalog, write_datalog};
+use abbd::baselines::{accuracy_at_k, group_by_device, FaultDictionary, RandomGuess};
+use abbd::core::LearnAlgorithm;
+use abbd::designs::{hypothetical, regulator};
+use abbd::dlog2bbn::generate_cases;
+
+/// The headline reproduction: after the full §IV flow (70 simulated
+/// customer returns), the diagnostic engine reproduces the paper's
+/// candidate sets for all five Table VI case studies.
+#[test]
+fn regulator_reproduces_all_five_paper_case_studies() {
+    let fitted = regulator::fit(70, 2010, regulator::default_algorithm())
+        .expect("pipeline runs");
+    for case in regulator::cases::case_studies() {
+        let diagnosis = fitted.engine.diagnose(&case.observation()).expect("diagnosis");
+        let mut got: Vec<&str> =
+            diagnosis.candidates().iter().map(|c| c.variable.as_str()).collect();
+        got.sort_unstable();
+        let mut want = case.expected_candidates.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want, "case {}", case.id);
+    }
+}
+
+/// The learned model's qualitative posteriors track the paper: in d1 the
+/// high-current bandgap stays ambiguous while the supply monitor is
+/// implicated; in d3 the intermediate supply exonerates the bandgap.
+#[test]
+fn regulator_posteriors_track_paper_shape() {
+    let fitted = regulator::fit(70, 2010, regulator::default_algorithm())
+        .expect("pipeline runs");
+    let studies = regulator::cases::case_studies();
+    let d1 = fitted.engine.diagnose(&studies[0].observation()).expect("d1");
+    let d3 = fitted.engine.diagnose(&studies[2].observation()).expect("d3");
+    let policy = fitted.engine.policy();
+
+    // d1: hcbg ambiguous (paper 42.4%), warnvpst implicated.
+    let d1_hcbg = d1.fault_mass()["hcbg"];
+    assert_eq!(
+        policy.classify(d1_hcbg),
+        abbd::core::HealthClass::Ambiguous,
+        "d1 hcbg mass {d1_hcbg}"
+    );
+    // d3: hcbg healthy (paper 29.1%), strictly less suspicious than in d1.
+    let d3_hcbg = d3.fault_mass()["hcbg"];
+    assert!(d3_hcbg < d1_hcbg, "supply asymmetry lost: {d3_hcbg} vs {d1_hcbg}");
+    assert_eq!(policy.classify(d3_hcbg), abbd::core::HealthClass::Healthy);
+    // Both cases implicate warnvpst heavily.
+    assert!(d1.fault_mass()["warnvpst"] > 0.8);
+    assert!(d3.fault_mass()["warnvpst"] > 0.8);
+    // lcbg is exonerated in both (reg2 keeps working).
+    assert!(d1.fault_mass()["lcbg"] < 0.1);
+}
+
+/// Datalogs survive a disk round-trip and regenerate identical cases.
+#[test]
+fn datalog_roundtrip_preserves_cases() {
+    let population = regulator::synthesize(12, 99, 0).expect("population");
+    let rig = regulator::rig();
+    let text = write_datalog(&population.logs);
+    let parsed = parse_datalog(&text).expect("parse back");
+    let (cases, stats) =
+        generate_cases(rig.model.spec(), &rig.mapping, &parsed).expect("cases");
+    assert_eq!(stats.cases, population.stats.cases);
+    assert_eq!(cases, population.cases);
+}
+
+/// The Bayesian diagnosis clearly beats the random floor on held-out
+/// devices, and the labelled fault dictionary (which needs ground-truth
+/// labels the BBN never sees) remains an upper reference.
+#[test]
+fn bbn_beats_random_floor() {
+    let fitted = regulator::fit(40, 2010, regulator::default_algorithm())
+        .expect("pipeline runs");
+    let test = regulator::synthesize(60, 777, 1_000_000).expect("test population");
+    let sigs = group_by_device(&test.cases);
+
+    let bbn = abbd_bench_adapter::BbnAdapter(&fitted.engine);
+    let random =
+        RandomGuess::new(regulator::model::VARIABLES.iter().copied(), 5);
+    let bbn_acc = accuracy_at_k(&bbn, &sigs, 2);
+    let random_acc = accuracy_at_k(&random, &sigs, 2);
+    assert!(
+        bbn_acc > random_acc + 0.3,
+        "bbn@2 {bbn_acc} vs random@2 {random_acc}"
+    );
+
+    let train_sigs = group_by_device(&fitted.cases);
+    let dictionary = FaultDictionary::train(&train_sigs);
+    let dict_acc = accuracy_at_k(&dictionary, &sigs, 2);
+    assert!(dict_acc > random_acc, "dictionary@2 {dict_acc}");
+}
+
+/// A miniature re-implementation of the bench crate's device adapter so
+/// the root tests do not depend on the bench crate.
+mod abbd_bench_adapter {
+    use abbd::baselines::{DeviceSignature, Diagnoser, Ranking};
+    use abbd::core::{DiagnosticEngine, Observation};
+    use abbd::designs::regulator::program::{suite_plans, OBSERVED_VARS};
+
+    pub struct BbnAdapter<'a>(pub &'a DiagnosticEngine);
+
+    impl Diagnoser for BbnAdapter<'_> {
+        fn name(&self) -> &str {
+            "bbn"
+        }
+        fn diagnose(&self, sig: &DeviceSignature) -> Ranking {
+            let mut scores: Vec<(String, f64)> = Vec::new();
+            for plan in suite_plans() {
+                let mut obs = Observation::new();
+                let mut failing = false;
+                for ((suite, var), &state) in &sig.features {
+                    if suite == plan.name {
+                        obs.set(var.clone(), state);
+                        if let Some(oi) = OBSERVED_VARS.iter().position(|o| o == var) {
+                            if state != plan.healthy_states[oi] {
+                                obs.mark_failing(var.clone());
+                                failing = true;
+                            }
+                        }
+                    }
+                }
+                if !failing {
+                    continue;
+                }
+                let Ok(d) = self.0.diagnose(&obs) else { continue };
+                for c in d.candidates() {
+                    match scores.iter_mut().find(|(n, _)| *n == c.variable) {
+                        Some(slot) => slot.1 = slot.1.max(c.fault_mass),
+                        None => scores.push((c.variable.clone(), c.fault_mass)),
+                    }
+                }
+            }
+            scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            scores
+        }
+    }
+}
+
+/// The hypothetical circuit's pipeline diagnoses a latent bandgap failure.
+#[test]
+fn hypothetical_pipeline_end_to_end() {
+    let fitted = hypothetical::fit(
+        30,
+        7,
+        LearnAlgorithm::Em(abbd::bbn::learn::EmConfig {
+            max_iterations: 10,
+            tolerance: 1e-5,
+        }),
+    )
+    .expect("pipeline runs");
+    let mut obs = abbd::core::Observation::new();
+    obs.set("block1", 2).set("block2", 1).set("block4", 0);
+    obs.mark_failing("block4");
+    let diagnosis = fitted.engine.diagnose(&obs).expect("diagnosis");
+    assert_eq!(diagnosis.top_candidate(), Some("block3"));
+}
+
+/// Every fitted CPT stays a valid distribution after the full pipeline.
+#[test]
+fn fitted_networks_remain_normalised() {
+    let fitted = regulator::fit(30, 11, regulator::default_algorithm())
+        .expect("pipeline runs");
+    let net = fitted.engine.model().network();
+    for v in net.variables() {
+        let card = net.card(v);
+        for (r, row) in net.cpt(v).chunks(card).enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-6,
+                "{} row {r} sums to {sum}",
+                net.name(v)
+            );
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+}
+
+/// Probe planning resolves d1's two-candidate ambiguity: the most
+/// informative blocks to open are exactly the competing candidates.
+#[test]
+fn probe_ranking_targets_the_ambiguous_pair() {
+    let fitted = regulator::fit(70, 2010, regulator::default_algorithm())
+        .expect("pipeline runs");
+    let d1 = &regulator::cases::case_studies()[0];
+    let probes = fitted.engine.rank_probes(&d1.observation()).expect("probe ranking");
+    let top2: Vec<&str> = probes.iter().take(2).map(|p| p.variable.as_str()).collect();
+    assert!(
+        top2.contains(&"hcbg") || top2.contains(&"warnvpst"),
+        "top probes {top2:?} must include one of the competing candidates"
+    );
+    // Clearly exonerated blocks carry little information.
+    let lcbg_gain = probes
+        .iter()
+        .find(|p| p.variable == "lcbg")
+        .map(|p| p.expected_information_gain)
+        .unwrap_or(0.0);
+    assert!(
+        probes[0].expected_information_gain > lcbg_gain * 2.0,
+        "{probes:?}"
+    );
+}
+
+/// Finding-impact explanation: in case d4 the always-on regulator's
+/// failure (reg2 = 0) is what separates lcbg from every other hypothesis,
+/// so it must be the most influential finding for the lcbg verdict.
+#[test]
+fn explanation_credits_the_discriminating_finding() {
+    let fitted = regulator::fit(70, 2010, regulator::default_algorithm())
+        .expect("pipeline runs");
+    let d4 = &regulator::cases::case_studies()[3];
+    let impacts = fitted.engine.explain(&d4.observation(), "lcbg").expect("explain");
+    assert_eq!(
+        impacts[0].variable, "reg2",
+        "impacts: {:?}",
+        impacts.iter().map(|i| (&i.variable, i.impact)).collect::<Vec<_>>()
+    );
+    assert!(impacts[0].impact > 0.3);
+}
+
+/// The diagnostic engine is deterministic: same pipeline, same verdicts.
+#[test]
+fn diagnosis_is_reproducible() {
+    let a = regulator::fit(20, 3, regulator::default_algorithm()).expect("run a");
+    let b = regulator::fit(20, 3, regulator::default_algorithm()).expect("run b");
+    let case = &regulator::cases::case_studies()[1];
+    let da = a.engine.diagnose(&case.observation()).expect("diagnosis a");
+    let db = b.engine.diagnose(&case.observation()).expect("diagnosis b");
+    assert_eq!(da.candidates(), db.candidates());
+    assert_eq!(da.posteriors(), db.posteriors());
+}
