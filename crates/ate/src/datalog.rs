@@ -29,8 +29,7 @@ pub fn write_datalog(logs: &[DeviceLog]) -> String {
             buf.put_slice(format!("DEVICE {}\n", log.device_id).as_bytes());
         } else {
             buf.put_slice(
-                format!("DEVICE {} truth={}\n", log.device_id, log.truth.join(","))
-                    .as_bytes(),
+                format!("DEVICE {} truth={}\n", log.device_id, log.truth.join(",")).as_bytes(),
             );
         }
         for r in &log.records {
@@ -64,7 +63,10 @@ pub fn parse_datalog(text: &str) -> Result<Vec<DeviceLog>> {
             })
         }
         None => {
-            return Err(Error::Parse { line: 1, reason: "empty datalog".into() });
+            return Err(Error::Parse {
+                line: 1,
+                reason: "empty datalog".into(),
+            });
         }
     }
 
@@ -84,13 +86,14 @@ pub fn parse_datalog(text: &str) -> Result<Vec<DeviceLog>> {
                 });
             }
             let mut parts = rest.split_whitespace();
-            let id: u64 = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| Error::Parse {
-                    line: lineno,
-                    reason: "missing or invalid device id".into(),
-                })?;
+            let id: u64 =
+                parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| Error::Parse {
+                        line: lineno,
+                        reason: "missing or invalid device id".into(),
+                    })?;
             let mut truth = Vec::new();
             for extra in parts {
                 if let Some(t) = extra.strip_prefix("truth=") {
@@ -102,7 +105,11 @@ pub fn parse_datalog(text: &str) -> Result<Vec<DeviceLog>> {
                     });
                 }
             }
-            current = Some(DeviceLog { device_id: id, truth, records: Vec::new() });
+            current = Some(DeviceLog {
+                device_id: id,
+                truth,
+                records: Vec::new(),
+            });
         } else if let Some(rest) = line.strip_prefix("RECORD ") {
             let log = current.as_mut().ok_or_else(|| Error::Parse {
                 line: lineno,
@@ -234,7 +241,10 @@ mod tests {
 
     #[test]
     fn rejects_missing_header() {
-        assert!(matches!(parse_datalog(""), Err(Error::Parse { line: 1, .. })));
+        assert!(matches!(
+            parse_datalog(""),
+            Err(Error::Parse { line: 1, .. })
+        ));
         assert!(parse_datalog("garbage\n").is_err());
     }
 
@@ -259,10 +269,10 @@ mod tests {
     #[test]
     fn rejects_malformed_record() {
         for bad in [
-            "RECORD a|1|t|n|0|1|0.5", // 7 fields
-            "RECORD a|x|t|n|0|1|0.5|P", // bad number
+            "RECORD a|1|t|n|0|1|0.5",    // 7 fields
+            "RECORD a|x|t|n|0|1|0.5|P",  // bad number
             "RECORD a|1|t|n|zz|1|0.5|P", // bad limit
-            "RECORD a|1|t|n|0|1|0.5|Q", // bad verdict
+            "RECORD a|1|t|n|0|1|0.5|Q",  // bad verdict
         ] {
             let text = format!("{HEADER}\nDEVICE 1\n{bad}\nEND\n");
             assert!(parse_datalog(&text).is_err(), "should reject: {bad}");

@@ -78,11 +78,18 @@ mod tests {
     fn displays_are_nonempty() {
         let samples = [
             Error::DuplicateTestNumber(7),
-            Error::InvalidLimits { test: 1, lo: 2.0, hi: 1.0 },
+            Error::InvalidLimits {
+                test: 1,
+                lo: 2.0,
+                hi: 1.0,
+            },
             Error::UnknownNet("x".into()),
             Error::DuplicateSuite("s".into()),
             Error::Simulation(abbd_blocks::Error::UnknownNet("n".into())),
-            Error::Parse { line: 3, reason: "bad".into() },
+            Error::Parse {
+                line: 3,
+                reason: "bad".into(),
+            },
         ];
         for e in samples {
             assert!(!e.to_string().is_empty());

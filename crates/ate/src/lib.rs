@@ -57,5 +57,6 @@ pub use datalog::{parse_datalog, write_datalog};
 pub use error::{Error, Result};
 pub use program::{Limits, TestDef, TestProgram, TestSuite};
 pub use tester::{
-    failing_logs, test_device, test_population, DeviceLog, NoiseModel, Record,
+    failing_logs, test_device, test_population, test_population_batch, DeviceLog, NoiseModel,
+    Record,
 };

@@ -91,9 +91,9 @@ impl TestProgram {
 
     /// Finds a test definition by number.
     pub fn find_test(&self, number: u32) -> Option<(&TestSuite, &TestDef)> {
-        self.suites.iter().find_map(|s| {
-            s.tests.iter().find(|t| t.number == number).map(|t| (s, t))
-        })
+        self.suites
+            .iter()
+            .find_map(|s| s.tests.iter().find(|t| t.number == number).map(|t| (s, t)))
     }
 
     /// Validates the program against a circuit: unique suite names and test
@@ -142,7 +142,9 @@ impl TestProgram {
 
 impl FromIterator<TestSuite> for TestProgram {
     fn from_iter<I: IntoIterator<Item = TestSuite>>(iter: I) -> Self {
-        TestProgram { suites: iter.into_iter().collect() }
+        TestProgram {
+            suites: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -155,8 +157,17 @@ mod tests {
         let mut cb = CircuitBuilder::new();
         let a = cb.net("a").unwrap();
         let o = cb.net("o").unwrap();
-        cb.block("buf", Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 }, [a], o)
-            .unwrap();
+        cb.block(
+            "buf",
+            Behavior::LevelShift {
+                gain: 1.0,
+                offset: 0.0,
+                rail: 5.0,
+            },
+            [a],
+            o,
+        )
+        .unwrap();
         cb.build().unwrap()
     }
 
@@ -191,8 +202,9 @@ mod tests {
     #[test]
     fn program_accessors() {
         let c = circuit();
-        let program: TestProgram =
-            [suite(&c, "s1", 100), suite(&c, "s2", 200)].into_iter().collect();
+        let program: TestProgram = [suite(&c, "s1", 100), suite(&c, "s2", 200)]
+            .into_iter()
+            .collect();
         assert_eq!(program.suite_count(), 2);
         assert_eq!(program.test_count(), 2);
         assert!(program.validate(&c).is_ok());
@@ -208,7 +220,10 @@ mod tests {
         let mut program = TestProgram::new();
         program.push_suite(suite(&c, "s1", 100));
         program.push_suite(suite(&c, "s1", 200));
-        assert!(matches!(program.validate(&c), Err(Error::DuplicateSuite(_))));
+        assert!(matches!(
+            program.validate(&c),
+            Err(Error::DuplicateSuite(_))
+        ));
 
         let mut program = TestProgram::new();
         program.push_suite(suite(&c, "s1", 100));
@@ -225,7 +240,10 @@ mod tests {
         let mut s = suite(&c, "s1", 100);
         s.tests[0].limits = Limits::new(3.0, 1.0);
         let program: TestProgram = [s].into_iter().collect();
-        assert!(matches!(program.validate(&c), Err(Error::InvalidLimits { .. })));
+        assert!(matches!(
+            program.validate(&c),
+            Err(Error::InvalidLimits { .. })
+        ));
 
         let mut s = suite(&c, "s1", 100);
         s.tests[0].measured = NetId::from_index(77);

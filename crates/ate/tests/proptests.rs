@@ -33,7 +33,11 @@ fn log_strategy() -> impl Strategy<Value = DeviceLog> {
         proptest::collection::vec("[a-z]{1,8}:[a-z]{1,8}", 0..3),
         proptest::collection::vec(record_strategy(), 0..12),
     )
-        .prop_map(|(device_id, truth, records)| DeviceLog { device_id, truth, records })
+        .prop_map(|(device_id, truth, records)| DeviceLog {
+            device_id,
+            truth,
+            records,
+        })
 }
 
 /// Values survive the %.6f datalog formatting within half an LSB.

@@ -84,8 +84,7 @@ mod tests {
 
     #[test]
     fn hit_at_k_respects_rank() {
-        let ranking: Ranking =
-            vec![("a".into(), 0.9), ("b".into(), 0.5), ("c".into(), 0.1)];
+        let ranking: Ranking = vec![("a".into(), 0.9), ("b".into(), 0.5), ("c".into(), 0.1)];
         assert!(hit_at_k(&ranking, &["a".into()], 1));
         assert!(!hit_at_k(&ranking, &["b".into()], 1));
         assert!(hit_at_k(&ranking, &["b".into()], 2));

@@ -66,10 +66,14 @@ impl NaiveBayes {
     }
 
     fn log_likelihood(&self, class: usize, key: &(String, String), state: usize) -> f64 {
-        let card = self.feature_cards.get(key).copied().unwrap_or(state + 1).max(state + 1);
+        let card = self
+            .feature_cards
+            .get(key)
+            .copied()
+            .unwrap_or(state + 1)
+            .max(state + 1);
         let counts = self.feature_counts.get(&(class, key.clone()));
-        let state_count =
-            counts.and_then(|m| m.get(&state)).copied().unwrap_or(0.0);
+        let state_count = counts.and_then(|m| m.get(&state)).copied().unwrap_or(0.0);
         let total: f64 = counts.map(|m| m.values().sum()).unwrap_or(0.0);
         ((state_count + self.alpha) / (total + self.alpha * card as f64)).ln()
     }

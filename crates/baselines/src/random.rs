@@ -19,7 +19,10 @@ impl RandomGuess {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        RandomGuess { blocks: blocks.into_iter().map(Into::into).collect(), seed }
+        RandomGuess {
+            blocks: blocks.into_iter().map(Into::into).collect(),
+            seed,
+        }
     }
 
     /// The candidate block list.
@@ -53,9 +56,7 @@ impl Diagnoser for RandomGuess {
         order
             .into_iter()
             .enumerate()
-            .map(|(rank, idx)| {
-                (self.blocks[idx].clone(), 1.0 / (rank + 1) as f64)
-            })
+            .map(|(rank, idx)| (self.blocks[idx].clone(), 1.0 / (rank + 1) as f64))
             .collect()
     }
 }
@@ -89,9 +90,7 @@ mod tests {
     fn different_devices_get_different_orders() {
         let r = RandomGuess::new(["a", "b", "c", "d", "e", "f"], 7);
         let orders: std::collections::HashSet<Vec<String>> = (0..20)
-            .map(|id| {
-                r.diagnose(&sig(id)).into_iter().map(|(b, _)| b).collect()
-            })
+            .map(|id| r.diagnose(&sig(id)).into_iter().map(|(b, _)| b).collect())
             .collect();
         assert!(orders.len() > 5, "shuffles must vary across devices");
     }

@@ -59,12 +59,14 @@ pub(crate) fn truth_block(tag: &str) -> String {
 pub fn group_by_device(cases: &[NamedCase]) -> Vec<DeviceSignature> {
     let mut by_device: BTreeMap<u64, DeviceSignature> = BTreeMap::new();
     for case in cases {
-        let entry = by_device.entry(case.device_id).or_insert_with(|| DeviceSignature {
-            device_id: case.device_id,
-            features: BTreeMap::new(),
-            failing: false,
-            truth_blocks: case.truth.iter().map(|t| truth_block(t)).collect(),
-        });
+        let entry = by_device
+            .entry(case.device_id)
+            .or_insert_with(|| DeviceSignature {
+                device_id: case.device_id,
+                features: BTreeMap::new(),
+                failing: false,
+                truth_blocks: case.truth.iter().map(|t| truth_block(t)).collect(),
+            });
         for (var, state) in &case.assignment {
             entry
                 .features
@@ -104,10 +106,7 @@ mod tests {
         assert_eq!(d1.device_id, 1);
         assert_eq!(d1.len(), 3);
         assert_eq!(d1.truth_blocks, vec!["blk".to_string()]);
-        assert_eq!(
-            d1.features[&("s1".to_string(), "a".to_string())],
-            0
-        );
+        assert_eq!(d1.features[&("s1".to_string(), "a".to_string())], 0);
         assert!(!sigs[1].is_empty());
     }
 

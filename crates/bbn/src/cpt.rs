@@ -140,7 +140,11 @@ mod tests {
     fn noisy_and_limits() {
         let rows = noisy_and_rows(0.0, &[0.0, 0.0]).unwrap();
         assert_eq!(rows[3], vec![0.0, 1.0], "all inputs present: output on");
-        assert_eq!(rows[0], vec![1.0, 0.0], "no slip: any missing input kills it");
+        assert_eq!(
+            rows[0],
+            vec![1.0, 0.0],
+            "no slip: any missing input kills it"
+        );
         assert!(noisy_and_rows(1.0, &[0.0]).is_err());
         assert!(noisy_and_rows(0.0, &[2.0]).is_err());
     }
@@ -153,7 +157,8 @@ mod tests {
         let e = b.variable("e", ["0", "1"]).unwrap();
         b.prior(a, [0.7, 0.3]).unwrap();
         b.prior(c, [0.6, 0.4]).unwrap();
-        b.cpt(e, [a, c], noisy_or_rows(0.02, &[0.9, 0.5]).unwrap()).unwrap();
+        b.cpt(e, [a, c], noisy_or_rows(0.02, &[0.9, 0.5]).unwrap())
+            .unwrap();
         let net = b.build().unwrap();
         // P(e=1 | a=1, c=0) = 1 - 0.98*0.1
         let row = net.cpt_row(net.var("e").unwrap(), &[1, 0]).unwrap();

@@ -83,7 +83,10 @@ impl fmt::Display for Error {
                 write!(f, "invalid evidence on `{variable}`: {reason}")
             }
             Error::ShapeMismatch { expected, actual } => {
-                write!(f, "shape mismatch: expected {expected} values, got {actual}")
+                write!(
+                    f,
+                    "shape mismatch: expected {expected} values, got {actual}"
+                )
             }
             Error::NotInScope(name) => write!(f, "variable `{name}` is not in the factor scope"),
             Error::DuplicateInScope(name) => {
@@ -118,15 +121,30 @@ mod tests {
         let samples = [
             Error::DuplicateVariable("x".into()),
             Error::UnknownVariable("y".into()),
-            Error::TooFewStates { variable: "z".into(), states: 1 },
+            Error::TooFewStates {
+                variable: "z".into(),
+                states: 1,
+            },
             Error::CycleDetected("w".into()),
-            Error::InvalidCpt { variable: "v".into(), reason: "row 0 sums to 0".into() },
-            Error::InvalidEvidence { variable: "u".into(), reason: "state 9".into() },
-            Error::ShapeMismatch { expected: 4, actual: 3 },
+            Error::InvalidCpt {
+                variable: "v".into(),
+                reason: "row 0 sums to 0".into(),
+            },
+            Error::InvalidEvidence {
+                variable: "u".into(),
+                reason: "state 9".into(),
+            },
+            Error::ShapeMismatch {
+                expected: 4,
+                actual: 3,
+            },
             Error::NotInScope("t".into()),
             Error::DuplicateInScope("s".into()),
             Error::ImpossibleEvidence,
-            Error::NotConverged { what: "EM".into(), iterations: 10 },
+            Error::NotConverged {
+                what: "EM".into(),
+                iterations: 10,
+            },
             Error::NoCases,
             Error::Io("disk on fire".into()),
         ];
@@ -144,7 +162,7 @@ mod tests {
 
     #[test]
     fn from_io_error() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let err: Error = io.into();
         assert_eq!(err, Error::Io("boom".into()));
     }

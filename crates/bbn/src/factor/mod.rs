@@ -1,11 +1,35 @@
 //! Discrete factors (potentials) over sets of network variables.
 //!
 //! A [`Factor`] is a non-negative table indexed by the joint states of its
-//! *scope*. Values are stored row-major with the **last** scope variable
-//! varying fastest. Factors are the workhorse of every exact-inference
-//! routine in this crate: conditional probability tables are factors,
-//! variable elimination multiplies and sums them, and junction-tree
-//! propagation divides them.
+//! *scope*. Factors are the workhorse of every exact-inference routine in
+//! this crate: conditional probability tables are factors, variable
+//! elimination multiplies and sums them, and junction-tree propagation
+//! divides them.
+//!
+//! # Memory layout
+//!
+//! Values are stored row-major with the **last** scope variable varying
+//! fastest: the cell for assignment `(s_0, .., s_{k-1})` over cardinalities
+//! `(c_0, .., c_{k-1})` lives at index `((s_0 * c_1 + s_1) * c_2 + ..) +
+//! s_{k-1}`, so axis `i` has stride `c_{i+1} * .. * c_{k-1}`. A CPT flat
+//! table over `parents ++ [child]` (last parent fastest, child distribution
+//! innermost) is exactly this layout and can be used as factor storage
+//! without copying.
+//!
+//! # Allocation discipline
+//!
+//! The classic methods ([`Factor::product`], [`Factor::divide`],
+//! [`Factor::marginalize_to`], ..) allocate their result; they are thin
+//! wrappers over shared stride-map kernels ([`self::strides`]). The hot
+//! paths use the in-place layer in [`self::ops`] instead —
+//! [`Factor::product_into`], [`Factor::mul_assign`], [`Factor::div_assign`],
+//! [`Factor::marginalize_into`] and the fused [`Factor::product_sum_out`] /
+//! [`Factor::product_all_sum_out`] — which write into caller-provided
+//! buffers and never touch the heap. See `ops` for the buffer-reuse
+//! contract.
+
+mod ops;
+pub(crate) mod strides;
 
 use crate::error::{Error, Result};
 use crate::network::VarId;
@@ -53,25 +77,41 @@ impl Factor {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::ShapeMismatch`] if `values.len()` is not the product
-    /// of the cardinalities, [`Error::DuplicateInScope`] if a variable
-    /// repeats, and [`Error::InvalidCpt`] if any value is negative or not
-    /// finite.
+    /// Returns [`Error::InvalidCpt`] naming the offending variable for a
+    /// zero cardinality, [`Error::ShapeMismatch`] if `values.len()` is not
+    /// the product of the cardinalities, [`Error::DuplicateInScope`] if a
+    /// variable repeats, and [`Error::InvalidCpt`] if any value is negative
+    /// or not finite.
     pub fn new(scope: Vec<VarId>, cards: Vec<usize>, values: Vec<f64>) -> Result<Self> {
         if scope.len() != cards.len() {
-            return Err(Error::ShapeMismatch { expected: scope.len(), actual: cards.len() });
+            return Err(Error::ShapeMismatch {
+                expected: scope.len(),
+                actual: cards.len(),
+            });
         }
         for (i, v) in scope.iter().enumerate() {
             if scope[i + 1..].contains(v) {
                 return Err(Error::DuplicateInScope(format!("{v:?}")));
             }
         }
-        let expected: usize = cards.iter().product();
-        if values.len() != expected {
-            return Err(Error::ShapeMismatch { expected, actual: values.len() });
+        // Cardinalities are validated before the shape: a zero cardinality
+        // would make the expected cell count 0, letting an empty `values`
+        // pass the shape check vacuously and producing a misleading
+        // `ShapeMismatch` afterwards.
+        for (pos, &c) in cards.iter().enumerate() {
+            if c == 0 {
+                return Err(Error::InvalidCpt {
+                    variable: format!("{}", scope[pos]),
+                    reason: "zero cardinality in factor scope".into(),
+                });
+            }
         }
-        if cards.iter().any(|&c| c == 0) {
-            return Err(Error::ShapeMismatch { expected, actual: 0 });
+        let expected: usize = cards.iter().product::<usize>().max(1);
+        if values.len() != expected {
+            return Err(Error::ShapeMismatch {
+                expected,
+                actual: values.len(),
+            });
         }
         if let Some(bad) = values.iter().find(|v| !v.is_finite() || **v < 0.0) {
             return Err(Error::InvalidCpt {
@@ -79,17 +119,45 @@ impl Factor {
                 reason: format!("non-finite or negative value {bad}"),
             });
         }
-        Ok(Factor { scope, cards, values })
+        Ok(Factor {
+            scope,
+            cards,
+            values,
+        })
+    }
+
+    /// Crate-internal constructor for tables whose invariants are upheld by
+    /// construction (e.g. calibrated clique beliefs moved out of a
+    /// propagation workspace); skips re-validation.
+    pub(crate) fn from_parts_unchecked(
+        scope: Vec<VarId>,
+        cards: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(values.len(), cards.iter().product::<usize>().max(1));
+        Factor {
+            scope,
+            cards,
+            values,
+        }
     }
 
     /// The multiplicative identity: an empty-scope factor holding `1.0`.
     pub fn unit() -> Self {
-        Factor { scope: Vec::new(), cards: Vec::new(), values: vec![1.0] }
+        Factor {
+            scope: Vec::new(),
+            cards: Vec::new(),
+            values: vec![1.0],
+        }
     }
 
     /// A scalar factor holding `value`.
     pub fn scalar(value: f64) -> Self {
-        Factor { scope: Vec::new(), cards: Vec::new(), values: vec![value] }
+        Factor {
+            scope: Vec::new(),
+            cards: Vec::new(),
+            values: vec![value],
+        }
     }
 
     /// The ordered variable scope.
@@ -134,7 +202,7 @@ impl Factor {
 
     /// Row-major stride of the scope variable at `pos`.
     fn stride_at(&self, pos: usize) -> usize {
-        self.cards[pos + 1..].iter().product()
+        strides::axis_stride(&self.cards, pos)
     }
 
     /// Row-major stride of `var`, or `None` if not in scope.
@@ -179,78 +247,34 @@ impl Factor {
     }
 
     /// Pointwise product; the result scope is this factor's scope followed by
-    /// the other factor's new variables.
+    /// the other factor's new variables. Allocates the result; the in-place
+    /// variant is [`Factor::product_into`].
     pub fn product(&self, other: &Factor) -> Factor {
-        let mut scope = self.scope.clone();
-        let mut cards = self.cards.clone();
-        for (pos, &v) in other.scope.iter().enumerate() {
-            if !scope.contains(&v) {
-                scope.push(v);
-                cards.push(other.cards[pos]);
-            }
-        }
-        let total: usize = cards.iter().product::<usize>().max(1);
-        let mut values = vec![0.0; total];
-
-        let self_strides: Vec<usize> =
-            scope.iter().map(|&v| self.stride_of(v).unwrap_or(0)).collect();
-        let other_strides: Vec<usize> =
-            scope.iter().map(|&v| other.stride_of(v).unwrap_or(0)).collect();
-
-        let mut assign = vec![0usize; scope.len()];
-        let mut i_self = 0usize;
-        let mut i_other = 0usize;
-        for slot in values.iter_mut() {
-            *slot = self.values[i_self] * other.values[i_other];
-            for pos in (0..scope.len()).rev() {
-                assign[pos] += 1;
-                i_self += self_strides[pos];
-                i_other += other_strides[pos];
-                if assign[pos] == cards[pos] {
-                    assign[pos] = 0;
-                    i_self -= self_strides[pos] * cards[pos];
-                    i_other -= other_strides[pos] * cards[pos];
-                } else {
-                    break;
-                }
-            }
-        }
-        Factor { scope, cards, values }
+        let (scope, cards) = self.union_shape(other);
+        let mut out =
+            Factor::with_shape(scope, cards).expect("union of two valid factors is a valid shape");
+        self.product_into(other, &mut out)
+            .expect("freshly shaped buffer always fits");
+        out
     }
 
     /// Pointwise division by a factor whose scope is a subset of this one.
     /// Division by zero yields zero (the junction-tree convention: `0/0 = 0`).
+    /// Allocates the result; the in-place variant is [`Factor::div_assign`].
     ///
     /// # Errors
     ///
     /// Returns [`Error::NotInScope`] if `other` mentions a variable absent
     /// from this factor.
     pub fn divide(&self, other: &Factor) -> Result<Factor> {
-        for v in &other.scope {
+        for v in other.scope() {
             if !self.contains(*v) {
                 return Err(Error::NotInScope(format!("{v:?}")));
             }
         }
-        let other_strides: Vec<usize> =
-            self.scope.iter().map(|&v| other.stride_of(v).unwrap_or(0)).collect();
-        let mut values = vec![0.0; self.values.len()];
-        let mut assign = vec![0usize; self.scope.len()];
-        let mut i_other = 0usize;
-        for (out_idx, slot) in values.iter_mut().enumerate() {
-            let denom = other.values[i_other];
-            *slot = if denom == 0.0 { 0.0 } else { self.values[out_idx] / denom };
-            for pos in (0..self.scope.len()).rev() {
-                assign[pos] += 1;
-                i_other += other_strides[pos];
-                if assign[pos] == self.cards[pos] {
-                    assign[pos] = 0;
-                    i_other -= other_strides[pos] * self.cards[pos];
-                } else {
-                    break;
-                }
-            }
-        }
-        Ok(Factor { scope: self.scope.clone(), cards: self.cards.clone(), values })
+        let mut out = self.clone();
+        out.div_assign(other)?;
+        Ok(out)
     }
 
     /// Sums `var` out of the factor.
@@ -259,7 +283,9 @@ impl Factor {
     ///
     /// Returns [`Error::NotInScope`] if `var` is not in the scope.
     pub fn sum_out(&self, var: VarId) -> Result<Factor> {
-        let pos = self.position(var).ok_or_else(|| Error::NotInScope(format!("{var:?}")))?;
+        let pos = self
+            .position(var)
+            .ok_or_else(|| Error::NotInScope(format!("{var:?}")))?;
         let card = self.cards[pos];
         let suffix = self.stride_at(pos);
         let prefix_count = self.values.len() / (card * suffix);
@@ -280,7 +306,11 @@ impl Factor {
                 values[out_base + s] = acc;
             }
         }
-        Ok(Factor { scope, cards, values })
+        Ok(Factor {
+            scope,
+            cards,
+            values,
+        })
     }
 
     /// Maximises `var` out of the factor, recording per-cell argmax states.
@@ -289,7 +319,9 @@ impl Factor {
     ///
     /// Returns [`Error::NotInScope`] if `var` is not in the scope.
     pub fn max_out(&self, var: VarId) -> Result<MaxOut> {
-        let pos = self.position(var).ok_or_else(|| Error::NotInScope(format!("{var:?}")))?;
+        let pos = self
+            .position(var)
+            .ok_or_else(|| Error::NotInScope(format!("{var:?}")))?;
         let card = self.cards[pos];
         let suffix = self.stride_at(pos);
         let prefix_count = self.values.len() / (card * suffix);
@@ -317,7 +349,14 @@ impl Factor {
                 argmax[out_base + s] = best_k;
             }
         }
-        Ok(MaxOut { factor: Factor { scope, cards, values }, argmax })
+        Ok(MaxOut {
+            factor: Factor {
+                scope,
+                cards,
+                values,
+            },
+            argmax,
+        })
     }
 
     /// Restricts the factor to `var = state` and drops `var` from the scope.
@@ -327,7 +366,9 @@ impl Factor {
     /// Returns [`Error::NotInScope`] if absent, or [`Error::InvalidEvidence`]
     /// for an out-of-range state.
     pub fn condition(&self, var: VarId, state: usize) -> Result<Factor> {
-        let pos = self.position(var).ok_or_else(|| Error::NotInScope(format!("{var:?}")))?;
+        let pos = self
+            .position(var)
+            .ok_or_else(|| Error::NotInScope(format!("{var:?}")))?;
         let card = self.cards[pos];
         if state >= card {
             return Err(Error::InvalidEvidence {
@@ -347,7 +388,11 @@ impl Factor {
             values[p * suffix..(p + 1) * suffix]
                 .copy_from_slice(&self.values[in_base..in_base + suffix]);
         }
-        Ok(Factor { scope, cards, values })
+        Ok(Factor {
+            scope,
+            cards,
+            values,
+        })
     }
 
     /// Multiplies a per-state likelihood vector into the axis of `var`
@@ -358,44 +403,46 @@ impl Factor {
     /// Returns [`Error::NotInScope`] or [`Error::ShapeMismatch`] on a
     /// wrong-length likelihood vector.
     pub fn scale_axis(&mut self, var: VarId, weights: &[f64]) -> Result<()> {
-        let pos = self.position(var).ok_or_else(|| Error::NotInScope(format!("{var:?}")))?;
+        let pos = self
+            .position(var)
+            .ok_or_else(|| Error::NotInScope(format!("{var:?}")))?;
         let card = self.cards[pos];
         if weights.len() != card {
-            return Err(Error::ShapeMismatch { expected: card, actual: weights.len() });
+            return Err(Error::ShapeMismatch {
+                expected: card,
+                actual: weights.len(),
+            });
         }
         let suffix = self.stride_at(pos);
-        let prefix_count = self.values.len() / (card * suffix);
-        for p in 0..prefix_count {
-            for k in 0..card {
-                let base = p * card * suffix + k * suffix;
-                for s in 0..suffix {
-                    self.values[base + s] *= weights[k];
-                }
-            }
-        }
+        strides::scale_axis_kernel(&mut self.values, suffix, card, weights);
         Ok(())
     }
 
-    /// Sums out every scope variable not in `keep`; the result is then
-    /// reordered to match the order of `keep`.
+    /// Sums out every scope variable not in `keep` in a single pass; the
+    /// result scope is ordered exactly as `keep` (any permutation works).
+    /// Allocates the result; the in-place variant is
+    /// [`Factor::marginalize_into`].
     ///
     /// # Errors
     ///
     /// Returns [`Error::NotInScope`] if `keep` mentions a variable absent
-    /// from the factor.
+    /// from the factor, [`Error::DuplicateInScope`] on a repeated variable.
     pub fn marginalize_to(&self, keep: &[VarId]) -> Result<Factor> {
-        for v in keep {
+        for (i, v) in keep.iter().enumerate() {
             if !self.contains(*v) {
                 return Err(Error::NotInScope(format!("{v:?}")));
             }
+            if keep[i + 1..].contains(v) {
+                return Err(Error::DuplicateInScope(format!("{v:?}")));
+            }
         }
-        let mut f = self.clone();
-        let drop: Vec<VarId> =
-            self.scope.iter().copied().filter(|v| !keep.contains(v)).collect();
-        for v in drop {
-            f = f.sum_out(v)?;
-        }
-        f.reorder(keep)
+        let cards: Vec<usize> = keep
+            .iter()
+            .map(|&v| self.cards[self.position(v).expect("checked above")])
+            .collect();
+        let mut out = Factor::with_shape(keep.to_vec(), cards)?;
+        self.marginalize_into(keep, &mut out)?;
+        Ok(out)
     }
 
     /// Returns a copy whose scope is permuted to `new_scope` (which must be a
@@ -417,7 +464,10 @@ impl Factor {
         }
         let positions: Vec<usize> = new_scope
             .iter()
-            .map(|&v| self.position(v).ok_or_else(|| Error::NotInScope(format!("{v:?}"))))
+            .map(|&v| {
+                self.position(v)
+                    .ok_or_else(|| Error::NotInScope(format!("{v:?}")))
+            })
             .collect::<Result<_>>()?;
         let cards: Vec<usize> = positions.iter().map(|&p| self.cards[p]).collect();
         let strides: Vec<usize> = positions.iter().map(|&p| self.stride_at(p)).collect();
@@ -438,7 +488,11 @@ impl Factor {
                 }
             }
         }
-        Ok(Factor { scope: new_scope.to_vec(), cards, values })
+        Ok(Factor {
+            scope: new_scope.to_vec(),
+            cards,
+            values,
+        })
     }
 
     /// Sum of all cells.
@@ -495,7 +549,12 @@ mod tests {
 
     fn fab() -> Factor {
         // f(A,B), A binary, B ternary, B fastest.
-        Factor::new(vec![v(0), v(1)], vec![2, 3], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]).unwrap()
+        Factor::new(
+            vec![v(0), v(1)],
+            vec![2, 3],
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -557,8 +616,12 @@ mod tests {
     #[test]
     fn product_is_commutative_up_to_reorder() {
         let f = fab();
-        let g = Factor::new(vec![v(1), v(2)], vec![3, 2], vec![0.5, 0.5, 0.1, 0.9, 0.3, 0.7])
-            .unwrap();
+        let g = Factor::new(
+            vec![v(1), v(2)],
+            vec![3, 2],
+            vec![0.5, 0.5, 0.1, 0.9, 0.3, 0.7],
+        )
+        .unwrap();
         let fg = f.product(&g);
         let gf = g.product(&f).reorder(fg.scope()).unwrap();
         for (a, b) in fg.values().iter().zip(gf.values().iter()) {

@@ -13,7 +13,9 @@ pub struct UndirectedGraph {
 impl UndirectedGraph {
     /// An edgeless graph over `n` vertices.
     pub fn empty(n: usize) -> Self {
-        UndirectedGraph { adj: vec![BTreeSet::new(); n] }
+        UndirectedGraph {
+            adj: vec![BTreeSet::new(); n],
+        }
     }
 
     /// Number of vertices.
@@ -110,8 +112,11 @@ pub fn elimination_order(
     match heuristic {
         OrderingHeuristic::ReverseTopological => {
             let set: HashSet<usize> = targets.iter().copied().collect();
-            let mut order: Vec<usize> =
-                topo_hint.iter().copied().filter(|i| set.contains(i)).collect();
+            let mut order: Vec<usize> = topo_hint
+                .iter()
+                .copied()
+                .filter(|i| set.contains(i))
+                .collect();
             order.reverse();
             // Any targets missing from the hint go last, in index order.
             for &t in targets {
@@ -274,10 +279,15 @@ mod tests {
         let rain = b.variable("rain", ["n", "y"]).unwrap();
         let wet = b.variable("wet", ["n", "y"]).unwrap();
         b.prior(cloudy, [0.5, 0.5]).unwrap();
-        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]]).unwrap();
-        b.cpt(rain, [cloudy], [[0.8, 0.2], [0.2, 0.8]]).unwrap();
-        b.cpt(wet, [sprinkler, rain], [[1.0, 0.0], [0.1, 0.9], [0.1, 0.9], [0.01, 0.99]])
+        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]])
             .unwrap();
+        b.cpt(rain, [cloudy], [[0.8, 0.2], [0.2, 0.8]]).unwrap();
+        b.cpt(
+            wet,
+            [sprinkler, rain],
+            [[1.0, 0.0], [0.1, 0.9], [0.1, 0.9], [0.01, 0.99]],
+        )
+        .unwrap();
         b.build().unwrap()
     }
 
@@ -303,8 +313,7 @@ mod tests {
         let net = sprinkler();
         let g = moral_graph(&net);
         let targets: Vec<usize> = (0..net.var_count()).collect();
-        let topo: Vec<usize> =
-            net.topological_order().iter().map(|v| v.index()).collect();
+        let topo: Vec<usize> = net.topological_order().iter().map(|v| v.index()).collect();
         for h in [
             OrderingHeuristic::MinFill,
             OrderingHeuristic::MinDegree,

@@ -43,7 +43,10 @@ pub struct VariableElimination<'a> {
 impl<'a> VariableElimination<'a> {
     /// Creates an engine with the default min-fill ordering heuristic.
     pub fn new(net: &'a Network) -> Self {
-        VariableElimination { net, heuristic: OrderingHeuristic::MinFill }
+        VariableElimination {
+            net,
+            heuristic: OrderingHeuristic::MinFill,
+        }
     }
 
     /// Creates an engine with an explicit ordering heuristic.
@@ -177,8 +180,12 @@ impl<'a> VariableElimination<'a> {
                 }
             }
         }
-        let topo: Vec<usize> =
-            self.net.topological_order().iter().map(|v| v.index()).collect();
+        let topo: Vec<usize> = self
+            .net
+            .topological_order()
+            .iter()
+            .map(|v| v.index())
+            .collect();
         let order = elimination_order(&graph, &to_eliminate, self.heuristic, &topo);
 
         for idx in order {
@@ -189,11 +196,10 @@ impl<'a> VariableElimination<'a> {
             if touching.is_empty() {
                 continue;
             }
-            let mut product = Factor::unit();
-            for f in &touching {
-                product = product.product(f);
-            }
-            factors.push(product.sum_out(var)?);
+            // Multiply the whole bucket and sum the variable out in one
+            // fused pass — no intermediate joint tables.
+            let refs: Vec<&Factor> = touching.iter().collect();
+            factors.push(Factor::product_all_sum_out(&refs, var)?);
         }
 
         let mut result = Factor::unit();
@@ -220,10 +226,15 @@ mod tests {
         let rain = b.variable("rain", ["n", "y"]).unwrap();
         let wet = b.variable("wet", ["n", "y"]).unwrap();
         b.prior(cloudy, [0.5, 0.5]).unwrap();
-        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]]).unwrap();
-        b.cpt(rain, [cloudy], [[0.8, 0.2], [0.2, 0.8]]).unwrap();
-        b.cpt(wet, [sprinkler, rain], [[1.0, 0.0], [0.1, 0.9], [0.1, 0.9], [0.01, 0.99]])
+        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]])
             .unwrap();
+        b.cpt(rain, [cloudy], [[0.8, 0.2], [0.2, 0.8]]).unwrap();
+        b.cpt(
+            wet,
+            [sprinkler, rain],
+            [[1.0, 0.0], [0.1, 0.9], [0.1, 0.9], [0.01, 0.99]],
+        )
+        .unwrap();
         b.build().unwrap()
     }
 
@@ -336,7 +347,33 @@ mod tests {
         let ve = VariableElimination::new(&net);
         let mut e = Evidence::new();
         e.observe(c, 1);
-        assert!(matches!(ve.posterior(&e, a), Err(Error::ImpossibleEvidence)));
+        assert!(matches!(
+            ve.posterior(&e, a),
+            Err(Error::ImpossibleEvidence)
+        ));
+    }
+
+    #[test]
+    fn hub_with_many_children_does_not_overflow_bucket() {
+        // Eliminating `hub` puts one factor per child in a single bucket;
+        // with 70 children the bucket exceeds the 64-axis stack budget of
+        // the kernels, which must spill per-source indices to the heap
+        // rather than panic (regression test for the fixed assert).
+        let mut b = NetworkBuilder::new();
+        let hub = b.variable("hub", ["0", "1"]).unwrap();
+        b.prior(hub, [0.5, 0.5]).unwrap();
+        let kids: Vec<_> = (0..70)
+            .map(|i| {
+                let k = b.variable(format!("k{i}"), ["0", "1"]).unwrap();
+                b.cpt(k, [hub], [[0.9, 0.1], [0.2, 0.8]]).unwrap();
+                k
+            })
+            .collect();
+        let net = b.build().unwrap();
+        let ve = VariableElimination::new(&net);
+        let p = ve.posterior(&Evidence::new(), kids[0]).unwrap();
+        // P(k0=1) = 0.5*0.1 + 0.5*0.8
+        assert!((p[1] - 0.45).abs() < 1e-9);
     }
 
     #[test]

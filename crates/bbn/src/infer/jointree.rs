@@ -3,13 +3,39 @@
 //! This is the crate's replacement for the commercial Netica engine used in
 //! the paper: compile once, then answer *all* block-state posteriors for a
 //! failing device with two sweeps over the tree.
+//!
+//! # Compiled schedules and buffer reuse
+//!
+//! Compilation does all structural work up front: triangulation, clique
+//! extraction, the spanning tree, **and** a flat message-passing schedule —
+//! per-edge separator shapes, broadcast stride maps between cliques and
+//! separators, per-variable evidence-entry slots, and the evidence-free
+//! clique potentials (the product of every assigned CPT, stored once).
+//!
+//! [`JunctionTree::propagate`] is then a flat loop over that schedule. With
+//! a reusable [`PropagationWorkspace`] (see
+//! [`JunctionTree::propagate_in`]) a query performs **zero heap
+//! allocations**: clique beliefs are `memcpy`-restored from the compiled
+//! base tables, evidence is entered by scaling axes in place, and every
+//! message lands in a preallocated separator buffer. Evidence changes
+//! therefore re-propagate incrementally — nothing structural is rebuilt,
+//! only the affected table contents are recomputed.
+//!
+//! For many independent evidence sets (one per board under test) use
+//! [`JunctionTree::posteriors_batch`], which fans the boards out across
+//! threads with one workspace per worker.
 
 use crate::error::{Error, Result};
 use crate::evidence::Evidence;
+use crate::factor::strides::{
+    aligned_strides, axis_marginal_kernel, axis_stride, marginalize_kernel, mul_broadcast_kernel,
+    retain_state_kernel, scale_axis_kernel, table_len,
+};
 use crate::factor::Factor;
 use crate::graph::{elimination_order, moral_graph, OrderingHeuristic};
 use crate::infer::Posteriors;
 use crate::network::{Network, VarId};
+use rayon::prelude::*;
 
 /// Size statistics of a compiled junction tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,21 +52,53 @@ pub struct JunctionTreeStats {
 struct Clique {
     scope: Vec<VarId>,
     cards: Vec<usize>,
+    len: usize,
 }
 
+/// One tree edge with its compiled message geometry: the separator shape
+/// plus broadcast strides aligning the separator to both endpoint cliques
+/// (used for marginalizing out of one clique and multiplying into the
+/// other, in both directions).
 #[derive(Debug, Clone)]
 struct TreeEdge {
     a: usize,
     b: usize,
     sepset: Vec<VarId>,
+    sep_len: usize,
+    /// Separator strides aligned to clique `a`'s axes (0 for absent vars).
+    a_str: Vec<usize>,
+    /// Separator strides aligned to clique `b`'s axes.
+    b_str: Vec<usize>,
+}
+
+impl TreeEdge {
+    /// The separator strides aligned to the given endpoint clique.
+    fn strides_for(&self, clique: usize) -> &[usize] {
+        if clique == self.a {
+            &self.a_str
+        } else {
+            debug_assert_eq!(clique, self.b);
+            &self.b_str
+        }
+    }
+}
+
+/// Where and how a variable's evidence enters: its home clique plus the
+/// axis geometry of the variable inside that clique's table.
+#[derive(Debug, Clone, Copy)]
+struct EvidenceSlot {
+    clique: usize,
+    stride: usize,
+    card: usize,
 }
 
 /// A compiled junction tree over a network.
 ///
 /// Compilation moralises and triangulates the structure, extracts maximal
-/// cliques, and connects them by a maximum-spanning tree over sepset sizes.
-/// The tree owns a clone of the network; [`JunctionTree::propagate`] reads
-/// the current CPTs from it.
+/// cliques, connects them by a maximum-spanning tree over sepset sizes, and
+/// compiles the flat propagation schedule (see the module docs). The tree
+/// owns a clone of the network plus the evidence-free clique potentials;
+/// [`JunctionTree::propagate`] only touches preallocated tables.
 ///
 /// # Examples
 ///
@@ -74,9 +132,14 @@ pub struct JunctionTree {
     family_clique: Vec<usize>,
     /// For each variable, the smallest clique containing it.
     home_clique: Vec<usize>,
+    /// For each variable, its evidence-entry / posterior-readout geometry.
+    slots: Vec<EvidenceSlot>,
     /// Collect order: edges as `(child clique, parent clique, edge index)`
     /// from the leaves towards clique 0.
     collect_schedule: Vec<(usize, usize, usize)>,
+    /// Evidence-free clique potentials: the product of every CPT assigned
+    /// to the clique, compiled once and `memcpy`-restored per query.
+    base: Vec<Vec<f64>>,
 }
 
 impl JunctionTree {
@@ -124,10 +187,14 @@ impl JunctionTree {
         let cliques: Vec<Clique> = maximal
             .iter()
             .map(|scope| {
-                let scope_vars: Vec<VarId> =
-                    scope.iter().map(|&i| VarId::from_index(i)).collect();
-                let cards = scope_vars.iter().map(|v| net.card(*v)).collect();
-                Clique { scope: scope_vars, cards }
+                let scope_vars: Vec<VarId> = scope.iter().map(|&i| VarId::from_index(i)).collect();
+                let cards: Vec<usize> = scope_vars.iter().map(|v| net.card(*v)).collect();
+                let len = table_len(&cards);
+                Clique {
+                    scope: scope_vars,
+                    cards,
+                    len,
+                }
             })
             .collect();
 
@@ -166,14 +233,24 @@ impl JunctionTree {
                     .copied()
                     .filter(|v| cliques[b].scope.contains(v))
                     .collect();
+                let sep_cards: Vec<usize> = sepset.iter().map(|v| net.card(*v)).collect();
+                let a_str = aligned_strides(&sepset, &sep_cards, &cliques[a].scope);
+                let b_str = aligned_strides(&sepset, &sep_cards, &cliques[b].scope);
                 let idx = edges.len();
                 neighbors[a].push((b, idx));
                 neighbors[b].push((a, idx));
-                edges.push(TreeEdge { a, b, sepset });
+                edges.push(TreeEdge {
+                    a,
+                    b,
+                    sep_len: table_len(&sep_cards),
+                    sepset,
+                    a_str,
+                    b_str,
+                });
             }
         }
 
-        // Family and home cliques.
+        // Family and home cliques, plus per-variable axis geometry.
         let mut family_clique = vec![0usize; n];
         let mut home_clique = vec![0usize; n];
         for var in net.variables() {
@@ -195,6 +272,23 @@ impl JunctionTree {
                 .expect("family clique contains the variable");
             home_clique[var.index()] = home_idx;
         }
+        let slots: Vec<EvidenceSlot> = net
+            .variables()
+            .map(|var| {
+                let clique = home_clique[var.index()];
+                let c = &cliques[clique];
+                let pos = c
+                    .scope
+                    .iter()
+                    .position(|&v| v == var)
+                    .expect("home holds var");
+                EvidenceSlot {
+                    clique,
+                    stride: axis_stride(&c.cards, pos),
+                    card: c.cards[pos],
+                }
+            })
+            .collect();
 
         // Collect schedule: BFS tree rooted at clique 0, emitted leaves-first.
         let mut parent: Vec<Option<(usize, usize)>> = vec![None; cliques.len()];
@@ -218,6 +312,8 @@ impl JunctionTree {
             .filter_map(|&c| parent[c].map(|(p, e)| (c, p, e)))
             .collect();
 
+        let base = compile_base(net, &cliques, &family_clique);
+
         Ok(JunctionTree {
             net: net.clone(),
             cliques,
@@ -225,7 +321,9 @@ impl JunctionTree {
             neighbors,
             family_clique,
             home_clique,
+            slots,
             collect_schedule,
+            base,
         })
     }
 
@@ -235,8 +333,9 @@ impl JunctionTree {
     }
 
     /// Replaces the CPTs with those of `net`, which must share the exact
-    /// structure (names, states, parents) of the compiled network. Used by
-    /// EM so re-triangulation is not needed every iteration.
+    /// structure (names, states, parents) of the compiled network, and
+    /// recompiles the clique base tables. Used by EM so re-triangulation is
+    /// not needed every iteration.
     ///
     /// # Errors
     ///
@@ -249,9 +348,7 @@ impl JunctionTree {
             });
         }
         for var in self.net.variables() {
-            if net.parents(var) != self.net.parents(var)
-                || net.card(var) != self.net.card(var)
-            {
+            if net.parents(var) != self.net.parents(var) || net.card(var) != self.net.card(var) {
                 return Err(Error::ShapeMismatch {
                     expected: self.net.card(var),
                     actual: net.card(var),
@@ -259,6 +356,7 @@ impl JunctionTree {
             }
         }
         self.net = net.clone();
+        self.base = compile_base(&self.net, &self.cliques, &self.family_clique);
         Ok(())
     }
 
@@ -303,23 +401,242 @@ impl JunctionTree {
     pub fn stats(&self) -> JunctionTreeStats {
         JunctionTreeStats {
             cliques: self.cliques.len(),
-            max_clique_width: self.cliques.iter().map(|c| c.scope.len()).max().unwrap_or(0),
-            total_table_size: self
+            max_clique_width: self
                 .cliques
                 .iter()
-                .map(|c| c.cards.iter().product::<usize>())
-                .sum(),
+                .map(|c| c.scope.len())
+                .max()
+                .unwrap_or(0),
+            total_table_size: self.cliques.iter().map(|c| c.len).sum(),
         }
     }
 
-    /// Runs a full Hugin propagation (collect + distribute) under the given
-    /// evidence, returning calibrated clique beliefs.
+    /// Allocates a propagation workspace sized for this tree. Create one
+    /// per thread (or per long-lived query loop) and feed it to
+    /// [`JunctionTree::propagate_in`]; after the first call every
+    /// propagation through it is allocation-free.
+    pub fn make_workspace(&self) -> PropagationWorkspace {
+        PropagationWorkspace {
+            beliefs: self.cliques.iter().map(|c| vec![0.0; c.len]).collect(),
+            messages: self.edges.iter().map(|e| vec![0.0; e.sep_len]).collect(),
+            scratch: self.edges.iter().map(|e| vec![0.0; e.sep_len]).collect(),
+            log_likelihood: 0.0,
+            calibrated: false,
+        }
+    }
+
+    /// Runs a full Hugin propagation (collect + distribute) inside the
+    /// reusable workspace: no allocation, no structural work — just table
+    /// arithmetic over the compiled schedule. Returns a read view over the
+    /// calibrated beliefs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ImpossibleEvidence`] when `P(e) = 0`, plus evidence
+    /// validation errors. On error the workspace stays usable (the next
+    /// propagation re-initialises every buffer it touches).
+    pub fn propagate_in<'t, 'w>(
+        &'t self,
+        ws: &'w mut PropagationWorkspace,
+        evidence: &Evidence,
+    ) -> Result<CalibratedView<'t, 'w>> {
+        self.propagate_ws(ws, evidence)?;
+        Ok(CalibratedView { tree: self, ws })
+    }
+
+    /// Rejects a workspace shaped for a different tree before any buffer
+    /// is written (cheap: length comparisons only).
+    fn check_workspace(&self, ws: &PropagationWorkspace) -> Result<()> {
+        let beliefs_fit = ws.beliefs.len() == self.cliques.len()
+            && ws
+                .beliefs
+                .iter()
+                .zip(&self.cliques)
+                .all(|(b, c)| b.len() == c.len);
+        let messages_fit = ws.messages.len() == self.edges.len()
+            && ws.scratch.len() == self.edges.len()
+            && ws
+                .messages
+                .iter()
+                .zip(&self.edges)
+                .all(|(m, e)| m.len() == e.sep_len);
+        if !beliefs_fit || !messages_fit {
+            return Err(Error::ShapeMismatch {
+                expected: self.cliques.iter().map(|c| c.len).sum(),
+                actual: ws.beliefs.iter().map(Vec::len).sum(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The propagation body shared by [`JunctionTree::propagate_in`] and
+    /// [`JunctionTree::propagate`].
+    fn propagate_ws(&self, ws: &mut PropagationWorkspace, evidence: &Evidence) -> Result<()> {
+        evidence.validate(&self.net)?;
+        self.check_workspace(ws)?;
+        ws.calibrated = false;
+
+        // Restore the evidence-free potentials (pure memcpy) and absorb the
+        // findings in each variable's home clique. Hard evidence keeps the
+        // variable in scope with a one-hot axis, so its posterior collapses
+        // to a point mass.
+        for (belief, base) in ws.beliefs.iter_mut().zip(&self.base) {
+            belief.copy_from_slice(base);
+        }
+        for (var, state) in evidence.hard_iter() {
+            let slot = self.slots[var.index()];
+            retain_state_kernel(&mut ws.beliefs[slot.clique], slot.stride, slot.card, state);
+        }
+        for (var, lik) in evidence.soft_iter() {
+            let slot = self.slots[var.index()];
+            scale_axis_kernel(&mut ws.beliefs[slot.clique], slot.stride, slot.card, lik);
+        }
+
+        // Collect: leaves towards clique 0. Messages are normalised and the
+        // normaliser accumulated so deep trees cannot underflow.
+        let mut log_scale = 0.0f64;
+        for &(child, par, eidx) in &self.collect_schedule {
+            let edge = &self.edges[eidx];
+            let msg = &mut ws.messages[eidx];
+            msg.fill(0.0);
+            marginalize_kernel(
+                &self.cliques[child].cards,
+                &ws.beliefs[child],
+                edge.strides_for(child),
+                msg,
+            );
+            let z: f64 = msg.iter().sum();
+            if z <= 0.0 {
+                return Err(Error::ImpossibleEvidence);
+            }
+            for v in msg.iter_mut() {
+                *v /= z;
+            }
+            log_scale += z.ln();
+            mul_broadcast_kernel(
+                &self.cliques[par].cards,
+                &mut ws.beliefs[par],
+                &ws.messages[eidx],
+                edge.strides_for(par),
+            );
+        }
+
+        let root_total: f64 = ws.beliefs[0].iter().sum();
+        if root_total <= 0.0 {
+            return Err(Error::ImpossibleEvidence);
+        }
+        ws.log_likelihood = root_total.ln() + log_scale;
+
+        // Distribute: root towards leaves, dividing out the stored message.
+        for &(child, par, eidx) in self.collect_schedule.iter().rev() {
+            let edge = &self.edges[eidx];
+            let new_msg = &mut ws.scratch[eidx];
+            new_msg.fill(0.0);
+            marginalize_kernel(
+                &self.cliques[par].cards,
+                &ws.beliefs[par],
+                edge.strides_for(par),
+                new_msg,
+            );
+            let z: f64 = new_msg.iter().sum();
+            if z <= 0.0 {
+                return Err(Error::ImpossibleEvidence);
+            }
+            for v in new_msg.iter_mut() {
+                *v /= z;
+            }
+            // update := new / old (0/0 = 0), stored message := new.
+            let old_msg = &mut ws.messages[eidx];
+            for (u, old) in new_msg.iter_mut().zip(old_msg.iter_mut()) {
+                let new_val = *u;
+                *u = if *old == 0.0 { 0.0 } else { new_val / *old };
+                *old = new_val;
+            }
+            mul_broadcast_kernel(
+                &self.cliques[child].cards,
+                &mut ws.beliefs[child],
+                &ws.scratch[eidx],
+                edge.strides_for(child),
+            );
+        }
+
+        // Normalise beliefs to clique posteriors P(C | e).
+        for belief in &mut ws.beliefs {
+            let z: f64 = belief.iter().sum();
+            if z <= 0.0 || !z.is_finite() {
+                return Err(Error::ImpossibleEvidence);
+            }
+            for v in belief.iter_mut() {
+                *v /= z;
+            }
+        }
+        ws.calibrated = true;
+        Ok(())
+    }
+
+    /// Runs a full Hugin propagation under the given evidence, returning
+    /// calibrated clique beliefs that own their tables. This is the
+    /// convenience wrapper over [`JunctionTree::propagate_in`]; it
+    /// allocates one fresh workspace per call, so prefer `propagate_in`
+    /// (or [`JunctionTree::posteriors_batch`]) in query loops.
     ///
     /// # Errors
     ///
     /// Returns [`Error::ImpossibleEvidence`] when `P(e) = 0`, plus evidence
     /// validation errors.
     pub fn propagate(&self, evidence: &Evidence) -> Result<CalibratedTree<'_>> {
+        let mut ws = self.make_workspace();
+        self.propagate_ws(&mut ws, evidence)?;
+        let beliefs = ws
+            .beliefs
+            .into_iter()
+            .zip(&self.cliques)
+            .map(|(values, c)| {
+                Factor::from_parts_unchecked(c.scope.clone(), c.cards.clone(), values)
+            })
+            .collect();
+        Ok(CalibratedTree {
+            tree: self,
+            beliefs,
+            log_likelihood: ws.log_likelihood,
+        })
+    }
+
+    /// Convenience wrapper: propagate and extract all posterior marginals.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JunctionTree::propagate`].
+    pub fn posteriors(&self, evidence: &Evidence) -> Result<Posteriors> {
+        let mut ws = self.make_workspace();
+        self.propagate_in(&mut ws, evidence)?.all_posteriors()
+    }
+
+    /// Diagnoses a whole batch of independent evidence sets (one per board
+    /// under test) against this one compiled tree, in parallel, with one
+    /// reused workspace per worker thread. Results come back in input
+    /// order; each board fails or succeeds independently, so one
+    /// impossible-evidence board does not poison the batch.
+    pub fn posteriors_batch(&self, evidences: &[Evidence]) -> Vec<Result<Posteriors>> {
+        evidences
+            .par_iter()
+            .map_init(
+                || self.make_workspace(),
+                |ws, evidence| self.propagate_in(ws, evidence)?.all_posteriors(),
+            )
+            .collect()
+    }
+
+    /// The reference (pre-compilation) propagation: rebuilds every clique
+    /// potential from the network's CPTs with allocating factor products on
+    /// every call, exactly like the original implementation. Kept for
+    /// equivalence tests and as the benchmark baseline the compiled path is
+    /// measured against; never use it in a hot loop.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JunctionTree::propagate`].
+    pub fn propagate_baseline(&self, evidence: &Evidence) -> Result<CalibratedTree<'_>> {
         evidence.validate(&self.net)?;
 
         // Initialise clique potentials: unit tables times assigned families.
@@ -327,8 +644,7 @@ impl JunctionTree {
             .cliques
             .iter()
             .map(|c| {
-                let total: usize = c.cards.iter().product();
-                Factor::new(c.scope.clone(), c.cards.clone(), vec![1.0; total])
+                Factor::new(c.scope.clone(), c.cards.clone(), vec![1.0; c.len])
                     .expect("clique shapes are consistent")
             })
             .collect();
@@ -337,9 +653,6 @@ impl JunctionTree {
             let idx = self.family_clique[var.index()];
             beliefs[idx] = beliefs[idx].product(&fam);
         }
-        // Absorb evidence as per-axis likelihoods in the home clique. Hard
-        // evidence becomes a one-hot likelihood: the variable stays in scope
-        // and its posterior collapses to a point mass.
         for (var, state) in evidence.hard_iter() {
             let mut onehot = vec![0.0; self.net.card(var)];
             onehot[state] = 1.0;
@@ -352,8 +665,6 @@ impl JunctionTree {
         let mut sepset_msgs: Vec<Option<Factor>> = vec![None; self.edges.len()];
         let mut log_scale = 0.0f64;
 
-        // Collect: leaves towards clique 0. Messages are normalised and the
-        // normaliser accumulated so deep trees cannot underflow.
         for &(child, par, eidx) in &self.collect_schedule {
             let sep = &self.edges[eidx].sepset;
             let mut msg = beliefs[child].marginalize_to(sep)?;
@@ -375,7 +686,6 @@ impl JunctionTree {
         }
         let log_likelihood = root_total.ln() + log_scale;
 
-        // Distribute: root towards leaves, dividing out the stored message.
         for &(child, par, eidx) in self.collect_schedule.iter().rev() {
             let sep = &self.edges[eidx].sepset;
             let mut new_msg = beliefs[par].marginalize_to(sep)?;
@@ -386,32 +696,165 @@ impl JunctionTree {
             for v in new_msg.values_mut() {
                 *v /= z;
             }
-            let old = sepset_msgs[eidx].take().expect("collect filled every sepset");
+            let old = sepset_msgs[eidx]
+                .take()
+                .expect("collect filled every sepset");
             let update = new_msg.divide(&old)?;
             beliefs[child] = beliefs[child].product(&update);
             sepset_msgs[eidx] = Some(new_msg);
         }
 
-        // Normalise beliefs to clique posteriors P(C | e).
         for b in &mut beliefs {
             b.normalize()?;
         }
 
-        Ok(CalibratedTree { tree: self, beliefs, log_likelihood })
+        Ok(CalibratedTree {
+            tree: self,
+            beliefs,
+            log_likelihood,
+        })
+    }
+}
+
+/// Compiles the evidence-free clique potentials: for every variable, its
+/// flat CPT is broadcast-multiplied into its family clique's table. The
+/// CPT's row-major layout over `parents ++ [var]` is used as factor
+/// storage directly — nothing is copied or materialised per family.
+fn compile_base(net: &Network, cliques: &[Clique], family_clique: &[usize]) -> Vec<Vec<f64>> {
+    let mut base: Vec<Vec<f64>> = cliques.iter().map(|c| vec![1.0; c.len]).collect();
+    for var in net.variables() {
+        let ci = family_clique[var.index()];
+        let clique = &cliques[ci];
+        let fam = net.family(var);
+        let fam_cards: Vec<usize> = fam.iter().map(|v| net.card(*v)).collect();
+        let m_str = aligned_strides(&fam, &fam_cards, &clique.scope);
+        mul_broadcast_kernel(&clique.cards, &mut base[ci], net.cpt(var), &m_str);
+    }
+    base
+}
+
+/// Reusable propagation buffers: clique beliefs, per-edge separator
+/// messages and separator scratch. Shaped for one specific
+/// [`JunctionTree`] by [`JunctionTree::make_workspace`]; feeding it to a
+/// differently shaped tree (e.g. one kept across a model refit that
+/// re-triangulated) is rejected with [`Error::ShapeMismatch`] before any
+/// buffer is touched.
+#[derive(Debug, Clone)]
+pub struct PropagationWorkspace {
+    beliefs: Vec<Vec<f64>>,
+    messages: Vec<Vec<f64>>,
+    scratch: Vec<Vec<f64>>,
+    log_likelihood: f64,
+    calibrated: bool,
+}
+
+impl PropagationWorkspace {
+    /// `true` after a successful propagation (reset on the next attempt).
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
+    }
+}
+
+/// A read view over calibrated beliefs living in a reused workspace:
+/// the zero-allocation counterpart of [`CalibratedTree`].
+#[derive(Debug)]
+pub struct CalibratedView<'t, 'w> {
+    tree: &'t JunctionTree,
+    ws: &'w PropagationWorkspace,
+}
+
+impl CalibratedView<'_, '_> {
+    /// Natural log of the evidence probability `ln P(e)`.
+    pub fn log_likelihood(&self) -> f64 {
+        self.ws.log_likelihood
     }
 
-    /// Convenience wrapper: propagate and extract all posterior marginals.
+    /// Writes the posterior distribution of `var` into `out` (length must
+    /// equal the variable's cardinality) without allocating.
     ///
     /// # Errors
     ///
-    /// Same as [`JunctionTree::propagate`].
-    pub fn posteriors(&self, evidence: &Evidence) -> Result<Posteriors> {
-        self.propagate(evidence)?.all_posteriors()
+    /// Returns [`Error::UnknownVariable`] for out-of-range handles and
+    /// [`Error::ShapeMismatch`] for a wrong-length buffer.
+    pub fn posterior_into(&self, var: VarId, out: &mut [f64]) -> Result<()> {
+        if var.index() >= self.tree.net.var_count() {
+            return Err(Error::UnknownVariable(format!("{var}")));
+        }
+        let slot = self.tree.slots[var.index()];
+        if out.len() != slot.card {
+            return Err(Error::ShapeMismatch {
+                expected: slot.card,
+                actual: out.len(),
+            });
+        }
+        out.fill(0.0);
+        axis_marginal_kernel(&self.ws.beliefs[slot.clique], slot.stride, slot.card, out);
+        let z: f64 = out.iter().sum();
+        if z <= 0.0 || !z.is_finite() {
+            return Err(Error::ImpossibleEvidence);
+        }
+        for v in out.iter_mut() {
+            *v /= z;
+        }
+        Ok(())
+    }
+
+    /// Posterior distribution of one variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownVariable`] for out-of-range handles.
+    pub fn posterior(&self, var: VarId) -> Result<Vec<f64>> {
+        if var.index() >= self.tree.net.var_count() {
+            return Err(Error::UnknownVariable(format!("{var}")));
+        }
+        let mut out = vec![0.0; self.tree.slots[var.index()].card];
+        self.posterior_into(var, &mut out)?;
+        Ok(out)
+    }
+
+    /// Posterior marginals for every variable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CalibratedView::posterior`] errors.
+    pub fn all_posteriors(&self) -> Result<Posteriors> {
+        let mut out = Vec::with_capacity(self.tree.net.var_count());
+        for var in self.tree.net.variables() {
+            out.push(self.posterior(var)?);
+        }
+        Ok(Posteriors::new(out))
+    }
+
+    /// The posterior family marginal `P(parents(var), var | e)` with scope
+    /// ordered `parents ++ [var]` — exactly the shape of the CPT, which is
+    /// what EM's expected counts need.
+    ///
+    /// # Errors
+    ///
+    /// Returns factor-shape errors (the family always fits one clique).
+    pub fn family_marginal(&self, var: VarId) -> Result<Factor> {
+        let ci = self.tree.family_clique[var.index()];
+        let clique = &self.tree.cliques[ci];
+        let fam = self.tree.net.family(var);
+        let fam_cards: Vec<usize> = fam.iter().map(|v| self.tree.net.card(*v)).collect();
+        let mut out = Factor::with_shape(fam, fam_cards)?;
+        let out_str = out.strides_aligned_to(&clique.scope);
+        marginalize_kernel(
+            &clique.cards,
+            &self.ws.beliefs[ci],
+            &out_str,
+            out.values_mut(),
+        );
+        out.normalize()?;
+        Ok(out)
     }
 }
 
 /// The result of a Hugin propagation: calibrated clique beliefs plus the
-/// evidence log-likelihood. Borrowed from the compiled tree.
+/// evidence log-likelihood. Borrowed from the compiled tree; the beliefs
+/// own their tables (unlike [`CalibratedView`], which reads them out of a
+/// reusable workspace).
 #[derive(Debug, Clone)]
 pub struct CalibratedTree<'jt> {
     tree: &'jt JunctionTree,
@@ -479,9 +922,7 @@ impl CalibratedTree<'_> {
             .cliques
             .iter()
             .position(|c| vars.iter().all(|v| c.scope.contains(v)))
-            .ok_or_else(|| {
-                Error::NotInScope(format!("no clique covers all of {vars:?}"))
-            })?;
+            .ok_or_else(|| Error::NotInScope(format!("no clique covers all of {vars:?}")))?;
         let marg = self.beliefs[clique].marginalize_to(vars)?;
         marg.normalized()
     }
@@ -500,10 +941,15 @@ mod tests {
         let rain = b.variable("rain", ["n", "y"]).unwrap();
         let wet = b.variable("wet", ["n", "y"]).unwrap();
         b.prior(cloudy, [0.5, 0.5]).unwrap();
-        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]]).unwrap();
-        b.cpt(rain, [cloudy], [[0.8, 0.2], [0.2, 0.8]]).unwrap();
-        b.cpt(wet, [sprinkler, rain], [[1.0, 0.0], [0.1, 0.9], [0.1, 0.9], [0.01, 0.99]])
+        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]])
             .unwrap();
+        b.cpt(rain, [cloudy], [[0.8, 0.2], [0.2, 0.8]]).unwrap();
+        b.cpt(
+            wet,
+            [sprinkler, rain],
+            [[1.0, 0.0], [0.1, 0.9], [0.1, 0.9], [0.01, 0.99]],
+        )
+        .unwrap();
         b.build().unwrap()
     }
 
@@ -545,7 +991,10 @@ mod tests {
             e.observe(wet, wv).observe(sprinkler_v, sv);
             let exact = enumerate_posteriors(&net, &e).unwrap();
             let got = jt.posteriors(&e).unwrap();
-            assert!(got.max_abs_diff(&exact).unwrap() < 1e-10, "wet={wv} spr={sv}");
+            assert!(
+                got.max_abs_diff(&exact).unwrap() < 1e-10,
+                "wet={wv} spr={sv}"
+            );
         }
     }
 
@@ -593,6 +1042,14 @@ mod tests {
         for (a, b) in from_family.values().iter().zip(direct.iter()) {
             assert!((a - b).abs() < 1e-10);
         }
+        // The workspace view agrees.
+        let mut ws = jt.make_workspace();
+        let view = jt.propagate_in(&mut ws, &Evidence::new()).unwrap();
+        let fam_view = view.family_marginal(wet).unwrap();
+        assert_eq!(fam_view.scope(), fam.scope());
+        for (a, b) in fam_view.values().iter().zip(fam.values()) {
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -625,6 +1082,13 @@ mod tests {
         let mut e = Evidence::new();
         e.observe(c, 1);
         assert!(matches!(jt.propagate(&e), Err(Error::ImpossibleEvidence)));
+        // A workspace survives a failed propagation and can be reused.
+        let mut ws = jt.make_workspace();
+        assert!(jt.propagate_in(&mut ws, &e).is_err());
+        assert!(!ws.is_calibrated());
+        let ok = jt.propagate_in(&mut ws, &Evidence::new()).unwrap();
+        assert!((ok.posterior(a).unwrap()[0] - 1.0).abs() < 1e-12);
+        assert!(ws.is_calibrated());
     }
 
     #[test]
@@ -640,7 +1104,10 @@ mod tests {
         e.observe(c, 1);
         let cal = jt.propagate(&e).unwrap();
         let pa = cal.posterior(a).unwrap();
-        assert!((pa[1] - 0.75).abs() < 1e-10, "independent evidence must not leak");
+        assert!(
+            (pa[1] - 0.75).abs() < 1e-10,
+            "independent evidence must not leak"
+        );
         assert!((cal.log_likelihood() - 0.1f64.ln()).abs() < 1e-10);
     }
 
@@ -650,7 +1117,9 @@ mod tests {
         let mut jt = JunctionTree::compile(&net).unwrap();
         let mut altered = net.clone();
         let rain = altered.var("rain").unwrap();
-        altered.set_cpt_values(rain, vec![0.5, 0.5, 0.5, 0.5]).unwrap();
+        altered
+            .set_cpt_values(rain, vec![0.5, 0.5, 0.5, 0.5])
+            .unwrap();
         assert!(jt.update_parameters(&altered).is_ok());
         let got = jt.posteriors(&Evidence::new()).unwrap();
         let exact = enumerate_posteriors(&altered, &Evidence::new()).unwrap();
@@ -663,8 +1132,7 @@ mod tests {
         assert!(jt.update_parameters(&other).is_err());
     }
 
-    #[test]
-    fn bigger_random_network_agrees_with_ve() {
+    fn seven_var_net() -> Network {
         // A 7-variable layered DAG exercises multi-clique trees.
         let mut b = NetworkBuilder::new();
         let v0 = b.variable("v0", ["0", "1"]).unwrap();
@@ -677,20 +1145,43 @@ mod tests {
         b.prior(v0, [0.4, 0.6]).unwrap();
         b.prior(v1, [0.2, 0.5, 0.3]).unwrap();
         b.cpt(v2, [v0], [[0.7, 0.3], [0.1, 0.9]]).unwrap();
-        b.cpt(v3, [v0, v1], [
-            [0.5, 0.5], [0.4, 0.6], [0.3, 0.7],
-            [0.2, 0.8], [0.6, 0.4], [0.9, 0.1],
-        ])
+        b.cpt(
+            v3,
+            [v0, v1],
+            [
+                [0.5, 0.5],
+                [0.4, 0.6],
+                [0.3, 0.7],
+                [0.2, 0.8],
+                [0.6, 0.4],
+                [0.9, 0.1],
+            ],
+        )
         .unwrap();
         b.cpt(v4, [v2], [[0.25, 0.75], [0.85, 0.15]]).unwrap();
-        b.cpt(v5, [v3], [[0.1, 0.6, 0.3], [0.5, 0.25, 0.25]]).unwrap();
-        b.cpt(v6, [v4, v5], [
-            [0.9, 0.1], [0.8, 0.2], [0.7, 0.3],
-            [0.4, 0.6], [0.3, 0.7], [0.05, 0.95],
-        ])
+        b.cpt(v5, [v3], [[0.1, 0.6, 0.3], [0.5, 0.25, 0.25]])
+            .unwrap();
+        b.cpt(
+            v6,
+            [v4, v5],
+            [
+                [0.9, 0.1],
+                [0.8, 0.2],
+                [0.7, 0.3],
+                [0.4, 0.6],
+                [0.3, 0.7],
+                [0.05, 0.95],
+            ],
+        )
         .unwrap();
-        let net = b.build().unwrap();
+        b.build().unwrap()
+    }
 
+    #[test]
+    fn bigger_random_network_agrees_with_ve() {
+        let net = seven_var_net();
+        let v1 = net.var("v1").unwrap();
+        let v6 = net.var("v6").unwrap();
         let jt = JunctionTree::compile(&net).unwrap();
         let ve = crate::VariableElimination::new(&net);
         let mut e = Evidence::new();
@@ -700,5 +1191,124 @@ mod tests {
         assert!(got.max_abs_diff(&expect).unwrap() < 1e-9);
         let cal = jt.propagate(&e).unwrap();
         assert!((cal.log_likelihood() - ve.log_likelihood(&e).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compiled_propagation_matches_baseline() {
+        let net = seven_var_net();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let v0 = net.var("v0").unwrap();
+        let v5 = net.var("v5").unwrap();
+        let v6 = net.var("v6").unwrap();
+        let mut evidences = vec![Evidence::new()];
+        for s6 in 0..2 {
+            let mut e = Evidence::new();
+            e.observe(v6, s6);
+            evidences.push(e.clone());
+            e.observe(v0, 1);
+            evidences.push(e);
+        }
+        let mut soft = Evidence::new();
+        soft.observe_likelihood(v5, vec![0.2, 1.0, 0.5]);
+        evidences.push(soft);
+        let mut ws = jt.make_workspace();
+        for e in &evidences {
+            let baseline = jt.propagate_baseline(e).unwrap();
+            let compiled = jt.propagate_in(&mut ws, e).unwrap();
+            assert!(
+                (baseline.log_likelihood() - compiled.log_likelihood()).abs() < 1e-12,
+                "log-likelihood drift"
+            );
+            let a = baseline.all_posteriors().unwrap();
+            let b = compiled.all_posteriors().unwrap();
+            assert!(a.max_abs_diff(&b).unwrap() < 1e-12, "posterior drift");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_stable_across_evidence_changes() {
+        let net = seven_var_net();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let v6 = net.var("v6").unwrap();
+        let mut ws = jt.make_workspace();
+        // Interleave different evidence sets through one workspace and
+        // compare against fresh-workspace answers.
+        for round in 0..3 {
+            for s in 0..2 {
+                let mut e = Evidence::new();
+                e.observe(v6, s);
+                let reused = jt
+                    .propagate_in(&mut ws, &e)
+                    .unwrap()
+                    .all_posteriors()
+                    .unwrap();
+                let fresh = jt.posteriors(&e).unwrap();
+                assert!(
+                    reused.max_abs_diff(&fresh).unwrap() == 0.0,
+                    "round {round}: reused workspace must be bitwise identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_equals_sequential() {
+        let net = seven_var_net();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let v0 = net.var("v0").unwrap();
+        let v6 = net.var("v6").unwrap();
+        let mut evidences = Vec::new();
+        for i in 0..32 {
+            let mut e = Evidence::new();
+            e.observe(v6, i % 2);
+            if i % 3 == 0 {
+                e.observe(v0, (i / 3) % 2);
+            }
+            evidences.push(e);
+        }
+        let batch = jt.posteriors_batch(&evidences);
+        assert_eq!(batch.len(), evidences.len());
+        for (e, got) in evidences.iter().zip(&batch) {
+            let sequential = jt.posteriors(e).unwrap();
+            let got = got.as_ref().expect("evidence is satisfiable");
+            assert!(
+                got.max_abs_diff(&sequential).unwrap() == 0.0,
+                "batch must be exact"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_workspace_is_rejected_not_panicking() {
+        let jt_small = JunctionTree::compile(&sprinkler()).unwrap();
+        let jt_big = JunctionTree::compile(&seven_var_net()).unwrap();
+        let mut ws_small = jt_small.make_workspace();
+        let err = jt_big.propagate_in(&mut ws_small, &Evidence::new());
+        assert!(
+            matches!(err, Err(Error::ShapeMismatch { .. })),
+            "foreign workspace must be rejected cleanly, got {err:?}"
+        );
+        // The workspace still works with its own tree afterwards.
+        assert!(jt_small
+            .propagate_in(&mut ws_small, &Evidence::new())
+            .is_ok());
+    }
+
+    #[test]
+    fn batch_isolates_impossible_boards() {
+        let mut b = NetworkBuilder::new();
+        let a = b.variable("a", ["0", "1"]).unwrap();
+        let c = b.variable("c", ["0", "1"]).unwrap();
+        b.prior(a, [1.0, 0.0]).unwrap();
+        b.cpt(c, [a], [[1.0, 0.0], [0.0, 1.0]]).unwrap();
+        let net = b.build().unwrap();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let mut bad = Evidence::new();
+        bad.observe(c, 1);
+        let mut good = Evidence::new();
+        good.observe(c, 0);
+        let results = jt.posteriors_batch(&[good, bad]);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(Error::ImpossibleEvidence));
     }
 }

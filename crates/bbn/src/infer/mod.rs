@@ -10,10 +10,10 @@ mod jointree;
 mod sampling;
 
 pub use elimination::VariableElimination;
-pub use jointree::{CalibratedTree, JunctionTree, JunctionTreeStats};
-pub use sampling::{
-    forward_sample, forward_sample_cases, likelihood_weighting, GibbsSampler,
+pub use jointree::{
+    CalibratedTree, CalibratedView, JunctionTree, JunctionTreeStats, PropagationWorkspace,
 };
+pub use sampling::{forward_sample, forward_sample_cases, likelihood_weighting, GibbsSampler};
 
 use crate::error::{Error, Result};
 use crate::network::{Network, VarId};
@@ -85,7 +85,10 @@ impl Posteriors {
         let mut worst = 0.0f64;
         for (a, b) in self.marginals.iter().zip(&other.marginals) {
             if a.len() != b.len() {
-                return Err(Error::ShapeMismatch { expected: a.len(), actual: b.len() });
+                return Err(Error::ShapeMismatch {
+                    expected: a.len(),
+                    actual: b.len(),
+                });
             }
             for (x, y) in a.iter().zip(b) {
                 worst = worst.max((x - y).abs());
@@ -98,10 +101,7 @@ impl Posteriors {
 /// Exhaustive-enumeration posterior computation. Exponential in the number
 /// of variables; used as the ground-truth oracle in tests and property
 /// tests, never in production paths.
-pub fn enumerate_posteriors(
-    net: &Network,
-    evidence: &crate::Evidence,
-) -> Result<Posteriors> {
+pub fn enumerate_posteriors(net: &Network, evidence: &crate::Evidence) -> Result<Posteriors> {
     evidence.validate(net)?;
     let n = net.var_count();
     let cards: Vec<usize> = net.variables().map(|v| net.card(v)).collect();
@@ -215,7 +215,10 @@ mod tests {
         let net = b.build().unwrap();
         let mut e = Evidence::new();
         e.observe(c, 1); // requires a=1 which has zero prior
-        assert_eq!(enumerate_posteriors(&net, &e), Err(Error::ImpossibleEvidence));
+        assert_eq!(
+            enumerate_posteriors(&net, &e),
+            Err(Error::ImpossibleEvidence)
+        );
     }
 
     #[test]

@@ -15,8 +15,11 @@ use rand::Rng;
 pub fn forward_sample<R: Rng + ?Sized>(net: &Network, rng: &mut R) -> Vec<usize> {
     let mut assignment = vec![usize::MAX; net.var_count()];
     for &var in net.topological_order() {
-        let parent_states: Vec<usize> =
-            net.parents(var).iter().map(|p| assignment[p.index()]).collect();
+        let parent_states: Vec<usize> = net
+            .parents(var)
+            .iter()
+            .map(|p| assignment[p.index()])
+            .collect();
         let row = net
             .cpt_row(var, &parent_states)
             .expect("topological order guarantees sampled parents");
@@ -57,8 +60,11 @@ pub fn likelihood_weighting<R: Rng + ?Sized>(
     for _ in 0..n {
         let mut weight = 1.0f64;
         for &var in net.topological_order() {
-            let parent_states: Vec<usize> =
-                net.parents(var).iter().map(|p| assignment[p.index()]).collect();
+            let parent_states: Vec<usize> = net
+                .parents(var)
+                .iter()
+                .map(|p| assignment[p.index()])
+                .collect();
             let row = net.cpt_row(var, &parent_states)?;
             if let Some(state) = evidence.state_of(var) {
                 assignment[var.index()] = state;
@@ -159,9 +165,16 @@ impl<'a> GibbsSampler<'a> {
                 state[var.index()] = sample_categorical(row, rng);
             }
         }
-        let free: Vec<VarId> =
-            net.variables().filter(|v| evidence.state_of(*v).is_none()).collect();
-        Ok(GibbsSampler { net, evidence: evidence.clone(), state, free })
+        let free: Vec<VarId> = net
+            .variables()
+            .filter(|v| evidence.state_of(*v).is_none())
+            .collect();
+        Ok(GibbsSampler {
+            net,
+            evidence: evidence.clone(),
+            state,
+            free,
+        })
     }
 
     /// One full sweep: resample every unobserved variable once.
@@ -292,10 +305,15 @@ mod tests {
         let rain = b.variable("rain", ["n", "y"]).unwrap();
         let wet = b.variable("wet", ["n", "y"]).unwrap();
         b.prior(cloudy, [0.5, 0.5]).unwrap();
-        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]]).unwrap();
-        b.cpt(rain, [cloudy], [[0.8, 0.2], [0.2, 0.8]]).unwrap();
-        b.cpt(wet, [sprinkler, rain], [[1.0, 0.0], [0.1, 0.9], [0.1, 0.9], [0.01, 0.99]])
+        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]])
             .unwrap();
+        b.cpt(rain, [cloudy], [[0.8, 0.2], [0.2, 0.8]]).unwrap();
+        b.cpt(
+            wet,
+            [sprinkler, rain],
+            [[1.0, 0.0], [0.1, 0.9], [0.1, 0.9], [0.01, 0.99]],
+        )
+        .unwrap();
         b.build().unwrap()
     }
 

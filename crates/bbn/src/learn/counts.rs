@@ -21,7 +21,10 @@ pub struct Case {
 
 impl Default for Case {
     fn default() -> Self {
-        Case { assignment: BTreeMap::new(), weight: 1.0 }
+        Case {
+            assignment: BTreeMap::new(),
+            weight: 1.0,
+        }
     }
 }
 
@@ -33,7 +36,10 @@ impl Case {
 
     /// Builds a case from `(variable, state)` pairs with unit weight.
     pub fn from_pairs<I: IntoIterator<Item = (VarId, usize)>>(pairs: I) -> Self {
-        Case { assignment: pairs.into_iter().collect(), weight: 1.0 }
+        Case {
+            assignment: pairs.into_iter().collect(),
+            weight: 1.0,
+        }
     }
 
     /// Builds a complete case from a full assignment vector.
@@ -116,7 +122,10 @@ impl DirichletPrior {
     /// No prior at all (maximum-likelihood estimation).
     pub fn zero(net: &Network) -> Self {
         DirichletPrior {
-            pseudo: net.variables().map(|v| vec![0.0; net.cpt(v).len()]).collect(),
+            pseudo: net
+                .variables()
+                .map(|v| vec![0.0; net.cpt(v).len()])
+                .collect(),
         }
     }
 
@@ -124,7 +133,10 @@ impl DirichletPrior {
     /// `alpha = 1`).
     pub fn uniform(net: &Network, alpha: f64) -> Self {
         DirichletPrior {
-            pseudo: net.variables().map(|v| vec![alpha; net.cpt(v).len()]).collect(),
+            pseudo: net
+                .variables()
+                .map(|v| vec![alpha; net.cpt(v).len()])
+                .collect(),
         }
     }
 
@@ -135,7 +147,12 @@ impl DirichletPrior {
         DirichletPrior {
             pseudo: net
                 .variables()
-                .map(|v| net.cpt(v).iter().map(|p| p * equivalent_sample_size).collect())
+                .map(|v| {
+                    net.cpt(v)
+                        .iter()
+                        .map(|p| p * equivalent_sample_size)
+                        .collect()
+                })
                 .collect(),
         }
     }
@@ -195,7 +212,10 @@ impl SuffStats {
     /// Zeroed statistics shaped like `net`'s CPTs.
     pub fn new(net: &Network) -> Self {
         SuffStats {
-            counts: net.variables().map(|v| vec![0.0; net.cpt(v).len()]).collect(),
+            counts: net
+                .variables()
+                .map(|v| vec![0.0; net.cpt(v).len()])
+                .collect(),
             cards: net.variables().map(|v| net.card(v)).collect(),
         }
     }
@@ -205,12 +225,7 @@ impl SuffStats {
     /// # Errors
     ///
     /// Returns [`Error::ShapeMismatch`] on a wrong-length assignment.
-    pub fn add_complete(
-        &mut self,
-        net: &Network,
-        assignment: &[usize],
-        weight: f64,
-    ) -> Result<()> {
+    pub fn add_complete(&mut self, net: &Network, assignment: &[usize], weight: f64) -> Result<()> {
         if assignment.len() != net.var_count() {
             return Err(Error::ShapeMismatch {
                 expected: net.var_count(),
@@ -269,7 +284,10 @@ impl SuffStats {
         }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             if a.len() != b.len() {
-                return Err(Error::ShapeMismatch { expected: a.len(), actual: b.len() });
+                return Err(Error::ShapeMismatch {
+                    expected: a.len(),
+                    actual: b.len(),
+                });
             }
             for (x, y) in a.iter_mut().zip(b) {
                 *x += y;
@@ -302,12 +320,12 @@ impl SuffStats {
                         .map(|(c, a)| c + a)
                         .sum();
                     if total > 0.0 {
-                        for k in lo..hi {
-                            out[k] = (table[k] + pseudo[k]) / total;
+                        for (k, slot) in out[lo..hi].iter_mut().enumerate() {
+                            *slot = (table[lo + k] + pseudo[lo + k]) / total;
                         }
                     } else {
-                        for k in lo..hi {
-                            out[k] = 1.0 / card as f64;
+                        for slot in out[lo..hi].iter_mut() {
+                            *slot = 1.0 / card as f64;
                         }
                     }
                 }
@@ -404,8 +422,7 @@ mod tests {
         let a = net.var("a").unwrap();
         let c = net.var("c").unwrap();
         // 3 of 4 cases have a=1; given a=1, c=1 twice of three.
-        let cases =
-            vec![vec![1, 1], vec![1, 1], vec![1, 0], vec![0, 0]];
+        let cases = vec![vec![1, 1], vec![1, 1], vec![1, 0], vec![0, 0]];
         let fitted = fit_complete(&net, &cases, &DirichletPrior::zero(&net)).unwrap();
         assert!((fitted.cpt(a)[1] - 0.75).abs() < 1e-12);
         let row_a1 = fitted.cpt_row(c, &[1]).unwrap();

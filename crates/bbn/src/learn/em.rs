@@ -22,7 +22,10 @@ pub struct EmConfig {
 
 impl Default for EmConfig {
     fn default() -> Self {
-        EmConfig { max_iterations: 100, tolerance: 1e-5 }
+        EmConfig {
+            max_iterations: 100,
+            tolerance: 1e-5,
+        }
     }
 }
 
@@ -52,17 +55,17 @@ pub struct EmOutcome {
 ///
 /// Propagates propagation and shape errors other than
 /// [`Error::ImpossibleEvidence`], which is converted into a skip.
-pub fn expected_statistics(
-    jt: &JunctionTree,
-    cases: &[Case],
-) -> Result<(SuffStats, f64, usize)> {
+pub fn expected_statistics(jt: &JunctionTree, cases: &[Case]) -> Result<(SuffStats, f64, usize)> {
     let net = jt.network();
     let mut stats = SuffStats::new(net);
     let mut log_likelihood = 0.0;
     let mut skipped = 0usize;
+    // One workspace reused across every case: the per-case cost is pure
+    // table arithmetic over the compiled schedule, no allocation.
+    let mut ws = jt.make_workspace();
     for case in cases {
         let evidence = case.to_evidence();
-        let calibrated = match jt.propagate(&evidence) {
+        let calibrated = match jt.propagate_in(&mut ws, &evidence) {
             Ok(c) => c,
             Err(Error::ImpossibleEvidence) => {
                 skipped += 1;
@@ -190,8 +193,7 @@ mod tests {
                 .cpt(v)
                 .chunks(card)
                 .flat_map(|row| {
-                    let mixed: Vec<f64> =
-                        row.iter().map(|p| 0.5 * p + 0.5 / card as f64).collect();
+                    let mixed: Vec<f64> = row.iter().map(|p| 0.5 * p + 0.5 / card as f64).collect();
                     mixed
                 })
                 .collect();
@@ -223,7 +225,10 @@ mod tests {
             &start,
             &cases,
             &DirichletPrior::zero(&start),
-            &EmConfig { max_iterations: 40, tolerance: 1e-9 },
+            &EmConfig {
+                max_iterations: 40,
+                tolerance: 1e-9,
+            },
         )
         .unwrap();
         for pair in out.log_likelihood_trace.windows(2) {
@@ -242,18 +247,19 @@ mod tests {
         let truth = hidden_chain();
         let mut rng = StdRng::seed_from_u64(33);
         let samples = forward_sample_cases(&truth, 300, &mut rng);
-        let cases: Vec<Case> =
-            samples.iter().map(|s| Case::from_complete(s)).collect();
+        let cases: Vec<Case> = samples.iter().map(|s| Case::from_complete(s)).collect();
         let prior = DirichletPrior::uniform(&truth, 1.0);
         let em = fit_em(
             &truth,
             &cases,
             &prior,
-            &EmConfig { max_iterations: 3, tolerance: 1e-12 },
+            &EmConfig {
+                max_iterations: 3,
+                tolerance: 1e-12,
+            },
         )
         .unwrap();
-        let counted =
-            crate::learn::fit_complete(&truth, &samples, &prior).unwrap();
+        let counted = crate::learn::fit_complete(&truth, &samples, &prior).unwrap();
         for v in truth.variables() {
             for (a, b) in em.network.cpt(v).iter().zip(counted.cpt(v)) {
                 assert!((a - b).abs() < 1e-9, "var {v}: {a} vs {b}");
@@ -273,16 +279,17 @@ mod tests {
         let obs2 = truth.var("obs2").unwrap();
         let cases: Vec<Case> = samples
             .iter()
-            .map(|s| {
-                Case::from_pairs([(obs1, s[obs1.index()]), (obs2, s[obs2.index()])])
-            })
+            .map(|s| Case::from_pairs([(obs1, s[obs1.index()]), (obs2, s[obs2.index()])]))
             .collect();
         let start = perturbed(&truth);
         let out = fit_em(
             &start,
             &cases,
             &DirichletPrior::uniform(&start, 0.1),
-            &EmConfig { max_iterations: 200, tolerance: 1e-10 },
+            &EmConfig {
+                max_iterations: 200,
+                tolerance: 1e-10,
+            },
         )
         .unwrap();
         // Compare fitted P(obs1, obs2) with the empirical joint.
@@ -297,13 +304,12 @@ mod tests {
         for s in &samples {
             empirical[s[obs1.index()]][s[obs2.index()]] += 1.0 / samples.len() as f64;
         }
-        for i in 0..2 {
-            for j in 0..2 {
+        for (i, row) in empirical.iter().enumerate() {
+            for (j, expect) in row.iter().enumerate() {
                 let fitted = joint.values()[joint.index_of(&[i, j]).unwrap()];
                 assert!(
-                    (fitted - empirical[i][j]).abs() < 0.02,
-                    "P(obs1={i}, obs2={j}): fitted {fitted} vs empirical {}",
-                    empirical[i][j]
+                    (fitted - expect).abs() < 0.02,
+                    "P(obs1={i}, obs2={j}): fitted {fitted} vs empirical {expect}"
                 );
             }
         }
@@ -337,7 +343,10 @@ mod tests {
             &net,
             &cases,
             &DirichletPrior::zero(&net),
-            &EmConfig { max_iterations: 2, tolerance: 1e-9 },
+            &EmConfig {
+                max_iterations: 2,
+                tolerance: 1e-9,
+            },
         )
         .unwrap();
         assert_eq!(out.skipped_cases, 1);

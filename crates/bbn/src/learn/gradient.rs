@@ -135,8 +135,11 @@ fn objective_and_gradient(
         for r in 0..counts.len() / card {
             let lo = r * card;
             let hi = lo + card;
-            let total: f64 =
-                counts[lo..hi].iter().zip(&pseudo[lo..hi]).map(|(c, a)| c + a).sum();
+            let total: f64 = counts[lo..hi]
+                .iter()
+                .zip(&pseudo[lo..hi])
+                .map(|(c, a)| c + a)
+                .sum();
             for k in lo..hi {
                 g[k] = (counts[k] + pseudo[k]) - total * theta[k];
             }
@@ -197,8 +200,7 @@ pub fn fit_conjugate_gradient(
             trial_params.axpy(step, used_dir);
             let mut trial_net = current.clone();
             trial_params.install(&mut trial_net)?;
-            let (trial_obj, trial_grad) =
-                objective_and_gradient(&trial_net, cases, prior)?;
+            let (trial_obj, trial_grad) = objective_and_gradient(&trial_net, cases, prior)?;
             if trial_obj >= objective + config.armijo * step * g_dot_d {
                 accepted = Some((trial_params, trial_net, trial_obj, trial_grad));
                 break;
@@ -239,7 +241,12 @@ pub fn fit_conjugate_gradient(
         }
     }
 
-    Ok(CgOutcome { network: current, objective_trace: trace, iterations, converged })
+    Ok(CgOutcome {
+        network: current,
+        objective_trace: trace,
+        iterations,
+        converged,
+    })
 }
 
 #[cfg(test)]
@@ -270,7 +277,9 @@ mod tests {
             .iter()
             .map(|s| {
                 Case::from_pairs(
-                    net.variables().filter(|v| *v != hidden).map(|v| (v, s[v.index()])),
+                    net.variables()
+                        .filter(|v| *v != hidden)
+                        .map(|v| (v, s[v.index()])),
                 )
             })
             .collect()
@@ -284,7 +293,10 @@ mod tests {
             &net,
             &cases,
             &DirichletPrior::uniform(&net, 0.5),
-            &CgConfig { max_iterations: 25, ..CgConfig::default() },
+            &CgConfig {
+                max_iterations: 25,
+                ..CgConfig::default()
+            },
         )
         .unwrap();
         for pair in out.objective_trace.windows(2) {
@@ -302,14 +314,21 @@ mod tests {
             &net,
             &cases,
             &prior,
-            &EmConfig { max_iterations: 200, tolerance: 1e-10 },
+            &EmConfig {
+                max_iterations: 200,
+                tolerance: 1e-10,
+            },
         )
         .unwrap();
         let cg = fit_conjugate_gradient(
             &net,
             &cases,
             &prior,
-            &CgConfig { max_iterations: 200, tolerance: 1e-10, ..CgConfig::default() },
+            &CgConfig {
+                max_iterations: 200,
+                tolerance: 1e-10,
+                ..CgConfig::default()
+            },
         )
         .unwrap();
         let jt_em = JunctionTree::compile(&em.network).unwrap();
@@ -327,12 +346,7 @@ mod tests {
     fn cg_rejects_empty_cases() {
         let net = hidden_chain();
         assert!(matches!(
-            fit_conjugate_gradient(
-                &net,
-                &[],
-                &DirichletPrior::zero(&net),
-                &CgConfig::default()
-            ),
+            fit_conjugate_gradient(&net, &[], &DirichletPrior::zero(&net), &CgConfig::default()),
             Err(Error::NoCases)
         ));
     }
@@ -345,7 +359,10 @@ mod tests {
             &net,
             &cases,
             &DirichletPrior::uniform(&net, 1.0),
-            &CgConfig { max_iterations: 10, ..CgConfig::default() },
+            &CgConfig {
+                max_iterations: 10,
+                ..CgConfig::default()
+            },
         )
         .unwrap();
         for v in out.network.variables() {

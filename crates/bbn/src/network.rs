@@ -8,9 +8,7 @@ use std::fmt;
 
 /// Opaque handle to a network variable (a *model variable* in the paper's
 /// terminology — one per functional block or stimulus pin).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct VarId(u32);
 
 impl VarId {
@@ -94,11 +92,19 @@ impl NetworkBuilder {
         }
         let states: Vec<String> = states.into_iter().map(Into::into).collect();
         if states.len() < 2 {
-            return Err(Error::TooFewStates { variable: name, states: states.len() });
+            return Err(Error::TooFewStates {
+                variable: name,
+                states: states.len(),
+            });
         }
         let id = VarId(self.nodes.len() as u32);
         self.by_name.insert(name.clone(), id);
-        self.nodes.push(Node { name, states, parents: Vec::new(), cpt: Vec::new() });
+        self.nodes.push(Node {
+            name,
+            states,
+            parents: Vec::new(),
+            cpt: Vec::new(),
+        });
         self.cpt_set.push(false);
         Ok(id)
     }
@@ -164,8 +170,10 @@ impl NetworkBuilder {
             }
         }
         let card = self.nodes[var.index()].states.len();
-        let configs: usize =
-            parents.iter().map(|p| self.nodes[p.index()].states.len()).product();
+        let configs: usize = parents
+            .iter()
+            .map(|p| self.nodes[p.index()].states.len())
+            .product();
         validate_cpt(&self.nodes[var.index()].name, card, configs, &values)?;
         let node = &mut self.nodes[var.index()];
         node.parents = parents;
@@ -246,7 +254,12 @@ impl Network {
                 .unwrap_or_default();
             return Err(Error::CycleDetected(stuck));
         }
-        Ok(Network { nodes, by_name, children, topo })
+        Ok(Network {
+            nodes,
+            by_name,
+            children,
+            topo,
+        })
     }
 
     /// Number of variables.
@@ -270,7 +283,8 @@ impl Network {
     ///
     /// Returns [`Error::UnknownVariable`].
     pub fn require_var(&self, name: &str) -> Result<VarId> {
-        self.var(name).ok_or_else(|| Error::UnknownVariable(name.into()))
+        self.var(name)
+            .ok_or_else(|| Error::UnknownVariable(name.into()))
     }
 
     fn node(&self, var: VarId) -> &Node {
@@ -333,7 +347,11 @@ impl Network {
 
     /// Number of parent configurations of `var`.
     pub fn parent_configs(&self, var: VarId) -> usize {
-        self.node(var).parents.iter().map(|p| self.card(*p)).product()
+        self.node(var)
+            .parents
+            .iter()
+            .map(|p| self.card(*p))
+            .product()
     }
 
     /// The CPT row (distribution over `var`'s states) for a parent
@@ -414,8 +432,11 @@ impl Network {
         }
         let mut p = 1.0;
         for v in self.variables() {
-            let parent_states: Vec<usize> =
-                self.parents(v).iter().map(|p| assignment[p.index()]).collect();
+            let parent_states: Vec<usize> = self
+                .parents(v)
+                .iter()
+                .map(|p| assignment[p.index()])
+                .collect();
             let row = self.cpt_row(v, &parent_states)?;
             let s = assignment[v.index()];
             if s >= row.len() {
@@ -437,7 +458,11 @@ impl Network {
         }
         for v in self.variables() {
             for p in self.parents(v) {
-                out.push_str(&format!("  \"{}\" -> \"{}\";\n", self.name(*p), self.name(v)));
+                out.push_str(&format!(
+                    "  \"{}\" -> \"{}\";\n",
+                    self.name(*p),
+                    self.name(v)
+                ));
             }
         }
         out.push_str("}\n");
@@ -467,8 +492,11 @@ impl Network {
             if by_name.insert(node.name.clone(), VarId(i as u32)).is_some() {
                 return Err(Error::DuplicateVariable(node.name.clone()));
             }
-            let configs: usize =
-                node.parents.iter().map(|p| raw.nodes[p.index()].states.len()).product();
+            let configs: usize = node
+                .parents
+                .iter()
+                .map(|p| raw.nodes[p.index()].states.len())
+                .product();
             validate_cpt(&node.name, node.states.len(), configs, &node.cpt)?;
         }
         Network::from_nodes(raw.nodes, by_name)
@@ -518,7 +546,8 @@ mod tests {
         let rain = b.variable("rain", ["no", "yes"]).unwrap();
         let wet = b.variable("wet", ["dry", "wet"]).unwrap();
         b.prior(cloudy, [0.5, 0.5]).unwrap();
-        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]]).unwrap();
+        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]])
+            .unwrap();
         b.cpt(rain, [cloudy], [[0.8, 0.2], [0.2, 0.8]]).unwrap();
         b.cpt(
             wet,
@@ -548,8 +577,7 @@ mod tests {
     fn children_are_derived() {
         let net = sprinkler();
         let cloudy = net.var("cloudy").unwrap();
-        let mut kids: Vec<&str> =
-            net.children(cloudy).iter().map(|v| net.name(*v)).collect();
+        let mut kids: Vec<&str> = net.children(cloudy).iter().map(|v| net.name(*v)).collect();
         kids.sort_unstable();
         assert_eq!(kids, vec!["rain", "sprinkler"]);
     }
@@ -558,9 +586,7 @@ mod tests {
     fn topological_order_respects_edges() {
         let net = sprinkler();
         let order = net.topological_order();
-        let pos = |name: &str| {
-            order.iter().position(|v| net.name(*v) == name).unwrap()
-        };
+        let pos = |name: &str| order.iter().position(|v| net.name(*v) == name).unwrap();
         assert!(pos("cloudy") < pos("sprinkler"));
         assert!(pos("cloudy") < pos("rain"));
         assert!(pos("sprinkler") < pos("wet"));
@@ -571,7 +597,10 @@ mod tests {
     fn rejects_duplicate_and_single_state() {
         let mut b = NetworkBuilder::new();
         b.variable("x", ["a", "b"]).unwrap();
-        assert!(matches!(b.variable("x", ["a", "b"]), Err(Error::DuplicateVariable(_))));
+        assert!(matches!(
+            b.variable("x", ["a", "b"]),
+            Err(Error::DuplicateVariable(_))
+        ));
         assert!(matches!(
             b.variable("y", ["only"]),
             Err(Error::TooFewStates { .. })

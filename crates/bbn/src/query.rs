@@ -1,11 +1,45 @@
-//! Most-probable-explanation (MPE) and maximum-a-posteriori (MAP) queries.
+//! Most-probable-explanation (MPE) and maximum-a-posteriori (MAP) queries,
+//! plus the batch posterior entry point used by the serving layers.
 
 use crate::error::{Error, Result};
 use crate::evidence::Evidence;
 use crate::factor::Factor;
 use crate::graph::{elimination_order, OrderingHeuristic, UndirectedGraph};
-use crate::infer::VariableElimination;
+use crate::infer::{JunctionTree, Posteriors, VariableElimination};
 use crate::network::{Network, VarId};
+
+/// Runs many independent evidence sets (one per board under test) against
+/// one compiled junction tree, in parallel, with per-thread reusable
+/// buffers. Results come back in input order and each board fails or
+/// succeeds independently — exactly the semantics of
+/// [`JunctionTree::posteriors_batch`], re-exported here as the query-layer
+/// entry point the diagnosis stack (`abbd-core`, `abbd-designs`) builds on.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), abbd_bbn::Error> {
+/// use abbd_bbn::{query_batch, Evidence, JunctionTree, NetworkBuilder};
+///
+/// let mut b = NetworkBuilder::new();
+/// let x = b.variable("x", ["0", "1"])?;
+/// let y = b.variable("y", ["0", "1"])?;
+/// b.prior(x, [0.6, 0.4])?;
+/// b.cpt(y, [x], [[0.9, 0.1], [0.2, 0.8]])?;
+/// let jt = JunctionTree::compile(&b.build()?)?;
+///
+/// let boards: Vec<Evidence> = (0..2)
+///     .map(|s| { let mut e = Evidence::new(); e.observe(y, s); e })
+///     .collect();
+/// let posteriors = query_batch(&jt, &boards);
+/// assert_eq!(posteriors.len(), 2);
+/// assert!(posteriors.iter().all(Result::is_ok));
+/// # Ok(())
+/// # }
+/// ```
+pub fn query_batch(tree: &JunctionTree, evidences: &[Evidence]) -> Vec<Result<Posteriors>> {
+    tree.posteriors_batch(evidences)
+}
 
 /// The outcome of an MPE query: a complete assignment plus its log joint
 /// probability together with the evidence.
@@ -114,7 +148,11 @@ pub fn most_probable_explanation(net: &Network, evidence: &Evidence) -> Result<E
     for f in &factors {
         remaining = remaining.product(f);
     }
-    let best = remaining.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let best = remaining
+        .values()
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     if best <= 0.0 {
         return Err(Error::ImpossibleEvidence);
     }
@@ -137,8 +175,11 @@ pub fn most_probable_explanation(net: &Network, evidence: &Evidence) -> Result<E
     // their CPT argmax given already-assigned parents.
     for &var in net.topological_order() {
         if assignment[var.index()] == usize::MAX {
-            let parent_states: Vec<usize> =
-                net.parents(var).iter().map(|p| assignment[p.index()]).collect();
+            let parent_states: Vec<usize> = net
+                .parents(var)
+                .iter()
+                .map(|p| assignment[p.index()])
+                .collect();
             let row = net.cpt_row(var, &parent_states)?;
             let s = row
                 .iter()
@@ -150,7 +191,10 @@ pub fn most_probable_explanation(net: &Network, evidence: &Evidence) -> Result<E
         }
     }
 
-    Ok(Explanation { assignment, log_probability: best.ln() })
+    Ok(Explanation {
+        assignment,
+        log_probability: best.ln(),
+    })
 }
 
 /// Exact MAP over a small set of `targets`: marginalises everything else
@@ -191,10 +235,15 @@ mod tests {
         let rain = b.variable("rain", ["n", "y"]).unwrap();
         let wet = b.variable("wet", ["n", "y"]).unwrap();
         b.prior(cloudy, [0.5, 0.5]).unwrap();
-        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]]).unwrap();
-        b.cpt(rain, [cloudy], [[0.8, 0.2], [0.2, 0.8]]).unwrap();
-        b.cpt(wet, [sprinkler, rain], [[1.0, 0.0], [0.1, 0.9], [0.1, 0.9], [0.01, 0.99]])
+        b.cpt(sprinkler, [cloudy], [[0.5, 0.5], [0.9, 0.1]])
             .unwrap();
+        b.cpt(rain, [cloudy], [[0.8, 0.2], [0.2, 0.8]]).unwrap();
+        b.cpt(
+            wet,
+            [sprinkler, rain],
+            [[1.0, 0.0], [0.1, 0.9], [0.1, 0.9], [0.01, 0.99]],
+        )
+        .unwrap();
         b.build().unwrap()
     }
 

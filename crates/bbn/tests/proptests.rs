@@ -4,8 +4,8 @@
 
 use abbd_bbn::learn::{fit_complete, fit_em, Case, DirichletPrior, EmConfig};
 use abbd_bbn::{
-    enumerate_posteriors, forward_sample_cases, most_probable_explanation, Evidence,
-    Factor, JunctionTree, Network, NetworkBuilder, VarId, VariableElimination,
+    enumerate_posteriors, forward_sample_cases, most_probable_explanation, Evidence, Factor,
+    JunctionTree, Network, NetworkBuilder, VarId, VariableElimination,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -41,8 +41,7 @@ fn build_net(recipe: &NetRecipe) -> Network {
     let mut b = NetworkBuilder::new();
     let vars: Vec<VarId> = (0..n)
         .map(|i| {
-            let labels: Vec<String> =
-                (0..recipe.cards[i]).map(|s| format!("s{s}")).collect();
+            let labels: Vec<String> = (0..recipe.cards[i]).map(|s| format!("s{s}")).collect();
             b.variable(format!("x{i}"), labels).unwrap()
         })
         .collect();
@@ -50,9 +49,9 @@ fn build_net(recipe: &NetRecipe) -> Network {
     let mut edge_iter = recipe.edges.iter().copied();
     for j in 0..n {
         let mut parents = Vec::new();
-        for i in 0..j {
+        for &candidate in vars.iter().take(j) {
             if edge_iter.next().unwrap_or(false) && parents.len() < 3 {
-                parents.push(vars[i]);
+                parents.push(candidate);
             }
         }
         let configs: usize = parents.iter().map(|p| recipe.cards[p.index()]).product();
@@ -220,6 +219,113 @@ proptest! {
         .unwrap();
         for w in out.log_likelihood_trace.windows(2) {
             prop_assert!(w[1] >= w[0] - 1e-6, "EM decreased: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn compiled_propagation_matches_baseline_and_batch_matches_sequential(
+        recipe in net_recipe(6),
+        seed in 0u64..1000,
+    ) {
+        let net = build_net(&recipe);
+        let jt = JunctionTree::compile(&net).unwrap();
+        let evidences: Vec<Evidence> =
+            (0..6).map(|k| pick_evidence(&net, seed.wrapping_add(k))).collect();
+        // Compiled-schedule propagation through one reused workspace is
+        // bitwise-tolerant equivalent (<= 1e-12) to the allocating
+        // clone-and-rebuild reference on every evidence set.
+        let mut ws = jt.make_workspace();
+        for e in &evidences {
+            match (jt.propagate_baseline(e), jt.propagate_in(&mut ws, e)) {
+                (Ok(reference), Ok(compiled)) => {
+                    prop_assert!(
+                        (reference.log_likelihood() - compiled.log_likelihood()).abs()
+                            <= 1e-12
+                    );
+                    let a = reference.all_posteriors().unwrap();
+                    let b = compiled.all_posteriors().unwrap();
+                    prop_assert!(a.max_abs_diff(&b).unwrap() <= 1e-12);
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "paths disagree: {a:?} vs {b:?}"),
+            }
+        }
+        // Batch diagnosis returns exactly the sequential per-board answers.
+        let batch = jt.posteriors_batch(&evidences);
+        prop_assert_eq!(batch.len(), evidences.len());
+        for (e, got) in evidences.iter().zip(batch) {
+            match (jt.posteriors(e), got) {
+                (Ok(seq), Ok(batched)) => {
+                    prop_assert!(seq.max_abs_diff(&batched).unwrap() == 0.0);
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "batch diverges: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_factor_ops_match_allocating(
+        vals_a in proptest::collection::vec(0.0f64..1.0, 12),
+        vals_b in proptest::collection::vec(0.0f64..1.0, 6),
+        vals_c in proptest::collection::vec(0.05f64..1.0, 3),
+    ) {
+        let a = VarId::from_index(0);
+        let b = VarId::from_index(1);
+        let c = VarId::from_index(2);
+        let f = Factor::new(vec![a, b, c], vec![2, 3, 2], vals_a).unwrap();
+        let g = Factor::new(vec![b, c], vec![3, 2], vals_b).unwrap();
+        let h = Factor::new(vec![b], vec![3], vals_c).unwrap();
+
+        // product_into == product, through a reused buffer.
+        let (scope, cards) = f.union_shape(&g);
+        let mut buf = Factor::with_shape(scope, cards).unwrap();
+        f.product_into(&g, &mut buf).unwrap();
+        let reference = f.product(&g);
+        for (x, y) in buf.values().iter().zip(reference.values()) {
+            prop_assert!((x - y).abs() <= 1e-12);
+        }
+
+        // mul_assign == product when the scope is a subset.
+        let mut inplace = f.clone();
+        inplace.mul_assign(&g).unwrap();
+        let reference = f.product(&g);
+        for (x, y) in inplace.values().iter().zip(reference.values()) {
+            prop_assert!((x - y).abs() <= 1e-12);
+        }
+
+        // div_assign == divide (0/0 = 0 convention).
+        let mut inplace = f.clone();
+        inplace.div_assign(&h).unwrap();
+        let reference = f.divide(&h).unwrap();
+        for (x, y) in inplace.values().iter().zip(reference.values()) {
+            prop_assert!((x - y).abs() <= 1e-12);
+        }
+
+        // Fused product_sum_out == product then sum_out, for every variable.
+        for var in [a, b, c] {
+            let fused = f.product_sum_out(&g, var).unwrap();
+            let two_step = f.product(&g).sum_out(var).unwrap();
+            prop_assert_eq!(fused.scope(), two_step.scope());
+            for (x, y) in fused.values().iter().zip(two_step.values()) {
+                prop_assert!((x - y).abs() <= 1e-12);
+            }
+        }
+
+        // N-ary fused bucket == sequential products then sum_out.
+        let fused = Factor::product_all_sum_out(&[&f, &g, &h], b).unwrap();
+        let seq = f.product(&g).product(&h).sum_out(b).unwrap();
+        let seq = seq.reorder(fused.scope()).unwrap();
+        for (x, y) in fused.values().iter().zip(seq.values()) {
+            prop_assert!((x - y).abs() <= 1e-12);
+        }
+
+        // marginalize_into == marginalize_to on a permuted keep set.
+        let mut out = Factor::with_shape(vec![c, a], vec![2, 2]).unwrap();
+        f.marginalize_into(&[c, a], &mut out).unwrap();
+        let reference = f.marginalize_to(&[c, a]).unwrap();
+        for (x, y) in out.values().iter().zip(reference.values()) {
+            prop_assert!((x - y).abs() <= 1e-12);
         }
     }
 

@@ -3,8 +3,7 @@
 //! propagation and likelihood weighting (the Netica-replacement cost).
 
 use abbd_bbn::{
-    likelihood_weighting, Evidence, JunctionTree, Network, NetworkBuilder,
-    VariableElimination,
+    likelihood_weighting, Evidence, JunctionTree, Network, NetworkBuilder, VariableElimination,
 };
 use abbd_designs::regulator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -14,8 +13,7 @@ use std::hint::black_box;
 
 /// The fitted regulator network plus the d1 evidence set.
 fn regulator_setup() -> (Network, Evidence) {
-    let fitted = regulator::fit(30, 2010, regulator::default_algorithm())
-        .expect("pipeline runs");
+    let fitted = regulator::fit(30, 2010, regulator::default_algorithm()).expect("pipeline runs");
     let net = fitted.engine.model().network().clone();
     let case = &regulator::cases::case_studies()[0];
     let evidence = fitted
@@ -60,6 +58,83 @@ fn bench_regulator_inference(c: &mut Criterion) {
     group.finish();
 }
 
+/// The repeated-evidence serving loop: one compiled tree, many queries.
+/// `clone_and_rebuild_baseline` is the seed's allocating propagation
+/// (potentials rebuilt from CPTs with factor products on every call);
+/// `compiled_schedule` is the flat-schedule path through a fresh workspace;
+/// `compiled_reused_workspace` reuses one workspace across queries and is
+/// the zero-allocation configuration batch serving uses.
+fn bench_repeated_evidence(c: &mut Criterion) {
+    let (net, evidence) = regulator_setup();
+    let jt = JunctionTree::compile(&net).unwrap();
+    let mut group = c.benchmark_group("repeated_evidence");
+
+    group.bench_function("clone_and_rebuild_baseline", |b| {
+        b.iter(|| {
+            jt.propagate_baseline(black_box(&evidence))
+                .unwrap()
+                .all_posteriors()
+                .unwrap()
+        })
+    });
+    group.bench_function("compiled_schedule", |b| {
+        b.iter(|| {
+            jt.propagate(black_box(&evidence))
+                .unwrap()
+                .all_posteriors()
+                .unwrap()
+        })
+    });
+    group.bench_function("compiled_reused_workspace", |b| {
+        let mut ws = jt.make_workspace();
+        b.iter(|| {
+            jt.propagate_in(&mut ws, black_box(&evidence))
+                .unwrap()
+                .all_posteriors()
+                .unwrap()
+        })
+    });
+    group.bench_function("compiled_log_likelihood_only", |b| {
+        let mut ws = jt.make_workspace();
+        b.iter(|| {
+            jt.propagate_in(&mut ws, black_box(&evidence))
+                .unwrap()
+                .log_likelihood()
+        })
+    });
+    group.finish();
+}
+
+/// Batch throughput: many independent boards against one compiled tree.
+fn bench_batch_throughput(c: &mut Criterion) {
+    let (net, evidence) = regulator_setup();
+    let jt = JunctionTree::compile(&net).unwrap();
+    let mut group = c.benchmark_group("batch_diagnosis");
+    for n in [16usize, 64, 256] {
+        let boards: Vec<Evidence> = (0..n).map(|_| evidence.clone()).collect();
+        group.bench_with_input(BenchmarkId::new("sequential", n), &boards, |b, boards| {
+            let mut ws = jt.make_workspace();
+            b.iter(|| {
+                boards
+                    .iter()
+                    .map(|e| {
+                        jt.propagate_in(&mut ws, e)
+                            .unwrap()
+                            .all_posteriors()
+                            .unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel_batch", n),
+            &boards,
+            |b, boards| b.iter(|| jt.posteriors_batch(black_box(boards))),
+        );
+    }
+    group.finish();
+}
+
 fn bench_chain_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("chain_posteriors");
     for n in [10usize, 40, 160] {
@@ -79,5 +154,11 @@ fn bench_chain_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_regulator_inference, bench_chain_scaling);
+criterion_group!(
+    benches,
+    bench_regulator_inference,
+    bench_repeated_evidence,
+    bench_batch_throughput,
+    bench_chain_scaling
+);
 criterion_main!(benches);

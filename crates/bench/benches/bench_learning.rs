@@ -2,8 +2,7 @@
 //! regulator cases, plus the conjugate-gradient alternative.
 
 use abbd_bbn::learn::{
-    fit_complete, fit_conjugate_gradient, fit_em, Case, CgConfig, DirichletPrior,
-    EmConfig,
+    fit_complete, fit_conjugate_gradient, fit_em, Case, CgConfig, DirichletPrior, EmConfig,
 };
 use abbd_bbn::{forward_sample_cases, Network};
 use abbd_core::ModelBuilder;
@@ -20,15 +19,16 @@ fn setup() -> (Network, Vec<Case>) {
         .with_expert(rig.expert.clone())
         .build_network()
         .expect("network builds");
-    let cases: Vec<Case> = population
-        .cases
-        .iter()
-        .map(|c| {
-            Case::from_pairs(c.assignment.iter().map(|(name, state)| {
-                (network.var(name).expect("case variables exist"), *state)
-            }))
-        })
-        .collect();
+    let cases: Vec<Case> =
+        population
+            .cases
+            .iter()
+            .map(|c| {
+                Case::from_pairs(c.assignment.iter().map(|(name, state)| {
+                    (network.var(name).expect("case variables exist"), *state)
+                }))
+            })
+            .collect();
     (network, cases)
 }
 
@@ -44,7 +44,10 @@ fn bench_em(c: &mut Criterion) {
                     black_box(&network),
                     black_box(&cases),
                     &prior,
-                    &EmConfig { max_iterations: iters, tolerance: 0.0 },
+                    &EmConfig {
+                        max_iterations: iters,
+                        tolerance: 0.0,
+                    },
                 )
                 .unwrap()
             })
@@ -56,7 +59,10 @@ fn bench_em(c: &mut Criterion) {
                 black_box(&network),
                 black_box(&cases),
                 &prior,
-                &CgConfig { max_iterations: 3, ..CgConfig::default() },
+                &CgConfig {
+                    max_iterations: 3,
+                    ..CgConfig::default()
+                },
             )
             .unwrap()
         })

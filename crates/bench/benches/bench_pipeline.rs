@@ -32,20 +32,41 @@ fn bench_pipeline_stages(c: &mut Criterion) {
     });
 
     let mut rng2 = StdRng::seed_from_u64(4);
-    let log = test_device(&rig.circuit, &rig.program, &device, NoiseModel::production(), &mut rng2)
-        .unwrap();
+    let log = test_device(
+        &rig.circuit,
+        &rig.program,
+        &device,
+        NoiseModel::production(),
+        &mut rng2,
+    )
+    .unwrap();
     let logs = vec![log];
     group.bench_function("generate_cases_one_log", |b| {
-        b.iter(|| {
-            generate_cases(rig.model.spec(), &rig.mapping, black_box(&logs)).unwrap()
-        })
+        b.iter(|| generate_cases(rig.model.spec(), &rig.mapping, black_box(&logs)).unwrap())
     });
 
-    let fitted = regulator::fit(30, 2010, regulator::default_algorithm())
-        .expect("pipeline runs");
+    let fitted = regulator::fit(30, 2010, regulator::default_algorithm()).expect("pipeline runs");
     let observation = case_studies()[0].observation();
     group.bench_function("diagnose_one_observation", |b| {
         b.iter(|| fitted.engine.diagnose(black_box(&observation)).unwrap())
+    });
+    group.bench_function("diagnose_one_observation_reused_workspace", |b| {
+        let mut ws = fitted.engine.make_workspace();
+        b.iter(|| {
+            fitted
+                .engine
+                .diagnose_with(&mut ws, black_box(&observation))
+                .unwrap()
+        })
+    });
+    let batch: Vec<_> = case_studies()
+        .iter()
+        .cycle()
+        .take(64)
+        .map(|case| case.observation())
+        .collect();
+    group.bench_function("diagnose_batch_64_boards", |b| {
+        b.iter(|| fitted.engine.diagnose_batch(black_box(&batch)))
     });
     group.bench_function("golden_device_simulation", |b| {
         let golden = Device::golden(&rig.circuit);
@@ -68,9 +89,7 @@ fn bench_full_fit(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_fit");
     group.sample_size(10);
     group.bench_function("fit_30_devices", |b| {
-        b.iter(|| {
-            regulator::fit(30, black_box(2010), regulator::default_algorithm()).unwrap()
-        })
+        b.iter(|| regulator::fit(30, black_box(2010), regulator::default_algorithm()).unwrap())
     });
     group.finish();
 }

@@ -2,8 +2,7 @@
 //! population generation.
 
 use abbd_blocks::{
-    sample_defective_devices, sample_good_devices, Device, SimConfig, Simulator,
-    Stimulus,
+    sample_defective_devices, sample_good_devices, Device, SimConfig, Simulator, Stimulus,
 };
 use abbd_designs::regulator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -32,11 +31,10 @@ fn bench_solver(c: &mut Criterion) {
     let stimulus = nominal_stimulus(&rig.circuit);
     let golden = Device::golden(&rig.circuit);
     let mut rng = StdRng::seed_from_u64(8);
-    let faulty =
-        sample_defective_devices(&rig.circuit, &rig.universe, 1, 0, &mut rng)
-            .into_iter()
-            .next()
-            .expect("one device");
+    let faulty = sample_defective_devices(&rig.circuit, &rig.universe, 1, 0, &mut rng)
+        .into_iter()
+        .next()
+        .expect("one device");
 
     let mut group = c.benchmark_group("dc_solve");
     group.bench_function("golden", |b| {
@@ -58,9 +56,7 @@ fn bench_population(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("defective", n), &n, |b, &n| {
             let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| {
-                sample_defective_devices(&rig.circuit, &rig.universe, n, 0, &mut rng)
-            })
+            b.iter(|| sample_defective_devices(&rig.circuit, &rig.universe, n, 0, &mut rng))
         });
     }
     group.finish();

@@ -7,10 +7,11 @@ use abbd_designs::regulator;
 fn main() {
     let fitted = regulator::fit(70, 2010, LearnAlgorithm::default()).expect("pipeline");
     let net = fitted.engine.model().network();
-    for name in ["vx", "enblSen", "hcbg", "warnvpst", "enb13", "enbsw", "lcbg", "sw"] {
+    for name in [
+        "vx", "enblSen", "hcbg", "warnvpst", "enb13", "enbsw", "lcbg", "sw",
+    ] {
         let var = net.var(name).unwrap();
-        let parents: Vec<&str> =
-            net.parents(var).iter().map(|p| net.name(*p)).collect();
+        let parents: Vec<&str> = net.parents(var).iter().map(|p| net.name(*p)).collect();
         println!("\n{name} | {}", parents.join(", "));
         let card = net.card(var);
         let configs = net.parent_configs(var);

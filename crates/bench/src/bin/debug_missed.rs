@@ -25,7 +25,10 @@ fn main() {
         if shown > 3 {
             break;
         }
-        println!("\n=== device {} truth {truth} ranking {ranking:?}", sig.device_id);
+        println!(
+            "\n=== device {} truth {truth} ranking {ranking:?}",
+            sig.device_id
+        );
         // Per-suite detail.
         for plan in suite_plans() {
             let mut obs = abbd_core::Observation::new();
@@ -33,8 +36,9 @@ fn main() {
             for ((suite, var), &state) in &sig.features {
                 if suite == plan.name {
                     obs.set(var.clone(), state);
-                    if let Some(oi) =
-                        regulator::program::OBSERVED_VARS.iter().position(|o| o == var)
+                    if let Some(oi) = regulator::program::OBSERVED_VARS
+                        .iter()
+                        .position(|o| o == var)
                     {
                         if state != plan.healthy_states[oi] {
                             obs.mark_failing(var.clone());
@@ -62,8 +66,7 @@ fn main() {
                             )
                         })
                         .collect();
-                    let states: Vec<String> =
-                        obs.iter().map(|(n, s)| format!("{n}={s}")).collect();
+                    let states: Vec<String> = obs.iter().map(|(n, s)| format!("{n}={s}")).collect();
                     println!(
                         "  suite {:<16} failing {:?} cands [{}]",
                         plan.name,

@@ -21,8 +21,7 @@ fn main() {
         .unwrap_or(150);
 
     // Held-out evaluation set, disjoint seed and id space.
-    let test_pop =
-        regulator::synthesize(n_test, 777, 1_000_000).expect("test population");
+    let test_pop = regulator::synthesize(n_test, 777, 1_000_000).expect("test population");
     let test_sigs = group_by_device(&test_pop.cases);
     println!(
         "EXT-ACCURACY — top-k diagnosis accuracy on {} held-out failing devices",

@@ -10,16 +10,15 @@ use abbd_bbn::JunctionTree;
 use abbd_core::{LearnAlgorithm, ModelBuilder};
 use abbd_designs::regulator;
 
-fn to_bbn_cases(
-    net: &abbd_bbn::Network,
-    cases: &[abbd_dlog2bbn::NamedCase],
-) -> Vec<Case> {
+fn to_bbn_cases(net: &abbd_bbn::Network, cases: &[abbd_dlog2bbn::NamedCase]) -> Vec<Case> {
     cases
         .iter()
         .map(|c| {
-            Case::from_pairs(c.assignment.iter().map(|(name, state)| {
-                (net.var(name).expect("case variables exist"), *state)
-            }))
+            Case::from_pairs(
+                c.assignment
+                    .iter()
+                    .map(|(name, state)| (net.var(name).expect("case variables exist"), *state)),
+            )
         })
         .collect()
 }
@@ -34,13 +33,19 @@ fn main() {
     let rig = regulator::rig();
 
     println!("EXT-EM — convergence of the fine-tuning objective");
-    println!("\n{:>5} {:>16} {:>16}", "iter", "train avg ll", "holdout avg ll");
+    println!(
+        "\n{:>5} {:>16} {:>16}",
+        "iter", "train avg ll", "holdout avg ll"
+    );
     for iters in 1..=max_iters {
         let fitted = ModelBuilder::new(rig.model.clone())
             .with_expert(rig.expert.clone())
             .learn(
                 &train.cases,
-                LearnAlgorithm::Em(EmConfig { max_iterations: iters, tolerance: 0.0 }),
+                LearnAlgorithm::Em(EmConfig {
+                    max_iterations: iters,
+                    tolerance: 0.0,
+                }),
             )
             .expect("learning");
         let net = fitted.network();
@@ -48,8 +53,7 @@ fn main() {
         let train_cases = to_bbn_cases(net, &train.cases);
         let holdout_cases = to_bbn_cases(net, &holdout.cases);
         let (_, ll_train, _) = expected_statistics(&jt, &train_cases).expect("e-step");
-        let (_, ll_holdout, _) =
-            expected_statistics(&jt, &holdout_cases).expect("e-step");
+        let (_, ll_holdout, _) = expected_statistics(&jt, &holdout_cases).expect("e-step");
         println!(
             "{iters:>5} {:>16.4} {:>16.4}",
             ll_train / train_cases.len() as f64,

@@ -26,7 +26,10 @@ fn main() {
     // A rough prior should bend to the data: modest strength, more
     // iterations than the headline pipeline.
     let ess = 30.0;
-    let em = LearnAlgorithm::Em(EmConfig { max_iterations: 10, tolerance: 1e-6 });
+    let em = LearnAlgorithm::Em(EmConfig {
+        max_iterations: 10,
+        tolerance: 1e-6,
+    });
 
     let rough_only = ModelBuilder::new(rig.model.clone())
         .with_expert(rough_expert_knowledge(ess))
@@ -45,7 +48,10 @@ fn main() {
         "EXT-PRIORS — knowledge-source ablation (70 training devices, {} held-out)",
         test_sigs.len()
     );
-    println!("\n{:>18} {:>6} {:>6}  (k = 1 / 2)", "model", "acc@1", "acc@2");
+    println!(
+        "\n{:>18} {:>6} {:>6}  (k = 1 / 2)",
+        "model", "acc@1", "acc@2"
+    );
     for (name, model) in [
         ("rough-expert-only", rough_only),
         ("data-only", data_only),

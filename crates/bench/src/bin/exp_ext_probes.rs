@@ -8,8 +8,8 @@
 use abbd_designs::regulator::{self, cases::case_studies};
 
 fn main() {
-    let fitted = regulator::fit(70, 2010, regulator::default_algorithm())
-        .expect("regulator pipeline");
+    let fitted =
+        regulator::fit(70, 2010, regulator::default_algorithm()).expect("regulator pipeline");
     println!("EXT-PROBES — expected information gain of probing each internal block\n");
     for case in case_studies() {
         let probes = fitted

@@ -10,8 +10,8 @@ use abbd_designs::regulator::{self, faults::fault_catalog};
 use std::collections::BTreeMap;
 
 fn main() {
-    let fitted = regulator::fit(70, 2010, regulator::default_algorithm())
-        .expect("training pipeline");
+    let fitted =
+        regulator::fit(70, 2010, regulator::default_algorithm()).expect("training pipeline");
     let adapter = BbnDeviceDiagnoser::new(&fitted.engine);
 
     // A large held-out population so every catalogue entry appears.
@@ -59,7 +59,11 @@ fn main() {
             block,
             agg.n,
             agg.hits1 as f64 / agg.n as f64,
-            if found > 0 { agg.rank_sum as f64 / found as f64 } else { f64::NAN },
+            if found > 0 {
+                agg.rank_sum as f64 / found as f64
+            } else {
+                f64::NAN
+            },
             agg.list_len_sum as f64 / agg.n as f64,
             agg.missed
         );

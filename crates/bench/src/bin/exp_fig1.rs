@@ -10,8 +10,7 @@ fn main() {
     println!("FIG. 1a — HYPOTHETICAL ANALOGUE CIRCUIT (block netlist)\n");
     for b in circuit.blocks() {
         let blk = circuit.block(b);
-        let inputs: Vec<&str> =
-            blk.inputs.iter().map(|n| circuit.net_name(*n)).collect();
+        let inputs: Vec<&str> = blk.inputs.iter().map(|n| circuit.net_name(*n)).collect();
         println!(
             "  {:<8} inputs: [{}] -> output: {}",
             blk.name,

@@ -8,7 +8,11 @@ use abbd_designs::regulator::circuit::circuit;
 fn main() {
     let c = circuit();
     println!("FIG. 2 — FUNCTIONAL BLOCK SCHEMATIC OF THE MULTIPLE-OUTPUT VOLTAGE REGULATOR\n");
-    println!("{} functional blocks, {} nets\n", c.block_count(), c.net_count());
+    println!(
+        "{} functional blocks, {} nets\n",
+        c.block_count(),
+        c.net_count()
+    );
     println!("{:<10} {:<42} -> output net", "block", "input nets");
     for b in c.blocks() {
         let blk = c.block(b);

@@ -8,7 +8,11 @@ use abbd_designs::regulator::model::circuit_model;
 fn main() {
     let m = circuit_model();
     println!("FIG. 3 — BBN MODEL VARIABLES AND STRUCTURAL DEPENDENCIES\n");
-    println!("{} model variables, {} dependency edges\n", m.spec().len(), m.edges().len());
+    println!(
+        "{} model variables, {} dependency edges\n",
+        m.spec().len(),
+        m.edges().len()
+    );
     for v in m.spec().variables() {
         let parents = m.parents_of(&v.name);
         if parents.is_empty() {

@@ -13,8 +13,7 @@ fn print_cpt(title: &str, net: &abbd_bbn::Network, child: &str, parent: &str) {
     let p = net.var(parent).expect("variable exists");
     println!("\n{title}: P({child} | {parent})");
     let child_card = net.card(c);
-    let header: Vec<String> =
-        (0..child_card).map(|s| format!("State:{s}")).collect();
+    let header: Vec<String> = (0..child_card).map(|s| format!("State:{s}")).collect();
     println!("  {:<10} {}", parent, header.join("   "));
     for ps in 0..net.card(p) {
         let row = net.cpt_row(c, &[ps]).expect("row exists");
@@ -31,12 +30,22 @@ fn main() {
         .with_expert(hypothetical::expert_knowledge(40.0))
         .build_expert_only()
         .expect("static model builds");
-    print_cpt("expert estimate", expert_model.network(), "block2", "block1");
-    print_cpt("expert estimate", expert_model.network(), "block3", "block1");
+    print_cpt(
+        "expert estimate",
+        expert_model.network(),
+        "block2",
+        "block1",
+    );
+    print_cpt(
+        "expert estimate",
+        expert_model.network(),
+        "block3",
+        "block1",
+    );
 
     // Fine-tuned on 60 simulated failing devices.
-    let fitted = hypothetical::fit(60, 2010, LearnAlgorithm::default())
-        .expect("hypothetical pipeline");
+    let fitted =
+        hypothetical::fit(60, 2010, LearnAlgorithm::default()).expect("hypothetical pipeline");
     let net = fitted.engine.model().network();
     print_cpt("fine-tuned on 60 failing devices", net, "block2", "block1");
     print_cpt("fine-tuned on 60 failing devices", net, "block3", "block1");

@@ -24,7 +24,10 @@ fn main() {
         .expect("static model builds");
     print_cpt("expert estimate", expert_model.network());
 
-    let fitted = hypothetical::fit(60, 2010, LearnAlgorithm::default())
-        .expect("hypothetical pipeline");
-    print_cpt("fine-tuned on 60 failing devices", fitted.engine.model().network());
+    let fitted =
+        hypothetical::fit(60, 2010, LearnAlgorithm::default()).expect("hypothetical pipeline");
+    print_cpt(
+        "fine-tuned on 60 failing devices",
+        fitted.engine.model().network(),
+    );
 }

@@ -17,7 +17,10 @@ fn main() {
     let fitted = regulator::fit(
         70,
         2010,
-        LearnAlgorithm::Em(EmConfig { max_iterations: iters, tolerance: 1e-6 }),
+        LearnAlgorithm::Em(EmConfig {
+            max_iterations: iters,
+            tolerance: 1e-6,
+        }),
     )
     .expect("regulator pipeline");
     eprintln!(
@@ -26,25 +29,43 @@ fn main() {
         fitted.cases.len(),
         t0.elapsed(),
         fitted.engine.model().summary().map_or(0, |s| s.iterations),
-        fitted.engine.model().summary().map_or(0, |s| s.skipped_cases),
+        fitted
+            .engine
+            .model()
+            .summary()
+            .map_or(0, |s| s.skipped_cases),
     );
 
     println!("TABLE VI — SUMMARISING DIAGNOSTIC CASE STUDIES AND RESULTS");
     println!(
         "{:<5} {:<34} {:<28} {:<22} {:<22} {:>5}",
-        "Case", "Controllable states", "Observable states", "Paper fail blocks", "Our candidates", "match"
+        "Case",
+        "Controllable states",
+        "Observable states",
+        "Paper fail blocks",
+        "Our candidates",
+        "match"
     );
     let mut matches = 0usize;
     let studies = case_studies();
     for case in &studies {
         let obs = case.observation();
         let diagnosis = fitted.engine.diagnose(&obs).expect("diagnosis");
-        let controls: Vec<String> =
-            case.controls.iter().map(|(n, s)| format!("{n}={s}")).collect();
-        let observables: Vec<String> =
-            case.observables.iter().map(|(n, s)| format!("{n}={s}")).collect();
-        let got: Vec<&str> =
-            diagnosis.candidates().iter().map(|c| c.variable.as_str()).collect();
+        let controls: Vec<String> = case
+            .controls
+            .iter()
+            .map(|(n, s)| format!("{n}={s}"))
+            .collect();
+        let observables: Vec<String> = case
+            .observables
+            .iter()
+            .map(|(n, s)| format!("{n}={s}"))
+            .collect();
+        let got: Vec<&str> = diagnosis
+            .candidates()
+            .iter()
+            .map(|c| c.variable.as_str())
+            .collect();
         let expected: Vec<&str> = case.expected_candidates.to_vec();
         let mut got_sorted = got.clone();
         got_sorted.sort_unstable();
@@ -68,8 +89,10 @@ fn main() {
             .map(|(n, m)| (n.clone(), *m))
             .collect();
         masses.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-        let detail: Vec<String> =
-            masses.iter().map(|(n, m)| format!("{n}:{:.2}", m)).collect();
+        let detail: Vec<String> = masses
+            .iter()
+            .map(|(n, m)| format!("{n}:{:.2}", m))
+            .collect();
         println!("      fault mass: {}", detail.join(" "));
     }
     println!(

@@ -10,8 +10,8 @@ use abbd_core::{render_state_table, Diagnosis};
 use abbd_designs::regulator::{self, cases::case_studies, model::LATENTS, paper};
 
 fn main() {
-    let fitted = regulator::fit(70, 2010, regulator::default_algorithm())
-        .expect("regulator pipeline");
+    let fitted =
+        regulator::fit(70, 2010, regulator::default_algorithm()).expect("regulator pipeline");
     let baseline = fitted.engine.baseline().expect("baseline propagation");
 
     let studies = case_studies();
@@ -39,10 +39,17 @@ fn main() {
     let mut init_argmax_matches = 0usize;
     let mut init_vars = 0usize;
     for (name, dist) in &baseline {
-        let Some(paper_dist) = paper::init_percent(name) else { continue };
+        let Some(paper_dist) = paper::init_percent(name) else {
+            continue;
+        };
         let ours: Vec<String> = dist.iter().map(|p| format!("{:.1}", p * 100.0)).collect();
         let theirs: Vec<String> = paper_dist.iter().map(|p| format!("{p:.1}")).collect();
-        println!("{:<12} {:<28} {:<28}", name, ours.join(" "), theirs.join(" "));
+        println!(
+            "{:<12} {:<28} {:<28}",
+            name,
+            ours.join(" "),
+            theirs.join(" ")
+        );
         init_vars += 1;
         let our_argmax = dist
             .iter()
@@ -87,9 +94,7 @@ fn main() {
     }
 
     println!("\nAGREEMENT SUMMARY");
-    println!(
-        "  init argmax state agreement:        {init_argmax_matches}/{init_vars} variables"
-    );
+    println!("  init argmax state agreement:        {init_argmax_matches}/{init_vars} variables");
     println!(
         "  latent health-class agreement:      {class_matches}/{class_total} (latent, case) pairs"
     );
@@ -97,8 +102,7 @@ fn main() {
         .iter()
         .zip(&diagnoses)
         .filter(|(case, (_, d))| {
-            let mut got: Vec<&str> =
-                d.candidates().iter().map(|c| c.variable.as_str()).collect();
+            let mut got: Vec<&str> = d.candidates().iter().map(|c| c.variable.as_str()).collect();
             got.sort_unstable();
             let mut want = case.expected_candidates.to_vec();
             want.sort_unstable();

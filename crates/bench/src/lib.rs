@@ -6,7 +6,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use abbd_baselines::{Diagnoser, DeviceSignature, Ranking};
+use abbd_baselines::{DeviceSignature, Diagnoser, Ranking};
 use abbd_core::{DiagnosticEngine, Observation};
 use abbd_designs::regulator::program::{suite_plans, SuitePlan, OBSERVED_VARS};
 use std::collections::BTreeMap;
@@ -24,12 +24,19 @@ pub struct BbnDeviceDiagnoser<'a> {
 impl<'a> BbnDeviceDiagnoser<'a> {
     /// Wraps a fitted regulator engine.
     pub fn new(engine: &'a DiagnosticEngine) -> Self {
-        BbnDeviceDiagnoser { engine, plans: suite_plans() }
+        BbnDeviceDiagnoser {
+            engine,
+            plans: suite_plans(),
+        }
     }
 
     /// Rebuilds the per-suite observation from a device signature,
     /// marking outputs that deviate from the suite's healthy states.
-    fn observation_for(&self, signature: &DeviceSignature, plan: &SuitePlan) -> Option<Observation> {
+    fn observation_for(
+        &self,
+        signature: &DeviceSignature,
+        plan: &SuitePlan,
+    ) -> Option<Observation> {
         let mut obs = Observation::new();
         let mut any = false;
         let mut failing = false;
@@ -57,8 +64,12 @@ impl Diagnoser for BbnDeviceDiagnoser<'_> {
     fn diagnose(&self, signature: &DeviceSignature) -> Ranking {
         let mut scores: BTreeMap<String, f64> = BTreeMap::new();
         for plan in &self.plans {
-            let Some(obs) = self.observation_for(signature, plan) else { continue };
-            let Ok(diagnosis) = self.engine.diagnose(&obs) else { continue };
+            let Some(obs) = self.observation_for(signature, plan) else {
+                continue;
+            };
+            let Ok(diagnosis) = self.engine.diagnose(&obs) else {
+                continue;
+            };
             for candidate in diagnosis.candidates() {
                 let slot = scores.entry(candidate.variable.clone()).or_default();
                 *slot = slot.max(candidate.fault_mass);

@@ -125,7 +125,10 @@ impl Behavior {
     /// guarantees this for simulator calls.
     pub fn evaluate(&self, inputs: &[f64]) -> f64 {
         match self {
-            Behavior::Reference { nominal, min_supply } => {
+            Behavior::Reference {
+                nominal,
+                min_supply,
+            } => {
                 let supply = inputs[0];
                 if supply >= *min_supply {
                     *nominal
@@ -135,7 +138,12 @@ impl Behavior {
                     nominal * supply / min_supply
                 }
             }
-            Behavior::Regulator { nominal, dropout, enable_threshold, reference } => {
+            Behavior::Regulator {
+                nominal,
+                dropout,
+                enable_threshold,
+                reference,
+            } => {
                 let supply = inputs[0];
                 let enable = inputs[1];
                 let vref = inputs[2];
@@ -148,7 +156,11 @@ impl Behavior {
                     (supply - dropout).max(0.0)
                 }
             }
-            Behavior::Switch { drop, clamp, enable_threshold } => {
+            Behavior::Switch {
+                drop,
+                clamp,
+                enable_threshold,
+            } => {
                 let supply = inputs[0];
                 let enable = inputs[1];
                 if enable < *enable_threshold {
@@ -157,16 +169,15 @@ impl Behavior {
                     (supply - drop).clamp(0.0, *clamp)
                 }
             }
-            Behavior::Logic { op, windows, out_low, out_high } => {
+            Behavior::Logic {
+                op,
+                windows,
+                out_low,
+                out_high,
+            } => {
                 let decided = match op {
-                    LogicOp::And => windows
-                        .iter()
-                        .zip(inputs)
-                        .all(|(w, &v)| w.contains(v)),
-                    LogicOp::Or => windows
-                        .iter()
-                        .zip(inputs)
-                        .any(|(w, &v)| w.contains(v)),
+                    LogicOp::And => windows.iter().zip(inputs).all(|(w, &v)| w.contains(v)),
+                    LogicOp::Or => windows.iter().zip(inputs).any(|(w, &v)| w.contains(v)),
                 };
                 if decided {
                     *out_high
@@ -197,7 +208,10 @@ mod tests {
 
     #[test]
     fn reference_degrades_below_min_supply() {
-        let b = Behavior::Reference { nominal: 1.2, min_supply: 4.0 };
+        let b = Behavior::Reference {
+            nominal: 1.2,
+            min_supply: 4.0,
+        };
         assert_eq!(b.arity(), 1);
         assert_eq!(b.evaluate(&[8.0]), 1.2);
         assert_eq!(b.evaluate(&[4.0]), 1.2);
@@ -229,7 +243,11 @@ mod tests {
 
     #[test]
     fn switch_modes() {
-        let b = Behavior::Switch { drop: 0.3, clamp: 16.0, enable_threshold: 2.0 };
+        let b = Behavior::Switch {
+            drop: 0.3,
+            clamp: 16.0,
+            enable_threshold: 2.0,
+        };
         assert_eq!(b.arity(), 2);
         assert!((b.evaluate(&[13.0, 3.0]) - 12.7).abs() < 1e-12);
         assert_eq!(b.evaluate(&[13.0, 1.0]), 0.0);
@@ -261,7 +279,11 @@ mod tests {
 
     #[test]
     fn level_shift_clips() {
-        let b = Behavior::LevelShift { gain: 2.0, offset: -1.0, rail: 5.0 };
+        let b = Behavior::LevelShift {
+            gain: 2.0,
+            offset: -1.0,
+            rail: 5.0,
+        };
         assert_eq!(b.arity(), 1);
         assert!((b.evaluate(&[2.0]) - 3.0).abs() < 1e-12);
         assert_eq!(b.evaluate(&[10.0]), 5.0);

@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Opaque handle to a functional block within a [`crate::Circuit`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct BlockId(u32);
 
 impl BlockId {
@@ -29,9 +27,7 @@ impl fmt::Display for BlockId {
 }
 
 /// Opaque handle to a net (a named electrical node).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NetId(u32);
 
 impl NetId {

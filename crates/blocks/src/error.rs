@@ -60,16 +60,26 @@ impl fmt::Display for Error {
             Error::UnknownBlock(name) => write!(f, "unknown block `{name}`"),
             Error::UnknownNet(name) => write!(f, "unknown net `{name}`"),
             Error::MultipleDrivers { net, block } => {
-                write!(f, "net `{net}` already has a driver; block `{block}` collides")
+                write!(
+                    f,
+                    "net `{net}` already has a driver; block `{block}` collides"
+                )
             }
-            Error::ArityMismatch { block, expected, actual } => write!(
+            Error::ArityMismatch {
+                block,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "block `{block}` expects {expected} input(s), got {actual}"
             ),
             Error::InvalidParameter { block, reason } => {
                 write!(f, "invalid parameter on block `{block}`: {reason}")
             }
-            Error::NotConverged { iterations, residual } => write!(
+            Error::NotConverged {
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "simulation did not converge after {iterations} iterations \
                  (residual {residual} V)"
@@ -94,10 +104,23 @@ mod tests {
             Error::DuplicateNet("n".into()),
             Error::UnknownBlock("b".into()),
             Error::UnknownNet("n".into()),
-            Error::MultipleDrivers { net: "n".into(), block: "b".into() },
-            Error::ArityMismatch { block: "b".into(), expected: 2, actual: 1 },
-            Error::InvalidParameter { block: "b".into(), reason: "neg".into() },
-            Error::NotConverged { iterations: 9, residual: 0.5 },
+            Error::MultipleDrivers {
+                net: "n".into(),
+                block: "b".into(),
+            },
+            Error::ArityMismatch {
+                block: "b".into(),
+                expected: 2,
+                actual: 1,
+            },
+            Error::InvalidParameter {
+                block: "b".into(),
+                reason: "neg".into(),
+            },
+            Error::NotConverged {
+                iterations: 9,
+                residual: 0.5,
+            },
             Error::StimulusOnDrivenNet("n".into()),
         ];
         for e in samples {

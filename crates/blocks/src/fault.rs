@@ -270,8 +270,9 @@ mod tests {
 
     #[test]
     fn universe_from_iterator() {
-        let u: FaultUniverse =
-            [(Fault::new(b(0), FaultMode::Dead), 1.0)].into_iter().collect();
+        let u: FaultUniverse = [(Fault::new(b(0), FaultMode::Dead), 1.0)]
+            .into_iter()
+            .collect();
         assert_eq!(u.len(), 1);
         assert!(!u.is_empty());
         assert_eq!(u.iter().count(), 1);

@@ -65,8 +65,6 @@ pub use behavior::{Behavior, LogicOp, Window};
 pub use block::{Block, BlockId, NetId};
 pub use error::{Error, Result};
 pub use fault::{DeviceFaults, Fault, FaultMode, FaultUniverse};
-pub use mc::{
-    sample_defective_devices, sample_good_devices, standard_normal, Variation,
-};
+pub use mc::{sample_defective_devices, sample_good_devices, standard_normal, Variation};
 pub use netlist::{Circuit, CircuitBuilder};
 pub use sim::{Device, OperatingPoint, SimConfig, Simulator, Stimulus};

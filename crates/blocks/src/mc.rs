@@ -21,7 +21,10 @@ pub struct Variation {
 impl Variation {
     /// No variation at all (golden device).
     pub fn nominal(block_count: usize) -> Self {
-        Variation { gain_z: vec![0.0; block_count], offset_z: vec![0.0; block_count] }
+        Variation {
+            gain_z: vec![0.0; block_count],
+            offset_z: vec![0.0; block_count],
+        }
     }
 
     /// Builds from explicit z-score vectors (tests, corner analysis).
@@ -107,8 +110,17 @@ mod tests {
         let mut cb = CircuitBuilder::new();
         let a = cb.net("a").unwrap();
         let o = cb.net("o").unwrap();
-        cb.block("buf", Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 }, [a], o)
-            .unwrap();
+        cb.block(
+            "buf",
+            Behavior::LevelShift {
+                gain: 1.0,
+                offset: 0.0,
+                rail: 5.0,
+            },
+            [a],
+            o,
+        )
+        .unwrap();
         cb.build().unwrap()
     }
 
@@ -161,8 +173,7 @@ mod tests {
     fn empty_universe_yields_no_devices() {
         let c = one_block_circuit();
         let mut rng = StdRng::seed_from_u64(4);
-        let devices =
-            sample_defective_devices(&c, &FaultUniverse::new(), 5, 0, &mut rng);
+        let devices = sample_defective_devices(&c, &FaultUniverse::new(), 5, 0, &mut rng);
         assert!(devices.is_empty());
     }
 }

@@ -132,7 +132,14 @@ impl CircuitBuilder {
         let id = BlockId::from_index(self.blocks.len());
         self.driver.insert(output, id);
         self.blocks_by_name.insert(name.clone(), id);
-        self.blocks.push(Block { name, behavior, inputs, output, gain_sigma, offset_sigma });
+        self.blocks.push(Block {
+            name,
+            behavior,
+            inputs,
+            output,
+            gain_sigma,
+            offset_sigma,
+        });
         Ok(id)
     }
 
@@ -214,7 +221,8 @@ impl Circuit {
     ///
     /// Returns [`Error::UnknownNet`].
     pub fn require_net(&self, name: &str) -> Result<NetId> {
-        self.find_net(name).ok_or_else(|| Error::UnknownNet(name.into()))
+        self.find_net(name)
+            .ok_or_else(|| Error::UnknownNet(name.into()))
     }
 
     /// Like [`Circuit::find_block`] but returns an error carrying the name.
@@ -223,7 +231,8 @@ impl Circuit {
     ///
     /// Returns [`Error::UnknownBlock`].
     pub fn require_block(&self, name: &str) -> Result<BlockId> {
-        self.find_block(name).ok_or_else(|| Error::UnknownBlock(name.into()))
+        self.find_block(name)
+            .ok_or_else(|| Error::UnknownBlock(name.into()))
     }
 
     /// The block driving `net`, if any.
@@ -234,7 +243,9 @@ impl Circuit {
     /// Nets with no driving block — the circuit's external inputs, which a
     /// [`crate::Stimulus`] is expected to force.
     pub fn input_nets(&self) -> Vec<NetId> {
-        self.nets().filter(|n| self.driver_of(*n).is_none()).collect()
+        self.nets()
+            .filter(|n| self.driver_of(*n).is_none())
+            .collect()
     }
 
     /// Renders the block diagram in Graphviz DOT syntax.
@@ -280,7 +291,10 @@ mod tests {
         let vout = cb.net("vout").unwrap();
         cb.block(
             "bandgap",
-            Behavior::Reference { nominal: 1.2, min_supply: 4.0 },
+            Behavior::Reference {
+                nominal: 1.2,
+                min_supply: 4.0,
+            },
             [vbat],
             vref,
         )
@@ -319,8 +333,7 @@ mod tests {
     #[test]
     fn input_nets_are_undriven() {
         let c = tiny();
-        let names: Vec<&str> =
-            c.input_nets().iter().map(|n| c.net_name(*n)).collect();
+        let names: Vec<&str> = c.input_nets().iter().map(|n| c.net_name(*n)).collect();
         assert_eq!(names, vec!["vbat", "en"]);
     }
 
@@ -331,10 +344,28 @@ mod tests {
         assert!(matches!(cb.net("a"), Err(Error::DuplicateNet(_))));
         let n = cb.net("out").unwrap();
         let s = cb.net("in").unwrap();
-        cb.block("x", Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 }, [s], n)
-            .unwrap();
+        cb.block(
+            "x",
+            Behavior::LevelShift {
+                gain: 1.0,
+                offset: 0.0,
+                rail: 5.0,
+            },
+            [s],
+            n,
+        )
+        .unwrap();
         assert!(matches!(
-            cb.block("x", Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 }, [s], n),
+            cb.block(
+                "x",
+                Behavior::LevelShift {
+                    gain: 1.0,
+                    offset: 0.0,
+                    rail: 5.0
+                },
+                [s],
+                n
+            ),
             Err(Error::DuplicateBlock(_))
         ));
     }
@@ -344,11 +375,24 @@ mod tests {
         let mut cb = CircuitBuilder::new();
         let a = cb.net("a").unwrap();
         let out = cb.net("out").unwrap();
-        cb.block("x", Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 }, [a], out)
-            .unwrap();
+        cb.block(
+            "x",
+            Behavior::LevelShift {
+                gain: 1.0,
+                offset: 0.0,
+                rail: 5.0,
+            },
+            [a],
+            out,
+        )
+        .unwrap();
         let err = cb.block(
             "y",
-            Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 },
+            Behavior::LevelShift {
+                gain: 1.0,
+                offset: 0.0,
+                rail: 5.0,
+            },
             [a],
             out,
         );
@@ -377,7 +421,11 @@ mod tests {
         assert!(matches!(
             cb.block_with_spread(
                 "bad",
-                Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 },
+                Behavior::LevelShift {
+                    gain: 1.0,
+                    offset: 0.0,
+                    rail: 5.0
+                },
                 [a],
                 out,
                 -0.1,
@@ -395,7 +443,11 @@ mod tests {
         assert!(matches!(
             cb.block(
                 "x",
-                Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 5.0 },
+                Behavior::LevelShift {
+                    gain: 1.0,
+                    offset: 0.0,
+                    rail: 5.0
+                },
                 [a],
                 ghost,
             ),

@@ -50,7 +50,9 @@ impl Stimulus {
 
 impl FromIterator<(NetId, f64)> for Stimulus {
     fn from_iter<I: IntoIterator<Item = (NetId, f64)>>(iter: I) -> Self {
-        Stimulus { forced: iter.into_iter().collect() }
+        Stimulus {
+            forced: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -94,7 +96,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { max_iterations: 200, tolerance: 1e-9, damping: 1.0 }
+        SimConfig {
+            max_iterations: 200,
+            tolerance: 1e-9,
+            damping: 1.0,
+        }
     }
 }
 
@@ -205,7 +211,10 @@ impl<'a> Simulator<'a> {
                 *slot = next;
             }
             if residual <= self.config.tolerance {
-                return Ok(OperatingPoint { voltages, iterations: sweep + 1 });
+                return Ok(OperatingPoint {
+                    voltages,
+                    iterations: sweep + 1,
+                });
             }
         }
         Err(Error::NotConverged {
@@ -215,7 +224,9 @@ impl<'a> Simulator<'a> {
     }
 
     fn apply_variation(&self, device: &Device, block_index: usize, value: f64) -> f64 {
-        let blk = self.circuit.block(crate::block::BlockId::from_index(block_index));
+        let blk = self
+            .circuit
+            .block(crate::block::BlockId::from_index(block_index));
         let gain = 1.0 + blk.gain_sigma * device.variation.gain_z(block_index);
         let offset = blk.offset_sigma * device.variation.offset_z(block_index);
         value * gain + offset
@@ -239,7 +250,10 @@ mod tests {
         let vout = cb.net("vout").unwrap();
         cb.block(
             "bandgap",
-            Behavior::Reference { nominal: 1.2, min_supply: 4.0 },
+            Behavior::Reference {
+                nominal: 1.2,
+                min_supply: 4.0,
+            },
             [vbat],
             vref,
         )
@@ -353,7 +367,13 @@ mod tests {
         )
         .unwrap();
         let c = cb.build().unwrap();
-        let sim = Simulator::new(&c, SimConfig { damping: 1.0, ..SimConfig::default() });
+        let sim = Simulator::new(
+            &c,
+            SimConfig {
+                damping: 1.0,
+                ..SimConfig::default()
+            },
+        );
         let err = sim.solve(&Device::golden(&c), &Stimulus::new());
         assert!(matches!(err, Err(Error::NotConverged { .. })));
     }
@@ -366,10 +386,8 @@ mod tests {
         stim.force(vbat, 12.0).force(en, 3.3);
         let mut dut = Device::golden(&c);
         // +3 sigma gain on every block: bandgap 1% sigma -> +3%.
-        dut.variation = Variation::from_z_scores(
-            vec![3.0; c.block_count()],
-            vec![0.0; c.block_count()],
-        );
+        dut.variation =
+            Variation::from_z_scores(vec![3.0; c.block_count()], vec![0.0; c.block_count()]);
         let op = sim.solve(&dut, &stim).unwrap();
         assert!((op.voltage(vref) - 1.2 * 1.03).abs() < 1e-9);
         let _ = (vref, en);

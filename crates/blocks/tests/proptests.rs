@@ -3,8 +3,8 @@
 //! and process variation must stay bounded.
 
 use abbd_blocks::{
-    Behavior, Circuit, CircuitBuilder, Device, DeviceFaults, Fault, FaultMode,
-    SimConfig, Simulator, Stimulus, Variation, Window,
+    Behavior, Circuit, CircuitBuilder, Device, DeviceFaults, Fault, FaultMode, SimConfig,
+    Simulator, Stimulus, Variation, Window,
 };
 use proptest::prelude::*;
 
@@ -16,7 +16,11 @@ fn random_chain(stages: &[(f64, f64)]) -> Circuit {
         let out = cb.net(format!("n{i}")).unwrap();
         cb.block(
             format!("b{i}"),
-            Behavior::LevelShift { gain: *gain, offset: *offset, rail: 20.0 },
+            Behavior::LevelShift {
+                gain: *gain,
+                offset: *offset,
+                rail: 20.0,
+            },
             [prev],
             out,
         )

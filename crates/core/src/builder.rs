@@ -3,9 +3,7 @@
 
 use crate::error::{Error, Result};
 use crate::model::CircuitModel;
-use abbd_bbn::learn::{
-    fit_conjugate_gradient, fit_em, Case, CgConfig, DirichletPrior, EmConfig,
-};
+use abbd_bbn::learn::{fit_conjugate_gradient, fit_em, Case, CgConfig, DirichletPrior, EmConfig};
 use abbd_bbn::{Network, NetworkBuilder, VarId};
 use abbd_dlog2bbn::NamedCase;
 use serde::{Deserialize, Serialize};
@@ -25,7 +23,10 @@ impl ExpertKnowledge {
     /// An empty estimate with the given equivalent sample size; variables
     /// without an explicit table start from uniform CPTs.
     pub fn new(equivalent_sample_size: f64) -> Self {
-        ExpertKnowledge { cpts: BTreeMap::new(), equivalent_sample_size }
+        ExpertKnowledge {
+            cpts: BTreeMap::new(),
+            equivalent_sample_size,
+        }
     }
 
     /// Sets the expert CPT of `variable` as rows over parent configurations
@@ -117,7 +118,9 @@ impl DiagnosticModel {
     ///
     /// Returns [`Error::UnknownVariable`].
     pub fn var(&self, name: &str) -> Result<VarId> {
-        self.network.var(name).ok_or_else(|| Error::UnknownVariable(name.into()))
+        self.network
+            .var(name)
+            .ok_or_else(|| Error::UnknownVariable(name.into()))
     }
 }
 
@@ -167,7 +170,10 @@ pub struct ModelBuilder {
 impl ModelBuilder {
     /// Starts from a structural circuit model.
     pub fn new(model: CircuitModel) -> Self {
-        ModelBuilder { model, expert: None }
+        ModelBuilder {
+            model,
+            expert: None,
+        }
     }
 
     /// Attaches the product expert's estimates.
@@ -187,8 +193,7 @@ impl ModelBuilder {
         let mut b = NetworkBuilder::new();
         let mut ids: BTreeMap<&str, VarId> = BTreeMap::new();
         for v in self.model.spec().variables() {
-            let labels: Vec<String> =
-                v.bands.iter().map(|band| band.label.clone()).collect();
+            let labels: Vec<String> = v.bands.iter().map(|band| band.label.clone()).collect();
             let id = b.variable(v.name.clone(), labels).map_err(Error::Bbn)?;
             ids.insert(v.name.as_str(), id);
         }
@@ -222,7 +227,8 @@ impl ModelBuilder {
                 }
                 None => vec![1.0 / card as f64; expected],
             };
-            b.cpt_flat(ids[v.name.as_str()], parents, table).map_err(Error::Bbn)?;
+            b.cpt_flat(ids[v.name.as_str()], parents, table)
+                .map_err(Error::Bbn)?;
         }
         b.build().map_err(Error::Bbn)
     }
@@ -249,11 +255,7 @@ impl ModelBuilder {
     ///
     /// Propagates structure and learning errors, plus
     /// [`Error::InvalidObservation`] for cases naming unknown variables.
-    pub fn learn(
-        &self,
-        cases: &[NamedCase],
-        algorithm: LearnAlgorithm,
-    ) -> Result<DiagnosticModel> {
+    pub fn learn(&self, cases: &[NamedCase], algorithm: LearnAlgorithm) -> Result<DiagnosticModel> {
         let network = self.build_network()?;
         let bbn_cases = convert_cases(&network, self.model.spec(), cases)?;
         let ess = self
@@ -395,7 +397,9 @@ mod tests {
     fn expert_shape_mismatch_is_reported() {
         let mut e = ExpertKnowledge::new(5.0);
         e.cpt("bias", [[0.9, 0.1]]); // needs 2 rows (pin has 2 states)
-        let err = ModelBuilder::new(model()).with_expert(e).build_expert_only();
+        let err = ModelBuilder::new(model())
+            .with_expert(e)
+            .build_expert_only();
         assert!(matches!(err, Err(Error::ExpertShape { .. })));
     }
 
@@ -407,10 +411,7 @@ mod tests {
             cases.push(NamedCase {
                 device_id: i,
                 suite: "s".into(),
-                assignment: vec![
-                    ("pin".into(), 1),
-                    ("out".into(), usize::from(i % 10 == 0)),
-                ],
+                assignment: vec![("pin".into(), 1), ("out".into(), usize::from(i % 10 == 0))],
                 failing: vec![],
                 truth: vec![],
             });

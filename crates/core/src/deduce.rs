@@ -85,7 +85,9 @@ impl DeductionPolicy {
             ));
         }
         if self.max_joint_cells == 0 {
-            return Err(Error::InvalidPolicy("max_joint_cells must be positive".into()));
+            return Err(Error::InvalidPolicy(
+                "max_joint_cells must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -208,7 +210,11 @@ pub fn ancestor_fault_probability(
     }
     let ids: Vec<VarId> = ancestors
         .iter()
-        .map(|a| network.var(a).ok_or_else(|| Error::UnknownVariable(a.clone())))
+        .map(|a| {
+            network
+                .var(a)
+                .ok_or_else(|| Error::UnknownVariable(a.clone()))
+        })
         .collect::<Result<_>>()?;
     let cells: usize = ids.iter().map(|v| network.card(*v)).product();
     let ve = VariableElimination::new(network);
@@ -216,8 +222,7 @@ pub fn ancestor_fault_probability(
         let joint = ve.joint_marginal(evidence, &ids).map_err(Error::Bbn)?;
         // P(all ancestors healthy): sum cells where every ancestor avoids
         // its fault states.
-        let fault_sets: Vec<Vec<usize>> =
-            ancestors.iter().map(|a| model.fault_states(a)).collect();
+        let fault_sets: Vec<Vec<usize>> = ancestors.iter().map(|a| model.fault_states(a)).collect();
         let mut healthy = 0.0;
         for (idx, p) in joint.values().iter().enumerate() {
             let assignment = joint.assignment_of(idx);
@@ -234,8 +239,11 @@ pub fn ancestor_fault_probability(
         let mut healthy = 1.0;
         for (a, id) in ancestors.iter().zip(&ids) {
             let post = ve.posterior(evidence, *id).map_err(Error::Bbn)?;
-            let mass: f64 =
-                model.fault_states(a).iter().filter_map(|&s| post.get(s)).sum();
+            let mass: f64 = model
+                .fault_states(a)
+                .iter()
+                .filter_map(|&s| post.get(s))
+                .sum();
             healthy *= 1.0 - mass.clamp(0.0, 1.0);
         }
         Ok((1.0 - healthy).clamp(0.0, 1.0))
@@ -293,9 +301,7 @@ pub fn deduce_candidates(
             suspects.push(v);
             for anc in model.latent_ancestors(v) {
                 if let Some((key, _)) = fault_mass.get_key_value(&anc) {
-                    if class_of(key) != HealthClass::Healthy
-                        && !suspects.contains(&key.as_str())
-                    {
+                    if class_of(key) != HealthClass::Healthy && !suspects.contains(&key.as_str()) {
                         stack.push(key.as_str());
                     }
                 }
@@ -320,7 +326,9 @@ pub fn deduce_candidates(
         }
     }
     candidates.sort_by(|a, b| {
-        b.fault_mass.partial_cmp(&a.fault_mass).expect("fault mass has no NaN")
+        b.fault_mass
+            .partial_cmp(&a.fault_mass)
+            .expect("fault mass has no NaN")
     });
 
     // Self-candidates: failing observables with healthy-looking ancestry
@@ -340,7 +348,9 @@ pub fn deduce_candidates(
         }
     }
     self_candidates.sort_by(|a, b| {
-        b.fault_mass.partial_cmp(&a.fault_mass).expect("fault mass has no NaN")
+        b.fault_mass
+            .partial_cmp(&a.fault_mass)
+            .expect("fault mass has no NaN")
     });
     candidates.extend(self_candidates);
     Ok(candidates)
@@ -423,9 +433,15 @@ mod tests {
             ..Default::default()
         };
         assert!(bad.validate().is_err());
-        let oob = DeductionPolicy { faulty_threshold: 1.5, ..Default::default() };
+        let oob = DeductionPolicy {
+            faulty_threshold: 1.5,
+            ..Default::default()
+        };
         assert!(oob.validate().is_err());
-        let zero = DeductionPolicy { max_joint_cells: 0, ..Default::default() };
+        let zero = DeductionPolicy {
+            max_joint_cells: 0,
+            ..Default::default()
+        };
         assert!(zero.validate().is_err());
         let p = DeductionPolicy::default();
         assert_eq!(p.classify(0.9), HealthClass::Faulty);
@@ -439,7 +455,12 @@ mod tests {
         let m = model();
         let net = network(&m);
         let ev = evidence_for(&net, &[("obs_a", 0), ("obs_b", 1), ("obs_c", 1)]);
-        let fm = masses(&[("root", 0.02), ("mid", 0.05), ("leaf_a", 0.95), ("leaf_b", 0.03)]);
+        let fm = masses(&[
+            ("root", 0.02),
+            ("mid", 0.05),
+            ("leaf_a", 0.95),
+            ("leaf_b", 0.03),
+        ]);
         let c = deduce_candidates(
             &m,
             &net,
@@ -463,16 +484,23 @@ mod tests {
         let m = model();
         let net = network(&m);
         let ev = evidence_for(&net, &[("obs_a", 0), ("obs_b", 0)]);
-        let fm = masses(&[("root", 0.45), ("mid", 0.48), ("leaf_a", 0.9), ("leaf_b", 0.88)]);
-        let c = deduce_candidates(&m, &net, &ev, &fm, &[], &DeductionPolicy::default())
-            .unwrap();
+        let fm = masses(&[
+            ("root", 0.45),
+            ("mid", 0.48),
+            ("leaf_a", 0.9),
+            ("leaf_b", 0.88),
+        ]);
+        let c = deduce_candidates(&m, &net, &ev, &fm, &[], &DeductionPolicy::default()).unwrap();
         let names: Vec<&str> = c.iter().map(|c| c.variable.as_str()).collect();
         // Under this evidence, P(root bad or mid bad) is high (both failing
         // leaves), so the leaves are pruned; mid survives only if its own
         // ancestor disjunction (root alone) stays below threshold.
         assert!(!names.contains(&"leaf_a"), "{names:?}");
         assert!(!names.contains(&"leaf_b"), "{names:?}");
-        assert!(names.contains(&"mid") || names.contains(&"root"), "{names:?}");
+        assert!(
+            names.contains(&"mid") || names.contains(&"root"),
+            "{names:?}"
+        );
     }
 
     #[test]
@@ -481,9 +509,13 @@ mod tests {
         let m = model();
         let net = network(&m);
         let ev = evidence_for(&net, &[("obs_a", 0), ("obs_b", 0), ("obs_c", 0)]);
-        let fm = masses(&[("root", 0.9), ("mid", 0.92), ("leaf_a", 0.95), ("leaf_b", 0.93)]);
-        let c = deduce_candidates(&m, &net, &ev, &fm, &[], &DeductionPolicy::default())
-            .unwrap();
+        let fm = masses(&[
+            ("root", 0.9),
+            ("mid", 0.92),
+            ("leaf_a", 0.95),
+            ("leaf_b", 0.93),
+        ]);
+        let c = deduce_candidates(&m, &net, &ev, &fm, &[], &DeductionPolicy::default()).unwrap();
         assert_eq!(c.len(), 1, "{c:?}");
         assert_eq!(c[0].variable, "root");
         assert_eq!(c[0].ancestor_fault_probability, 0.0);
@@ -495,7 +527,12 @@ mod tests {
         let net = network(&m);
         // Everything healthy upstream; obs_a failed its limits anyway.
         let ev = evidence_for(&net, &[("obs_a", 1), ("obs_b", 1), ("obs_c", 1)]);
-        let fm = masses(&[("root", 0.02), ("mid", 0.03), ("leaf_a", 0.04), ("leaf_b", 0.03)]);
+        let fm = masses(&[
+            ("root", 0.02),
+            ("mid", 0.03),
+            ("leaf_a", 0.04),
+            ("leaf_b", 0.03),
+        ]);
         let c = deduce_candidates(
             &m,
             &net,
@@ -515,9 +552,13 @@ mod tests {
         let m = model();
         let net = network(&m);
         let ev = evidence_for(&net, &[("obs_a", 1), ("obs_b", 1), ("obs_c", 1)]);
-        let fm = masses(&[("root", 0.05), ("mid", 0.04), ("leaf_a", 0.03), ("leaf_b", 0.02)]);
-        let c = deduce_candidates(&m, &net, &ev, &fm, &[], &DeductionPolicy::default())
-            .unwrap();
+        let fm = masses(&[
+            ("root", 0.05),
+            ("mid", 0.04),
+            ("leaf_a", 0.03),
+            ("leaf_b", 0.02),
+        ]);
+        let c = deduce_candidates(&m, &net, &ev, &fm, &[], &DeductionPolicy::default()).unwrap();
         assert!(c.is_empty());
     }
 
@@ -528,9 +569,13 @@ mod tests {
         // obs_b and obs_c pass, which exonerates mid and root; obs_a's
         // failure leaves leaf_a merely ambiguous.
         let ev = evidence_for(&net, &[("obs_a", 0), ("obs_b", 1), ("obs_c", 1)]);
-        let fm = masses(&[("root", 0.1), ("mid", 0.2), ("leaf_a", 0.5), ("leaf_b", 0.1)]);
-        let with = deduce_candidates(&m, &net, &ev, &fm, &[], &DeductionPolicy::default())
-            .unwrap();
+        let fm = masses(&[
+            ("root", 0.1),
+            ("mid", 0.2),
+            ("leaf_a", 0.5),
+            ("leaf_b", 0.1),
+        ]);
+        let with = deduce_candidates(&m, &net, &ev, &fm, &[], &DeductionPolicy::default()).unwrap();
         assert_eq!(with.len(), 1);
         assert_eq!(with[0].variable, "leaf_a");
         assert_eq!(with[0].class, HealthClass::Ambiguous);
@@ -541,7 +586,10 @@ mod tests {
             &ev,
             &fm,
             &[],
-            &DeductionPolicy { seed_with_best_ambiguous: false, ..Default::default() },
+            &DeductionPolicy {
+                seed_with_best_ambiguous: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(without.is_empty());
@@ -552,26 +600,27 @@ mod tests {
         let m = model();
         let net = network(&m);
         let ev = evidence_for(&net, &[("obs_a", 0), ("obs_b", 0)]);
-        let exact = ancestor_fault_probability(
-            &m,
-            &net,
-            &ev,
-            "leaf_a",
-            &DeductionPolicy::default(),
-        )
-        .unwrap();
+        let exact =
+            ancestor_fault_probability(&m, &net, &ev, "leaf_a", &DeductionPolicy::default())
+                .unwrap();
         let approx = ancestor_fault_probability(
             &m,
             &net,
             &ev,
             "leaf_a",
-            &DeductionPolicy { max_joint_cells: 1, ..Default::default() },
+            &DeductionPolicy {
+                max_joint_cells: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert!((exact - approx).abs() < 0.25, "exact {exact} vs approx {approx}");
+        assert!(
+            (exact - approx).abs() < 0.25,
+            "exact {exact} vs approx {approx}"
+        );
         // No latent ancestors -> zero.
-        let root = ancestor_fault_probability(&m, &net, &ev, "root", &DeductionPolicy::default())
-            .unwrap();
+        let root =
+            ancestor_fault_probability(&m, &net, &ev, "root", &DeductionPolicy::default()).unwrap();
         assert_eq!(root, 0.0);
     }
 }

@@ -5,8 +5,9 @@
 use crate::builder::DiagnosticModel;
 use crate::deduce::{deduce_candidates, Candidate, DeductionPolicy, HealthClass};
 use crate::error::{Error, Result};
-use abbd_bbn::{Evidence, JunctionTree};
+use abbd_bbn::{Evidence, JunctionTree, PropagationWorkspace};
 use abbd_dlog2bbn::NamedCase;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -48,7 +49,10 @@ impl Observation {
 
     /// The observed state of `variable`, if present.
     pub fn state_of(&self, variable: &str) -> Option<usize> {
-        self.pairs.iter().find(|(n, _)| n == variable).map(|(_, s)| *s)
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == variable)
+            .map(|(_, s)| *s)
     }
 
     /// Iterates `(variable, state)` pairs in insertion order.
@@ -74,7 +78,10 @@ impl Observation {
 
 impl From<&NamedCase> for Observation {
     fn from(case: &NamedCase) -> Self {
-        Observation { pairs: case.assignment.clone(), failing: case.failing.clone() }
+        Observation {
+            pairs: case.assignment.clone(),
+            failing: case.failing.clone(),
+        }
     }
 }
 
@@ -207,7 +214,11 @@ impl DiagnosticEngine {
     /// Propagates junction-tree compilation errors.
     pub fn new(model: DiagnosticModel) -> Result<Self> {
         let jt = JunctionTree::compile(model.network()).map_err(Error::Bbn)?;
-        Ok(DiagnosticEngine { model, jt, policy: DeductionPolicy::default() })
+        Ok(DiagnosticEngine {
+            model,
+            jt,
+            policy: DeductionPolicy::default(),
+        })
     }
 
     /// Replaces the deduction policy.
@@ -256,10 +267,13 @@ impl DiagnosticEngine {
     pub fn evidence_from(&self, observation: &Observation) -> Result<Evidence> {
         let mut evidence = Evidence::new();
         for (name, state) in observation.iter() {
-            let var = self.model.var(name).map_err(|_| Error::InvalidObservation {
-                variable: name.into(),
-                reason: "not a model variable".into(),
-            })?;
+            let var = self
+                .model
+                .var(name)
+                .map_err(|_| Error::InvalidObservation {
+                    variable: name.into(),
+                    reason: "not a model variable".into(),
+                })?;
             let card = self.model.network().card(var);
             if state >= card {
                 return Err(Error::InvalidObservation {
@@ -272,6 +286,13 @@ impl DiagnosticEngine {
         Ok(evidence)
     }
 
+    /// Allocates a propagation workspace sized for this engine's compiled
+    /// tree; feed it to [`DiagnosticEngine::diagnose_with`] to diagnose a
+    /// stream of boards without per-board inference allocations.
+    pub fn make_workspace(&self) -> PropagationWorkspace {
+        self.jt.make_workspace()
+    }
+
     /// Diagnoses one observation: posterior update (Bayes theorem over the
     /// whole network) followed by the §IV-B candidate deduction.
     ///
@@ -281,8 +302,24 @@ impl DiagnosticEngine {
     /// [`abbd_bbn::Error::ImpossibleEvidence`] (wrapped) when the
     /// observation has zero probability under the model.
     pub fn diagnose(&self, observation: &Observation) -> Result<Diagnosis> {
+        self.diagnose_with(&mut self.make_workspace(), observation)
+    }
+
+    /// [`DiagnosticEngine::diagnose`] with a caller-provided reusable
+    /// workspace: the junction-tree propagation runs entirely inside
+    /// preallocated buffers, which is what the batch path and long-lived
+    /// query loops use.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DiagnosticEngine::diagnose`].
+    pub fn diagnose_with(
+        &self,
+        ws: &mut PropagationWorkspace,
+        observation: &Observation,
+    ) -> Result<Diagnosis> {
         let evidence = self.evidence_from(observation)?;
-        let cal = self.jt.propagate(&evidence).map_err(Error::Bbn)?;
+        let cal = self.jt.propagate_in(ws, &evidence).map_err(Error::Bbn)?;
 
         let circuit_model = self.model.circuit_model();
         let mut posteriors = Vec::new();
@@ -313,7 +350,7 @@ impl DiagnosticEngine {
         let failing: Vec<String> = observation
             .failing()
             .iter()
-            .filter(|name| observables.iter().any(|o| *o == name.as_str()))
+            .filter(|name| observables.contains(&name.as_str()))
             .cloned()
             .collect();
         let candidates = deduce_candidates(
@@ -333,6 +370,24 @@ impl DiagnosticEngine {
             candidates,
             log_likelihood: cal.log_likelihood(),
         })
+    }
+
+    /// Diagnoses a whole batch of independent observations (one per board
+    /// under test) in parallel against this one compiled engine, with a
+    /// reused propagation workspace per worker thread.
+    ///
+    /// Results come back in input order. Each board succeeds or fails
+    /// independently — a malformed or impossible observation yields an
+    /// `Err` in its slot without poisoning the rest of the batch, matching
+    /// how an ATE flow must tolerate individual weird boards.
+    pub fn diagnose_batch(&self, observations: &[Observation]) -> Vec<Result<Diagnosis>> {
+        observations
+            .par_iter()
+            .map_init(
+                || self.make_workspace(),
+                |ws, obs| self.diagnose_with(ws, obs),
+            )
+            .collect()
     }
 }
 
@@ -379,7 +434,10 @@ mod tests {
             "out2",
             [[0.97, 0.03], [0.9, 0.1], [0.85, 0.15], [0.02, 0.98]],
         );
-        let dm = ModelBuilder::new(m).with_expert(e).build_expert_only().unwrap();
+        let dm = ModelBuilder::new(m)
+            .with_expert(e)
+            .build_expert_only()
+            .unwrap();
         DiagnosticEngine::new(dm).unwrap()
     }
 
@@ -452,6 +510,35 @@ mod tests {
     }
 
     #[test]
+    fn diagnose_batch_matches_sequential_and_isolates_failures() {
+        let eng = engine();
+        let mut batch: Vec<Observation> = Vec::new();
+        for (o1, o2) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            let mut obs = Observation::new();
+            obs.set("pin", 1).set("out1", o1).set("out2", o2);
+            batch.push(obs);
+        }
+        let mut ghost = Observation::new();
+        ghost.set("ghost", 0);
+        batch.push(ghost);
+
+        let results = eng.diagnose_batch(&batch);
+        assert_eq!(results.len(), batch.len());
+        for (obs, got) in batch[..4].iter().zip(&results) {
+            let sequential = eng.diagnose(obs).unwrap();
+            let got = got.as_ref().expect("valid observation");
+            assert_eq!(
+                got.posteriors(),
+                sequential.posteriors(),
+                "batch must be exact"
+            );
+            assert_eq!(got.candidates(), sequential.candidates());
+            assert!((got.log_likelihood() - sequential.log_likelihood()).abs() < 1e-15);
+        }
+        assert!(matches!(results[4], Err(Error::InvalidObservation { .. })));
+    }
+
+    #[test]
     fn rejects_bad_observations() {
         let eng = engine();
         let mut ghost = Observation::new();
@@ -462,7 +549,10 @@ mod tests {
         ));
         let mut oob = Observation::new();
         oob.set("pin", 9);
-        assert!(matches!(eng.diagnose(&oob), Err(Error::InvalidObservation { .. })));
+        assert!(matches!(
+            eng.diagnose(&oob),
+            Err(Error::InvalidObservation { .. })
+        ));
     }
 
     #[test]

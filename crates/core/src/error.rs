@@ -58,7 +58,11 @@ impl fmt::Display for Error {
             Error::DuplicateEdge { parent, child } => {
                 write!(f, "dependency `{parent}` -> `{child}` declared twice")
             }
-            Error::ExpertShape { variable, expected, actual } => write!(
+            Error::ExpertShape {
+                variable,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "expert CPT for `{variable}` has {actual} cells, expected {expected}"
             ),
@@ -105,10 +109,23 @@ mod tests {
             Error::Bbn(abbd_bbn::Error::NoCases),
             Error::Spec(abbd_dlog2bbn::Error::UnknownVariable("v".into())),
             Error::UnknownVariable("v".into()),
-            Error::DuplicateEdge { parent: "a".into(), child: "b".into() },
-            Error::ExpertShape { variable: "v".into(), expected: 4, actual: 2 },
-            Error::FaultStateOutOfRange { variable: "v".into(), state: 9 },
-            Error::InvalidObservation { variable: "v".into(), reason: "r".into() },
+            Error::DuplicateEdge {
+                parent: "a".into(),
+                child: "b".into(),
+            },
+            Error::ExpertShape {
+                variable: "v".into(),
+                expected: 4,
+                actual: 2,
+            },
+            Error::FaultStateOutOfRange {
+                variable: "v".into(),
+                state: 9,
+            },
+            Error::InvalidObservation {
+                variable: "v".into(),
+                reason: "r".into(),
+            },
             Error::InvalidPolicy("p".into()),
         ];
         for e in samples {

@@ -37,11 +37,7 @@ impl DiagnosticEngine {
     ///
     /// Returns [`Error::UnknownVariable`] for an unknown target and
     /// propagates observation-validation and propagation errors.
-    pub fn explain(
-        &self,
-        observation: &Observation,
-        target: &str,
-    ) -> Result<Vec<FindingImpact>> {
+    pub fn explain(&self, observation: &Observation, target: &str) -> Result<Vec<FindingImpact>> {
         let target_id = self.model().var(target)?;
         let jt = abbd_bbn::JunctionTree::compile(self.model().network()).map_err(Error::Bbn)?;
         let full_evidence = self.evidence_from(observation)?;
@@ -108,7 +104,10 @@ mod tests {
         e.cpt("load", [[0.15, 0.85]]);
         e.cpt("out_main", [[0.95, 0.05], [0.05, 0.95]]);
         e.cpt("out_aux", [[0.95, 0.05], [0.05, 0.95]]);
-        let dm = ModelBuilder::new(m).with_expert(e).build_expert_only().unwrap();
+        let dm = ModelBuilder::new(m)
+            .with_expert(e)
+            .build_expert_only()
+            .unwrap();
         DiagnosticEngine::new(dm).unwrap()
     }
 

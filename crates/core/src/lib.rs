@@ -33,12 +33,10 @@ mod model;
 mod probe;
 mod report;
 
-pub use builder::{
-    DiagnosticModel, ExpertKnowledge, LearnAlgorithm, LearnSummary, ModelBuilder,
-};
+pub use builder::{DiagnosticModel, ExpertKnowledge, LearnAlgorithm, LearnSummary, ModelBuilder};
 pub use deduce::{
-    ancestor_fault_probability, conditional_fault_expectation, deduce_candidates,
-    Candidate, DeductionPolicy, HealthClass,
+    ancestor_fault_probability, conditional_fault_expectation, deduce_candidates, Candidate,
+    DeductionPolicy, HealthClass,
 };
 pub use engine::{Diagnosis, DiagnosticEngine, Observation};
 pub use error::{Error, Result};

@@ -57,7 +57,11 @@ pub struct CircuitModel {
 impl CircuitModel {
     /// Wraps a spec with an empty dependency graph.
     pub fn new(spec: ModelSpec) -> Self {
-        CircuitModel { spec, edges: Vec::new(), fault_states: BTreeMap::new() }
+        CircuitModel {
+            spec,
+            edges: Vec::new(),
+            fault_states: BTreeMap::new(),
+        }
     }
 
     /// The underlying model-variable specification.
@@ -126,7 +130,10 @@ impl CircuitModel {
             .ok_or_else(|| Error::UnknownVariable(name.into()))?;
         for &s in states {
             if s >= var.card() {
-                return Err(Error::FaultStateOutOfRange { variable: name.into(), state: s });
+                return Err(Error::FaultStateOutOfRange {
+                    variable: name.into(),
+                    state: s,
+                });
             }
         }
         self.fault_states.insert(name.into(), states.to_vec());
@@ -135,7 +142,10 @@ impl CircuitModel {
 
     /// The failing-state indices of `variable` (default `{0}`).
     pub fn fault_states(&self, variable: &str) -> Vec<usize> {
-        self.fault_states.get(variable).cloned().unwrap_or_else(|| vec![0])
+        self.fault_states
+            .get(variable)
+            .cloned()
+            .unwrap_or_else(|| vec![0])
     }
 
     /// Names of all latent variables, in spec order.
@@ -176,7 +186,9 @@ impl CircuitModel {
         let mut stack: Vec<String> = vec![variable.to_string()];
         while let Some(v) = stack.pop() {
             for p in self.parents_of(&v) {
-                let Some(pv) = self.spec.find(p) else { continue };
+                let Some(pv) = self.spec.find(p) else {
+                    continue;
+                };
                 if pv.ftype == FunctionalType::Latent && !out.iter().any(|o| o == p) {
                     out.push(p.to_string());
                     stack.push(p.to_string());
@@ -260,9 +272,18 @@ mod tests {
     #[test]
     fn rejects_bad_edges() {
         let mut m = model();
-        assert!(matches!(m.depends("ghost", "a"), Err(Error::UnknownVariable(_))));
-        assert!(matches!(m.depends("a", "ghost"), Err(Error::UnknownVariable(_))));
-        assert!(matches!(m.depends("a", "b"), Err(Error::DuplicateEdge { .. })));
+        assert!(matches!(
+            m.depends("ghost", "a"),
+            Err(Error::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            m.depends("a", "ghost"),
+            Err(Error::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            m.depends("a", "b"),
+            Err(Error::DuplicateEdge { .. })
+        ));
     }
 
     #[test]

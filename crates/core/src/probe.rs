@@ -26,10 +26,7 @@ pub struct ProbeSuggestion {
 }
 
 fn entropy(dist: &[f64]) -> f64 {
-    dist.iter()
-        .filter(|p| **p > 0.0)
-        .map(|p| -p * p.ln())
-        .sum()
+    dist.iter().filter(|p| **p > 0.0).map(|p| -p * p.ln()).sum()
 }
 
 impl DiagnosticEngine {
@@ -91,8 +88,7 @@ impl DiagnosticEngine {
             }
             suggestions.push(ProbeSuggestion {
                 variable: probe_name.clone(),
-                expected_information_gain: (rest_entropy_before - expected_after)
-                    .max(0.0),
+                expected_information_gain: (rest_entropy_before - expected_after).max(0.0),
                 own_entropy: entropy(probe_dist),
             });
         }
@@ -148,7 +144,10 @@ mod tests {
             [[0.98, 0.02], [0.95, 0.05], [0.95, 0.05], [0.03, 0.97]],
         );
         e.cpt("other", [[0.9, 0.1], [0.1, 0.9]]);
-        let dm = ModelBuilder::new(m).with_expert(e).build_expert_only().unwrap();
+        let dm = ModelBuilder::new(m)
+            .with_expert(e)
+            .build_expert_only()
+            .unwrap();
         DiagnosticEngine::new(dm).unwrap()
     }
 

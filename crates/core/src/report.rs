@@ -16,7 +16,11 @@ pub fn render_state_table(
     columns: &[(&str, &Diagnosis)],
 ) -> String {
     let mut out = String::new();
-    let _ = write!(out, "{:<12} {:>5} {:>9} {:>9} {:<22} {:>8}", "MVar.", "State", "LL(V)", "UL(V)", "Remarks", "Init(%)");
+    let _ = write!(
+        out,
+        "{:<12} {:>5} {:>9} {:>9} {:<22} {:>8}",
+        "MVar.", "State", "LL(V)", "UL(V)", "Remarks", "Init(%)"
+    );
     for (label, _) in columns {
         let _ = write!(out, " {:>7}", format!("{label}(%)"));
     }
@@ -37,7 +41,12 @@ pub fn render_state_table(
             let _ = write!(
                 out,
                 "{:<12} {:>5} {:>9.3} {:>9.3} {:<22} {:>8.1}",
-                name_cell, band.label, band.lo, band.hi, truncate(&band.remark, 22), init
+                name_cell,
+                band.label,
+                band.lo,
+                band.hi,
+                truncate(&band.remark, 22),
+                init
             );
             for (_, diagnosis) in columns {
                 let p = diagnosis
@@ -78,7 +87,15 @@ fn truncate(text: &str, max: usize) -> String {
     if text.len() <= max {
         text.to_string()
     } else {
-        format!("{}…", &text[..text.char_indices().take(max - 1).last().map(|(i, c)| i + c.len_utf8()).unwrap_or(0)])
+        format!(
+            "{}…",
+            &text[..text
+                .char_indices()
+                .take(max - 1)
+                .last()
+                .map(|(i, c)| i + c.len_utf8())
+                .unwrap_or(0)]
+        )
     }
 }
 
@@ -117,7 +134,10 @@ mod tests {
         let mut e = ExpertKnowledge::new(5.0);
         e.cpt("bias", [[0.2, 0.8]]);
         e.cpt("out", [[0.9, 0.1], [0.1, 0.9]]);
-        let dm = ModelBuilder::new(m).with_expert(e).build_expert_only().unwrap();
+        let dm = ModelBuilder::new(m)
+            .with_expert(e)
+            .build_expert_only()
+            .unwrap();
         DiagnosticEngine::new(dm).unwrap()
     }
 
@@ -136,7 +156,10 @@ mod tests {
         // 4 state rows + header + separator
         assert_eq!(table.lines().count(), 6);
         // The observed state shows 100%.
-        let out0_row = table.lines().find(|l| l.contains("out of regulation")).unwrap();
+        let out0_row = table
+            .lines()
+            .find(|l| l.contains("out of regulation"))
+            .unwrap();
         assert!(out0_row.contains("100.0"), "row: {out0_row}");
     }
 

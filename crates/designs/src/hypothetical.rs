@@ -13,15 +13,13 @@
 use crate::error::Result;
 use abbd_ate::{test_population, DeviceLog, Limits, NoiseModel, TestDef, TestProgram, TestSuite};
 use abbd_blocks::{
-    sample_defective_devices, Behavior, Circuit, CircuitBuilder, Device, Fault,
-    FaultMode, FaultUniverse, Stimulus, Window,
+    sample_defective_devices, Behavior, Circuit, CircuitBuilder, Device, Fault, FaultMode,
+    FaultUniverse, Stimulus, Window,
 };
-use abbd_core::{
-    CircuitModel, DiagnosticEngine, ExpertKnowledge, LearnAlgorithm, ModelBuilder,
-};
+use abbd_core::{CircuitModel, DiagnosticEngine, ExpertKnowledge, LearnAlgorithm, ModelBuilder};
 use abbd_dlog2bbn::{
-    generate_cases, CaseMapping, FunctionalType, GenerationStats, ModelSpec, NamedCase,
-    StateBand, VariableSpec,
+    generate_cases, CaseMapping, FunctionalType, GenerationStats, ModelSpec, NamedCase, StateBand,
+    VariableSpec,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,7 +35,11 @@ pub fn circuit() -> Circuit {
     let out4 = cb.net("out4").expect("fresh builder");
     cb.block(
         "block1",
-        Behavior::LevelShift { gain: 1.0, offset: 0.0, rail: 10.0 },
+        Behavior::LevelShift {
+            gain: 1.0,
+            offset: 0.0,
+            rail: 10.0,
+        },
         [in1],
         n1,
     )
@@ -58,7 +60,10 @@ pub fn circuit() -> Circuit {
     // Block-3: a bandgap fed from Block-1's output.
     cb.block(
         "block3",
-        Behavior::Reference { nominal: 1.2, min_supply: 4.0 },
+        Behavior::Reference {
+            nominal: 1.2,
+            min_supply: 4.0,
+        },
         [n1],
         n3,
     )
@@ -66,7 +71,11 @@ pub fn circuit() -> Circuit {
     // Block-4: an output amplifier of Block-3's reference.
     cb.block(
         "block4",
-        Behavior::LevelShift { gain: 2.5, offset: 0.0, rail: 6.0 },
+        Behavior::LevelShift {
+            gain: 2.5,
+            offset: 0.0,
+            rail: 6.0,
+        },
         [n3],
         out4,
     )
@@ -168,8 +177,16 @@ pub fn test_program(circuit: &Circuit) -> (TestProgram, CaseMapping) {
         mapping.map_test(t_out2, "block2");
         mapping.map_test(t_out4, "block4");
         mapping.declare_suite(name, [("block1", block1_state)]);
-        let expected_out2 = if block1_state == 0 { (-0.1, 0.2) } else { (3.5, 4.5) };
-        let expected_out4 = if block1_state == 2 { (2.75, 3.25) } else { (-0.1, 2.75) };
+        let expected_out2 = if block1_state == 0 {
+            (-0.1, 0.2)
+        } else {
+            (3.5, 4.5)
+        };
+        let expected_out4 = if block1_state == 2 {
+            (2.75, 3.25)
+        } else {
+            (-0.1, 2.75)
+        };
         program.push_suite(TestSuite {
             name: name.into(),
             stimulus: stimulus.clone(),
@@ -204,7 +221,10 @@ pub fn fault_universe(circuit: &Circuit) -> FaultUniverse {
     ]
     .into_iter()
     .map(|(b, m, w)| {
-        (Fault::new(circuit.require_block(b).expect("static blocks"), m), w)
+        (
+            Fault::new(circuit.require_block(b).expect("static blocks"), m),
+            w,
+        )
     })
     .collect()
 }
@@ -236,8 +256,7 @@ pub fn fit(n_failing: usize, seed: u64, algorithm: LearnAlgorithm) -> Result<Fit
     let mut logs: Vec<DeviceLog> = Vec::new();
     let mut next_id = 0u64;
     while logs.len() < n_failing {
-        let devices =
-            sample_defective_devices(&circuit, &universe, 1, next_id, &mut rng);
+        let devices = sample_defective_devices(&circuit, &universe, 1, next_id, &mut rng);
         next_id += 1;
         let device: Device = devices.into_iter().next().expect("non-empty universe");
         let mut batch = test_population(
@@ -261,7 +280,12 @@ pub fn fit(n_failing: usize, seed: u64, algorithm: LearnAlgorithm) -> Result<Fit
         .with_expert(expert_knowledge(40.0))
         .learn(&cases, algorithm)?;
     let engine = DiagnosticEngine::new(fitted)?;
-    Ok(FittedHypothetical { engine, logs, cases, stats })
+    Ok(FittedHypothetical {
+        engine,
+        logs,
+        cases,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -304,7 +328,10 @@ mod tests {
         let fitted = fit(
             30,
             7,
-            LearnAlgorithm::Em(EmConfig { max_iterations: 10, tolerance: 1e-5 }),
+            LearnAlgorithm::Em(EmConfig {
+                max_iterations: 10,
+                tolerance: 1e-5,
+            }),
         )
         .unwrap();
         // A device whose block3 died, observed at Operational-II: block2
@@ -321,7 +348,10 @@ mod tests {
         let fitted = fit(
             30,
             7,
-            LearnAlgorithm::Em(EmConfig { max_iterations: 10, tolerance: 1e-5 }),
+            LearnAlgorithm::Em(EmConfig {
+                max_iterations: 10,
+                tolerance: 1e-5,
+            }),
         )
         .unwrap();
         let mut obs = Observation::new();

@@ -38,7 +38,13 @@ pub fn case_studies() -> Vec<CaseStudy> {
                 ("enb4_pin", 1),
                 ("enbsw_pin", 1),
             ],
-            observables: [("reg1", 0), ("reg2", 1), ("reg3", 0), ("reg4", 0), ("sw", 0)],
+            observables: [
+                ("reg1", 0),
+                ("reg2", 1),
+                ("reg3", 0),
+                ("reg4", 0),
+                ("sw", 0),
+            ],
             expected_candidates: &["warnvpst", "hcbg"],
             injected: ("hcbg", FaultMode::Dead),
         },
@@ -53,7 +59,13 @@ pub fn case_studies() -> Vec<CaseStudy> {
                 ("enb4_pin", 1),
                 ("enbsw_pin", 1),
             ],
-            observables: [("reg1", 0), ("reg2", 1), ("reg3", 0), ("reg4", 1), ("sw", 2)],
+            observables: [
+                ("reg1", 0),
+                ("reg2", 1),
+                ("reg3", 0),
+                ("reg4", 1),
+                ("sw", 2),
+            ],
             expected_candidates: &["enb13"],
             injected: ("enb13", FaultMode::Dead),
         },
@@ -68,7 +80,13 @@ pub fn case_studies() -> Vec<CaseStudy> {
                 ("enb4_pin", 1),
                 ("enbsw_pin", 1),
             ],
-            observables: [("reg1", 0), ("reg2", 1), ("reg3", 0), ("reg4", 0), ("sw", 0)],
+            observables: [
+                ("reg1", 0),
+                ("reg2", 1),
+                ("reg3", 0),
+                ("reg4", 0),
+                ("sw", 0),
+            ],
             expected_candidates: &["warnvpst"],
             injected: ("warnvpst", FaultMode::Dead),
         },
@@ -83,7 +101,13 @@ pub fn case_studies() -> Vec<CaseStudy> {
                 ("enb4_pin", 3),
                 ("enbsw_pin", 3),
             ],
-            observables: [("reg1", 0), ("reg2", 0), ("reg3", 0), ("reg4", 0), ("sw", 0)],
+            observables: [
+                ("reg1", 0),
+                ("reg2", 0),
+                ("reg3", 0),
+                ("reg4", 0),
+                ("sw", 0),
+            ],
             expected_candidates: &["lcbg"],
             injected: ("lcbg", FaultMode::Dead),
         },
@@ -98,7 +122,13 @@ pub fn case_studies() -> Vec<CaseStudy> {
                 ("enb4_pin", 1),
                 ("enbsw_pin", 1),
             ],
-            observables: [("reg1", 1), ("reg2", 1), ("reg3", 1), ("reg4", 1), ("sw", 0)],
+            observables: [
+                ("reg1", 1),
+                ("reg2", 1),
+                ("reg3", 1),
+                ("reg4", 1),
+                ("sw", 0),
+            ],
             expected_candidates: &["enbsw"],
             injected: ("enbsw", FaultMode::Dead),
         },
@@ -185,13 +215,15 @@ mod tests {
             let id = c.require_block(block).unwrap();
             let mut dut = Device::golden(&c);
             dut.faults = DeviceFaults::single(Fault::new(id, mode));
-            let log =
-                test_device(&c, &program, &dut, NoiseModel::none(), &mut rng).unwrap();
+            let log = test_device(&c, &program, &dut, NoiseModel::none(), &mut rng).unwrap();
             let si = plans.iter().position(|p| p.name == case.suite).unwrap();
             for (oi, (var, expected_state)) in case.observables.into_iter().enumerate() {
                 let number = test_number(si, oi);
-                let record =
-                    log.records.iter().find(|r| r.test_number == number).unwrap();
+                let record = log
+                    .records
+                    .iter()
+                    .find(|r| r.test_number == number)
+                    .unwrap();
                 let got = spec.find(var).unwrap().bin(record.value);
                 assert_eq!(
                     got,

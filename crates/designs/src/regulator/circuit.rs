@@ -24,8 +24,7 @@
 use abbd_blocks::{Behavior, Circuit, CircuitBuilder, LogicOp, Window};
 
 /// Net names of the regulator's external inputs, in stimulus order.
-pub const INPUT_NETS: [&str; 6] =
-    ["vp1", "vp1x", "vp2", "enb13_pin", "enb4_pin", "enbsw_pin"];
+pub const INPUT_NETS: [&str; 6] = ["vp1", "vp1x", "vp2", "enb13_pin", "enb4_pin", "enbsw_pin"];
 
 /// Net names of the regulator's measured outputs.
 pub const OUTPUT_NETS: [&str; 5] = ["sw_out", "reg1_out", "reg2_out", "reg3_out", "reg4_out"];
@@ -64,7 +63,10 @@ pub fn circuit() -> Circuit {
 
     cb.block_with_spread(
         "lcbg",
-        Behavior::Reference { nominal: 1.2, min_supply: 3.5 },
+        Behavior::Reference {
+            nominal: 1.2,
+            min_supply: 3.5,
+        },
         [vp1],
         lcbg_out,
         0.01,
@@ -150,7 +152,12 @@ pub fn circuit() -> Circuit {
     let reference = Window::new(1.05, 1.35);
     cb.block_with_spread(
         "reg1",
-        Behavior::Regulator { nominal: 8.5, dropout: 1.0, enable_threshold: 2.5, reference },
+        Behavior::Regulator {
+            nominal: 8.5,
+            dropout: 1.0,
+            enable_threshold: 2.5,
+            reference,
+        },
         [vp1, enb13_out, hcbg_out],
         reg1_out,
         0.005,
@@ -159,7 +166,12 @@ pub fn circuit() -> Circuit {
     .expect("static netlist");
     cb.block_with_spread(
         "reg3",
-        Behavior::Regulator { nominal: 5.0, dropout: 1.0, enable_threshold: 2.5, reference },
+        Behavior::Regulator {
+            nominal: 5.0,
+            dropout: 1.0,
+            enable_threshold: 2.5,
+            reference,
+        },
         [vp1, enb13_out, hcbg_out],
         reg3_out,
         0.005,
@@ -168,7 +180,12 @@ pub fn circuit() -> Circuit {
     .expect("static netlist");
     cb.block_with_spread(
         "reg4",
-        Behavior::Regulator { nominal: 3.3, dropout: 0.7, enable_threshold: 2.5, reference },
+        Behavior::Regulator {
+            nominal: 3.3,
+            dropout: 0.7,
+            enable_threshold: 2.5,
+            reference,
+        },
         [vp1, enb4_out, hcbg_out],
         reg4_out,
         0.005,
@@ -178,7 +195,12 @@ pub fn circuit() -> Circuit {
     // reg2 is the always-on regulator: its enable rides on its own supply.
     cb.block_with_spread(
         "reg2",
-        Behavior::Regulator { nominal: 5.0, dropout: 0.8, enable_threshold: 2.5, reference },
+        Behavior::Regulator {
+            nominal: 5.0,
+            dropout: 0.8,
+            enable_threshold: 2.5,
+            reference,
+        },
         [vp2, vp2, lcbg_out],
         reg2_out,
         0.005,
@@ -187,7 +209,11 @@ pub fn circuit() -> Circuit {
     .expect("static netlist");
     cb.block_with_spread(
         "sw",
-        Behavior::Switch { drop: 0.3, clamp: 16.0, enable_threshold: 2.5 },
+        Behavior::Switch {
+            drop: 0.3,
+            clamp: 16.0,
+            enable_threshold: 2.5,
+        },
         [vp1x, enbsw_out],
         sw_out,
         0.005,
@@ -219,8 +245,7 @@ mod tests {
         let c = circuit();
         assert_eq!(c.block_count(), 13);
         assert_eq!(c.net_count(), 19);
-        let inputs: Vec<&str> =
-            c.input_nets().iter().map(|n| c.net_name(*n)).collect();
+        let inputs: Vec<&str> = c.input_nets().iter().map(|n| c.net_name(*n)).collect();
         assert_eq!(inputs, INPUT_NETS.to_vec());
         for name in OUTPUT_NETS {
             assert!(c.find_net(name).is_some(), "missing {name}");
@@ -231,7 +256,9 @@ mod tests {
     fn healthy_nominal_operating_point() {
         let c = circuit();
         let sim = Simulator::new(&c, SimConfig::default());
-        let op = sim.solve(&Device::golden(&c), &nominal_stimulus(&c)).unwrap();
+        let op = sim
+            .solve(&Device::golden(&c), &nominal_stimulus(&c))
+            .unwrap();
         let v = |name: &str| op.voltage(c.find_net(name).unwrap());
         assert!((v("lcbg_out") - 1.2).abs() < 1e-9);
         assert!((v("hcbg_out") - 1.2).abs() < 1e-9);
@@ -338,7 +365,10 @@ mod tests {
         assert!((v("reg1_out") - 5.5).abs() < 1e-9, "tracks vp1 - dropout");
         assert!((v("reg3_out") - 5.0).abs() < 1e-9, "still in regulation");
         assert!((v("reg4_out") - 3.3).abs() < 1e-9);
-        assert!((v("reg2_out") - 5.0).abs() < 1e-9, "5.9 V leaves just enough headroom");
+        assert!(
+            (v("reg2_out") - 5.0).abs() < 1e-9,
+            "5.9 V leaves just enough headroom"
+        );
         assert!((v("sw_out") - 6.7).abs() < 1e-9);
     }
 

@@ -192,7 +192,9 @@ pub fn rough_expert_knowledge(equivalent_sample_size: f64) -> ExpertKnowledge {
     let spec = crate::regulator::model::model_spec();
     let mut rough = ExpertKnowledge::new(equivalent_sample_size);
     for v in spec.variables() {
-        let Some(table) = sharp.table(&v.name) else { continue };
+        let Some(table) = sharp.table(&v.name) else {
+            continue;
+        };
         let card = v.card();
         let uniform = 1.0 / card as f64;
         let rows: Vec<Vec<f64>> = table

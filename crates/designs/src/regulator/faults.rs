@@ -55,7 +55,9 @@ mod tests {
         let c = circuit();
         let u = fault_universe(&c);
         assert_eq!(u.len(), fault_catalog().len());
-        for latent in ["lcbg", "hcbg", "warnvpst", "enblSen", "vx", "enb13", "enb4", "enbsw"] {
+        for latent in [
+            "lcbg", "hcbg", "warnvpst", "enblSen", "vx", "enb13", "enb4", "enbsw",
+        ] {
             let id = c.require_block(latent).unwrap();
             assert!(
                 u.iter().any(|(f, _)| f.block == id),

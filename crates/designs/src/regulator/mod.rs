@@ -14,9 +14,7 @@ pub mod program;
 use crate::error::{Error, Result};
 use abbd_ate::{test_population, DeviceLog, NoiseModel, TestProgram};
 use abbd_blocks::{sample_defective_devices, Circuit, Device, FaultUniverse};
-use abbd_core::{
-    CircuitModel, DiagnosticEngine, ExpertKnowledge, LearnAlgorithm, ModelBuilder,
-};
+use abbd_core::{CircuitModel, DiagnosticEngine, ExpertKnowledge, LearnAlgorithm, ModelBuilder};
 use abbd_dlog2bbn::{generate_cases, CaseMapping, GenerationStats, NamedCase};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -125,8 +123,7 @@ pub fn synthesize(n_failing: usize, seed: u64, first_id: u64) -> Result<Populati
                 "fault universe cannot produce enough failing devices".into(),
             ));
         }
-        let batch =
-            sample_defective_devices(&rig.circuit, &rig.universe, 1, next_id, &mut rng);
+        let batch = sample_defective_devices(&rig.circuit, &rig.universe, 1, next_id, &mut rng);
         let Some(device) = batch.into_iter().next() else {
             return Err(Error::Pipeline("empty fault universe".into()));
         };
@@ -145,7 +142,30 @@ pub fn synthesize(n_failing: usize, seed: u64, first_id: u64) -> Result<Populati
         }
     }
     let (cases, stats) = generate_cases(rig.model.spec(), &rig.mapping, &logs)?;
-    Ok(Population { devices, logs, cases, stats })
+    Ok(Population {
+        devices,
+        logs,
+        cases,
+        stats,
+    })
+}
+
+/// Diagnoses a whole population of cases (one per `(device, suite)`) in a
+/// single parallel batch against one compiled engine — the serving shape
+/// of the ATE return-floor loop. Results come back in case order; each
+/// case succeeds or fails independently.
+///
+/// This is the designs-layer face of
+/// [`abbd_core::DiagnosticEngine::diagnose_batch`]: it maps Dlog2BBN cases
+/// to observations and fans them out with one reused propagation
+/// workspace per worker thread.
+pub fn diagnose_population(
+    engine: &DiagnosticEngine,
+    cases: &[NamedCase],
+) -> Vec<std::result::Result<abbd_core::Diagnosis, abbd_core::Error>> {
+    let observations: Vec<abbd_core::Observation> =
+        cases.iter().map(abbd_core::Observation::from).collect();
+    engine.diagnose_batch(&observations)
 }
 
 /// Runs the paper's §IV flow end to end: fabricate `n_failing` defective
@@ -182,7 +202,10 @@ mod tests {
         fit(
             24,
             42,
-            LearnAlgorithm::Em(EmConfig { max_iterations: 8, tolerance: 1e-4 }),
+            LearnAlgorithm::Em(EmConfig {
+                max_iterations: 8,
+                tolerance: 1e-4,
+            }),
         )
         .unwrap()
     }
@@ -206,6 +229,37 @@ mod tests {
         let b = quick_fit();
         assert_eq!(a.engine.model().network(), b.engine.model().network());
         assert_eq!(a.cases, b.cases);
+    }
+
+    #[test]
+    fn batch_population_diagnosis_matches_sequential() {
+        let fitted = quick_fit();
+        let cases: Vec<NamedCase> = fitted
+            .cases
+            .iter()
+            .filter(|c| !c.failing.is_empty())
+            .take(12)
+            .cloned()
+            .collect();
+        assert!(
+            !cases.is_empty(),
+            "a failing population yields failing cases"
+        );
+        let batch = diagnose_population(&fitted.engine, &cases);
+        assert_eq!(batch.len(), cases.len());
+        for (case, got) in cases.iter().zip(&batch) {
+            let obs = abbd_core::Observation::from(case);
+            match (fitted.engine.diagnose(&obs), got) {
+                (Ok(seq), Ok(batched)) => {
+                    assert_eq!(batched.posteriors(), seq.posteriors());
+                    assert_eq!(batched.candidates(), seq.candidates());
+                }
+                (Err(_), Err(_)) => {}
+                (seq, batched) => {
+                    panic!("batch/sequential disagree: {seq:?} vs {batched:?}")
+                }
+            }
+        }
     }
 
     #[test]

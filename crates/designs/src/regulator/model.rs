@@ -3,19 +3,40 @@
 //! dependency structure (paper Fig. 3, reconstructed from the case-study
 //! narrative of §IV-B).
 
+// The 3.14 V regulator output limit is the paper's specification value,
+// not an approximation of pi.
+#![allow(clippy::approx_constant)]
+
 use abbd_core::CircuitModel;
 use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
 
 /// The 19 model-variable names in paper Table VII order.
 pub const VARIABLES: [&str; 19] = [
-    "vp1", "vp1x", "vp2", "enb13_pin", "enb4_pin", "enbsw_pin", "sw", "reg1", "reg2",
-    "reg3", "reg4", "lcbg", "enbsw", "warnvpst", "enblSen", "vx", "hcbg", "enb4",
+    "vp1",
+    "vp1x",
+    "vp2",
+    "enb13_pin",
+    "enb4_pin",
+    "enbsw_pin",
+    "sw",
+    "reg1",
+    "reg2",
+    "reg3",
+    "reg4",
+    "lcbg",
+    "enbsw",
+    "warnvpst",
+    "enblSen",
+    "vx",
+    "hcbg",
+    "enb4",
     "enb13",
 ];
 
 /// The 8 latent (NOT CONTROL/OBSERVE) model variables.
-pub const LATENTS: [&str; 8] =
-    ["lcbg", "enbsw", "warnvpst", "enblSen", "vx", "hcbg", "enb4", "enb13"];
+pub const LATENTS: [&str; 8] = [
+    "lcbg", "enbsw", "warnvpst", "enblSen", "vx", "hcbg", "enb4", "enb13",
+];
 
 fn enable_pin_bands() -> Vec<StateBand> {
     vec![
@@ -99,9 +120,24 @@ pub fn model_spec() -> ModelSpec {
             ],
             Some("2"),
         ),
-        v("enb13_pin", FunctionalType::Control, enable_pin_bands(), Some("3")),
-        v("enb4_pin", FunctionalType::Control, enable_pin_bands(), Some("4")),
-        v("enbsw_pin", FunctionalType::Control, enable_pin_bands(), Some("5")),
+        v(
+            "enb13_pin",
+            FunctionalType::Control,
+            enable_pin_bands(),
+            Some("3"),
+        ),
+        v(
+            "enb4_pin",
+            FunctionalType::Control,
+            enable_pin_bands(),
+            Some("4"),
+        ),
+        v(
+            "enbsw_pin",
+            FunctionalType::Control,
+            enable_pin_bands(),
+            Some("5"),
+        ),
         v(
             "sw",
             FunctionalType::Observe,
@@ -124,9 +160,24 @@ pub fn model_spec() -> ModelSpec {
             ],
             Some("7"),
         ),
-        v("reg2", FunctionalType::Observe, regulator_bands(4.75, 5.25, "out of regulation"), Some("8")),
-        v("reg3", FunctionalType::Observe, regulator_bands(4.75, 5.25, "out of regulation"), Some("9")),
-        v("reg4", FunctionalType::Observe, regulator_bands(3.14, 3.46, "out of regulation"), Some("10")),
+        v(
+            "reg2",
+            FunctionalType::Observe,
+            regulator_bands(4.75, 5.25, "out of regulation"),
+            Some("8"),
+        ),
+        v(
+            "reg3",
+            FunctionalType::Observe,
+            regulator_bands(4.75, 5.25, "out of regulation"),
+            Some("9"),
+        ),
+        v(
+            "reg4",
+            FunctionalType::Observe,
+            regulator_bands(3.14, 3.46, "out of regulation"),
+            Some("10"),
+        ),
         v(
             "lcbg",
             FunctionalType::Latent,
@@ -138,13 +189,48 @@ pub fn model_spec() -> ModelSpec {
             ],
             Some("12"),
         ),
-        v("enbsw", FunctionalType::Latent, active_bands("non-active", "active"), Some("11")),
-        v("warnvpst", FunctionalType::Latent, active_bands("off", "on"), Some("13")),
-        v("enblSen", FunctionalType::Latent, active_bands("non-active", "active"), Some("14")),
-        v("vx", FunctionalType::Latent, bandgap_level_bands("bad state", "good state"), None),
-        v("hcbg", FunctionalType::Latent, bandgap_level_bands("bad state", "good state"), None),
-        v("enb4", FunctionalType::Latent, active_bands("non-active", "active"), Some("15")),
-        v("enb13", FunctionalType::Latent, active_bands("non-active", "active"), Some("16")),
+        v(
+            "enbsw",
+            FunctionalType::Latent,
+            active_bands("non-active", "active"),
+            Some("11"),
+        ),
+        v(
+            "warnvpst",
+            FunctionalType::Latent,
+            active_bands("off", "on"),
+            Some("13"),
+        ),
+        v(
+            "enblSen",
+            FunctionalType::Latent,
+            active_bands("non-active", "active"),
+            Some("14"),
+        ),
+        v(
+            "vx",
+            FunctionalType::Latent,
+            bandgap_level_bands("bad state", "good state"),
+            None,
+        ),
+        v(
+            "hcbg",
+            FunctionalType::Latent,
+            bandgap_level_bands("bad state", "good state"),
+            None,
+        ),
+        v(
+            "enb4",
+            FunctionalType::Latent,
+            active_bands("non-active", "active"),
+            Some("15"),
+        ),
+        v(
+            "enb13",
+            FunctionalType::Latent,
+            active_bands("non-active", "active"),
+            Some("16"),
+        ),
     ])
     .expect("static spec always validates")
 }
@@ -189,7 +275,8 @@ pub fn circuit_model() -> CircuitModel {
     dep(&mut m, "vp1x", "sw");
     dep(&mut m, "enbsw", "sw");
     // lcbg fails in three of its four states (dead, drifted high, short).
-    m.set_fault_states("lcbg", &[0, 2, 3]).expect("static fault states");
+    m.set_fault_states("lcbg", &[0, 2, 3])
+        .expect("static fault states");
     // Observable fault states are condition-relative; state 0 is the "off
     // or defective" band used for self-candidate triggering.
     m
@@ -203,13 +290,19 @@ mod tests {
     fn spec_matches_paper_inventory() {
         let spec = model_spec();
         assert_eq!(spec.len(), 19);
-        let names: Vec<&str> =
-            spec.variables().iter().map(|v| v.name.as_str()).collect();
+        let names: Vec<&str> = spec.variables().iter().map(|v| v.name.as_str()).collect();
         assert_eq!(names, VARIABLES.to_vec());
         // Functional-type counts from Table V: 6 control, 5 observe, 8 latent.
-        let controls = spec.variables().iter().filter(|v| v.ftype.is_control()).count();
-        let observables =
-            spec.variables().iter().filter(|v| v.ftype.is_observable()).count();
+        let controls = spec
+            .variables()
+            .iter()
+            .filter(|v| v.ftype.is_control())
+            .count();
+        let observables = spec
+            .variables()
+            .iter()
+            .filter(|v| v.ftype.is_observable())
+            .count();
         let latents = spec
             .variables()
             .iter()
@@ -257,7 +350,10 @@ mod tests {
         let m = circuit_model();
         assert_eq!(m.parents_of("warnvpst"), vec!["lcbg", "hcbg"]);
         assert_eq!(m.parents_of("enb13"), vec!["warnvpst", "enb13_pin"]);
-        assert_eq!(m.parents_of("vx"), vec!["enb13_pin", "enb4_pin", "enbsw_pin"]);
+        assert_eq!(
+            m.parents_of("vx"),
+            vec!["enb13_pin", "enb4_pin", "enbsw_pin"]
+        );
         assert_eq!(m.parents_of("hcbg"), vec!["vp1", "enblSen"]);
         assert_eq!(m.parents_of("reg2"), vec!["vp2", "lcbg"]);
         assert_eq!(m.parents_of("sw"), vec!["vp1x", "enbsw"]);

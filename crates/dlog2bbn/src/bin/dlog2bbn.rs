@@ -24,7 +24,8 @@ fn run() -> Result<(), String> {
         match arg.as_str() {
             "-o" | "--output" => {
                 output = Some(
-                    it.next().ok_or_else(|| format!("-o needs a path\n{}", usage()))?,
+                    it.next()
+                        .ok_or_else(|| format!("-o needs a path\n{}", usage()))?,
                 );
             }
             "--failing-only" => failing_only = true,
@@ -40,8 +41,8 @@ fn run() -> Result<(), String> {
     };
     let output = output.ok_or_else(|| format!("missing -o <cases.json>\n{}", usage()))?;
 
-    let spec_text = std::fs::read_to_string(spec_path)
-        .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec_text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
     let spec = ModelSpec::from_json(&spec_text).map_err(|e| e.to_string())?;
     let mapping_text = std::fs::read_to_string(mapping_path)
         .map_err(|e| format!("cannot read {mapping_path}: {e}"))?;

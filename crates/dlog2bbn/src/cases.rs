@@ -281,7 +281,7 @@ mod tests {
             lo: 4.75,
             hi: 5.25,
             value,
-            passed: value >= 4.75 && value <= 5.25,
+            passed: (4.75..=5.25).contains(&value),
         }
     }
 
@@ -303,7 +303,11 @@ mod tests {
         assert_eq!(stats.cases, 2);
         assert_eq!(stats.unbinnable, 0);
         assert_eq!(cases[0].state_of("reg1"), Some(1));
-        assert_eq!(cases[0].state_of("vp1"), Some(1), "control from suite declaration");
+        assert_eq!(
+            cases[0].state_of("vp1"),
+            Some(1),
+            "control from suite declaration"
+        );
         assert_eq!(cases[0].state_of("lcbg"), None, "latent stays hidden");
         assert_eq!(cases[1].state_of("reg1"), Some(0));
         assert_eq!(cases[1].truth, vec!["lcbg:dead".to_string()]);
@@ -353,7 +357,10 @@ mod tests {
         // State out of range.
         let mut m = CaseMapping::new();
         m.declare_suite("s", [("vp1", 5usize)]);
-        assert!(matches!(m.validate(&spec), Err(Error::StateOutOfRange { .. })));
+        assert!(matches!(
+            m.validate(&spec),
+            Err(Error::StateOutOfRange { .. })
+        ));
         // Unknown variable.
         let mut m = CaseMapping::new();
         m.map_test(1, "ghost");

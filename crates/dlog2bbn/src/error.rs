@@ -82,10 +82,22 @@ mod tests {
         let samples = [
             Error::DuplicateVariable("v".into()),
             Error::UnknownVariable("v".into()),
-            Error::TooFewStates { variable: "v".into(), states: 1 },
-            Error::InvalidBand { variable: "v".into(), state: "s".into() },
-            Error::StateOutOfRange { variable: "v".into(), state: 9 },
-            Error::TypeMismatch { variable: "v".into(), reason: "r".into() },
+            Error::TooFewStates {
+                variable: "v".into(),
+                states: 1,
+            },
+            Error::InvalidBand {
+                variable: "v".into(),
+                state: "s".into(),
+            },
+            Error::StateOutOfRange {
+                variable: "v".into(),
+                state: 9,
+            },
+            Error::TypeMismatch {
+                variable: "v".into(),
+                reason: "r".into(),
+            },
             Error::Io("x".into()),
         ];
         for e in samples {

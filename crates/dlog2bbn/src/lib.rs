@@ -51,8 +51,7 @@ mod error;
 mod spec;
 
 pub use cases::{
-    cases_from_json, cases_to_json, generate_cases, CaseMapping, GenerationStats,
-    NamedCase,
+    cases_from_json, cases_to_json, generate_cases, CaseMapping, GenerationStats, NamedCase,
 };
 pub use error::{Error, Result};
 pub use spec::{FunctionalType, ModelSpec, StateBand, VariableSpec};

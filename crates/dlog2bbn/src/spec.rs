@@ -24,12 +24,18 @@ pub enum FunctionalType {
 impl FunctionalType {
     /// `true` for `Control` and `ControlObserve`.
     pub fn is_control(self) -> bool {
-        matches!(self, FunctionalType::Control | FunctionalType::ControlObserve)
+        matches!(
+            self,
+            FunctionalType::Control | FunctionalType::ControlObserve
+        )
     }
 
     /// `true` for `Observe` and `ControlObserve`.
     pub fn is_observable(self) -> bool {
-        matches!(self, FunctionalType::Observe | FunctionalType::ControlObserve)
+        matches!(
+            self,
+            FunctionalType::Observe | FunctionalType::ControlObserve
+        )
     }
 
     /// The paper's table rendering (e.g. `NOT CONTROL/OBSERVE`).
@@ -60,7 +66,12 @@ pub struct StateBand {
 impl StateBand {
     /// Convenience constructor.
     pub fn new<L: Into<String>, R: Into<String>>(label: L, lo: f64, hi: f64, remark: R) -> Self {
-        StateBand { label: label.into(), lo, hi, remark: remark.into() }
+        StateBand {
+            label: label.into(),
+            lo,
+            hi,
+            remark: remark.into(),
+        }
     }
 
     /// `true` when `volts` lies inside the band.
@@ -163,7 +174,8 @@ impl ModelSpec {
     ///
     /// Returns [`Error::UnknownVariable`].
     pub fn require(&self, name: &str) -> Result<&VariableSpec> {
-        self.find(name).ok_or_else(|| Error::UnknownVariable(name.into()))
+        self.find(name)
+            .ok_or_else(|| Error::UnknownVariable(name.into()))
     }
 
     /// Bins `volts` for the named variable.

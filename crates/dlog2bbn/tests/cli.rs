@@ -74,9 +74,12 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
 fn converts_datalog_to_cases() {
     let dir = temp_dir("basic");
     let output = run(&dir, &[]);
-    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
-    let cases =
-        cases_from_json(&std::fs::read_to_string(dir.join("cases.json")).unwrap()).unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let cases = cases_from_json(&std::fs::read_to_string(dir.join("cases.json")).unwrap()).unwrap();
     assert_eq!(cases.len(), 2);
     assert_eq!(cases[0].state_of("vout"), Some(1));
     assert_eq!(cases[0].state_of("vin"), Some(1));
@@ -90,8 +93,7 @@ fn failing_only_filters_passing_devices() {
     let dir = temp_dir("failing");
     let output = run(&dir, &["--failing-only"]);
     assert!(output.status.success());
-    let cases =
-        cases_from_json(&std::fs::read_to_string(dir.join("cases.json")).unwrap()).unwrap();
+    let cases = cases_from_json(&std::fs::read_to_string(dir.join("cases.json")).unwrap()).unwrap();
     assert_eq!(cases.len(), 1);
     assert_eq!(cases[0].device_id, 2);
 }

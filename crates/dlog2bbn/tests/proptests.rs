@@ -1,23 +1,19 @@
 //! Property-based tests for the case generator: binning invariants and
 //! spec round-trips under random band layouts.
 
+use abbd_ate::{DeviceLog, Record};
 use abbd_dlog2bbn::{
     generate_cases, CaseMapping, FunctionalType, ModelSpec, StateBand, VariableSpec,
 };
-use abbd_ate::{DeviceLog, Record};
 use proptest::prelude::*;
 
 fn bands_strategy() -> impl Strategy<Value = Vec<StateBand>> {
-    proptest::collection::vec((0.0f64..10.0, 0.0f64..5.0, "[a-z]{1,8}"), 2..6).prop_map(
-        |raw| {
-            raw.into_iter()
-                .enumerate()
-                .map(|(i, (lo, width, remark))| {
-                    StateBand::new(i.to_string(), lo, lo + width, remark)
-                })
-                .collect()
-        },
-    )
+    proptest::collection::vec((0.0f64..10.0, 0.0f64..5.0, "[a-z]{1,8}"), 2..6).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (lo, width, remark))| StateBand::new(i.to_string(), lo, lo + width, remark))
+            .collect()
+    })
 }
 
 proptest! {

@@ -14,7 +14,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let work_dir = std::env::args().nth(1).unwrap_or_else(|| "target/ate_flow".into());
+    let work_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/ate_flow".into());
     std::fs::create_dir_all(&work_dir)?;
     let rig = regulator::rig();
 
@@ -29,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut rng,
     )?;
     let failing: Vec<_> = logs.iter().filter(|l| !l.all_passed()).cloned().collect();
-    println!("tested {} devices; {} failed at least one limit", logs.len(), failing.len());
+    println!(
+        "tested {} devices; {} failed at least one limit",
+        logs.len(),
+        failing.len()
+    );
 
     // --- datalog file ----------------------------------------------------
     let datalog_path = format!("{work_dir}/regulator.dlog");

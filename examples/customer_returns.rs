@@ -82,7 +82,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sig.device_id,
             truth,
             shown.join(" "),
-            if hit1 { "top1" } else if hit2 { "top2" } else { "-" }
+            if hit1 {
+                "top1"
+            } else if hit2 {
+                "top2"
+            } else {
+                "-"
+            }
         );
     }
     println!(

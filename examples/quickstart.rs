@@ -6,8 +6,7 @@
 
 use abbd::bbn::learn::EmConfig;
 use abbd::core::{
-    CircuitModel, DiagnosticEngine, ExpertKnowledge, LearnAlgorithm, ModelBuilder,
-    Observation,
+    CircuitModel, DiagnosticEngine, ExpertKnowledge, LearnAlgorithm, ModelBuilder, Observation,
 };
 use abbd::dlog2bbn::{FunctionalType, ModelSpec, NamedCase, StateBand, VariableSpec};
 
@@ -64,17 +63,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|i| NamedCase {
             device_id: i,
             suite: "dc".into(),
-            assignment: vec![("supply".into(), 1), ("out".into(), usize::from(i % 5 == 0))],
-            failing: if i % 5 == 0 { vec![] } else { vec!["out".into()] },
+            assignment: vec![
+                ("supply".into(), 1),
+                ("out".into(), usize::from(i % 5 == 0)),
+            ],
+            failing: if i % 5 == 0 {
+                vec![]
+            } else {
+                vec!["out".into()]
+            },
             truth: vec![],
         })
         .collect();
-    let fitted = ModelBuilder::new(model)
-        .with_expert(expert)
-        .learn(
-            &cases,
-            LearnAlgorithm::Em(EmConfig { max_iterations: 20, tolerance: 1e-6 }),
-        )?;
+    let fitted = ModelBuilder::new(model).with_expert(expert).learn(
+        &cases,
+        LearnAlgorithm::Em(EmConfig {
+            max_iterations: 20,
+            tolerance: 1e-6,
+        }),
+    )?;
     let summary = fitted.summary().expect("learning ran");
     println!(
         "fine-tuned on {} cases in {} EM iteration(s)",
@@ -90,8 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nposterior state probabilities:");
     for (name, dist) in diagnosis.posteriors() {
-        let cells: Vec<String> =
-            dist.iter().map(|p| format!("{:5.1}%", p * 100.0)).collect();
+        let cells: Vec<String> = dist.iter().map(|p| format!("{:5.1}%", p * 100.0)).collect();
         println!("  {name:<8} [{}]", cells.join(" "));
     }
     println!("\nranked failing-block candidates:");

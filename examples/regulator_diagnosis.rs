@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let columns: Vec<(&str, &Diagnosis)> =
         diagnoses.iter().map(|(id, d)| (id.as_str(), d)).collect();
 
-    println!("\n{}", render_state_table(fitted.engine.model(), &baseline, &columns));
+    println!(
+        "\n{}",
+        render_state_table(fitted.engine.model(), &baseline, &columns)
+    );
 
     for (case, (_, diagnosis)) in studies.iter().zip(&diagnoses) {
         println!(
@@ -44,9 +47,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // analyst open first? Rank internal blocks by value of information.
     let d1 = &studies[0];
     let probes = fitted.engine.rank_probes(&d1.observation())?;
-    println!("step-two probe order for case {} (expected information gain):", d1.id);
+    println!(
+        "step-two probe order for case {} (expected information gain):",
+        d1.id
+    );
     for p in probes.iter().take(3) {
-        println!("  probe {:<10} gain {:.3} nats", p.variable, p.expected_information_gain);
+        println!(
+            "  probe {:<10} gain {:.3} nats",
+            p.variable, p.expected_information_gain
+        );
     }
     Ok(())
 }

@@ -1,0 +1,184 @@
+//! Minimal in-tree replacement for the `rayon` crate.
+//!
+//! Exposes the one shape the workspace uses — `slice.par_iter().map(f)
+//! .collect()` — with an order-preserving implementation on top of
+//! `std::thread::scope`. Work is split into one contiguous chunk per
+//! available core; results come back in input order. For a single element
+//! (or a single core) the closure runs inline on the calling thread.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the shim will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Entry point: types that can hand out a parallel iterator over `&T`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// The parallel iterator.
+    type Iter;
+
+    /// A parallel iterator over borrowed elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// A parallel iterator over a slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Like `map`, but each worker first builds a reusable state value with
+    /// `init` (rayon's `map_init`): `init` runs once per worker chunk, and
+    /// `f` receives a mutable borrow of that state alongside each element.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<'a, T, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+    {
+        ParMapInit {
+            slice: self.slice,
+            init,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator with per-worker state, ready to collect.
+#[derive(Debug, Clone, Copy)]
+pub struct ParMapInit<'a, T, INIT, F> {
+    slice: &'a [T],
+    init: INIT,
+    f: F,
+}
+
+impl<'a, T: Sync, INIT, F> ParMapInit<'a, T, INIT, F> {
+    /// Runs the map across threads and collects results in input order.
+    pub fn collect<C, S, R>(self) -> C
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let (init, f) = (&self.init, &self.f);
+        run_chunked(self.slice, &|part: &'a [T]| {
+            let mut state = init();
+            part.iter().map(|item| f(&mut state, item)).collect()
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+#[derive(Debug, Clone, Copy)]
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map across threads and collects results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        run_ordered(self.slice, &self.f).into_iter().collect()
+    }
+}
+
+/// Maps `slice` through `f` with one contiguous chunk per core, preserving
+/// input order in the returned vector.
+fn run_ordered<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(slice: &'a [T], f: &F) -> Vec<R> {
+    run_chunked(slice, &|part: &'a [T]| part.iter().map(f).collect())
+}
+
+/// Runs `work` once per contiguous chunk (one chunk per core) and
+/// concatenates the chunk results in input order.
+fn run_chunked<'a, T: Sync, R: Send>(
+    slice: &'a [T],
+    work: &(dyn Fn(&'a [T]) -> Vec<R> + Sync),
+) -> Vec<R> {
+    let threads = current_num_threads().min(slice.len().max(1));
+    if threads <= 1 || slice.len() <= 1 {
+        return work(slice);
+    }
+    let chunk = slice.len().div_ceil(threads);
+    let mut chunk_results: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slice
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || work(part)))
+            .collect();
+        for h in handles {
+            chunk_results.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    chunk_results.into_iter().flatten().collect()
+}
+
+/// The names user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [41usize];
+        let out: Vec<usize> = one[..].par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

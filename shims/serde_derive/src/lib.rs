@@ -1,0 +1,464 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-tree serde shim. Parses the item's token stream directly (no syn),
+//! supports plain structs (named, tuple, unit) and enums (unit, tuple and
+//! struct variants), plus the `#[serde(default)]` and `#[serde(skip)]`
+//! field attributes. Generic types are rejected with a compile error; the
+//! workspace does not derive on any.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Serde flags found in one attribute run: (skip, default).
+fn scan_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool, bool) {
+    let mut skip = false;
+    let mut default = false;
+    while i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            for t in args.stream() {
+                                if let TokenTree::Ident(flag) = t {
+                                    match flag.to_string().as_str() {
+                                        "skip" => skip = true,
+                                        "default" => default = true,
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (i, skip, default)
+}
+
+/// Skips a `pub` / `pub(...)` visibility prefix.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances past a type expression up to a top-level `,` (angle-depth aware).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let (next, skip, default) = scan_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found {other}")),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        i = skip_type(&tokens, i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated entries of a tuple field list.
+fn tuple_arity(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1usize;
+    let mut depth = 0i32;
+    let mut trailing_comma = true;
+    for t in &tokens {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let (next, _, _) = scan_attrs(&tokens, i);
+        i = next;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found {other}")),
+            None => break,
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant`.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    loop {
+        let (next, _, _) = scan_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break;
+                }
+                i += 1; // e.g. `#` free-standing idents like `unsafe`? advance defensively
+            }
+            Some(_) => i += 1,
+            None => return Err("no struct/enum found".into()),
+        }
+    }
+    let is_enum = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "enum");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("cannot derive for generic type `{name}`"));
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Ok(Shape::Enum {
+                    name,
+                    variants: parse_variants(g.stream())?,
+                })
+            } else {
+                Ok(Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            Ok(Shape::TupleStruct {
+                name,
+                arity: tuple_arity(g.stream()),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && !is_enum => {
+            Ok(Shape::UnitStruct { name })
+        }
+        _ => Err(format!("unsupported item body for `{name}`")),
+    }
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = String::from(
+                "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                body.push_str(&format!(
+                    "entries.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            body.push_str("::serde::Value::Obj(entries)");
+            impl_serialize(name, &body)
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+            };
+            impl_serialize(name, &body)
+        }
+        Shape::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Obj(vec![(\"{v}\".to_string(), {inner})]),\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Obj(vec![(\"{v}\".to_string(), ::serde::Value::Obj(vec![{items}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}\n}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{\n{body}\n  }}\n}}\n"
+    )
+}
+
+fn named_field_init(fields: &[Field], ty: &str, source: &str) -> String {
+    let mut init = String::new();
+    for f in fields {
+        if f.skip {
+            init.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else if f.default {
+            init.push_str(&format!(
+                "{0}: match ::serde::obj_get({source}, \"{0}\") {{ Some(v) => ::serde::Deserialize::from_value(v)?, None => ::std::default::Default::default() }},\n",
+                f.name
+            ));
+        } else {
+            init.push_str(&format!(
+                "{0}: match ::serde::obj_get({source}, \"{0}\") {{ Some(v) => ::serde::Deserialize::from_value(v)?, None => return Err(::serde::DeError::missing(\"{0}\", \"{ty}\")) }},\n",
+                f.name
+            ));
+        }
+    }
+    init
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let body = format!(
+                "let entries = value.as_obj().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\nOk({name} {{\n{}\n}})",
+                named_field_init(fields, name, "entries")
+            );
+            impl_deserialize(name, &body)
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = value.as_arr().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\"))?;\nif items.len() != {arity} {{ return Err(::serde::DeError::expected(\"array of {arity}\", \"{name}\")); }}\nOk({name}({}))",
+                    items.join(", ")
+                )
+            };
+            impl_deserialize(name, &body)
+        }
+        Shape::UnitStruct { name } => impl_deserialize(name, &format!("Ok({name})")),
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms
+                        .push_str(&format!("\"{v}\" => return Ok({name}::{v}),\n", v = v.name)),
+                    VariantKind::Tuple(arity) => {
+                        let build = if *arity == 1 {
+                            format!(
+                                "{name}::{}(::serde::Deserialize::from_value(inner)?)",
+                                v.name
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let items = inner.as_arr().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\"))?;\nif items.len() != {arity} {{ return Err(::serde::DeError::expected(\"array of {arity}\", \"{name}\")); }}\n{name}::{}({}) }}",
+                                v.name,
+                                items.join(", ")
+                            )
+                        };
+                        tagged_arms
+                            .push_str(&format!("\"{v}\" => return Ok({build}),\n", v = v.name));
+                    }
+                    VariantKind::Struct(fields) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{ let entries = inner.as_obj().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\nreturn Ok({name}::{v} {{\n{init}\n}}); }}\n",
+                            v = v.name,
+                            init = named_field_init(fields, name, "entries")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "if let Some(tag) = value.as_str() {{\n  match tag {{\n{unit_arms}    _ => {{}}\n  }}\n}}\nif let Some(entries) = value.as_obj() {{\n  if entries.len() == 1 {{\n    let (tag, inner) = &entries[0];\n    let _ = inner;\n    match tag.as_str() {{\n{tagged_arms}      _ => {{}}\n    }}\n  }}\n}}\nErr(::serde::DeError::expected(\"variant\", \"{name}\"))"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n  fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n  }}\n}}\n"
+    )
+}
+
+/// Derives `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_serialize(&shape).parse().unwrap(),
+        Err(e) => compile_error(&format!("derive(Serialize): {e}")),
+    }
+}
+
+/// Derives `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_deserialize(&shape).parse().unwrap(),
+        Err(e) => compile_error(&format!("derive(Deserialize): {e}")),
+    }
+}

@@ -13,12 +13,17 @@ use abbd::dlog2bbn::generate_cases;
 /// candidate sets for all five Table VI case studies.
 #[test]
 fn regulator_reproduces_all_five_paper_case_studies() {
-    let fitted = regulator::fit(70, 2010, regulator::default_algorithm())
-        .expect("pipeline runs");
+    let fitted = regulator::fit(70, 2010, regulator::default_algorithm()).expect("pipeline runs");
     for case in regulator::cases::case_studies() {
-        let diagnosis = fitted.engine.diagnose(&case.observation()).expect("diagnosis");
-        let mut got: Vec<&str> =
-            diagnosis.candidates().iter().map(|c| c.variable.as_str()).collect();
+        let diagnosis = fitted
+            .engine
+            .diagnose(&case.observation())
+            .expect("diagnosis");
+        let mut got: Vec<&str> = diagnosis
+            .candidates()
+            .iter()
+            .map(|c| c.variable.as_str())
+            .collect();
         got.sort_unstable();
         let mut want = case.expected_candidates.to_vec();
         want.sort_unstable();
@@ -31,11 +36,16 @@ fn regulator_reproduces_all_five_paper_case_studies() {
 /// implicated; in d3 the intermediate supply exonerates the bandgap.
 #[test]
 fn regulator_posteriors_track_paper_shape() {
-    let fitted = regulator::fit(70, 2010, regulator::default_algorithm())
-        .expect("pipeline runs");
+    let fitted = regulator::fit(70, 2010, regulator::default_algorithm()).expect("pipeline runs");
     let studies = regulator::cases::case_studies();
-    let d1 = fitted.engine.diagnose(&studies[0].observation()).expect("d1");
-    let d3 = fitted.engine.diagnose(&studies[2].observation()).expect("d3");
+    let d1 = fitted
+        .engine
+        .diagnose(&studies[0].observation())
+        .expect("d1");
+    let d3 = fitted
+        .engine
+        .diagnose(&studies[2].observation())
+        .expect("d3");
     let policy = fitted.engine.policy();
 
     // d1: hcbg ambiguous (paper 42.4%), warnvpst implicated.
@@ -47,7 +57,10 @@ fn regulator_posteriors_track_paper_shape() {
     );
     // d3: hcbg healthy (paper 29.1%), strictly less suspicious than in d1.
     let d3_hcbg = d3.fault_mass()["hcbg"];
-    assert!(d3_hcbg < d1_hcbg, "supply asymmetry lost: {d3_hcbg} vs {d1_hcbg}");
+    assert!(
+        d3_hcbg < d1_hcbg,
+        "supply asymmetry lost: {d3_hcbg} vs {d1_hcbg}"
+    );
     assert_eq!(policy.classify(d3_hcbg), abbd::core::HealthClass::Healthy);
     // Both cases implicate warnvpst heavily.
     assert!(d1.fault_mass()["warnvpst"] > 0.8);
@@ -63,8 +76,7 @@ fn datalog_roundtrip_preserves_cases() {
     let rig = regulator::rig();
     let text = write_datalog(&population.logs);
     let parsed = parse_datalog(&text).expect("parse back");
-    let (cases, stats) =
-        generate_cases(rig.model.spec(), &rig.mapping, &parsed).expect("cases");
+    let (cases, stats) = generate_cases(rig.model.spec(), &rig.mapping, &parsed).expect("cases");
     assert_eq!(stats.cases, population.stats.cases);
     assert_eq!(cases, population.cases);
 }
@@ -74,14 +86,12 @@ fn datalog_roundtrip_preserves_cases() {
 /// labels the BBN never sees) remains an upper reference.
 #[test]
 fn bbn_beats_random_floor() {
-    let fitted = regulator::fit(40, 2010, regulator::default_algorithm())
-        .expect("pipeline runs");
+    let fitted = regulator::fit(40, 2010, regulator::default_algorithm()).expect("pipeline runs");
     let test = regulator::synthesize(60, 777, 1_000_000).expect("test population");
     let sigs = group_by_device(&test.cases);
 
     let bbn = abbd_bench_adapter::BbnAdapter(&fitted.engine);
-    let random =
-        RandomGuess::new(regulator::model::VARIABLES.iter().copied(), 5);
+    let random = RandomGuess::new(regulator::model::VARIABLES.iter().copied(), 5);
     let bbn_acc = accuracy_at_k(&bbn, &sigs, 2);
     let random_acc = accuracy_at_k(&random, &sigs, 2);
     assert!(
@@ -127,7 +137,9 @@ mod abbd_bench_adapter {
                 if !failing {
                     continue;
                 }
-                let Ok(d) = self.0.diagnose(&obs) else { continue };
+                let Ok(d) = self.0.diagnose(&obs) else {
+                    continue;
+                };
                 for c in d.candidates() {
                     match scores.iter_mut().find(|(n, _)| *n == c.variable) {
                         Some(slot) => slot.1 = slot.1.max(c.fault_mass),
@@ -163,8 +175,7 @@ fn hypothetical_pipeline_end_to_end() {
 /// Every fitted CPT stays a valid distribution after the full pipeline.
 #[test]
 fn fitted_networks_remain_normalised() {
-    let fitted = regulator::fit(30, 11, regulator::default_algorithm())
-        .expect("pipeline runs");
+    let fitted = regulator::fit(30, 11, regulator::default_algorithm()).expect("pipeline runs");
     let net = fitted.engine.model().network();
     for v in net.variables() {
         let card = net.card(v);
@@ -184,10 +195,12 @@ fn fitted_networks_remain_normalised() {
 /// informative blocks to open are exactly the competing candidates.
 #[test]
 fn probe_ranking_targets_the_ambiguous_pair() {
-    let fitted = regulator::fit(70, 2010, regulator::default_algorithm())
-        .expect("pipeline runs");
+    let fitted = regulator::fit(70, 2010, regulator::default_algorithm()).expect("pipeline runs");
     let d1 = &regulator::cases::case_studies()[0];
-    let probes = fitted.engine.rank_probes(&d1.observation()).expect("probe ranking");
+    let probes = fitted
+        .engine
+        .rank_probes(&d1.observation())
+        .expect("probe ranking");
     let top2: Vec<&str> = probes.iter().take(2).map(|p| p.variable.as_str()).collect();
     assert!(
         top2.contains(&"hcbg") || top2.contains(&"warnvpst"),
@@ -210,14 +223,20 @@ fn probe_ranking_targets_the_ambiguous_pair() {
 /// so it must be the most influential finding for the lcbg verdict.
 #[test]
 fn explanation_credits_the_discriminating_finding() {
-    let fitted = regulator::fit(70, 2010, regulator::default_algorithm())
-        .expect("pipeline runs");
+    let fitted = regulator::fit(70, 2010, regulator::default_algorithm()).expect("pipeline runs");
     let d4 = &regulator::cases::case_studies()[3];
-    let impacts = fitted.engine.explain(&d4.observation(), "lcbg").expect("explain");
+    let impacts = fitted
+        .engine
+        .explain(&d4.observation(), "lcbg")
+        .expect("explain");
     assert_eq!(
-        impacts[0].variable, "reg2",
+        impacts[0].variable,
+        "reg2",
         "impacts: {:?}",
-        impacts.iter().map(|i| (&i.variable, i.impact)).collect::<Vec<_>>()
+        impacts
+            .iter()
+            .map(|i| (&i.variable, i.impact))
+            .collect::<Vec<_>>()
     );
     assert!(impacts[0].impact > 0.3);
 }
