@@ -25,6 +25,9 @@ pub enum Error {
     UnknownNet(String),
     /// A suite name appears twice in a program.
     DuplicateSuite(String),
+    /// An on-demand execution referenced a test number the program does
+    /// not contain.
+    UnknownTest(u32),
     /// Simulation failed while testing a device.
     Simulation(abbd_blocks::Error),
     /// A datalog line could not be parsed.
@@ -47,6 +50,9 @@ impl fmt::Display for Error {
             }
             Error::UnknownNet(name) => write!(f, "unknown net `{name}`"),
             Error::DuplicateSuite(name) => write!(f, "suite `{name}` is already declared"),
+            Error::UnknownTest(number) => {
+                write!(f, "test number {number} is not in the program")
+            }
             Error::Simulation(e) => write!(f, "simulation failed: {e}"),
             Error::Parse { line, reason } => {
                 write!(f, "datalog parse error at line {line}: {reason}")
@@ -85,6 +91,7 @@ mod tests {
             },
             Error::UnknownNet("x".into()),
             Error::DuplicateSuite("s".into()),
+            Error::UnknownTest(404),
             Error::Simulation(abbd_blocks::Error::UnknownNet("n".into())),
             Error::Parse {
                 line: 3,

@@ -50,11 +50,13 @@
 
 mod datalog;
 mod error;
+mod ondemand;
 mod program;
 mod tester;
 
 pub use datalog::{parse_datalog, write_datalog};
 pub use error::{Error, Result};
+pub use ondemand::{DeviceSession, OnDemandTester};
 pub use program::{Limits, TestDef, TestProgram, TestSuite};
 pub use tester::{
     failing_logs, test_device, test_population, test_population_batch, DeviceLog, NoiseModel,

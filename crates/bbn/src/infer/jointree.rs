@@ -36,6 +36,30 @@ use crate::graph::{elimination_order, moral_graph, OrderingHeuristic};
 use crate::infer::Posteriors;
 use crate::network::{Network, VarId};
 use rayon::prelude::*;
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread count of [`JunctionTree::compile_with`] invocations.
+    ///
+    /// Compilation is the expensive structural step (triangulation, clique
+    /// extraction, schedule building) that serving paths must do exactly
+    /// once per model. Tests and benchmarks read this counter around a hot
+    /// loop to *prove* no stray recompilation hides inside it — see
+    /// [`compile_count`].
+    static COMPILE_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The number of junction-tree compilations performed *by the calling
+/// thread* so far. Take a snapshot before a steady-state loop and assert
+/// the counter is unchanged after it; a delta means some path is
+/// recompiling per query instead of reusing a compiled tree.
+///
+/// The counter is thread-local on purpose: regression assertions stay
+/// exact even when unrelated tests compile trees concurrently in the same
+/// process.
+pub fn compile_count() -> u64 {
+    COMPILE_CALLS.with(Cell::get)
+}
 
 /// Size statistics of a compiled junction tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +183,7 @@ impl JunctionTree {
     ///
     /// See [`JunctionTree::compile`].
     pub fn compile_with(net: &Network, heuristic: OrderingHeuristic) -> Result<Self> {
+        COMPILE_CALLS.with(|c| c.set(c.get() + 1));
         let n = net.var_count();
         let moral = moral_graph(net);
         let all: Vec<usize> = (0..n).collect();
@@ -440,7 +465,54 @@ impl JunctionTree {
         ws: &'w mut PropagationWorkspace,
         evidence: &Evidence,
     ) -> Result<CalibratedView<'t, 'w>> {
-        self.propagate_ws(ws, evidence)?;
+        self.propagate_ws(ws, evidence, None)?;
+        Ok(CalibratedView { tree: self, ws })
+    }
+
+    /// [`JunctionTree::propagate_in`] with one extra *hypothetical* hard
+    /// finding `var = state` layered on top of `evidence`, without touching
+    /// the evidence set. This is the inner query of value-of-information
+    /// scoring ("what would the posteriors look like if this unmeasured
+    /// block read state `s`?"), which issues dozens of propagations per
+    /// decision — mutating and restoring an [`Evidence`] per query would
+    /// churn its tree map, while this path stays allocation-free.
+    ///
+    /// `var` must not already carry a finding in `evidence`: stacking a
+    /// second hard state on an observed variable either zeroes the belief
+    /// (different states) or silently duplicates (same state), so it is
+    /// rejected up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidEvidence`] for an out-of-range hypothetical
+    /// or one on an already-observed variable, plus all
+    /// [`JunctionTree::propagate_in`] errors.
+    pub fn propagate_hypothetical_in<'t, 'w>(
+        &'t self,
+        ws: &'w mut PropagationWorkspace,
+        evidence: &Evidence,
+        var: VarId,
+        state: usize,
+    ) -> Result<CalibratedView<'t, 'w>> {
+        if var.index() >= self.net.var_count() {
+            return Err(Error::InvalidEvidence {
+                variable: format!("{var}"),
+                reason: "not in network".into(),
+            });
+        }
+        if state >= self.net.card(var) {
+            return Err(Error::InvalidEvidence {
+                variable: self.net.name(var).into(),
+                reason: format!("state {state} out of range {}", self.net.card(var)),
+            });
+        }
+        if evidence.mentions(var) {
+            return Err(Error::InvalidEvidence {
+                variable: self.net.name(var).into(),
+                reason: "hypothetical finding on an already-observed variable".into(),
+            });
+        }
+        self.propagate_ws(ws, evidence, Some((var, state)))?;
         Ok(CalibratedView { tree: self, ws })
     }
 
@@ -471,7 +543,12 @@ impl JunctionTree {
 
     /// The propagation body shared by [`JunctionTree::propagate_in`] and
     /// [`JunctionTree::propagate`].
-    fn propagate_ws(&self, ws: &mut PropagationWorkspace, evidence: &Evidence) -> Result<()> {
+    fn propagate_ws(
+        &self,
+        ws: &mut PropagationWorkspace,
+        evidence: &Evidence,
+        hypothetical: Option<(VarId, usize)>,
+    ) -> Result<()> {
         evidence.validate(&self.net)?;
         self.check_workspace(ws)?;
         ws.calibrated = false;
@@ -483,7 +560,7 @@ impl JunctionTree {
         for (belief, base) in ws.beliefs.iter_mut().zip(&self.base) {
             belief.copy_from_slice(base);
         }
-        for (var, state) in evidence.hard_iter() {
+        for (var, state) in evidence.hard_iter().chain(hypothetical) {
             let slot = self.slots[var.index()];
             retain_state_kernel(&mut ws.beliefs[slot.clique], slot.stride, slot.card, state);
         }
@@ -586,7 +663,7 @@ impl JunctionTree {
     /// validation errors.
     pub fn propagate(&self, evidence: &Evidence) -> Result<CalibratedTree<'_>> {
         let mut ws = self.make_workspace();
-        self.propagate_ws(&mut ws, evidence)?;
+        self.propagate_ws(&mut ws, evidence, None)?;
         let beliefs = ws
             .beliefs
             .into_iter()
@@ -716,6 +793,12 @@ impl JunctionTree {
     }
 }
 
+/// Shannon entropy of a normalised distribution, in nats. Zero-probability
+/// states contribute zero (the `p ln p → 0` limit).
+fn entropy_nats(dist: &[f64]) -> f64 {
+    dist.iter().filter(|p| **p > 0.0).map(|p| -p * p.ln()).sum()
+}
+
 /// Compiles the evidence-free clique potentials: for every variable, its
 /// flat CPT is broadcast-multiplied into its family clique's table. The
 /// CPT's row-major layout over `parents ++ [var]` is used as factor
@@ -811,6 +894,33 @@ impl CalibratedView<'_, '_> {
         let mut out = vec![0.0; self.tree.slots[var.index()].card];
         self.posterior_into(var, &mut out)?;
         Ok(out)
+    }
+
+    /// Shannon entropy `H(var | e)` of one posterior marginal, in nats.
+    ///
+    /// This is the restricted-posterior scoring primitive: reading the
+    /// uncertainty of a handful of latent blocks must not pay for
+    /// extracting every marginal in the network. For cardinalities up to
+    /// 32 (every model in this workspace) the marginal lives in a stack
+    /// buffer, so the call performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CalibratedView::posterior_into`].
+    pub fn posterior_entropy(&self, var: VarId) -> Result<f64> {
+        if var.index() >= self.tree.net.var_count() {
+            return Err(Error::UnknownVariable(format!("{var}")));
+        }
+        let card = self.tree.slots[var.index()].card;
+        let mut stack = [0.0f64; 32];
+        if card <= stack.len() {
+            self.posterior_into(var, &mut stack[..card])?;
+            Ok(entropy_nats(&stack[..card]))
+        } else {
+            let mut heap = vec![0.0; card];
+            self.posterior_into(var, &mut heap)?;
+            Ok(entropy_nats(&heap))
+        }
     }
 
     /// Posterior marginals for every variable.
@@ -1292,6 +1402,86 @@ mod tests {
         assert!(jt_small
             .propagate_in(&mut ws_small, &Evidence::new())
             .is_ok());
+    }
+
+    #[test]
+    fn hypothetical_propagation_matches_real_evidence() {
+        let net = seven_var_net();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let v0 = net.var("v0").unwrap();
+        let v6 = net.var("v6").unwrap();
+        let mut base = Evidence::new();
+        base.observe(v6, 1);
+        let mut ws = jt.make_workspace();
+        for state in 0..2 {
+            let hyp = jt
+                .propagate_hypothetical_in(&mut ws, &base, v0, state)
+                .unwrap()
+                .all_posteriors()
+                .unwrap();
+            let mut merged = base.clone();
+            merged.observe(v0, state);
+            let real = jt.posteriors(&merged).unwrap();
+            assert!(
+                hyp.max_abs_diff(&real).unwrap() == 0.0,
+                "hypothetical must equal the merged-evidence answer bitwise"
+            );
+        }
+        // The base evidence set is untouched.
+        assert_eq!(base.state_of(v0), None);
+        // Hypotheticals on observed or bogus variables are rejected.
+        assert!(matches!(
+            jt.propagate_hypothetical_in(&mut ws, &base, v6, 0),
+            Err(Error::InvalidEvidence { .. })
+        ));
+        assert!(matches!(
+            jt.propagate_hypothetical_in(&mut ws, &base, VarId::from_index(99), 0),
+            Err(Error::InvalidEvidence { .. })
+        ));
+        assert!(matches!(
+            jt.propagate_hypothetical_in(&mut ws, &base, v0, 7),
+            Err(Error::InvalidEvidence { .. })
+        ));
+    }
+
+    #[test]
+    fn entropy_helpers_match_direct_computation() {
+        let net = seven_var_net();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let v1 = net.var("v1").unwrap();
+        let v5 = net.var("v5").unwrap();
+        let v6 = net.var("v6").unwrap();
+        let mut e = Evidence::new();
+        e.observe(v6, 0);
+        let mut ws = jt.make_workspace();
+        let view = jt.propagate_in(&mut ws, &e).unwrap();
+        let direct = |var| {
+            view.posterior(var)
+                .unwrap()
+                .iter()
+                .filter(|p| **p > 0.0)
+                .map(|p| -p * p.ln())
+                .sum::<f64>()
+        };
+        for var in [v1, v5] {
+            assert!((view.posterior_entropy(var).unwrap() - direct(var)).abs() < 1e-15);
+        }
+        // Observed variables carry zero entropy.
+        assert_eq!(view.posterior_entropy(v6).unwrap(), 0.0);
+        assert!(view.posterior_entropy(VarId::from_index(99)).is_err());
+    }
+
+    #[test]
+    fn compile_counter_increments_per_compile_only() {
+        let net = sprinkler();
+        let before = compile_count();
+        let jt = JunctionTree::compile(&net).unwrap();
+        assert_eq!(compile_count(), before + 1);
+        let mut ws = jt.make_workspace();
+        for _ in 0..5 {
+            jt.propagate_in(&mut ws, &Evidence::new()).unwrap();
+        }
+        assert_eq!(compile_count(), before + 1, "propagation must not compile");
     }
 
     #[test]

@@ -11,7 +11,8 @@ mod sampling;
 
 pub use elimination::VariableElimination;
 pub use jointree::{
-    CalibratedTree, CalibratedView, JunctionTree, JunctionTreeStats, PropagationWorkspace,
+    compile_count as jointree_compile_count, CalibratedTree, CalibratedView, JunctionTree,
+    JunctionTreeStats, PropagationWorkspace,
 };
 pub use sampling::{forward_sample, forward_sample_cases, likelihood_weighting, GibbsSampler};
 

@@ -54,9 +54,9 @@ pub use evidence::Evidence;
 pub use factor::{Factor, MaxOut};
 pub use graph::{d_separated, moral_graph, OrderingHeuristic, UndirectedGraph};
 pub use infer::{
-    enumerate_posteriors, forward_sample, forward_sample_cases, likelihood_weighting,
-    CalibratedTree, CalibratedView, GibbsSampler, JunctionTree, JunctionTreeStats, Posteriors,
-    PropagationWorkspace, VariableElimination,
+    enumerate_posteriors, forward_sample, forward_sample_cases, jointree_compile_count,
+    likelihood_weighting, CalibratedTree, CalibratedView, GibbsSampler, JunctionTree,
+    JunctionTreeStats, Posteriors, PropagationWorkspace, VariableElimination,
 };
 pub use network::{Network, NetworkBuilder, VarId};
 pub use query::{map_query, most_probable_explanation, query_batch, Explanation};

@@ -5,6 +5,7 @@
 use abbd_bbn::{
     likelihood_weighting, Evidence, JunctionTree, Network, NetworkBuilder, VariableElimination,
 };
+use abbd_core::{SequentialDiagnoser, StoppingPolicy};
 use abbd_designs::regulator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -135,6 +136,47 @@ fn bench_batch_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The value-of-information decision loop of sequential adaptive
+/// diagnosis (and the repaired `rank_probes`): dozens of hypothetical
+/// propagations per decision, all through the compiled tree and reused
+/// workspaces. `per_decision_scoring` is the steady-state number the
+/// serving loop pays between measurements; `closed_loop_d1_adaptive` is a
+/// whole case-study run (diagnose + score + apply until isolation).
+fn bench_sequential_voi(c: &mut Criterion) {
+    let fitted = regulator::fit(30, 2010, regulator::default_algorithm()).expect("pipeline runs");
+    let engine = fitted.engine;
+    let cases = regulator::cases::case_studies();
+    let d1 = &cases[0];
+    let observation = d1.observation();
+    let mut group = c.benchmark_group("sequential_voi");
+
+    group.bench_function("rank_probes_all_latents", |b| {
+        b.iter(|| engine.rank_probes(black_box(&observation)).unwrap())
+    });
+    group.bench_function("per_decision_scoring", |b| {
+        let mut diagnoser = SequentialDiagnoser::new(&engine, StoppingPolicy::default()).unwrap();
+        for (name, state) in d1.controls {
+            diagnoser.observe(name, state).unwrap();
+        }
+        b.iter(|| {
+            let scored = diagnoser.score_candidates().unwrap();
+            black_box(scored[0].expected_information_gain())
+        })
+    });
+    group.bench_function("closed_loop_d1_adaptive", |b| {
+        b.iter(|| {
+            regulator::adaptive::adaptive_case_study(
+                black_box(&engine),
+                d1,
+                StoppingPolicy::default(),
+            )
+            .unwrap()
+            .tests_used()
+        })
+    });
+    group.finish();
+}
+
 fn bench_chain_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("chain_posteriors");
     for n in [10usize, 40, 160] {
@@ -159,6 +201,7 @@ criterion_group!(
     bench_regulator_inference,
     bench_repeated_evidence,
     bench_batch_throughput,
+    bench_sequential_voi,
     bench_chain_scaling
 );
 criterion_main!(benches);

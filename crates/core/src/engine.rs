@@ -242,6 +242,13 @@ impl DiagnosticEngine {
         &self.policy
     }
 
+    /// The compiled junction tree the engine propagates through. Crate
+    /// modules (probe ranking, sequential diagnosis) reuse it instead of
+    /// recompiling per call.
+    pub(crate) fn jt(&self) -> &JunctionTree {
+        &self.jt
+    }
+
     /// The model's baseline ("Init. prob.%" in paper Table VII): state
     /// distributions with no evidence entered.
     ///
@@ -249,7 +256,11 @@ impl DiagnosticEngine {
     ///
     /// Propagates propagation errors.
     pub fn baseline(&self) -> Result<Vec<(String, Vec<f64>)>> {
-        let cal = self.jt.propagate(&Evidence::new()).map_err(Error::Bbn)?;
+        let mut ws = self.make_workspace();
+        let cal = self
+            .jt
+            .propagate_in(&mut ws, &Evidence::new())
+            .map_err(Error::Bbn)?;
         let mut out = Vec::new();
         for v in self.model.circuit_model().spec().variables() {
             let id = self.model.var(&v.name)?;
@@ -319,7 +330,20 @@ impl DiagnosticEngine {
         observation: &Observation,
     ) -> Result<Diagnosis> {
         let evidence = self.evidence_from(observation)?;
-        let cal = self.jt.propagate_in(ws, &evidence).map_err(Error::Bbn)?;
+        self.diagnose_with_evidence(ws, observation, &evidence)
+    }
+
+    /// [`DiagnosticEngine::diagnose_with`] over evidence the caller
+    /// already derived from `observation` (and keeps in lockstep with
+    /// it). The sequential decision loop calls this every iteration, so
+    /// it must not pay for rebuilding the evidence map per diagnosis.
+    pub(crate) fn diagnose_with_evidence(
+        &self,
+        ws: &mut PropagationWorkspace,
+        observation: &Observation,
+        evidence: &Evidence,
+    ) -> Result<Diagnosis> {
+        let cal = self.jt.propagate_in(ws, evidence).map_err(Error::Bbn)?;
 
         let circuit_model = self.model.circuit_model();
         let mut posteriors = Vec::new();
@@ -356,7 +380,7 @@ impl DiagnosticEngine {
         let candidates = deduce_candidates(
             circuit_model,
             self.model.network(),
-            &evidence,
+            evidence,
             &fault_mass,
             &failing,
             &self.policy,

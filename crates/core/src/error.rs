@@ -47,6 +47,15 @@ pub enum Error {
     },
     /// The deduction policy thresholds are inconsistent.
     InvalidPolicy(String),
+    /// The sequential stopping policy is malformed.
+    InvalidStoppingPolicy(String),
+    /// A closed-loop measurement oracle failed to execute the chosen test.
+    Oracle {
+        /// The variable whose measurement was requested.
+        variable: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -73,6 +82,12 @@ impl fmt::Display for Error {
                 write!(f, "invalid observation on `{variable}`: {reason}")
             }
             Error::InvalidPolicy(reason) => write!(f, "invalid deduction policy: {reason}"),
+            Error::InvalidStoppingPolicy(reason) => {
+                write!(f, "invalid stopping policy: {reason}")
+            }
+            Error::Oracle { variable, reason } => {
+                write!(f, "measurement of `{variable}` failed: {reason}")
+            }
         }
     }
 }
@@ -127,6 +142,11 @@ mod tests {
                 reason: "r".into(),
             },
             Error::InvalidPolicy("p".into()),
+            Error::InvalidStoppingPolicy("s".into()),
+            Error::Oracle {
+                variable: "v".into(),
+                reason: "r".into(),
+            },
         ];
         for e in samples {
             assert!(!e.to_string().is_empty());

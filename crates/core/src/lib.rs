@@ -19,7 +19,11 @@
 //! Reports in the paper's Table VII layout come from [`render_state_table`]
 //! and [`render_candidates`]. When diagnosis leaves several candidates,
 //! [`DiagnosticEngine::rank_probes`] orders the internal blocks by value
-//! of information for the paper's step two (physical probing).
+//! of information for the paper's step two (physical probing), and
+//! [`SequentialDiagnoser`] closes the loop: pick the most informative
+//! unapplied test, execute it, re-diagnose, and stop once a
+//! [`StoppingPolicy`] condition fires — all through one compiled junction
+//! tree and reusable propagation workspaces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,9 +33,13 @@ mod deduce;
 mod engine;
 mod error;
 mod explain;
+#[doc(hidden)]
+pub mod fixtures;
 mod model;
 mod probe;
 mod report;
+mod sequential;
+mod voi;
 
 pub use builder::{DiagnosticModel, ExpertKnowledge, LearnAlgorithm, LearnSummary, ModelBuilder};
 pub use deduce::{
@@ -44,3 +52,7 @@ pub use explain::FindingImpact;
 pub use model::CircuitModel;
 pub use probe::ProbeSuggestion;
 pub use report::{render_candidates, render_state_table};
+pub use sequential::{
+    AppliedMeasurement, Measured, ScoredCandidate, SequentialDiagnoser, SequentialOutcome,
+    StopReason, StoppingPolicy,
+};

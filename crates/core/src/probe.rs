@@ -5,12 +5,15 @@
 //! (case d1 ends with two candidates). Physically probing an internal
 //! block is expensive, so the order matters. This module ranks latent
 //! blocks by the **expected reduction in posterior uncertainty** over all
-//! other latents if that block's state were observed — a value-of-
-//! information computation over the same junction tree the diagnosis used.
+//! other latents if that block's state were observed — the value-of-
+//! information kernel of [`crate::voi`], run over the *same* compiled
+//! junction tree the diagnosis used (no recompilation, no per-query
+//! allocation in the hypothetical inner loop).
 
 use crate::engine::{DiagnosticEngine, Observation};
 use crate::error::{Error, Result};
-use abbd_bbn::Evidence;
+use crate::voi::{self, VoiScratch};
+use abbd_bbn::VarId;
 use serde::{Deserialize, Serialize};
 
 /// One ranked probe suggestion.
@@ -25,8 +28,15 @@ pub struct ProbeSuggestion {
     pub own_entropy: f64,
 }
 
-fn entropy(dist: &[f64]) -> f64 {
-    dist.iter().filter(|p| **p > 0.0).map(|p| -p * p.ln()).sum()
+/// Sorts suggestions by gain, descending, with `f64::total_cmp` so a NaN
+/// gain (a poisoned posterior) can never panic the comparator mid-serve.
+/// Under IEEE total order positive NaN sorts above every finite gain, so a
+/// poisoned entry surfaces at the head of the ranking instead of hiding.
+pub(crate) fn sort_suggestions(suggestions: &mut [ProbeSuggestion]) {
+    suggestions.sort_unstable_by(|a, b| {
+        b.expected_information_gain
+            .total_cmp(&a.expected_information_gain)
+    });
 }
 
 impl DiagnosticEngine {
@@ -37,66 +47,65 @@ impl DiagnosticEngine {
     /// `Σ_{v≠p} H(v | e)  −  E_{s ~ P(p|e)} Σ_{v≠p} H(v | e, p=s)`,
     /// i.e. how much the remaining latent uncertainty shrinks on average
     /// once the probe answers. Suggestions are sorted by gain, descending.
+    /// Latents the observation already pins are omitted — probing a block
+    /// whose state is known carries no information.
+    ///
+    /// Every hypothetical query runs through the engine's compiled
+    /// junction tree with reused workspaces; the call performs no
+    /// junction-tree compilation.
     ///
     /// # Errors
     ///
     /// Propagates observation-validation and propagation errors.
     pub fn rank_probes(&self, observation: &Observation) -> Result<Vec<ProbeSuggestion>> {
         let evidence = self.evidence_from(observation)?;
-        let jt = abbd_bbn::JunctionTree::compile(self.model().network()).map_err(Error::Bbn)?;
-        let latents: Vec<String> = self
+        let latents: Vec<(String, VarId)> = self
             .model()
             .circuit_model()
             .latents()
             .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let base = jt.propagate(&evidence).map_err(Error::Bbn)?;
-        let base_posteriors: Vec<(String, Vec<f64>)> = latents
-            .iter()
-            .map(|name| {
-                let id = self.model().var(name)?;
-                Ok((name.clone(), base.posterior(id).map_err(Error::Bbn)?))
-            })
+            .map(|name| Ok((name.to_string(), self.model().var(name)?)))
             .collect::<Result<_>>()?;
+        let latent_ids: Vec<VarId> = latents.iter().map(|(_, id)| *id).collect();
 
+        // Base pass: per-latent posteriors and entropies under `e` alone.
+        let mut base_ws = self.make_workspace();
+        let mut scratch = VoiScratch::new(self);
+        let view = self
+            .jt()
+            .propagate_in(&mut base_ws, &evidence)
+            .map_err(Error::Bbn)?;
+        let mut entropies = Vec::with_capacity(latents.len());
+        for &(_, id) in &latents {
+            entropies.push(view.posterior_entropy(id).map_err(Error::Bbn)?);
+        }
+        let total_entropy: f64 = entropies.iter().sum();
+
+        let net = self.model().network();
         let mut suggestions = Vec::with_capacity(latents.len());
-        for (probe_name, probe_dist) in &base_posteriors {
-            let probe_id = self.model().var(probe_name)?;
-            let rest_entropy_before: f64 = base_posteriors
-                .iter()
-                .filter(|(n, _)| n != probe_name)
-                .map(|(_, d)| entropy(d))
-                .sum();
-            let mut expected_after = 0.0;
-            for (state, &p_state) in probe_dist.iter().enumerate() {
-                if p_state <= 1e-12 {
-                    continue;
-                }
-                let mut with_probe: Evidence = evidence.clone();
-                with_probe.observe(probe_id, state);
-                let cal = jt.propagate(&with_probe).map_err(Error::Bbn)?;
-                let mut h = 0.0;
-                for (name, _) in &base_posteriors {
-                    if name == probe_name {
-                        continue;
-                    }
-                    let id = self.model().var(name)?;
-                    h += entropy(&cal.posterior(id).map_err(Error::Bbn)?);
-                }
-                expected_after += p_state * h;
+        for (i, (name, id)) in latents.iter().enumerate() {
+            if evidence.mentions(*id) {
+                continue;
             }
+            let card = net.card(*id);
+            view.posterior_into(*id, &mut scratch.dist[..card])
+                .map_err(Error::Bbn)?;
+            let gain = voi::expected_gain(
+                self.jt(),
+                &mut scratch.ws,
+                &evidence,
+                *id,
+                &scratch.dist[..card],
+                &latent_ids,
+                total_entropy - entropies[i],
+            )?;
             suggestions.push(ProbeSuggestion {
-                variable: probe_name.clone(),
-                expected_information_gain: (rest_entropy_before - expected_after).max(0.0),
-                own_entropy: entropy(probe_dist),
+                variable: name.clone(),
+                expected_information_gain: gain,
+                own_entropy: entropies[i],
             });
         }
-        suggestions.sort_by(|a, b| {
-            b.expected_information_gain
-                .partial_cmp(&a.expected_information_gain)
-                .expect("gains are finite")
-        });
+        sort_suggestions(&mut suggestions);
         Ok(suggestions)
     }
 }
@@ -199,5 +208,55 @@ mod tests {
         for p in &probes {
             assert!(p.expected_information_gain >= 0.0);
         }
+    }
+
+    /// Regression for the PR 2 bugfix: ranking probes must reuse the
+    /// engine's compiled tree, not compile a fresh one per call.
+    #[test]
+    fn rank_probes_never_recompiles_the_tree() {
+        let eng = engine();
+        let mut obs = Observation::new();
+        obs.set("symptom", 0).set("other", 1);
+        eng.rank_probes(&obs).unwrap(); // warm-up outside the window
+        let before = abbd_bbn::jointree_compile_count();
+        for _ in 0..3 {
+            eng.rank_probes(&obs).unwrap();
+        }
+        assert_eq!(
+            abbd_bbn::jointree_compile_count(),
+            before,
+            "rank_probes compiled a junction tree per call"
+        );
+    }
+
+    /// Regression for the PR 2 bugfix: a NaN gain (poisoned posterior)
+    /// must sort deterministically instead of panicking the comparator.
+    #[test]
+    fn nan_gains_sort_without_panicking() {
+        let sug = |gain: f64| ProbeSuggestion {
+            variable: format!("g{gain}"),
+            expected_information_gain: gain,
+            own_entropy: 0.0,
+        };
+        let mut suggestions = vec![sug(0.5), sug(f64::NAN), sug(1.5), sug(0.0)];
+        sort_suggestions(&mut suggestions);
+        // Positive NaN is the IEEE total-order maximum: it surfaces first,
+        // then the finite gains descend.
+        assert!(suggestions[0].expected_information_gain.is_nan());
+        assert_eq!(suggestions[1].expected_information_gain, 1.5);
+        assert_eq!(suggestions[2].expected_information_gain, 0.5);
+        assert_eq!(suggestions[3].expected_information_gain, 0.0);
+    }
+
+    /// Observed latents drop out of the ranking (probing a known block
+    /// carries no information).
+    #[test]
+    fn observed_latents_are_omitted() {
+        let eng = engine();
+        let mut obs = Observation::new();
+        obs.set("symptom", 0).set("ha", 1);
+        let probes = eng.rank_probes(&obs).unwrap();
+        assert_eq!(probes.len(), 2);
+        assert!(probes.iter().all(|p| p.variable != "ha"));
     }
 }

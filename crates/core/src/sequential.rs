@@ -1,0 +1,872 @@
+//! Sequential adaptive diagnosis: a closed loop that repeatedly asks
+//! *"which measurement is worth taking next?"*, applies the answer, and
+//! stops once a fault candidate is isolated.
+//!
+//! The paper's flow is one-shot: run the whole test program, enter every
+//! observation, read the posteriors. On an ATE every extra test costs
+//! tester-seconds, and in step two every extra probe costs FIB/SEM time —
+//! so the serving-scale flow is *sequential*: after each measurement,
+//! re-propagate, score the remaining candidates by expected information
+//! gain over the latent blocks (the [`crate::voi`] kernel, following
+//! Zheng/Rish entropy-approximation test selection and Siddiqi & Huang's
+//! sequential diagnosis), and either measure the best one or stop.
+//!
+//! # Steady-state cost
+//!
+//! A [`SequentialDiagnoser`] owns one compiled engine reference plus two
+//! reusable [`PropagationWorkspace`]s (current beliefs, hypothetical
+//! queries) and fixed scoring buffers. After construction and the first
+//! scoring pass, a decision performs **zero junction-tree compilations
+//! and zero heap allocations in the scoring loop** — dozens of
+//! hypothetical propagations all land in preallocated buffers. This is
+//! asserted by the workspace-level regression tests and the
+//! `tests/zero_alloc.rs` counting-allocator harness.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), abbd_core::Error> {
+//! use abbd_core::{
+//!     CircuitModel, DiagnosticEngine, Measured, ModelBuilder, SequentialDiagnoser,
+//!     StoppingPolicy,
+//! };
+//! use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
+//!
+//! // bias (latent) -> {out1, out2}; out1 mirrors bias tightly.
+//! let var = |name: &str, ftype| VariableSpec {
+//!     name: name.into(),
+//!     ftype,
+//!     bands: vec![
+//!         StateBand::new("0", 0.0, 1.0, "bad"),
+//!         StateBand::new("1", 1.0, 2.0, "good"),
+//!     ],
+//!     ckt_ref: None,
+//! };
+//! let spec = ModelSpec::new([
+//!     var("bias", FunctionalType::Latent),
+//!     var("out1", FunctionalType::Observe),
+//!     var("out2", FunctionalType::Observe),
+//! ])?;
+//! let mut model = CircuitModel::new(spec);
+//! model.depends("bias", "out1")?;
+//! model.depends("bias", "out2")?;
+//! let mut expert = abbd_core::ExpertKnowledge::new(10.0);
+//! expert.cpt("bias", [[0.2, 0.8]]);
+//! expert.cpt("out1", [[0.98, 0.02], [0.02, 0.98]]);
+//! expert.cpt("out2", [[0.7, 0.3], [0.3, 0.7]]);
+//! let fitted = ModelBuilder::new(model).with_expert(expert).build_expert_only()?;
+//! let engine = DiagnosticEngine::new(fitted)?;
+//!
+//! let mut diagnoser = SequentialDiagnoser::new(&engine, StoppingPolicy::default())?;
+//! // The device under test has a dead bias block: every output reads 0.
+//! let outcome = diagnoser.run(|_| Ok(Measured::failing(0)))?;
+//! assert_eq!(outcome.diagnosis.top_candidate(), Some("bias"));
+//! // The informative output was measured first.
+//! assert_eq!(outcome.applied[0].variable, "out1");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::engine::{Diagnosis, DiagnosticEngine, Observation};
+use crate::error::{Error, Result};
+use crate::voi::{self, VoiScratch};
+use abbd_bbn::{Evidence, PropagationWorkspace, VarId};
+use serde::{Deserialize, Serialize};
+
+/// When the closed loop stops.
+///
+/// Thresholds compose: the loop keeps measuring while *none* of the stop
+/// conditions hold, so a tight `fault_mass_threshold` with a loose
+/// `min_gain` behaves like pure isolation-driven testing, while
+/// `max_steps` bounds worst-case tester time regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoppingPolicy {
+    /// Stop once the top fail candidate's fault mass reaches this level
+    /// (the block is considered isolated). Must lie in `(0, 1]`; `1.0`
+    /// effectively disables isolation stopping (posterior mass on a
+    /// discrete fault never quite reaches certainty), which is how the
+    /// equivalence tests force the loop to exhaust every measurement.
+    pub fault_mass_threshold: f64,
+    /// Hard ceiling on applied measurements (tester-time budget).
+    pub max_steps: usize,
+    /// Stop when the best candidate's expected information gain (nats)
+    /// drops below this value — measuring further would cost tester time
+    /// without telling us anything. `0.0` disables the check (gains are
+    /// clamped non-negative).
+    pub min_gain: f64,
+}
+
+impl StoppingPolicy {
+    /// Checks the thresholds are mutually sane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidStoppingPolicy`] when the fault-mass
+    /// threshold leaves `(0, 1]` or `min_gain` is negative/non-finite.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.fault_mass_threshold > 0.0 && self.fault_mass_threshold <= 1.0) {
+            return Err(Error::InvalidStoppingPolicy(format!(
+                "fault_mass_threshold {} outside (0, 1]",
+                self.fault_mass_threshold
+            )));
+        }
+        if !self.min_gain.is_finite() || self.min_gain < 0.0 {
+            return Err(Error::InvalidStoppingPolicy(format!(
+                "min_gain {} must be finite and non-negative",
+                self.min_gain
+            )));
+        }
+        Ok(())
+    }
+
+    /// A policy that never stops early: threshold `1.0`, no gain floor, a
+    /// practically unbounded step budget. [`SequentialDiagnoser::run`]
+    /// under this policy applies every candidate measurement, which makes
+    /// the final diagnosis equal the one-shot [`DiagnosticEngine::diagnose`]
+    /// over the full observation (the equivalence the property tests pin).
+    pub fn exhaustive() -> Self {
+        StoppingPolicy {
+            fault_mass_threshold: 1.0,
+            max_steps: usize::MAX,
+            min_gain: 0.0,
+        }
+    }
+}
+
+impl Default for StoppingPolicy {
+    /// Isolation at 90% fault mass, at most 32 measurements, and a 1 mnat
+    /// gain floor (below that the remaining tests are spec filler, not
+    /// diagnosis).
+    fn default() -> Self {
+        StoppingPolicy {
+            fault_mass_threshold: 0.9,
+            max_steps: 32,
+            min_gain: 1e-3,
+        }
+    }
+}
+
+/// Why a [`SequentialDiagnoser::run`] loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The top fail candidate crossed the fault-mass threshold.
+    Isolated,
+    /// The measurement budget ran out.
+    MaxSteps,
+    /// The best remaining measurement's expected gain fell below
+    /// [`StoppingPolicy::min_gain`].
+    GainBelowThreshold,
+    /// Every candidate measurement has been applied.
+    Exhausted,
+}
+
+/// The answer a measurement oracle returns for one executed test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Measured {
+    /// The observed (binned) state of the measured variable.
+    pub state: usize,
+    /// Whether the raw measurement failed its ATE limits — failing
+    /// observables become self-candidates when nothing upstream explains
+    /// them, exactly as in [`Observation::mark_failing`].
+    pub failing: bool,
+}
+
+impl Measured {
+    /// A passing measurement that binned into `state`.
+    pub fn passing(state: usize) -> Self {
+        Measured {
+            state,
+            failing: false,
+        }
+    }
+
+    /// A limit-violating measurement that binned into `state`.
+    pub fn failing(state: usize) -> Self {
+        Measured {
+            state,
+            failing: true,
+        }
+    }
+}
+
+/// One applied measurement in a closed-loop run, in execution order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppliedMeasurement {
+    /// The measured model variable.
+    pub variable: String,
+    /// The expected information gain that made the loop choose it.
+    /// `None` for scripted (fixed-order) runs, which never score.
+    pub expected_information_gain: Option<f64>,
+    /// The state the oracle reported.
+    pub state: usize,
+    /// Whether the oracle flagged the measurement as limit-failing.
+    pub failing: bool,
+}
+
+/// The result of a closed-loop run: the final diagnosis, the measurements
+/// taken (in order) and why the loop stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequentialOutcome {
+    /// The diagnosis over everything observed when the loop stopped.
+    pub diagnosis: Diagnosis,
+    /// Applied measurements, in execution order.
+    pub applied: Vec<AppliedMeasurement>,
+    /// Why the loop stopped.
+    pub stop: StopReason,
+}
+
+impl SequentialOutcome {
+    /// Number of measurements the loop spent.
+    pub fn tests_used(&self) -> usize {
+        self.applied.len()
+    }
+}
+
+/// One unapplied candidate measurement with its latest score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredCandidate {
+    name: String,
+    var: VarId,
+    gain: f64,
+}
+
+impl ScoredCandidate {
+    /// The candidate variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected information gain (nats) from the latest scoring pass.
+    pub fn expected_information_gain(&self) -> f64 {
+        self.gain
+    }
+}
+
+/// The closed-loop sequential diagnoser. See the [module docs](self) for
+/// the algorithm and an end-to-end example.
+///
+/// Construction captures the engine's observable variables as the
+/// candidate measurement set; [`SequentialDiagnoser::set_candidates`]
+/// restricts it (e.g. to one stimulus suite's outputs, or to latent
+/// blocks for step-two probe planning). Seed context with
+/// [`SequentialDiagnoser::observe_all`] /
+/// [`SequentialDiagnoser::observe`], then either drive the loop yourself
+/// with [`SequentialDiagnoser::score_candidates`] +
+/// [`SequentialDiagnoser::observe`], or hand an oracle to
+/// [`SequentialDiagnoser::run`] / [`SequentialDiagnoser::run_scripted`].
+#[derive(Debug)]
+pub struct SequentialDiagnoser<'e> {
+    engine: &'e DiagnosticEngine,
+    policy: StoppingPolicy,
+    /// Workspace for current-belief propagations (base pass + diagnosis).
+    base_ws: PropagationWorkspace,
+    /// Workspace + distribution buffer for hypothetical VOI queries.
+    scratch: VoiScratch,
+    /// Accumulated evidence, kept in lockstep with `observation`.
+    evidence: Evidence,
+    /// Accumulated observation (drives `diagnose_with` and failing marks).
+    observation: Observation,
+    /// The latent blocks whose entropy the VOI kernel scores.
+    latents: Vec<VarId>,
+    /// Reused per-latent entropy buffer for the base pass.
+    latent_entropy: Vec<f64>,
+    /// Unapplied candidate measurements with their latest gains.
+    candidates: Vec<ScoredCandidate>,
+}
+
+impl<'e> SequentialDiagnoser<'e> {
+    /// Builds a diagnoser over a compiled engine with every observable
+    /// model variable as a candidate measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidStoppingPolicy`] for malformed policies and
+    /// propagates variable-lookup errors.
+    pub fn new(engine: &'e DiagnosticEngine, policy: StoppingPolicy) -> Result<Self> {
+        policy.validate()?;
+        let model = engine.model();
+        let latents: Vec<VarId> = model
+            .circuit_model()
+            .latents()
+            .iter()
+            .map(|name| model.var(name))
+            .collect::<Result<_>>()?;
+        let candidates: Vec<ScoredCandidate> = model
+            .circuit_model()
+            .observables()
+            .iter()
+            .map(|name| {
+                Ok(ScoredCandidate {
+                    name: name.to_string(),
+                    var: model.var(name)?,
+                    gain: 0.0,
+                })
+            })
+            .collect::<Result<_>>()?;
+        let latent_capacity = latents.len();
+        Ok(SequentialDiagnoser {
+            base_ws: engine.make_workspace(),
+            scratch: VoiScratch::new(engine),
+            evidence: Evidence::new(),
+            observation: Observation::new(),
+            latents,
+            latent_entropy: Vec::with_capacity(latent_capacity),
+            candidates,
+            engine,
+            policy,
+        })
+    }
+
+    /// Replaces the candidate measurement set. Accepts observables *and*
+    /// latents (the latter turn the loop into adaptive step-two probe
+    /// planning); names the observation already pins are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidObservation`] for unknown or
+    /// already-observed names.
+    pub fn set_candidates<I, N>(&mut self, names: I) -> Result<()>
+    where
+        I: IntoIterator<Item = N>,
+        N: AsRef<str>,
+    {
+        let mut next = Vec::new();
+        for name in names {
+            let name = name.as_ref();
+            let var = self
+                .engine
+                .model()
+                .var(name)
+                .map_err(|_| Error::InvalidObservation {
+                    variable: name.into(),
+                    reason: "not a model variable".into(),
+                })?;
+            if self.observation.state_of(name).is_some() {
+                return Err(Error::InvalidObservation {
+                    variable: name.into(),
+                    reason: "already observed; cannot be a measurement candidate".into(),
+                });
+            }
+            next.push(ScoredCandidate {
+                name: name.to_string(),
+                var,
+                gain: 0.0,
+            });
+        }
+        self.candidates = next;
+        Ok(())
+    }
+
+    /// The unapplied candidates with their gains from the latest
+    /// [`SequentialDiagnoser::score_candidates`] pass (unsorted between
+    /// passes).
+    pub fn candidates(&self) -> &[ScoredCandidate] {
+        &self.candidates
+    }
+
+    /// Everything observed so far.
+    pub fn observation(&self) -> &Observation {
+        &self.observation
+    }
+
+    /// The active stopping policy.
+    pub fn policy(&self) -> &StoppingPolicy {
+        &self.policy
+    }
+
+    /// Records a measurement: `variable = state`. If the variable was a
+    /// pending candidate it stops being one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidObservation`] for unknown variables or
+    /// out-of-range states.
+    pub fn observe(&mut self, variable: &str, state: usize) -> Result<()> {
+        let var = self
+            .engine
+            .model()
+            .var(variable)
+            .map_err(|_| Error::InvalidObservation {
+                variable: variable.into(),
+                reason: "not a model variable".into(),
+            })?;
+        let card = self.engine.model().network().card(var);
+        if state >= card {
+            return Err(Error::InvalidObservation {
+                variable: variable.into(),
+                reason: format!("state {state} out of range {card}"),
+            });
+        }
+        self.evidence.observe(var, state);
+        self.observation.set(variable, state);
+        if let Some(pos) = self.candidates.iter().position(|c| c.var == var) {
+            self.candidates.swap_remove(pos);
+        }
+        Ok(())
+    }
+
+    /// Marks an already-recorded variable as having failed its ATE limits.
+    pub fn mark_failing(&mut self, variable: &str) {
+        self.observation.mark_failing(variable);
+    }
+
+    /// Seeds the diagnoser with a whole observation (controls plus any
+    /// already-taken measurements), preserving its failing marks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SequentialDiagnoser::observe`] errors.
+    pub fn observe_all(&mut self, observation: &Observation) -> Result<()> {
+        for (name, state) in observation.iter() {
+            self.observe(name, state)?;
+        }
+        for name in observation.failing() {
+            self.mark_failing(name);
+        }
+        Ok(())
+    }
+
+    /// The diagnosis over everything observed so far (posterior update
+    /// plus the §IV-B candidate deduction), through the reused workspace
+    /// and the evidence set this diagnoser keeps in lockstep with its
+    /// observation (no per-call evidence rebuild).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DiagnosticEngine::diagnose`].
+    pub fn diagnosis(&mut self) -> Result<Diagnosis> {
+        self.engine
+            .diagnose_with_evidence(&mut self.base_ws, &self.observation, &self.evidence)
+    }
+
+    /// Scores every unapplied candidate by expected information gain over
+    /// the latent blocks and returns them sorted, best first (ties and
+    /// NaNs ordered by `f64::total_cmp`, like probe ranking).
+    ///
+    /// This is the per-decision hot path: one base propagation plus up to
+    /// `card` hypothetical propagations per candidate, all through the
+    /// compiled tree and the reused workspaces — **zero junction-tree
+    /// compilations, zero heap allocations** once the diagnoser is warm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates propagation errors (e.g. impossible evidence).
+    pub fn score_candidates(&mut self) -> Result<&[ScoredCandidate]> {
+        let Self {
+            engine,
+            base_ws,
+            scratch,
+            evidence,
+            latents,
+            latent_entropy,
+            candidates,
+            ..
+        } = self;
+        if candidates.is_empty() {
+            return Ok(&[]);
+        }
+        let jt = engine.jt();
+        let net = engine.model().network();
+        let view = jt.propagate_in(base_ws, evidence).map_err(Error::Bbn)?;
+        latent_entropy.clear();
+        for &v in latents.iter() {
+            latent_entropy.push(view.posterior_entropy(v).map_err(Error::Bbn)?);
+        }
+        let total_entropy: f64 = latent_entropy.iter().sum();
+        let VoiScratch { ws: hyp_ws, dist } = scratch;
+        for slot in candidates.iter_mut() {
+            let own = latents
+                .iter()
+                .position(|&l| l == slot.var)
+                .map_or(0.0, |i| latent_entropy[i]);
+            let card = net.card(slot.var);
+            view.posterior_into(slot.var, &mut dist[..card])
+                .map_err(Error::Bbn)?;
+            slot.gain = voi::expected_gain(
+                jt,
+                hyp_ws,
+                evidence,
+                slot.var,
+                &dist[..card],
+                latents,
+                total_entropy - own,
+            )?;
+        }
+        candidates.sort_unstable_by(|a, b| b.gain.total_cmp(&a.gain));
+        Ok(candidates)
+    }
+
+    /// Whether `diagnosis` isolates a fault under the active policy.
+    fn isolated(&self, diagnosis: &Diagnosis) -> bool {
+        diagnosis
+            .candidates()
+            .first()
+            .is_some_and(|c| c.fault_mass >= self.policy.fault_mass_threshold)
+    }
+
+    /// Runs the closed loop: diagnose, stop or pick the highest-gain
+    /// candidate, ask the `oracle` to measure it, absorb the answer,
+    /// repeat. The oracle is handed the chosen variable's name and returns
+    /// the binned state plus its limit verdict (see [`Measured`]); on the
+    /// ATE this executes one [`abbd_ate::TestDef`] out of program order,
+    /// in step two it is a physical probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates diagnosis/propagation errors and whatever the oracle
+    /// returns (conventionally [`Error::Oracle`]).
+    pub fn run<F>(&mut self, mut oracle: F) -> Result<SequentialOutcome>
+    where
+        F: FnMut(&str) -> Result<Measured>,
+    {
+        let mut applied = Vec::new();
+        loop {
+            let diagnosis = self.diagnosis()?;
+            if self.isolated(&diagnosis) {
+                return Ok(SequentialOutcome {
+                    diagnosis,
+                    applied,
+                    stop: StopReason::Isolated,
+                });
+            }
+            if applied.len() >= self.policy.max_steps {
+                return Ok(SequentialOutcome {
+                    diagnosis,
+                    applied,
+                    stop: StopReason::MaxSteps,
+                });
+            }
+            let min_gain = self.policy.min_gain;
+            let scored = self.score_candidates()?;
+            let Some(best) = scored.first() else {
+                return Ok(SequentialOutcome {
+                    diagnosis,
+                    applied,
+                    stop: StopReason::Exhausted,
+                });
+            };
+            if best.gain < min_gain {
+                return Ok(SequentialOutcome {
+                    diagnosis,
+                    applied,
+                    stop: StopReason::GainBelowThreshold,
+                });
+            }
+            let (name, gain) = (best.name.clone(), best.gain);
+            let measured = oracle(&name)?;
+            self.observe(&name, measured.state)?;
+            if measured.failing {
+                self.mark_failing(&name);
+            }
+            applied.push(AppliedMeasurement {
+                variable: name,
+                expected_information_gain: Some(gain),
+                state: measured.state,
+                failing: measured.failing,
+            });
+        }
+    }
+
+    /// [`SequentialDiagnoser::run`] with the measurement order fixed in
+    /// advance (the ATE's program order) instead of chosen by information
+    /// gain — the baseline the adaptive loop is compared against. The same
+    /// stopping policy applies between measurements (minus the gain floor,
+    /// which only exists for scored runs); names already observed or
+    /// absent from the candidate set are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SequentialDiagnoser::run`].
+    pub fn run_scripted<F>(&mut self, order: &[&str], mut oracle: F) -> Result<SequentialOutcome>
+    where
+        F: FnMut(&str) -> Result<Measured>,
+    {
+        let mut applied = Vec::new();
+        let mut next = order.iter();
+        loop {
+            let diagnosis = self.diagnosis()?;
+            if self.isolated(&diagnosis) {
+                return Ok(SequentialOutcome {
+                    diagnosis,
+                    applied,
+                    stop: StopReason::Isolated,
+                });
+            }
+            if applied.len() >= self.policy.max_steps {
+                return Ok(SequentialOutcome {
+                    diagnosis,
+                    applied,
+                    stop: StopReason::MaxSteps,
+                });
+            }
+            let Some(name) = next.find(|n| self.candidates.iter().any(|c| c.name == **n)) else {
+                return Ok(SequentialOutcome {
+                    diagnosis,
+                    applied,
+                    stop: StopReason::Exhausted,
+                });
+            };
+            let measured = oracle(name)?;
+            self.observe(name, measured.state)?;
+            if measured.failing {
+                self.mark_failing(name);
+            }
+            applied.push(AppliedMeasurement {
+                variable: (*name).to_string(),
+                expected_information_gain: None,
+                state: measured.state,
+                failing: measured.failing,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shared pin/bias/load/aux fixture: out1 pins bias tightly,
+    /// out2 is mushy, out3 only reflects aux (see [`crate::fixtures`]).
+    fn engine() -> DiagnosticEngine {
+        crate::fixtures::toy_sequential_engine()
+    }
+
+    /// A device where bias is dead: out1/out2 read 0, out3 reads 1.
+    fn dead_bias_oracle(name: &str) -> Result<Measured> {
+        Ok(match name {
+            "out1" | "out2" => Measured::failing(0),
+            "out3" => Measured::passing(1),
+            other => {
+                return Err(Error::Oracle {
+                    variable: other.into(),
+                    reason: "no such net on the bench".into(),
+                })
+            }
+        })
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(StoppingPolicy::default().validate().is_ok());
+        assert!(StoppingPolicy::exhaustive().validate().is_ok());
+        let bad = StoppingPolicy {
+            fault_mass_threshold: 0.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(Error::InvalidStoppingPolicy(_))
+        ));
+        let bad = StoppingPolicy {
+            min_gain: -1.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            SequentialDiagnoser::new(&engine(), bad),
+            Err(Error::InvalidStoppingPolicy(_))
+        ));
+    }
+
+    #[test]
+    fn adaptive_loop_isolates_dead_bias_via_the_informative_output() {
+        let eng = engine();
+        let mut d = SequentialDiagnoser::new(&eng, StoppingPolicy::default()).unwrap();
+        d.observe("pin", 1).unwrap();
+        let outcome = d.run(dead_bias_oracle).unwrap();
+        assert_eq!(outcome.stop, StopReason::Isolated);
+        assert_eq!(outcome.diagnosis.top_candidate(), Some("bias"));
+        // out1 mirrors bias almost perfectly, so the loop asks for it
+        // first and needs nothing else.
+        assert_eq!(outcome.applied[0].variable, "out1");
+        assert!(outcome.tests_used() < 3, "{:?}", outcome.applied);
+        assert!(outcome.applied[0].expected_information_gain.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn healthy_device_stops_on_gain_floor() {
+        let eng = engine();
+        let mut d = SequentialDiagnoser::new(
+            &eng,
+            StoppingPolicy {
+                // Unreachable isolation: force the gain floor to fire.
+                fault_mass_threshold: 1.0,
+                max_steps: 32,
+                min_gain: 0.3,
+            },
+        )
+        .unwrap();
+        d.observe("pin", 1).unwrap();
+        let outcome = d
+            .run(|name| {
+                Ok(match name {
+                    "out1" | "out2" | "out3" => Measured::passing(1),
+                    _ => unreachable!(),
+                })
+            })
+            .unwrap();
+        assert_eq!(outcome.stop, StopReason::GainBelowThreshold);
+        assert!(outcome.diagnosis.candidates().is_empty());
+        // Healthy outputs stop carrying information quickly.
+        assert!(outcome.tests_used() < 3, "{:?}", outcome.applied);
+    }
+
+    #[test]
+    fn max_steps_bounds_the_loop() {
+        let eng = engine();
+        let mut d = SequentialDiagnoser::new(
+            &eng,
+            StoppingPolicy {
+                fault_mass_threshold: 1.0,
+                max_steps: 1,
+                min_gain: 0.0,
+            },
+        )
+        .unwrap();
+        d.observe("pin", 1).unwrap();
+        let outcome = d.run(dead_bias_oracle).unwrap();
+        assert_eq!(outcome.stop, StopReason::MaxSteps);
+        assert_eq!(outcome.tests_used(), 1);
+    }
+
+    #[test]
+    fn exhaustive_run_reproduces_one_shot_diagnosis() {
+        let eng = engine();
+        let mut d = SequentialDiagnoser::new(&eng, StoppingPolicy::exhaustive()).unwrap();
+        d.observe("pin", 1).unwrap();
+        let outcome = d.run(dead_bias_oracle).unwrap();
+        assert_eq!(outcome.stop, StopReason::Exhausted);
+        assert_eq!(outcome.tests_used(), 3);
+
+        let mut full = Observation::new();
+        full.set("pin", 1)
+            .set("out1", 0)
+            .set("out2", 0)
+            .set("out3", 1);
+        full.mark_failing("out1").mark_failing("out2");
+        let one_shot = eng.diagnose(&full).unwrap();
+        assert_eq!(outcome.diagnosis.posteriors(), one_shot.posteriors());
+        assert_eq!(outcome.diagnosis.fault_mass(), one_shot.fault_mass());
+        assert_eq!(outcome.diagnosis.top_candidate(), one_shot.top_candidate());
+    }
+
+    #[test]
+    fn scripted_run_follows_program_order() {
+        let eng = engine();
+        let mut d = SequentialDiagnoser::new(&eng, StoppingPolicy::exhaustive()).unwrap();
+        d.observe("pin", 1).unwrap();
+        let outcome = d
+            .run_scripted(&["out3", "out2", "out1"], dead_bias_oracle)
+            .unwrap();
+        assert_eq!(outcome.stop, StopReason::Exhausted);
+        let order: Vec<&str> = outcome
+            .applied
+            .iter()
+            .map(|a| a.variable.as_str())
+            .collect();
+        assert_eq!(order, ["out3", "out2", "out1"]);
+        assert!(outcome
+            .applied
+            .iter()
+            .all(|a| a.expected_information_gain.is_none()));
+    }
+
+    #[test]
+    fn adaptive_uses_no_more_tests_than_scripted_on_this_case() {
+        let eng = engine();
+        let policy = StoppingPolicy::default();
+        let mut adaptive = SequentialDiagnoser::new(&eng, policy).unwrap();
+        adaptive.observe("pin", 1).unwrap();
+        let a = adaptive.run(dead_bias_oracle).unwrap();
+
+        let mut fixed = SequentialDiagnoser::new(&eng, policy).unwrap();
+        fixed.observe("pin", 1).unwrap();
+        // Program order happens to lead with the least informative test.
+        let f = fixed
+            .run_scripted(&["out3", "out2", "out1"], dead_bias_oracle)
+            .unwrap();
+        assert!(
+            a.tests_used() <= f.tests_used(),
+            "adaptive {} > fixed {}",
+            a.tests_used(),
+            f.tests_used()
+        );
+    }
+
+    #[test]
+    fn candidate_management_and_errors() {
+        let eng = engine();
+        let mut d = SequentialDiagnoser::new(&eng, StoppingPolicy::default()).unwrap();
+        assert_eq!(d.candidates().len(), 3);
+        d.set_candidates(["out1", "aux"]).unwrap();
+        assert_eq!(d.candidates().len(), 2);
+        assert!(matches!(
+            d.set_candidates(["ghost"]),
+            Err(Error::InvalidObservation { .. })
+        ));
+        d.observe("out1", 1).unwrap();
+        assert_eq!(d.candidates().len(), 1, "observing a candidate consumes it");
+        assert!(matches!(
+            d.set_candidates(["out1"]),
+            Err(Error::InvalidObservation { .. })
+        ));
+        assert!(matches!(
+            d.observe("out1", 9),
+            Err(Error::InvalidObservation { .. })
+        ));
+        assert!(matches!(
+            d.observe("ghost", 0),
+            Err(Error::InvalidObservation { .. })
+        ));
+        // Latent candidates are allowed (step-two probe planning).
+        let scored = d.score_candidates().unwrap();
+        assert_eq!(scored.len(), 1);
+        assert_eq!(scored[0].name(), "aux");
+        assert!(scored[0].expected_information_gain() >= 0.0);
+    }
+
+    #[test]
+    fn oracle_failures_propagate() {
+        let eng = engine();
+        let mut d = SequentialDiagnoser::new(&eng, StoppingPolicy::default()).unwrap();
+        d.observe("pin", 1).unwrap();
+        let err = d.run(|name| {
+            Err(Error::Oracle {
+                variable: name.into(),
+                reason: "bench on fire".into(),
+            })
+        });
+        assert!(matches!(err, Err(Error::Oracle { .. })));
+    }
+
+    #[test]
+    fn seeding_from_observation_preserves_failing_marks() {
+        let eng = engine();
+        let mut seed = Observation::new();
+        seed.set("pin", 1).set("out1", 0);
+        seed.mark_failing("out1");
+        let mut d = SequentialDiagnoser::new(&eng, StoppingPolicy::default()).unwrap();
+        d.observe_all(&seed).unwrap();
+        assert_eq!(d.observation().failing(), &["out1".to_string()]);
+        assert_eq!(d.candidates().len(), 2);
+        let diag = d.diagnosis().unwrap();
+        assert_eq!(diag.top_candidate(), Some("bias"));
+    }
+
+    /// The tentpole regression: the steady-state decision loop never
+    /// compiles a junction tree.
+    #[test]
+    fn steady_state_performs_zero_compilations() {
+        let eng = engine();
+        let mut d = SequentialDiagnoser::new(&eng, StoppingPolicy::exhaustive()).unwrap();
+        d.observe("pin", 1).unwrap();
+        d.score_candidates().unwrap(); // warm-up
+        let before = abbd_bbn::jointree_compile_count();
+        let outcome = d.run(dead_bias_oracle).unwrap();
+        assert_eq!(outcome.stop, StopReason::Exhausted);
+        assert_eq!(
+            abbd_bbn::jointree_compile_count(),
+            before,
+            "sequential decisions must reuse the compiled tree"
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! The value-of-information kernel shared by probe ranking
+//! ([`DiagnosticEngine::rank_probes`]) and sequential adaptive diagnosis
+//! ([`crate::SequentialDiagnoser`]).
+//!
+//! # The quantity
+//!
+//! Diagnostic uncertainty is scored as the summed posterior entropy of the
+//! latent blocks, `U(e) = Σ_v H(v | e)` (Zheng & Rish's entropy
+//! approximation: marginal entropies instead of the joint, which keeps the
+//! score computable from single-variable posteriors). Measuring a
+//! candidate variable `m` is worth its **expected entropy reduction**
+//!
+//! ```text
+//! gain(m) = U(e) − Σ_s P(m = s | e) · U(e, m = s)
+//! ```
+//!
+//! where the hypothetical terms re-propagate the junction tree with one
+//! extra finding. When `m` is itself one of the scored latents (a physical
+//! probe), its own entropy is excluded from both sides — observing a block
+//! trivially zeroes its own entropy, and counting that would make every
+//! uncertain block look informative regardless of what it reveals about
+//! the *others*.
+//!
+//! # The cost model
+//!
+//! One gain evaluation issues up to `card(m)` hypothetical propagations;
+//! ranking dozens of candidates per decision multiplies that out to the
+//! workload PR 1's compiled-schedule machinery was built for. The kernel
+//! therefore never compiles a tree and never allocates per query: the
+//! caller supplies a reusable [`PropagationWorkspace`], hypotheses ride
+//! through [`JunctionTree::propagate_hypothetical_in`] (no evidence
+//! mutation), and entropies come from the restricted
+//! [`abbd_bbn::CalibratedView::posterior_entropy`] helper.
+
+use crate::engine::{DiagnosticEngine, Observation};
+use crate::error::{Error, Result};
+use abbd_bbn::{Evidence, JunctionTree, PropagationWorkspace, VarId};
+
+/// Probability floor below which a hypothetical state is skipped: states
+/// the current posterior rules out contribute nothing to the expectation
+/// and may be impossible under the model (propagation would error).
+pub(crate) const PROB_FLOOR: f64 = 1e-12;
+
+/// Reusable scoring buffers: one propagation workspace for hypothetical
+/// queries plus a distribution buffer sized for the widest variable.
+/// Create once per decision loop (or thread); every scoring pass through
+/// it is allocation-free.
+#[derive(Debug, Clone)]
+pub(crate) struct VoiScratch {
+    /// Workspace for hypothetical propagations.
+    pub(crate) ws: PropagationWorkspace,
+    /// Scratch distribution, sized for the widest model variable.
+    pub(crate) dist: Vec<f64>,
+}
+
+impl VoiScratch {
+    pub(crate) fn new(engine: &DiagnosticEngine) -> Self {
+        let net = engine.model().network();
+        let max_card = net.variables().map(|v| net.card(v)).max().unwrap_or(1);
+        VoiScratch {
+            ws: engine.make_workspace(),
+            dist: vec![0.0; max_card],
+        }
+    }
+}
+
+/// Expected reduction of `Σ_{v ∈ score_vars, v ≠ hypothesis} H(v | e)`
+/// when `hypothesis` is measured.
+///
+/// `hyp_dist` is the current posterior `P(hypothesis | e)` (read from a
+/// base propagation the caller already performed) and `baseline_entropy`
+/// the current restricted entropy sum, with `hypothesis` itself already
+/// excluded. Clamped at zero: the marginal-entropy approximation can go
+/// fractionally negative through rounding, and a measurement is never
+/// *worse* than not measuring.
+pub(crate) fn expected_gain(
+    jt: &JunctionTree,
+    hyp_ws: &mut PropagationWorkspace,
+    evidence: &Evidence,
+    hypothesis: VarId,
+    hyp_dist: &[f64],
+    score_vars: &[VarId],
+    baseline_entropy: f64,
+) -> Result<f64> {
+    let mut expected_after = 0.0;
+    for (state, &p_state) in hyp_dist.iter().enumerate() {
+        if p_state <= PROB_FLOOR {
+            continue;
+        }
+        let view = jt
+            .propagate_hypothetical_in(hyp_ws, evidence, hypothesis, state)
+            .map_err(Error::Bbn)?;
+        let mut h = 0.0;
+        for &v in score_vars {
+            if v != hypothesis {
+                h += view.posterior_entropy(v).map_err(Error::Bbn)?;
+            }
+        }
+        expected_after += p_state * h;
+    }
+    Ok((baseline_entropy - expected_after).max(0.0))
+}
+
+impl DiagnosticEngine {
+    /// The expected information gain (nats) of measuring `variable` under
+    /// `observation`: how much the summed posterior entropy of the latent
+    /// blocks would shrink, in expectation over the variable's current
+    /// posterior. This is the one-shot public face of the VOI kernel that
+    /// [`DiagnosticEngine::rank_probes`] and
+    /// [`crate::SequentialDiagnoser`] share; use those for ranking whole
+    /// candidate sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidObservation`] for unknown variables or a
+    /// `variable` the observation already pins, and propagates propagation
+    /// errors.
+    pub fn expected_information_gain(
+        &self,
+        observation: &Observation,
+        variable: &str,
+    ) -> Result<f64> {
+        let evidence = self.evidence_from(observation)?;
+        let var = self
+            .model()
+            .var(variable)
+            .map_err(|_| Error::InvalidObservation {
+                variable: variable.into(),
+                reason: "not a model variable".into(),
+            })?;
+        if observation.state_of(variable).is_some() {
+            return Err(Error::InvalidObservation {
+                variable: variable.into(),
+                reason: "already observed; measuring it again carries no information".into(),
+            });
+        }
+        let latents: Vec<VarId> = self
+            .model()
+            .circuit_model()
+            .latents()
+            .iter()
+            .map(|name| self.model().var(name))
+            .collect::<Result<_>>()?;
+        let mut scratch = VoiScratch::new(self);
+        let mut base_ws = self.make_workspace();
+        let view = self
+            .jt()
+            .propagate_in(&mut base_ws, &evidence)
+            .map_err(Error::Bbn)?;
+        let mut baseline = 0.0;
+        for &v in &latents {
+            if v != var {
+                baseline += view.posterior_entropy(v).map_err(Error::Bbn)?;
+            }
+        }
+        let card = self.model().network().card(var);
+        view.posterior_into(var, &mut scratch.dist[..card])
+            .map_err(Error::Bbn)?;
+        expected_gain(
+            self.jt(),
+            &mut scratch.ws,
+            &evidence,
+            var,
+            &scratch.dist[..card],
+            &latents,
+            baseline,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ExpertKnowledge, ModelBuilder};
+    use crate::model::CircuitModel;
+    use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
+
+    fn engine() -> DiagnosticEngine {
+        let var = |name: &str, ftype| VariableSpec {
+            name: name.into(),
+            ftype,
+            bands: vec![
+                StateBand::new("0", 0.0, 1.0, "bad"),
+                StateBand::new("1", 1.0, 2.0, "good"),
+            ],
+            ckt_ref: None,
+        };
+        let spec = ModelSpec::new([
+            var("h", FunctionalType::Latent),
+            var("tight", FunctionalType::Observe),
+            var("loose", FunctionalType::Observe),
+        ])
+        .unwrap();
+        let mut m = CircuitModel::new(spec);
+        m.depends("h", "tight").unwrap();
+        m.depends("h", "loose").unwrap();
+        let mut e = ExpertKnowledge::new(10.0);
+        e.cpt("h", [[0.3, 0.7]]);
+        // `tight` mirrors the latent almost perfectly; `loose` barely.
+        e.cpt("tight", [[0.99, 0.01], [0.01, 0.99]]);
+        e.cpt("loose", [[0.55, 0.45], [0.45, 0.55]]);
+        let dm = ModelBuilder::new(m)
+            .with_expert(e)
+            .build_expert_only()
+            .unwrap();
+        DiagnosticEngine::new(dm).unwrap()
+    }
+
+    #[test]
+    fn informative_observables_score_higher() {
+        let eng = engine();
+        let obs = Observation::new();
+        let tight = eng.expected_information_gain(&obs, "tight").unwrap();
+        let loose = eng.expected_information_gain(&obs, "loose").unwrap();
+        assert!(
+            tight > loose * 5.0,
+            "tight={tight} must dominate loose={loose}"
+        );
+        assert!(loose >= 0.0);
+    }
+
+    #[test]
+    fn probing_the_latent_itself_scores_zero_with_no_other_latents() {
+        let eng = engine();
+        // `h` is the only latent; with it excluded from its own scoring
+        // there is nothing left to gain information about.
+        let gain = eng
+            .expected_information_gain(&Observation::new(), "h")
+            .unwrap();
+        assert_eq!(gain, 0.0);
+    }
+
+    #[test]
+    fn rejects_unknown_and_observed_targets() {
+        let eng = engine();
+        let mut obs = Observation::new();
+        obs.set("tight", 1);
+        assert!(matches!(
+            eng.expected_information_gain(&obs, "tight"),
+            Err(Error::InvalidObservation { .. })
+        ));
+        assert!(matches!(
+            eng.expected_information_gain(&obs, "ghost"),
+            Err(Error::InvalidObservation { .. })
+        ));
+    }
+}

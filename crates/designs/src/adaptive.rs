@@ -1,0 +1,134 @@
+//! Shared closed-loop scenario reporting: the adaptive-vs-fixed
+//! comparison both reference designs run over sampled fault populations.
+//!
+//! A *closed-loop scenario* puts a faulty device on the virtual bench,
+//! seeds a [`abbd_core::SequentialDiagnoser`] with the failing suite's
+//! control states, and lets it order the suite's measurements two ways:
+//! adaptively (expected information gain) and in fixed ATE program order.
+//! Both runs share the stopping policy, so the comparison isolates the
+//! *ordering* effect: how many tester measurements until a fault is
+//! isolated (or the program exhausted).
+
+use abbd_ate::DeviceSession;
+use abbd_core::{Measured, SequentialOutcome, StopReason};
+use abbd_dlog2bbn::ModelSpec;
+
+/// Builds the live-bench measurement oracle both reference designs hand
+/// to the sequential diagnoser: look the chosen variable up in
+/// `measurables`, execute its ATE test (as mapped by `test_number`, an
+/// output-index → test-number function for the active suite) on the
+/// device session, and bin the measured voltage into the model's state
+/// bands. Limit verdicts come straight from the executed record.
+pub(crate) fn bench_oracle<'s, 'd, 'a, F>(
+    session: &'s mut DeviceSession<'d, 'a>,
+    spec: &'s ModelSpec,
+    measurables: &'s [&'s str],
+    test_number: F,
+) -> impl FnMut(&str) -> abbd_core::Result<Measured> + use<'s, 'd, 'a, F>
+where
+    F: Fn(usize) -> u32,
+{
+    move |name| {
+        let oi = measurables.iter().position(|v| *v == name).ok_or_else(|| {
+            abbd_core::Error::Oracle {
+                variable: name.into(),
+                reason: "not one of the suite's measurable outputs".into(),
+            }
+        })?;
+        let record = session
+            .execute(test_number(oi))
+            .map_err(|e| abbd_core::Error::Oracle {
+                variable: name.into(),
+                reason: e.to_string(),
+            })?;
+        let state = spec
+            .bin(name, record.value)
+            .map_err(|e| abbd_core::Error::Oracle {
+                variable: name.into(),
+                reason: e.to_string(),
+            })?
+            .ok_or_else(|| abbd_core::Error::Oracle {
+                variable: name.into(),
+                reason: format!("{} V falls outside every state band", record.value),
+            })?;
+        Ok(Measured {
+            state,
+            failing: !record.passed,
+        })
+    }
+}
+
+/// The adaptive and fixed-order runs for one faulty device.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopReport {
+    /// Device serial number.
+    pub device_id: u64,
+    /// Ground-truth `block:mode` fault tags (scoring only — the diagnoser
+    /// never sees them).
+    pub truth: Vec<String>,
+    /// The stimulus suite the loop ran under (the first failing one).
+    pub suite: String,
+    /// The information-gain-ordered run.
+    pub adaptive: SequentialOutcome,
+    /// The ATE-program-ordered run under the same stopping policy.
+    pub fixed: SequentialOutcome,
+}
+
+impl ClosedLoopReport {
+    /// `true` when the adaptive run's top candidate names a block that is
+    /// actually faulty on the device.
+    pub fn adaptive_hit(&self) -> bool {
+        hit(&self.adaptive, &self.truth)
+    }
+
+    /// `true` when the fixed-order run's top candidate names a block that
+    /// is actually faulty on the device.
+    pub fn fixed_hit(&self) -> bool {
+        hit(&self.fixed, &self.truth)
+    }
+}
+
+fn hit(outcome: &SequentialOutcome, truth: &[String]) -> bool {
+    outcome
+        .diagnosis
+        .top_candidate()
+        .is_some_and(|top| truth.iter().any(|tag| tag.split(':').next() == Some(top)))
+}
+
+/// Population-level totals of a closed-loop scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosedLoopSummary {
+    /// Number of devices compared.
+    pub devices: usize,
+    /// Total measurements the adaptive runs spent.
+    pub adaptive_tests: usize,
+    /// Total measurements the fixed-order runs spent.
+    pub fixed_tests: usize,
+    /// Adaptive runs that stopped on fault isolation.
+    pub adaptive_isolated: usize,
+    /// Fixed-order runs that stopped on fault isolation.
+    pub fixed_isolated: usize,
+    /// Adaptive runs whose top candidate matched an injected fault.
+    pub adaptive_hits: usize,
+    /// Fixed-order runs whose top candidate matched an injected fault.
+    pub fixed_hits: usize,
+}
+
+/// Aggregates a population of closed-loop reports.
+pub fn summarize(reports: &[ClosedLoopReport]) -> ClosedLoopSummary {
+    ClosedLoopSummary {
+        devices: reports.len(),
+        adaptive_tests: reports.iter().map(|r| r.adaptive.tests_used()).sum(),
+        fixed_tests: reports.iter().map(|r| r.fixed.tests_used()).sum(),
+        adaptive_isolated: reports
+            .iter()
+            .filter(|r| r.adaptive.stop == StopReason::Isolated)
+            .count(),
+        fixed_isolated: reports
+            .iter()
+            .filter(|r| r.fixed.stop == StopReason::Isolated)
+            .count(),
+        adaptive_hits: reports.iter().filter(|r| r.adaptive_hit()).count(),
+        fixed_hits: reports.iter().filter(|r| r.fixed_hit()).count(),
+    }
+}

@@ -10,13 +10,19 @@
 //! BBN structure (Fig. 1b): `block1 → block2`, `block1 → block3`,
 //! `block3 → block4`.
 
-use crate::error::Result;
-use abbd_ate::{test_population, DeviceLog, Limits, NoiseModel, TestDef, TestProgram, TestSuite};
+use crate::adaptive::ClosedLoopReport;
+use crate::error::{Error, Result};
+use abbd_ate::{
+    test_population, DeviceLog, Limits, NoiseModel, OnDemandTester, TestDef, TestProgram, TestSuite,
+};
 use abbd_blocks::{
     sample_defective_devices, Behavior, Circuit, CircuitBuilder, Device, Fault, FaultMode,
     FaultUniverse, Stimulus, Window,
 };
-use abbd_core::{CircuitModel, DiagnosticEngine, ExpertKnowledge, LearnAlgorithm, ModelBuilder};
+use abbd_core::{
+    CircuitModel, DiagnosticEngine, ExpertKnowledge, LearnAlgorithm, ModelBuilder,
+    SequentialDiagnoser, StoppingPolicy,
+};
 use abbd_dlog2bbn::{
     generate_cases, CaseMapping, FunctionalType, GenerationStats, ModelSpec, NamedCase, StateBand,
     VariableSpec,
@@ -153,6 +159,26 @@ pub fn expert_knowledge(equivalent_sample_size: f64) -> ExpertKnowledge {
     e
 }
 
+/// The suite names in program order. Suite index doubles as the block1
+/// state the suite declares. The single source of the names —
+/// [`test_program`] and [`closed_loop_population`] both consume it.
+pub const SUITES: [&str; 3] = ["b1_off", "b1_op1", "b1_op2"];
+
+/// The `in1` drive level of each suite, aligned with [`SUITES`].
+const SUITE_LEVELS: [f64; 3] = [1.0, 3.0, 6.0];
+
+/// The measurable outputs (model variables) in test order within each
+/// suite, aligned with the numbering of [`test_number`].
+pub const MEASURABLES: [&str; 2] = ["block2", "block4"];
+
+/// The ATE test number of `(suite index, output index)` in the
+/// hypothetical program: `out2` then `out4` under each suite. The single
+/// source of the numbering scheme — [`test_program`] and the closed-loop
+/// oracle both derive from it.
+pub fn test_number(suite_index: usize, output_index: usize) -> u32 {
+    (100 * (suite_index + 1) + output_index) as u32
+}
+
 /// The three stimulus suites: one per usable state of Block-1.
 pub fn test_program(circuit: &Circuit) -> (TestProgram, CaseMapping) {
     let in1 = circuit.require_net("in1").expect("static nets");
@@ -161,21 +187,16 @@ pub fn test_program(circuit: &Circuit) -> (TestProgram, CaseMapping) {
     let out4 = circuit.require_net("out4").expect("static nets");
     let mut mapping = CaseMapping::new();
     let mut program = TestProgram::new();
-    for (si, (name, in1_level, block1_state)) in [
-        ("b1_off", 1.0, 0usize),
-        ("b1_op1", 3.0, 1),
-        ("b1_op2", 6.0, 2),
-    ]
-    .into_iter()
-    .enumerate()
-    {
+    for (si, (name, in1_level)) in SUITES.into_iter().zip(SUITE_LEVELS).enumerate() {
+        // Suite index == the block1 state the suite declares.
+        let block1_state = si;
         let mut stimulus = Stimulus::new();
         stimulus.force(in1, in1_level);
         stimulus.force(in2, 6.0);
-        let t_out2 = (100 * (si + 1)) as u32;
-        let t_out4 = t_out2 + 1;
-        mapping.map_test(t_out2, "block2");
-        mapping.map_test(t_out4, "block4");
+        let t_out2 = test_number(si, 0);
+        let t_out4 = test_number(si, 1);
+        mapping.map_test(t_out2, MEASURABLES[0]);
+        mapping.map_test(t_out4, MEASURABLES[1]);
         mapping.declare_suite(name, [("block1", block1_state)]);
         let expected_out2 = if block1_state == 0 {
             (-0.1, 0.2)
@@ -288,6 +309,94 @@ pub fn fit(n_failing: usize, seed: u64, algorithm: LearnAlgorithm) -> Result<Fit
     })
 }
 
+/// Closed-loop scenario on the hypothetical circuit over a sampled fault
+/// population: for each fabricated failing device, the sequential
+/// diagnoser orders the failing suite's two measurements adaptively and
+/// in fixed program order against the live on-demand ATE, both under the
+/// same stopping policy. Deterministic for a fixed `seed`.
+///
+/// With only two outputs the comparison is small, but it exercises the
+/// same closed loop the regulator runs at scale — and on the worked
+/// example it is easy to see *why* the adaptive order measures `block4`
+/// first (block3, the only latent, barely shows through `block2`).
+///
+/// # Errors
+///
+/// Propagates fabrication, simulation and diagnosis errors.
+pub fn closed_loop_population(
+    engine: &DiagnosticEngine,
+    n_failing: usize,
+    seed: u64,
+    policy: StoppingPolicy,
+) -> Result<Vec<ClosedLoopReport>> {
+    let circuit = circuit();
+    let (program, _) = test_program(&circuit);
+    let universe = fault_universe(&circuit);
+    let tester = OnDemandTester::new(&circuit, &program).map_err(Error::Ate)?;
+    let spec = model_spec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reports = Vec::with_capacity(n_failing);
+    let mut next_id = 0u64;
+    let mut guard = 0usize;
+    while reports.len() < n_failing {
+        guard += 1;
+        if guard > n_failing * 20 + 100 {
+            return Err(Error::Pipeline(
+                "fault universe cannot produce enough program-visible failures".into(),
+            ));
+        }
+        let device: Device = sample_defective_devices(&circuit, &universe, 1, next_id, &mut rng)
+            .into_iter()
+            .next()
+            .ok_or_else(|| Error::Pipeline("empty fault universe".into()))?;
+        next_id += 1;
+        let log = test_population(
+            &circuit,
+            &program,
+            std::slice::from_ref(&device),
+            NoiseModel::production(),
+            &mut rng,
+        )?
+        .pop()
+        .expect("one device in, one log out");
+        let Some(failing) = log.records.iter().find(|r| !r.passed) else {
+            continue; // this defect is invisible to the program; resample
+        };
+        let suite = failing.suite.clone();
+        let si = SUITES
+            .iter()
+            .position(|s| *s == suite)
+            .ok_or_else(|| Error::Pipeline(format!("unknown suite `{suite}`")))?;
+
+        let run = |scripted: bool| -> Result<abbd_core::SequentialOutcome> {
+            let mut d = SequentialDiagnoser::new(engine, policy).map_err(Error::Core)?;
+            d.observe("block1", si).map_err(Error::Core)?;
+            d.set_candidates(MEASURABLES).map_err(Error::Core)?;
+            let mut session = tester.session(&device, NoiseModel::production(), seed);
+            let oracle =
+                crate::adaptive::bench_oracle(&mut session, &spec, &MEASURABLES, move |oi| {
+                    test_number(si, oi)
+                });
+            if scripted {
+                d.run_scripted(&MEASURABLES, oracle).map_err(Error::Core)
+            } else {
+                d.run(oracle).map_err(Error::Core)
+            }
+        };
+
+        let adaptive = run(false)?;
+        let fixed = run(true)?;
+        reports.push(ClosedLoopReport {
+            device_id: device.id,
+            truth: log.truth.clone(),
+            suite,
+            adaptive,
+            fixed,
+        });
+    }
+    Ok(reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +467,34 @@ mod tests {
         obs.set("block1", 2).set("block2", 1).set("block4", 1);
         let d = fitted.engine.diagnose(&obs).unwrap();
         assert!(d.candidates().is_empty(), "{:?}", d.candidates());
+    }
+
+    #[test]
+    fn closed_loop_population_compares_adaptive_and_fixed() {
+        let fitted = fit(
+            30,
+            7,
+            LearnAlgorithm::Em(EmConfig {
+                max_iterations: 10,
+                tolerance: 1e-5,
+            }),
+        )
+        .unwrap();
+        let reports =
+            closed_loop_population(&fitted.engine, 6, 13, StoppingPolicy::default()).unwrap();
+        assert_eq!(reports.len(), 6);
+        let summary = crate::adaptive::summarize(&reports);
+        assert_eq!(summary.devices, 6);
+        assert!(
+            summary.adaptive_tests <= summary.fixed_tests,
+            "adaptive {} > fixed {}",
+            summary.adaptive_tests,
+            summary.fixed_tests
+        );
+        for r in &reports {
+            assert!(r.adaptive.tests_used() <= 2);
+            assert!(SUITES.contains(&r.suite.as_str()));
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 mod error;
 pub mod hypothetical;
 pub mod regulator;

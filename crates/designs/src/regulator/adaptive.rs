@@ -1,0 +1,252 @@
+//! Closed-loop adaptive diagnosis on the regulator: the sequential
+//! diagnoser picks the next output to measure inside a failing stimulus
+//! suite, the on-demand virtual ATE answers it, and the loop stops when a
+//! block is isolated — compared head-to-head against the fixed program
+//! order on the paper's case studies and on sampled fault populations.
+
+use crate::adaptive::ClosedLoopReport;
+use crate::error::{Error, Result};
+use crate::regulator::cases::CaseStudy;
+use crate::regulator::program::{suite_plans, test_number, SuitePlan, CONTROL_VARS, OBSERVED_VARS};
+use crate::regulator::{rig, synthesize};
+use abbd_ate::{DeviceSession, NoiseModel, OnDemandTester};
+use abbd_core::{
+    DiagnosticEngine, Measured, SequentialDiagnoser, SequentialOutcome, StoppingPolicy,
+};
+use abbd_dlog2bbn::ModelSpec;
+
+/// Builds a diagnoser seeded with a suite's control states, candidates
+/// restricted to the suite's five outputs.
+fn seeded_diagnoser<'e>(
+    engine: &'e DiagnosticEngine,
+    controls: impl IntoIterator<Item = (&'static str, usize)>,
+    policy: StoppingPolicy,
+) -> Result<SequentialDiagnoser<'e>> {
+    let mut d = SequentialDiagnoser::new(engine, policy).map_err(Error::Core)?;
+    for (name, state) in controls {
+        d.observe(name, state).map_err(Error::Core)?;
+    }
+    d.set_candidates(OBSERVED_VARS).map_err(Error::Core)?;
+    Ok(d)
+}
+
+/// A measurement oracle answering from paper Table VI: the case study's
+/// recorded observable states, with deviations from the suite's healthy
+/// states marked failing.
+fn table_vi_oracle<'c>(
+    case: &'c CaseStudy,
+    plan: &'c SuitePlan,
+) -> impl FnMut(&str) -> abbd_core::Result<Measured> + 'c {
+    move |name| {
+        let oi = OBSERVED_VARS
+            .iter()
+            .position(|v| *v == name)
+            .ok_or_else(|| abbd_core::Error::Oracle {
+                variable: name.into(),
+                reason: "not one of the suite's outputs".into(),
+            })?;
+        let (_, state) = case.observables[oi];
+        Ok(Measured {
+            state,
+            failing: state != plan.healthy_states[oi],
+        })
+    }
+}
+
+/// The regulator's live-bench oracle: [`crate::adaptive::bench_oracle`]
+/// over this suite's five outputs and test numbering.
+fn bench_oracle<'s, 'd, 'a>(
+    session: &'s mut DeviceSession<'d, 'a>,
+    spec: &'s ModelSpec,
+    suite_index: usize,
+) -> impl FnMut(&str) -> abbd_core::Result<Measured> + use<'s, 'd, 'a> {
+    crate::adaptive::bench_oracle(session, spec, &OBSERVED_VARS, move |oi| {
+        test_number(suite_index, oi)
+    })
+}
+
+fn plan_for(suite: &str) -> Result<(usize, SuitePlan)> {
+    suite_plans()
+        .into_iter()
+        .enumerate()
+        .find(|(_, p)| p.name == suite)
+        .ok_or_else(|| Error::Pipeline(format!("unknown suite `{suite}`")))
+}
+
+/// Runs one Table VI case study adaptively: controls seeded, outputs
+/// measured most-informative-first, stopping per `policy`.
+///
+/// # Errors
+///
+/// Propagates diagnosis errors.
+pub fn adaptive_case_study(
+    engine: &DiagnosticEngine,
+    case: &CaseStudy,
+    policy: StoppingPolicy,
+) -> Result<SequentialOutcome> {
+    let (_, plan) = plan_for(case.suite)?;
+    let mut d = seeded_diagnoser(engine, case.controls, policy)?;
+    d.run(table_vi_oracle(case, &plan)).map_err(Error::Core)
+}
+
+/// The fixed-order baseline for [`adaptive_case_study`]: same seeding,
+/// same stopping policy, outputs measured in ATE program order.
+///
+/// # Errors
+///
+/// Propagates diagnosis errors.
+pub fn fixed_case_study(
+    engine: &DiagnosticEngine,
+    case: &CaseStudy,
+    policy: StoppingPolicy,
+) -> Result<SequentialOutcome> {
+    let (_, plan) = plan_for(case.suite)?;
+    let mut d = seeded_diagnoser(engine, case.controls, policy)?;
+    d.run_scripted(&OBSERVED_VARS, table_vi_oracle(case, &plan))
+        .map_err(Error::Core)
+}
+
+/// Closed-loop scenario over a sampled fault population: fabricates
+/// `n_failing` defective regulators, and for each one runs the sequential
+/// diagnoser inside its first failing suite twice — adaptively and in
+/// fixed program order — against the live on-demand ATE. Deterministic
+/// for a fixed `seed`.
+///
+/// The returned reports compare tests-to-isolation per device; aggregate
+/// with [`crate::adaptive::summarize`].
+///
+/// # Errors
+///
+/// Propagates fabrication, simulation and diagnosis errors.
+pub fn closed_loop_population(
+    engine: &DiagnosticEngine,
+    n_failing: usize,
+    seed: u64,
+    policy: StoppingPolicy,
+) -> Result<Vec<ClosedLoopReport>> {
+    let rig = rig();
+    let tester = OnDemandTester::new(&rig.circuit, &rig.program).map_err(Error::Ate)?;
+    let population = synthesize(n_failing, seed, 0)?;
+    let spec = rig.model.spec();
+    let mut reports = Vec::with_capacity(population.devices.len());
+    for (device, log) in population.devices.iter().zip(&population.logs) {
+        let failing_suite = log
+            .records
+            .iter()
+            .find(|r| !r.passed)
+            .map(|r| r.suite.clone())
+            .ok_or_else(|| Error::Pipeline("synthesized device never fails".into()))?;
+        let (si, plan) = plan_for(&failing_suite)?;
+        let controls = CONTROL_VARS.iter().copied().zip(plan.control_states);
+
+        let mut adaptive_d = seeded_diagnoser(engine, controls.clone(), policy)?;
+        let mut session = tester.session(device, NoiseModel::production(), seed);
+        let adaptive = adaptive_d
+            .run(bench_oracle(&mut session, spec, si))
+            .map_err(Error::Core)?;
+
+        let mut fixed_d = seeded_diagnoser(engine, controls, policy)?;
+        let mut session = tester.session(device, NoiseModel::production(), seed);
+        let fixed = fixed_d
+            .run_scripted(&OBSERVED_VARS, bench_oracle(&mut session, spec, si))
+            .map_err(Error::Core)?;
+
+        reports.push(ClosedLoopReport {
+            device_id: device.id,
+            truth: log.truth.clone(),
+            suite: failing_suite,
+            adaptive,
+            fixed,
+        });
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::summarize;
+    use crate::regulator::cases::case_studies;
+    use crate::regulator::fit;
+    use abbd_bbn::learn::EmConfig;
+    use abbd_core::LearnAlgorithm;
+
+    fn quick_engine() -> DiagnosticEngine {
+        fit(
+            24,
+            42,
+            LearnAlgorithm::Em(EmConfig {
+                max_iterations: 8,
+                tolerance: 1e-4,
+            }),
+        )
+        .unwrap()
+        .engine
+    }
+
+    /// The case-study acceptance check: on every Table VI case the
+    /// adaptive order isolates the fault in no more measurements than the
+    /// ATE program order, and on d1 it reproduces the paper's candidate
+    /// ambiguity.
+    #[test]
+    fn adaptive_never_uses_more_tests_than_fixed_on_case_studies() {
+        let engine = quick_engine();
+        let policy = StoppingPolicy::default();
+        for case in case_studies() {
+            let adaptive = adaptive_case_study(&engine, &case, policy).unwrap();
+            let fixed = fixed_case_study(&engine, &case, policy).unwrap();
+            assert!(
+                adaptive.tests_used() <= fixed.tests_used(),
+                "case {}: adaptive {} > fixed {}",
+                case.id,
+                adaptive.tests_used(),
+                fixed.tests_used()
+            );
+            // Both orders end at the same place when both exhaust.
+            if adaptive.tests_used() == 5 && fixed.tests_used() == 5 {
+                assert_eq!(
+                    adaptive.diagnosis.fault_mass(),
+                    fixed.diagnosis.fault_mass(),
+                    "case {}: full-program runs must agree",
+                    case.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn d1_adaptive_top_candidate_matches_the_paper() {
+        let engine = quick_engine();
+        let d1 = &case_studies()[0];
+        let outcome = adaptive_case_study(&engine, d1, StoppingPolicy::default()).unwrap();
+        let top = outcome
+            .diagnosis
+            .top_candidate()
+            .expect("d1 has candidates");
+        assert!(
+            d1.expected_candidates.contains(&top),
+            "top candidate {top} not in {:?}",
+            d1.expected_candidates
+        );
+    }
+
+    #[test]
+    fn closed_loop_population_reports_and_aggregates() {
+        let engine = quick_engine();
+        let reports = closed_loop_population(&engine, 8, 2024, StoppingPolicy::default()).unwrap();
+        assert_eq!(reports.len(), 8);
+        for r in &reports {
+            assert!(r.adaptive.tests_used() <= 5);
+            assert!(r.fixed.tests_used() <= 5);
+            assert!(!r.truth.is_empty());
+        }
+        let summary = summarize(&reports);
+        assert_eq!(summary.devices, 8);
+        assert!(
+            summary.adaptive_tests <= summary.fixed_tests,
+            "adaptive {} > fixed {} across the population",
+            summary.adaptive_tests,
+            summary.fixed_tests
+        );
+    }
+}

@@ -3,6 +3,7 @@
 //! universe, the five diagnostic case studies, and the end-to-end fitting
 //! pipeline.
 
+pub mod adaptive;
 pub mod cases;
 pub mod circuit;
 pub mod expert;

@@ -1,0 +1,101 @@
+//! The PR 2 acceptance harness: steady-state sequential diagnosis must
+//! perform **zero junction-tree compilations and zero heap allocations**
+//! in its per-decision scoring loop.
+//!
+//! A counting global allocator wraps the system allocator and tallies
+//! `alloc`/`realloc` calls per thread; the compile counter lives in
+//! `abbd_bbn` (also per thread). This file deliberately contains a single
+//! `#[test]` so no sibling test can allocate on this thread inside the
+//! measurement window.
+
+use abbd::bbn::jointree_compile_count;
+use abbd::core::fixtures::toy_sequential_engine;
+use abbd::core::{Measured, SequentialDiagnoser, StoppingPolicy};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Counts this thread's allocation events around the system allocator.
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.try_with(Cell::get).unwrap_or(0)
+}
+
+fn bump() {
+    // `try_with` so a late allocation during TLS teardown cannot panic.
+    let _ = ALLOC_EVENTS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_scoring_compiles_nothing_and_allocates_nothing() {
+    // The shared pin/bias/load/aux fixture (abbd_core::fixtures): the
+    // same model the sequential unit tests assert ordering on.
+    let eng = toy_sequential_engine();
+    let mut d = SequentialDiagnoser::new(&eng, StoppingPolicy::exhaustive()).unwrap();
+    d.observe("pin", 1).unwrap();
+
+    // Warm-up: the first pass may grow internal buffers to capacity.
+    d.score_candidates().unwrap();
+    d.score_candidates().unwrap();
+
+    let compiles_before = jointree_compile_count();
+    let allocs_before = alloc_events();
+    let mut checksum = 0.0;
+    for _ in 0..16 {
+        let scored = d.score_candidates().unwrap();
+        checksum += scored[0].expected_information_gain();
+    }
+    let allocs = alloc_events() - allocs_before;
+    let compiles = jointree_compile_count() - compiles_before;
+
+    assert!(checksum.is_finite() && checksum > 0.0);
+    assert_eq!(
+        compiles, 0,
+        "steady-state VOI scoring must reuse the compiled junction tree"
+    );
+    assert_eq!(
+        allocs, 0,
+        "steady-state VOI scoring must not touch the heap ({allocs} allocation events in 16 decisions)"
+    );
+
+    // The closed loop itself stays compile-free end to end (decision
+    // bookkeeping may allocate, so only the compile counter is pinned).
+    let compiles_before = jointree_compile_count();
+    let outcome = d
+        .run(|name| {
+            Ok(match name {
+                "out1" | "out2" => Measured::failing(0),
+                _ => Measured::passing(1),
+            })
+        })
+        .unwrap();
+    assert_eq!(outcome.diagnosis.top_candidate(), Some("bias"));
+    assert_eq!(
+        jointree_compile_count() - compiles_before,
+        0,
+        "the closed loop must never recompile"
+    );
+}
