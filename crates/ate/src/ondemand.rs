@@ -62,7 +62,21 @@ impl<'a> OnDemandTester<'a> {
             rng: StdRng::seed_from_u64(seed ^ device.id.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
             ops: vec![None; self.program.suite_count()],
             records: Vec::new(),
+            active_suite: None,
+            stimulus_switches: 0,
         }
+    }
+
+    /// The index of the stimulus suite containing a test — the cost hook
+    /// adaptive planners use to price suite switches before choosing
+    /// (e.g. feeding `abbd_core::CostModel::assign_suite`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTest`] for a number the program does not
+    /// contain.
+    pub fn suite_index_of(&self, number: u32) -> Result<usize> {
+        self.locate(number).map(|(si, _, _)| si)
     }
 
     /// Suite index, suite and test definition for a test number.
@@ -96,6 +110,11 @@ pub struct DeviceSession<'d, 'a> {
     /// mirroring [`crate::test_device`]).
     ops: Vec<Option<Option<OperatingPoint>>>,
     records: Vec<Record>,
+    /// The suite of the most recently executed test (the stimulus
+    /// currently applied on the bench).
+    active_suite: Option<usize>,
+    /// Times the active stimulus changed between consecutive executions.
+    stimulus_switches: usize,
 }
 
 impl DeviceSession<'_, '_> {
@@ -109,6 +128,10 @@ impl DeviceSession<'_, '_> {
     /// NaN and a fail verdict, like the batch harness.
     pub fn execute(&mut self, number: u32) -> Result<Record> {
         let (si, suite, test) = self.tester.locate(number)?;
+        if self.active_suite.is_some_and(|cur| cur != si) {
+            self.stimulus_switches += 1;
+        }
+        self.active_suite = Some(si);
         if self.ops[si].is_none() {
             self.ops[si] = Some(self.tester.sim.solve(self.device, &suite.stimulus).ok());
         }
@@ -149,6 +172,24 @@ impl DeviceSession<'_, '_> {
     /// minimise alongside test count.
     pub fn suites_touched(&self) -> usize {
         self.ops.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// The suite of the most recently executed test — the stimulus
+    /// currently applied on the bench, `None` before the first execution.
+    /// Seed `abbd_core::CostModel::set_current_suite` from this so
+    /// planner-side switch accounting matches the bench.
+    pub fn active_suite(&self) -> Option<usize> {
+        self.active_suite
+    }
+
+    /// How many times the applied stimulus changed between consecutive
+    /// executions. Unlike [`DeviceSession::suites_touched`] this charges
+    /// *returning* to an already-solved suite too: the operating point is
+    /// cached, but a real ATE still pays the reconfiguration and settling
+    /// time every time the stimulus swaps — which is exactly what a
+    /// cost-aware test plan minimises.
+    pub fn stimulus_switches(&self) -> usize {
+        self.stimulus_switches
     }
 }
 
@@ -283,6 +324,35 @@ mod tests {
         let mut session = tester.session(&dut, NoiseModel::none(), 5);
         assert!(!session.execute(110).unwrap().passed, "vref is dead");
         assert!(session.execute(200).unwrap().passed, "off state still 0 V");
+    }
+
+    #[test]
+    fn suite_hooks_track_switches_and_active_suite() {
+        let (circuit, program) = rig();
+        let tester = OnDemandTester::new(&circuit, &program).unwrap();
+        assert_eq!(tester.suite_index_of(100).unwrap(), 0);
+        assert_eq!(tester.suite_index_of(200).unwrap(), 1);
+        assert!(matches!(
+            tester.suite_index_of(999),
+            Err(Error::UnknownTest(999))
+        ));
+
+        let golden = Device::golden(&circuit);
+        let mut session = tester.session(&golden, NoiseModel::none(), 5);
+        assert_eq!(session.active_suite(), None);
+        assert_eq!(session.stimulus_switches(), 0);
+        session.execute(100).unwrap();
+        assert_eq!(session.active_suite(), Some(0));
+        assert_eq!(session.stimulus_switches(), 0, "first stimulus is setup");
+        session.execute(110).unwrap();
+        assert_eq!(session.stimulus_switches(), 0, "same suite");
+        session.execute(200).unwrap();
+        assert_eq!(session.active_suite(), Some(1));
+        assert_eq!(session.stimulus_switches(), 1);
+        // Returning to a cached suite still swaps the stimulus.
+        session.execute(100).unwrap();
+        assert_eq!(session.stimulus_switches(), 2);
+        assert_eq!(session.suites_touched(), 2, "ops stay cached");
     }
 
     #[test]

@@ -465,7 +465,7 @@ impl JunctionTree {
         ws: &'w mut PropagationWorkspace,
         evidence: &Evidence,
     ) -> Result<CalibratedView<'t, 'w>> {
-        self.propagate_ws(ws, evidence, None)?;
+        self.propagate_ws(ws, evidence, &[])?;
         Ok(CalibratedView { tree: self, ws })
     }
 
@@ -494,25 +494,59 @@ impl JunctionTree {
         var: VarId,
         state: usize,
     ) -> Result<CalibratedView<'t, 'w>> {
-        if var.index() >= self.net.var_count() {
-            return Err(Error::InvalidEvidence {
-                variable: format!("{var}"),
-                reason: "not in network".into(),
-            });
+        self.propagate_hypotheticals_in(ws, evidence, &[(var, state)])
+    }
+
+    /// [`JunctionTree::propagate_hypothetical_in`] generalised to a whole
+    /// *stack* of hypothetical hard findings layered on top of `evidence`.
+    /// Depth-`d` lookahead planning conditions on the `d − 1` measurements
+    /// already taken along the expectimax path plus the candidate being
+    /// scored, so it needs several simultaneous hypotheticals without
+    /// mutating the evidence set between the dozens of propagations a
+    /// single decision issues.
+    ///
+    /// The findings must name distinct variables, none of which `evidence`
+    /// already pins (the same no-stacking rule as the single-finding
+    /// path). An empty slice is exactly [`JunctionTree::propagate_in`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidEvidence`] for an out-of-range finding, a
+    /// finding on an already-observed variable, or two findings on the
+    /// same variable, plus all [`JunctionTree::propagate_in`] errors.
+    pub fn propagate_hypotheticals_in<'t, 'w>(
+        &'t self,
+        ws: &'w mut PropagationWorkspace,
+        evidence: &Evidence,
+        hypotheticals: &[(VarId, usize)],
+    ) -> Result<CalibratedView<'t, 'w>> {
+        for (i, &(var, state)) in hypotheticals.iter().enumerate() {
+            if var.index() >= self.net.var_count() {
+                return Err(Error::InvalidEvidence {
+                    variable: format!("{var}"),
+                    reason: "not in network".into(),
+                });
+            }
+            if state >= self.net.card(var) {
+                return Err(Error::InvalidEvidence {
+                    variable: self.net.name(var).into(),
+                    reason: format!("state {state} out of range {}", self.net.card(var)),
+                });
+            }
+            if evidence.mentions(var) {
+                return Err(Error::InvalidEvidence {
+                    variable: self.net.name(var).into(),
+                    reason: "hypothetical finding on an already-observed variable".into(),
+                });
+            }
+            if hypotheticals[..i].iter().any(|&(v, _)| v == var) {
+                return Err(Error::InvalidEvidence {
+                    variable: self.net.name(var).into(),
+                    reason: "duplicate hypothetical finding".into(),
+                });
+            }
         }
-        if state >= self.net.card(var) {
-            return Err(Error::InvalidEvidence {
-                variable: self.net.name(var).into(),
-                reason: format!("state {state} out of range {}", self.net.card(var)),
-            });
-        }
-        if evidence.mentions(var) {
-            return Err(Error::InvalidEvidence {
-                variable: self.net.name(var).into(),
-                reason: "hypothetical finding on an already-observed variable".into(),
-            });
-        }
-        self.propagate_ws(ws, evidence, Some((var, state)))?;
+        self.propagate_ws(ws, evidence, hypotheticals)?;
         Ok(CalibratedView { tree: self, ws })
     }
 
@@ -547,7 +581,7 @@ impl JunctionTree {
         &self,
         ws: &mut PropagationWorkspace,
         evidence: &Evidence,
-        hypothetical: Option<(VarId, usize)>,
+        hypotheticals: &[(VarId, usize)],
     ) -> Result<()> {
         evidence.validate(&self.net)?;
         self.check_workspace(ws)?;
@@ -560,7 +594,7 @@ impl JunctionTree {
         for (belief, base) in ws.beliefs.iter_mut().zip(&self.base) {
             belief.copy_from_slice(base);
         }
-        for (var, state) in evidence.hard_iter().chain(hypothetical) {
+        for (var, state) in evidence.hard_iter().chain(hypotheticals.iter().copied()) {
             let slot = self.slots[var.index()];
             retain_state_kernel(&mut ws.beliefs[slot.clique], slot.stride, slot.card, state);
         }
@@ -663,7 +697,7 @@ impl JunctionTree {
     /// validation errors.
     pub fn propagate(&self, evidence: &Evidence) -> Result<CalibratedTree<'_>> {
         let mut ws = self.make_workspace();
-        self.propagate_ws(&mut ws, evidence, None)?;
+        self.propagate_ws(&mut ws, evidence, &[])?;
         let beliefs = ws
             .beliefs
             .into_iter()
@@ -894,6 +928,21 @@ impl CalibratedView<'_, '_> {
         let mut out = vec![0.0; self.tree.slots[var.index()].card];
         self.posterior_into(var, &mut out)?;
         Ok(out)
+    }
+
+    /// Writes the posterior `P(var | e)` into `out` and returns its
+    /// Shannon entropy `H(var | e)` in nats — the single-pass
+    /// outcome-distribution read of value-of-information and lookahead
+    /// planning, which needs both the distribution (to weight hypothetical
+    /// outcomes) and the entropy (to score the candidate itself) without
+    /// extracting the marginal twice.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CalibratedView::posterior_into`].
+    pub fn outcome_distribution_into(&self, var: VarId, out: &mut [f64]) -> Result<f64> {
+        self.posterior_into(var, out)?;
+        Ok(entropy_nats(out))
     }
 
     /// Shannon entropy `H(var | e)` of one posterior marginal, in nats.
@@ -1402,6 +1451,78 @@ mod tests {
         assert!(jt_small
             .propagate_in(&mut ws_small, &Evidence::new())
             .is_ok());
+    }
+
+    #[test]
+    fn stacked_hypotheticals_match_real_evidence() {
+        let net = seven_var_net();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let v0 = net.var("v0").unwrap();
+        let v2 = net.var("v2").unwrap();
+        let v6 = net.var("v6").unwrap();
+        let mut base = Evidence::new();
+        base.observe(v6, 1);
+        let mut ws = jt.make_workspace();
+        for s0 in 0..2 {
+            for s2 in 0..2 {
+                let hyp = jt
+                    .propagate_hypotheticals_in(&mut ws, &base, &[(v0, s0), (v2, s2)])
+                    .unwrap()
+                    .all_posteriors()
+                    .unwrap();
+                let mut merged = base.clone();
+                merged.observe(v0, s0);
+                merged.observe(v2, s2);
+                let real = jt.posteriors(&merged).unwrap();
+                assert!(
+                    hyp.max_abs_diff(&real).unwrap() == 0.0,
+                    "stacked hypotheticals must equal the merged-evidence answer bitwise"
+                );
+            }
+        }
+        // Empty stack == plain propagation; the evidence set is untouched.
+        let empty = jt
+            .propagate_hypotheticals_in(&mut ws, &base, &[])
+            .unwrap()
+            .all_posteriors()
+            .unwrap();
+        let plain = jt.posteriors(&base).unwrap();
+        assert!(empty.max_abs_diff(&plain).unwrap() == 0.0);
+        assert_eq!(base.state_of(v0), None);
+
+        // Duplicate findings and evidence collisions are rejected.
+        assert!(matches!(
+            jt.propagate_hypotheticals_in(&mut ws, &base, &[(v0, 0), (v0, 1)]),
+            Err(Error::InvalidEvidence { .. })
+        ));
+        assert!(matches!(
+            jt.propagate_hypotheticals_in(&mut ws, &base, &[(v0, 0), (v6, 0)]),
+            Err(Error::InvalidEvidence { .. })
+        ));
+    }
+
+    #[test]
+    fn outcome_distribution_returns_posterior_and_entropy_together() {
+        let net = seven_var_net();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let v0 = net.var("v0").unwrap();
+        let v6 = net.var("v6").unwrap();
+        let mut e = Evidence::new();
+        e.observe(v6, 1);
+        let mut ws = jt.make_workspace();
+        let view = jt.propagate_in(&mut ws, &e).unwrap();
+        let mut dist = [0.0f64; 2];
+        let h = view.outcome_distribution_into(v0, &mut dist).unwrap();
+        assert_eq!(dist.to_vec(), view.posterior(v0).unwrap());
+        assert_eq!(h, view.posterior_entropy(v0).unwrap());
+        // Observed variables: point mass, zero entropy.
+        let h6 = view.outcome_distribution_into(v6, &mut dist).unwrap();
+        assert_eq!(h6, 0.0);
+        assert_eq!(dist[1], 1.0);
+        // Wrong-length buffers are rejected like posterior_into.
+        assert!(view
+            .outcome_distribution_into(v0, &mut [0.0f64; 3])
+            .is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use abbd_bbn::{
     likelihood_weighting, Evidence, JunctionTree, Network, NetworkBuilder, VariableElimination,
 };
-use abbd_core::{SequentialDiagnoser, StoppingPolicy};
+use abbd_core::{CostModel, SequentialDiagnoser, StoppingPolicy, Strategy};
 use abbd_designs::regulator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -177,6 +177,63 @@ fn bench_sequential_voi(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost-aware lookahead planning (PR 3): the per-decision price of the
+/// depth-2 expectimax versus the myopic kernel it generalises, plus the
+/// cost-weighted arbitration path. `lookahead2_per_decision` expands
+/// roughly `candidates² × states²` hypothetical propagations through the
+/// compiled tree and per-level reused workspaces; `closed_loop_d1_lookahead2`
+/// is the whole case study planned at depth 2.
+fn bench_lookahead_voi(c: &mut Criterion) {
+    let fitted = regulator::fit(30, 2010, regulator::default_algorithm()).expect("pipeline runs");
+    let engine = fitted.engine;
+    let cases = regulator::cases::case_studies();
+    let d1 = &cases[0];
+    let mut group = c.benchmark_group("lookahead_voi");
+
+    group.bench_function("cost_weighted_per_decision", |b| {
+        let mut diagnoser = SequentialDiagnoser::new(&engine, StoppingPolicy::default()).unwrap();
+        diagnoser.set_strategy(Strategy::CostWeighted).unwrap();
+        diagnoser
+            .set_cost_model(regulator::adaptive::reference_cost_model())
+            .unwrap();
+        for (name, state) in d1.controls {
+            diagnoser.observe(name, state).unwrap();
+        }
+        b.iter(|| {
+            let scored = diagnoser.score_candidates().unwrap();
+            black_box(scored[0].score())
+        })
+    });
+    group.bench_function("lookahead2_per_decision", |b| {
+        let mut diagnoser = SequentialDiagnoser::new(&engine, StoppingPolicy::default()).unwrap();
+        diagnoser
+            .set_strategy(Strategy::Lookahead { depth: 2 })
+            .unwrap();
+        for (name, state) in d1.controls {
+            diagnoser.observe(name, state).unwrap();
+        }
+        b.iter(|| {
+            let scored = diagnoser.score_candidates().unwrap();
+            black_box(scored[0].score())
+        })
+    });
+    group.bench_function("closed_loop_d1_lookahead2", |b| {
+        b.iter(|| {
+            regulator::adaptive::traced_case_study(
+                black_box(&engine),
+                d1,
+                StoppingPolicy::default(),
+                Strategy::Lookahead { depth: 2 },
+                CostModel::unit(),
+            )
+            .unwrap()
+            .0
+            .tests_used()
+        })
+    });
+    group.finish();
+}
+
 fn bench_chain_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("chain_posteriors");
     for n in [10usize, 40, 160] {
@@ -202,6 +259,7 @@ criterion_group!(
     bench_repeated_evidence,
     bench_batch_throughput,
     bench_sequential_voi,
+    bench_lookahead_voi,
     bench_chain_scaling
 );
 criterion_main!(benches);

@@ -49,6 +49,12 @@ pub enum Error {
     InvalidPolicy(String),
     /// The sequential stopping policy is malformed.
     InvalidStoppingPolicy(String),
+    /// A measurement cost model is malformed (non-positive or non-finite
+    /// costs cannot be used as score divisors).
+    InvalidCostModel(String),
+    /// A candidate-selection strategy is malformed (e.g. a zero or
+    /// excessive lookahead depth).
+    InvalidStrategy(String),
     /// A closed-loop measurement oracle failed to execute the chosen test.
     Oracle {
         /// The variable whose measurement was requested.
@@ -85,6 +91,8 @@ impl fmt::Display for Error {
             Error::InvalidStoppingPolicy(reason) => {
                 write!(f, "invalid stopping policy: {reason}")
             }
+            Error::InvalidCostModel(reason) => write!(f, "invalid cost model: {reason}"),
+            Error::InvalidStrategy(reason) => write!(f, "invalid strategy: {reason}"),
             Error::Oracle { variable, reason } => {
                 write!(f, "measurement of `{variable}` failed: {reason}")
             }
@@ -143,6 +151,8 @@ mod tests {
             },
             Error::InvalidPolicy("p".into()),
             Error::InvalidStoppingPolicy("s".into()),
+            Error::InvalidCostModel("c".into()),
+            Error::InvalidStrategy("l".into()),
             Error::Oracle {
                 variable: "v".into(),
                 reason: "r".into(),

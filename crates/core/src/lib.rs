@@ -20,8 +20,10 @@
 //! and [`render_candidates`]. When diagnosis leaves several candidates,
 //! [`DiagnosticEngine::rank_probes`] orders the internal blocks by value
 //! of information for the paper's step two (physical probing), and
-//! [`SequentialDiagnoser`] closes the loop: pick the most informative
-//! unapplied test, execute it, re-diagnose, and stop once a
+//! [`SequentialDiagnoser`] closes the loop: pick the best unapplied test
+//! under a [`Strategy`] — raw information gain, gain per [`CostModel`]
+//! tester-second, or the depth-bounded expectimax of
+//! [`LookaheadPlanner`] — execute it, re-diagnose, and stop once a
 //! [`StoppingPolicy`] condition fires — all through one compiled junction
 //! tree and reusable propagation workspaces.
 
@@ -36,6 +38,7 @@ mod explain;
 #[doc(hidden)]
 pub mod fixtures;
 mod model;
+mod planner;
 mod probe;
 mod report;
 mod sequential;
@@ -50,9 +53,10 @@ pub use engine::{Diagnosis, DiagnosticEngine, Observation};
 pub use error::{Error, Result};
 pub use explain::FindingImpact;
 pub use model::CircuitModel;
+pub use planner::{CostModel, LookaheadPlanner, Strategy, MAX_LOOKAHEAD_DEPTH};
 pub use probe::ProbeSuggestion;
 pub use report::{render_candidates, render_state_table};
 pub use sequential::{
-    AppliedMeasurement, Measured, ScoredCandidate, SequentialDiagnoser, SequentialOutcome,
-    StopReason, StoppingPolicy,
+    AppliedMeasurement, DecisionTrace, Measured, ScoredCandidate, SequentialDiagnoser,
+    SequentialOutcome, StopReason, StoppingPolicy, TracedDecision, TracedScore,
 };

@@ -11,6 +11,15 @@
 //! Zheng/Rish entropy-approximation test selection and Siddiqi & Huang's
 //! sequential diagnosis), and either measure the best one or stop.
 //!
+//! How "best" is judged is pluggable ([`SequentialDiagnoser::set_strategy`]):
+//! [`Strategy::Myopic`] ranks by raw one-step gain,
+//! [`Strategy::CostWeighted`] by gain per [`CostModel`] tester-second
+//! (suite switches and physical probes priced in), and
+//! [`Strategy::Lookahead`] by the bounded-depth expectimax value of
+//! [`crate::LookaheadPlanner`] per tester-second. Runs can be captured as
+//! [`DecisionTrace`]s ([`SequentialDiagnoser::run_traced`]) for the
+//! golden-trace conformance corpus.
+//!
 //! # Steady-state cost
 //!
 //! A [`SequentialDiagnoser`] owns one compiled engine reference plus two
@@ -69,6 +78,7 @@
 
 use crate::engine::{Diagnosis, DiagnosticEngine, Observation};
 use crate::error::{Error, Result};
+use crate::planner::{CostModel, LookaheadPlanner, Strategy};
 use crate::voi::{self, VoiScratch};
 use abbd_bbn::{Evidence, PropagationWorkspace, VarId};
 use serde::{Deserialize, Serialize};
@@ -194,9 +204,14 @@ impl Measured {
 pub struct AppliedMeasurement {
     /// The measured model variable.
     pub variable: String,
-    /// The expected information gain that made the loop choose it.
-    /// `None` for scripted (fixed-order) runs, which never score.
+    /// The expected information gain that made the loop choose it (the
+    /// strategy's value for lookahead runs — see
+    /// [`ScoredCandidate::expected_information_gain`]). `None` for
+    /// scripted (fixed-order) runs, which never score.
     pub expected_information_gain: Option<f64>,
+    /// The [`CostModel`] cost charged for the measurement at selection
+    /// time. `None` for scripted runs.
+    pub cost: Option<f64>,
     /// The state the oracle reported.
     pub state: usize,
     /// Whether the oracle flagged the measurement as limit-failing.
@@ -220,6 +235,71 @@ impl SequentialOutcome {
     pub fn tests_used(&self) -> usize {
         self.applied.len()
     }
+
+    /// Total [`CostModel`] tester-seconds the loop's measurements cost
+    /// (scripted measurements, which carry no cost, contribute zero).
+    pub fn tester_seconds(&self) -> f64 {
+        self.applied.iter().filter_map(|a| a.cost).sum()
+    }
+}
+
+/// One candidate's entry in a traced decision's ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracedScore {
+    /// The candidate variable.
+    pub variable: String,
+    /// Its information value (see
+    /// [`ScoredCandidate::expected_information_gain`]).
+    pub gain: f64,
+    /// Its [`CostModel`] cost at decision time.
+    pub cost: f64,
+    /// Its strategy-adjusted selection score.
+    pub score: f64,
+}
+
+/// One decision of a traced closed-loop run: the full candidate ranking,
+/// what was chosen, what the oracle answered, and the posterior fault
+/// mass per latent block after absorbing the answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracedDecision {
+    /// Every unapplied candidate with its scores, best first.
+    pub scores: Vec<TracedScore>,
+    /// The chosen (best-scoring) candidate.
+    pub chosen: String,
+    /// The state the oracle reported.
+    pub state: usize,
+    /// Whether the oracle flagged the measurement as limit-failing.
+    pub failing: bool,
+    /// `(latent, posterior fault mass)` after absorbing the answer, in
+    /// model order.
+    pub fault_mass: Vec<(String, f64)>,
+}
+
+/// The complete decision record of one
+/// [`SequentialDiagnoser::run_traced`] closed loop — the executable
+/// evidence the golden-trace conformance corpus replays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTrace {
+    /// The strategy the run selected candidates with.
+    pub strategy: Strategy,
+    /// Every decision, in execution order.
+    pub steps: Vec<TracedDecision>,
+    /// Why the loop stopped.
+    pub stop: StopReason,
+    /// `(latent, posterior fault mass)` at the final diagnosis.
+    pub final_fault_mass: Vec<(String, f64)>,
+    /// The final diagnosis's top fail candidate, if any.
+    pub top_candidate: Option<String>,
+}
+
+/// The diagnosis's per-latent fault mass as ordered entries (the
+/// `BTreeMap` iterates in name order, which keeps traces deterministic).
+fn fault_mass_entries(diagnosis: &Diagnosis) -> Vec<(String, f64)> {
+    diagnosis
+        .fault_mass()
+        .iter()
+        .map(|(name, &mass)| (name.clone(), mass))
+        .collect()
 }
 
 /// One unapplied candidate measurement with its latest score.
@@ -227,7 +307,12 @@ impl SequentialOutcome {
 pub struct ScoredCandidate {
     name: String,
     var: VarId,
+    /// Whether the candidate is a latent block (a step-two physical
+    /// probe) rather than an observable test.
+    probe: bool,
     gain: f64,
+    cost: f64,
+    score: f64,
 }
 
 impl ScoredCandidate {
@@ -236,9 +321,32 @@ impl ScoredCandidate {
         &self.name
     }
 
-    /// Expected information gain (nats) from the latest scoring pass.
+    /// `true` when the candidate is a latent block, i.e. measuring it is
+    /// a step-two physical probe priced at [`CostModel`]'s probe cost
+    /// rather than an ordinary specification test.
+    pub fn is_probe(&self) -> bool {
+        self.probe
+    }
+
+    /// The candidate's information value (nats) from the latest scoring
+    /// pass: the one-step expected information gain under
+    /// [`Strategy::Myopic`] / [`Strategy::CostWeighted`], the expectimax
+    /// value `V_depth` under [`Strategy::Lookahead`].
     pub fn expected_information_gain(&self) -> f64 {
         self.gain
+    }
+
+    /// The [`CostModel`] cost of taking this measurement now
+    /// (tester-seconds).
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// The strategy-adjusted selection score the candidates are ranked
+    /// by: the raw value for [`Strategy::Myopic`], value-per-cost
+    /// otherwise.
+    pub fn score(&self) -> f64 {
+        self.score
     }
 }
 
@@ -272,6 +380,14 @@ pub struct SequentialDiagnoser<'e> {
     latent_entropy: Vec<f64>,
     /// Unapplied candidate measurements with their latest gains.
     candidates: Vec<ScoredCandidate>,
+    /// How candidates are ranked (myopic / cost-weighted / lookahead).
+    strategy: Strategy,
+    /// Prices for tests, suite switches and probes.
+    cost_model: CostModel,
+    /// The expectimax evaluator, present iff `strategy` is lookahead.
+    planner: Option<LookaheadPlanner>,
+    /// Reused candidate-id buffer for planner calls.
+    var_buf: Vec<VarId>,
 }
 
 impl<'e> SequentialDiagnoser<'e> {
@@ -299,7 +415,10 @@ impl<'e> SequentialDiagnoser<'e> {
                 Ok(ScoredCandidate {
                     name: name.to_string(),
                     var: model.var(name)?,
+                    probe: false,
                     gain: 0.0,
+                    cost: 0.0,
+                    score: 0.0,
                 })
             })
             .collect::<Result<_>>()?;
@@ -312,9 +431,59 @@ impl<'e> SequentialDiagnoser<'e> {
             latents,
             latent_entropy: Vec::with_capacity(latent_capacity),
             candidates,
+            strategy: Strategy::Myopic,
+            cost_model: CostModel::unit(),
+            planner: None,
+            var_buf: Vec::new(),
             engine,
             policy,
         })
+    }
+
+    /// Replaces the candidate-selection strategy. Switching to
+    /// [`Strategy::Lookahead`] (re)builds the expectimax planner with all
+    /// buffers sized for the requested depth, so the decision loop stays
+    /// allocation-free afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidStrategy`] for malformed strategies.
+    pub fn set_strategy(&mut self, strategy: Strategy) -> Result<()> {
+        strategy.validate()?;
+        match strategy {
+            Strategy::Lookahead { depth } => {
+                if self.planner.as_ref().map(LookaheadPlanner::depth) != Some(depth) {
+                    self.planner = Some(LookaheadPlanner::new(self.engine, depth)?);
+                }
+            }
+            _ => self.planner = None,
+        }
+        self.strategy = strategy;
+        Ok(())
+    }
+
+    /// The active candidate-selection strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Replaces the measurement cost model. The loop calls
+    /// [`CostModel::note_measured`] on it after every applied
+    /// measurement, keeping the current-suite tracking in lockstep with
+    /// the bench.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCostModel`] for malformed models.
+    pub fn set_cost_model(&mut self, cost_model: CostModel) -> Result<()> {
+        cost_model.validate()?;
+        self.cost_model = cost_model;
+        Ok(())
+    }
+
+    /// The active measurement cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
     }
 
     /// Replaces the candidate measurement set. Accepts observables *and*
@@ -347,10 +516,23 @@ impl<'e> SequentialDiagnoser<'e> {
                     reason: "already observed; cannot be a measurement candidate".into(),
                 });
             }
+            // A duplicate would leave a dangling twin after the first
+            // copy is measured: `observe` removes one entry, and the
+            // survivor's variable is then pinned by evidence, poisoning
+            // every later scoring pass with an invalid hypothetical.
+            if next.iter().any(|c: &ScoredCandidate| c.var == var) {
+                return Err(Error::InvalidObservation {
+                    variable: name.into(),
+                    reason: "duplicate measurement candidate".into(),
+                });
+            }
             next.push(ScoredCandidate {
                 name: name.to_string(),
                 var,
+                probe: self.latents.contains(&var),
                 gain: 0.0,
+                cost: 0.0,
+                score: 0.0,
             });
         }
         self.candidates = next;
@@ -439,14 +621,22 @@ impl<'e> SequentialDiagnoser<'e> {
             .diagnose_with_evidence(&mut self.base_ws, &self.observation, &self.evidence)
     }
 
-    /// Scores every unapplied candidate by expected information gain over
-    /// the latent blocks and returns them sorted, best first (ties and
-    /// NaNs ordered by `f64::total_cmp`, like probe ranking).
+    /// Scores every unapplied candidate under the active [`Strategy`] and
+    /// [`CostModel`] and returns them sorted by selection score, best
+    /// first (ties and NaNs ordered by `f64::total_cmp`, like probe
+    /// ranking).
+    ///
+    /// The information value is the one-step expected gain over the
+    /// latent blocks for [`Strategy::Myopic`] and
+    /// [`Strategy::CostWeighted`], and the depth-bounded expectimax value
+    /// for [`Strategy::Lookahead`]; the selection score is the raw value
+    /// (myopic) or value-per-tester-second (the other two).
     ///
     /// This is the per-decision hot path: one base propagation plus up to
-    /// `card` hypothetical propagations per candidate, all through the
-    /// compiled tree and the reused workspaces — **zero junction-tree
-    /// compilations, zero heap allocations** once the diagnoser is warm.
+    /// `card` hypothetical propagations per candidate (times the outcome
+    /// tree for lookahead), all through the compiled tree and the reused
+    /// workspaces — **zero junction-tree compilations, zero heap
+    /// allocations** once the diagnoser is warm.
     ///
     /// # Errors
     ///
@@ -460,6 +650,10 @@ impl<'e> SequentialDiagnoser<'e> {
             latents,
             latent_entropy,
             candidates,
+            strategy,
+            cost_model,
+            planner,
+            var_buf,
             ..
         } = self;
         if candidates.is_empty() {
@@ -467,32 +661,52 @@ impl<'e> SequentialDiagnoser<'e> {
         }
         let jt = engine.jt();
         let net = engine.model().network();
-        let view = jt.propagate_in(base_ws, evidence).map_err(Error::Bbn)?;
-        latent_entropy.clear();
-        for &v in latents.iter() {
-            latent_entropy.push(view.posterior_entropy(v).map_err(Error::Bbn)?);
+        match *strategy {
+            Strategy::Myopic | Strategy::CostWeighted => {
+                let view = jt.propagate_in(base_ws, evidence).map_err(Error::Bbn)?;
+                latent_entropy.clear();
+                for &v in latents.iter() {
+                    latent_entropy.push(view.posterior_entropy(v).map_err(Error::Bbn)?);
+                }
+                let total_entropy: f64 = latent_entropy.iter().sum();
+                let VoiScratch { ws: hyp_ws, dist } = scratch;
+                for slot in candidates.iter_mut() {
+                    let own = latents
+                        .iter()
+                        .position(|&l| l == slot.var)
+                        .map_or(0.0, |i| latent_entropy[i]);
+                    let card = net.card(slot.var);
+                    view.posterior_into(slot.var, &mut dist[..card])
+                        .map_err(Error::Bbn)?;
+                    slot.gain = voi::expected_gain(
+                        jt,
+                        hyp_ws,
+                        evidence,
+                        slot.var,
+                        &dist[..card],
+                        latents,
+                        total_entropy - own,
+                    )?;
+                }
+            }
+            Strategy::Lookahead { .. } => {
+                let planner = planner.as_mut().expect("set_strategy built the planner");
+                var_buf.clear();
+                var_buf.extend(candidates.iter().map(|c| c.var));
+                let values = planner.values(engine, evidence, var_buf)?;
+                for (slot, &value) in candidates.iter_mut().zip(values) {
+                    slot.gain = value;
+                }
+            }
         }
-        let total_entropy: f64 = latent_entropy.iter().sum();
-        let VoiScratch { ws: hyp_ws, dist } = scratch;
         for slot in candidates.iter_mut() {
-            let own = latents
-                .iter()
-                .position(|&l| l == slot.var)
-                .map_or(0.0, |i| latent_entropy[i]);
-            let card = net.card(slot.var);
-            view.posterior_into(slot.var, &mut dist[..card])
-                .map_err(Error::Bbn)?;
-            slot.gain = voi::expected_gain(
-                jt,
-                hyp_ws,
-                evidence,
-                slot.var,
-                &dist[..card],
-                latents,
-                total_entropy - own,
-            )?;
+            slot.cost = cost_model.cost_of(&slot.name, slot.probe);
+            slot.score = match *strategy {
+                Strategy::Myopic => slot.gain,
+                Strategy::CostWeighted | Strategy::Lookahead { .. } => slot.gain / slot.cost,
+            };
         }
-        candidates.sort_unstable_by(|a, b| b.gain.total_cmp(&a.gain));
+        candidates.sort_unstable_by(|a, b| b.score.total_cmp(&a.score));
         Ok(candidates)
     }
 
@@ -504,24 +718,75 @@ impl<'e> SequentialDiagnoser<'e> {
             .is_some_and(|c| c.fault_mass >= self.policy.fault_mass_threshold)
     }
 
-    /// Runs the closed loop: diagnose, stop or pick the highest-gain
-    /// candidate, ask the `oracle` to measure it, absorb the answer,
-    /// repeat. The oracle is handed the chosen variable's name and returns
-    /// the binned state plus its limit verdict (see [`Measured`]); on the
-    /// ATE this executes one [`abbd_ate::TestDef`] out of program order,
-    /// in step two it is a physical probe.
+    /// Runs the closed loop: diagnose, stop or pick the best-scoring
+    /// candidate under the active strategy, ask the `oracle` to measure
+    /// it, absorb the answer, repeat. The oracle is handed the chosen
+    /// variable's name and returns the binned state plus its limit
+    /// verdict (see [`Measured`]); on the ATE this executes one
+    /// [`abbd_ate::TestDef`] out of program order, in step two it is a
+    /// physical probe.
+    ///
+    /// The gain floor compares [`StoppingPolicy::min_gain`] against the
+    /// best *information value* among the candidates (not the best
+    /// cost-normalised score): an expensive measurement that would still
+    /// teach us something keeps the loop alive, it just gets deferred
+    /// behind cheaper ones.
     ///
     /// # Errors
     ///
     /// Propagates diagnosis/propagation errors and whatever the oracle
     /// returns (conventionally [`Error::Oracle`]).
-    pub fn run<F>(&mut self, mut oracle: F) -> Result<SequentialOutcome>
+    pub fn run<F>(&mut self, oracle: F) -> Result<SequentialOutcome>
+    where
+        F: FnMut(&str) -> Result<Measured>,
+    {
+        self.run_inner(oracle, None)
+    }
+
+    /// [`SequentialDiagnoser::run`] capturing a full [`DecisionTrace`]
+    /// alongside the outcome: every decision's complete candidate ranking
+    /// (value, cost, selection score), the chosen measurement with the
+    /// oracle's answer, and the posterior fault mass per latent block
+    /// after absorbing it. The golden-trace conformance corpus serialises
+    /// these traces to pin the whole adaptive stack down.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SequentialDiagnoser::run`].
+    pub fn run_traced<F>(&mut self, oracle: F) -> Result<(SequentialOutcome, DecisionTrace)>
+    where
+        F: FnMut(&str) -> Result<Measured>,
+    {
+        let mut trace = DecisionTrace {
+            strategy: self.strategy,
+            steps: Vec::new(),
+            stop: StopReason::Exhausted,
+            final_fault_mass: Vec::new(),
+            top_candidate: None,
+        };
+        let outcome = self.run_inner(oracle, Some(&mut trace))?;
+        trace.stop = outcome.stop;
+        trace.final_fault_mass = fault_mass_entries(&outcome.diagnosis);
+        trace.top_candidate = outcome.diagnosis.top_candidate().map(str::to_string);
+        Ok((outcome, trace))
+    }
+
+    fn run_inner<F>(
+        &mut self,
+        mut oracle: F,
+        mut trace: Option<&mut DecisionTrace>,
+    ) -> Result<SequentialOutcome>
     where
         F: FnMut(&str) -> Result<Measured>,
     {
         let mut applied = Vec::new();
         loop {
             let diagnosis = self.diagnosis()?;
+            if let Some(trace) = trace.as_deref_mut() {
+                if let Some(step) = trace.steps.last_mut() {
+                    step.fault_mass = fault_mass_entries(&diagnosis);
+                }
+            }
             if self.isolated(&diagnosis) {
                 return Ok(SequentialOutcome {
                     diagnosis,
@@ -545,22 +810,50 @@ impl<'e> SequentialDiagnoser<'e> {
                     stop: StopReason::Exhausted,
                 });
             };
-            if best.gain < min_gain {
+            let best_value = scored
+                .iter()
+                .map(ScoredCandidate::expected_information_gain)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if best_value < min_gain {
                 return Ok(SequentialOutcome {
                     diagnosis,
                     applied,
                     stop: StopReason::GainBelowThreshold,
                 });
             }
-            let (name, gain) = (best.name.clone(), best.gain);
+            let (name, gain, cost) = (best.name.clone(), best.gain, best.cost);
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.steps.push(TracedDecision {
+                    scores: scored
+                        .iter()
+                        .map(|c| TracedScore {
+                            variable: c.name.clone(),
+                            gain: c.gain,
+                            cost: c.cost,
+                            score: c.score,
+                        })
+                        .collect(),
+                    chosen: name.clone(),
+                    state: 0,
+                    failing: false,
+                    fault_mass: Vec::new(),
+                });
+            }
             let measured = oracle(&name)?;
             self.observe(&name, measured.state)?;
             if measured.failing {
                 self.mark_failing(&name);
             }
+            self.cost_model.note_measured(&name);
+            if let Some(trace) = trace.as_deref_mut() {
+                let step = trace.steps.last_mut().expect("pushed above");
+                step.state = measured.state;
+                step.failing = measured.failing;
+            }
             applied.push(AppliedMeasurement {
                 variable: name,
                 expected_information_gain: Some(gain),
+                cost: Some(cost),
                 state: measured.state,
                 failing: measured.failing,
             });
@@ -611,9 +904,11 @@ impl<'e> SequentialDiagnoser<'e> {
             if measured.failing {
                 self.mark_failing(name);
             }
+            self.cost_model.note_measured(name);
             applied.push(AppliedMeasurement {
                 variable: (*name).to_string(),
                 expected_information_gain: None,
+                cost: None,
                 state: measured.state,
                 failing: measured.failing,
             });
@@ -799,10 +1094,19 @@ mod tests {
         assert_eq!(d.candidates().len(), 3);
         d.set_candidates(["out1", "aux"]).unwrap();
         assert_eq!(d.candidates().len(), 2);
+        assert!(!d.candidates()[0].is_probe(), "out1 is an observable test");
+        assert!(d.candidates()[1].is_probe(), "aux is a latent probe");
         assert!(matches!(
             d.set_candidates(["ghost"]),
             Err(Error::InvalidObservation { .. })
         ));
+        assert!(
+            matches!(
+                d.set_candidates(["out1", "out1"]),
+                Err(Error::InvalidObservation { .. })
+            ),
+            "duplicate candidates must be rejected up front"
+        );
         d.observe("out1", 1).unwrap();
         assert_eq!(d.candidates().len(), 1, "observing a candidate consumes it");
         assert!(matches!(

@@ -23,6 +23,30 @@
 //!
 //! # The cost model
 //!
+//! Raw gain is only half of a test-selection decision: measurements have
+//! wildly different prices. [`crate::CostModel`] turns the gain into
+//! *gain per tester-second* — a default per-test cost with per-variable
+//! overrides, a per-probe FIB/SEM cost for latent candidates, and a
+//! suite-switch penalty charged whenever the candidate's stimulus suite
+//! differs from the currently applied one (the quantity
+//! `DeviceSession::stimulus_switches` counts on the bench).
+//! [`crate::SequentialDiagnoser`] applies it under
+//! [`crate::Strategy::CostWeighted`], and
+//! [`crate::Strategy::Lookahead`] feeds the same normalisation with the
+//! bounded-depth expectimax value of [`crate::LookaheadPlanner`] instead
+//! of the one-step gain.
+//!
+//! Because the cost lands in the *denominator*, gains are clamped at
+//! zero **before** any cost normalisation: the marginal-entropy
+//! approximation can go fractionally negative through rounding
+//! (≈ −1e-16 on a useless candidate), and a negative numerator would
+//! flip sign when divided by a cost — making the most *expensive*
+//! useless candidate outrank genuinely neutral ones. The clamp lives in
+//! [`expected_gain`] (and its lookahead counterpart in
+//! [`crate::planner`]) so no caller can forget it.
+//!
+//! # Steady-state mechanics
+//!
 //! One gain evaluation issues up to `card(m)` hypothetical propagations;
 //! ranking dozens of candidates per decision multiplies that out to the
 //! workload PR 1's compiled-schedule machinery was built for. The kernel
@@ -228,6 +252,46 @@ mod tests {
             .expected_information_gain(&Observation::new(), "h")
             .unwrap();
         assert_eq!(gain, 0.0);
+    }
+
+    /// The clamp-before-cost-normalising regression: when rounding noise
+    /// pushes the expected gain a hair negative, the kernel must return
+    /// exactly zero, so dividing by any cost keeps a useless candidate at
+    /// score 0 instead of flipping it negative (where an *expensive*
+    /// useless candidate would paradoxically outrank a cheap one).
+    #[test]
+    fn fractionally_negative_gains_clamp_to_zero_before_cost_normalising() {
+        let eng = engine();
+        let evidence = eng.evidence_from(&Observation::new()).unwrap();
+        // Probing the only latent itself: its entropy is excluded from
+        // both sides, so the true gain is exactly zero and the expected
+        // post-measurement entropy is 0. A baseline perturbed 1e-16 low
+        // (the rounding noise this guards against) makes the raw
+        // difference negative.
+        let var = eng.model().var("h").unwrap();
+        let latents = vec![var];
+        let mut scratch = VoiScratch::new(&eng);
+        let mut base_ws = eng.make_workspace();
+        let view = eng.jt().propagate_in(&mut base_ws, &evidence).unwrap();
+        view.posterior_into(var, &mut scratch.dist[..2]).unwrap();
+        let dist = scratch.dist[..2].to_vec();
+        let noisy_baseline = -1e-16;
+        let gain = expected_gain(
+            eng.jt(),
+            &mut scratch.ws,
+            &evidence,
+            var,
+            &dist,
+            &latents,
+            noisy_baseline,
+        )
+        .unwrap();
+        // The clamp must land exactly on zero — which stays zero (not
+        // negative) under any cost division. Without it the raw −1e-16
+        // would divide into a negative score that *grows* with cost.
+        assert_eq!(gain, 0.0);
+        assert_eq!(gain / 3.5, 0.0);
+        assert!(noisy_baseline / 3.5 < 0.0, "unclamped noise flips sign");
     }
 
     #[test]

@@ -10,15 +10,58 @@
 //! isolated (or the program exhausted).
 
 use abbd_ate::DeviceSession;
-use abbd_core::{Measured, SequentialOutcome, StopReason};
+use abbd_core::{
+    CostModel, Measured, SequentialDiagnoser, SequentialOutcome, StopReason, StoppingPolicy,
+    Strategy,
+};
 use abbd_dlog2bbn::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// Executes one ATE test on the session and bins the reading into the
+/// model's state bands — the shared measurement primitive behind every
+/// live-bench oracle. Limit verdicts come straight from the executed
+/// record.
+///
+/// A reading the spec cannot bin (NaN from a non-converged operating
+/// point, or a voltage outside every declared band) comes back as
+/// [`abbd_core::Error::Oracle`]: the closed loop cannot continue on this
+/// device. Population drivers catch exactly that error and *skip the
+/// device* instead of aborting the whole population — the sequential
+/// counterpart of the one-shot case generator counting such readings as
+/// unbinnable and moving on.
+pub(crate) fn measure_on_bench(
+    session: &mut DeviceSession<'_, '_>,
+    spec: &ModelSpec,
+    name: &str,
+    number: u32,
+) -> abbd_core::Result<Measured> {
+    let record = session
+        .execute(number)
+        .map_err(|e| abbd_core::Error::Oracle {
+            variable: name.into(),
+            reason: e.to_string(),
+        })?;
+    let state = spec
+        .bin(name, record.value)
+        .map_err(|e| abbd_core::Error::Oracle {
+            variable: name.into(),
+            reason: e.to_string(),
+        })?
+        .ok_or_else(|| abbd_core::Error::Oracle {
+            variable: name.into(),
+            reason: format!("{} V falls outside every state band", record.value),
+        })?;
+    Ok(Measured {
+        state,
+        failing: !record.passed,
+    })
+}
 
 /// Builds the live-bench measurement oracle both reference designs hand
 /// to the sequential diagnoser: look the chosen variable up in
-/// `measurables`, execute its ATE test (as mapped by `test_number`, an
-/// output-index → test-number function for the active suite) on the
-/// device session, and bin the measured voltage into the model's state
-/// bands. Limit verdicts come straight from the executed record.
+/// `measurables` and run [`measure_on_bench`] with its ATE test number
+/// (as mapped by `test_number`, an output-index → test-number function
+/// for the active suite).
 pub(crate) fn bench_oracle<'s, 'd, 'a, F>(
     session: &'s mut DeviceSession<'d, 'a>,
     spec: &'s ModelSpec,
@@ -35,26 +78,7 @@ where
                 reason: "not one of the suite's measurable outputs".into(),
             }
         })?;
-        let record = session
-            .execute(test_number(oi))
-            .map_err(|e| abbd_core::Error::Oracle {
-                variable: name.into(),
-                reason: e.to_string(),
-            })?;
-        let state = spec
-            .bin(name, record.value)
-            .map_err(|e| abbd_core::Error::Oracle {
-                variable: name.into(),
-                reason: e.to_string(),
-            })?
-            .ok_or_else(|| abbd_core::Error::Oracle {
-                variable: name.into(),
-                reason: format!("{} V falls outside every state band", record.value),
-            })?;
-        Ok(Measured {
-            state,
-            failing: !record.passed,
-        })
+        measure_on_bench(session, spec, name, test_number(oi))
     }
 }
 
@@ -112,6 +136,228 @@ pub struct ClosedLoopSummary {
     pub adaptive_hits: usize,
     /// Fixed-order runs whose top candidate matched an injected fault.
     pub fixed_hits: usize,
+}
+
+/// One measurement of a cross-suite closed-loop run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossSuiteStep {
+    /// The stimulus suite the measurement ran under.
+    pub suite: String,
+    /// The measured model variable.
+    pub variable: String,
+    /// The binned state the bench reported.
+    pub state: usize,
+    /// Whether the measurement failed its ATE limits.
+    pub failing: bool,
+    /// The information value that ranked the measurement (within its
+    /// suite's evidence context).
+    pub gain: f64,
+    /// The cost charged for it, including any suite-switch penalty.
+    pub cost: f64,
+    /// The strategy-adjusted selection score it won with.
+    pub score: f64,
+}
+
+/// The result of one cross-suite closed-loop run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossSuiteOutcome {
+    /// Applied measurements, in execution order.
+    pub applied: Vec<CrossSuiteStep>,
+    /// Times the loop changed stimulus suite between consecutive
+    /// measurements — the reconfiguration count a cost-aware plan
+    /// minimises.
+    pub stimulus_switches: usize,
+    /// Whether any suite context crossed the fault-mass threshold.
+    pub isolated: bool,
+    /// The suite whose evidence context isolated the fault, if any.
+    pub isolating_suite: Option<String>,
+    /// The best top candidate across suite contexts when the loop ended.
+    pub top_candidate: Option<String>,
+    /// Total cost of the applied measurements, tester-seconds.
+    pub tester_seconds: f64,
+}
+
+impl CrossSuiteOutcome {
+    /// Number of measurements the loop spent.
+    pub fn tests_used(&self) -> usize {
+        self.applied.len()
+    }
+}
+
+/// Drives a closed loop whose candidate measurements span several
+/// stimulus suites of the same device.
+///
+/// The paper's model conditions on one suite's control states at a time,
+/// so cross-suite selection runs one [`SequentialDiagnoser`] per failing
+/// suite (each seeded with that suite's controls) and arbitrates
+/// globally: each round, the context whose evidence changed re-scores
+/// its remaining candidates (the others' values are cached — their
+/// evidence is untouched), the driver prices each `(suite, candidate)`
+/// pair through `cost`
+/// (charging [`CostModel::cost_in_suite`]'s switch penalty when the
+/// candidate's suite is not the currently applied one), and the
+/// best-scoring pair is executed through `oracle(suite_index, variable)`.
+///
+/// Strategies arbitrate differently: [`Strategy::Myopic`] ranks by raw
+/// within-context gain (cost-blind, the PR 2 behaviour — it will happily
+/// ping-pong between suites chasing hundredths of a nat),
+/// [`Strategy::CostWeighted`] by gain per tester-second, and
+/// [`Strategy::Lookahead`] by expectimax value per tester-second.
+///
+/// The loop stops when any context's diagnosis crosses
+/// `policy.fault_mass_threshold`, when the best remaining raw gain drops
+/// below `policy.min_gain`, when `policy.max_steps` measurements were
+/// spent, or when every candidate is exhausted.
+///
+/// # Errors
+///
+/// Propagates strategy/diagnosis/propagation errors and oracle failures.
+pub fn run_cross_suite<F>(
+    contexts: &mut [(String, SequentialDiagnoser)],
+    cost: &mut CostModel,
+    strategy: Strategy,
+    policy: StoppingPolicy,
+    mut oracle: F,
+) -> Result<CrossSuiteOutcome, abbd_core::Error>
+where
+    F: FnMut(usize, &str) -> Result<Measured, abbd_core::Error>,
+{
+    policy.validate()?;
+    cost.validate()?;
+    // Contexts compute information values; the driver owns the cost
+    // arbitration, so in-context scoring stays cost-free.
+    let context_strategy = match strategy {
+        Strategy::CostWeighted => Strategy::Myopic,
+        other => other,
+    };
+    for (_, diagnoser) in contexts.iter_mut() {
+        diagnoser.set_strategy(context_strategy)?;
+    }
+    let mut applied: Vec<CrossSuiteStep> = Vec::new();
+    let mut switches = 0usize;
+    let mut tester_seconds = 0.0f64;
+    // Per-context cached scores `(name, value, is_probe)`: only the
+    // context that absorbed the previous measurement has changed
+    // evidence, so only it re-runs the (potentially expensive —
+    // milliseconds at lookahead depth 2) scoring pass per round. Costs
+    // are *not* cached: the switch penalty depends on the currently
+    // applied suite, so they are re-priced from the cached values every
+    // round.
+    let mut cached: Vec<Vec<(String, f64, bool)>> = vec![Vec::new(); contexts.len()];
+    let mut stale: Vec<bool> = vec![true; contexts.len()];
+    // A fault can only become isolated in the context that just absorbed
+    // evidence, so after the initial sweep only that context re-checks.
+    let mut recheck: Vec<usize> = (0..contexts.len()).collect();
+    let (isolated, isolating_suite) = loop {
+        // Stop as soon as a re-checked suite context pins a fault.
+        let mut isolation = None;
+        for &k in &recheck {
+            let (name, diagnoser) = &mut contexts[k];
+            let diagnosis = diagnoser.diagnosis()?;
+            if diagnosis
+                .candidates()
+                .first()
+                .is_some_and(|c| c.fault_mass >= policy.fault_mass_threshold)
+            {
+                isolation = Some(name.clone());
+                break;
+            }
+        }
+        if let Some(suite) = isolation {
+            break (true, Some(suite));
+        }
+        if applied.len() >= policy.max_steps {
+            break (false, None);
+        }
+        // Global arbitration across every context's candidates.
+        let mut best: Option<(usize, String, f64, f64, f64)> = None;
+        let mut best_gain = f64::NEG_INFINITY;
+        for (k, (_, diagnoser)) in contexts.iter_mut().enumerate() {
+            if stale[k] {
+                cached[k] = diagnoser
+                    .score_candidates()?
+                    .iter()
+                    .map(|c| {
+                        (
+                            c.name().to_string(),
+                            c.expected_information_gain(),
+                            c.is_probe(),
+                        )
+                    })
+                    .collect();
+                stale[k] = false;
+            }
+            for (name, gain, is_probe) in &cached[k] {
+                let step_cost = cost.cost_in_suite(name, *is_probe, Some(k));
+                let score = match strategy {
+                    Strategy::Myopic => *gain,
+                    Strategy::CostWeighted | Strategy::Lookahead { .. } => gain / step_cost,
+                };
+                best_gain = best_gain.max(*gain);
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, _, _, _, s)| score.total_cmp(s).is_gt())
+                {
+                    best = Some((k, name.clone(), *gain, step_cost, score));
+                }
+            }
+        }
+        let Some((k, variable, gain, step_cost, score)) = best else {
+            break (false, None);
+        };
+        if best_gain < policy.min_gain {
+            break (false, None);
+        }
+        let measured = oracle(k, &variable)?;
+        let (suite_name, diagnoser) = &mut contexts[k];
+        diagnoser.observe(&variable, measured.state)?;
+        if measured.failing {
+            diagnoser.mark_failing(&variable);
+        }
+        stale[k] = true;
+        recheck.clear();
+        recheck.push(k);
+        if cost.current_suite().is_some_and(|cur| cur != k) {
+            switches += 1;
+        }
+        cost.set_current_suite(Some(k));
+        tester_seconds += step_cost;
+        applied.push(CrossSuiteStep {
+            suite: suite_name.clone(),
+            variable,
+            state: measured.state,
+            failing: measured.failing,
+            gain,
+            cost: step_cost,
+            score,
+        });
+    };
+    // The verdict: the isolating context's top candidate, or the most
+    // suspicious candidate across contexts when the loop ran dry.
+    let mut top_candidate: Option<String> = None;
+    let mut top_mass = f64::NEG_INFINITY;
+    for (name, diagnoser) in contexts.iter_mut() {
+        let diagnosis = diagnoser.diagnosis()?;
+        if let Some(candidate) = diagnosis.candidates().first() {
+            let preferred = isolating_suite.as_deref() == Some(name.as_str());
+            if preferred || candidate.fault_mass > top_mass {
+                top_mass = if preferred {
+                    f64::INFINITY
+                } else {
+                    candidate.fault_mass
+                };
+                top_candidate = Some(candidate.variable.clone());
+            }
+        }
+    }
+    Ok(CrossSuiteOutcome {
+        applied,
+        stimulus_switches: switches,
+        isolated,
+        isolating_suite,
+        top_candidate,
+        tester_seconds,
+    })
 }
 
 /// Aggregates a population of closed-loop reports.

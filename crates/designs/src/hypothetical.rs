@@ -21,7 +21,7 @@ use abbd_blocks::{
 };
 use abbd_core::{
     CircuitModel, DiagnosticEngine, ExpertKnowledge, LearnAlgorithm, ModelBuilder,
-    SequentialDiagnoser, StoppingPolicy,
+    SequentialDiagnoser, StoppingPolicy, Strategy,
 };
 use abbd_dlog2bbn::{
     generate_cases, CaseMapping, FunctionalType, GenerationStats, ModelSpec, NamedCase, StateBand,
@@ -329,6 +329,23 @@ pub fn closed_loop_population(
     seed: u64,
     policy: StoppingPolicy,
 ) -> Result<Vec<ClosedLoopReport>> {
+    closed_loop_population_with(engine, n_failing, seed, policy, Strategy::Myopic)
+}
+
+/// [`closed_loop_population`] with the adaptive arm selecting
+/// measurements under an explicit [`Strategy`] (the fixed-order arm is
+/// unaffected — program order never scores).
+///
+/// # Errors
+///
+/// Same as [`closed_loop_population`].
+pub fn closed_loop_population_with(
+    engine: &DiagnosticEngine,
+    n_failing: usize,
+    seed: u64,
+    policy: StoppingPolicy,
+    strategy: Strategy,
+) -> Result<Vec<ClosedLoopReport>> {
     let circuit = circuit();
     let (program, _) = test_program(&circuit);
     let universe = fault_universe(&circuit);
@@ -370,6 +387,7 @@ pub fn closed_loop_population(
 
         let run = |scripted: bool| -> Result<abbd_core::SequentialOutcome> {
             let mut d = SequentialDiagnoser::new(engine, policy).map_err(Error::Core)?;
+            d.set_strategy(strategy).map_err(Error::Core)?;
             d.observe("block1", si).map_err(Error::Core)?;
             d.set_candidates(MEASURABLES).map_err(Error::Core)?;
             let mut session = tester.session(&device, NoiseModel::production(), seed);
@@ -384,8 +402,19 @@ pub fn closed_loop_population(
             }
         };
 
-        let adaptive = run(false)?;
-        let fixed = run(true)?;
+        let adaptive = match run(false) {
+            Ok(outcome) => outcome,
+            // An unbinnable reading (NaN operating point) means this
+            // device cannot be diagnosed on this bench; resample instead
+            // of aborting the population, like invisible defects above.
+            Err(Error::Core(abbd_core::Error::Oracle { .. })) => continue,
+            Err(e) => return Err(e),
+        };
+        let fixed = match run(true) {
+            Ok(outcome) => outcome,
+            Err(Error::Core(abbd_core::Error::Oracle { .. })) => continue,
+            Err(e) => return Err(e),
+        };
         reports.push(ClosedLoopReport {
             device_id: device.id,
             truth: log.truth.clone(),
@@ -494,6 +523,39 @@ mod tests {
         for r in &reports {
             assert!(r.adaptive.tests_used() <= 2);
             assert!(SUITES.contains(&r.suite.as_str()));
+        }
+    }
+
+    #[test]
+    fn lookahead_closed_loop_matches_myopic_on_the_two_test_program() {
+        let fitted = fit(
+            30,
+            7,
+            LearnAlgorithm::Em(EmConfig {
+                max_iterations: 10,
+                tolerance: 1e-5,
+            }),
+        )
+        .unwrap();
+        // With only two candidate measurements, a depth-2 plan covers the
+        // whole program: the lookahead loop must not spend more than the
+        // myopic one.
+        let myopic =
+            closed_loop_population(&fitted.engine, 4, 13, StoppingPolicy::default()).unwrap();
+        let lookahead = closed_loop_population_with(
+            &fitted.engine,
+            4,
+            13,
+            StoppingPolicy::default(),
+            Strategy::Lookahead { depth: 2 },
+        )
+        .unwrap();
+        let m: usize = myopic.iter().map(|r| r.adaptive.tests_used()).sum();
+        let l: usize = lookahead.iter().map(|r| r.adaptive.tests_used()).sum();
+        assert!(l <= m, "lookahead {l} > myopic {m}");
+        for (a, b) in myopic.iter().zip(&lookahead) {
+            assert_eq!(a.device_id, b.device_id);
+            assert_eq!(a.fixed.tests_used(), b.fixed.tests_used());
         }
     }
 

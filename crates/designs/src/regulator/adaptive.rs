@@ -4,16 +4,18 @@
 //! block is isolated — compared head-to-head against the fixed program
 //! order on the paper's case studies and on sampled fault populations.
 
-use crate::adaptive::ClosedLoopReport;
+use crate::adaptive::{run_cross_suite, ClosedLoopReport, CrossSuiteOutcome};
 use crate::error::{Error, Result};
 use crate::regulator::cases::CaseStudy;
 use crate::regulator::program::{suite_plans, test_number, SuitePlan, CONTROL_VARS, OBSERVED_VARS};
 use crate::regulator::{rig, synthesize};
 use abbd_ate::{DeviceSession, NoiseModel, OnDemandTester};
 use abbd_core::{
-    DiagnosticEngine, Measured, SequentialDiagnoser, SequentialOutcome, StoppingPolicy,
+    CostModel, DecisionTrace, DiagnosticEngine, Measured, SequentialDiagnoser, SequentialOutcome,
+    StoppingPolicy, Strategy,
 };
 use abbd_dlog2bbn::ModelSpec;
+use serde::{Deserialize, Serialize};
 
 /// Builds a diagnoser seeded with a suite's control states, candidates
 /// restricted to the suite's five outputs.
@@ -106,6 +108,221 @@ pub fn fixed_case_study(
         .map_err(Error::Core)
 }
 
+/// The regulator's reference measurement prices, tester-seconds: the
+/// four regulator outputs are quick DC reads with slightly different
+/// settling (the switched output `sw` drives a power FET and settles
+/// slowest), swapping stimulus suites costs a reconfiguration, and
+/// physically probing an internal block in step two costs FIB/SEM time
+/// three orders of magnitude above any electrical test.
+pub fn reference_cost_model() -> CostModel {
+    let mut cost = CostModel::new(1.0, 4.0, 900.0).expect("static prices are valid");
+    cost.set_cost("reg1", 1.0).expect("static price");
+    cost.set_cost("reg2", 1.2).expect("static price");
+    cost.set_cost("reg3", 1.2).expect("static price");
+    cost.set_cost("reg4", 1.5).expect("static price");
+    cost.set_cost("sw", 2.0).expect("static price");
+    cost
+}
+
+/// [`adaptive_case_study`] under an explicit [`Strategy`] and
+/// [`CostModel`], returning the full [`DecisionTrace`] alongside the
+/// outcome — the generator behind the golden-trace conformance corpus.
+///
+/// # Errors
+///
+/// Propagates strategy/diagnosis errors.
+pub fn traced_case_study(
+    engine: &DiagnosticEngine,
+    case: &CaseStudy,
+    policy: StoppingPolicy,
+    strategy: Strategy,
+    cost: CostModel,
+) -> Result<(SequentialOutcome, DecisionTrace)> {
+    let (_, plan) = plan_for(case.suite)?;
+    let mut d = seeded_diagnoser(engine, case.controls, policy)?;
+    d.set_strategy(strategy).map_err(Error::Core)?;
+    d.set_cost_model(cost).map_err(Error::Core)?;
+    d.run_traced(table_vi_oracle(case, &plan))
+        .map_err(Error::Core)
+}
+
+/// One device of the cross-suite population scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossSuiteReport {
+    /// Device serial number.
+    pub device_id: u64,
+    /// Ground-truth `block:mode` fault tags (scoring only).
+    pub truth: Vec<String>,
+    /// The failing suites the loop could measure under, in the order
+    /// the full-program log first showed them failing.
+    pub suites: Vec<String>,
+    /// The cross-suite closed-loop result.
+    pub outcome: CrossSuiteOutcome,
+    /// Distinct operating points the bench solved
+    /// ([`DeviceSession::suites_touched`]).
+    pub suites_touched: usize,
+    /// Stimulus swaps the bench actually performed
+    /// ([`DeviceSession::stimulus_switches`]) — equals the driver's
+    /// count, asserted by the scenario tests.
+    pub bench_switches: usize,
+}
+
+impl CrossSuiteReport {
+    /// `true` when the loop's top candidate names a block that is
+    /// actually faulty on the device.
+    pub fn hit(&self) -> bool {
+        self.outcome.top_candidate.as_deref().is_some_and(|top| {
+            self.truth
+                .iter()
+                .any(|tag| tag.split(':').next() == Some(top))
+        })
+    }
+}
+
+/// Population totals of a cross-suite scenario under one strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossSuiteSummary {
+    /// The strategy the scenario ran under.
+    pub strategy: Strategy,
+    /// Number of devices.
+    pub devices: usize,
+    /// Total measurements spent.
+    pub tests: usize,
+    /// Total stimulus-suite switches across the population.
+    pub stimulus_switches: usize,
+    /// Total distinct operating points solved.
+    pub suites_touched: usize,
+    /// Runs that ended with an isolated fault.
+    pub isolated: usize,
+    /// Runs whose top candidate matched an injected fault.
+    pub hits: usize,
+    /// Total measurement cost, tester-seconds.
+    pub tester_seconds: f64,
+}
+
+/// Aggregates one strategy's cross-suite reports.
+pub fn summarize_cross_suite(
+    strategy: Strategy,
+    reports: &[CrossSuiteReport],
+) -> CrossSuiteSummary {
+    CrossSuiteSummary {
+        strategy,
+        devices: reports.len(),
+        tests: reports.iter().map(|r| r.outcome.tests_used()).sum(),
+        stimulus_switches: reports.iter().map(|r| r.outcome.stimulus_switches).sum(),
+        suites_touched: reports.iter().map(|r| r.suites_touched).sum(),
+        isolated: reports.iter().filter(|r| r.outcome.isolated).count(),
+        hits: reports.iter().filter(|r| r.hit()).count(),
+        tester_seconds: reports.iter().map(|r| r.outcome.tester_seconds).sum(),
+    }
+}
+
+/// Cross-suite closed-loop scenario over a sampled fault population: for
+/// each fabricated failing regulator, every suite its full-program log
+/// fails under becomes a seeded diagnosis context, and the
+/// [`run_cross_suite`] driver arbitrates which `(suite, output)` to
+/// measure next under `strategy`, executing through one shared on-demand
+/// bench session per device (so suite switches are physically counted by
+/// the session too). Deterministic for a fixed `seed`.
+///
+/// This is the scenario where measurement *economics* show: a cost-blind
+/// myopic loop ping-pongs between near-tied twin tests of different
+/// suites, while [`Strategy::CostWeighted`] finishes a suite before
+/// paying the reconfiguration penalty for the next.
+///
+/// Devices whose bench session produces a reading the model spec cannot
+/// bin (e.g. NaN from a non-converged operating point) are skipped — the
+/// sequential counterpart of the case generator counting such readings
+/// as unbinnable — so the report vector can be shorter than `n_failing`.
+///
+/// # Errors
+///
+/// Propagates fabrication, simulation and diagnosis errors.
+pub fn cross_suite_population(
+    engine: &DiagnosticEngine,
+    n_failing: usize,
+    seed: u64,
+    policy: StoppingPolicy,
+    strategy: Strategy,
+    cost: &CostModel,
+) -> Result<Vec<CrossSuiteReport>> {
+    let rig = rig();
+    let tester = OnDemandTester::new(&rig.circuit, &rig.program).map_err(Error::Ate)?;
+    let population = synthesize(n_failing, seed, 0)?;
+    let spec = rig.model.spec();
+    let plans = suite_plans();
+    let mut reports = Vec::with_capacity(population.devices.len());
+    for (device, log) in population.devices.iter().zip(&population.logs) {
+        // Every suite the full program flags, ordered by first failure.
+        let mut failing_suites: Vec<String> = Vec::new();
+        for record in log.records.iter().filter(|r| !r.passed) {
+            if !failing_suites.contains(&record.suite) {
+                failing_suites.push(record.suite.clone());
+            }
+        }
+        if failing_suites.is_empty() {
+            return Err(Error::Pipeline("synthesized device never fails".into()));
+        }
+
+        let mut contexts: Vec<(String, SequentialDiagnoser)> = Vec::new();
+        let mut suite_indices: Vec<usize> = Vec::new();
+        for suite in &failing_suites {
+            let (si, _) = plan_for(suite)?;
+            let plan = &plans[si];
+            let controls = CONTROL_VARS.iter().copied().zip(plan.control_states);
+            contexts.push((suite.clone(), seeded_diagnoser(engine, controls, policy)?));
+            suite_indices.push(si);
+        }
+
+        let mut session = tester.session(device, NoiseModel::production(), seed);
+        let mut device_cost = cost.clone();
+        device_cost.set_current_suite(None);
+        let outcome = {
+            let session = &mut session;
+            let spec = &spec;
+            let suite_indices = &suite_indices;
+            run_cross_suite(
+                &mut contexts,
+                &mut device_cost,
+                strategy,
+                policy,
+                move |context, name| {
+                    let oi = OBSERVED_VARS
+                        .iter()
+                        .position(|v| *v == name)
+                        .ok_or_else(|| abbd_core::Error::Oracle {
+                            variable: name.into(),
+                            reason: "not one of the suite's outputs".into(),
+                        })?;
+                    crate::adaptive::measure_on_bench(
+                        session,
+                        spec,
+                        name,
+                        test_number(suite_indices[context], oi),
+                    )
+                },
+            )
+        };
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            // An unbinnable reading (NaN operating point) means this
+            // device cannot be diagnosed on this bench; skip it rather
+            // than abort the whole population.
+            Err(abbd_core::Error::Oracle { .. }) => continue,
+            Err(e) => return Err(Error::Core(e)),
+        };
+        reports.push(CrossSuiteReport {
+            device_id: device.id,
+            truth: log.truth.clone(),
+            suites: failing_suites,
+            suites_touched: session.suites_touched(),
+            bench_switches: session.stimulus_switches(),
+            outcome,
+        });
+    }
+    Ok(reports)
+}
+
 /// Closed-loop scenario over a sampled fault population: fabricates
 /// `n_failing` defective regulators, and for each one runs the sequential
 /// diagnoser inside its first failing suite twice — adaptively and in
@@ -113,7 +330,10 @@ pub fn fixed_case_study(
 /// for a fixed `seed`.
 ///
 /// The returned reports compare tests-to-isolation per device; aggregate
-/// with [`crate::adaptive::summarize`].
+/// with [`crate::adaptive::summarize`]. Devices whose bench session
+/// produces a reading the model spec cannot bin are skipped (see
+/// [`cross_suite_population`]), so the report vector can be shorter than
+/// `n_failing`.
 ///
 /// # Errors
 ///
@@ -141,15 +361,22 @@ pub fn closed_loop_population(
 
         let mut adaptive_d = seeded_diagnoser(engine, controls.clone(), policy)?;
         let mut session = tester.session(device, NoiseModel::production(), seed);
-        let adaptive = adaptive_d
-            .run(bench_oracle(&mut session, spec, si))
-            .map_err(Error::Core)?;
+        let adaptive = match adaptive_d.run(bench_oracle(&mut session, spec, si)) {
+            Ok(outcome) => outcome,
+            // An unbinnable reading means this device cannot be diagnosed
+            // on this bench; skip it rather than abort the population.
+            Err(abbd_core::Error::Oracle { .. }) => continue,
+            Err(e) => return Err(Error::Core(e)),
+        };
 
         let mut fixed_d = seeded_diagnoser(engine, controls, policy)?;
         let mut session = tester.session(device, NoiseModel::production(), seed);
-        let fixed = fixed_d
-            .run_scripted(&OBSERVED_VARS, bench_oracle(&mut session, spec, si))
-            .map_err(Error::Core)?;
+        let fixed = match fixed_d.run_scripted(&OBSERVED_VARS, bench_oracle(&mut session, spec, si))
+        {
+            Ok(outcome) => outcome,
+            Err(abbd_core::Error::Oracle { .. }) => continue,
+            Err(e) => return Err(Error::Core(e)),
+        };
 
         reports.push(ClosedLoopReport {
             device_id: device.id,
@@ -228,6 +455,121 @@ mod tests {
             "top candidate {top} not in {:?}",
             d1.expected_candidates
         );
+    }
+
+    /// The lookahead acceptance check: on every Table VI case study,
+    /// depth-2 expectimax planning isolates the fault in no more
+    /// measurements than the myopic loop (d1 and d3 are the cases the
+    /// golden corpus pins).
+    #[test]
+    fn lookahead_depth2_needs_no_more_tests_than_myopic_on_case_studies() {
+        let engine = quick_engine();
+        let policy = StoppingPolicy::default();
+        for case in case_studies() {
+            let (myopic, _) =
+                traced_case_study(&engine, &case, policy, Strategy::Myopic, CostModel::unit())
+                    .unwrap();
+            let (lookahead, _) = traced_case_study(
+                &engine,
+                &case,
+                policy,
+                Strategy::Lookahead { depth: 2 },
+                CostModel::unit(),
+            )
+            .unwrap();
+            assert!(
+                lookahead.tests_used() <= myopic.tests_used(),
+                "case {}: lookahead {} > myopic {}",
+                case.id,
+                lookahead.tests_used(),
+                myopic.tests_used()
+            );
+            assert_eq!(
+                lookahead.diagnosis.top_candidate(),
+                myopic.diagnosis.top_candidate(),
+                "case {}: strategies disagree on the culprit",
+                case.id
+            );
+        }
+    }
+
+    /// Traces replay the run they came from: chosen sequence matches the
+    /// applied measurements, rankings are sorted by score, posteriors are
+    /// recorded per step.
+    #[test]
+    fn traced_case_study_records_the_whole_decision_path() {
+        let engine = quick_engine();
+        let d1 = &case_studies()[0];
+        let (outcome, trace) = traced_case_study(
+            &engine,
+            d1,
+            StoppingPolicy::default(),
+            Strategy::CostWeighted,
+            reference_cost_model(),
+        )
+        .unwrap();
+        assert_eq!(trace.strategy, Strategy::CostWeighted);
+        assert_eq!(trace.stop, outcome.stop);
+        assert_eq!(trace.steps.len(), outcome.tests_used());
+        for (step, applied) in trace.steps.iter().zip(&outcome.applied) {
+            assert_eq!(step.chosen, applied.variable);
+            assert_eq!(step.state, applied.state);
+            assert_eq!(step.failing, applied.failing);
+            assert_eq!(step.scores[0].variable, step.chosen, "best score wins");
+            for w in step.scores.windows(2) {
+                assert!(w[0].score >= w[1].score, "ranking must be sorted");
+            }
+            assert!(!step.fault_mass.is_empty());
+            assert!(step.scores.iter().all(|s| s.cost > 0.0));
+        }
+        assert_eq!(
+            trace.top_candidate.as_deref(),
+            outcome.diagnosis.top_candidate()
+        );
+        assert!(!trace.final_fault_mass.is_empty());
+    }
+
+    /// The cost-aware acceptance check on the 16-device population:
+    /// cost-weighted arbitration *strictly* reduces stimulus-suite
+    /// switches versus the cost-blind myopic loop, the driver's switch
+    /// count agrees with what the bench session physically performed, and
+    /// isolation quality does not regress.
+    #[test]
+    fn cost_weighted_strictly_reduces_stimulus_switches_on_the_population() {
+        let engine = quick_engine();
+        let policy = StoppingPolicy::default();
+        let cost = reference_cost_model();
+        let run = |strategy| {
+            let reports =
+                cross_suite_population(&engine, 16, 2024, policy, strategy, &cost).unwrap();
+            assert_eq!(reports.len(), 16);
+            for r in &reports {
+                assert_eq!(
+                    r.outcome.stimulus_switches, r.bench_switches,
+                    "device {}: driver switch accounting must match the bench",
+                    r.device_id
+                );
+                assert!(!r.suites.is_empty());
+                assert!(r.suites_touched <= r.suites.len());
+            }
+            summarize_cross_suite(strategy, &reports)
+        };
+        let myopic = run(Strategy::Myopic);
+        let weighted = run(Strategy::CostWeighted);
+        assert!(
+            weighted.stimulus_switches < myopic.stimulus_switches,
+            "cost-weighted {} switches must be strictly below myopic {}",
+            weighted.stimulus_switches,
+            myopic.stimulus_switches
+        );
+        assert!(
+            weighted.tester_seconds < myopic.tester_seconds,
+            "cost-weighted {} s must undercut myopic {} s",
+            weighted.tester_seconds,
+            myopic.tester_seconds
+        );
+        assert!(weighted.isolated >= myopic.isolated);
+        assert!(weighted.hits >= myopic.hits);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! The golden-trace conformance corpus: full adaptive decision traces —
+//! every candidate's score at every step, the chosen measurement, the
+//! oracle's answer and the posterior fault mass after absorbing it — for
+//! the paper's d1–d3 case studies and a seeded 16-device cross-suite
+//! population, under all three selection strategies.
+//!
+//! The corpus lives in `tests/golden/*.json`. This test regenerates every
+//! trace in-memory and diffs it byte-for-byte against the stored file, so
+//! *any* behavioural change in the VOI kernel, the lookahead planner, the
+//! cost model, the stopping logic or the deduction layer shows up as an
+//! exact, reviewable JSON diff instead of a silently drifting plan.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! ABBD_REGEN_GOLDEN=1 cargo test --test golden_traces
+//! ```
+//!
+//! then review the diff like any other code change.
+
+use abbd::core::{CostModel, DecisionTrace, DiagnosticEngine, StoppingPolicy, Strategy};
+use abbd::designs::regulator::adaptive::{
+    cross_suite_population, reference_cost_model, summarize_cross_suite, traced_case_study,
+    CrossSuiteReport,
+};
+use abbd::designs::regulator::{self, cases::case_studies};
+use std::path::{Path, PathBuf};
+
+/// The corpus strategies: file-name tag, strategy, and the cost model the
+/// scenario prices measurements with. Lookahead runs under unit costs —
+/// it is the *pure planning* reference (the population scenario exercises
+/// its cost-aware form), and under unit costs its depth-2 decisions are
+/// directly comparable to the myopic baseline.
+fn strategies() -> [(&'static str, Strategy, CostModel); 3] {
+    [
+        ("myopic", Strategy::Myopic, reference_cost_model()),
+        (
+            "cost_weighted",
+            Strategy::CostWeighted,
+            reference_cost_model(),
+        ),
+        (
+            "lookahead2",
+            Strategy::Lookahead { depth: 2 },
+            CostModel::unit(),
+        ),
+    ]
+}
+
+fn engine() -> DiagnosticEngine {
+    // The same quick EM fit the adaptive scenario tests pin their
+    // assertions on: deterministic for the fixed seed.
+    regulator::fit(
+        24,
+        42,
+        abbd::core::LearnAlgorithm::Em(abbd::bbn::learn::EmConfig {
+            max_iterations: 8,
+            tolerance: 1e-4,
+        }),
+    )
+    .expect("regulator pipeline runs")
+    .engine
+}
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn regen() -> bool {
+    std::env::var("ABBD_REGEN_GOLDEN").is_ok_and(|v| v == "1")
+}
+
+/// Compares (or regenerates) one golden file, returning a description of
+/// the mismatch if any.
+fn conform(name: &str, rendered: &str) -> Option<String> {
+    let path = golden_dir().join(name);
+    if regen() {
+        std::fs::create_dir_all(golden_dir()).expect("golden dir is creatable");
+        std::fs::write(&path, rendered).expect("golden file is writable");
+        return None;
+    }
+    match std::fs::read_to_string(&path) {
+        Err(e) => Some(format!("{name}: unreadable ({e}); regenerate the corpus")),
+        Ok(stored) if stored == rendered => None,
+        Ok(stored) => {
+            let diverges = stored
+                .lines()
+                .zip(rendered.lines())
+                .position(|(a, b)| a != b)
+                .map_or_else(
+                    || "lengths differ".to_string(),
+                    |line| format!("first divergence at line {}", line + 1),
+                );
+            Some(format!("{name}: trace diverged ({diverges})"))
+        }
+    }
+}
+
+#[test]
+fn golden_traces_replay_exactly() {
+    let engine = engine();
+    let policy = StoppingPolicy::default();
+    let mut mismatches: Vec<String> = Vec::new();
+
+    // d1–d3 case-study traces under every strategy.
+    let cases = case_studies();
+    let mut tests_used: Vec<Vec<usize>> = Vec::new();
+    for case in &cases[..3] {
+        let mut per_case = Vec::new();
+        for (tag, strategy, cost) in strategies() {
+            let (outcome, trace) =
+                traced_case_study(&engine, case, policy, strategy, cost).expect("case study runs");
+            per_case.push(outcome.tests_used());
+            let mut rendered = serde_json::to_string_pretty(&trace).expect("traces serialise");
+            rendered.push('\n');
+            let name = format!("{}_{}.json", case.id, tag);
+            if let Some(m) = conform(&name, &rendered) {
+                mismatches.push(m);
+            } else if !regen() {
+                // The stored corpus must also round-trip through the
+                // typed representation (pins the serde layer itself).
+                let stored = std::fs::read_to_string(golden_dir().join(&name)).unwrap();
+                let parsed: DecisionTrace =
+                    serde_json::from_str(&stored).expect("golden trace parses");
+                assert_eq!(parsed, trace, "{name}: parsed trace differs from replay");
+            }
+        }
+        tests_used.push(per_case);
+    }
+    // The acceptance facts ride in the corpus: depth-2 lookahead needs no
+    // more measurements than myopic on d1 and d3.
+    for (case_idx, case_id) in [(0usize, "d1"), (2, "d3")] {
+        let myopic = tests_used[case_idx][0];
+        let lookahead = tests_used[case_idx][2];
+        assert!(
+            lookahead <= myopic,
+            "{case_id}: lookahead {lookahead} > myopic {myopic}"
+        );
+    }
+
+    // The seeded 16-device cross-suite population under every strategy.
+    let mut switches = Vec::new();
+    for (tag, strategy, _) in strategies() {
+        let reports: Vec<CrossSuiteReport> =
+            cross_suite_population(&engine, 16, 2024, policy, strategy, &reference_cost_model())
+                .expect("population scenario runs");
+        let summary = summarize_cross_suite(strategy, &reports);
+        switches.push(summary.stimulus_switches);
+        let mut rendered = serde_json::to_string_pretty(&reports).expect("reports serialise");
+        rendered.push('\n');
+        if let Some(m) = conform(&format!("population16_{tag}.json"), &rendered) {
+            mismatches.push(m);
+        }
+        let mut summary_rendered =
+            serde_json::to_string_pretty(&summary).expect("summary serialises");
+        summary_rendered.push('\n');
+        if let Some(m) = conform(
+            &format!("population16_{tag}_summary.json"),
+            &summary_rendered,
+        ) {
+            mismatches.push(m);
+        }
+    }
+    // ... and cost-weighted arbitration strictly reduces suite switches.
+    assert!(
+        switches[1] < switches[0],
+        "cost-weighted switches {} must be strictly below myopic {}",
+        switches[1],
+        switches[0]
+    );
+
+    assert!(
+        mismatches.is_empty(),
+        "golden traces diverged:\n  {}\nIf the change is intentional, regenerate with \
+         `ABBD_REGEN_GOLDEN=1 cargo test --test golden_traces` and review the JSON diff.",
+        mismatches.join("\n  ")
+    );
+}

@@ -1,6 +1,7 @@
-//! The PR 2 acceptance harness: steady-state sequential diagnosis must
-//! perform **zero junction-tree compilations and zero heap allocations**
-//! in its per-decision scoring loop.
+//! The PR 2 acceptance harness, extended by PR 3 to lookahead planning:
+//! steady-state sequential diagnosis must perform **zero junction-tree
+//! compilations and zero heap allocations** in its per-decision scoring
+//! loop — both the myopic kernel and the depth-2 expectimax planner.
 //!
 //! A counting global allocator wraps the system allocator and tallies
 //! `alloc`/`realloc` calls per thread; the compile counter lives in
@@ -10,7 +11,7 @@
 
 use abbd::bbn::jointree_compile_count;
 use abbd::core::fixtures::toy_sequential_engine;
-use abbd::core::{Measured, SequentialDiagnoser, StoppingPolicy};
+use abbd::core::{CostModel, Measured, SequentialDiagnoser, StoppingPolicy, Strategy};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -81,6 +82,38 @@ fn steady_state_scoring_compiles_nothing_and_allocates_nothing() {
         "steady-state VOI scoring must not touch the heap ({allocs} allocation events in 16 decisions)"
     );
 
+    // Depth-2 lookahead planning: the expectimax recursion stacks
+    // hypothetical outcomes through per-level preallocated workspaces, so
+    // its steady state must match the myopic contract — zero junction-tree
+    // compilations, zero heap allocations. Construction and strategy
+    // switching (which builds the planner) happen before the window.
+    let mut d2 = SequentialDiagnoser::new(&eng, StoppingPolicy::exhaustive()).unwrap();
+    d2.set_strategy(Strategy::Lookahead { depth: 2 }).unwrap();
+    d2.set_cost_model(CostModel::unit()).unwrap();
+    d2.observe("pin", 1).unwrap();
+    d2.score_candidates().unwrap();
+    d2.score_candidates().unwrap();
+
+    let compiles_before = jointree_compile_count();
+    let allocs_before = alloc_events();
+    let mut checksum = 0.0;
+    for _ in 0..8 {
+        let scored = d2.score_candidates().unwrap();
+        checksum += scored[0].expected_information_gain();
+    }
+    let allocs = alloc_events() - allocs_before;
+    let compiles = jointree_compile_count() - compiles_before;
+
+    assert!(checksum.is_finite() && checksum > 0.0);
+    assert_eq!(
+        compiles, 0,
+        "steady-state depth-2 lookahead scoring must reuse the compiled junction tree"
+    );
+    assert_eq!(
+        allocs, 0,
+        "steady-state depth-2 lookahead scoring must not touch the heap ({allocs} allocation events in 8 decisions)"
+    );
+
     // The closed loop itself stays compile-free end to end (decision
     // bookkeeping may allocate, so only the compile counter is pinned).
     let compiles_before = jointree_compile_count();
@@ -97,5 +130,22 @@ fn steady_state_scoring_compiles_nothing_and_allocates_nothing() {
         jointree_compile_count() - compiles_before,
         0,
         "the closed loop must never recompile"
+    );
+
+    // ... and so does the lookahead closed loop.
+    let compiles_before = jointree_compile_count();
+    let outcome = d2
+        .run(|name| {
+            Ok(match name {
+                "out1" | "out2" => Measured::failing(0),
+                _ => Measured::passing(1),
+            })
+        })
+        .unwrap();
+    assert_eq!(outcome.diagnosis.top_candidate(), Some("bias"));
+    assert_eq!(
+        jointree_compile_count() - compiles_before,
+        0,
+        "the lookahead closed loop must never recompile"
     );
 }
