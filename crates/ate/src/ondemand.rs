@@ -161,6 +161,38 @@ impl DeviceSession<'_, '_> {
         Ok(record)
     }
 
+    /// Reads the voltage of an arbitrary circuit net under the currently
+    /// applied stimulus — the paper's *step two* physical probe, answered
+    /// by the virtual bench. Unlike [`DeviceSession::execute`] this is
+    /// not a specification test: there is no test number, no limits and
+    /// no datalog record, just the node voltage an FIB/SEM probe (or a
+    /// bench needle) would see. The caller bins and prices it.
+    ///
+    /// Probing rides the applied stimulus: if no suite has been applied
+    /// yet, the first suite's operating point is solved (a probe needs a
+    /// powered device), and that suite becomes the active one. Probing
+    /// never counts as a stimulus switch. A non-converged operating point
+    /// reads `NaN`, mirroring how failed tests read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNet`] for a net outside the circuit.
+    pub fn probe_net(&mut self, net: abbd_blocks::NetId) -> Result<f64> {
+        if net.index() >= self.tester.circuit.net_count() {
+            return Err(Error::UnknownNet(format!("{net}")));
+        }
+        let si = self.active_suite.unwrap_or(0);
+        self.active_suite = Some(si);
+        if self.ops[si].is_none() {
+            let suite = &self.tester.program.suites()[si];
+            self.ops[si] = Some(self.tester.sim.solve(self.device, &suite.stimulus).ok());
+        }
+        Ok(match self.ops[si].as_ref().expect("just solved") {
+            Some(op) => op.voltage(net),
+            None => f64::NAN,
+        })
+    }
+
     /// Every record taken in this session, in execution order (the
     /// out-of-order datalog of an adaptive run).
     pub fn records(&self) -> &[Record] {
@@ -353,6 +385,33 @@ mod tests {
         session.execute(100).unwrap();
         assert_eq!(session.stimulus_switches(), 2);
         assert_eq!(session.suites_touched(), 2, "ops stay cached");
+    }
+
+    #[test]
+    fn probe_net_reads_internal_nodes_without_datalog_records() {
+        let (circuit, program) = rig();
+        let tester = OnDemandTester::new(&circuit, &program).unwrap();
+        let golden = Device::golden(&circuit);
+        let vref = circuit.find_net("vref").unwrap();
+        let mut session = tester.session(&golden, NoiseModel::none(), 5);
+        // Probing before any test powers the first suite and reads the
+        // true node voltage, noise-free and record-free.
+        let v = session.probe_net(vref).unwrap();
+        assert!((v - 1.2).abs() < 1e-9, "bandgap reads {v}");
+        assert_eq!(session.active_suite(), Some(0));
+        assert!(session.records().is_empty(), "probes leave no datalog");
+        assert_eq!(session.stimulus_switches(), 0, "probes ride the stimulus");
+        // After switching suites, the probe sees the new stimulus.
+        session.execute(200).unwrap();
+        let v_off = session.probe_net(vref).unwrap();
+        assert!(v_off < 1.3, "vref under the disabled suite reads {v_off}");
+        assert_eq!(session.stimulus_switches(), 1, "only the test switched");
+        // Nets outside the circuit are rejected.
+        let bogus = abbd_blocks::NetId::from_index(circuit.net_count());
+        assert!(matches!(
+            session.probe_net(bogus),
+            Err(Error::UnknownNet(_))
+        ));
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::infer::Posteriors;
 use crate::network::{Network, VarId};
 use rayon::prelude::*;
 use std::cell::Cell;
+use std::sync::Arc;
 
 thread_local! {
     /// Per-thread count of [`JunctionTree::compile_with`] invocations.
@@ -147,7 +148,23 @@ struct EvidenceSlot {
 /// ```
 #[derive(Debug, Clone)]
 pub struct JunctionTree {
-    net: Network,
+    net: Arc<Network>,
+    sched: Arc<Schedule>,
+}
+
+/// The immutable compiled state of a junction tree: everything
+/// [`JunctionTree::compile`] produces that queries only ever *read*.
+///
+/// Factoring this out of [`JunctionTree`] behind an [`Arc`] is what makes
+/// the tree a shareable artifact: cloning a compiled tree is two
+/// reference-count bumps (no clique table is copied), every clone
+/// propagates through the *same* schedule and base tables, and the whole
+/// structure is `Send + Sync`, so one compiled model can serve any number
+/// of concurrent query loops (each owning only its
+/// [`PropagationWorkspace`]). `abbd_core`'s `CompiledModel` builds its
+/// share-once/serve-many session story directly on this property.
+#[derive(Debug, Clone)]
+struct Schedule {
     cliques: Vec<Clique>,
     edges: Vec<TreeEdge>,
     /// For each clique, its tree neighbours as `(clique index, edge index)`.
@@ -340,16 +357,28 @@ impl JunctionTree {
         let base = compile_base(net, &cliques, &family_clique);
 
         Ok(JunctionTree {
-            net: net.clone(),
-            cliques,
-            edges,
-            neighbors,
-            family_clique,
-            home_clique,
-            slots,
-            collect_schedule,
-            base,
+            net: Arc::new(net.clone()),
+            sched: Arc::new(Schedule {
+                cliques,
+                edges,
+                neighbors,
+                family_clique,
+                home_clique,
+                slots,
+                collect_schedule,
+                base,
+            }),
         })
+    }
+
+    /// `true` when both trees share the *same* compiled schedule and base
+    /// tables (they are clones of one compilation, not merely equivalent
+    /// recompilations). Cloning a compiled tree never copies clique
+    /// tables — it bumps two reference counts — which is what lets many
+    /// concurrent sessions serve off one compilation; this predicate is
+    /// how tests pin that property.
+    pub fn shares_compiled_state_with(&self, other: &JunctionTree) -> bool {
+        Arc::ptr_eq(&self.sched, &other.sched)
     }
 
     /// The network this tree was compiled from.
@@ -380,14 +409,18 @@ impl JunctionTree {
                 });
             }
         }
-        self.net = net.clone();
-        self.base = compile_base(&self.net, &self.cliques, &self.family_clique);
+        self.net = Arc::new(net.clone());
+        // EM owns its tree exclusively, so `make_mut` recompiles the base
+        // tables in place; a tree whose schedule is shared with live
+        // sessions gets a private copy instead of mutating under them.
+        let sched = Arc::make_mut(&mut self.sched);
+        sched.base = compile_base(&self.net, &sched.cliques, &sched.family_clique);
         Ok(())
     }
 
     /// The clique scopes, in compilation order.
     pub fn clique_scopes(&self) -> Vec<Vec<VarId>> {
-        self.cliques.iter().map(|c| c.scope.clone()).collect()
+        self.sched.cliques.iter().map(|c| c.scope.clone()).collect()
     }
 
     /// Renders the clique tree in Graphviz DOT syntax (cliques as nodes,
@@ -401,10 +434,10 @@ impl JunctionTree {
                 .join(", ")
         };
         let mut out = String::from("graph jointree {\n");
-        for (i, c) in self.cliques.iter().enumerate() {
+        for (i, c) in self.sched.cliques.iter().enumerate() {
             out.push_str(&format!("  c{i} [label=\"{{{}}}\"];\n", label(c)));
         }
-        for e in &self.edges {
+        for e in &self.sched.edges {
             let sep = e
                 .sepset
                 .iter()
@@ -419,20 +452,21 @@ impl JunctionTree {
 
     /// Tree degree of clique `i` (number of neighbours).
     pub fn clique_degree(&self, i: usize) -> usize {
-        self.neighbors.get(i).map_or(0, |n| n.len())
+        self.sched.neighbors.get(i).map_or(0, |n| n.len())
     }
 
     /// Size statistics of the compiled tree.
     pub fn stats(&self) -> JunctionTreeStats {
         JunctionTreeStats {
-            cliques: self.cliques.len(),
+            cliques: self.sched.cliques.len(),
             max_clique_width: self
+                .sched
                 .cliques
                 .iter()
                 .map(|c| c.scope.len())
                 .max()
                 .unwrap_or(0),
-            total_table_size: self.cliques.iter().map(|c| c.len).sum(),
+            total_table_size: self.sched.cliques.iter().map(|c| c.len).sum(),
         }
     }
 
@@ -442,9 +476,24 @@ impl JunctionTree {
     /// propagation through it is allocation-free.
     pub fn make_workspace(&self) -> PropagationWorkspace {
         PropagationWorkspace {
-            beliefs: self.cliques.iter().map(|c| vec![0.0; c.len]).collect(),
-            messages: self.edges.iter().map(|e| vec![0.0; e.sep_len]).collect(),
-            scratch: self.edges.iter().map(|e| vec![0.0; e.sep_len]).collect(),
+            beliefs: self
+                .sched
+                .cliques
+                .iter()
+                .map(|c| vec![0.0; c.len])
+                .collect(),
+            messages: self
+                .sched
+                .edges
+                .iter()
+                .map(|e| vec![0.0; e.sep_len])
+                .collect(),
+            scratch: self
+                .sched
+                .edges
+                .iter()
+                .map(|e| vec![0.0; e.sep_len])
+                .collect(),
             log_likelihood: 0.0,
             calibrated: false,
         }
@@ -553,22 +602,22 @@ impl JunctionTree {
     /// Rejects a workspace shaped for a different tree before any buffer
     /// is written (cheap: length comparisons only).
     fn check_workspace(&self, ws: &PropagationWorkspace) -> Result<()> {
-        let beliefs_fit = ws.beliefs.len() == self.cliques.len()
+        let beliefs_fit = ws.beliefs.len() == self.sched.cliques.len()
             && ws
                 .beliefs
                 .iter()
-                .zip(&self.cliques)
+                .zip(&self.sched.cliques)
                 .all(|(b, c)| b.len() == c.len);
-        let messages_fit = ws.messages.len() == self.edges.len()
-            && ws.scratch.len() == self.edges.len()
+        let messages_fit = ws.messages.len() == self.sched.edges.len()
+            && ws.scratch.len() == self.sched.edges.len()
             && ws
                 .messages
                 .iter()
-                .zip(&self.edges)
+                .zip(&self.sched.edges)
                 .all(|(m, e)| m.len() == e.sep_len);
         if !beliefs_fit || !messages_fit {
             return Err(Error::ShapeMismatch {
-                expected: self.cliques.iter().map(|c| c.len).sum(),
+                expected: self.sched.cliques.iter().map(|c| c.len).sum(),
                 actual: ws.beliefs.iter().map(Vec::len).sum(),
             });
         }
@@ -591,27 +640,27 @@ impl JunctionTree {
         // findings in each variable's home clique. Hard evidence keeps the
         // variable in scope with a one-hot axis, so its posterior collapses
         // to a point mass.
-        for (belief, base) in ws.beliefs.iter_mut().zip(&self.base) {
+        for (belief, base) in ws.beliefs.iter_mut().zip(&self.sched.base) {
             belief.copy_from_slice(base);
         }
         for (var, state) in evidence.hard_iter().chain(hypotheticals.iter().copied()) {
-            let slot = self.slots[var.index()];
+            let slot = self.sched.slots[var.index()];
             retain_state_kernel(&mut ws.beliefs[slot.clique], slot.stride, slot.card, state);
         }
         for (var, lik) in evidence.soft_iter() {
-            let slot = self.slots[var.index()];
+            let slot = self.sched.slots[var.index()];
             scale_axis_kernel(&mut ws.beliefs[slot.clique], slot.stride, slot.card, lik);
         }
 
         // Collect: leaves towards clique 0. Messages are normalised and the
         // normaliser accumulated so deep trees cannot underflow.
         let mut log_scale = 0.0f64;
-        for &(child, par, eidx) in &self.collect_schedule {
-            let edge = &self.edges[eidx];
+        for &(child, par, eidx) in &self.sched.collect_schedule {
+            let edge = &self.sched.edges[eidx];
             let msg = &mut ws.messages[eidx];
             msg.fill(0.0);
             marginalize_kernel(
-                &self.cliques[child].cards,
+                &self.sched.cliques[child].cards,
                 &ws.beliefs[child],
                 edge.strides_for(child),
                 msg,
@@ -625,7 +674,7 @@ impl JunctionTree {
             }
             log_scale += z.ln();
             mul_broadcast_kernel(
-                &self.cliques[par].cards,
+                &self.sched.cliques[par].cards,
                 &mut ws.beliefs[par],
                 &ws.messages[eidx],
                 edge.strides_for(par),
@@ -639,12 +688,12 @@ impl JunctionTree {
         ws.log_likelihood = root_total.ln() + log_scale;
 
         // Distribute: root towards leaves, dividing out the stored message.
-        for &(child, par, eidx) in self.collect_schedule.iter().rev() {
-            let edge = &self.edges[eidx];
+        for &(child, par, eidx) in self.sched.collect_schedule.iter().rev() {
+            let edge = &self.sched.edges[eidx];
             let new_msg = &mut ws.scratch[eidx];
             new_msg.fill(0.0);
             marginalize_kernel(
-                &self.cliques[par].cards,
+                &self.sched.cliques[par].cards,
                 &ws.beliefs[par],
                 edge.strides_for(par),
                 new_msg,
@@ -664,7 +713,7 @@ impl JunctionTree {
                 *old = new_val;
             }
             mul_broadcast_kernel(
-                &self.cliques[child].cards,
+                &self.sched.cliques[child].cards,
                 &mut ws.beliefs[child],
                 &ws.scratch[eidx],
                 edge.strides_for(child),
@@ -701,7 +750,7 @@ impl JunctionTree {
         let beliefs = ws
             .beliefs
             .into_iter()
-            .zip(&self.cliques)
+            .zip(&self.sched.cliques)
             .map(|(values, c)| {
                 Factor::from_parts_unchecked(c.scope.clone(), c.cards.clone(), values)
             })
@@ -752,6 +801,7 @@ impl JunctionTree {
 
         // Initialise clique potentials: unit tables times assigned families.
         let mut beliefs: Vec<Factor> = self
+            .sched
             .cliques
             .iter()
             .map(|c| {
@@ -761,23 +811,24 @@ impl JunctionTree {
             .collect();
         for var in self.net.variables() {
             let fam = self.net.family_factor(var);
-            let idx = self.family_clique[var.index()];
+            let idx = self.sched.family_clique[var.index()];
             beliefs[idx] = beliefs[idx].product(&fam);
         }
         for (var, state) in evidence.hard_iter() {
             let mut onehot = vec![0.0; self.net.card(var)];
             onehot[state] = 1.0;
-            beliefs[self.home_clique[var.index()]].scale_axis(var, &onehot)?;
+            beliefs[self.sched.home_clique[var.index()]].scale_axis(var, &onehot)?;
         }
         for (var, lik) in evidence.soft_iter() {
-            beliefs[self.home_clique[var.index()]].scale_axis(var, lik.to_vec().as_slice())?;
+            beliefs[self.sched.home_clique[var.index()]]
+                .scale_axis(var, lik.to_vec().as_slice())?;
         }
 
-        let mut sepset_msgs: Vec<Option<Factor>> = vec![None; self.edges.len()];
+        let mut sepset_msgs: Vec<Option<Factor>> = vec![None; self.sched.edges.len()];
         let mut log_scale = 0.0f64;
 
-        for &(child, par, eidx) in &self.collect_schedule {
-            let sep = &self.edges[eidx].sepset;
+        for &(child, par, eidx) in &self.sched.collect_schedule {
+            let sep = &self.sched.edges[eidx].sepset;
             let mut msg = beliefs[child].marginalize_to(sep)?;
             let z = msg.total();
             if z <= 0.0 {
@@ -797,8 +848,8 @@ impl JunctionTree {
         }
         let log_likelihood = root_total.ln() + log_scale;
 
-        for &(child, par, eidx) in self.collect_schedule.iter().rev() {
-            let sep = &self.edges[eidx].sepset;
+        for &(child, par, eidx) in self.sched.collect_schedule.iter().rev() {
+            let sep = &self.sched.edges[eidx].sepset;
             let mut new_msg = beliefs[par].marginalize_to(sep)?;
             let z = new_msg.total();
             if z <= 0.0 {
@@ -897,7 +948,7 @@ impl CalibratedView<'_, '_> {
         if var.index() >= self.tree.net.var_count() {
             return Err(Error::UnknownVariable(format!("{var}")));
         }
-        let slot = self.tree.slots[var.index()];
+        let slot = self.tree.sched.slots[var.index()];
         if out.len() != slot.card {
             return Err(Error::ShapeMismatch {
                 expected: slot.card,
@@ -925,7 +976,7 @@ impl CalibratedView<'_, '_> {
         if var.index() >= self.tree.net.var_count() {
             return Err(Error::UnknownVariable(format!("{var}")));
         }
-        let mut out = vec![0.0; self.tree.slots[var.index()].card];
+        let mut out = vec![0.0; self.tree.sched.slots[var.index()].card];
         self.posterior_into(var, &mut out)?;
         Ok(out)
     }
@@ -960,7 +1011,7 @@ impl CalibratedView<'_, '_> {
         if var.index() >= self.tree.net.var_count() {
             return Err(Error::UnknownVariable(format!("{var}")));
         }
-        let card = self.tree.slots[var.index()].card;
+        let card = self.tree.sched.slots[var.index()].card;
         let mut stack = [0.0f64; 32];
         if card <= stack.len() {
             self.posterior_into(var, &mut stack[..card])?;
@@ -993,8 +1044,8 @@ impl CalibratedView<'_, '_> {
     ///
     /// Returns factor-shape errors (the family always fits one clique).
     pub fn family_marginal(&self, var: VarId) -> Result<Factor> {
-        let ci = self.tree.family_clique[var.index()];
-        let clique = &self.tree.cliques[ci];
+        let ci = self.tree.sched.family_clique[var.index()];
+        let clique = &self.tree.sched.cliques[ci];
         let fam = self.tree.net.family(var);
         let fam_cards: Vec<usize> = fam.iter().map(|v| self.tree.net.card(*v)).collect();
         let mut out = Factor::with_shape(fam, fam_cards)?;
@@ -1036,7 +1087,7 @@ impl CalibratedTree<'_> {
         if var.index() >= self.tree.net.var_count() {
             return Err(Error::UnknownVariable(format!("{var}")));
         }
-        let clique = self.tree.home_clique[var.index()];
+        let clique = self.tree.sched.home_clique[var.index()];
         let marg = self.beliefs[clique].marginalize_to(&[var])?;
         Ok(marg.normalized()?.into_values())
     }
@@ -1062,7 +1113,7 @@ impl CalibratedTree<'_> {
     ///
     /// Returns factor-shape errors (the family always fits one clique).
     pub fn family_marginal(&self, var: VarId) -> Result<Factor> {
-        let clique = self.tree.family_clique[var.index()];
+        let clique = self.tree.sched.family_clique[var.index()];
         let family = self.tree.net.family(var);
         let marg = self.beliefs[clique].marginalize_to(&family)?;
         marg.normalized()
@@ -1078,6 +1129,7 @@ impl CalibratedTree<'_> {
     pub fn joint_marginal(&self, vars: &[VarId]) -> Result<Factor> {
         let clique = self
             .tree
+            .sched
             .cliques
             .iter()
             .position(|c| vars.iter().all(|v| c.scope.contains(v)))
@@ -1435,6 +1487,51 @@ mod tests {
                 "batch must be exact"
             );
         }
+    }
+
+    #[test]
+    fn cloned_trees_share_compiled_state_without_recompiling() {
+        let net = seven_var_net();
+        let compiles_before = compile_count();
+        let jt = JunctionTree::compile(&net).unwrap();
+        assert_eq!(compile_count() - compiles_before, 1);
+        // Cloning is two refcount bumps: no recompilation, shared schedule
+        // and base tables, independent workspaces, identical answers.
+        let clone = jt.clone();
+        assert_eq!(
+            compile_count() - compiles_before,
+            1,
+            "clone must not compile"
+        );
+        assert!(jt.shares_compiled_state_with(&clone));
+        let other = JunctionTree::compile(&net).unwrap();
+        assert!(
+            !jt.shares_compiled_state_with(&other),
+            "a fresh compilation is equivalent but not shared"
+        );
+        let v6 = net.var("v6").unwrap();
+        let mut e = Evidence::new();
+        e.observe(v6, 1);
+        let a = jt.posteriors(&e).unwrap();
+        let b = clone.posteriors(&e).unwrap();
+        assert!(
+            a.max_abs_diff(&b).unwrap() == 0.0,
+            "clones answer identically"
+        );
+        // Parameter updates on one clone never leak into the other.
+        let mut tuned = clone;
+        let rain_like = net.var("v2").unwrap();
+        let mut altered = net.clone();
+        altered
+            .set_cpt_values(rain_like, vec![0.5, 0.5, 0.5, 0.5])
+            .unwrap();
+        tuned.update_parameters(&altered).unwrap();
+        assert!(
+            !jt.shares_compiled_state_with(&tuned),
+            "update_parameters must unshare the schedule"
+        );
+        let untouched = jt.posteriors(&e).unwrap();
+        assert!(a.max_abs_diff(&untouched).unwrap() == 0.0);
     }
 
     #[test]

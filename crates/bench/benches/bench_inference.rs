@@ -5,12 +5,13 @@
 use abbd_bbn::{
     likelihood_weighting, Evidence, JunctionTree, Network, NetworkBuilder, VariableElimination,
 };
-use abbd_core::{CostModel, SequentialDiagnoser, StoppingPolicy, Strategy};
+use abbd_core::{Action, CostModel, DiagnosisSession, SessionRequest, StoppingPolicy, Strategy};
 use abbd_designs::regulator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::sync::Arc;
 
 /// The fitted regulator network plus the d1 evidence set.
 fn regulator_setup() -> (Network, Evidence) {
@@ -151,15 +152,30 @@ fn bench_sequential_voi(c: &mut Criterion) {
     let mut group = c.benchmark_group("sequential_voi");
 
     group.bench_function("rank_probes_all_latents", |b| {
-        b.iter(|| engine.rank_probes(black_box(&observation)).unwrap())
+        let mut session =
+            DiagnosisSession::new(Arc::clone(engine.compiled()), StoppingPolicy::default())
+                .unwrap();
+        session.observe_all(&observation).unwrap();
+        let menu: Vec<Action> = session
+            .compiled()
+            .latent_names()
+            .map(Action::probe)
+            .collect();
+        session.set_actions(menu).unwrap();
+        b.iter(|| {
+            let ranked = session.rank_actions().unwrap();
+            black_box(ranked[0].expected_information_gain())
+        })
     });
     group.bench_function("per_decision_scoring", |b| {
-        let mut diagnoser = SequentialDiagnoser::new(&engine, StoppingPolicy::default()).unwrap();
+        let mut diagnoser =
+            DiagnosisSession::new(Arc::clone(engine.compiled()), StoppingPolicy::default())
+                .unwrap();
         for (name, state) in d1.controls {
             diagnoser.observe(name, state).unwrap();
         }
         b.iter(|| {
-            let scored = diagnoser.score_candidates().unwrap();
+            let scored = diagnoser.rank_actions().unwrap();
             black_box(scored[0].expected_information_gain())
         })
     });
@@ -191,7 +207,9 @@ fn bench_lookahead_voi(c: &mut Criterion) {
     let mut group = c.benchmark_group("lookahead_voi");
 
     group.bench_function("cost_weighted_per_decision", |b| {
-        let mut diagnoser = SequentialDiagnoser::new(&engine, StoppingPolicy::default()).unwrap();
+        let mut diagnoser =
+            DiagnosisSession::new(Arc::clone(engine.compiled()), StoppingPolicy::default())
+                .unwrap();
         diagnoser.set_strategy(Strategy::CostWeighted).unwrap();
         diagnoser
             .set_cost_model(regulator::adaptive::reference_cost_model())
@@ -200,12 +218,14 @@ fn bench_lookahead_voi(c: &mut Criterion) {
             diagnoser.observe(name, state).unwrap();
         }
         b.iter(|| {
-            let scored = diagnoser.score_candidates().unwrap();
+            let scored = diagnoser.rank_actions().unwrap();
             black_box(scored[0].score())
         })
     });
     group.bench_function("lookahead2_per_decision", |b| {
-        let mut diagnoser = SequentialDiagnoser::new(&engine, StoppingPolicy::default()).unwrap();
+        let mut diagnoser =
+            DiagnosisSession::new(Arc::clone(engine.compiled()), StoppingPolicy::default())
+                .unwrap();
         diagnoser
             .set_strategy(Strategy::Lookahead { depth: 2 })
             .unwrap();
@@ -213,7 +233,7 @@ fn bench_lookahead_voi(c: &mut Criterion) {
             diagnoser.observe(name, state).unwrap();
         }
         b.iter(|| {
-            let scored = diagnoser.score_candidates().unwrap();
+            let scored = diagnoser.rank_actions().unwrap();
             black_box(scored[0].score())
         })
     });
@@ -230,6 +250,95 @@ fn bench_lookahead_voi(c: &mut Criterion) {
             .0
             .tests_used()
         })
+    });
+    group.finish();
+}
+
+/// The facade-overhead audit of the unified session API: the same
+/// myopic decision measured three ways. `direct_kernel` is the scoring
+/// loop hand-rolled on the public bbn primitives (one base propagation,
+/// per-latent entropies, per-candidate outcome distributions, one
+/// hypothetical propagation per outcome) with no session in sight;
+/// `session_rank_actions` is the facade doing exactly that through
+/// `DiagnosisSession::rank_actions` (the contract: ≤5% apart);
+/// `serve_request_round` is the stateless serde boundary — open a
+/// session, seed it, diagnose, rank, assemble the report — i.e. what one
+/// service round costs on top of the kernels.
+fn bench_session_api(c: &mut Criterion) {
+    let fitted = regulator::fit(30, 2010, regulator::default_algorithm()).expect("pipeline runs");
+    let engine = fitted.engine;
+    let compiled = Arc::clone(engine.compiled());
+    let cases = regulator::cases::case_studies();
+    let d1 = &cases[0];
+    let mut controls = abbd_core::Observation::new();
+    for (name, state) in d1.controls {
+        controls.set(name, state);
+    }
+    let candidate_names = ["reg1", "reg2", "reg3", "reg4", "sw"];
+    let mut group = c.benchmark_group("session_api");
+
+    group.bench_function("direct_kernel", |b| {
+        let net = engine.model().network().clone();
+        let jt = JunctionTree::compile(&net).unwrap();
+        let evidence = engine.evidence_from(&controls).unwrap();
+        let latents: Vec<abbd_bbn::VarId> = engine
+            .model()
+            .circuit_model()
+            .latents()
+            .iter()
+            .map(|n| engine.model().var(n).unwrap())
+            .collect();
+        let candidates: Vec<abbd_bbn::VarId> = candidate_names
+            .iter()
+            .map(|n| engine.model().var(n).unwrap())
+            .collect();
+        let mut base_ws = jt.make_workspace();
+        let mut hyp_ws = jt.make_workspace();
+        let max_card = net.variables().map(|v| net.card(v)).max().unwrap();
+        let mut dist = vec![0.0; max_card];
+        let mut gains = vec![0.0; candidates.len()];
+        b.iter(|| {
+            let view = jt.propagate_in(&mut base_ws, &evidence).unwrap();
+            let mut total = 0.0;
+            for &v in &latents {
+                total += view.posterior_entropy(v).unwrap();
+            }
+            for (gi, &cand) in candidates.iter().enumerate() {
+                let card = net.card(cand);
+                view.posterior_into(cand, &mut dist[..card]).unwrap();
+                let mut expected_after = 0.0;
+                for (state, &p) in dist[..card].iter().enumerate() {
+                    if p <= 1e-12 {
+                        continue;
+                    }
+                    let hyp = jt
+                        .propagate_hypothetical_in(&mut hyp_ws, &evidence, cand, state)
+                        .unwrap();
+                    let mut h = 0.0;
+                    for &v in &latents {
+                        if v != cand {
+                            h += hyp.posterior_entropy(v).unwrap();
+                        }
+                    }
+                    expected_after += p * h;
+                }
+                gains[gi] = (total - expected_after).max(0.0);
+            }
+            black_box(gains.iter().cloned().fold(f64::MIN, f64::max))
+        })
+    });
+    group.bench_function("session_rank_actions", |b| {
+        let mut session =
+            DiagnosisSession::new(Arc::clone(&compiled), StoppingPolicy::default()).unwrap();
+        session.observe_all(&controls).unwrap();
+        b.iter(|| {
+            let ranked = session.rank_actions().unwrap();
+            black_box(ranked[0].expected_information_gain())
+        })
+    });
+    group.bench_function("serve_request_round", |b| {
+        let request = SessionRequest::new(controls.clone());
+        b.iter(|| black_box(compiled.serve(black_box(&request)).unwrap().ranked.len()))
     });
     group.finish();
 }
@@ -260,6 +369,7 @@ criterion_group!(
     bench_batch_throughput,
     bench_sequential_voi,
     bench_lookahead_voi,
+    bench_session_api,
     bench_chain_scaling
 );
 criterion_main!(benches);

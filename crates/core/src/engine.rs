@@ -3,13 +3,15 @@
 //! §IV-B automated).
 
 use crate::builder::DiagnosticModel;
-use crate::deduce::{deduce_candidates, Candidate, DeductionPolicy, HealthClass};
-use crate::error::{Error, Result};
+use crate::deduce::{Candidate, DeductionPolicy, HealthClass};
+use crate::error::Result;
+use crate::session::CompiledModel;
 use abbd_bbn::{Evidence, JunctionTree, PropagationWorkspace};
 use abbd_dlog2bbn::NamedCase;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The observed states of controllable and observable blocks for one
 /// failing device under one test configuration (a row of paper Table VI).
@@ -107,6 +109,26 @@ pub struct Diagnosis {
 }
 
 impl Diagnosis {
+    /// Assembles a diagnosis from the kernel's parts (crate-internal:
+    /// only [`CompiledModel::diagnose_in`] builds these).
+    pub(crate) fn from_parts(
+        observation: Observation,
+        posteriors: Vec<(String, Vec<f64>)>,
+        fault_mass: BTreeMap<String, f64>,
+        classes: BTreeMap<String, HealthClass>,
+        candidates: Vec<Candidate>,
+        log_likelihood: f64,
+    ) -> Self {
+        Diagnosis {
+            observation,
+            posteriors,
+            fault_mass,
+            classes,
+            candidates,
+            log_likelihood,
+        }
+    }
+
     /// The observation this diagnosis explains.
     pub fn observation(&self) -> &Observation {
         &self.observation
@@ -201,52 +223,68 @@ impl Diagnosis {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DiagnosticEngine {
-    model: DiagnosticModel,
-    jt: JunctionTree,
-    policy: DeductionPolicy,
+    compiled: Arc<CompiledModel>,
 }
 
 impl DiagnosticEngine {
     /// Compiles an engine with the default deduction policy.
     ///
+    /// This is now a thin handle over the shareable
+    /// [`CompiledModel`] — compile once here, then open any number of
+    /// concurrent [`crate::DiagnosisSession`]s on
+    /// [`DiagnosticEngine::compiled`]. Cloning the engine shares the
+    /// compilation (two reference-count bumps, no recompilation).
+    ///
     /// # Errors
     ///
     /// Propagates junction-tree compilation errors.
     pub fn new(model: DiagnosticModel) -> Result<Self> {
-        let jt = JunctionTree::compile(model.network()).map_err(Error::Bbn)?;
         Ok(DiagnosticEngine {
-            model,
-            jt,
-            policy: DeductionPolicy::default(),
+            compiled: CompiledModel::compile(model)?.shared(),
         })
+    }
+
+    /// Wraps an already-compiled model (sharing it, not re-compiling).
+    pub fn from_compiled(compiled: Arc<CompiledModel>) -> Self {
+        DiagnosticEngine { compiled }
+    }
+
+    /// The shareable compilation artifact behind the engine: hand clones
+    /// of this [`Arc`] to concurrent [`crate::DiagnosisSession`]s.
+    pub fn compiled(&self) -> &Arc<CompiledModel> {
+        &self.compiled
     }
 
     /// Replaces the deduction policy.
     ///
+    /// When the compilation is already shared with live sessions, they
+    /// keep serving off the old policy; this engine re-shares a copy with
+    /// the new one (the junction tree itself is never recompiled).
+    ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidPolicy`] for malformed thresholds.
+    /// Returns [`crate::Error::InvalidPolicy`] for malformed thresholds.
     pub fn with_policy(mut self, policy: DeductionPolicy) -> Result<Self> {
         policy.validate()?;
-        self.policy = policy;
+        Arc::make_mut(&mut self.compiled).set_policy(policy);
         Ok(self)
     }
 
     /// The fitted model behind the engine.
     pub fn model(&self) -> &DiagnosticModel {
-        &self.model
+        self.compiled.model()
     }
 
     /// The active deduction policy.
     pub fn policy(&self) -> &DeductionPolicy {
-        &self.policy
+        self.compiled.policy()
     }
 
     /// The compiled junction tree the engine propagates through. Crate
     /// modules (probe ranking, sequential diagnosis) reuse it instead of
     /// recompiling per call.
     pub(crate) fn jt(&self) -> &JunctionTree {
-        &self.jt
+        self.compiled.jt()
     }
 
     /// The model's baseline ("Init. prob.%" in paper Table VII): state
@@ -256,52 +294,24 @@ impl DiagnosticEngine {
     ///
     /// Propagates propagation errors.
     pub fn baseline(&self) -> Result<Vec<(String, Vec<f64>)>> {
-        let mut ws = self.make_workspace();
-        let cal = self
-            .jt
-            .propagate_in(&mut ws, &Evidence::new())
-            .map_err(Error::Bbn)?;
-        let mut out = Vec::new();
-        for v in self.model.circuit_model().spec().variables() {
-            let id = self.model.var(&v.name)?;
-            out.push((v.name.clone(), cal.posterior(id).map_err(Error::Bbn)?));
-        }
-        Ok(out)
+        self.compiled.baseline()
     }
 
     /// Converts an observation into network evidence.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidObservation`] for unknown variables or
+    /// Returns [`crate::Error::InvalidObservation`] for unknown variables or
     /// out-of-range states.
     pub fn evidence_from(&self, observation: &Observation) -> Result<Evidence> {
-        let mut evidence = Evidence::new();
-        for (name, state) in observation.iter() {
-            let var = self
-                .model
-                .var(name)
-                .map_err(|_| Error::InvalidObservation {
-                    variable: name.into(),
-                    reason: "not a model variable".into(),
-                })?;
-            let card = self.model.network().card(var);
-            if state >= card {
-                return Err(Error::InvalidObservation {
-                    variable: name.into(),
-                    reason: format!("state {state} out of range {card}"),
-                });
-            }
-            evidence.observe(var, state);
-        }
-        Ok(evidence)
+        self.compiled.evidence_from(observation)
     }
 
     /// Allocates a propagation workspace sized for this engine's compiled
     /// tree; feed it to [`DiagnosticEngine::diagnose_with`] to diagnose a
     /// stream of boards without per-board inference allocations.
     pub fn make_workspace(&self) -> PropagationWorkspace {
-        self.jt.make_workspace()
+        self.compiled.make_workspace()
     }
 
     /// Diagnoses one observation: posterior update (Bayes theorem over the
@@ -343,57 +353,7 @@ impl DiagnosticEngine {
         observation: &Observation,
         evidence: &Evidence,
     ) -> Result<Diagnosis> {
-        let cal = self.jt.propagate_in(ws, evidence).map_err(Error::Bbn)?;
-
-        let circuit_model = self.model.circuit_model();
-        let mut posteriors = Vec::new();
-        for v in circuit_model.spec().variables() {
-            let id = self.model.var(&v.name)?;
-            posteriors.push((v.name.clone(), cal.posterior(id).map_err(Error::Bbn)?));
-        }
-
-        let mut fault_mass: BTreeMap<String, f64> = BTreeMap::new();
-        for name in circuit_model.latents() {
-            let dist = posteriors
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, d)| d.as_slice())
-                .expect("latents come from the same spec");
-            let mass: f64 = circuit_model
-                .fault_states(name)
-                .iter()
-                .filter_map(|&s| dist.get(s))
-                .sum();
-            fault_mass.insert(name.to_string(), mass);
-        }
-        let classes: BTreeMap<String, HealthClass> = fault_mass
-            .iter()
-            .map(|(n, &m)| (n.clone(), self.policy.classify(m)))
-            .collect();
-        let observables = circuit_model.observables();
-        let failing: Vec<String> = observation
-            .failing()
-            .iter()
-            .filter(|name| observables.contains(&name.as_str()))
-            .cloned()
-            .collect();
-        let candidates = deduce_candidates(
-            circuit_model,
-            self.model.network(),
-            evidence,
-            &fault_mass,
-            &failing,
-            &self.policy,
-        )?;
-
-        Ok(Diagnosis {
-            observation: observation.clone(),
-            posteriors,
-            fault_mass,
-            classes,
-            candidates,
-            log_likelihood: cal.log_likelihood(),
-        })
+        self.compiled.diagnose_in(ws, observation, evidence)
     }
 
     /// Diagnoses a whole batch of independent observations (one per board
@@ -419,6 +379,7 @@ impl DiagnosticEngine {
 mod tests {
     use super::*;
     use crate::builder::{ExpertKnowledge, ModelBuilder};
+    use crate::error::Error;
     use crate::model::CircuitModel;
     use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
 

@@ -55,6 +55,15 @@ pub enum Error {
     /// A candidate-selection strategy is malformed (e.g. a zero or
     /// excessive lookahead depth).
     InvalidStrategy(String),
+    /// A candidate action is malformed: unknown target, a test on a
+    /// latent block, a probe on a non-latent, a duplicate, or a target
+    /// the observation already pins.
+    InvalidAction {
+        /// The offending action, rendered (`test x` / `probe y`).
+        action: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
     /// A closed-loop measurement oracle failed to execute the chosen test.
     Oracle {
         /// The variable whose measurement was requested.
@@ -93,6 +102,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidCostModel(reason) => write!(f, "invalid cost model: {reason}"),
             Error::InvalidStrategy(reason) => write!(f, "invalid strategy: {reason}"),
+            Error::InvalidAction { action, reason } => {
+                write!(f, "invalid action `{action}`: {reason}")
+            }
             Error::Oracle { variable, reason } => {
                 write!(f, "measurement of `{variable}` failed: {reason}")
             }
@@ -153,6 +165,10 @@ mod tests {
             Error::InvalidStoppingPolicy("s".into()),
             Error::InvalidCostModel("c".into()),
             Error::InvalidStrategy("l".into()),
+            Error::InvalidAction {
+                action: "probe v".into(),
+                reason: "r".into(),
+            },
             Error::Oracle {
                 variable: "v".into(),
                 reason: "r".into(),

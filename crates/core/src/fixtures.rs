@@ -9,7 +9,9 @@
 use crate::builder::{ExpertKnowledge, ModelBuilder};
 use crate::engine::DiagnosticEngine;
 use crate::model::CircuitModel;
+use crate::session::CompiledModel;
 use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
+use std::sync::Arc;
 
 /// `pin` (control) → `bias` (latent) → `{out1, out2}`; `load` (latent) →
 /// `out2`; `aux` (latent) → `out3`. `out1` mirrors `bias` almost
@@ -59,4 +61,11 @@ pub fn toy_sequential_engine() -> DiagnosticEngine {
         .build_expert_only()
         .expect("static fixture CPTs");
     DiagnosticEngine::new(dm).expect("fixture compiles")
+}
+
+/// The same model as [`toy_sequential_engine`], compiled into the
+/// shareable session artifact (the session unit tests, doc examples and
+/// the concurrency harness all serve off this).
+pub fn toy_compiled_model() -> Arc<CompiledModel> {
+    Arc::clone(toy_sequential_engine().compiled())
 }

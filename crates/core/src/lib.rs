@@ -17,15 +17,23 @@
 //!    by the automated §IV-B deduction ([`DeductionPolicy`]).
 //!
 //! Reports in the paper's Table VII layout come from [`render_state_table`]
-//! and [`render_candidates`]. When diagnosis leaves several candidates,
-//! [`DiagnosticEngine::rank_probes`] orders the internal blocks by value
-//! of information for the paper's step two (physical probing), and
-//! [`SequentialDiagnoser`] closes the loop: pick the best unapplied test
-//! under a [`Strategy`] — raw information gain, gain per [`CostModel`]
-//! tester-second, or the depth-bounded expectimax of
-//! [`LookaheadPlanner`] — execute it, re-diagnose, and stop once a
-//! [`StoppingPolicy`] condition fires — all through one compiled junction
-//! tree and reusable propagation workspaces.
+//! and [`render_candidates`].
+//!
+//! The serving surface is the [`session`] module: compile once into a
+//! [`CompiledModel`] (immutable, `Arc`-shareable, `Send + Sync`), then
+//! open any number of concurrent [`DiagnosisSession`]s — each owning only
+//! its evidence, workspaces and cost ledger. A session speaks one
+//! [`Action`] vocabulary for specification tests *and* step-two physical
+//! probes: [`DiagnosisSession::rank_actions`] scores the mixed candidate
+//! set under a [`Strategy`] — raw information gain, gain per
+//! [`CostModel`] tester-second, or the depth-bounded expectimax of
+//! [`LookaheadPlanner`] — and [`DiagnosisSession::run`] closes the loop
+//! against an [`ActionExecutor`], stopping once a [`StoppingPolicy`]
+//! condition fires, all through one compiled junction tree and reusable
+//! propagation workspaces. [`SessionRequest`] / [`SessionReport`] mirror
+//! one decision round over serde for a service boundary. The legacy
+//! entry points (`SequentialDiagnoser`, `rank_probes`) remain as thin
+//! deprecated wrappers; the [`session`] docs carry the migration table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +50,8 @@ mod planner;
 mod probe;
 mod report;
 mod sequential;
+#[deny(missing_docs)]
+pub mod session;
 mod voi;
 
 pub use builder::{DiagnosticModel, ExpertKnowledge, LearnAlgorithm, LearnSummary, ModelBuilder};
@@ -53,10 +63,15 @@ pub use engine::{Diagnosis, DiagnosticEngine, Observation};
 pub use error::{Error, Result};
 pub use explain::FindingImpact;
 pub use model::CircuitModel;
-pub use planner::{CostModel, LookaheadPlanner, Strategy, MAX_LOOKAHEAD_DEPTH};
+pub use planner::{
+    CostModel, LookaheadPlanner, Strategy, DEFAULT_LOOKAHEAD_DISCOUNT, MAX_LOOKAHEAD_DEPTH,
+};
 pub use probe::ProbeSuggestion;
 pub use report::{render_candidates, render_state_table};
-pub use sequential::{
-    AppliedMeasurement, DecisionTrace, Measured, ScoredCandidate, SequentialDiagnoser,
-    SequentialOutcome, StopReason, StoppingPolicy, TracedDecision, TracedScore,
+#[allow(deprecated)]
+pub use sequential::{Measured, ScoredCandidate, SequentialDiagnoser};
+pub use session::{
+    Action, ActionExecutor, AppliedMeasurement, CompiledModel, DecisionTrace, DiagnosisSession,
+    Outcome, Ranked, ScoredAction, SequentialOutcome, SessionReport, SessionRequest, StopReason,
+    StoppingPolicy, TracedDecision, TracedScore,
 };

@@ -34,8 +34,8 @@
 //! [`crate::SequentialDiagnoser`] selects among the three behaviours via
 //! [`Strategy`].
 
-use crate::engine::DiagnosticEngine;
 use crate::error::{Error, Result};
+use crate::session::CompiledModel;
 use crate::voi::PROB_FLOOR;
 use abbd_bbn::{Evidence, JunctionTree, Network, PropagationWorkspace, VarId};
 use serde::{Deserialize, Serialize};
@@ -335,7 +335,7 @@ struct Level {
 /// V_0(· | e) = 0
 /// ```
 ///
-/// where `gain` is the [`crate::voi`] expected entropy reduction (clamped
+/// where `gain` is the VOI kernel's expected entropy reduction (clamped
 /// at zero before any cost normalisation, so float noise can never turn
 /// a useless candidate into a negative-cost bargain) and
 /// `γ =` [`LookaheadPlanner::discount`] weights the follow-up plan.
@@ -378,17 +378,17 @@ pub struct LookaheadPlanner {
 }
 
 impl LookaheadPlanner {
-    /// Builds a planner over a compiled engine with all buffers sized for
-    /// `depth` levels of lookahead.
+    /// Builds a planner over a shared compiled model with all buffers
+    /// sized for `depth` levels of lookahead.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidStrategy`] for a depth outside
     /// `1..=`[`MAX_LOOKAHEAD_DEPTH`] and propagates variable-lookup
     /// errors.
-    pub fn new(engine: &DiagnosticEngine, depth: usize) -> Result<Self> {
+    pub fn new(compiled: &CompiledModel, depth: usize) -> Result<Self> {
         Strategy::Lookahead { depth }.validate()?;
-        let model = engine.model();
+        let model = compiled.model();
         let net = model.network();
         let latents: Vec<VarId> = model
             .circuit_model()
@@ -399,7 +399,7 @@ impl LookaheadPlanner {
         let max_card = net.variables().map(|v| net.card(v)).max().unwrap_or(1);
         let levels = (0..=depth)
             .map(|_| Level {
-                ws: engine.make_workspace(),
+                ws: compiled.make_workspace(),
                 dist: vec![0.0; max_card],
                 lat_h: Vec::with_capacity(latents.len()),
             })
@@ -445,8 +445,8 @@ impl LookaheadPlanner {
     /// Evaluates every candidate's expectimax value `V_depth(c | e)` and
     /// returns them aligned with `candidates`. None of the candidates may
     /// be pinned by `evidence` (measured variables stop being
-    /// candidates), and the engine must be the one the planner was built
-    /// for.
+    /// candidates), and `compiled` must be the model the planner was
+    /// built for.
     ///
     /// After the first call (which may grow the candidate-tracking
     /// buffers to capacity), evaluation is allocation-free.
@@ -456,7 +456,7 @@ impl LookaheadPlanner {
     /// Propagates propagation errors (e.g. impossible evidence).
     pub fn values(
         &mut self,
-        engine: &DiagnosticEngine,
+        compiled: &CompiledModel,
         evidence: &Evidence,
         candidates: &[VarId],
     ) -> Result<&[f64]> {
@@ -466,8 +466,8 @@ impl LookaheadPlanner {
         self.values.resize(candidates.len(), 0.0);
         self.path.clear();
         eval_level(
-            engine.jt(),
-            engine.model().network(),
+            compiled.jt(),
+            compiled.model().network(),
             evidence,
             &self.latents,
             candidates,
@@ -662,8 +662,11 @@ mod tests {
             .iter()
             .map(|n| eng.model().var(n).unwrap())
             .collect();
-        let mut planner = LookaheadPlanner::new(&eng, 1).unwrap();
-        let values = planner.values(&eng, &evidence, &vars).unwrap().to_vec();
+        let mut planner = LookaheadPlanner::new(eng.compiled(), 1).unwrap();
+        let values = planner
+            .values(eng.compiled(), &evidence, &vars)
+            .unwrap()
+            .to_vec();
         for (name, value) in ["out1", "out2", "out3"].iter().zip(&values) {
             let gain = eng.expected_information_gain(&obs, name).unwrap();
             assert_eq!(
@@ -687,8 +690,11 @@ mod tests {
             .collect();
         let mut prev: Option<Vec<f64>> = None;
         for depth in 1..=3 {
-            let mut planner = LookaheadPlanner::new(&eng, depth).unwrap();
-            let values = planner.values(&eng, &evidence, &vars).unwrap().to_vec();
+            let mut planner = LookaheadPlanner::new(eng.compiled(), depth).unwrap();
+            let values = planner
+                .values(eng.compiled(), &evidence, &vars)
+                .unwrap()
+                .to_vec();
             assert!(values.iter().all(|v| v.is_finite() && *v >= 0.0));
             if let Some(prev) = &prev {
                 for (d, (lo, hi)) in prev.iter().zip(&values).enumerate() {
@@ -707,20 +713,20 @@ mod tests {
     fn planner_rejects_bad_depths() {
         let eng = toy_sequential_engine();
         assert!(matches!(
-            LookaheadPlanner::new(&eng, 0),
+            LookaheadPlanner::new(eng.compiled(), 0),
             Err(Error::InvalidStrategy(_))
         ));
         assert!(matches!(
-            LookaheadPlanner::new(&eng, MAX_LOOKAHEAD_DEPTH + 1),
+            LookaheadPlanner::new(eng.compiled(), MAX_LOOKAHEAD_DEPTH + 1),
             Err(Error::InvalidStrategy(_))
         ));
-        assert_eq!(LookaheadPlanner::new(&eng, 2).unwrap().depth(), 2);
+        assert_eq!(LookaheadPlanner::new(eng.compiled(), 2).unwrap().depth(), 2);
     }
 
     #[test]
     fn discount_bounds_and_extremes() {
         let eng = toy_sequential_engine();
-        let mut planner = LookaheadPlanner::new(&eng, 2).unwrap();
+        let mut planner = LookaheadPlanner::new(eng.compiled(), 2).unwrap();
         assert_eq!(planner.discount(), DEFAULT_LOOKAHEAD_DISCOUNT);
         assert!(planner.set_discount(-0.1).is_err());
         assert!(planner.set_discount(1.1).is_err());
@@ -735,13 +741,22 @@ mod tests {
             .collect();
         // γ = 0 collapses any depth to the myopic gain.
         planner.set_discount(0.0).unwrap();
-        let zeroed = planner.values(&eng, &evidence, &vars).unwrap().to_vec();
-        let mut myopic = LookaheadPlanner::new(&eng, 1).unwrap();
-        let base = myopic.values(&eng, &evidence, &vars).unwrap().to_vec();
+        let zeroed = planner
+            .values(eng.compiled(), &evidence, &vars)
+            .unwrap()
+            .to_vec();
+        let mut myopic = LookaheadPlanner::new(eng.compiled(), 1).unwrap();
+        let base = myopic
+            .values(eng.compiled(), &evidence, &vars)
+            .unwrap()
+            .to_vec();
         assert_eq!(zeroed, base);
         // γ = 1 never scores below the default discount.
         planner.set_discount(1.0).unwrap();
-        let undiscounted = planner.values(&eng, &evidence, &vars).unwrap().to_vec();
+        let undiscounted = planner
+            .values(eng.compiled(), &evidence, &vars)
+            .unwrap()
+            .to_vec();
         for (u, z) in undiscounted.iter().zip(&zeroed) {
             assert!(u >= z);
         }

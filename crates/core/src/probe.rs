@@ -57,6 +57,10 @@ impl DiagnosticEngine {
     /// # Errors
     ///
     /// Propagates observation-validation and propagation errors.
+    #[deprecated(
+        note = "open a DiagnosisSession, set_actions to Action::Probe candidates, and \
+                rank_actions — probes and tests now rank in one mixed candidate set"
+    )]
     pub fn rank_probes(&self, observation: &Observation) -> Result<Vec<ProbeSuggestion>> {
         let evidence = self.evidence_from(observation)?;
         let latents: Vec<(String, VarId)> = self
@@ -70,7 +74,7 @@ impl DiagnosticEngine {
 
         // Base pass: per-latent posteriors and entropies under `e` alone.
         let mut base_ws = self.make_workspace();
-        let mut scratch = VoiScratch::new(self);
+        let mut scratch = VoiScratch::new(self.compiled());
         let view = self
             .jt()
             .propagate_in(&mut base_ws, &evidence)
@@ -111,6 +115,7 @@ impl DiagnosticEngine {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::builder::{ExpertKnowledge, ModelBuilder};
@@ -207,6 +212,41 @@ mod tests {
         }
         for p in &probes {
             assert!(p.expected_information_gain >= 0.0);
+        }
+    }
+
+    /// The deprecated wrapper and the unified session agree gain for
+    /// gain: ranking probe actions in a session *is* `rank_probes`.
+    #[test]
+    fn session_probe_ranking_matches_rank_probes() {
+        use crate::session::{Action, DiagnosisSession, StoppingPolicy};
+        use std::sync::Arc;
+
+        let eng = engine();
+        let mut obs = Observation::new();
+        obs.set("symptom", 0).set("other", 1);
+        let legacy = eng.rank_probes(&obs).unwrap();
+
+        let mut session =
+            DiagnosisSession::new(Arc::clone(eng.compiled()), StoppingPolicy::default()).unwrap();
+        session.observe_all(&obs).unwrap();
+        session
+            .set_actions(["ha", "hb", "bystander"].map(Action::probe))
+            .unwrap();
+        let ranked = session.rank_actions().unwrap();
+        assert_eq!(ranked.len(), legacy.len());
+        for suggestion in &legacy {
+            let slot = ranked
+                .iter()
+                .find(|c| c.name() == suggestion.variable)
+                .expect("same candidate set");
+            assert_eq!(
+                slot.expected_information_gain(),
+                suggestion.expected_information_gain,
+                "gains must be bit-identical for {}",
+                suggestion.variable
+            );
+            assert!(slot.is_probe());
         }
     }
 

@@ -1,924 +1,255 @@
-//! Sequential adaptive diagnosis: a closed loop that repeatedly asks
-//! *"which measurement is worth taking next?"*, applies the answer, and
-//! stops once a fault candidate is isolated.
+//! The legacy sequential-diagnosis surface, kept as a thin deprecated
+//! wrapper over [`crate::session`].
 //!
-//! The paper's flow is one-shot: run the whole test program, enter every
-//! observation, read the posteriors. On an ATE every extra test costs
-//! tester-seconds, and in step two every extra probe costs FIB/SEM time —
-//! so the serving-scale flow is *sequential*: after each measurement,
-//! re-propagate, score the remaining candidates by expected information
-//! gain over the latent blocks (the [`crate::voi`] kernel, following
-//! Zheng/Rish entropy-approximation test selection and Siddiqi & Huang's
-//! sequential diagnosis), and either measure the best one or stop.
-//!
-//! How "best" is judged is pluggable ([`SequentialDiagnoser::set_strategy`]):
-//! [`Strategy::Myopic`] ranks by raw one-step gain,
-//! [`Strategy::CostWeighted`] by gain per [`CostModel`] tester-second
-//! (suite switches and physical probes priced in), and
-//! [`Strategy::Lookahead`] by the bounded-depth expectimax value of
-//! [`crate::LookaheadPlanner`] per tester-second. Runs can be captured as
-//! [`DecisionTrace`]s ([`SequentialDiagnoser::run_traced`]) for the
-//! golden-trace conformance corpus.
-//!
-//! # Steady-state cost
-//!
-//! A [`SequentialDiagnoser`] owns one compiled engine reference plus two
-//! reusable [`PropagationWorkspace`]s (current beliefs, hypothetical
-//! queries) and fixed scoring buffers. After construction and the first
-//! scoring pass, a decision performs **zero junction-tree compilations
-//! and zero heap allocations in the scoring loop** — dozens of
-//! hypothetical propagations all land in preallocated buffers. This is
-//! asserted by the workspace-level regression tests and the
-//! `tests/zero_alloc.rs` counting-allocator harness.
-//!
-//! # Example
+//! [`SequentialDiagnoser`] predates the unified session API: it borrowed
+//! a [`DiagnosticEngine`] for its lifetime and spoke a tests-only
+//! vocabulary (bare variable names, `Measured`). The loop itself —
+//! stopping policies, scoring, tracing, the zero-allocation steady state
+//! — now lives in [`DiagnosisSession`], which this wrapper delegates to
+//! one-for-one, so single-run legacy callers keep byte-identical
+//! behaviour (the golden-trace corpus replays through either surface).
+//! One deliberate divergence: [`StoppingPolicy::max_steps`] now budgets
+//! the session's *whole* measurement ledger, where the old loop reset
+//! the count on every `run`/`run_scripted` call — a diagnoser driven
+//! through several runs gets one tester-time budget, not one per run.
+//! New code should hold an `Arc<CompiledModel>` and open sessions
+//! directly:
 //!
 //! ```
 //! # fn main() -> Result<(), abbd_core::Error> {
-//! use abbd_core::{
-//!     CircuitModel, DiagnosticEngine, Measured, ModelBuilder, SequentialDiagnoser,
-//!     StoppingPolicy,
-//! };
-//! use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
-//!
-//! // bias (latent) -> {out1, out2}; out1 mirrors bias tightly.
-//! let var = |name: &str, ftype| VariableSpec {
-//!     name: name.into(),
-//!     ftype,
-//!     bands: vec![
-//!         StateBand::new("0", 0.0, 1.0, "bad"),
-//!         StateBand::new("1", 1.0, 2.0, "good"),
-//!     ],
-//!     ckt_ref: None,
-//! };
-//! let spec = ModelSpec::new([
-//!     var("bias", FunctionalType::Latent),
-//!     var("out1", FunctionalType::Observe),
-//!     var("out2", FunctionalType::Observe),
-//! ])?;
-//! let mut model = CircuitModel::new(spec);
-//! model.depends("bias", "out1")?;
-//! model.depends("bias", "out2")?;
-//! let mut expert = abbd_core::ExpertKnowledge::new(10.0);
-//! expert.cpt("bias", [[0.2, 0.8]]);
-//! expert.cpt("out1", [[0.98, 0.02], [0.02, 0.98]]);
-//! expert.cpt("out2", [[0.7, 0.3], [0.3, 0.7]]);
-//! let fitted = ModelBuilder::new(model).with_expert(expert).build_expert_only()?;
-//! let engine = DiagnosticEngine::new(fitted)?;
-//!
-//! let mut diagnoser = SequentialDiagnoser::new(&engine, StoppingPolicy::default())?;
-//! // The device under test has a dead bias block: every output reads 0.
-//! let outcome = diagnoser.run(|_| Ok(Measured::failing(0)))?;
+//! use abbd_core::{DiagnosisSession, Outcome, StoppingPolicy};
+//! let compiled = abbd_core::fixtures::toy_compiled_model();
+//! let mut session = DiagnosisSession::new(compiled, StoppingPolicy::default())?;
+//! session.observe("pin", 1)?;
+//! let outcome = session.run(|action: &abbd_core::Action| {
+//!     Ok(match action.target() {
+//!         "out1" | "out2" => Outcome::failing(0),
+//!         _ => Outcome::passing(1),
+//!     })
+//! })?;
 //! assert_eq!(outcome.diagnosis.top_candidate(), Some("bias"));
-//! // The informative output was measured first.
-//! assert_eq!(outcome.applied[0].variable, "out1");
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! See the [session migration table](crate::session) for the full
+//! old-to-new mapping.
 
 use crate::engine::{Diagnosis, DiagnosticEngine, Observation};
-use crate::error::{Error, Result};
-use crate::planner::{CostModel, LookaheadPlanner, Strategy};
-use crate::voi::{self, VoiScratch};
-use abbd_bbn::{Evidence, PropagationWorkspace, VarId};
-use serde::{Deserialize, Serialize};
+use crate::error::Result;
+use crate::planner::{CostModel, Strategy};
+use crate::session::{
+    Action, DecisionTrace, DiagnosisSession, Outcome, ScoredAction, SequentialOutcome,
+    StoppingPolicy,
+};
+use std::marker::PhantomData;
+use std::sync::Arc;
 
-/// When the closed loop stops.
-///
-/// Thresholds compose: the loop keeps measuring while *none* of the stop
-/// conditions hold, so a tight `fault_mass_threshold` with a loose
-/// `min_gain` behaves like pure isolation-driven testing, while
-/// `max_steps` bounds worst-case tester time regardless.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct StoppingPolicy {
-    /// Stop once the top fail candidate's fault mass reaches this level
-    /// (the block is considered isolated). Must lie in `(0, 1]`; `1.0`
-    /// effectively disables isolation stopping (posterior mass on a
-    /// discrete fault never quite reaches certainty), which is how the
-    /// equivalence tests force the loop to exhaust every measurement.
-    pub fault_mass_threshold: f64,
-    /// Hard ceiling on applied measurements (tester-time budget).
-    pub max_steps: usize,
-    /// Stop when the best candidate's expected information gain (nats)
-    /// drops below this value — measuring further would cost tester time
-    /// without telling us anything. `0.0` disables the check (gains are
-    /// clamped non-negative).
-    pub min_gain: f64,
-}
+/// The pre-session name of [`Outcome`].
+#[deprecated(note = "use abbd_core::Outcome (the unified Action vocabulary)")]
+pub type Measured = Outcome;
 
-impl StoppingPolicy {
-    /// Checks the thresholds are mutually sane.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::InvalidStoppingPolicy`] when the fault-mass
-    /// threshold leaves `(0, 1]` or `min_gain` is negative/non-finite.
-    pub fn validate(&self) -> Result<()> {
-        if !(self.fault_mass_threshold > 0.0 && self.fault_mass_threshold <= 1.0) {
-            return Err(Error::InvalidStoppingPolicy(format!(
-                "fault_mass_threshold {} outside (0, 1]",
-                self.fault_mass_threshold
-            )));
-        }
-        if !self.min_gain.is_finite() || self.min_gain < 0.0 {
-            return Err(Error::InvalidStoppingPolicy(format!(
-                "min_gain {} must be finite and non-negative",
-                self.min_gain
-            )));
-        }
-        Ok(())
-    }
+/// The pre-session name of [`ScoredAction`].
+#[deprecated(note = "use abbd_core::ScoredAction via DiagnosisSession::rank_actions")]
+pub type ScoredCandidate = ScoredAction;
 
-    /// A policy that never stops early: threshold `1.0`, no gain floor, a
-    /// practically unbounded step budget. [`SequentialDiagnoser::run`]
-    /// under this policy applies every candidate measurement, which makes
-    /// the final diagnosis equal the one-shot [`DiagnosticEngine::diagnose`]
-    /// over the full observation (the equivalence the property tests pin).
-    pub fn exhaustive() -> Self {
-        StoppingPolicy {
-            fault_mass_threshold: 1.0,
-            max_steps: usize::MAX,
-            min_gain: 0.0,
-        }
-    }
-}
-
-impl Default for StoppingPolicy {
-    /// Isolation at 90% fault mass, at most 32 measurements, and a 1 mnat
-    /// gain floor (below that the remaining tests are spec filler, not
-    /// diagnosis).
-    fn default() -> Self {
-        StoppingPolicy {
-            fault_mass_threshold: 0.9,
-            max_steps: 32,
-            min_gain: 1e-3,
-        }
-    }
-}
-
-/// Why a [`SequentialDiagnoser::run`] loop ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum StopReason {
-    /// The top fail candidate crossed the fault-mass threshold.
-    Isolated,
-    /// The measurement budget ran out.
-    MaxSteps,
-    /// The best remaining measurement's expected gain fell below
-    /// [`StoppingPolicy::min_gain`].
-    GainBelowThreshold,
-    /// Every candidate measurement has been applied.
-    Exhausted,
-}
-
-/// The answer a measurement oracle returns for one executed test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Measured {
-    /// The observed (binned) state of the measured variable.
-    pub state: usize,
-    /// Whether the raw measurement failed its ATE limits — failing
-    /// observables become self-candidates when nothing upstream explains
-    /// them, exactly as in [`Observation::mark_failing`].
-    pub failing: bool,
-}
-
-impl Measured {
-    /// A passing measurement that binned into `state`.
-    pub fn passing(state: usize) -> Self {
-        Measured {
-            state,
-            failing: false,
-        }
-    }
-
-    /// A limit-violating measurement that binned into `state`.
-    pub fn failing(state: usize) -> Self {
-        Measured {
-            state,
-            failing: true,
-        }
-    }
-}
-
-/// One applied measurement in a closed-loop run, in execution order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct AppliedMeasurement {
-    /// The measured model variable.
-    pub variable: String,
-    /// The expected information gain that made the loop choose it (the
-    /// strategy's value for lookahead runs — see
-    /// [`ScoredCandidate::expected_information_gain`]). `None` for
-    /// scripted (fixed-order) runs, which never score.
-    pub expected_information_gain: Option<f64>,
-    /// The [`CostModel`] cost charged for the measurement at selection
-    /// time. `None` for scripted runs.
-    pub cost: Option<f64>,
-    /// The state the oracle reported.
-    pub state: usize,
-    /// Whether the oracle flagged the measurement as limit-failing.
-    pub failing: bool,
-}
-
-/// The result of a closed-loop run: the final diagnosis, the measurements
-/// taken (in order) and why the loop stopped.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SequentialOutcome {
-    /// The diagnosis over everything observed when the loop stopped.
-    pub diagnosis: Diagnosis,
-    /// Applied measurements, in execution order.
-    pub applied: Vec<AppliedMeasurement>,
-    /// Why the loop stopped.
-    pub stop: StopReason,
-}
-
-impl SequentialOutcome {
-    /// Number of measurements the loop spent.
-    pub fn tests_used(&self) -> usize {
-        self.applied.len()
-    }
-
-    /// Total [`CostModel`] tester-seconds the loop's measurements cost
-    /// (scripted measurements, which carry no cost, contribute zero).
-    pub fn tester_seconds(&self) -> f64 {
-        self.applied.iter().filter_map(|a| a.cost).sum()
-    }
-}
-
-/// One candidate's entry in a traced decision's ranking.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TracedScore {
-    /// The candidate variable.
-    pub variable: String,
-    /// Its information value (see
-    /// [`ScoredCandidate::expected_information_gain`]).
-    pub gain: f64,
-    /// Its [`CostModel`] cost at decision time.
-    pub cost: f64,
-    /// Its strategy-adjusted selection score.
-    pub score: f64,
-}
-
-/// One decision of a traced closed-loop run: the full candidate ranking,
-/// what was chosen, what the oracle answered, and the posterior fault
-/// mass per latent block after absorbing the answer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TracedDecision {
-    /// Every unapplied candidate with its scores, best first.
-    pub scores: Vec<TracedScore>,
-    /// The chosen (best-scoring) candidate.
-    pub chosen: String,
-    /// The state the oracle reported.
-    pub state: usize,
-    /// Whether the oracle flagged the measurement as limit-failing.
-    pub failing: bool,
-    /// `(latent, posterior fault mass)` after absorbing the answer, in
-    /// model order.
-    pub fault_mass: Vec<(String, f64)>,
-}
-
-/// The complete decision record of one
-/// [`SequentialDiagnoser::run_traced`] closed loop — the executable
-/// evidence the golden-trace conformance corpus replays.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct DecisionTrace {
-    /// The strategy the run selected candidates with.
-    pub strategy: Strategy,
-    /// Every decision, in execution order.
-    pub steps: Vec<TracedDecision>,
-    /// Why the loop stopped.
-    pub stop: StopReason,
-    /// `(latent, posterior fault mass)` at the final diagnosis.
-    pub final_fault_mass: Vec<(String, f64)>,
-    /// The final diagnosis's top fail candidate, if any.
-    pub top_candidate: Option<String>,
-}
-
-/// The diagnosis's per-latent fault mass as ordered entries (the
-/// `BTreeMap` iterates in name order, which keeps traces deterministic).
-fn fault_mass_entries(diagnosis: &Diagnosis) -> Vec<(String, f64)> {
-    diagnosis
-        .fault_mass()
-        .iter()
-        .map(|(name, &mass)| (name.clone(), mass))
-        .collect()
-}
-
-/// One unapplied candidate measurement with its latest score.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ScoredCandidate {
-    name: String,
-    var: VarId,
-    /// Whether the candidate is a latent block (a step-two physical
-    /// probe) rather than an observable test.
-    probe: bool,
-    gain: f64,
-    cost: f64,
-    score: f64,
-}
-
-impl ScoredCandidate {
-    /// The candidate variable's name.
-    pub fn name(&self) -> &str {
-        &self.name
-    }
-
-    /// `true` when the candidate is a latent block, i.e. measuring it is
-    /// a step-two physical probe priced at [`CostModel`]'s probe cost
-    /// rather than an ordinary specification test.
-    pub fn is_probe(&self) -> bool {
-        self.probe
-    }
-
-    /// The candidate's information value (nats) from the latest scoring
-    /// pass: the one-step expected information gain under
-    /// [`Strategy::Myopic`] / [`Strategy::CostWeighted`], the expectimax
-    /// value `V_depth` under [`Strategy::Lookahead`].
-    pub fn expected_information_gain(&self) -> f64 {
-        self.gain
-    }
-
-    /// The [`CostModel`] cost of taking this measurement now
-    /// (tester-seconds).
-    pub fn cost(&self) -> f64 {
-        self.cost
-    }
-
-    /// The strategy-adjusted selection score the candidates are ranked
-    /// by: the raw value for [`Strategy::Myopic`], value-per-cost
-    /// otherwise.
-    pub fn score(&self) -> f64 {
-        self.score
-    }
-}
-
-/// The closed-loop sequential diagnoser. See the [module docs](self) for
-/// the algorithm and an end-to-end example.
-///
-/// Construction captures the engine's observable variables as the
-/// candidate measurement set; [`SequentialDiagnoser::set_candidates`]
-/// restricts it (e.g. to one stimulus suite's outputs, or to latent
-/// blocks for step-two probe planning). Seed context with
-/// [`SequentialDiagnoser::observe_all`] /
-/// [`SequentialDiagnoser::observe`], then either drive the loop yourself
-/// with [`SequentialDiagnoser::score_candidates`] +
-/// [`SequentialDiagnoser::observe`], or hand an oracle to
-/// [`SequentialDiagnoser::run`] / [`SequentialDiagnoser::run_scripted`].
+/// The legacy closed-loop sequential diagnoser: a borrow-scoped wrapper
+/// over [`DiagnosisSession`] speaking bare variable names instead of
+/// [`Action`]s. Candidates given by name are classified automatically
+/// (latent blocks become probes, everything else a test).
+#[deprecated(
+    note = "use DiagnosisSession::new(engine.compiled().clone(), policy) — one shared \
+            CompiledModel, one Action vocabulary for tests and probes"
+)]
 #[derive(Debug)]
 pub struct SequentialDiagnoser<'e> {
-    engine: &'e DiagnosticEngine,
-    policy: StoppingPolicy,
-    /// Workspace for current-belief propagations (base pass + diagnosis).
-    base_ws: PropagationWorkspace,
-    /// Workspace + distribution buffer for hypothetical VOI queries.
-    scratch: VoiScratch,
-    /// Accumulated evidence, kept in lockstep with `observation`.
-    evidence: Evidence,
-    /// Accumulated observation (drives `diagnose_with` and failing marks).
-    observation: Observation,
-    /// The latent blocks whose entropy the VOI kernel scores.
-    latents: Vec<VarId>,
-    /// Reused per-latent entropy buffer for the base pass.
-    latent_entropy: Vec<f64>,
-    /// Unapplied candidate measurements with their latest gains.
-    candidates: Vec<ScoredCandidate>,
-    /// How candidates are ranked (myopic / cost-weighted / lookahead).
-    strategy: Strategy,
-    /// Prices for tests, suite switches and probes.
-    cost_model: CostModel,
-    /// The expectimax evaluator, present iff `strategy` is lookahead.
-    planner: Option<LookaheadPlanner>,
-    /// Reused candidate-id buffer for planner calls.
-    var_buf: Vec<VarId>,
+    session: DiagnosisSession,
+    /// The wrapper keeps the historical engine-borrow lifetime so legacy
+    /// signatures stay source-compatible, even though the session shares
+    /// the compilation by `Arc` and needs no borrow.
+    _engine: PhantomData<&'e DiagnosticEngine>,
 }
 
+#[allow(deprecated)]
 impl<'e> SequentialDiagnoser<'e> {
     /// Builds a diagnoser over a compiled engine with every observable
     /// model variable as a candidate measurement.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidStoppingPolicy`] for malformed policies and
-    /// propagates variable-lookup errors.
+    /// Returns [`crate::Error::InvalidStoppingPolicy`] for malformed
+    /// policies and propagates variable-lookup errors.
     pub fn new(engine: &'e DiagnosticEngine, policy: StoppingPolicy) -> Result<Self> {
-        policy.validate()?;
-        let model = engine.model();
-        let latents: Vec<VarId> = model
-            .circuit_model()
-            .latents()
-            .iter()
-            .map(|name| model.var(name))
-            .collect::<Result<_>>()?;
-        let candidates: Vec<ScoredCandidate> = model
-            .circuit_model()
-            .observables()
-            .iter()
-            .map(|name| {
-                Ok(ScoredCandidate {
-                    name: name.to_string(),
-                    var: model.var(name)?,
-                    probe: false,
-                    gain: 0.0,
-                    cost: 0.0,
-                    score: 0.0,
-                })
-            })
-            .collect::<Result<_>>()?;
-        let latent_capacity = latents.len();
         Ok(SequentialDiagnoser {
-            base_ws: engine.make_workspace(),
-            scratch: VoiScratch::new(engine),
-            evidence: Evidence::new(),
-            observation: Observation::new(),
-            latents,
-            latent_entropy: Vec::with_capacity(latent_capacity),
-            candidates,
-            strategy: Strategy::Myopic,
-            cost_model: CostModel::unit(),
-            planner: None,
-            var_buf: Vec::new(),
-            engine,
-            policy,
+            session: DiagnosisSession::new(Arc::clone(engine.compiled()), policy)?,
+            _engine: PhantomData,
         })
     }
 
-    /// Replaces the candidate-selection strategy. Switching to
-    /// [`Strategy::Lookahead`] (re)builds the expectimax planner with all
-    /// buffers sized for the requested depth, so the decision loop stays
-    /// allocation-free afterwards.
+    /// The unified session behind this wrapper (escape hatch for
+    /// incremental migrations).
+    pub fn session(&mut self) -> &mut DiagnosisSession {
+        &mut self.session
+    }
+
+    /// Replaces the candidate-selection strategy. See
+    /// [`DiagnosisSession::set_strategy`].
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidStrategy`] for malformed strategies.
+    /// Returns [`crate::Error::InvalidStrategy`] for malformed strategies.
     pub fn set_strategy(&mut self, strategy: Strategy) -> Result<()> {
-        strategy.validate()?;
-        match strategy {
-            Strategy::Lookahead { depth } => {
-                if self.planner.as_ref().map(LookaheadPlanner::depth) != Some(depth) {
-                    self.planner = Some(LookaheadPlanner::new(self.engine, depth)?);
-                }
-            }
-            _ => self.planner = None,
-        }
-        self.strategy = strategy;
-        Ok(())
+        self.session.set_strategy(strategy)
     }
 
     /// The active candidate-selection strategy.
     pub fn strategy(&self) -> Strategy {
-        self.strategy
+        self.session.strategy()
     }
 
-    /// Replaces the measurement cost model. The loop calls
-    /// [`CostModel::note_measured`] on it after every applied
-    /// measurement, keeping the current-suite tracking in lockstep with
-    /// the bench.
+    /// Replaces the measurement cost model. See
+    /// [`DiagnosisSession::set_cost_model`].
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidCostModel`] for malformed models.
+    /// Returns [`crate::Error::InvalidCostModel`] for malformed models.
     pub fn set_cost_model(&mut self, cost_model: CostModel) -> Result<()> {
-        cost_model.validate()?;
-        self.cost_model = cost_model;
-        Ok(())
+        self.session.set_cost_model(cost_model)
     }
 
     /// The active measurement cost model.
     pub fn cost_model(&self) -> &CostModel {
-        &self.cost_model
+        self.session.cost_model()
     }
 
-    /// Replaces the candidate measurement set. Accepts observables *and*
-    /// latents (the latter turn the loop into adaptive step-two probe
-    /// planning); names the observation already pins are rejected.
+    /// Replaces the candidate measurement set by name. Latent names
+    /// become probe actions (step-two probe planning), everything else a
+    /// test; names the observation already pins are rejected.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidObservation`] for unknown or
+    /// Returns [`crate::Error::InvalidObservation`] for unknown or
     /// already-observed names.
     pub fn set_candidates<I, N>(&mut self, names: I) -> Result<()>
     where
         I: IntoIterator<Item = N>,
         N: AsRef<str>,
     {
-        let mut next = Vec::new();
-        for name in names {
-            let name = name.as_ref();
-            let var = self
-                .engine
-                .model()
-                .var(name)
-                .map_err(|_| Error::InvalidObservation {
-                    variable: name.into(),
-                    reason: "not a model variable".into(),
-                })?;
-            if self.observation.state_of(name).is_some() {
-                return Err(Error::InvalidObservation {
-                    variable: name.into(),
-                    reason: "already observed; cannot be a measurement candidate".into(),
-                });
-            }
-            // A duplicate would leave a dangling twin after the first
-            // copy is measured: `observe` removes one entry, and the
-            // survivor's variable is then pinned by evidence, poisoning
-            // every later scoring pass with an invalid hypothetical.
-            if next.iter().any(|c: &ScoredCandidate| c.var == var) {
-                return Err(Error::InvalidObservation {
-                    variable: name.into(),
-                    reason: "duplicate measurement candidate".into(),
-                });
-            }
-            next.push(ScoredCandidate {
-                name: name.to_string(),
-                var,
-                probe: self.latents.contains(&var),
-                gain: 0.0,
-                cost: 0.0,
-                score: 0.0,
-            });
-        }
-        self.candidates = next;
-        Ok(())
+        self.session.set_candidates(names)
     }
 
     /// The unapplied candidates with their gains from the latest
     /// [`SequentialDiagnoser::score_candidates`] pass (unsorted between
     /// passes).
-    pub fn candidates(&self) -> &[ScoredCandidate] {
-        &self.candidates
+    pub fn candidates(&self) -> &[ScoredAction] {
+        self.session.actions()
     }
 
     /// Everything observed so far.
     pub fn observation(&self) -> &Observation {
-        &self.observation
+        self.session.observation()
     }
 
     /// The active stopping policy.
     pub fn policy(&self) -> &StoppingPolicy {
-        &self.policy
+        self.session.policy()
     }
 
-    /// Records a measurement: `variable = state`. If the variable was a
-    /// pending candidate it stops being one.
+    /// Records a measurement: `variable = state`. See
+    /// [`DiagnosisSession::observe`].
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidObservation`] for unknown variables or
-    /// out-of-range states.
+    /// Returns [`crate::Error::InvalidObservation`] for unknown variables
+    /// or out-of-range states.
     pub fn observe(&mut self, variable: &str, state: usize) -> Result<()> {
-        let var = self
-            .engine
-            .model()
-            .var(variable)
-            .map_err(|_| Error::InvalidObservation {
-                variable: variable.into(),
-                reason: "not a model variable".into(),
-            })?;
-        let card = self.engine.model().network().card(var);
-        if state >= card {
-            return Err(Error::InvalidObservation {
-                variable: variable.into(),
-                reason: format!("state {state} out of range {card}"),
-            });
-        }
-        self.evidence.observe(var, state);
-        self.observation.set(variable, state);
-        if let Some(pos) = self.candidates.iter().position(|c| c.var == var) {
-            self.candidates.swap_remove(pos);
-        }
-        Ok(())
+        self.session.observe(variable, state)
     }
 
     /// Marks an already-recorded variable as having failed its ATE limits.
     pub fn mark_failing(&mut self, variable: &str) {
-        self.observation.mark_failing(variable);
+        self.session.mark_failing(variable);
     }
 
-    /// Seeds the diagnoser with a whole observation (controls plus any
-    /// already-taken measurements), preserving its failing marks.
+    /// Seeds the diagnoser with a whole observation, preserving its
+    /// failing marks.
     ///
     /// # Errors
     ///
     /// Propagates [`SequentialDiagnoser::observe`] errors.
     pub fn observe_all(&mut self, observation: &Observation) -> Result<()> {
-        for (name, state) in observation.iter() {
-            self.observe(name, state)?;
-        }
-        for name in observation.failing() {
-            self.mark_failing(name);
-        }
-        Ok(())
+        self.session.observe_all(observation)
     }
 
-    /// The diagnosis over everything observed so far (posterior update
-    /// plus the §IV-B candidate deduction), through the reused workspace
-    /// and the evidence set this diagnoser keeps in lockstep with its
-    /// observation (no per-call evidence rebuild).
+    /// The diagnosis over everything observed so far. See
+    /// [`DiagnosisSession::diagnose`].
     ///
     /// # Errors
     ///
     /// Same as [`DiagnosticEngine::diagnose`].
     pub fn diagnosis(&mut self) -> Result<Diagnosis> {
-        self.engine
-            .diagnose_with_evidence(&mut self.base_ws, &self.observation, &self.evidence)
+        self.session.diagnose()
     }
 
-    /// Scores every unapplied candidate under the active [`Strategy`] and
-    /// [`CostModel`] and returns them sorted by selection score, best
-    /// first (ties and NaNs ordered by `f64::total_cmp`, like probe
-    /// ranking).
-    ///
-    /// The information value is the one-step expected gain over the
-    /// latent blocks for [`Strategy::Myopic`] and
-    /// [`Strategy::CostWeighted`], and the depth-bounded expectimax value
-    /// for [`Strategy::Lookahead`]; the selection score is the raw value
-    /// (myopic) or value-per-tester-second (the other two).
-    ///
-    /// This is the per-decision hot path: one base propagation plus up to
-    /// `card` hypothetical propagations per candidate (times the outcome
-    /// tree for lookahead), all through the compiled tree and the reused
-    /// workspaces — **zero junction-tree compilations, zero heap
-    /// allocations** once the diagnoser is warm.
+    /// Scores every unapplied candidate under the active strategy and
+    /// cost model. See [`DiagnosisSession::rank_actions`].
     ///
     /// # Errors
     ///
     /// Propagates propagation errors (e.g. impossible evidence).
-    pub fn score_candidates(&mut self) -> Result<&[ScoredCandidate]> {
-        let Self {
-            engine,
-            base_ws,
-            scratch,
-            evidence,
-            latents,
-            latent_entropy,
-            candidates,
-            strategy,
-            cost_model,
-            planner,
-            var_buf,
-            ..
-        } = self;
-        if candidates.is_empty() {
-            return Ok(&[]);
-        }
-        let jt = engine.jt();
-        let net = engine.model().network();
-        match *strategy {
-            Strategy::Myopic | Strategy::CostWeighted => {
-                let view = jt.propagate_in(base_ws, evidence).map_err(Error::Bbn)?;
-                latent_entropy.clear();
-                for &v in latents.iter() {
-                    latent_entropy.push(view.posterior_entropy(v).map_err(Error::Bbn)?);
-                }
-                let total_entropy: f64 = latent_entropy.iter().sum();
-                let VoiScratch { ws: hyp_ws, dist } = scratch;
-                for slot in candidates.iter_mut() {
-                    let own = latents
-                        .iter()
-                        .position(|&l| l == slot.var)
-                        .map_or(0.0, |i| latent_entropy[i]);
-                    let card = net.card(slot.var);
-                    view.posterior_into(slot.var, &mut dist[..card])
-                        .map_err(Error::Bbn)?;
-                    slot.gain = voi::expected_gain(
-                        jt,
-                        hyp_ws,
-                        evidence,
-                        slot.var,
-                        &dist[..card],
-                        latents,
-                        total_entropy - own,
-                    )?;
-                }
-            }
-            Strategy::Lookahead { .. } => {
-                let planner = planner.as_mut().expect("set_strategy built the planner");
-                var_buf.clear();
-                var_buf.extend(candidates.iter().map(|c| c.var));
-                let values = planner.values(engine, evidence, var_buf)?;
-                for (slot, &value) in candidates.iter_mut().zip(values) {
-                    slot.gain = value;
-                }
-            }
-        }
-        for slot in candidates.iter_mut() {
-            slot.cost = cost_model.cost_of(&slot.name, slot.probe);
-            slot.score = match *strategy {
-                Strategy::Myopic => slot.gain,
-                Strategy::CostWeighted | Strategy::Lookahead { .. } => slot.gain / slot.cost,
-            };
-        }
-        candidates.sort_unstable_by(|a, b| b.score.total_cmp(&a.score));
-        Ok(candidates)
+    pub fn score_candidates(&mut self) -> Result<&[ScoredAction]> {
+        self.session.rank_actions()
     }
 
-    /// Whether `diagnosis` isolates a fault under the active policy.
-    fn isolated(&self, diagnosis: &Diagnosis) -> bool {
-        diagnosis
-            .candidates()
-            .first()
-            .is_some_and(|c| c.fault_mass >= self.policy.fault_mass_threshold)
-    }
-
-    /// Runs the closed loop: diagnose, stop or pick the best-scoring
-    /// candidate under the active strategy, ask the `oracle` to measure
-    /// it, absorb the answer, repeat. The oracle is handed the chosen
-    /// variable's name and returns the binned state plus its limit
-    /// verdict (see [`Measured`]); on the ATE this executes one
-    /// [`abbd_ate::TestDef`] out of program order, in step two it is a
-    /// physical probe.
-    ///
-    /// The gain floor compares [`StoppingPolicy::min_gain`] against the
-    /// best *information value* among the candidates (not the best
-    /// cost-normalised score): an expensive measurement that would still
-    /// teach us something keeps the loop alive, it just gets deferred
-    /// behind cheaper ones.
+    /// Runs the closed loop against a by-name measurement oracle. See
+    /// [`DiagnosisSession::run`].
     ///
     /// # Errors
     ///
     /// Propagates diagnosis/propagation errors and whatever the oracle
-    /// returns (conventionally [`Error::Oracle`]).
-    pub fn run<F>(&mut self, oracle: F) -> Result<SequentialOutcome>
+    /// returns (conventionally [`crate::Error::Oracle`]).
+    pub fn run<F>(&mut self, mut oracle: F) -> Result<SequentialOutcome>
     where
-        F: FnMut(&str) -> Result<Measured>,
+        F: FnMut(&str) -> Result<Outcome>,
     {
-        self.run_inner(oracle, None)
+        self.session.run(|action: &Action| oracle(action.target()))
     }
 
-    /// [`SequentialDiagnoser::run`] capturing a full [`DecisionTrace`]
-    /// alongside the outcome: every decision's complete candidate ranking
-    /// (value, cost, selection score), the chosen measurement with the
-    /// oracle's answer, and the posterior fault mass per latent block
-    /// after absorbing it. The golden-trace conformance corpus serialises
-    /// these traces to pin the whole adaptive stack down.
+    /// [`SequentialDiagnoser::run`] capturing a full [`DecisionTrace`].
+    /// See [`DiagnosisSession::run_traced`].
     ///
     /// # Errors
     ///
     /// Same as [`SequentialDiagnoser::run`].
-    pub fn run_traced<F>(&mut self, oracle: F) -> Result<(SequentialOutcome, DecisionTrace)>
+    pub fn run_traced<F>(&mut self, mut oracle: F) -> Result<(SequentialOutcome, DecisionTrace)>
     where
-        F: FnMut(&str) -> Result<Measured>,
+        F: FnMut(&str) -> Result<Outcome>,
     {
-        let mut trace = DecisionTrace {
-            strategy: self.strategy,
-            steps: Vec::new(),
-            stop: StopReason::Exhausted,
-            final_fault_mass: Vec::new(),
-            top_candidate: None,
-        };
-        let outcome = self.run_inner(oracle, Some(&mut trace))?;
-        trace.stop = outcome.stop;
-        trace.final_fault_mass = fault_mass_entries(&outcome.diagnosis);
-        trace.top_candidate = outcome.diagnosis.top_candidate().map(str::to_string);
-        Ok((outcome, trace))
-    }
-
-    fn run_inner<F>(
-        &mut self,
-        mut oracle: F,
-        mut trace: Option<&mut DecisionTrace>,
-    ) -> Result<SequentialOutcome>
-    where
-        F: FnMut(&str) -> Result<Measured>,
-    {
-        let mut applied = Vec::new();
-        loop {
-            let diagnosis = self.diagnosis()?;
-            if let Some(trace) = trace.as_deref_mut() {
-                if let Some(step) = trace.steps.last_mut() {
-                    step.fault_mass = fault_mass_entries(&diagnosis);
-                }
-            }
-            if self.isolated(&diagnosis) {
-                return Ok(SequentialOutcome {
-                    diagnosis,
-                    applied,
-                    stop: StopReason::Isolated,
-                });
-            }
-            if applied.len() >= self.policy.max_steps {
-                return Ok(SequentialOutcome {
-                    diagnosis,
-                    applied,
-                    stop: StopReason::MaxSteps,
-                });
-            }
-            let min_gain = self.policy.min_gain;
-            let scored = self.score_candidates()?;
-            let Some(best) = scored.first() else {
-                return Ok(SequentialOutcome {
-                    diagnosis,
-                    applied,
-                    stop: StopReason::Exhausted,
-                });
-            };
-            let best_value = scored
-                .iter()
-                .map(ScoredCandidate::expected_information_gain)
-                .fold(f64::NEG_INFINITY, f64::max);
-            if best_value < min_gain {
-                return Ok(SequentialOutcome {
-                    diagnosis,
-                    applied,
-                    stop: StopReason::GainBelowThreshold,
-                });
-            }
-            let (name, gain, cost) = (best.name.clone(), best.gain, best.cost);
-            if let Some(trace) = trace.as_deref_mut() {
-                trace.steps.push(TracedDecision {
-                    scores: scored
-                        .iter()
-                        .map(|c| TracedScore {
-                            variable: c.name.clone(),
-                            gain: c.gain,
-                            cost: c.cost,
-                            score: c.score,
-                        })
-                        .collect(),
-                    chosen: name.clone(),
-                    state: 0,
-                    failing: false,
-                    fault_mass: Vec::new(),
-                });
-            }
-            let measured = oracle(&name)?;
-            self.observe(&name, measured.state)?;
-            if measured.failing {
-                self.mark_failing(&name);
-            }
-            self.cost_model.note_measured(&name);
-            if let Some(trace) = trace.as_deref_mut() {
-                let step = trace.steps.last_mut().expect("pushed above");
-                step.state = measured.state;
-                step.failing = measured.failing;
-            }
-            applied.push(AppliedMeasurement {
-                variable: name,
-                expected_information_gain: Some(gain),
-                cost: Some(cost),
-                state: measured.state,
-                failing: measured.failing,
-            });
-        }
+        self.session
+            .run_traced(|action: &Action| oracle(action.target()))
     }
 
     /// [`SequentialDiagnoser::run`] with the measurement order fixed in
-    /// advance (the ATE's program order) instead of chosen by information
-    /// gain — the baseline the adaptive loop is compared against. The same
-    /// stopping policy applies between measurements (minus the gain floor,
-    /// which only exists for scored runs); names already observed or
-    /// absent from the candidate set are skipped.
+    /// advance. See [`DiagnosisSession::run_scripted`].
     ///
     /// # Errors
     ///
     /// Same as [`SequentialDiagnoser::run`].
     pub fn run_scripted<F>(&mut self, order: &[&str], mut oracle: F) -> Result<SequentialOutcome>
     where
-        F: FnMut(&str) -> Result<Measured>,
+        F: FnMut(&str) -> Result<Outcome>,
     {
-        let mut applied = Vec::new();
-        let mut next = order.iter();
-        loop {
-            let diagnosis = self.diagnosis()?;
-            if self.isolated(&diagnosis) {
-                return Ok(SequentialOutcome {
-                    diagnosis,
-                    applied,
-                    stop: StopReason::Isolated,
-                });
-            }
-            if applied.len() >= self.policy.max_steps {
-                return Ok(SequentialOutcome {
-                    diagnosis,
-                    applied,
-                    stop: StopReason::MaxSteps,
-                });
-            }
-            let Some(name) = next.find(|n| self.candidates.iter().any(|c| c.name == **n)) else {
-                return Ok(SequentialOutcome {
-                    diagnosis,
-                    applied,
-                    stop: StopReason::Exhausted,
-                });
-            };
-            let measured = oracle(name)?;
-            self.observe(name, measured.state)?;
-            if measured.failing {
-                self.mark_failing(name);
-            }
-            self.cost_model.note_measured(name);
-            applied.push(AppliedMeasurement {
-                variable: (*name).to_string(),
-                expected_information_gain: None,
-                cost: None,
-                state: measured.state,
-                failing: measured.failing,
-            });
-        }
+        self.session
+            .run_scripted(order, |action: &Action| oracle(action.target()))
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::error::Error;
+    use crate::session::StopReason;
 
     /// The shared pin/bias/load/aux fixture: out1 pins bias tightly,
     /// out2 is mushy, out3 only reflects aux (see [`crate::fixtures`]).
@@ -927,10 +258,10 @@ mod tests {
     }
 
     /// A device where bias is dead: out1/out2 read 0, out3 reads 1.
-    fn dead_bias_oracle(name: &str) -> Result<Measured> {
+    fn dead_bias_oracle(name: &str) -> Result<Outcome> {
         Ok(match name {
-            "out1" | "out2" => Measured::failing(0),
-            "out3" => Measured::passing(1),
+            "out1" | "out2" => Outcome::failing(0),
+            "out3" => Outcome::passing(1),
             other => {
                 return Err(Error::Oracle {
                     variable: other.into(),
@@ -994,7 +325,7 @@ mod tests {
         let outcome = d
             .run(|name| {
                 Ok(match name {
-                    "out1" | "out2" | "out3" => Measured::passing(1),
+                    "out1" | "out2" | "out3" => Outcome::passing(1),
                     _ => unreachable!(),
                 })
             })
@@ -1172,5 +503,30 @@ mod tests {
             before,
             "sequential decisions must reuse the compiled tree"
         );
+    }
+
+    /// The wrapper and the session it delegates to agree decision for
+    /// decision — the compatibility contract the deprecation rests on.
+    #[test]
+    fn wrapper_matches_direct_session_bit_for_bit() {
+        let eng = engine();
+        let mut wrapped = SequentialDiagnoser::new(&eng, StoppingPolicy::default()).unwrap();
+        wrapped.observe("pin", 1).unwrap();
+        let (w_outcome, w_trace) = wrapped.run_traced(dead_bias_oracle).unwrap();
+
+        let mut session =
+            DiagnosisSession::new(Arc::clone(eng.compiled()), StoppingPolicy::default()).unwrap();
+        session.observe("pin", 1).unwrap();
+        let (s_outcome, s_trace) = session
+            .run_traced(|action: &Action| dead_bias_oracle(action.target()))
+            .unwrap();
+
+        assert_eq!(w_outcome.applied, s_outcome.applied);
+        assert_eq!(w_outcome.stop, s_outcome.stop);
+        assert_eq!(
+            w_outcome.diagnosis.posteriors(),
+            s_outcome.diagnosis.posteriors()
+        );
+        assert_eq!(w_trace, s_trace);
     }
 }

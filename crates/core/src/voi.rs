@@ -58,6 +58,7 @@
 
 use crate::engine::{DiagnosticEngine, Observation};
 use crate::error::{Error, Result};
+use crate::session::CompiledModel;
 use abbd_bbn::{Evidence, JunctionTree, PropagationWorkspace, VarId};
 
 /// Probability floor below which a hypothetical state is skipped: states
@@ -78,11 +79,11 @@ pub(crate) struct VoiScratch {
 }
 
 impl VoiScratch {
-    pub(crate) fn new(engine: &DiagnosticEngine) -> Self {
-        let net = engine.model().network();
+    pub(crate) fn new(compiled: &CompiledModel) -> Self {
+        let net = compiled.model().network();
         let max_card = net.variables().map(|v| net.card(v)).max().unwrap_or(1);
         VoiScratch {
-            ws: engine.make_workspace(),
+            ws: compiled.make_workspace(),
             dist: vec![0.0; max_card],
         }
     }
@@ -165,7 +166,7 @@ impl DiagnosticEngine {
             .iter()
             .map(|name| self.model().var(name))
             .collect::<Result<_>>()?;
-        let mut scratch = VoiScratch::new(self);
+        let mut scratch = VoiScratch::new(self.compiled());
         let mut base_ws = self.make_workspace();
         let view = self
             .jt()
@@ -270,7 +271,7 @@ mod tests {
         // difference negative.
         let var = eng.model().var("h").unwrap();
         let latents = vec![var];
-        let mut scratch = VoiScratch::new(&eng);
+        let mut scratch = VoiScratch::new(eng.compiled());
         let mut base_ws = eng.make_workspace();
         let view = eng.jt().propagate_in(&mut base_ws, &evidence).unwrap();
         view.posterior_into(var, &mut scratch.dist[..2]).unwrap();

@@ -11,11 +11,12 @@
 //!   follow-up value).
 
 use abbd_core::{
-    CircuitModel, CostModel, DiagnosticEngine, Error, LookaheadPlanner, Measured, ModelBuilder,
-    Observation, SequentialDiagnoser, StoppingPolicy, Strategy,
+    Action, CircuitModel, CostModel, DiagnosisSession, DiagnosticEngine, Error, LookaheadPlanner,
+    ModelBuilder, Observation, Outcome, StoppingPolicy, Strategy,
 };
 use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 const OUTS: [&str; 3] = ["out1", "out2", "out3"];
 
@@ -66,10 +67,10 @@ fn engine_from(raw: &[f64]) -> DiagnosticEngine {
     DiagnosticEngine::new(dm).unwrap()
 }
 
-fn device_oracle(outs: Vec<usize>) -> impl FnMut(&str) -> Result<Measured, Error> {
-    move |name| {
-        let i = OUTS.iter().position(|v| *v == name).unwrap();
-        Ok(Measured {
+fn device_oracle(outs: Vec<usize>) -> impl FnMut(&Action) -> Result<Outcome, Error> {
+    move |action| {
+        let i = OUTS.iter().position(|v| *v == action.target()).unwrap();
+        Ok(Outcome {
             state: outs[i],
             failing: outs[i] == 0,
         })
@@ -95,11 +96,11 @@ proptest! {
             max_steps: 32,
             min_gain: 0.0,
         };
-        let mut myopic = SequentialDiagnoser::new(&engine, policy).unwrap();
+        let mut myopic = DiagnosisSession::new(Arc::clone(engine.compiled()), policy).unwrap();
         myopic.observe("pin", pin).unwrap();
         let m = myopic.run(device_oracle(outs.clone())).unwrap();
 
-        let mut lookahead = SequentialDiagnoser::new(&engine, policy).unwrap();
+        let mut lookahead = DiagnosisSession::new(Arc::clone(engine.compiled()), policy).unwrap();
         lookahead.set_strategy(Strategy::Lookahead { depth: 1 }).unwrap();
         lookahead.set_cost_model(CostModel::unit()).unwrap();
         lookahead.observe("pin", pin).unwrap();
@@ -133,11 +134,11 @@ proptest! {
             base.set_cost(*name, *secs).unwrap();
         }
         let ranking = |cost: CostModel| -> Vec<String> {
-            let mut d = SequentialDiagnoser::new(&engine, StoppingPolicy::default()).unwrap();
+            let mut d = DiagnosisSession::new(Arc::clone(engine.compiled()), StoppingPolicy::default()).unwrap();
             d.set_strategy(Strategy::CostWeighted).unwrap();
             d.set_cost_model(cost).unwrap();
             d.observe("pin", pin).unwrap();
-            d.score_candidates()
+            d.rank_actions()
                 .unwrap()
                 .iter()
                 .map(|c| c.name().to_string())
@@ -166,8 +167,8 @@ proptest! {
             .collect();
         let mut previous: Option<Vec<f64>> = None;
         for depth in 1..=3 {
-            let mut planner = LookaheadPlanner::new(&engine, depth).unwrap();
-            let values = planner.values(&engine, &evidence, &vars).unwrap().to_vec();
+            let mut planner = LookaheadPlanner::new(engine.compiled(), depth).unwrap();
+            let values = planner.values(engine.compiled(), &evidence, &vars).unwrap().to_vec();
             for v in &values {
                 prop_assert!(v.is_finite() && *v >= 0.0, "value {v} at depth {depth}");
             }

@@ -4,11 +4,12 @@
 //! diagnosis of the full observation lands.
 
 use abbd_core::{
-    CircuitModel, DiagnosticEngine, Error, Measured, ModelBuilder, Observation,
-    SequentialDiagnoser, StoppingPolicy,
+    Action, CircuitModel, DiagnosisSession, DiagnosticEngine, Error, ModelBuilder, Observation,
+    Outcome, StoppingPolicy,
 };
 use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 const OUTS: [&str; 3] = ["out1", "out2", "out3"];
 
@@ -72,10 +73,10 @@ fn full_observation(pin: usize, outs: &[usize]) -> Observation {
     obs
 }
 
-fn device_oracle(outs: Vec<usize>) -> impl FnMut(&str) -> Result<Measured, Error> {
-    move |name| {
-        let i = OUTS.iter().position(|v| *v == name).unwrap();
-        Ok(Measured {
+fn device_oracle(outs: Vec<usize>) -> impl FnMut(&Action) -> Result<Outcome, Error> {
+    move |action| {
+        let i = OUTS.iter().position(|v| *v == action.target()).unwrap();
+        Ok(Outcome {
             state: outs[i],
             failing: outs[i] == 0,
         })
@@ -95,7 +96,7 @@ proptest! {
         pin in 0usize..2,
     ) {
         let engine = engine_from(&raw);
-        let mut d = SequentialDiagnoser::new(&engine, StoppingPolicy::exhaustive()).unwrap();
+        let mut d = DiagnosisSession::new(Arc::clone(engine.compiled()), StoppingPolicy::exhaustive()).unwrap();
         d.observe("pin", pin).unwrap();
         let outcome = d.run(device_oracle(outs.clone())).unwrap();
         prop_assert_eq!(outcome.tests_used(), 3);
@@ -134,7 +135,7 @@ proptest! {
         let engine = engine_from(&raw);
         let mut order: Vec<&str> = OUTS.to_vec();
         order.rotate_left(first);
-        let mut d = SequentialDiagnoser::new(&engine, StoppingPolicy::exhaustive()).unwrap();
+        let mut d = DiagnosisSession::new(Arc::clone(engine.compiled()), StoppingPolicy::exhaustive()).unwrap();
         d.observe("pin", 1).unwrap();
         let outcome = d.run_scripted(&order, device_oracle(outs.clone())).unwrap();
         prop_assert_eq!(outcome.tests_used(), 3);
@@ -157,7 +158,7 @@ proptest! {
             max_steps: 32,
             min_gain: 0.0,
         };
-        let mut d = SequentialDiagnoser::new(&engine, policy).unwrap();
+        let mut d = DiagnosisSession::new(Arc::clone(engine.compiled()), policy).unwrap();
         d.observe("pin", 1).unwrap();
         let outcome = d.run(device_oracle(outs)).unwrap();
         for step in &outcome.applied {

@@ -2,7 +2,7 @@
 //! comparison both reference designs run over sampled fault populations.
 //!
 //! A *closed-loop scenario* puts a faulty device on the virtual bench,
-//! seeds a [`abbd_core::SequentialDiagnoser`] with the failing suite's
+//! seeds a [`abbd_core::DiagnosisSession`] with the failing suite's
 //! control states, and lets it order the suite's measurements two ways:
 //! adaptively (expected information gain) and in fixed ATE program order.
 //! Both runs share the stopping policy, so the comparison isolates the
@@ -10,9 +10,10 @@
 //! isolated (or the program exhausted).
 
 use abbd_ate::DeviceSession;
+use abbd_blocks::NetId;
 use abbd_core::{
-    CostModel, Measured, SequentialDiagnoser, SequentialOutcome, StopReason, StoppingPolicy,
-    Strategy,
+    Action, ActionExecutor, CostModel, DiagnosisSession, Outcome, SequentialOutcome, StopReason,
+    StoppingPolicy, Strategy,
 };
 use abbd_dlog2bbn::ModelSpec;
 use serde::{Deserialize, Serialize};
@@ -34,7 +35,7 @@ pub(crate) fn measure_on_bench(
     spec: &ModelSpec,
     name: &str,
     number: u32,
-) -> abbd_core::Result<Measured> {
+) -> abbd_core::Result<Outcome> {
     let record = session
         .execute(number)
         .map_err(|e| abbd_core::Error::Oracle {
@@ -51,10 +52,108 @@ pub(crate) fn measure_on_bench(
             variable: name.into(),
             reason: format!("{} V falls outside every state band", record.value),
         })?;
-    Ok(Measured {
+    Ok(Outcome {
         state,
         failing: !record.passed,
     })
+}
+
+/// Binds one device's bench session to the model vocabulary: an
+/// [`ActionExecutor`] that answers [`Action::Test`] by running the mapped
+/// ATE test number (binned through the model spec, limit verdict from the
+/// executed record) and [`Action::Probe`] by reading the mapped internal
+/// circuit net under the applied stimulus
+/// ([`DeviceSession::probe_net`]) and binning the voltage — probes carry
+/// no ATE limits, so they never set the failing flag; the evidence is the
+/// binned state itself.
+///
+/// This is the adapter that lets one [`DiagnosisSession`] drive the
+/// virtual ATE through the *mixed* candidate set: electrical tests and
+/// step-two physical probes through one execution path.
+#[derive(Debug)]
+pub struct BenchExecutor<'s, 'd, 'a> {
+    session: &'s mut DeviceSession<'d, 'a>,
+    spec: &'s ModelSpec,
+    /// Variable → ATE test number.
+    tests: Vec<(String, u32)>,
+    /// Latent variable → internal circuit net.
+    probes: Vec<(String, NetId)>,
+}
+
+impl<'s, 'd, 'a> BenchExecutor<'s, 'd, 'a> {
+    /// Wraps a device session with empty mappings.
+    pub fn new(session: &'s mut DeviceSession<'d, 'a>, spec: &'s ModelSpec) -> Self {
+        BenchExecutor {
+            session,
+            spec,
+            tests: Vec::new(),
+            probes: Vec::new(),
+        }
+    }
+
+    /// Maps a test action's target to its ATE test number.
+    pub fn map_test(mut self, variable: impl Into<String>, number: u32) -> Self {
+        self.tests.push((variable.into(), number));
+        self
+    }
+
+    /// Maps a probe action's target to the circuit net a physical probe
+    /// of that block would land on.
+    pub fn map_probe(mut self, variable: impl Into<String>, net: NetId) -> Self {
+        self.probes.push((variable.into(), net));
+        self
+    }
+}
+
+impl ActionExecutor for BenchExecutor<'_, '_, '_> {
+    fn execute(&mut self, action: &Action) -> abbd_core::Result<Outcome> {
+        let name = action.target();
+        let unmapped = || abbd_core::Error::Oracle {
+            variable: name.into(),
+            reason: format!("no bench mapping for `{action}`"),
+        };
+        match action {
+            Action::Test(_) => {
+                let number = self
+                    .tests
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, t)| t)
+                    .ok_or_else(unmapped)?;
+                measure_on_bench(self.session, self.spec, name, number)
+            }
+            Action::Probe(_) => {
+                let net = self
+                    .probes
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, t)| t)
+                    .ok_or_else(unmapped)?;
+                let voltage =
+                    self.session
+                        .probe_net(net)
+                        .map_err(|e| abbd_core::Error::Oracle {
+                            variable: name.into(),
+                            reason: e.to_string(),
+                        })?;
+                let state = self
+                    .spec
+                    .bin(name, voltage)
+                    .map_err(|e| abbd_core::Error::Oracle {
+                        variable: name.into(),
+                        reason: e.to_string(),
+                    })?
+                    .ok_or_else(|| abbd_core::Error::Oracle {
+                        variable: name.into(),
+                        reason: format!("{voltage} V falls outside every state band"),
+                    })?;
+                Ok(Outcome {
+                    state,
+                    failing: false,
+                })
+            }
+        }
+    }
 }
 
 /// Builds the live-bench measurement oracle both reference designs hand
@@ -67,11 +166,12 @@ pub(crate) fn bench_oracle<'s, 'd, 'a, F>(
     spec: &'s ModelSpec,
     measurables: &'s [&'s str],
     test_number: F,
-) -> impl FnMut(&str) -> abbd_core::Result<Measured> + use<'s, 'd, 'a, F>
+) -> impl FnMut(&Action) -> abbd_core::Result<Outcome> + use<'s, 'd, 'a, F>
 where
     F: Fn(usize) -> u32,
 {
-    move |name| {
+    move |action: &Action| {
+        let name = action.target();
         let oi = measurables.iter().position(|v| *v == name).ok_or_else(|| {
             abbd_core::Error::Oracle {
                 variable: name.into(),
@@ -138,6 +238,33 @@ pub struct ClosedLoopSummary {
     pub fixed_hits: usize,
 }
 
+/// The result of a population driver: the per-device reports plus the
+/// devices the bench could not diagnose.
+///
+/// Population drivers skip a device when its session produces a reading
+/// the model spec cannot bin (NaN from a non-converged operating point,
+/// or a voltage outside every declared band) — the sequential
+/// counterpart of the one-shot case generator counting such readings as
+/// unbinnable. Skipped devices used to vanish silently, understating the
+/// population; now every driver reports them by serial number so yield
+/// accounting stays honest: `reports.len() + skipped.len()` equals the
+/// number of failing devices synthesized.
+#[derive(Debug, Clone)]
+pub struct PopulationRun<R> {
+    /// One report per successfully diagnosed device, in synthesis order.
+    pub reports: Vec<R>,
+    /// Serial numbers of devices skipped as un-binnable, in synthesis
+    /// order.
+    pub skipped: Vec<u64>,
+}
+
+impl<R> PopulationRun<R> {
+    /// Number of devices the driver attempted (diagnosed + skipped).
+    pub fn devices_attempted(&self) -> usize {
+        self.reports.len() + self.skipped.len()
+    }
+}
+
 /// One measurement of a cross-suite closed-loop run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CrossSuiteStep {
@@ -188,7 +315,7 @@ impl CrossSuiteOutcome {
 /// stimulus suites of the same device.
 ///
 /// The paper's model conditions on one suite's control states at a time,
-/// so cross-suite selection runs one [`SequentialDiagnoser`] per failing
+/// so cross-suite selection runs one [`DiagnosisSession`] per failing
 /// suite (each seeded with that suite's controls) and arbitrates
 /// globally: each round, the context whose evidence changed re-scores
 /// its remaining candidates (the others' values are cached — their
@@ -213,14 +340,14 @@ impl CrossSuiteOutcome {
 ///
 /// Propagates strategy/diagnosis/propagation errors and oracle failures.
 pub fn run_cross_suite<F>(
-    contexts: &mut [(String, SequentialDiagnoser)],
+    contexts: &mut [(String, DiagnosisSession)],
     cost: &mut CostModel,
     strategy: Strategy,
     policy: StoppingPolicy,
     mut oracle: F,
 ) -> Result<CrossSuiteOutcome, abbd_core::Error>
 where
-    F: FnMut(usize, &str) -> Result<Measured, abbd_core::Error>,
+    F: FnMut(usize, &str) -> Result<Outcome, abbd_core::Error>,
 {
     policy.validate()?;
     cost.validate()?;
@@ -230,8 +357,8 @@ where
         Strategy::CostWeighted => Strategy::Myopic,
         other => other,
     };
-    for (_, diagnoser) in contexts.iter_mut() {
-        diagnoser.set_strategy(context_strategy)?;
+    for (_, session) in contexts.iter_mut() {
+        session.set_strategy(context_strategy)?;
     }
     let mut applied: Vec<CrossSuiteStep> = Vec::new();
     let mut switches = 0usize;
@@ -252,8 +379,8 @@ where
         // Stop as soon as a re-checked suite context pins a fault.
         let mut isolation = None;
         for &k in &recheck {
-            let (name, diagnoser) = &mut contexts[k];
-            let diagnosis = diagnoser.diagnosis()?;
+            let (name, session) = &mut contexts[k];
+            let diagnosis = session.diagnose()?;
             if diagnosis
                 .candidates()
                 .first()
@@ -272,10 +399,10 @@ where
         // Global arbitration across every context's candidates.
         let mut best: Option<(usize, String, f64, f64, f64)> = None;
         let mut best_gain = f64::NEG_INFINITY;
-        for (k, (_, diagnoser)) in contexts.iter_mut().enumerate() {
+        for (k, (_, session)) in contexts.iter_mut().enumerate() {
             if stale[k] {
-                cached[k] = diagnoser
-                    .score_candidates()?
+                cached[k] = session
+                    .rank_actions()?
                     .iter()
                     .map(|c| {
                         (
@@ -309,10 +436,10 @@ where
             break (false, None);
         }
         let measured = oracle(k, &variable)?;
-        let (suite_name, diagnoser) = &mut contexts[k];
-        diagnoser.observe(&variable, measured.state)?;
+        let (suite_name, session) = &mut contexts[k];
+        session.observe(&variable, measured.state)?;
         if measured.failing {
-            diagnoser.mark_failing(&variable);
+            session.mark_failing(&variable);
         }
         stale[k] = true;
         recheck.clear();
@@ -336,8 +463,8 @@ where
     // suspicious candidate across contexts when the loop ran dry.
     let mut top_candidate: Option<String> = None;
     let mut top_mass = f64::NEG_INFINITY;
-    for (name, diagnoser) in contexts.iter_mut() {
-        let diagnosis = diagnoser.diagnosis()?;
+    for (name, session) in contexts.iter_mut() {
+        let diagnosis = session.diagnose()?;
         if let Some(candidate) = diagnosis.candidates().first() {
             let preferred = isolating_suite.as_deref() == Some(name.as_str());
             if preferred || candidate.fault_mass > top_mass {

@@ -20,8 +20,8 @@ use abbd_blocks::{
     FaultUniverse, Stimulus, Window,
 };
 use abbd_core::{
-    CircuitModel, DiagnosticEngine, ExpertKnowledge, LearnAlgorithm, ModelBuilder,
-    SequentialDiagnoser, StoppingPolicy, Strategy,
+    CircuitModel, DiagnosisSession, DiagnosticEngine, ExpertKnowledge, LearnAlgorithm,
+    ModelBuilder, StoppingPolicy, Strategy,
 };
 use abbd_dlog2bbn::{
     generate_cases, CaseMapping, FunctionalType, GenerationStats, ModelSpec, NamedCase, StateBand,
@@ -386,7 +386,8 @@ pub fn closed_loop_population_with(
             .ok_or_else(|| Error::Pipeline(format!("unknown suite `{suite}`")))?;
 
         let run = |scripted: bool| -> Result<abbd_core::SequentialOutcome> {
-            let mut d = SequentialDiagnoser::new(engine, policy).map_err(Error::Core)?;
+            let mut d = DiagnosisSession::new(std::sync::Arc::clone(engine.compiled()), policy)
+                .map_err(Error::Core)?;
             d.set_strategy(strategy).map_err(Error::Core)?;
             d.observe("block1", si).map_err(Error::Core)?;
             d.set_candidates(MEASURABLES).map_err(Error::Core)?;

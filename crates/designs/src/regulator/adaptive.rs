@@ -4,27 +4,30 @@
 //! block is isolated — compared head-to-head against the fixed program
 //! order on the paper's case studies and on sampled fault populations.
 
-use crate::adaptive::{run_cross_suite, ClosedLoopReport, CrossSuiteOutcome};
+use crate::adaptive::{run_cross_suite, ClosedLoopReport, CrossSuiteOutcome, PopulationRun};
 use crate::error::{Error, Result};
 use crate::regulator::cases::CaseStudy;
 use crate::regulator::program::{suite_plans, test_number, SuitePlan, CONTROL_VARS, OBSERVED_VARS};
 use crate::regulator::{rig, synthesize};
 use abbd_ate::{DeviceSession, NoiseModel, OnDemandTester};
 use abbd_core::{
-    CostModel, DecisionTrace, DiagnosticEngine, Measured, SequentialDiagnoser, SequentialOutcome,
-    StoppingPolicy, Strategy,
+    Action, CostModel, DecisionTrace, DiagnosisSession, DiagnosticEngine, Outcome,
+    SequentialOutcome, StoppingPolicy, Strategy,
 };
 use abbd_dlog2bbn::ModelSpec;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// Builds a diagnoser seeded with a suite's control states, candidates
-/// restricted to the suite's five outputs.
-fn seeded_diagnoser<'e>(
-    engine: &'e DiagnosticEngine,
+/// Opens a session on the engine's shared compilation, seeded with a
+/// suite's control states, candidates restricted to the suite's five
+/// outputs.
+fn seeded_session(
+    engine: &DiagnosticEngine,
     controls: impl IntoIterator<Item = (&'static str, usize)>,
     policy: StoppingPolicy,
-) -> Result<SequentialDiagnoser<'e>> {
-    let mut d = SequentialDiagnoser::new(engine, policy).map_err(Error::Core)?;
+) -> Result<DiagnosisSession> {
+    let mut d =
+        DiagnosisSession::new(Arc::clone(engine.compiled()), policy).map_err(Error::Core)?;
     for (name, state) in controls {
         d.observe(name, state).map_err(Error::Core)?;
     }
@@ -38,8 +41,9 @@ fn seeded_diagnoser<'e>(
 fn table_vi_oracle<'c>(
     case: &'c CaseStudy,
     plan: &'c SuitePlan,
-) -> impl FnMut(&str) -> abbd_core::Result<Measured> + 'c {
-    move |name| {
+) -> impl FnMut(&Action) -> abbd_core::Result<Outcome> + 'c {
+    move |action: &Action| {
+        let name = action.target();
         let oi = OBSERVED_VARS
             .iter()
             .position(|v| *v == name)
@@ -48,7 +52,7 @@ fn table_vi_oracle<'c>(
                 reason: "not one of the suite's outputs".into(),
             })?;
         let (_, state) = case.observables[oi];
-        Ok(Measured {
+        Ok(Outcome {
             state,
             failing: state != plan.healthy_states[oi],
         })
@@ -61,7 +65,7 @@ fn bench_oracle<'s, 'd, 'a>(
     session: &'s mut DeviceSession<'d, 'a>,
     spec: &'s ModelSpec,
     suite_index: usize,
-) -> impl FnMut(&str) -> abbd_core::Result<Measured> + use<'s, 'd, 'a> {
+) -> impl FnMut(&Action) -> abbd_core::Result<Outcome> + use<'s, 'd, 'a> {
     crate::adaptive::bench_oracle(session, spec, &OBSERVED_VARS, move |oi| {
         test_number(suite_index, oi)
     })
@@ -87,7 +91,7 @@ pub fn adaptive_case_study(
     policy: StoppingPolicy,
 ) -> Result<SequentialOutcome> {
     let (_, plan) = plan_for(case.suite)?;
-    let mut d = seeded_diagnoser(engine, case.controls, policy)?;
+    let mut d = seeded_session(engine, case.controls, policy)?;
     d.run(table_vi_oracle(case, &plan)).map_err(Error::Core)
 }
 
@@ -103,7 +107,7 @@ pub fn fixed_case_study(
     policy: StoppingPolicy,
 ) -> Result<SequentialOutcome> {
     let (_, plan) = plan_for(case.suite)?;
-    let mut d = seeded_diagnoser(engine, case.controls, policy)?;
+    let mut d = seeded_session(engine, case.controls, policy)?;
     d.run_scripted(&OBSERVED_VARS, table_vi_oracle(case, &plan))
         .map_err(Error::Core)
 }
@@ -139,11 +143,153 @@ pub fn traced_case_study(
     cost: CostModel,
 ) -> Result<(SequentialOutcome, DecisionTrace)> {
     let (_, plan) = plan_for(case.suite)?;
-    let mut d = seeded_diagnoser(engine, case.controls, policy)?;
+    let mut d = seeded_session(engine, case.controls, policy)?;
     d.set_strategy(strategy).map_err(Error::Core)?;
     d.set_cost_model(cost).map_err(Error::Core)?;
     d.run_traced(table_vi_oracle(case, &plan))
         .map_err(Error::Core)
+}
+
+/// The latent blocks a step-two probe can land on, with their bench
+/// nets: every regulator latent drives a `<name>_out` net in the
+/// behavioural circuit, so "physically probe `hcbg`" means reading
+/// `hcbg_out` under the applied stimulus.
+fn probe_net_of(circuit: &abbd_blocks::Circuit, latent: &str) -> Result<abbd_blocks::NetId> {
+    let net = format!("{}_out", latent.to_lowercase());
+    circuit
+        .find_net(&net)
+        .ok_or_else(|| Error::Pipeline(format!("latent `{latent}` has no bench net `{net}`")))
+}
+
+/// The mixed-candidate measurement prices: the usual per-test
+/// tester-seconds and suite-switch penalty of
+/// [`reference_cost_model`], but probes priced as bench-needle
+/// touchdowns on exposed pads (a few times a regulator read) rather
+/// than FIB/SEM time — the regime where interleaving a probe into the
+/// electrical test plan is economically on the table at all.
+pub fn mixed_cost_model() -> CostModel {
+    let mut cost = CostModel::new(1.0, 4.0, 3.0).expect("static prices are valid");
+    cost.set_cost("reg1", 1.0).expect("static price");
+    cost.set_cost("reg2", 1.2).expect("static price");
+    cost.set_cost("reg3", 1.2).expect("static price");
+    cost.set_cost("reg4", 1.5).expect("static price");
+    cost.set_cost("sw", 2.0).expect("static price");
+    cost
+}
+
+/// Runs one Table VI case study over the *mixed* candidate set: the
+/// suite's five electrical tests **and** a bench-needle probe of every
+/// latent block, ranked together in one loop. Tests and probes are both
+/// answered by the virtual bench, which carries the case's injected
+/// fault — the unified-session scenario the legacy two-phase flow
+/// ([`two_phase_case_study`]) is compared against.
+///
+/// The loop interleaves on its own: while the remaining tests carry
+/// information the cheap tests win, and the moment they stop paying
+/// their way the decisive probe outranks them — *before* the test
+/// program is exhausted, which a tests-then-probes flow structurally
+/// cannot do.
+///
+/// # Errors
+///
+/// Propagates fabrication, strategy and diagnosis errors.
+pub fn mixed_case_study(
+    engine: &DiagnosticEngine,
+    case: &CaseStudy,
+    policy: StoppingPolicy,
+    strategy: Strategy,
+    cost: CostModel,
+) -> Result<(SequentialOutcome, DecisionTrace)> {
+    let rig = rig();
+    let tester = OnDemandTester::new(&rig.circuit, &rig.program).map_err(Error::Ate)?;
+    let (si, _) = plan_for(case.suite)?;
+    let device = injected_device(&rig.circuit, case)?;
+    let mut bench = tester.session(&device, NoiseModel::none(), 7);
+    let spec = rig.model.spec();
+
+    let mut session = seeded_session(engine, case.controls, policy)?;
+    session.set_strategy(strategy).map_err(Error::Core)?;
+    session.set_cost_model(cost).map_err(Error::Core)?;
+    let mut actions: Vec<Action> = OBSERVED_VARS.iter().map(|n| Action::test(*n)).collect();
+    actions.extend(
+        crate::regulator::model::LATENTS
+            .iter()
+            .map(|n| Action::probe(*n)),
+    );
+    session.set_actions(actions).map_err(Error::Core)?;
+
+    let mut executor = crate::adaptive::BenchExecutor::new(&mut bench, spec);
+    for (oi, name) in OBSERVED_VARS.iter().enumerate() {
+        executor = executor.map_test(*name, test_number(si, oi));
+    }
+    for latent in crate::regulator::model::LATENTS {
+        executor = executor.map_probe(latent, probe_net_of(&rig.circuit, latent)?);
+    }
+    session.run_traced(executor).map_err(Error::Core)
+}
+
+/// The legacy step-one/step-two flow over the same bench, same fault,
+/// same prices: run the suite's electrical tests to completion first
+/// (probes are not in the menu), then — only once the test program has
+/// nothing left — open the probe phase on the same evidence. Returns
+/// `(step one, step two)`.
+///
+/// # Errors
+///
+/// Same as [`mixed_case_study`].
+pub fn two_phase_case_study(
+    engine: &DiagnosticEngine,
+    case: &CaseStudy,
+    policy: StoppingPolicy,
+    strategy: Strategy,
+    cost: CostModel,
+) -> Result<(SequentialOutcome, SequentialOutcome)> {
+    let rig = rig();
+    let tester = OnDemandTester::new(&rig.circuit, &rig.program).map_err(Error::Ate)?;
+    let (si, _) = plan_for(case.suite)?;
+    let device = injected_device(&rig.circuit, case)?;
+    let mut bench = tester.session(&device, NoiseModel::none(), 7);
+    let spec = rig.model.spec();
+
+    let mut session = seeded_session(engine, case.controls, policy)?;
+    session.set_strategy(strategy).map_err(Error::Core)?;
+    session.set_cost_model(cost).map_err(Error::Core)?;
+
+    // Step one: electrical tests only.
+    let mut executor = crate::adaptive::BenchExecutor::new(&mut bench, spec);
+    for (oi, name) in OBSERVED_VARS.iter().enumerate() {
+        executor = executor.map_test(*name, test_number(si, oi));
+    }
+    let step_one = session.run(executor).map_err(Error::Core)?;
+
+    // Step two: the probe menu opens only now, on the same evidence.
+    let remaining: Vec<Action> = crate::regulator::model::LATENTS
+        .iter()
+        .filter(|latent| session.observation().state_of(latent).is_none())
+        .map(|n| Action::probe(*n))
+        .collect();
+    session.set_actions(remaining).map_err(Error::Core)?;
+    let mut executor = crate::adaptive::BenchExecutor::new(&mut bench, spec);
+    for latent in crate::regulator::model::LATENTS {
+        executor = executor.map_probe(latent, probe_net_of(&rig.circuit, latent)?);
+    }
+    let step_two = session.run(executor).map_err(Error::Core)?;
+    Ok((step_one, step_two))
+}
+
+/// A golden device carrying exactly the case study's injected fault.
+fn injected_device(
+    circuit: &abbd_blocks::Circuit,
+    case: &CaseStudy,
+) -> Result<abbd_blocks::Device> {
+    let (block, mode) = &case.injected;
+    let block = circuit
+        .require_block(block)
+        .map_err(|e| Error::Pipeline(e.to_string()))?;
+    let mut device = abbd_blocks::Device::golden(circuit);
+    device.id = 990;
+    device.faults = abbd_blocks::DeviceFaults::single(abbd_blocks::Fault::new(block, *mode));
+    Ok(device)
 }
 
 /// One device of the cross-suite population scenario.
@@ -245,13 +391,14 @@ pub fn cross_suite_population(
     policy: StoppingPolicy,
     strategy: Strategy,
     cost: &CostModel,
-) -> Result<Vec<CrossSuiteReport>> {
+) -> Result<PopulationRun<CrossSuiteReport>> {
     let rig = rig();
     let tester = OnDemandTester::new(&rig.circuit, &rig.program).map_err(Error::Ate)?;
     let population = synthesize(n_failing, seed, 0)?;
     let spec = rig.model.spec();
     let plans = suite_plans();
     let mut reports = Vec::with_capacity(population.devices.len());
+    let mut skipped = Vec::new();
     for (device, log) in population.devices.iter().zip(&population.logs) {
         // Every suite the full program flags, ordered by first failure.
         let mut failing_suites: Vec<String> = Vec::new();
@@ -264,13 +411,13 @@ pub fn cross_suite_population(
             return Err(Error::Pipeline("synthesized device never fails".into()));
         }
 
-        let mut contexts: Vec<(String, SequentialDiagnoser)> = Vec::new();
+        let mut contexts: Vec<(String, DiagnosisSession)> = Vec::new();
         let mut suite_indices: Vec<usize> = Vec::new();
         for suite in &failing_suites {
             let (si, _) = plan_for(suite)?;
             let plan = &plans[si];
             let controls = CONTROL_VARS.iter().copied().zip(plan.control_states);
-            contexts.push((suite.clone(), seeded_diagnoser(engine, controls, policy)?));
+            contexts.push((suite.clone(), seeded_session(engine, controls, policy)?));
             suite_indices.push(si);
         }
 
@@ -307,8 +454,11 @@ pub fn cross_suite_population(
             Ok(outcome) => outcome,
             // An unbinnable reading (NaN operating point) means this
             // device cannot be diagnosed on this bench; skip it rather
-            // than abort the whole population.
-            Err(abbd_core::Error::Oracle { .. }) => continue,
+            // than abort the whole population — and say so in the run.
+            Err(abbd_core::Error::Oracle { .. }) => {
+                skipped.push(device.id);
+                continue;
+            }
             Err(e) => return Err(Error::Core(e)),
         };
         reports.push(CrossSuiteReport {
@@ -320,7 +470,7 @@ pub fn cross_suite_population(
             outcome,
         });
     }
-    Ok(reports)
+    Ok(PopulationRun { reports, skipped })
 }
 
 /// Closed-loop scenario over a sampled fault population: fabricates
@@ -331,9 +481,9 @@ pub fn cross_suite_population(
 ///
 /// The returned reports compare tests-to-isolation per device; aggregate
 /// with [`crate::adaptive::summarize`]. Devices whose bench session
-/// produces a reading the model spec cannot bin are skipped (see
-/// [`cross_suite_population`]), so the report vector can be shorter than
-/// `n_failing`.
+/// produces a reading the model spec cannot bin are skipped and reported
+/// in [`PopulationRun::skipped`], so the report vector can be shorter
+/// than `n_failing`.
 ///
 /// # Errors
 ///
@@ -343,12 +493,34 @@ pub fn closed_loop_population(
     n_failing: usize,
     seed: u64,
     policy: StoppingPolicy,
-) -> Result<Vec<ClosedLoopReport>> {
+) -> Result<PopulationRun<ClosedLoopReport>> {
+    closed_loop_population_with_noise(engine, n_failing, seed, policy, NoiseModel::production())
+}
+
+/// [`closed_loop_population`] under an explicit measurement-noise model.
+///
+/// The production voltmeter (2 mV sigma) never pushes a reading outside
+/// the model's state bands, but a degraded bench can: readings the spec
+/// cannot bin make their device undiagnosable, and this driver skips it
+/// *and reports it* in [`PopulationRun::skipped`] — the regression the
+/// skip-accounting test pins with a deliberately noisy voltmeter.
+///
+/// # Errors
+///
+/// Same as [`closed_loop_population`].
+pub fn closed_loop_population_with_noise(
+    engine: &DiagnosticEngine,
+    n_failing: usize,
+    seed: u64,
+    policy: StoppingPolicy,
+    noise: NoiseModel,
+) -> Result<PopulationRun<ClosedLoopReport>> {
     let rig = rig();
     let tester = OnDemandTester::new(&rig.circuit, &rig.program).map_err(Error::Ate)?;
     let population = synthesize(n_failing, seed, 0)?;
     let spec = rig.model.spec();
     let mut reports = Vec::with_capacity(population.devices.len());
+    let mut skipped = Vec::new();
     for (device, log) in population.devices.iter().zip(&population.logs) {
         let failing_suite = log
             .records
@@ -359,22 +531,28 @@ pub fn closed_loop_population(
         let (si, plan) = plan_for(&failing_suite)?;
         let controls = CONTROL_VARS.iter().copied().zip(plan.control_states);
 
-        let mut adaptive_d = seeded_diagnoser(engine, controls.clone(), policy)?;
-        let mut session = tester.session(device, NoiseModel::production(), seed);
+        let mut adaptive_d = seeded_session(engine, controls.clone(), policy)?;
+        let mut session = tester.session(device, noise, seed);
         let adaptive = match adaptive_d.run(bench_oracle(&mut session, spec, si)) {
             Ok(outcome) => outcome,
             // An unbinnable reading means this device cannot be diagnosed
-            // on this bench; skip it rather than abort the population.
-            Err(abbd_core::Error::Oracle { .. }) => continue,
+            // on this bench; skip it (reported) rather than abort.
+            Err(abbd_core::Error::Oracle { .. }) => {
+                skipped.push(device.id);
+                continue;
+            }
             Err(e) => return Err(Error::Core(e)),
         };
 
-        let mut fixed_d = seeded_diagnoser(engine, controls, policy)?;
-        let mut session = tester.session(device, NoiseModel::production(), seed);
+        let mut fixed_d = seeded_session(engine, controls, policy)?;
+        let mut session = tester.session(device, noise, seed);
         let fixed = match fixed_d.run_scripted(&OBSERVED_VARS, bench_oracle(&mut session, spec, si))
         {
             Ok(outcome) => outcome,
-            Err(abbd_core::Error::Oracle { .. }) => continue,
+            Err(abbd_core::Error::Oracle { .. }) => {
+                skipped.push(device.id);
+                continue;
+            }
             Err(e) => return Err(Error::Core(e)),
         };
 
@@ -386,11 +564,52 @@ pub fn closed_loop_population(
             fixed,
         });
     }
-    Ok(reports)
+    Ok(PopulationRun { reports, skipped })
 }
 
 #[cfg(test)]
 mod tests {
+    /// The skip-accounting regression: devices the bench cannot bin are
+    /// skipped *and reported by serial number* — the population total
+    /// always adds up instead of quietly shrinking.
+    #[test]
+    fn skipped_devices_are_reported_not_dropped() {
+        let engine = quick_engine();
+        // The production voltmeter (2 mV) never leaves the state bands:
+        // nothing skipped, every device reported.
+        let clean = closed_loop_population(&engine, 6, 2, StoppingPolicy::default()).unwrap();
+        assert!(clean.skipped.is_empty());
+        assert_eq!(clean.devices_attempted(), 6);
+        // A degraded voltmeter (250 mV sigma) pushes off-state readings
+        // below the model's lowest band; those devices are undiagnosable
+        // on this bench and must be named, not dropped.
+        let noisy = closed_loop_population_with_noise(
+            &engine,
+            6,
+            2,
+            StoppingPolicy::default(),
+            NoiseModel { sigma: 0.25 },
+        )
+        .unwrap();
+        assert_eq!(
+            noisy.skipped,
+            vec![4, 5],
+            "deterministic for the fixed seed"
+        );
+        assert_eq!(noisy.reports.len(), 4);
+        assert_eq!(
+            noisy.devices_attempted(),
+            6,
+            "reports + skipped must account for every synthesized device"
+        );
+        for report in &noisy.reports {
+            assert!(
+                !noisy.skipped.contains(&report.device_id),
+                "a device cannot be both reported and skipped"
+            );
+        }
+    }
+
     use super::*;
     use crate::adaptive::summarize;
     use crate::regulator::cases::case_studies;
@@ -540,8 +759,10 @@ mod tests {
         let policy = StoppingPolicy::default();
         let cost = reference_cost_model();
         let run = |strategy| {
-            let reports =
-                cross_suite_population(&engine, 16, 2024, policy, strategy, &cost).unwrap();
+            let run = cross_suite_population(&engine, 16, 2024, policy, strategy, &cost).unwrap();
+            assert!(run.skipped.is_empty(), "seed 2024 diagnoses every device");
+            assert_eq!(run.devices_attempted(), 16);
+            let reports = run.reports;
             assert_eq!(reports.len(), 16);
             for r in &reports {
                 assert_eq!(
@@ -572,10 +793,111 @@ mod tests {
         assert!(weighted.hits >= myopic.hits);
     }
 
+    /// The mixed-candidate regression (ROADMAP open item): on d1 —
+    /// whose electrical evidence leaves warnvpst and hcbg ambiguous —
+    /// the unified ranking reaches for a bench probe *while an
+    /// electrical test is still on the menu*, isolates the fault
+    /// without ever running that test, and beats the legacy
+    /// tests-then-probes flow on both measurements and tester-seconds.
+    /// The two-phase flow cannot make that trade by construction: its
+    /// step one has no probes in the menu, so it must play the test
+    /// program out first.
+    #[test]
+    fn unified_session_interleaves_the_decisive_probe_on_d1() {
+        let engine = quick_engine();
+        let d1 = &case_studies()[0];
+        // Tests alone top out below 0.99 fault mass on this fit (the
+        // ambiguity: warnvpst ~0.99, hcbg ~0.41 after the full
+        // program), so 0.995 is exactly "electrical evidence cannot
+        // convict". No gain floor: step one of the legacy flow must
+        // play the test program out, which is its structural handicap.
+        let policy = StoppingPolicy {
+            fault_mass_threshold: 0.995,
+            max_steps: 32,
+            min_gain: 0.0,
+        };
+        let (unified, trace) = mixed_case_study(
+            &engine,
+            d1,
+            policy,
+            Strategy::CostWeighted,
+            mixed_cost_model(),
+        )
+        .unwrap();
+        let (step_one, step_two) = two_phase_case_study(
+            &engine,
+            d1,
+            policy,
+            Strategy::CostWeighted,
+            mixed_cost_model(),
+        )
+        .unwrap();
+
+        let is_probe = |name: &str| crate::regulator::model::LATENTS.contains(&name);
+        // The unified loop isolates a paper-sanctioned culprit.
+        assert_eq!(unified.stop, abbd_core::StopReason::Isolated);
+        let top = unified.diagnosis.top_candidate().expect("isolated");
+        assert!(
+            d1.expected_candidates.contains(&top),
+            "top candidate {top} not in {:?}",
+            d1.expected_candidates
+        );
+        // The decisive step: the ranking chose a probe while at least
+        // one electrical test was still a live candidate — the mixed
+        // candidate set made "probe now or test more?" one decision.
+        let probe_step = trace
+            .steps
+            .iter()
+            .find(|step| is_probe(&step.chosen))
+            .expect("the unified plan must reach for a probe");
+        assert!(
+            probe_step
+                .scores
+                .iter()
+                .any(|sc| OBSERVED_VARS.contains(&sc.variable.as_str())),
+            "the chosen probe must have outranked a pending test"
+        );
+        // ... and that pending test never needed to run at all.
+        let tests_taken = unified
+            .applied
+            .iter()
+            .filter(|a| !is_probe(&a.variable))
+            .count();
+        assert!(
+            tests_taken < OBSERVED_VARS.len(),
+            "unified plan must not need the whole test program"
+        );
+        // The legacy flow would not (and cannot) pick the probe early:
+        // step one exhausts every electrical test without isolating,
+        // only then does step two probe its way to the same verdict.
+        assert!(step_one.applied.iter().all(|a| !is_probe(&a.variable)));
+        assert_eq!(step_one.applied.len(), OBSERVED_VARS.len());
+        assert_ne!(step_one.stop, abbd_core::StopReason::Isolated);
+        assert_eq!(step_two.stop, abbd_core::StopReason::Isolated);
+        assert_eq!(step_two.diagnosis.top_candidate(), Some(top));
+        // Head to head: strictly fewer measurements and tester-seconds.
+        let two_phase_tests = step_one.tests_used() + step_two.tests_used();
+        let two_phase_seconds = step_one.tester_seconds() + step_two.tester_seconds();
+        assert!(
+            unified.tests_used() < two_phase_tests,
+            "unified {} measurements must beat two-phase {}",
+            unified.tests_used(),
+            two_phase_tests
+        );
+        assert!(
+            unified.tester_seconds() < two_phase_seconds,
+            "unified {:.1}s must beat two-phase {:.1}s",
+            unified.tester_seconds(),
+            two_phase_seconds
+        );
+    }
+
     #[test]
     fn closed_loop_population_reports_and_aggregates() {
         let engine = quick_engine();
-        let reports = closed_loop_population(&engine, 8, 2024, StoppingPolicy::default()).unwrap();
+        let run = closed_loop_population(&engine, 8, 2024, StoppingPolicy::default()).unwrap();
+        assert!(run.skipped.is_empty(), "seed 2024 diagnoses every device");
+        let reports = run.reports;
         assert_eq!(reports.len(), 8);
         for r in &reports {
             assert!(r.adaptive.tests_used() <= 5);

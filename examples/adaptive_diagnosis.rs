@@ -1,7 +1,7 @@
 //! Adaptive sequential diagnosis: pick the most informative test next.
 //!
 //! Fits the regulator model, replays the paper's case study d1 through
-//! the closed-loop [`abbd::core::SequentialDiagnoser`] (measure → update
+//! the closed-loop `abbd::core::DiagnosisSession` (measure → update
 //! → choose the next test by expected information gain → stop when a
 //! block is isolated), and compares the adaptive measurement order
 //! against the fixed ATE program order. Then runs the same comparison
@@ -51,8 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nclosed loop over a sampled fault population (16 devices)...");
-    let reports = closed_loop_population(&fitted.engine, 16, 77, policy)?;
-    let summary = summarize(&reports);
+    let run = closed_loop_population(&fitted.engine, 16, 77, policy)?;
+    if !run.skipped.is_empty() {
+        println!("skipped un-binnable devices: {:?}", run.skipped);
+    }
+    let summary = summarize(&run.reports);
     println!(
         "adaptive: {} tests total, {} isolated, {} truth hits",
         summary.adaptive_tests, summary.adaptive_isolated, summary.adaptive_hits

@@ -1,7 +1,7 @@
 //! Cost-aware lookahead test planning: tester-seconds, not just nats.
 //!
 //! Fits the regulator model, then compares the three candidate-selection
-//! strategies of [`abbd::core::SequentialDiagnoser`] — raw-gain myopic,
+//! strategies of `abbd::core::DiagnosisSession` — raw-gain myopic,
 //! cost-weighted (gain per tester-second) and depth-2 expectimax
 //! lookahead — first on the paper's case study d1, then on a 16-device
 //! cross-suite population scenario where every failing stimulus suite of
@@ -67,8 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("cost-weighted", Strategy::CostWeighted),
         ("lookahead-2", Strategy::Lookahead { depth: 2 }),
     ] {
-        let reports = cross_suite_population(&fitted.engine, 16, 2024, policy, strategy, &cost)?;
-        let summary = summarize_cross_suite(strategy, &reports);
+        let run = cross_suite_population(&fitted.engine, 16, 2024, policy, strategy, &cost)?;
+        let summary = summarize_cross_suite(strategy, &run.reports);
         println!(
             "{label:>14}: {:>3} tests, {:>2} stimulus switches, {:>2}/{} isolated, \
              {:>2}/{} hits, {:>6.1} tester-seconds",

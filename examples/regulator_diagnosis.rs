@@ -5,6 +5,7 @@
 //! Run: `cargo run --release --example regulator_diagnosis`
 
 use abbd::core::{render_candidates, render_state_table, Diagnosis};
+use abbd::core::{Action, DiagnosisSession, StoppingPolicy};
 use abbd::designs::regulator::{self, cases::case_studies};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -44,17 +45,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // When two candidates remain (case d1), which block should the failure
-    // analyst open first? Rank internal blocks by value of information.
+    // analyst open first? Open a session on the shared compilation, put
+    // every latent on the menu as a probe action, and rank.
     let d1 = &studies[0];
-    let probes = fitted.engine.rank_probes(&d1.observation())?;
+    let mut session = DiagnosisSession::new(
+        std::sync::Arc::clone(fitted.engine.compiled()),
+        StoppingPolicy::default(),
+    )?;
+    session.observe_all(&d1.observation())?;
+    let menu: Vec<Action> = session
+        .compiled()
+        .latent_names()
+        .map(Action::probe)
+        .collect();
+    session.set_actions(menu)?;
     println!(
         "step-two probe order for case {} (expected information gain):",
         d1.id
     );
-    for p in probes.iter().take(3) {
+    for p in session.rank_actions()?.iter().take(3) {
         println!(
             "  probe {:<10} gain {:.3} nats",
-            p.variable, p.expected_information_gain
+            p.name(),
+            p.expected_information_gain()
         );
     }
     Ok(())

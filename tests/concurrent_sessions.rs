@@ -1,0 +1,148 @@
+//! The share-once/serve-many acceptance harness: one `CompiledModel`
+//! behind an `Arc`, N threads each running an independent
+//! `DiagnosisSession` on it, and three pins —
+//!
+//! 1. the junction tree is compiled exactly **once** (the thread-local
+//!    `jointree_compile_count` stays at 1 on the compiling thread and at
+//!    0 on every serving thread);
+//! 2. every concurrent session's ranking, closed loop and final
+//!    posteriors are **bit-identical** to the same session run
+//!    sequentially on the same thread as the compilation;
+//! 3. the artifact actually crosses threads as `Send + Sync` (this file
+//!    would not compile otherwise).
+
+use abbd::bbn::jointree_compile_count;
+use abbd::core::fixtures::toy_compiled_model;
+use abbd::core::{
+    Action, CompiledModel, DiagnosisSession, Outcome, SequentialOutcome, StoppingPolicy,
+};
+use std::sync::Arc;
+use std::thread;
+
+/// One device's complete serving transcript, built to be comparable with
+/// `==` (floats included: bit-identity is the claim, not approximation).
+#[derive(Debug, PartialEq)]
+struct Transcript {
+    gains: Vec<(String, f64, f64, f64)>,
+    applied: Vec<(String, usize, bool)>,
+    stop: abbd::core::StopReason,
+    top: Option<String>,
+    posteriors: Vec<(String, Vec<f64>)>,
+    log_likelihood: f64,
+}
+
+/// Runs one full session for device `i` on the shared compilation:
+/// seed the control, rank the mixed candidate set once, then close the
+/// loop against a device whose outputs are a function of `i`.
+fn serve_device(compiled: &Arc<CompiledModel>, i: usize) -> Transcript {
+    let mut session =
+        DiagnosisSession::new(Arc::clone(compiled), StoppingPolicy::exhaustive()).unwrap();
+    session.observe("pin", i % 2).unwrap();
+    session
+        .set_actions([
+            Action::test("out1"),
+            Action::test("out2"),
+            Action::test("out3"),
+            Action::probe("aux"),
+        ])
+        .unwrap();
+    let gains = session
+        .rank_actions()
+        .unwrap()
+        .iter()
+        .map(|c| {
+            (
+                c.name().to_string(),
+                c.expected_information_gain(),
+                c.cost(),
+                c.score(),
+            )
+        })
+        .collect();
+    let outcome: SequentialOutcome = session
+        .run(|action: &Action| {
+            let state = match action.target() {
+                "out1" => i % 2,
+                "out2" => (i / 2) % 2,
+                "out3" => (i / 4) % 2,
+                _ => 1,
+            };
+            Ok(if state == 0 {
+                Outcome::failing(0)
+            } else {
+                Outcome::passing(1)
+            })
+        })
+        .unwrap();
+    Transcript {
+        gains,
+        applied: outcome
+            .applied
+            .iter()
+            .map(|a| (a.variable.clone(), a.state, a.failing))
+            .collect(),
+        stop: outcome.stop,
+        top: outcome.diagnosis.top_candidate().map(str::to_string),
+        posteriors: outcome.diagnosis.posteriors().to_vec(),
+        log_likelihood: outcome.diagnosis.log_likelihood(),
+    }
+}
+
+#[test]
+fn concurrent_sessions_share_one_compilation_and_agree_bit_for_bit() {
+    const DEVICES: usize = 8;
+
+    let compiles_before = jointree_compile_count();
+    let compiled = toy_compiled_model();
+    assert_eq!(
+        jointree_compile_count() - compiles_before,
+        1,
+        "compiling the shared model is the one and only compilation"
+    );
+
+    // The sequential reference, on the compiling thread.
+    let reference: Vec<Transcript> = (0..DEVICES).map(|i| serve_device(&compiled, i)).collect();
+    assert_eq!(
+        jointree_compile_count() - compiles_before,
+        1,
+        "sequential serving never recompiles"
+    );
+
+    // The same devices, one thread per session, all on the same Arc.
+    let handles: Vec<_> = (0..DEVICES)
+        .map(|i| {
+            let compiled = Arc::clone(&compiled);
+            thread::spawn(move || {
+                let worker_compiles_before = jointree_compile_count();
+                let transcript = serve_device(&compiled, i);
+                assert_eq!(
+                    jointree_compile_count() - worker_compiles_before,
+                    0,
+                    "serving threads must never compile"
+                );
+                transcript
+            })
+        })
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let concurrent = handle.join().expect("serving thread panicked");
+        assert_eq!(
+            concurrent, reference[i],
+            "device {i}: concurrent session must be bit-identical to sequential"
+        );
+    }
+    assert_eq!(
+        jointree_compile_count() - compiles_before,
+        1,
+        "the whole concurrent run still holds the compile count at 1"
+    );
+
+    // Sanity: distinct devices genuinely produced distinct diagnoses
+    // (the bit-identity above was not comparing constants).
+    assert!(
+        reference
+            .iter()
+            .any(|t| t.posteriors != reference[0].posteriors),
+        "workload must vary across devices"
+    );
+}

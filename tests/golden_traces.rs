@@ -141,9 +141,14 @@ fn golden_traces_replay_exactly() {
     // The seeded 16-device cross-suite population under every strategy.
     let mut switches = Vec::new();
     for (tag, strategy, _) in strategies() {
-        let reports: Vec<CrossSuiteReport> =
+        let run =
             cross_suite_population(&engine, 16, 2024, policy, strategy, &reference_cost_model())
                 .expect("population scenario runs");
+        assert!(
+            run.skipped.is_empty(),
+            "the golden population diagnoses every device"
+        );
+        let reports: Vec<CrossSuiteReport> = run.reports;
         let summary = summarize_cross_suite(strategy, &reports);
         switches.push(summary.stimulus_switches);
         let mut rendered = serde_json::to_string_pretty(&reports).expect("reports serialise");

@@ -192,16 +192,34 @@ fn fitted_networks_remain_normalised() {
 }
 
 /// Probe planning resolves d1's two-candidate ambiguity: the most
-/// informative blocks to open are exactly the competing candidates.
+/// informative blocks to open are exactly the competing candidates
+/// (ranked through the unified session's probe-action candidates).
 #[test]
 fn probe_ranking_targets_the_ambiguous_pair() {
+    use abbd::core::{Action, DiagnosisSession, StoppingPolicy};
+    use std::sync::Arc;
+
     let fitted = regulator::fit(70, 2010, regulator::default_algorithm()).expect("pipeline runs");
     let d1 = &regulator::cases::case_studies()[0];
-    let probes = fitted
-        .engine
-        .rank_probes(&d1.observation())
-        .expect("probe ranking");
-    let top2: Vec<&str> = probes.iter().take(2).map(|p| p.variable.as_str()).collect();
+    let mut session = DiagnosisSession::new(
+        Arc::clone(fitted.engine.compiled()),
+        StoppingPolicy::default(),
+    )
+    .expect("session opens");
+    session.observe_all(&d1.observation()).expect("seeds");
+    let latents: Vec<Action> = session
+        .compiled()
+        .latent_names()
+        .map(Action::probe)
+        .collect();
+    session.set_actions(latents).expect("probe menu");
+    let probes: Vec<(String, f64)> = session
+        .rank_actions()
+        .expect("probe ranking")
+        .iter()
+        .map(|c| (c.name().to_string(), c.expected_information_gain()))
+        .collect();
+    let top2: Vec<&str> = probes.iter().take(2).map(|(n, _)| n.as_str()).collect();
     assert!(
         top2.contains(&"hcbg") || top2.contains(&"warnvpst"),
         "top probes {top2:?} must include one of the competing candidates"
@@ -209,13 +227,10 @@ fn probe_ranking_targets_the_ambiguous_pair() {
     // Clearly exonerated blocks carry little information.
     let lcbg_gain = probes
         .iter()
-        .find(|p| p.variable == "lcbg")
-        .map(|p| p.expected_information_gain)
+        .find(|(n, _)| n == "lcbg")
+        .map(|&(_, g)| g)
         .unwrap_or(0.0);
-    assert!(
-        probes[0].expected_information_gain > lcbg_gain * 2.0,
-        "{probes:?}"
-    );
+    assert!(probes[0].1 > lcbg_gain * 2.0, "{probes:?}");
 }
 
 /// Finding-impact explanation: in case d4 the always-on regulator's

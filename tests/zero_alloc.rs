@@ -1,7 +1,9 @@
-//! The PR 2 acceptance harness, extended by PR 3 to lookahead planning:
-//! steady-state sequential diagnosis must perform **zero junction-tree
-//! compilations and zero heap allocations** in its per-decision scoring
-//! loop — both the myopic kernel and the depth-2 expectimax planner.
+//! The PR 2 acceptance harness, extended by PR 3 to lookahead planning
+//! and re-pointed by PR 4 at the unified session facade: steady-state
+//! decisions through `DiagnosisSession::rank_actions` must perform
+//! **zero junction-tree compilations and zero heap allocations** — both
+//! the myopic kernel and the depth-2 expectimax planner, including a
+//! *mixed* test-plus-probe candidate set.
 //!
 //! A counting global allocator wraps the system allocator and tallies
 //! `alloc`/`realloc` calls per thread; the compile counter lives in
@@ -10,10 +12,11 @@
 //! measurement window.
 
 use abbd::bbn::jointree_compile_count;
-use abbd::core::fixtures::toy_sequential_engine;
-use abbd::core::{CostModel, Measured, SequentialDiagnoser, StoppingPolicy, Strategy};
+use abbd::core::fixtures::toy_compiled_model;
+use abbd::core::{Action, CostModel, DiagnosisSession, Outcome, StoppingPolicy, Strategy};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+use std::sync::Arc;
 
 /// Counts this thread's allocation events around the system allocator.
 struct CountingAllocator;
@@ -53,20 +56,29 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 #[test]
 fn steady_state_scoring_compiles_nothing_and_allocates_nothing() {
     // The shared pin/bias/load/aux fixture (abbd_core::fixtures): the
-    // same model the sequential unit tests assert ordering on.
-    let eng = toy_sequential_engine();
-    let mut d = SequentialDiagnoser::new(&eng, StoppingPolicy::exhaustive()).unwrap();
+    // same model the sequential unit tests assert ordering on, compiled
+    // once and shared by every session below.
+    let compiled = toy_compiled_model();
+    let mut d = DiagnosisSession::new(Arc::clone(&compiled), StoppingPolicy::exhaustive()).unwrap();
     d.observe("pin", 1).unwrap();
+    // The steady-state contract covers the *mixed* candidate set: two
+    // electrical tests and one physical probe ranked in one list.
+    d.set_actions([
+        Action::test("out1"),
+        Action::test("out2"),
+        Action::probe("aux"),
+    ])
+    .unwrap();
 
     // Warm-up: the first pass may grow internal buffers to capacity.
-    d.score_candidates().unwrap();
-    d.score_candidates().unwrap();
+    d.rank_actions().unwrap();
+    d.rank_actions().unwrap();
 
     let compiles_before = jointree_compile_count();
     let allocs_before = alloc_events();
     let mut checksum = 0.0;
     for _ in 0..16 {
-        let scored = d.score_candidates().unwrap();
+        let scored = d.rank_actions().unwrap();
         checksum += scored[0].expected_information_gain();
     }
     let allocs = alloc_events() - allocs_before;
@@ -87,18 +99,19 @@ fn steady_state_scoring_compiles_nothing_and_allocates_nothing() {
     // its steady state must match the myopic contract — zero junction-tree
     // compilations, zero heap allocations. Construction and strategy
     // switching (which builds the planner) happen before the window.
-    let mut d2 = SequentialDiagnoser::new(&eng, StoppingPolicy::exhaustive()).unwrap();
+    let mut d2 =
+        DiagnosisSession::new(Arc::clone(&compiled), StoppingPolicy::exhaustive()).unwrap();
     d2.set_strategy(Strategy::Lookahead { depth: 2 }).unwrap();
     d2.set_cost_model(CostModel::unit()).unwrap();
     d2.observe("pin", 1).unwrap();
-    d2.score_candidates().unwrap();
-    d2.score_candidates().unwrap();
+    d2.rank_actions().unwrap();
+    d2.rank_actions().unwrap();
 
     let compiles_before = jointree_compile_count();
     let allocs_before = alloc_events();
     let mut checksum = 0.0;
     for _ in 0..8 {
-        let scored = d2.score_candidates().unwrap();
+        let scored = d2.rank_actions().unwrap();
         checksum += scored[0].expected_information_gain();
     }
     let allocs = alloc_events() - allocs_before;
@@ -117,14 +130,13 @@ fn steady_state_scoring_compiles_nothing_and_allocates_nothing() {
     // The closed loop itself stays compile-free end to end (decision
     // bookkeeping may allocate, so only the compile counter is pinned).
     let compiles_before = jointree_compile_count();
-    let outcome = d
-        .run(|name| {
-            Ok(match name {
-                "out1" | "out2" => Measured::failing(0),
-                _ => Measured::passing(1),
-            })
+    let dead_bias = |action: &Action| {
+        Ok(match action.target() {
+            "out1" | "out2" => Outcome::failing(0),
+            _ => Outcome::passing(1),
         })
-        .unwrap();
+    };
+    let outcome = d.run(dead_bias).unwrap();
     assert_eq!(outcome.diagnosis.top_candidate(), Some("bias"));
     assert_eq!(
         jointree_compile_count() - compiles_before,
@@ -134,14 +146,7 @@ fn steady_state_scoring_compiles_nothing_and_allocates_nothing() {
 
     // ... and so does the lookahead closed loop.
     let compiles_before = jointree_compile_count();
-    let outcome = d2
-        .run(|name| {
-            Ok(match name {
-                "out1" | "out2" => Measured::failing(0),
-                _ => Measured::passing(1),
-            })
-        })
-        .unwrap();
+    let outcome = d2.run(dead_bias).unwrap();
     assert_eq!(outcome.diagnosis.top_candidate(), Some("bias"));
     assert_eq!(
         jointree_compile_count() - compiles_before,
