@@ -343,6 +343,94 @@ fn bench_session_api(c: &mut Criterion) {
     group.finish();
 }
 
+/// The service layer's price list, measured over real TCP on loopback:
+/// `stateless_round_wire` posts one `SessionRequest` per round to
+/// `/v1/models/{m}/serve` (a fresh session server-side every time — the
+/// wire twin of `serve_request_round`); `session_round_wire` posts the
+/// same round to a *stored* session, which amortises the fresh-session
+/// setup away and must come in under the `serve_request_round` baseline
+/// per decision; `store_round_inprocess` is the same stored round minus
+/// HTTP and JSON-string framing (checkout → absorb → report → check-in),
+/// isolating the wire overhead; `batch_diagnose_16_wire` fans 16
+/// evidence sets across the worker pool per request (diagnosis only —
+/// divide by 16 for the per-device cost).
+fn bench_server_throughput(c: &mut Criterion) {
+    use abbd_core::Observation;
+    use abbd_server::{Client, ModelRegistry, OpenSessionReply, Server, ServerConfig};
+
+    let fitted = regulator::fit(30, 2010, regulator::default_algorithm()).expect("pipeline runs");
+    let compiled = Arc::clone(fitted.engine.compiled());
+    let registry = ModelRegistry::new()
+        .insert("regulator", Arc::clone(&compiled))
+        .freeze();
+    let server = Server::start(registry, ServerConfig::default()).expect("server binds");
+
+    let cases = regulator::cases::case_studies();
+    let mut controls = Observation::new();
+    for (name, state) in cases[0].controls {
+        controls.set(name, state);
+    }
+    let request = abbd_core::SessionRequest::new(controls.clone());
+    let round_json = serde_json::to_string(&request).expect("request encodes");
+    let mut group = c.benchmark_group("server_throughput");
+
+    group.bench_function("stateless_round_wire", |b| {
+        let mut client = Client::connect(server.addr()).expect("client connects");
+        b.iter(|| {
+            let (status, body) = client
+                .post("/v1/models/regulator/serve", &round_json)
+                .expect("serve round");
+            assert_eq!(status, 200);
+            black_box(body.len())
+        })
+    });
+    group.bench_function("session_round_wire", |b| {
+        let mut client = Client::connect(server.addr()).expect("client connects");
+        let (status, body) = client
+            .post("/v1/models/regulator/sessions", "{}")
+            .expect("open session");
+        assert_eq!(status, 201);
+        let open: OpenSessionReply = serde_json::from_str(&body).expect("open reply");
+        let path = format!("/v1/sessions/{}/round", open.session_id);
+        b.iter(|| {
+            let (status, body) = client.post(&path, &round_json).expect("stored round");
+            assert_eq!(status, 200);
+            black_box(body.len())
+        })
+    });
+    group.bench_function("store_round_inprocess", |b| {
+        let store = abbd_server::SessionStore::new(std::time::Duration::from_secs(600), 16);
+        let session =
+            abbd_core::DiagnosisSession::new(Arc::clone(&compiled), StoppingPolicy::default())
+                .expect("session opens");
+        let id = store.open("regulator", session).expect("store admits");
+        b.iter(|| {
+            let mut stored = store.checkout(&id).expect("checkout");
+            stored.session.absorb_request(&request).expect("absorb");
+            let report = stored.session.report().expect("report");
+            store.checkin(&id, stored);
+            black_box(report.ranked.len())
+        })
+    });
+    group.bench_function("batch_diagnose_16_wire", |b| {
+        let batch = abbd_server::BatchRequest {
+            observations: (0..16).map(|_| controls.clone()).collect(),
+            deduction: None,
+        };
+        let batch_json = serde_json::to_string(&batch).expect("batch encodes");
+        let mut client = Client::connect(server.addr()).expect("client connects");
+        b.iter(|| {
+            let (status, body) = client
+                .post("/v1/models/regulator/diagnose_batch", &batch_json)
+                .expect("batch round");
+            assert_eq!(status, 200);
+            black_box(body.len())
+        })
+    });
+    group.finish();
+    server.shutdown();
+}
+
 fn bench_chain_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("chain_posteriors");
     for n in [10usize, 40, 160] {
@@ -370,6 +458,7 @@ criterion_group!(
     bench_sequential_voi,
     bench_lookahead_voi,
     bench_session_api,
+    bench_server_throughput,
     bench_chain_scaling
 );
 criterion_main!(benches);

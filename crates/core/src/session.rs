@@ -667,6 +667,10 @@ impl CompiledModel {
     /// caller's derivation of `observation` (kept in lockstep), so the
     /// per-decision loop never pays for rebuilding the evidence map.
     ///
+    /// Runs under the compiled model's own [`DeductionPolicy`]; sessions
+    /// carrying a per-session override go through
+    /// [`CompiledModel::diagnose_with_policy_in`] instead.
+    ///
     /// # Errors
     ///
     /// Propagates propagation errors, including
@@ -677,6 +681,26 @@ impl CompiledModel {
         ws: &mut PropagationWorkspace,
         observation: &Observation,
         evidence: &Evidence,
+    ) -> Result<Diagnosis> {
+        self.diagnose_with_policy_in(ws, observation, evidence, &self.policy)
+    }
+
+    /// [`CompiledModel::diagnose_in`] under an explicit
+    /// [`DeductionPolicy`] instead of the compiled default — the kernel
+    /// behind per-session policy overrides. The policy only affects the
+    /// *deduction* layer (classification thresholds and the candidate
+    /// walk); the posterior update is identical, so overriding it never
+    /// recompiles or re-propagates anything extra.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledModel::diagnose_in`].
+    pub fn diagnose_with_policy_in(
+        &self,
+        ws: &mut PropagationWorkspace,
+        observation: &Observation,
+        evidence: &Evidence,
+        policy: &DeductionPolicy,
     ) -> Result<Diagnosis> {
         let cal = self.jt.propagate_in(ws, evidence).map_err(Error::Bbn)?;
 
@@ -703,7 +727,7 @@ impl CompiledModel {
         }
         let classes: BTreeMap<String, HealthClass> = fault_mass
             .iter()
-            .map(|(n, &m)| (n.clone(), self.policy.classify(m)))
+            .map(|(n, &m)| (n.clone(), policy.classify(m)))
             .collect();
         let observables = circuit_model.observables();
         let failing: Vec<String> = observation
@@ -718,7 +742,7 @@ impl CompiledModel {
             evidence,
             &fault_mass,
             &failing,
-            &self.policy,
+            policy,
         )?;
 
         Ok(Diagnosis::from_parts(
@@ -754,40 +778,7 @@ impl CompiledModel {
     /// Propagates observation/action validation and propagation errors.
     pub fn serve(self: &Arc<Self>, request: &SessionRequest) -> Result<SessionReport> {
         let mut session = DiagnosisSession::new(Arc::clone(self), request.policy)?;
-        session.set_strategy(request.strategy)?;
-        session.set_cost_model(request.cost.clone())?;
-        session.observe_all(&request.observation)?;
-        if !request.actions.is_empty() {
-            session.set_actions(request.actions.iter().cloned())?;
-        }
-        let diagnosis = session.diagnose()?;
-        // One scoring pass serves both the ranking and the stop verdict
-        // (the scoring loop is the expensive part of a service round).
-        let ranked: Vec<Ranked<Action>> = session
-            .rank_actions()?
-            .iter()
-            .map(ScoredAction::to_ranked)
-            .collect();
-        let stop = if let Some(reason) = session.pre_scoring_stop(&diagnosis) {
-            Some(reason)
-        } else if ranked.is_empty() {
-            Some(StopReason::Exhausted)
-        } else {
-            let best_value = ranked
-                .iter()
-                .map(|r| r.gain)
-                .fold(f64::NEG_INFINITY, f64::max);
-            (best_value < request.policy.min_gain).then_some(StopReason::GainBelowThreshold)
-        };
-        Ok(SessionReport {
-            posteriors: diagnosis.posteriors().to_vec(),
-            fault_mass: fault_mass_entries(&diagnosis),
-            candidates: diagnosis.candidates().to_vec(),
-            top_candidate: diagnosis.top_candidate().map(str::to_string),
-            log_likelihood: diagnosis.log_likelihood(),
-            ranked,
-            stop,
-        })
+        session.serve_round(request)
     }
 }
 
@@ -808,6 +799,12 @@ pub struct SessionRequest {
     pub policy: StoppingPolicy,
     /// The measurement prices.
     pub cost: CostModel,
+    /// Per-request [`DeductionPolicy`] override; `None` (the wire
+    /// default — absent fields deserialize as `None`) diagnoses under the
+    /// compiled model's policy. Overriding it never recompiles: the
+    /// policy only enters at the deduction layer.
+    #[serde(default)]
+    pub deduction: Option<DeductionPolicy>,
 }
 
 impl SessionRequest {
@@ -820,6 +817,7 @@ impl SessionRequest {
             strategy: Strategy::default(),
             policy: StoppingPolicy::default(),
             cost: CostModel::unit(),
+            deduction: None,
         }
     }
 }
@@ -896,6 +894,9 @@ pub struct DiagnosisSession {
     planner: Option<LookaheadPlanner>,
     /// Reused candidate-id buffer for planner calls.
     var_buf: Vec<VarId>,
+    /// Per-session deduction-policy override; `None` = the compiled
+    /// model's policy.
+    deduction: Option<DeductionPolicy>,
     /// The cost ledger: every measurement applied to this session.
     applied: Vec<AppliedMeasurement>,
     /// Why the stepping loop last declined to recommend, if it did.
@@ -944,6 +945,7 @@ impl DiagnosisSession {
             cost_model: CostModel::unit(),
             planner: None,
             var_buf: Vec::new(),
+            deduction: None,
             applied: Vec::new(),
             stop: None,
             pending: None,
@@ -1005,6 +1007,29 @@ impl DiagnosisSession {
         &self.cost_model
     }
 
+    /// Overrides the deduction policy for *this session only* (`None`
+    /// restores the compiled model's policy). Two sessions on one shared
+    /// [`CompiledModel`] can classify and deduce under different
+    /// thresholds without recompiling anything — the policy only enters
+    /// at the deduction layer, downstream of the shared junction tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidPolicy`] for malformed thresholds.
+    pub fn set_deduction_policy(&mut self, policy: Option<DeductionPolicy>) -> Result<()> {
+        if let Some(policy) = &policy {
+            policy.validate()?;
+        }
+        self.deduction = policy;
+        Ok(())
+    }
+
+    /// The deduction policy this session diagnoses under: the per-session
+    /// override if one is set, otherwise the compiled model's policy.
+    pub fn deduction_policy(&self) -> &DeductionPolicy {
+        self.deduction.as_ref().unwrap_or(self.compiled.policy())
+    }
+
     /// Replaces the candidate action set — the session's *mixed* menu of
     /// specification tests and physical probes, ranked together.
     ///
@@ -1015,6 +1040,24 @@ impl DiagnosisSession {
     /// non-latent, duplicate targets, or targets the observation already
     /// pins.
     pub fn set_actions<I>(&mut self, actions: I) -> Result<()>
+    where
+        I: IntoIterator<Item = Action>,
+    {
+        self.candidates = self.validate_actions(actions, &Observation::new())?;
+        Ok(())
+    }
+
+    /// Builds a validated candidate list without mutating the session —
+    /// the pure core of [`DiagnosisSession::set_actions`].
+    /// `pending_observation` names measurements that *will* be absorbed
+    /// alongside the actions (a [`SessionRequest`]'s observation), so a
+    /// transactional absorb can reject a candidate the same request
+    /// already pins.
+    fn validate_actions<I>(
+        &self,
+        actions: I,
+        pending_observation: &Observation,
+    ) -> Result<Vec<ScoredAction>>
     where
         I: IntoIterator<Item = Action>,
     {
@@ -1042,7 +1085,9 @@ impl DiagnosisSession {
                     reason: "latent blocks cannot be tested electrically; use Action::Probe".into(),
                 });
             }
-            if self.observation.state_of(name).is_some() {
+            if self.observation.state_of(name).is_some()
+                || pending_observation.state_of(name).is_some()
+            {
                 return Err(Error::InvalidAction {
                     action: action.to_string(),
                     reason: "already observed; cannot be a measurement candidate".into(),
@@ -1067,8 +1112,7 @@ impl DiagnosisSession {
                 score: 0.0,
             });
         }
-        self.candidates = next;
-        Ok(())
+        Ok(next)
     }
 
     /// [`DiagnosisSession::set_actions`] from bare variable names,
@@ -1209,8 +1253,13 @@ impl DiagnosisSession {
     ///
     /// Same as [`CompiledModel::diagnose`].
     pub fn diagnose(&mut self) -> Result<Diagnosis> {
-        self.compiled
-            .diagnose_in(&mut self.base_ws, &self.observation, &self.evidence)
+        let policy = self.deduction.unwrap_or(*self.compiled.policy());
+        self.compiled.diagnose_with_policy_in(
+            &mut self.base_ws,
+            &self.observation,
+            &self.evidence,
+            &policy,
+        )
     }
 
     /// Scores every unapplied candidate action under the active
@@ -1303,6 +1352,135 @@ impl DiagnosisSession {
         }
         candidates.sort_unstable_by(|a, b| b.score.total_cmp(&a.score));
         Ok(candidates)
+    }
+
+    /// Absorbs one [`SessionRequest`] into the session: ranking strategy,
+    /// cost model, deduction-policy override, stopping policy, the
+    /// request's observations, and (when non-empty) its candidate action
+    /// set. [`CompiledModel::serve`] is exactly this on a fresh session;
+    /// a *stateful* service round is this on a stored session — new
+    /// observations accumulate onto what earlier rounds absorbed
+    /// (re-observing a variable overwrites its state).
+    ///
+    /// The absorb is **transactional**: every part of the request is
+    /// validated before anything is applied, so a failed absorb leaves
+    /// the session exactly as it was (a service can check the session
+    /// back into its store and let the client retry with a corrected
+    /// request).
+    ///
+    /// # Errors
+    ///
+    /// Propagates observation/action/strategy/cost/policy validation
+    /// errors.
+    pub fn absorb_request(&mut self, request: &SessionRequest) -> Result<()> {
+        // Validation phase — no session state is touched yet.
+        request.policy.validate()?;
+        request.strategy.validate()?;
+        request.cost.validate()?;
+        if let Some(deduction) = &request.deduction {
+            deduction.validate()?;
+        }
+        self.compiled.evidence_from(&request.observation)?;
+        let staged_actions = if request.actions.is_empty() {
+            None
+        } else {
+            Some(self.validate_actions(request.actions.iter().cloned(), &request.observation)?)
+        };
+        // Mutation phase. `set_strategy` goes first because the planner
+        // (re)build is its own atomic failure point; the remaining
+        // setters re-validate inputs that already passed above.
+        self.set_strategy(request.strategy)?;
+        self.set_cost_model(request.cost.clone())?;
+        self.set_deduction_policy(request.deduction)?;
+        self.policy = request.policy;
+        self.observe_all(&request.observation)?;
+        if let Some(actions) = staged_actions {
+            self.candidates = actions;
+        }
+        Ok(())
+    }
+
+    /// One decision round's report: diagnose, rank the candidate set, and
+    /// evaluate the stop verdict — the serde mirror a service answers
+    /// with ([`CompiledModel::serve`] = open + [`DiagnosisSession::absorb_request`] +
+    /// this; a session-store round skips the open).
+    ///
+    /// # Errors
+    ///
+    /// Propagates diagnosis and scoring errors.
+    pub fn report(&mut self) -> Result<SessionReport> {
+        let diagnosis = self.diagnose()?;
+        // One scoring pass serves both the ranking and the stop verdict
+        // (the scoring loop is the expensive part of a service round).
+        let ranked: Vec<Ranked<Action>> = self
+            .rank_actions()?
+            .iter()
+            .map(ScoredAction::to_ranked)
+            .collect();
+        let stop = if let Some(reason) = self.pre_scoring_stop(&diagnosis) {
+            Some(reason)
+        } else if ranked.is_empty() {
+            Some(StopReason::Exhausted)
+        } else {
+            let best_value = ranked
+                .iter()
+                .map(|r| r.gain)
+                .fold(f64::NEG_INFINITY, f64::max);
+            (best_value < self.policy.min_gain).then_some(StopReason::GainBelowThreshold)
+        };
+        Ok(SessionReport {
+            posteriors: diagnosis.posteriors().to_vec(),
+            fault_mass: fault_mass_entries(&diagnosis),
+            candidates: diagnosis.candidates().to_vec(),
+            top_candidate: diagnosis.top_candidate().map(str::to_string),
+            log_likelihood: diagnosis.log_likelihood(),
+            ranked,
+            stop,
+        })
+    }
+
+    /// One whole service round with rollback:
+    /// [`DiagnosisSession::absorb_request`] followed by
+    /// [`DiagnosisSession::report`], restoring the session's full
+    /// pre-round state if **either** phase fails. The absorb alone is
+    /// already transactional for validation errors; what this adds is
+    /// recovery from report-phase failures — above all
+    /// [`abbd_bbn::Error::ImpossibleEvidence`], where the new
+    /// observation only reveals its inconsistency during propagation,
+    /// *after* the evidence was committed. Without the rollback a
+    /// stored session would be permanently wedged: every later round
+    /// re-propagates the impossible evidence and fails again.
+    ///
+    /// [`CompiledModel::serve`] is exactly this on a fresh session, so
+    /// a service's stored-session rounds stay byte-identical to its
+    /// stateless ones — including after a failed round.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DiagnosisSession::absorb_request`] and
+    /// [`DiagnosisSession::report`]; on error the session is unchanged.
+    pub fn serve_round(&mut self, request: &SessionRequest) -> Result<SessionReport> {
+        let evidence = self.evidence.clone();
+        let observation = self.observation.clone();
+        let candidates = self.candidates.clone();
+        let policy = self.policy;
+        let strategy = self.strategy;
+        let cost_model = self.cost_model.clone();
+        let deduction = self.deduction;
+        let result = self.absorb_request(request).and_then(|()| self.report());
+        if result.is_err() {
+            self.evidence = evidence;
+            self.observation = observation;
+            self.candidates = candidates;
+            self.policy = policy;
+            self.cost_model = cost_model;
+            self.deduction = deduction;
+            // The old strategy was valid when it was set, so restoring
+            // it cannot fail; `let _` keeps the rollback path panic-free
+            // regardless.
+            let _ = self.set_strategy(strategy);
+        }
+        result
     }
 
     /// Whether `diagnosis` isolates a fault under the active policy.
@@ -1786,6 +1964,183 @@ mod tests {
         for pair in ranked.windows(2) {
             assert!(pair[0].score() >= pair[1].score());
         }
+    }
+
+    /// Two sessions on one shared compilation diagnosing under
+    /// *different* deduction policies: the override changes the
+    /// classification (and therefore the candidate verdict) without a
+    /// single extra junction-tree compilation.
+    #[test]
+    fn per_session_policy_overrides_share_one_compilation() {
+        use crate::deduce::DeductionPolicy;
+        let compiles_before = abbd_bbn::jointree_compile_count();
+        let compiled = toy_compiled_model();
+        assert_eq!(abbd_bbn::jointree_compile_count() - compiles_before, 1);
+
+        let seed = |s: &mut DiagnosisSession| {
+            s.observe("pin", 1).unwrap();
+            s.observe("out1", 0).unwrap();
+            s.mark_failing("out1");
+        };
+        let mut default_session =
+            DiagnosisSession::new(Arc::clone(&compiled), StoppingPolicy::default()).unwrap();
+        seed(&mut default_session);
+        let baseline = default_session.diagnose().unwrap();
+        let top_mass = baseline.candidates()[0].fault_mass;
+
+        // A policy whose faulty threshold sits just above the top
+        // candidate's mass: the same posteriors now classify as
+        // ambiguous, not faulty.
+        let strict = DeductionPolicy {
+            faulty_threshold: (top_mass + 0.01).min(0.99),
+            healthy_threshold: 0.01,
+            seed_with_best_ambiguous: false,
+            ..DeductionPolicy::default()
+        };
+        let mut strict_session =
+            DiagnosisSession::new(Arc::clone(&compiled), StoppingPolicy::default()).unwrap();
+        strict_session
+            .set_deduction_policy(Some(strict))
+            .expect("strict policy is well-formed");
+        assert_eq!(strict_session.deduction_policy(), &strict);
+        seed(&mut strict_session);
+        let overridden = strict_session.diagnose().unwrap();
+
+        assert_eq!(
+            baseline.posteriors(),
+            overridden.posteriors(),
+            "the override must not touch the posterior update"
+        );
+        assert_ne!(
+            baseline.classes(),
+            overridden.classes(),
+            "different thresholds must classify differently"
+        );
+        assert_eq!(
+            baseline.top_candidate(),
+            Some("bias"),
+            "default policy indicts the dead bias block"
+        );
+        assert!(
+            !overridden.candidates().iter().any(|c| c.variable == "bias"),
+            "no ambiguity seeding + unreachable threshold = no latent indicted"
+        );
+
+        // The default session is untouched by its sibling's override, and
+        // clearing the override restores the compiled policy.
+        assert_eq!(
+            default_session.diagnose().unwrap().classes(),
+            baseline.classes()
+        );
+        strict_session.set_deduction_policy(None).unwrap();
+        assert_eq!(strict_session.deduction_policy(), compiled.policy());
+        assert_eq!(
+            strict_session.diagnose().unwrap().classes(),
+            baseline.classes()
+        );
+
+        // An inverted policy is rejected and leaves the override alone.
+        assert!(matches!(
+            strict_session.set_deduction_policy(Some(DeductionPolicy {
+                faulty_threshold: 0.2,
+                healthy_threshold: 0.8,
+                ..DeductionPolicy::default()
+            })),
+            Err(Error::InvalidPolicy(_))
+        ));
+
+        // The serde boundary threads the override through `serve`.
+        let mut observation = Observation::new();
+        observation.set("pin", 1).set("out1", 0);
+        observation.mark_failing("out1");
+        let mut request = SessionRequest::new(observation);
+        request.deduction = Some(strict);
+        let report = compiled.serve(&request).unwrap();
+        assert!(!report.candidates.iter().any(|c| c.variable == "bias"));
+        let json = serde_json::to_string(&request).unwrap();
+        let back: SessionRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, request);
+
+        assert_eq!(
+            abbd_bbn::jointree_compile_count() - compiles_before,
+            1,
+            "policy overrides must never recompile the junction tree"
+        );
+    }
+
+    /// A model where impossible evidence is reachable: `src` is pinned
+    /// to state 0 by its prior and `out` mirrors it deterministically,
+    /// so observing `out = 1` has probability zero.
+    fn deterministic_compiled_model() -> Arc<CompiledModel> {
+        use crate::builder::{ExpertKnowledge, ModelBuilder};
+        use crate::model::CircuitModel;
+        use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
+        let var = |name: &str, ftype| VariableSpec {
+            name: name.into(),
+            ftype,
+            bands: vec![
+                StateBand::new("0", 0.0, 1.0, "bad"),
+                StateBand::new("1", 1.0, 2.0, "good"),
+            ],
+            ckt_ref: None,
+        };
+        let spec = ModelSpec::new([
+            var("src", FunctionalType::Latent),
+            var("out", FunctionalType::Observe),
+        ])
+        .expect("static spec");
+        let mut model = CircuitModel::new(spec);
+        model.depends("src", "out").expect("static edge");
+        let mut expert = ExpertKnowledge::new(10.0);
+        expert.cpt("src", [[1.0, 0.0]]);
+        expert.cpt("out", [[1.0, 0.0], [0.0, 1.0]]);
+        let fitted = ModelBuilder::new(model)
+            .with_expert(expert)
+            .build_expert_only()
+            .expect("deterministic CPTs build");
+        CompiledModel::compile(fitted).expect("compiles").shared()
+    }
+
+    /// Regression for the stored-session poisoning bug: an observation
+    /// that only reveals its inconsistency at propagation time (after
+    /// the absorb committed it) must be rolled back, leaving the
+    /// session answering exactly as before the failed round.
+    #[test]
+    fn a_failed_report_phase_rolls_the_session_back() {
+        let compiled = deterministic_compiled_model();
+        let mut session =
+            DiagnosisSession::new(Arc::clone(&compiled), StoppingPolicy::default()).unwrap();
+
+        let mut consistent = Observation::new();
+        consistent.set("out", 0);
+        let baseline = session
+            .serve_round(&SessionRequest::new(consistent.clone()))
+            .expect("consistent evidence serves");
+
+        // `out = 1` validates (known variable, in-range state) but has
+        // zero probability — the failure happens in the report phase.
+        let mut impossible = Observation::new();
+        impossible.set("out", 1);
+        let err = session
+            .serve_round(&SessionRequest::new(impossible))
+            .expect_err("impossible evidence must fail the round");
+        assert!(
+            matches!(err, Error::Bbn(abbd_bbn::Error::ImpossibleEvidence)),
+            "unexpected error: {err:?}"
+        );
+
+        // The poisoned observation must not linger: the session still
+        // answers the consistent round identically, and on a fresh
+        // session too (full state equivalence, not just recovery).
+        assert_eq!(session.observation().state_of("out"), Some(0));
+        let replay = session
+            .serve_round(&SessionRequest::new(consistent.clone()))
+            .expect("session recovered");
+        assert_eq!(replay, baseline);
+        let fresh = compiled
+            .serve(&SessionRequest::new(consistent))
+            .expect("fresh serve");
+        assert_eq!(fresh, baseline);
     }
 
     #[test]

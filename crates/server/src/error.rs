@@ -1,0 +1,152 @@
+//! The structured error surface: every failure a client can cause maps
+//! to a stable machine-readable JSON body and an HTTP status code —
+//! malformed bytes, unknown names, invalid evidence — instead of a
+//! panicking worker or a bare status line.
+
+use crate::http::Response;
+use serde::{Deserialize, Serialize};
+
+/// One service error as it crosses the wire (inside an
+/// [`ErrorBody`] envelope).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiError {
+    /// HTTP status code the error was answered with.
+    pub status: u16,
+    /// Stable machine-readable code (`bad_request`, `unknown_model`,
+    /// `unknown_session`, `session_busy`, `invalid_request`,
+    /// `impossible_evidence`, `store_full`, `internal`).
+    pub code: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The top-level JSON envelope every error response carries:
+/// `{"error": {"status": ..., "code": ..., "message": ...}}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// The error itself.
+    pub error: ApiError,
+}
+
+impl ApiError {
+    /// An error with the given status, code and message.
+    pub fn new(status: u16, code: &str, message: impl Into<String>) -> Self {
+        ApiError {
+            status,
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// `400 bad_request`: the request frame or JSON body did not parse.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, "bad_request", message)
+    }
+
+    /// `404 unknown_model`: no registry entry under that name.
+    pub fn unknown_model(name: &str) -> Self {
+        Self::new(404, "unknown_model", format!("no model named `{name}`"))
+    }
+
+    /// `404 unknown_session`: no live session under that id (never
+    /// opened, closed, expired or evicted).
+    pub fn unknown_session(id: &str) -> Self {
+        Self::new(
+            404,
+            "unknown_session",
+            format!("no live session `{id}` (expired, evicted or never opened)"),
+        )
+    }
+
+    /// `409 session_busy`: another request is mid-round on this session.
+    pub fn session_busy(id: &str) -> Self {
+        Self::new(
+            409,
+            "session_busy",
+            format!("session `{id}` is serving another round; retry"),
+        )
+    }
+
+    /// `404 not_found`: no route matches the path.
+    pub fn not_found(path: &str) -> Self {
+        Self::new(404, "not_found", format!("no route for `{path}`"))
+    }
+
+    /// `405 method_not_allowed`.
+    pub fn method_not_allowed(method: &str, path: &str) -> Self {
+        Self::new(
+            405,
+            "method_not_allowed",
+            format!("`{method}` not allowed on `{path}`"),
+        )
+    }
+
+    /// `503 store_full`: every session slot is live and busy.
+    pub fn store_full() -> Self {
+        Self::new(
+            503,
+            "store_full",
+            "session store at capacity with every slot busy; retry or close sessions",
+        )
+    }
+
+    /// Maps a diagnosis-layer error onto the wire: client-caused
+    /// validation failures become `422`, impossible evidence is called
+    /// out with its own code (the observation contradicts the model —
+    /// resend better data, the server is fine), anything else is a `500`.
+    pub fn from_core(e: &abbd_core::Error) -> Self {
+        use abbd_core::Error as E;
+        match e {
+            E::InvalidObservation { .. }
+            | E::InvalidAction { .. }
+            | E::InvalidPolicy(_)
+            | E::InvalidStoppingPolicy(_)
+            | E::InvalidCostModel(_)
+            | E::InvalidStrategy(_) => Self::new(422, "invalid_request", e.to_string()),
+            E::Bbn(abbd_bbn::Error::ImpossibleEvidence) => {
+                Self::new(422, "impossible_evidence", e.to_string())
+            }
+            _ => Self::new(500, "internal", e.to_string()),
+        }
+    }
+
+    /// Renders the error as its HTTP response.
+    pub fn into_response(self) -> Response {
+        let status = self.status;
+        let body = serde_json::to_string(&ErrorBody { error: self })
+            .unwrap_or_else(|_| "{\"error\":{\"status\":500,\"code\":\"internal\",\"message\":\"error rendering failed\"}}".to_string());
+        Response::json(status, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_errors_map_to_client_statuses() {
+        let invalid = abbd_core::Error::InvalidObservation {
+            variable: "x".into(),
+            reason: "nope".into(),
+        };
+        let mapped = ApiError::from_core(&invalid);
+        assert_eq!(mapped.status, 422);
+        assert_eq!(mapped.code, "invalid_request");
+
+        let unknown = abbd_core::Error::UnknownVariable("x".into());
+        assert_eq!(ApiError::from_core(&unknown).status, 500);
+    }
+
+    #[test]
+    fn error_bodies_round_trip_and_render() {
+        let body = ErrorBody {
+            error: ApiError::unknown_model("ghost"),
+        };
+        let json = serde_json::to_string(&body).unwrap();
+        let back: ErrorBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, body);
+        let response = body.error.into_response();
+        assert_eq!(response.status, 404);
+        assert!(response.body.contains("unknown_model"));
+    }
+}

@@ -1,0 +1,337 @@
+//! A small, strict HTTP/1.1 layer over [`std::io`] streams.
+//!
+//! The build environment is fully offline, so instead of tokio/hyper this
+//! is an in-tree implementation in the spirit of the workspace's `shims/`:
+//! exactly the surface the diagnosis service needs — request parsing with
+//! hard limits, keep-alive, JSON responses — and nothing else. Every
+//! parse failure is an *error value*, never a panic: arbitrary byte junk
+//! on the socket must at worst cost the client a `400` (the proptest in
+//! `tests/errors.rs` feeds the server fuzz bytes to hold it to that).
+//!
+//! Limits (per request): request line ≤ [`MAX_LINE`] bytes, ≤
+//! [`MAX_HEADERS`] header lines of ≤ [`MAX_LINE`] bytes each, body ≤
+//! [`MAX_BODY`] bytes. Anything larger is answered with `400`/`413` and
+//! the connection is closed.
+
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on one request or header line, bytes (excluding CRLF).
+pub const MAX_LINE: usize = 8 * 1024;
+/// Hard cap on the number of header lines per request.
+pub const MAX_HEADERS: usize = 64;
+/// Hard cap on a request body, bytes.
+pub const MAX_BODY: usize = 2 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// The request target path, query string stripped.
+    pub path: String,
+    /// Raw body bytes (`Content-Length` delimited; no chunked encoding).
+    pub body: Vec<u8>,
+    /// `true` when the client asked to keep the connection open
+    /// (HTTP/1.1 default) rather than `Connection: close`.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be parsed. (A peer closing cleanly between
+/// requests is `Ok(None)` from [`read_request`], not an error.)
+#[derive(Debug)]
+pub enum ParseError {
+    /// The stream failed mid-request (timeout, reset); the connection is
+    /// unusable and is simply dropped.
+    Io(io::Error),
+    /// The bytes were not a well-formed HTTP request; answered `400`.
+    Malformed(&'static str),
+    /// The declared body length exceeds [`MAX_BODY`]; answered `413`.
+    BodyTooLarge,
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, capped at [`MAX_LINE`]
+/// bytes. Returns `Ok(None)` on immediate EOF.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, ParseError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(ParseError::Malformed("truncated line"));
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if line.len() + pos > MAX_LINE {
+                    return Err(ParseError::Malformed("line too long"));
+                }
+                line.extend_from_slice(&buf[..pos]);
+                reader.consume(pos + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return String::from_utf8(line)
+                    .map(Some)
+                    .map_err(|_| ParseError::Malformed("non-UTF-8 header bytes"));
+            }
+            None => {
+                let take = buf.len();
+                if line.len() + take > MAX_LINE {
+                    return Err(ParseError::Malformed("line too long"));
+                }
+                line.extend_from_slice(buf);
+                reader.consume(take);
+            }
+        }
+    }
+}
+
+/// Parses one request off the stream. `Ok(None)` means the peer closed
+/// cleanly between requests (keep-alive end).
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, ParseError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed("bad request line"));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ParseError::Malformed("bad method token"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::Malformed("bad request target"));
+    }
+
+    let mut content_length: Option<usize> = None;
+    // HTTP/1.0 defaults to close, 1.1 to keep-alive.
+    let mut keep_alive = version == "HTTP/1.1";
+    for i in 0.. {
+        if i > MAX_HEADERS {
+            return Err(ParseError::Malformed("too many headers"));
+        }
+        let line = read_line(reader)?.ok_or(ParseError::Malformed("truncated headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed("bad header line"));
+        };
+        // RFC 9112 §5.1: no whitespace is allowed between the field name
+        // and the colon (nor inside the name) — "Content-Length : 5"
+        // must be an error, not an unknown header, or the body framing
+        // desynchronises behind any proxy that does parse it.
+        if name.is_empty() || name.contains(|c: char| c.is_ascii_whitespace()) {
+            return Err(ParseError::Malformed("whitespace in header name"));
+        }
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            // RFC 9110 §8.6: 1*DIGIT only. `usize::from_str` would also
+            // take a leading `+`, which a stricter front proxy may frame
+            // differently — refuse anything but plain digits.
+            if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseError::Malformed("bad content-length"));
+            }
+            let length: usize = value
+                .parse()
+                .map_err(|_| ParseError::Malformed("bad content-length"))?;
+            // Duplicate content-length headers are the classic request-
+            // smuggling vector (two frame interpretations); refuse them.
+            if content_length.is_some() {
+                return Err(ParseError::Malformed("duplicate content-length"));
+            }
+            content_length = Some(length);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Chunked bodies are out of scope for this service; refusing
+            // them outright is safer than desynchronising on the framing.
+            return Err(ParseError::Malformed("transfer-encoding unsupported"));
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(ParseError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    io::Read::read_exact(reader, &mut body)?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(Some(Request {
+        method: method.to_string(),
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+/// One response ready to write: status, JSON body, connection verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (always JSON in this service).
+    pub body: String,
+    /// Whether the connection stays open after this response.
+    pub keep_alive: bool,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            keep_alive: true,
+        }
+    }
+
+    /// The standard reason phrase for the status codes this service uses.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Serialises the response onto the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream write errors (the connection is then dropped).
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.body.len(),
+            if self.keep_alive { "keep-alive" } else { "close" },
+        )?;
+        writer.write_all(self.body.as_bytes())?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /v1/x HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/x");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn strips_query_and_honours_connection_close() {
+        let req = parse(b"GET /healthz?probe=1 HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/healthz");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_not_an_error() {
+        assert!(matches!(parse(b""), Ok(None)));
+    }
+
+    #[test]
+    fn junk_is_malformed_not_a_panic() {
+        for junk in [
+            &b"\xff\xfe\xfd\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"POST / HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+            b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            // Request-smuggling shapes: duplicate content-length (two
+            // framings) and whitespace before the colon (a proxy may
+            // honour the header this parser would ignore).
+            b"POST / HTTP/1.1\r\ncontent-length: 5\r\ncontent-length: 0\r\n\r\nAAAAA",
+            b"POST / HTTP/1.1\r\ncontent-length : 5\r\n\r\nAAAAA",
+            b"GET / HTTP/1.1\r\n bad-fold: 1\r\n\r\n",
+            b"POST / HTTP/1.1\r\ncontent-length: +5\r\n\r\nAAAAA",
+        ] {
+            assert!(
+                matches!(parse(junk), Err(ParseError::Malformed(_))),
+                "{junk:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_declarations_are_refused() {
+        let huge = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            parse(huge.as_bytes()),
+            Err(ParseError::BodyTooLarge)
+        ));
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE + 8));
+        assert!(matches!(
+            parse(long_line.as_bytes()),
+            Err(ParseError::Malformed(_))
+        ));
+        let many_headers = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            "x-h: 1\r\n".repeat(MAX_HEADERS + 2)
+        );
+        assert!(matches!(
+            parse(many_headers.as_bytes()),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc"),
+            Err(ParseError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn responses_render_with_framing() {
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

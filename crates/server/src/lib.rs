@@ -1,0 +1,468 @@
+//! # abbd-server — the diagnosis service
+//!
+//! A multi-threaded HTTP/1.1 diagnosis server over the unified session
+//! API of `abbd_core::session`: one process hosts a [`ModelRegistry`] of
+//! named, compile-once [`abbd_core::CompiledModel`]s, a [`SessionStore`]
+//! of live per-device [`abbd_core::DiagnosisSession`]s (TTL + LRU), and
+//! a fixed pool of worker threads serving JSON over
+//! [`std::net::TcpListener`]. The build environment is offline, so the
+//! HTTP layer is a small, strict in-tree implementation ([`http`]) in
+//! the spirit of the workspace's `shims/` — no tokio, no hyper.
+//!
+//! Serving never compiles: every junction tree is triangulated at
+//! registration time, worker threads propagate through shared compiled
+//! schedules, and `/v1/stats` exposes the worker-side compile counter so
+//! the integration suite can pin it at zero.
+//!
+//! ## Endpoints
+//!
+//! | method & path | body → reply | semantics |
+//! |---------------|--------------|-----------|
+//! | `GET /healthz` | — → [`HealthReport`] | liveness plus model/session counts |
+//! | `GET /v1/models` | — → [`ModelsReport`] | the registry rows |
+//! | `GET /v1/stats` | — → [`StatsReport`] | serving counters (rounds, errors, compiles, store lifecycle) |
+//! | `POST /v1/models/{name}/sessions` | — → [`OpenSessionReply`] | open a stored session (`201`; body ignored — configuration travels per round) |
+//! | `POST /v1/models/{name}/serve` | [`SessionRequest`] → [`SessionReport`] | one **stateless** decision round (fresh session per call) |
+//! | `POST /v1/models/{name}/diagnose_batch` | [`BatchRequest`] → [`BatchReply`] | fan N evidence sets across the worker pool (diagnosis only) |
+//! | `POST /v1/sessions/{id}/round` | [`SessionRequest`] → [`SessionReport`] | one **stateful** decision round on the stored session |
+//! | `DELETE /v1/sessions/{id}` | — → [`CloseSessionReply`] | close a stored session |
+//!
+//! [`SessionRequest`]: abbd_core::SessionRequest
+//! [`SessionReport`]: abbd_core::SessionReport
+//!
+//! Errors are structured JSON (`{"error":{"status":…,"code":…,"message":…}}`,
+//! see [`ApiError`]): `400` for bytes that are not HTTP or JSON, `404`
+//! for unknown models/sessions/routes, `405` for wrong verbs, `409` for
+//! concurrent rounds on one session, `413` for oversized bodies, `422`
+//! for well-formed requests the model rejects (unknown variables,
+//! out-of-range states, impossible evidence, malformed policies), `503`
+//! when the session store is full of busy sessions. Junk bytes on the
+//! socket never take a worker down — the connection is answered (when
+//! possible) and dropped.
+//!
+//! ## Session lifecycle
+//!
+//! 1. `POST /v1/models/regulator/sessions` → `{"session_id":"s0000000a",…}`.
+//!    The session allocates its propagation workspaces **once**.
+//! 2. Repeat `POST /v1/sessions/s0000000a/round` with a
+//!    [`SessionRequest`]: new observations accumulate, the reply carries
+//!    posteriors, fail candidates and the ranked next actions. Because
+//!    the workspaces are reused, a stored round costs the scoring
+//!    kernels alone — the fresh-session setup the stateless endpoint
+//!    re-pays every round is amortised away (the `server_throughput`
+//!    bench group prices both paths), and the device gets exclusive,
+//!    conflict-checked access to its own evidence.
+//! 3. Stop when the reply's `stop` field is non-null (isolated /
+//!    exhausted / gain below threshold), then `DELETE` the session —
+//!    or walk away: TTL expiry reaps it, and LRU eviction frees the
+//!    oldest idle session under capacity pressure.
+//!
+//! A round request example (whitespace optional):
+//!
+//! ```json
+//! {"observation": {"pairs": [["pin", 1], ["out1", 0]], "failing": ["out1"]},
+//!  "actions": [], "strategy": "Myopic",
+//!  "policy": {"fault_mass_threshold": 0.9, "max_steps": 32, "min_gain": 0.001},
+//!  "cost": {"test_seconds": 1.0, "suite_switch_seconds": 0.0, "probe_seconds": 1.0,
+//!           "overrides": [], "suite_of": [], "current_suite": null},
+//!  "deduction": null}
+//! ```
+//!
+//! and the reply mirrors [`abbd_core::SessionReport`] — `posteriors`,
+//! `fault_mass`, `candidates`, `top_candidate`, `log_likelihood`,
+//! `ranked` (best action first), `stop`.
+//!
+//! ## Example
+//!
+//! ```
+//! use abbd_server::{Client, ModelRegistry, Server, ServerConfig};
+//!
+//! let registry = ModelRegistry::new()
+//!     .insert("toy", abbd_core::fixtures::toy_compiled_model())
+//!     .freeze();
+//! let server = Server::start(registry, ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let (status, body) = client.get("/healthz").unwrap();
+//! assert_eq!(status, 200);
+//! assert!(body.contains("\"ok\""));
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+mod error;
+pub mod http;
+mod registry;
+mod service;
+mod store;
+
+pub use client::Client;
+pub use error::{ApiError, ErrorBody};
+pub use registry::{ModelBundle, ModelInfo, ModelRegistry};
+pub use service::{
+    BatchDiagnosis, BatchEntry, BatchReply, BatchRequest, CloseSessionReply, HealthReport,
+    ModelsReport, OpenSessionReply, ServiceState, ServiceStats, StatsReport,
+};
+pub use store::{SessionStore, StoreStats, StoredSession};
+
+// The service boundary DTOs, re-exported so wire clients need only this
+// crate.
+pub use abbd_core::{SessionReport, SessionRequest};
+
+use crate::http::ParseError;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (tests, benches).
+    pub addr: String,
+    /// Worker threads serving connections (also the batch fan-out
+    /// width). A keep-alive connection occupies its worker until the
+    /// client closes or goes idle past [`ServerConfig::read_timeout`],
+    /// so size this to the expected number of *concurrent clients*, not
+    /// to core count — threads parked in socket reads are cheap.
+    pub workers: usize,
+    /// Idle time after which a stored session is reaped.
+    pub session_ttl: Duration,
+    /// Maximum live sessions; beyond it the LRU idle session is evicted.
+    pub session_capacity: usize,
+    /// Per-connection socket read timeout (a stalled client frees its
+    /// worker after this long).
+    pub read_timeout: Duration,
+    /// Accepted connections waiting for a free worker, beyond which new
+    /// connections are answered `503` and dropped — overload gets a
+    /// defined failure mode instead of unbounded socket build-up.
+    pub accept_backlog: usize,
+}
+
+impl Default for ServerConfig {
+    /// Loopback on an ephemeral port, 4 workers, 15-minute TTL, 1024
+    /// session slots, 10-second read timeout, 256-connection backlog.
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            session_ttl: Duration::from_secs(15 * 60),
+            session_capacity: 1024,
+            read_timeout: Duration::from_secs(10),
+            accept_backlog: 256,
+        }
+    }
+}
+
+/// Live connection sockets, so shutdown can unblock workers parked in
+/// keep-alive reads instead of waiting out their read timeouts.
+#[derive(Debug, Default)]
+struct ConnTracker {
+    next_id: std::sync::atomic::AtomicU64,
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+impl ConnTracker {
+    fn register(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.conns
+                .lock()
+                .expect("conn tracker lock")
+                .push((id, clone));
+        }
+        id
+    }
+
+    fn unregister(&self, id: u64) {
+        let mut conns = self.conns.lock().expect("conn tracker lock");
+        conns.retain(|(conn_id, _)| *conn_id != id);
+    }
+
+    fn shutdown_all(&self) {
+        let conns = self.conns.lock().expect("conn tracker lock");
+        for (_, stream) in conns.iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// The running service. Construct with [`Server::start`]; the value is a
+/// handle — dropping it (or calling [`Server::shutdown`]) stops the
+/// listener and joins every worker.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<ConnTracker>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, spawns the accept thread and the worker pool,
+    /// and returns once the socket is live (its actual address is
+    /// [`Server::addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let state = Arc::new(ServiceState {
+            registry,
+            store: SessionStore::new(config.session_ttl, config.session_capacity),
+            stats: ServiceStats::default(),
+            workers,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(ConnTracker::default());
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.accept_backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                let conns = Arc::clone(&conns);
+                let stop = Arc::clone(&stop);
+                let read_timeout = config.read_timeout;
+                std::thread::spawn(move || worker_loop(&rx, &state, &conns, &stop, read_timeout))
+            })
+            .collect();
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(&listener, &tx, &stop))
+        };
+        Ok(Server {
+            addr,
+            state,
+            stop,
+            conns,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound socket address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared serving state (registry, store, counters) — for
+    /// in-process inspection by tests and benches.
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Stops accepting, drains the workers and joins every thread.
+    /// In-flight connections finish their current request.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking `accept` so the accept thread observes the
+        // stop flag; ignore failure (the listener may already be gone).
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Unblock workers parked in keep-alive reads.
+        self.conns.shutdown_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Accepts connections until the stop flag trips, handing each stream to
+/// the worker pool's bounded queue. A full queue answers the connection
+/// `503` and drops it (overload has a defined failure mode); dropping
+/// `tx` on exit is what drains the workers.
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                let mut response = ApiError::new(503, "overloaded", "connection queue full; retry")
+                    .into_response();
+                response.keep_alive = false;
+                let _ = response.write_to(&mut stream);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+/// One worker: pull connections off the shared queue until the channel
+/// closes, tallying any junction-tree compilations it (never) performs.
+/// Connections still queued when the stop flag trips are dropped
+/// unserved, so shutdown never waits on work nobody started.
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    state: &ServiceState,
+    conns: &ConnTracker,
+    stop: &AtomicBool,
+    read_timeout: Duration,
+) {
+    loop {
+        let next = {
+            let guard = rx.lock().expect("worker queue lock");
+            guard.recv()
+        };
+        let Ok(stream) = next else { break };
+        if stop.load(Ordering::SeqCst) {
+            continue; // drain the queue without serving
+        }
+        let conn_id = conns.register(&stream);
+        let before = abbd_bbn::jointree_compile_count();
+        // A panic anywhere in parsing/routing/diagnosis costs its own
+        // connection, never the worker thread: an unguarded unwind here
+        // would silently shrink the pool until the server accepts but
+        // never serves.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(stream, state, stop, read_timeout);
+        }))
+        .is_err()
+        {
+            state.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        conns.unregister(conn_id);
+        let compiled = abbd_bbn::jointree_compile_count() - before;
+        if compiled > 0 {
+            state
+                .stats
+                .worker_compiles
+                .fetch_add(compiled, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Serves one connection: parse → route → respond, keep-alive until the
+/// client closes, errors out, asks for `Connection: close`, or the
+/// server is shutting down (each in-flight request finishes; the
+/// connection just does not outlive it). Malformed bytes get a final
+/// structured error response; IO failures just drop the connection.
+/// Never panics.
+fn handle_connection(
+    stream: TcpStream,
+    state: &ServiceState,
+    stop: &AtomicBool,
+    read_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    // The registration in `worker_loop` happens before this point, so a
+    // stop that was set before registration is caught here and one set
+    // after is caught by `ConnTracker::shutdown_all` breaking the read.
+    if stop.load(Ordering::SeqCst) {
+        return;
+    }
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
+                let mut response = service::handle(state, &request);
+                response.keep_alive = keep_alive;
+                if response.write_to(&mut writer).is_err() || !keep_alive {
+                    break;
+                }
+            }
+            Err(ParseError::Io(_)) => break,
+            Err(ParseError::Malformed(reason)) => {
+                state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let mut response =
+                    ApiError::bad_request(format!("malformed request: {reason}")).into_response();
+                response.keep_alive = false;
+                let _ = response.write_to(&mut writer);
+                break;
+            }
+            Err(ParseError::BodyTooLarge) => {
+                state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let mut response = ApiError::new(
+                    413,
+                    "payload_too_large",
+                    format!("body exceeds {} bytes", http::MAX_BODY),
+                )
+                .into_response();
+                response.keep_alive = false;
+                let _ = response.write_to(&mut writer);
+                break;
+            }
+        }
+    }
+}
+
+// Re-exported for the doc example above; `Response` is part of the
+// public `http` module either way.
+#[doc(hidden)]
+pub use http::Request as HttpRequest;
+#[doc(hidden)]
+pub use http::Response as HttpResponse;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abbd_core::fixtures::toy_compiled_model;
+
+    #[test]
+    fn server_starts_answers_and_shuts_down() {
+        let registry = ModelRegistry::new()
+            .insert("toy", toy_compiled_model())
+            .freeze();
+        let server = Server::start(registry, ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let (status, body) = client.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        let health: HealthReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(health.status, "ok");
+        assert_eq!(health.models, 1);
+        let addr = server.addr();
+        server.shutdown();
+        // The listener is gone after shutdown (a fresh connect can no
+        // longer complete a request).
+        let mut dead = None;
+        for _ in 0..10 {
+            match Client::connect(addr) {
+                Ok(mut c) => {
+                    if c.get("/healthz").is_err() {
+                        dead = Some(true);
+                        break;
+                    }
+                }
+                Err(_) => {
+                    dead = Some(true);
+                    break;
+                }
+            }
+        }
+        assert_eq!(dead, Some(true), "server kept serving after shutdown");
+    }
+}

@@ -1,0 +1,241 @@
+//! The model registry: named [`CompiledModel`]s, compiled **once** at
+//! startup and served as `Arc`s to every worker thread for the whole
+//! process lifetime. Registration is the only moment a junction tree is
+//! triangulated; after [`ModelRegistry::freeze`] the registry is
+//! immutable and lock-free to read.
+//!
+//! Models come from two places:
+//!
+//! * in-process artifacts (the regulator fixture the launcher fits at
+//!   startup, test fixtures) via [`ModelRegistry::insert`];
+//! * [`ModelBundle`] JSON files passed on the `abbd-serve` CLI — a
+//!   `dlog2bbn` [`ModelSpec`] (the paper's Table I/V variable sheet)
+//!   plus the cause–effect edges and the product expert's CPT estimates,
+//!   built with [`ModelBuilder::build_expert_only`] and compiled.
+
+use crate::error::ApiError;
+use abbd_core::{CircuitModel, CompiledModel, ExpertKnowledge, ModelBuilder};
+use abbd_dlog2bbn::ModelSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A self-contained, JSON-loadable model definition: everything needed
+/// to compile a [`CompiledModel`] without code. The `spec` field is the
+/// exact [`ModelSpec`] encoding `dlog2bbn` emits, so a spec file produced
+/// by the case-generator tool drops in directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// Model variables with functional types and voltage state bands.
+    pub spec: ModelSpec,
+    /// Cause–effect dependency edges, `(parent, child)`.
+    pub edges: Vec<(String, String)>,
+    /// The product expert's CPT estimates.
+    pub expert: ExpertKnowledge,
+    /// Per-variable fault-state overrides (defaults apply when absent).
+    #[serde(default)]
+    pub fault_states: Vec<(String, Vec<usize>)>,
+}
+
+impl ModelBundle {
+    /// Parses a bundle from JSON text, re-validating the spec (which
+    /// also rebuilds its name index — the serde skip-field).
+    ///
+    /// # Errors
+    ///
+    /// Returns a `400`-shaped [`ApiError`] naming the parse or
+    /// validation failure.
+    pub fn from_json(text: &str) -> Result<Self, ApiError> {
+        let mut bundle: ModelBundle = serde_json::from_str(text)
+            .map_err(|e| ApiError::bad_request(format!("model bundle does not parse: {e}")))?;
+        bundle.spec = ModelSpec::new(bundle.spec.variables().to_vec())
+            .map_err(|e| ApiError::bad_request(format!("model bundle spec invalid: {e}")))?;
+        Ok(bundle)
+    }
+
+    /// Builds and compiles the bundle into the servable artifact (the
+    /// expert-only CPT path — fine-tuning on case data happens offline,
+    /// upstream of the server).
+    ///
+    /// # Errors
+    ///
+    /// Returns a `422`-shaped [`ApiError`] for inconsistent bundles
+    /// (unknown edge endpoints, CPT shape mismatches, cyclic structure).
+    pub fn compile(&self) -> Result<Arc<CompiledModel>, ApiError> {
+        let mut model = CircuitModel::new(self.spec.clone());
+        for (parent, child) in &self.edges {
+            model
+                .depends(parent, child)
+                .map_err(|e| ApiError::new(422, "invalid_request", e.to_string()))?;
+        }
+        for (variable, states) in &self.fault_states {
+            model
+                .set_fault_states(variable, states)
+                .map_err(|e| ApiError::new(422, "invalid_request", e.to_string()))?;
+        }
+        let fitted = ModelBuilder::new(model)
+            .with_expert(self.expert.clone())
+            .build_expert_only()
+            .map_err(|e| ApiError::new(422, "invalid_request", e.to_string()))?;
+        let compiled = CompiledModel::compile(fitted)
+            .map_err(|e| ApiError::new(422, "invalid_request", e.to_string()))?;
+        Ok(compiled.shared())
+    }
+}
+
+/// One registry row as reported by `GET /v1/models`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Registry name (the `{name}` path segment of the model endpoints).
+    pub name: String,
+    /// Total model variables.
+    pub variables: usize,
+    /// Latent blocks (probe targets).
+    pub latents: usize,
+    /// Observable variables (test targets).
+    pub observables: usize,
+}
+
+/// Named compiled models, immutable after [`ModelRegistry::freeze`].
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, Arc<CompiledModel>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a compiled model under `name` (builder style; replaces
+    /// any previous entry with that name).
+    pub fn insert(mut self, name: impl Into<String>, model: Arc<CompiledModel>) -> Self {
+        self.models.insert(name.into(), model);
+        self
+    }
+
+    /// Registers a [`ModelBundle`], compiling it now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelBundle::compile`] errors.
+    pub fn insert_bundle(
+        self,
+        name: impl Into<String>,
+        bundle: &ModelBundle,
+    ) -> Result<Self, ApiError> {
+        let compiled = bundle.compile()?;
+        Ok(self.insert(name, compiled))
+    }
+
+    /// Freezes the registry for serving.
+    pub fn freeze(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    /// Looks a model up by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::unknown_model`] when absent.
+    pub fn get(&self, name: &str) -> Result<&Arc<CompiledModel>, ApiError> {
+        self.models
+            .get(name)
+            .ok_or_else(|| ApiError::unknown_model(name))
+    }
+
+    /// The registry rows, in name order.
+    pub fn list(&self) -> Vec<ModelInfo> {
+        self.models
+            .iter()
+            .map(|(name, compiled)| ModelInfo {
+                name: name.clone(),
+                variables: compiled.model().circuit_model().spec().len(),
+                latents: compiled.latent_names().count(),
+                observables: compiled.observable_names().count(),
+            })
+            .collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abbd_core::fixtures::toy_compiled_model;
+    use abbd_dlog2bbn::{FunctionalType, StateBand, VariableSpec};
+
+    /// A two-variable bundle: `src` (latent) drives `out` (observable).
+    fn tiny_bundle() -> ModelBundle {
+        let var = |name: &str, ftype| VariableSpec {
+            name: name.into(),
+            ftype,
+            bands: vec![
+                StateBand::new("0", 0.0, 1.0, "bad"),
+                StateBand::new("1", 1.0, 2.0, "good"),
+            ],
+            ckt_ref: None,
+        };
+        let spec = ModelSpec::new([
+            var("src", FunctionalType::Latent),
+            var("out", FunctionalType::Observe),
+        ])
+        .unwrap();
+        let mut expert = ExpertKnowledge::new(10.0);
+        expert.cpt("src", [[0.2, 0.8]]);
+        expert.cpt("out", [[0.9, 0.1], [0.1, 0.9]]);
+        ModelBundle {
+            spec,
+            edges: vec![("src".into(), "out".into())],
+            expert,
+            fault_states: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn bundles_round_trip_and_compile() {
+        let bundle = tiny_bundle();
+        let json = serde_json::to_string(&bundle).unwrap();
+        let back = ModelBundle::from_json(&json).unwrap();
+        assert_eq!(back, bundle);
+        let compiled = back.compile().unwrap();
+        assert_eq!(compiled.latent_names().collect::<Vec<_>>(), ["src"]);
+        assert!(ModelBundle::from_json("{ not json").is_err());
+    }
+
+    #[test]
+    fn bad_bundles_are_422_not_panics() {
+        let mut bundle = tiny_bundle();
+        bundle.edges.push(("ghost".into(), "out".into()));
+        let err = bundle.compile().unwrap_err();
+        assert_eq!(err.status, 422);
+    }
+
+    #[test]
+    fn registry_lists_and_looks_up() {
+        let registry = ModelRegistry::new()
+            .insert("toy", toy_compiled_model())
+            .insert_bundle("tiny", &tiny_bundle())
+            .unwrap()
+            .freeze();
+        assert_eq!(registry.len(), 2);
+        assert!(!registry.is_empty());
+        let rows = registry.list();
+        assert_eq!(rows[0].name, "tiny");
+        assert_eq!(rows[1].name, "toy");
+        assert_eq!(rows[1].variables, 7);
+        assert_eq!(rows[1].latents, 3);
+        assert!(registry.get("toy").is_ok());
+        assert_eq!(registry.get("ghost").unwrap_err().status, 404);
+    }
+}

@@ -1,0 +1,413 @@
+//! The request router and endpoint handlers — pure functions from a
+//! parsed [`Request`] to a [`Response`], shared by every worker thread.
+//!
+//! See the crate docs for the endpoint table. All handlers speak the
+//! serde DTOs of `abbd_core::session` ([`SessionRequest`] /
+//! [`SessionReport`]) plus the thin wire envelopes defined here.
+
+use crate::error::ApiError;
+use crate::http::{Request, Response};
+use crate::registry::{ModelInfo, ModelRegistry};
+use crate::store::{SessionStore, StoreStats};
+use abbd_core::{
+    Candidate, CompiledModel, DeductionPolicy, DiagnosisSession, Observation, SessionRequest,
+    StoppingPolicy,
+};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Serving counters, all monotonic (reported by `GET /v1/stats`).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// HTTP requests routed (including errors).
+    pub requests: AtomicU64,
+    /// Stateful decision rounds served (`/v1/sessions/{id}/round`).
+    pub rounds: AtomicU64,
+    /// Stateless decision rounds served (`/v1/models/{name}/serve`).
+    pub stateless_rounds: AtomicU64,
+    /// Individual evidence sets diagnosed through the batch endpoint.
+    pub batch_items: AtomicU64,
+    /// Error responses (status ≥ 400) answered.
+    pub errors: AtomicU64,
+    /// Junction-tree compilations observed on worker threads — pinned at
+    /// **zero** by the integration tests: serving must never compile.
+    pub worker_compiles: AtomicU64,
+}
+
+/// Everything the handlers share: the frozen registry, the session
+/// store, the counters and the batch fan-out width.
+#[derive(Debug)]
+pub struct ServiceState {
+    /// Named compiled models (immutable after startup).
+    pub registry: Arc<ModelRegistry>,
+    /// Live sessions with TTL + LRU lifecycle.
+    pub store: SessionStore,
+    /// Serving counters.
+    pub stats: ServiceStats,
+    /// Worker-pool width, which also caps batch fan-out.
+    pub workers: usize,
+}
+
+/// `GET /healthz` body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Always `"ok"` when the listener answers.
+    pub status: String,
+    /// Registered models.
+    pub models: usize,
+    /// Live sessions (idle + busy).
+    pub sessions: usize,
+}
+
+/// `GET /v1/models` body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelsReport {
+    /// Registry rows, in name order.
+    pub models: Vec<ModelInfo>,
+}
+
+/// `POST /v1/models/{name}/sessions` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenSessionReply {
+    /// The id all `/v1/sessions/{id}/...` endpoints address.
+    pub session_id: String,
+    /// The registry name of the model the session serves off.
+    pub model: String,
+}
+
+/// `DELETE /v1/sessions/{id}` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloseSessionReply {
+    /// `true` when the id referred to a live session.
+    pub closed: bool,
+}
+
+/// `POST /v1/models/{name}/diagnose_batch` body: N independent evidence
+/// sets to diagnose (no ranking — the batch path is the
+/// posterior-plus-deduction kernel fanned across the worker pool).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchRequest {
+    /// One observation per device under diagnosis.
+    pub observations: Vec<Observation>,
+    /// Deduction-policy override applied to every item (compiled default
+    /// when absent).
+    #[serde(default)]
+    pub deduction: Option<DeductionPolicy>,
+}
+
+/// One device's diagnosis in a batch reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchDiagnosis {
+    /// Posterior state distributions for every model variable.
+    pub posteriors: Vec<(String, Vec<f64>)>,
+    /// `(latent, posterior fault mass)`, in name order.
+    pub fault_mass: Vec<(String, f64)>,
+    /// Ranked fail candidates.
+    pub candidates: Vec<Candidate>,
+    /// The top fail candidate, if any.
+    pub top_candidate: Option<String>,
+    /// `ln P(observation)` under the model.
+    pub log_likelihood: f64,
+}
+
+/// One slot of a batch reply: exactly one of `ok`/`error` is set, so a
+/// bad evidence set fails alone instead of poisoning the whole batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchEntry {
+    /// The diagnosis, when the item succeeded.
+    #[serde(default)]
+    pub ok: Option<BatchDiagnosis>,
+    /// The per-item error, when it did not.
+    #[serde(default)]
+    pub error: Option<ApiError>,
+}
+
+/// `POST /v1/models/{name}/diagnose_batch` reply, item-aligned with the
+/// request's `observations`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReply {
+    /// One entry per requested observation, same order.
+    pub reports: Vec<BatchEntry>,
+}
+
+/// `GET /v1/stats` body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// HTTP requests routed.
+    pub requests: u64,
+    /// Stateful decision rounds served.
+    pub rounds: u64,
+    /// Stateless decision rounds served.
+    pub stateless_rounds: u64,
+    /// Evidence sets diagnosed via the batch endpoint.
+    pub batch_items: u64,
+    /// Error responses answered.
+    pub errors: u64,
+    /// Junction-tree compilations on worker threads (must stay 0).
+    pub worker_compiles: u64,
+    /// Live sessions.
+    pub sessions_live: usize,
+    /// Sessions ever opened.
+    pub sessions_opened: u64,
+    /// Sessions reaped by TTL.
+    pub sessions_expired: u64,
+    /// Sessions evicted by LRU pressure.
+    pub sessions_evicted: u64,
+}
+
+fn parse_json<T: Deserialize>(body: &[u8]) -> Result<T, ApiError> {
+    let text = std::str::from_utf8(body).map_err(|_| ApiError::bad_request("body is not UTF-8"))?;
+    serde_json::from_str(text)
+        .map_err(|e| ApiError::bad_request(format!("body does not parse: {e}")))
+}
+
+fn json_response(status: u16, value: &impl Serialize) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::json(status, body),
+        Err(e) => {
+            ApiError::new(500, "internal", format!("response encoding failed: {e}")).into_response()
+        }
+    }
+}
+
+/// Routes one request. Never panics: every failure path is a structured
+/// error response.
+pub fn handle(state: &ServiceState, request: &Request) -> Response {
+    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let response = route(state, request).unwrap_or_else(ApiError::into_response);
+    if response.status >= 400 {
+        state.stats.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    response
+}
+
+fn route(state: &ServiceState, request: &Request) -> Result<Response, ApiError> {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = request.method.as_str();
+    match (method, segments.as_slice()) {
+        ("GET", ["healthz"]) => Ok(json_response(
+            200,
+            &HealthReport {
+                status: "ok".to_string(),
+                models: state.registry.len(),
+                sessions: state.store.stats().live,
+            },
+        )),
+        ("GET", ["v1", "models"]) => Ok(json_response(
+            200,
+            &ModelsReport {
+                models: state.registry.list(),
+            },
+        )),
+        ("GET", ["v1", "stats"]) => Ok(json_response(200, &stats_report(state))),
+        ("POST", ["v1", "models", name, "sessions"]) => open_session(state, name, &request.body),
+        ("POST", ["v1", "models", name, "serve"]) => serve_stateless(state, name, &request.body),
+        ("POST", ["v1", "models", name, "diagnose_batch"]) => {
+            diagnose_batch(state, name, &request.body)
+        }
+        ("POST", ["v1", "sessions", id, "round"]) => session_round(state, id, &request.body),
+        ("DELETE", ["v1", "sessions", id]) => Ok(json_response(
+            200,
+            &CloseSessionReply {
+                closed: state.store.close(id),
+            },
+        )),
+        // A known path shape with the wrong verb is 405, not 404.
+        (_, ["healthz"] | ["v1", "models"] | ["v1", "stats"])
+        | (_, ["v1", "models", _, "sessions" | "serve" | "diagnose_batch"])
+        | (_, ["v1", "sessions", _, "round"] | ["v1", "sessions", _]) => {
+            Err(ApiError::method_not_allowed(method, &request.path))
+        }
+        _ => Err(ApiError::not_found(&request.path)),
+    }
+}
+
+fn stats_report(state: &ServiceState) -> StatsReport {
+    let StoreStats {
+        live,
+        opened,
+        expired,
+        evicted,
+    } = state.store.stats();
+    StatsReport {
+        requests: state.stats.requests.load(Ordering::Relaxed),
+        rounds: state.stats.rounds.load(Ordering::Relaxed),
+        stateless_rounds: state.stats.stateless_rounds.load(Ordering::Relaxed),
+        batch_items: state.stats.batch_items.load(Ordering::Relaxed),
+        errors: state.stats.errors.load(Ordering::Relaxed),
+        worker_compiles: state.stats.worker_compiles.load(Ordering::Relaxed),
+        sessions_live: live,
+        sessions_opened: opened,
+        sessions_expired: expired,
+        sessions_evicted: evicted,
+    }
+}
+
+// The open body is intentionally empty (send nothing or `{}`): every
+// piece of round configuration — stopping policy, strategy, costs, the
+// deduction-policy override — travels in each `SessionRequest`, exactly
+// as it does on the stateless endpoint. That symmetry is what keeps a
+// stored round byte-identical to `CompiledModel::serve`; open-time knobs
+// would be silently superseded by the first round and are refused a
+// place in the protocol rather than left as a trap.
+fn open_session(state: &ServiceState, name: &str, _body: &[u8]) -> Result<Response, ApiError> {
+    let compiled = state.registry.get(name)?;
+    let session = DiagnosisSession::new(Arc::clone(compiled), StoppingPolicy::default())
+        .map_err(|e| ApiError::from_core(&e))?;
+    let session_id = state.store.open(name, session)?;
+    Ok(json_response(
+        201,
+        &OpenSessionReply {
+            session_id,
+            model: name.to_string(),
+        },
+    ))
+}
+
+fn serve_stateless(state: &ServiceState, name: &str, body: &[u8]) -> Result<Response, ApiError> {
+    let compiled = state.registry.get(name)?;
+    let request: SessionRequest = parse_json(body)?;
+    let report = compiled
+        .serve(&request)
+        .map_err(|e| ApiError::from_core(&e))?;
+    state.stats.stateless_rounds.fetch_add(1, Ordering::Relaxed);
+    Ok(json_response(200, &report))
+}
+
+fn session_round(state: &ServiceState, id: &str, body: &[u8]) -> Result<Response, ApiError> {
+    // Parse before checkout so malformed bodies never toggle the busy
+    // marker.
+    let request: SessionRequest = parse_json(body)?;
+    let mut stored = state.store.checkout(id)?;
+    // `serve_round` rolls the session back on any failure, so checking
+    // it back in after an error hands the client a clean retry; a panic
+    // in the kernels instead aborts the session outright — a possibly
+    // half-mutated session must not serve again, and the busy marker
+    // must not wedge the slot forever.
+    let round = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        stored.session.serve_round(&request)
+    }));
+    match round {
+        Ok(result) => {
+            let result = result.map_err(|e| ApiError::from_core(&e));
+            if result.is_ok() {
+                stored.rounds += 1;
+                state.stats.rounds.fetch_add(1, Ordering::Relaxed);
+            }
+            state.store.checkin(id, stored);
+            Ok(json_response(200, &result?))
+        }
+        Err(_) => {
+            drop(stored);
+            state.store.abort(id);
+            Err(ApiError::new(
+                500,
+                "internal",
+                format!("panic during round; session `{id}` was discarded"),
+            ))
+        }
+    }
+}
+
+fn diagnose_batch(state: &ServiceState, name: &str, body: &[u8]) -> Result<Response, ApiError> {
+    let compiled = state.registry.get(name)?;
+    let batch: BatchRequest = parse_json(body)?;
+    let policy = match batch.deduction {
+        Some(p) => {
+            p.validate().map_err(|e| ApiError::from_core(&e))?;
+            p
+        }
+        None => *compiled.policy(),
+    };
+    let reports = fan_out(
+        compiled,
+        &batch.observations,
+        &policy,
+        state.workers,
+        &state.stats.worker_compiles,
+    );
+    state
+        .stats
+        .batch_items
+        .fetch_add(batch.observations.len() as u64, Ordering::Relaxed);
+    Ok(json_response(200, &BatchReply { reports }))
+}
+
+/// Fans `observations` across up to `workers` scoped threads, one
+/// preallocated propagation workspace per thread (the same
+/// one-workspace-per-worker shape as
+/// [`abbd_core::DiagnosticEngine::diagnose_batch`]), and stitches the
+/// per-item results back in request order. Each scoped thread reports
+/// its (thread-local) junction-tree compile delta into `compiles` —
+/// the counter is per-thread, so the connection worker's own sampling
+/// cannot see what happens here.
+fn fan_out(
+    compiled: &Arc<CompiledModel>,
+    observations: &[Observation],
+    policy: &DeductionPolicy,
+    workers: usize,
+    compiles: &AtomicU64,
+) -> Vec<BatchEntry> {
+    if observations.is_empty() {
+        return Vec::new();
+    }
+    let threads = workers.clamp(1, observations.len());
+    let chunk_len = observations.len().div_ceil(threads);
+    let mut reports = Vec::with_capacity(observations.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = observations
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let before = abbd_bbn::jointree_compile_count();
+                    let mut ws = compiled.make_workspace();
+                    let entries = chunk
+                        .iter()
+                        .map(|obs| diagnose_one(compiled, &mut ws, obs, policy))
+                        .collect::<Vec<_>>();
+                    let delta = abbd_bbn::jointree_compile_count() - before;
+                    if delta > 0 {
+                        compiles.fetch_add(delta, Ordering::Relaxed);
+                    }
+                    entries
+                })
+            })
+            .collect();
+        for handle in handles {
+            reports.extend(handle.join().expect("batch worker never panics"));
+        }
+    });
+    reports
+}
+
+fn diagnose_one(
+    compiled: &CompiledModel,
+    ws: &mut abbd_bbn::PropagationWorkspace,
+    observation: &Observation,
+    policy: &DeductionPolicy,
+) -> BatchEntry {
+    let diagnosed = compiled
+        .evidence_from(observation)
+        .and_then(|evidence| compiled.diagnose_with_policy_in(ws, observation, &evidence, policy));
+    match diagnosed {
+        Ok(diagnosis) => BatchEntry {
+            ok: Some(BatchDiagnosis {
+                posteriors: diagnosis.posteriors().to_vec(),
+                fault_mass: diagnosis
+                    .fault_mass()
+                    .iter()
+                    .map(|(n, &m)| (n.clone(), m))
+                    .collect(),
+                candidates: diagnosis.candidates().to_vec(),
+                top_candidate: diagnosis.top_candidate().map(str::to_string),
+                log_likelihood: diagnosis.log_likelihood(),
+            }),
+            error: None,
+        },
+        Err(e) => BatchEntry {
+            ok: None,
+            error: Some(ApiError::from_core(&e)),
+        },
+    }
+}

@@ -1,0 +1,298 @@
+//! The stateful session store: live [`DiagnosisSession`]s keyed by
+//! opaque ids, with TTL expiry and LRU eviction.
+//!
+//! A stored session keeps its accumulated evidence and its preallocated
+//! propagation workspaces between rounds, so a decision round costs the
+//! scoring kernels alone instead of re-paying the fresh-session setup
+//! every time (`server_throughput` in `BENCH_inference.json` prices the
+//! stored round against the stateless `serve_request_round` path) — and,
+//! as important, it gives each device-under-diagnosis an exclusive,
+//! bounded-lifetime home on the server.
+//!
+//! Concurrency model: a round **checks the session out** of the store
+//! (holding the store lock only for the map operation), runs the
+//! diagnosis kernels unlocked, and checks it back in. Two simultaneous
+//! rounds on one session therefore never interleave evidence — the
+//! second caller gets `409 session_busy` instead. Busy sessions are
+//! exempt from TTL expiry and LRU eviction (they still count toward
+//! capacity); a session [`SessionStore::close`]d while busy dies at
+//! check-in.
+
+use crate::error::ApiError;
+use abbd_core::DiagnosisSession;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One live session plus its bookkeeping, as held by (or checked out of)
+/// the store.
+#[derive(Debug)]
+pub struct StoredSession {
+    /// The diagnosis session itself (evidence + workspaces + ledger).
+    pub session: DiagnosisSession,
+    /// The registry name of the model the session serves off.
+    pub model: String,
+    /// Decision rounds completed so far.
+    pub rounds: u64,
+}
+
+#[derive(Debug)]
+enum Slot {
+    /// Parked in the store, evictable. (Boxed: a session is tens of
+    /// inline words next to the unit-sized `Busy`/`Doomed` markers.)
+    Idle {
+        stored: Box<StoredSession>,
+        last_used: Instant,
+        lru: u64,
+    },
+    /// Checked out by a round in flight; unevictable.
+    Busy,
+    /// Closed while checked out; the check-in drops the session.
+    Doomed,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    opened: u64,
+    expired: u64,
+    evicted: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    slots: HashMap<String, Slot>,
+    /// Monotonic recency clock (bumped per touch; ordering, not time).
+    lru_tick: u64,
+    /// Session-id sequence.
+    next_id: u64,
+    counters: Counters,
+}
+
+/// Session ids with TTL + LRU lifecycle. All public methods take the
+/// current time from the caller-facing wrappers; the `*_at` variants
+/// exist so lifecycle tests can drive a synthetic clock.
+#[derive(Debug)]
+pub struct SessionStore {
+    ttl: Duration,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+/// Store occupancy and lifecycle counters, as reported by `/v1/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live sessions (idle + busy).
+    pub live: usize,
+    /// Sessions ever opened.
+    pub opened: u64,
+    /// Sessions reaped by TTL expiry.
+    pub expired: u64,
+    /// Sessions evicted by LRU capacity pressure.
+    pub evicted: u64,
+}
+
+impl SessionStore {
+    /// A store reaping idle sessions after `ttl`, holding at most
+    /// `capacity` live sessions (LRU-evicting idle ones beyond that).
+    pub fn new(ttl: Duration, capacity: usize) -> Self {
+        SessionStore {
+            ttl,
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                lru_tick: 0,
+                next_id: 1,
+                counters: Counters::default(),
+            }),
+        }
+    }
+
+    /// Admits a fresh session, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::store_full`] when the store is at capacity and
+    /// every resident session is busy.
+    pub fn open(&self, model: &str, session: DiagnosisSession) -> Result<String, ApiError> {
+        self.open_at(model, session, Instant::now())
+    }
+
+    /// [`SessionStore::open`] on an explicit clock.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SessionStore::open`].
+    pub fn open_at(
+        &self,
+        model: &str,
+        session: DiagnosisSession,
+        now: Instant,
+    ) -> Result<String, ApiError> {
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.reap_expired(self.ttl, now);
+        while inner.slots.len() >= self.capacity {
+            if !inner.evict_lru() {
+                return Err(ApiError::store_full());
+            }
+        }
+        let id = format!("s{:08x}", inner.next_id);
+        inner.next_id += 1;
+        inner.counters.opened += 1;
+        let lru = inner.tick();
+        inner.slots.insert(
+            id.clone(),
+            Slot::Idle {
+                stored: Box::new(StoredSession {
+                    session,
+                    model: model.to_string(),
+                    rounds: 0,
+                }),
+                last_used: now,
+                lru,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Checks a session out for one decision round, leaving a busy
+    /// marker behind.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::unknown_session`] for absent/expired ids,
+    /// [`ApiError::session_busy`] when a round is already in flight.
+    pub fn checkout(&self, id: &str) -> Result<StoredSession, ApiError> {
+        self.checkout_at(id, Instant::now())
+    }
+
+    /// [`SessionStore::checkout`] on an explicit clock.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SessionStore::checkout`].
+    pub fn checkout_at(&self, id: &str, now: Instant) -> Result<StoredSession, ApiError> {
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.reap_expired(self.ttl, now);
+        match inner.slots.get_mut(id) {
+            None | Some(Slot::Doomed) => Err(ApiError::unknown_session(id)),
+            Some(Slot::Busy) => Err(ApiError::session_busy(id)),
+            Some(slot) => {
+                let Slot::Idle { stored, .. } = std::mem::replace(slot, Slot::Busy) else {
+                    unreachable!("non-idle arms matched above");
+                };
+                Ok(*stored)
+            }
+        }
+    }
+
+    /// Returns a checked-out session to the store, refreshing its TTL
+    /// and recency. A session closed while busy is dropped here.
+    pub fn checkin(&self, id: &str, stored: StoredSession) {
+        self.checkin_at(id, stored, Instant::now());
+    }
+
+    /// [`SessionStore::checkin`] on an explicit clock.
+    pub fn checkin_at(&self, id: &str, stored: StoredSession, now: Instant) {
+        let mut inner = self.inner.lock().expect("store lock");
+        let lru = inner.tick();
+        match inner.slots.get_mut(id) {
+            Some(slot @ Slot::Busy) => {
+                *slot = Slot::Idle {
+                    stored: Box::new(stored),
+                    last_used: now,
+                    lru,
+                };
+            }
+            Some(Slot::Doomed) => {
+                inner.slots.remove(id);
+            }
+            // Closed (removed) while busy, or never known: drop silently.
+            _ => {}
+        }
+    }
+
+    /// Closes a session, dropping it now (idle) or at check-in (busy).
+    /// Returns whether the id referred to a live session.
+    pub fn close(&self, id: &str) -> bool {
+        let mut inner = self.inner.lock().expect("store lock");
+        match inner.slots.get_mut(id) {
+            Some(slot @ Slot::Busy) => {
+                *slot = Slot::Doomed;
+                true
+            }
+            Some(Slot::Doomed) => false,
+            Some(_) => {
+                inner.slots.remove(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Forcibly removes a session in *any* state, busy included — the
+    /// panic-recovery path: a round that unwound mid-mutation must not
+    /// leave a wedged `Busy` marker, and the (possibly inconsistent)
+    /// session must never serve again.
+    pub fn abort(&self, id: &str) {
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.slots.remove(id);
+    }
+
+    /// Occupancy and lifecycle counters. Reaps expired idle sessions
+    /// first, so a monitoring poll (`/healthz`, `/v1/stats`) is enough
+    /// to keep an otherwise-idle server's memory bounded by the TTL.
+    pub fn stats(&self) -> StoreStats {
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.reap_expired(self.ttl, Instant::now());
+        StoreStats {
+            live: inner.slots.len(),
+            opened: inner.counters.opened,
+            expired: inner.counters.expired,
+            evicted: inner.counters.evicted,
+        }
+    }
+
+    /// Reaps expired idle sessions against an explicit clock (the serving
+    /// path piggy-backs this on open/checkout; tests call it directly).
+    pub fn reap_at(&self, now: Instant) {
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.reap_expired(self.ttl, now);
+    }
+}
+
+impl Inner {
+    fn tick(&mut self) -> u64 {
+        self.lru_tick += 1;
+        self.lru_tick
+    }
+
+    fn reap_expired(&mut self, ttl: Duration, now: Instant) {
+        let before = self.slots.len();
+        self.slots.retain(|_, slot| match slot {
+            Slot::Idle { last_used, .. } => now.saturating_duration_since(*last_used) < ttl,
+            _ => true,
+        });
+        self.counters.expired += (before - self.slots.len()) as u64;
+    }
+
+    /// Evicts the least-recently-used idle session; `false` when every
+    /// resident session is busy.
+    fn evict_lru(&mut self) -> bool {
+        let victim = self
+            .slots
+            .iter()
+            .filter_map(|(id, slot)| match slot {
+                Slot::Idle { lru, .. } => Some((*lru, id.clone())),
+                _ => None,
+            })
+            .min();
+        match victim {
+            Some((_, id)) => {
+                self.slots.remove(&id);
+                self.counters.evicted += 1;
+                true
+            }
+            None => false,
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Session-store lifecycle: TTL expiry, LRU eviction, checkout/checkin
+//! exclusivity, and capacity behaviour — all on a synthetic clock via
+//! the store's `*_at` methods, so nothing here sleeps.
+
+use abbd_core::fixtures::toy_compiled_model;
+use abbd_core::{CompiledModel, DiagnosisSession, StoppingPolicy};
+use abbd_server::SessionStore;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn session(compiled: &Arc<CompiledModel>) -> DiagnosisSession {
+    DiagnosisSession::new(Arc::clone(compiled), StoppingPolicy::default()).unwrap()
+}
+
+const TTL: Duration = Duration::from_secs(60);
+
+#[test]
+fn ttl_reaps_idle_sessions_and_checkin_refreshes() {
+    let compiled = toy_compiled_model();
+    let store = SessionStore::new(TTL, 16);
+    let t0 = Instant::now();
+    let id = store.open_at("toy", session(&compiled), t0).unwrap();
+
+    // Just under the TTL the session is alive; the checkout/checkin
+    // round refreshes its clock.
+    let t1 = t0 + TTL - Duration::from_secs(1);
+    let stored = store.checkout_at(&id, t1).unwrap();
+    assert_eq!(stored.model, "toy");
+    store.checkin_at(&id, stored, t1);
+
+    // A full TTL after the *refresh* (not the open), it survives ...
+    store.reap_at(t1 + TTL - Duration::from_secs(1));
+    assert_eq!(store.stats().live, 1);
+
+    // ... and at the refresh + TTL boundary it is reaped.
+    store.reap_at(t1 + TTL);
+    assert_eq!(store.stats().live, 0);
+    assert_eq!(store.stats().expired, 1);
+    let err = store.checkout_at(&id, t1 + TTL).unwrap_err();
+    assert_eq!((err.status, err.code.as_str()), (404, "unknown_session"));
+}
+
+#[test]
+fn expiry_is_lazy_on_open_and_checkout() {
+    let compiled = toy_compiled_model();
+    let store = SessionStore::new(TTL, 16);
+    let t0 = Instant::now();
+    let stale = store.open_at("toy", session(&compiled), t0).unwrap();
+    // Opening a new session far in the future reaps the stale one as a
+    // side effect — no background thread needed.
+    let fresh = store
+        .open_at("toy", session(&compiled), t0 + 2 * TTL)
+        .unwrap();
+    assert_eq!(store.stats().live, 1);
+    assert_eq!(store.stats().expired, 1);
+    assert!(store.checkout_at(&stale, t0 + 2 * TTL).is_err());
+    assert!(store.checkout_at(&fresh, t0 + 2 * TTL).is_ok());
+}
+
+#[test]
+fn lru_evicts_the_least_recently_used_idle_session() {
+    let compiled = toy_compiled_model();
+    let store = SessionStore::new(TTL, 3);
+    let t0 = Instant::now();
+    let a = store.open_at("toy", session(&compiled), t0).unwrap();
+    let b = store.open_at("toy", session(&compiled), t0).unwrap();
+    let c = store.open_at("toy", session(&compiled), t0).unwrap();
+
+    // Touch `a`, making `b` the coldest.
+    let stored = store.checkout_at(&a, t0).unwrap();
+    store.checkin_at(&a, stored, t0);
+
+    let d = store.open_at("toy", session(&compiled), t0).unwrap();
+    assert_eq!(store.stats().live, 3);
+    assert_eq!(store.stats().evicted, 1);
+    assert!(store.checkout_at(&b, t0).is_err(), "b was LRU and evicted");
+    for id in [&a, &c, &d] {
+        let stored = store.checkout_at(id, t0).unwrap();
+        store.checkin_at(id, stored, t0);
+    }
+}
+
+#[test]
+fn busy_sessions_resist_concurrent_rounds_eviction_and_expiry() {
+    let compiled = toy_compiled_model();
+    let store = SessionStore::new(TTL, 1);
+    let t0 = Instant::now();
+    let id = store.open_at("toy", session(&compiled), t0).unwrap();
+    let stored = store.checkout_at(&id, t0).unwrap();
+
+    // A second round on the same session conflicts instead of
+    // interleaving evidence.
+    let busy = store.checkout_at(&id, t0).unwrap_err();
+    assert_eq!((busy.status, busy.code.as_str()), (409, "session_busy"));
+
+    // At capacity with the only resident busy, an open is refused.
+    let full = store.open_at("toy", session(&compiled), t0).unwrap_err();
+    assert_eq!((full.status, full.code.as_str()), (503, "store_full"));
+
+    // TTL cannot reap a busy session (the round may legitimately be
+    // long); it starts aging again from its check-in.
+    store.reap_at(t0 + 3 * TTL);
+    assert_eq!(store.stats().live, 1);
+    store.checkin_at(&id, stored, t0 + 3 * TTL);
+    let stored = store.checkout_at(&id, t0 + 3 * TTL).unwrap();
+    store.checkin_at(&id, stored, t0 + 3 * TTL);
+}
+
+#[test]
+fn close_drops_idle_now_and_busy_at_checkin() {
+    let compiled = toy_compiled_model();
+    let store = SessionStore::new(TTL, 16);
+    let t0 = Instant::now();
+
+    let idle = store.open_at("toy", session(&compiled), t0).unwrap();
+    assert!(store.close(&idle));
+    assert!(!store.close(&idle), "double close reports not-found");
+    assert_eq!(store.stats().live, 0);
+
+    let busy = store.open_at("toy", session(&compiled), t0).unwrap();
+    let stored = store.checkout_at(&busy, t0).unwrap();
+    assert!(store.close(&busy));
+    // The round in flight finishes; its check-in completes the close.
+    store.checkin_at(&busy, stored, t0);
+    assert_eq!(store.stats().live, 0);
+    assert!(store.checkout_at(&busy, t0).is_err());
+}
+
+#[test]
+fn stored_sessions_keep_their_evidence_between_rounds() {
+    let compiled = toy_compiled_model();
+    let store = SessionStore::new(TTL, 16);
+    let mut s = session(&compiled);
+    s.observe("pin", 1).unwrap();
+    let id = store.open("toy", s).unwrap();
+
+    let mut stored = store.checkout(&id).unwrap();
+    stored.session.observe("out1", 0).unwrap();
+    stored.session.mark_failing("out1");
+    stored.rounds += 1;
+    store.checkin(&id, stored);
+
+    let stored = store.checkout(&id).unwrap();
+    assert_eq!(stored.rounds, 1);
+    assert_eq!(stored.session.observation().state_of("pin"), Some(1));
+    assert_eq!(stored.session.observation().state_of("out1"), Some(0));
+    assert_eq!(stored.session.observation().failing(), ["out1"]);
+    store.checkin(&id, stored);
+}

@@ -1,0 +1,94 @@
+//! Serving diagnosis over the wire: start an in-process `abbd-server`,
+//! open a stored session, drive a short adaptive loop over HTTP, and
+//! read the verdict — the walkthrough of the whole service surface.
+//!
+//! ```text
+//! cargo run --release --example serve_and_diagnose
+//! ```
+
+use abbd::core::fixtures::toy_compiled_model;
+use abbd::core::{Observation, SessionReport, SessionRequest};
+use abbd::server::{
+    Client, HealthReport, ModelRegistry, ModelsReport, OpenSessionReply, Server, ServerConfig,
+    StatsReport,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Compile the registry once and start serving. (A real deployment
+    //    runs the `abbd-serve` binary with the fitted regulator; the toy
+    //    model keeps this example instant.)
+    let registry = ModelRegistry::new()
+        .insert("toy", toy_compiled_model())
+        .freeze();
+    let server = Server::start(registry, ServerConfig::default())?;
+    println!("serving on http://{}", server.addr());
+
+    // 2. Any HTTP client works; this one ships with the crate.
+    let mut client = Client::connect(server.addr())?;
+    let (_, health) = client.get("/healthz")?;
+    let health: HealthReport = serde_json::from_str(&health)?;
+    println!("health: {} ({} model(s))", health.status, health.models);
+    let (_, models) = client.get("/v1/models")?;
+    let models: ModelsReport = serde_json::from_str(&models)?;
+    for m in &models.models {
+        println!(
+            "model `{}`: {} variables, {} latent blocks, {} observables",
+            m.name, m.variables, m.latents, m.observables
+        );
+    }
+
+    // 3. Open a stored session: the device under diagnosis. Its
+    //    propagation workspaces are allocated once, here.
+    let (_, open) = client.post("/v1/models/toy/sessions", "{}")?;
+    let open: OpenSessionReply = serde_json::from_str(&open)?;
+    println!("opened session {}", open.session_id);
+
+    // 4. The adaptive loop: post what we know, follow the ranked
+    //    recommendation, answer from the bench, repeat until the server
+    //    says stop. Here the bench is a closure playing a dead `bias`
+    //    block (out1/out2 read low and failing).
+    let bench = |target: &str| match target {
+        "out1" | "out2" => (0usize, true),
+        _ => (1usize, false),
+    };
+    let mut observation = Observation::new();
+    observation.set("pin", 1);
+    let round_path = format!("/v1/sessions/{}/round", open.session_id);
+    for round in 1.. {
+        let request = SessionRequest::new(observation.clone());
+        let (_, body) = client.post(&round_path, &serde_json::to_string(&request)?)?;
+        let report: SessionReport = serde_json::from_str(&body)?;
+        println!(
+            "round {round}: log-likelihood {:.3}, top candidate {:?}",
+            report.log_likelihood, report.top_candidate
+        );
+        if let Some(stop) = report.stop {
+            println!("loop stops: {stop:?}");
+            break;
+        }
+        let next = &report.ranked[0];
+        let (state, failing) = bench(next.action.target());
+        println!(
+            "  server recommends `{}` (gain {:.4} nats); bench answers state {state}{}",
+            next.action,
+            next.gain,
+            if failing { " FAILING" } else { "" }
+        );
+        observation.set(next.action.target(), state);
+        if failing {
+            observation.mark_failing(next.action.target());
+        }
+    }
+
+    // 5. Close the session and look at the serving counters.
+    client.delete(&format!("/v1/sessions/{}", open.session_id))?;
+    let (_, stats) = client.get("/v1/stats")?;
+    let stats: StatsReport = serde_json::from_str(&stats)?;
+    println!(
+        "served {} rounds over {} requests; worker compiles: {} (always 0 — \
+         serving reuses the startup compilation)",
+        stats.rounds, stats.requests, stats.worker_compiles
+    );
+    server.shutdown();
+    Ok(())
+}

@@ -1,0 +1,201 @@
+//! `abbd-loadgen` — drive a running `abbd-serve` and measure throughput.
+//!
+//! Generates the d1 decision-round workload (the regulator case study's
+//! control states, all posteriors + ranked actions per round) in three
+//! shapes and reports rounds/sec and mean latency:
+//!
+//! * `--mode session` (default): each client opens one stored session
+//!   and posts rounds to it — the store-amortised path;
+//! * `--mode stateless`: each round goes to `/v1/models/{m}/serve`,
+//!   paying the fresh-session setup every time;
+//! * `--mode batch`: `--batch-size` evidence sets per
+//!   `/v1/models/{m}/diagnose_batch` request (diagnosis only, fanned
+//!   across the server's worker pool); the rate counts *items*.
+//!
+//! ```text
+//! abbd-loadgen [--addr 127.0.0.1:7171] [--model regulator]
+//!              [--mode session|stateless|batch] [--rounds 200]
+//!              [--clients 1] [--batch-size 16]
+//! ```
+
+use abbd::core::{Observation, SessionRequest};
+use abbd::designs::regulator::cases::case_studies;
+use abbd::server::{Client, OpenSessionReply};
+use std::process::ExitCode;
+use std::time::Instant;
+
+#[derive(Clone)]
+struct Args {
+    addr: String,
+    model: String,
+    mode: String,
+    rounds: usize,
+    clients: usize,
+    batch_size: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7171".to_string(),
+        model: "regulator".to_string(),
+        mode: "session".to_string(),
+        rounds: 200,
+        clients: 1,
+        batch_size: 16,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--model" => args.model = value("--model")?,
+            "--mode" => args.mode = value("--mode")?,
+            "--rounds" => {
+                args.rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?;
+            }
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+            }
+            "--batch-size" => {
+                args.batch_size = value("--batch-size")?
+                    .parse()
+                    .map_err(|e| format!("--batch-size: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "abbd-loadgen: throughput driver for abbd-serve\n\n  \
+                     --addr ADDR      server address (default 127.0.0.1:7171)\n  \
+                     --model NAME     registry model (default regulator)\n  \
+                     --mode MODE      session | stateless | batch (default session)\n  \
+                     --rounds N       rounds per client (default 200)\n  \
+                     --clients N      concurrent clients (default 1)\n  \
+                     --batch-size N   evidence sets per batch request (default 16)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if !["session", "stateless", "batch"].contains(&args.mode.as_str()) {
+        return Err(format!(
+            "--mode must be session|stateless|batch, got `{}`",
+            args.mode
+        ));
+    }
+    Ok(args)
+}
+
+/// The d1 control states — the workload every mode posts.
+fn d1_controls() -> Observation {
+    let case = &case_studies()[0];
+    let mut observation = Observation::new();
+    for (name, state) in case.controls {
+        observation.set(name, state);
+    }
+    observation
+}
+
+fn check(status: u16, body: &str, what: &str) -> Result<(), String> {
+    if status == 200 || status == 201 {
+        Ok(())
+    } else {
+        Err(format!("{what} answered {status}: {body}"))
+    }
+}
+
+/// Runs one client's share; returns items completed.
+fn run_client(args: &Args) -> Result<usize, String> {
+    let mut client = Client::connect(&args.addr).map_err(|e| format!("connect: {e}"))?;
+    let request = SessionRequest::new(d1_controls());
+    let round_json = serde_json::to_string(&request).map_err(|e| e.to_string())?;
+    match args.mode.as_str() {
+        "stateless" => {
+            let path = format!("/v1/models/{}/serve", args.model);
+            for _ in 0..args.rounds {
+                let (status, body) = client.post(&path, &round_json).map_err(|e| e.to_string())?;
+                check(status, &body, "serve")?;
+            }
+            Ok(args.rounds)
+        }
+        "session" => {
+            let (status, body) = client
+                .post(&format!("/v1/models/{}/sessions", args.model), "{}")
+                .map_err(|e| e.to_string())?;
+            check(status, &body, "open")?;
+            let open: OpenSessionReply =
+                serde_json::from_str(&body).map_err(|e| format!("open reply: {e}"))?;
+            let path = format!("/v1/sessions/{}/round", open.session_id);
+            for _ in 0..args.rounds {
+                let (status, body) = client.post(&path, &round_json).map_err(|e| e.to_string())?;
+                check(status, &body, "round")?;
+            }
+            let _ = client.delete(&format!("/v1/sessions/{}", open.session_id));
+            Ok(args.rounds)
+        }
+        _ => {
+            let observations: Vec<Observation> =
+                (0..args.batch_size).map(|_| d1_controls()).collect();
+            let body = serde_json::to_string(&abbd::server::BatchRequest {
+                observations,
+                deduction: None,
+            })
+            .map_err(|e| e.to_string())?;
+            let path = format!("/v1/models/{}/diagnose_batch", args.model);
+            let requests = args.rounds.div_ceil(args.batch_size).max(1);
+            for _ in 0..requests {
+                let (status, reply) = client.post(&path, &body).map_err(|e| e.to_string())?;
+                check(status, &reply, "diagnose_batch")?;
+            }
+            Ok(requests * args.batch_size)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("abbd-loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let start = Instant::now();
+    let results: Vec<Result<usize, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|_| {
+                let args = args.clone();
+                scope.spawn(move || run_client(&args))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let mut total = 0usize;
+    for result in results {
+        match result {
+            Ok(items) => total += items,
+            Err(e) => {
+                eprintln!("abbd-loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let secs = elapsed.as_secs_f64();
+    println!(
+        "{} mode: {} items in {:.2}s across {} client(s) = {:.0} items/sec ({:.3} ms mean)",
+        args.mode,
+        total,
+        secs,
+        args.clients,
+        total as f64 / secs,
+        1e3 * secs * args.clients as f64 / total as f64,
+    );
+    ExitCode::SUCCESS
+}

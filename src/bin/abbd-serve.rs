@@ -1,0 +1,181 @@
+//! `abbd-serve` — launch the diagnosis service.
+//!
+//! Compiles the model registry once at startup — the paper's voltage
+//! regulator (fitted end-to-end from a synthesized failing population)
+//! plus any `ModelBundle` JSON files passed on the CLI — then serves
+//! diagnosis sessions over HTTP until interrupted.
+//!
+//! ```text
+//! abbd-serve [--addr 127.0.0.1:7171] [--workers 4]
+//!            [--session-ttl-secs 900] [--session-capacity 1024]
+//!            [--devices 24] [--seed 42] [--full-fit] [--no-regulator]
+//!            [--model NAME=BUNDLE.json]...
+//! ```
+//!
+//! `--devices`/`--seed` control the regulator fit (quick 8-iteration EM
+//! by default; `--full-fit` uses the library's reference algorithm).
+//! Each `--model` registers one additional bundle (see
+//! `abbd_server::ModelBundle` for the format).
+
+use abbd::core::LearnAlgorithm;
+use abbd::designs::regulator;
+use abbd::server::{ModelBundle, ModelRegistry, Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    config: ServerConfig,
+    devices: usize,
+    seed: u64,
+    full_fit: bool,
+    regulator: bool,
+    bundles: Vec<(String, String)>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: ServerConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            ..ServerConfig::default()
+        },
+        devices: 24,
+        seed: 42,
+        full_fit: false,
+        regulator: true,
+        bundles: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--addr" => args.config.addr = value("--addr")?,
+            "--workers" => {
+                args.config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--session-ttl-secs" => {
+                let secs: u64 = value("--session-ttl-secs")?
+                    .parse()
+                    .map_err(|e| format!("--session-ttl-secs: {e}"))?;
+                args.config.session_ttl = Duration::from_secs(secs);
+            }
+            "--session-capacity" => {
+                args.config.session_capacity = value("--session-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--session-capacity: {e}"))?;
+            }
+            "--devices" => {
+                args.devices = value("--devices")?
+                    .parse()
+                    .map_err(|e| format!("--devices: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--full-fit" => args.full_fit = true,
+            "--no-regulator" => args.regulator = false,
+            "--model" => {
+                let spec = value("--model")?;
+                let (name, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--model expects NAME=PATH, got `{spec}`"))?;
+                args.bundles.push((name.to_string(), path.to_string()));
+            }
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if !args.regulator && args.bundles.is_empty() {
+        return Err("nothing to serve: --no-regulator without any --model".to_string());
+    }
+    Ok(args)
+}
+
+const HELP: &str = "abbd-serve: the block-level Bayesian diagnosis service
+
+  --addr ADDR              bind address (default 127.0.0.1:7171)
+  --workers N              worker threads (default 4)
+  --session-ttl-secs N     idle session lifetime (default 900)
+  --session-capacity N     max live sessions (default 1024)
+  --devices N              regulator fit population (default 24)
+  --seed N                 regulator fit seed (default 42)
+  --full-fit               reference learning instead of quick EM
+  --no-regulator           skip the built-in regulator model
+  --model NAME=PATH        register a ModelBundle JSON file (repeatable)";
+
+fn build_registry(args: &Args) -> Result<ModelRegistry, String> {
+    let mut registry = ModelRegistry::new();
+    if args.regulator {
+        let algorithm = if args.full_fit {
+            regulator::default_algorithm()
+        } else {
+            LearnAlgorithm::Em(abbd::bbn::learn::EmConfig {
+                max_iterations: 8,
+                tolerance: 1e-4,
+            })
+        };
+        eprintln!(
+            "fitting regulator model ({} devices, seed {})...",
+            args.devices, args.seed
+        );
+        let fitted = regulator::fit(args.devices, args.seed, algorithm)
+            .map_err(|e| format!("regulator fit failed: {e}"))?;
+        registry = registry.insert("regulator", Arc::clone(fitted.engine.compiled()));
+    }
+    for (name, path) in &args.bundles {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read bundle `{path}`: {e}"))?;
+        let bundle =
+            ModelBundle::from_json(&text).map_err(|e| format!("bundle `{path}`: {}", e.message))?;
+        registry = registry
+            .insert_bundle(name.clone(), &bundle)
+            .map_err(|e| format!("bundle `{path}` does not compile: {}", e.message))?;
+        eprintln!("registered model `{name}` from {path}");
+    }
+    Ok(registry)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("abbd-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = match build_registry(&args) {
+        Ok(registry) => registry.freeze(),
+        Err(e) => {
+            eprintln!("abbd-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let names: Vec<String> = registry.list().iter().map(|m| m.name.clone()).collect();
+    let server = match Server::start(registry, args.config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("abbd-serve: cannot bind {}: {e}", args.config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "serving {} model(s) [{}] on http://{} with {} workers (ttl {:?}, {} session slots)",
+        names.len(),
+        names.join(", "),
+        server.addr(),
+        args.config.workers,
+        args.config.session_ttl,
+        args.config.session_capacity,
+    );
+    eprintln!("try: curl http://{}/healthz", server.addr());
+    loop {
+        std::thread::park();
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`core`] | `abbd-core` | model builder, diagnostic engine, candidate deduction |
 //! | [`designs`] | `abbd-designs` | the paper's two reference circuits, end to end |
 //! | [`baselines`] | `abbd-baselines` | fault dictionary, naive Bayes, random floor |
+//! | [`server`] | `abbd-server` | multi-threaded HTTP diagnosis service (registry + session store + batch fan-out) |
 //!
 //! ## The five-minute tour
 //!
@@ -52,3 +53,4 @@ pub use abbd_blocks as blocks;
 pub use abbd_core as core;
 pub use abbd_designs as designs;
 pub use abbd_dlog2bbn as dlog2bbn;
+pub use abbd_server as server;
