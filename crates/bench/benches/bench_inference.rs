@@ -398,6 +398,29 @@ fn bench_server_throughput(c: &mut Criterion) {
             black_box(body.len())
         })
     });
+    group.bench_function("session_round_wire_binary_delta", |b| {
+        // The PR-6 wire diet measured together: after one full round
+        // pins the control evidence server-side, every timed round is
+        // an *empty delta* (nothing new to say — the steady-state
+        // polling shape) encoded as one compact binary frame, with the
+        // report returned as a binary frame too.
+        let mut client = Client::connect(server.addr()).expect("client connects");
+        let (status, body) = client
+            .post("/v1/models/regulator/sessions", "{}")
+            .expect("open session");
+        assert_eq!(status, 201);
+        let open: OpenSessionReply = serde_json::from_str(&body).expect("open reply");
+        let path = format!("/v1/sessions/{}/round", open.session_id);
+        let (status, _) = client.post(&path, &round_json).expect("warmup round");
+        assert_eq!(status, 200);
+        let delta = abbd_core::SessionRequest::new(Observation::new()).into_delta();
+        let frame = abbd_server::codec::to_frame(&delta);
+        b.iter(|| {
+            let (status, body) = client.post_binary(&path, &frame).expect("delta round");
+            assert_eq!(status, 200);
+            black_box(body.len())
+        })
+    });
     group.bench_function("store_round_inprocess", |b| {
         let store = abbd_server::SessionStore::new(std::time::Duration::from_secs(600), 16);
         let session =
@@ -423,6 +446,26 @@ fn bench_server_throughput(c: &mut Criterion) {
             let (status, body) = client
                 .post("/v1/models/regulator/diagnose_batch", &batch_json)
                 .expect("batch round");
+            assert_eq!(status, 200);
+            black_box(body.len())
+        })
+    });
+    group.bench_function("batch_diagnose_16_wire_binary", |b| {
+        // Streaming row-oriented binary batch: one header frame (the
+        // shared deduction policy) followed by 16 observation frames;
+        // the reply streams 16 entry frames back. Same fan-out as the
+        // JSON row above, minus the JSON-string framing both ways.
+        let mut wire = Vec::new();
+        let header = serde::Value::Obj(vec![("deduction".to_string(), serde::Value::Null)]);
+        abbd_server::codec::write_frame(&header, &mut wire);
+        for _ in 0..16 {
+            abbd_server::codec::write_frame(&serde::Serialize::to_value(&controls), &mut wire);
+        }
+        let mut client = Client::connect(server.addr()).expect("client connects");
+        b.iter(|| {
+            let (status, body) = client
+                .post_binary("/v1/models/regulator/diagnose_batch", &wire)
+                .expect("binary batch");
             assert_eq!(status, 200);
             black_box(body.len())
         })

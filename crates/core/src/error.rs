@@ -64,6 +64,18 @@ pub enum Error {
         /// Human-readable explanation.
         reason: String,
     },
+    /// A delta round re-observed a variable with a state contradicting
+    /// the evidence the session already stored. Delta rounds assert
+    /// consistency with history (unlike full rounds, which overwrite),
+    /// so the contradiction is refused rather than silently absorbed.
+    InconsistentDelta {
+        /// The re-observed variable.
+        variable: String,
+        /// The state the session already stored.
+        stored: usize,
+        /// The conflicting state the delta carried.
+        requested: usize,
+    },
     /// A closed-loop measurement oracle failed to execute the chosen test.
     Oracle {
         /// The variable whose measurement was requested.
@@ -105,6 +117,15 @@ impl fmt::Display for Error {
             Error::InvalidAction { action, reason } => {
                 write!(f, "invalid action `{action}`: {reason}")
             }
+            Error::InconsistentDelta {
+                variable,
+                stored,
+                requested,
+            } => write!(
+                f,
+                "delta round re-observes `{variable}` as state {requested}, \
+                 but the session stores state {stored}"
+            ),
             Error::Oracle { variable, reason } => {
                 write!(f, "measurement of `{variable}` failed: {reason}")
             }

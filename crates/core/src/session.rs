@@ -805,6 +805,17 @@ pub struct SessionRequest {
     /// policy only enters at the deduction layer.
     #[serde(default)]
     pub deduction: Option<DeductionPolicy>,
+    /// Marks the request as an **incremental** (delta) round: its
+    /// observation carries only the measurements *new since the last
+    /// round*, not the device's cumulative evidence. A delta asserts
+    /// consistency with the session's history — re-sending an
+    /// already-stored variable with the *same* state is an idempotent
+    /// no-op, but a contradicting state is refused whole with
+    /// [`Error::InconsistentDelta`] (a full round would silently
+    /// overwrite instead). On a fresh session there is no history, so a
+    /// delta behaves exactly like a full round. Wire default: `false`.
+    #[serde(default)]
+    pub delta: bool,
 }
 
 impl SessionRequest {
@@ -818,7 +829,17 @@ impl SessionRequest {
             policy: StoppingPolicy::default(),
             cost: CostModel::unit(),
             deduction: None,
+            delta: false,
         }
+    }
+
+    /// The same request flagged as an incremental (delta) round: the
+    /// observation is interpreted as *new since the last round* and must
+    /// not contradict the session's stored evidence.
+    #[must_use]
+    pub fn into_delta(mut self) -> Self {
+        self.delta = true;
+        self
     }
 }
 
@@ -1368,6 +1389,12 @@ impl DiagnosisSession {
     /// back into its store and let the client retry with a corrected
     /// request).
     ///
+    /// A **delta** request ([`SessionRequest::delta`]) additionally
+    /// asserts consistency with history: every variable it re-observes
+    /// must carry the state the session already stores, or the whole
+    /// round is refused with [`Error::InconsistentDelta`] before any
+    /// state changes.
+    ///
     /// # Errors
     ///
     /// Propagates observation/action/strategy/cost/policy validation
@@ -1379,6 +1406,19 @@ impl DiagnosisSession {
         request.cost.validate()?;
         if let Some(deduction) = &request.deduction {
             deduction.validate()?;
+        }
+        if request.delta {
+            for (name, state) in request.observation.iter() {
+                if let Some(stored) = self.observation.state_of(name) {
+                    if stored != state {
+                        return Err(Error::InconsistentDelta {
+                            variable: name.to_string(),
+                            stored,
+                            requested: state,
+                        });
+                    }
+                }
+            }
         }
         self.compiled.evidence_from(&request.observation)?;
         let staged_actions = if request.actions.is_empty() {
@@ -2141,6 +2181,81 @@ mod tests {
             .serve(&SessionRequest::new(consistent))
             .expect("fresh serve");
         assert_eq!(fresh, baseline);
+    }
+
+    /// Delta rounds absorb only what is new, answer identically to the
+    /// equivalent cumulative full round, and refuse contradictions whole
+    /// — the absorb stays transactional, so a failed delta leaves the
+    /// session exactly as it was.
+    #[test]
+    fn delta_rounds_accumulate_and_refuse_contradictions() {
+        let compiled = toy_compiled_model();
+        let mut session =
+            DiagnosisSession::new(Arc::clone(&compiled), StoppingPolicy::default()).unwrap();
+
+        // Round 1: a full round with the controls.
+        let mut controls = Observation::new();
+        controls.set("pin", 1);
+        session
+            .serve_round(&SessionRequest::new(controls))
+            .expect("controls round serves");
+
+        // Round 2: the delta carries only the new measurement, yet the
+        // report matches the cumulative full round on a fresh session.
+        let mut new_only = Observation::new();
+        new_only.set("out1", 0);
+        new_only.mark_failing("out1");
+        let delta_report = session
+            .serve_round(&SessionRequest::new(new_only).into_delta())
+            .expect("delta round serves");
+        let mut cumulative = Observation::new();
+        cumulative.set("pin", 1).set("out1", 0);
+        cumulative.mark_failing("out1");
+        let reference = compiled
+            .serve(&SessionRequest::new(cumulative.clone()))
+            .expect("cumulative serve");
+        assert_eq!(delta_report, reference);
+
+        // On a fresh session there is no history to contradict, so a
+        // delta behaves exactly like a full round.
+        assert_eq!(
+            compiled
+                .serve(&SessionRequest::new(cumulative).into_delta())
+                .expect("fresh delta serve"),
+            reference
+        );
+
+        // Re-sending an already-stored state is an idempotent no-op...
+        let mut same = Observation::new();
+        same.set("out1", 0);
+        assert_eq!(
+            session
+                .serve_round(&SessionRequest::new(same).into_delta())
+                .expect("idempotent delta"),
+            delta_report
+        );
+
+        // ...but a contradicting state is refused whole, naming the
+        // conflict, and nothing from the rejected delta leaks in.
+        let mut conflict = Observation::new();
+        conflict.set("out2", 1);
+        conflict.set("out1", 1);
+        let err = session
+            .serve_round(&SessionRequest::new(conflict).into_delta())
+            .expect_err("contradicting delta must fail");
+        assert_eq!(
+            err,
+            Error::InconsistentDelta {
+                variable: "out1".into(),
+                stored: 0,
+                requested: 1,
+            }
+        );
+        assert_eq!(session.observation().state_of("out2"), None);
+        let replay = session
+            .serve_round(&SessionRequest::new(Observation::new()).into_delta())
+            .expect("session recovered");
+        assert_eq!(replay, delta_report);
     }
 
     #[test]

@@ -37,12 +37,36 @@ impl Client {
     /// Returns an [`io::Error`] for transport failures or replies this
     /// minimal parser cannot frame.
     pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, String)> {
+        let (status, bytes) = self.request_with(method, path, &[], body)?;
+        String::from_utf8(bytes)
+            .map(|text| (status, text))
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+    }
+
+    /// Sends one request with extra headers and reads the reply as raw
+    /// bytes — the general form behind [`Client::request`] and
+    /// [`Client::post_binary`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`].
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<(u16, Vec<u8>)> {
         // One buffer, one write: head and body leave in a single syscall
         // (and, with TCP_NODELAY, usually a single segment).
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: abbd\r\ncontent-length: {}\r\n\r\n",
-            body.len()
-        );
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: abbd\r\n");
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
         let mut frame = head.into_bytes();
         frame.extend_from_slice(body);
         self.writer.write_all(&frame)?;
@@ -78,9 +102,7 @@ impl Client {
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        String::from_utf8(body)
-            .map(|text| (status, text))
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+        Ok((status, body))
     }
 
     /// `GET path`.
@@ -108,6 +130,25 @@ impl Client {
     /// Same as [`Client::request`].
     pub fn delete(&mut self, path: &str) -> io::Result<(u16, String)> {
         self.request("DELETE", path, b"")
+    }
+
+    /// `POST path` with a compact-binary body (see [`crate::codec`]),
+    /// asking for a binary reply too. The reply bytes are binary frames
+    /// on success and JSON on error — check the status before decoding.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`].
+    pub fn post_binary(&mut self, path: &str, frame: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        self.request_with(
+            "POST",
+            path,
+            &[
+                ("content-type", crate::codec::CONTENT_TYPE),
+                ("accept", crate::codec::CONTENT_TYPE),
+            ],
+            frame,
+        )
     }
 
     /// Writes raw bytes down the connection *without* HTTP framing — the

@@ -1,0 +1,359 @@
+//! The compact binary wire codec: versioned, length-prefixed frames
+//! over the same [`serde::Value`] tree the JSON codec serialises.
+//!
+//! JSON stays the service default; a client opts into this codec per
+//! request by sending `content-type: application/x-abbd-binary`
+//! ([`CONTENT_TYPE`]) for its body and/or `accept:` the same type for
+//! the reply. Because both codecs are total maps over the identical
+//! `Value` tree (and the JSON shim prints floats shortest-roundtrip),
+//! **decoding either wire form yields the same value** — the proptest
+//! in `tests/codec.rs` pins that equivalence on arbitrary requests and
+//! reports.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! frame   := magic("aB", 2 bytes) version(1 byte, = 1) length(u32 LE) payload
+//! payload := value
+//! value   := 0x00                                 null
+//!          | 0x01                                 false
+//!          | 0x02                                 true
+//!          | 0x03 f64-LE(8 bytes)                 number
+//!          | 0x04 varint(n) utf8[n]               string
+//!          | 0x05 varint(n) value*n               array
+//!          | 0x06 varint(n) (varint(k) utf8[k] value)*n   object
+//! ```
+//!
+//! `varint` is LEB128 (7 bits per byte, little-endian, high bit =
+//! continue). The `length` prefix counts payload bytes only, so a
+//! reader can frame a stream without decoding it — the streaming
+//! row-oriented `diagnose_batch` body is exactly a sequence of these
+//! frames, one per row, never one giant document.
+//!
+//! Decoding is hardened for the fuzz harness: every length is checked
+//! against the remaining buffer before allocation, nesting depth is
+//! capped at [`MAX_DEPTH`], and every failure is an error value — junk
+//! frames at worst cost the client a `400`.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// The negotiated media type for this codec.
+pub const CONTENT_TYPE: &str = "application/x-abbd-binary";
+/// The two magic bytes opening every frame.
+pub const MAGIC: [u8; 2] = *b"aB";
+/// The codec version this build writes (and the only one it reads).
+pub const VERSION: u8 = 1;
+/// Hard cap on value-tree nesting, so adversarial frames cannot
+/// overflow the decoder's stack.
+pub const MAX_DEPTH: usize = 128;
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_NUM: u8 = 0x03;
+const TAG_STR: u8 = 0x04;
+const TAG_ARR: u8 = 0x05;
+const TAG_OBJ: u8 = 0x06;
+
+/// Why a frame could not be decoded (maps to `400 bad_request` at the
+/// service boundary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "binary codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError(message.into()))
+}
+
+fn write_varint(mut n: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (n & 0x7f) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut n = 0u64;
+    for shift in (0..64).step_by(7) {
+        let Some(&byte) = buf.get(*pos) else {
+            return err("truncated varint");
+        };
+        *pos += 1;
+        n |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(n);
+        }
+    }
+    err("varint too long")
+}
+
+/// Appends the binary encoding of `value` (no frame header) to `out`.
+pub fn write_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Num(n) => {
+            out.push(TAG_NUM);
+            out.extend_from_slice(&n.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            write_varint(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Arr(items) => {
+            out.push(TAG_ARR);
+            write_varint(items.len() as u64, out);
+            for item in items {
+                write_value(item, out);
+            }
+        }
+        Value::Obj(entries) => {
+            out.push(TAG_OBJ);
+            write_varint(entries.len() as u64, out);
+            for (key, item) in entries {
+                write_varint(key.len() as u64, out);
+                out.extend_from_slice(key.as_bytes());
+                write_value(item, out);
+            }
+        }
+    }
+}
+
+fn read_exact<'b>(buf: &'b [u8], pos: &mut usize, len: usize) -> Result<&'b [u8], CodecError> {
+    let end = pos.checked_add(len).filter(|&end| end <= buf.len());
+    let Some(end) = end else {
+        return err("length runs past the end of the frame");
+    };
+    let bytes = &buf[*pos..end];
+    *pos = end;
+    Ok(bytes)
+}
+
+fn read_string(buf: &[u8], pos: &mut usize) -> Result<String, CodecError> {
+    let len = read_varint(buf, pos)?;
+    let len = usize::try_from(len).map_err(|_| CodecError("string length overflows".into()))?;
+    let bytes = read_exact(buf, pos, len)?;
+    match std::str::from_utf8(bytes) {
+        Ok(s) => Ok(s.to_string()),
+        Err(_) => err("non-UTF-8 string bytes"),
+    }
+}
+
+fn read_value_at(buf: &[u8], pos: &mut usize, depth: usize) -> Result<Value, CodecError> {
+    if depth > MAX_DEPTH {
+        return err("nesting too deep");
+    }
+    let Some(&tag) = buf.get(*pos) else {
+        return err("truncated value");
+    };
+    *pos += 1;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_FALSE => Ok(Value::Bool(false)),
+        TAG_TRUE => Ok(Value::Bool(true)),
+        TAG_NUM => {
+            let bytes = read_exact(buf, pos, 8)?;
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(bytes);
+            Ok(Value::Num(f64::from_bits(u64::from_le_bytes(raw))))
+        }
+        TAG_STR => Ok(Value::Str(read_string(buf, pos)?)),
+        TAG_ARR => {
+            let count = read_varint(buf, pos)?;
+            let count =
+                usize::try_from(count).map_err(|_| CodecError("array length overflows".into()))?;
+            // Each element costs ≥ 1 byte, so an honest count never
+            // exceeds what is left — refuse it before allocating.
+            if count > buf.len() - *pos {
+                return err("array length runs past the end of the frame");
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(read_value_at(buf, pos, depth + 1)?);
+            }
+            Ok(Value::Arr(items))
+        }
+        TAG_OBJ => {
+            let count = read_varint(buf, pos)?;
+            let count =
+                usize::try_from(count).map_err(|_| CodecError("object length overflows".into()))?;
+            if count > buf.len() - *pos {
+                return err("object length runs past the end of the frame");
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let key = read_string(buf, pos)?;
+                let item = read_value_at(buf, pos, depth + 1)?;
+                entries.push((key, item));
+            }
+            Ok(Value::Obj(entries))
+        }
+        other => err(format!("unknown value tag 0x{other:02x}")),
+    }
+}
+
+/// Appends one whole frame (header + encoded `value`) to `out`.
+pub fn write_frame(value: &Value, out: &mut Vec<u8>) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    let length_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    write_value(value, out);
+    let payload = (out.len() - length_at - 4) as u32;
+    out[length_at..length_at + 4].copy_from_slice(&payload.to_le_bytes());
+}
+
+/// Reads one frame starting at `*pos`, advancing `*pos` past it.
+///
+/// # Errors
+///
+/// Fails on a bad magic/version, a length prefix running past the end
+/// of `buf`, trailing payload garbage, or a malformed value encoding.
+pub fn read_frame(buf: &[u8], pos: &mut usize) -> Result<Value, CodecError> {
+    let header = read_exact(buf, pos, 3)?;
+    if header[..2] != MAGIC {
+        return err("bad frame magic");
+    }
+    if header[2] != VERSION {
+        return err(format!("unsupported codec version {}", header[2]));
+    }
+    let length = read_exact(buf, pos, 4)?;
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(length);
+    let payload_len = u32::from_le_bytes(raw) as usize;
+    let payload_end = pos.checked_add(payload_len).filter(|&end| end <= buf.len());
+    let Some(payload_end) = payload_end else {
+        return err("frame length runs past the end of the buffer");
+    };
+    let value = read_value_at(&buf[..payload_end], pos, 0)?;
+    if *pos != payload_end {
+        return err("trailing bytes after the framed value");
+    }
+    Ok(value)
+}
+
+/// Encodes any serde-serialisable value as one binary frame.
+pub fn to_frame<T: Serialize>(value: &T) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    write_frame(&value.to_value(), &mut out);
+    out
+}
+
+/// Decodes exactly one binary frame into a serde-deserialisable value
+/// (trailing bytes after the frame are an error — this is the
+/// whole-body form; use [`read_frame`] for streams of frames).
+///
+/// # Errors
+///
+/// Propagates [`read_frame`] failures plus shape mismatches from the
+/// target type's `Deserialize`.
+pub fn from_frame<T: Deserialize>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut pos = 0usize;
+    let value = read_frame(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return err("trailing bytes after the frame");
+    }
+    T::from_value(&value).map_err(|e| CodecError(e.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(value: &Value) -> Value {
+        let mut out = Vec::new();
+        write_frame(value, &mut out);
+        let mut pos = 0;
+        let back = read_frame(&out, &mut pos).expect("frame decodes");
+        assert_eq!(pos, out.len(), "frame fully consumed");
+        back
+    }
+
+    #[test]
+    fn scalars_and_composites_round_trip() {
+        for value in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Num(0.0),
+            Value::Num(-1.5),
+            Value::Num(f64::MIN_POSITIVE),
+            Value::Str(String::new()),
+            Value::Str("delta".into()),
+            Value::Arr(vec![Value::Num(1.0), Value::Str("x".into()), Value::Null]),
+            Value::Obj(vec![
+                ("a".into(), Value::Arr(vec![])),
+                (
+                    "b".into(),
+                    Value::Obj(vec![("c".into(), Value::Bool(true))]),
+                ),
+            ]),
+        ] {
+            assert_eq!(round_trip(&value), value);
+        }
+    }
+
+    #[test]
+    fn frames_concatenate_into_streams() {
+        let mut out = Vec::new();
+        write_frame(&Value::Num(1.0), &mut out);
+        write_frame(&Value::Str("row".into()), &mut out);
+        let mut pos = 0;
+        assert_eq!(read_frame(&out, &mut pos).unwrap(), Value::Num(1.0));
+        assert_eq!(
+            read_frame(&out, &mut pos).unwrap(),
+            Value::Str("row".into())
+        );
+        assert_eq!(pos, out.len());
+    }
+
+    #[test]
+    fn junk_is_an_error_not_a_panic() {
+        for junk in [
+            &b""[..],
+            b"aB",
+            b"xx\x01\x00\x00\x00\x00",
+            b"aB\x02\x00\x00\x00\x00",         // wrong version
+            b"aB\x01\xff\xff\xff\xff\x00",     // length past the end
+            b"aB\x01\x01\x00\x00\x00\x99",     // unknown tag
+            b"aB\x01\x02\x00\x00\x00\x00\x00", // trailing payload bytes
+            b"aB\x01\x02\x00\x00\x00\x04\xff", // truncated string length
+            b"aB\x01\x06\x00\x00\x00\x05\xff\xff\xff\xff\x0f", // huge array count
+        ] {
+            let mut pos = 0;
+            assert!(read_frame(junk, &mut pos).is_err(), "{junk:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_capped() {
+        // MAX_DEPTH+2 nested single-element arrays: tag+count each.
+        let mut payload = Vec::new();
+        for _ in 0..(MAX_DEPTH + 2) {
+            payload.extend_from_slice(&[TAG_ARR, 1]);
+        }
+        payload.push(TAG_NULL);
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&MAGIC);
+        framed.push(VERSION);
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        let mut pos = 0;
+        let error = read_frame(&framed, &mut pos).expect_err("depth cap holds");
+        assert!(error.0.contains("deep"), "{error}");
+    }
+}

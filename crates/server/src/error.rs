@@ -14,7 +14,8 @@ pub struct ApiError {
     pub status: u16,
     /// Stable machine-readable code (`bad_request`, `unknown_model`,
     /// `unknown_session`, `session_busy`, `invalid_request`,
-    /// `impossible_evidence`, `store_full`, `internal`).
+    /// `inconsistent_delta`, `impossible_evidence`, `store_full`,
+    /// `internal`).
     pub code: String,
     /// Human-readable explanation.
     pub message: String,
@@ -91,9 +92,11 @@ impl ApiError {
     }
 
     /// Maps a diagnosis-layer error onto the wire: client-caused
-    /// validation failures become `422`, impossible evidence is called
-    /// out with its own code (the observation contradicts the model —
-    /// resend better data, the server is fine), anything else is a `500`.
+    /// validation failures become `422`, impossible evidence and
+    /// inconsistent delta rounds are called out with their own codes
+    /// (the observation contradicts the model or the session's stored
+    /// history — resend better data, the server is fine), anything else
+    /// is a `500`.
     pub fn from_core(e: &abbd_core::Error) -> Self {
         use abbd_core::Error as E;
         match e {
@@ -103,6 +106,7 @@ impl ApiError {
             | E::InvalidStoppingPolicy(_)
             | E::InvalidCostModel(_)
             | E::InvalidStrategy(_) => Self::new(422, "invalid_request", e.to_string()),
+            E::InconsistentDelta { .. } => Self::new(422, "inconsistent_delta", e.to_string()),
             E::Bbn(abbd_bbn::Error::ImpossibleEvidence) => {
                 Self::new(422, "impossible_evidence", e.to_string())
             }
@@ -147,6 +151,7 @@ mod tests {
         assert_eq!(back, body);
         let response = body.error.into_response();
         assert_eq!(response.status, 404);
-        assert!(response.body.contains("unknown_model"));
+        let rendered = String::from_utf8(response.body.clone()).unwrap();
+        assert!(rendered.contains("unknown_model"));
     }
 }

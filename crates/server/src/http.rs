@@ -1,19 +1,24 @@
-//! A small, strict HTTP/1.1 layer over [`std::io`] streams.
+//! A small, strict HTTP/1.1 layer over byte buffers.
 //!
 //! The build environment is fully offline, so instead of tokio/hyper this
 //! is an in-tree implementation in the spirit of the workspace's `shims/`:
 //! exactly the surface the diagnosis service needs — request parsing with
-//! hard limits, keep-alive, JSON responses — and nothing else. Every
-//! parse failure is an *error value*, never a panic: arbitrary byte junk
-//! on the socket must at worst cost the client a `400` (the proptest in
-//! `tests/errors.rs` feeds the server fuzz bytes to hold it to that).
+//! hard limits, keep-alive, JSON and binary responses — and nothing else.
+//! Parsing is **buffer-oriented** so the readiness-driven connection
+//! layer ([`crate`]'s `net` module) can feed it partial reads:
+//! [`parse_request`] either consumes one complete request off the front
+//! of the buffer, reports `Ok(None)` ("need more bytes"), or fails with
+//! a [`ParseError`]. Every parse failure is an *error value*, never a
+//! panic: arbitrary byte junk on the socket must at worst cost the
+//! client a `400` (the proptest in `tests/errors.rs` feeds the server
+//! fuzz bytes to hold it to that).
 //!
 //! Limits (per request): request line ≤ [`MAX_LINE`] bytes, ≤
 //! [`MAX_HEADERS`] header lines of ≤ [`MAX_LINE`] bytes each, body ≤
 //! [`MAX_BODY`] bytes. Anything larger is answered with `400`/`413` and
 //! the connection is closed.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, Write};
 
 /// Hard cap on one request or header line, bytes (excluding CRLF).
 pub const MAX_LINE: usize = 8 * 1024;
@@ -34,69 +39,64 @@ pub struct Request {
     /// `true` when the client asked to keep the connection open
     /// (HTTP/1.1 default) rather than `Connection: close`.
     pub keep_alive: bool,
+    /// The `content-type` header value (trimmed), when sent — selects
+    /// the request-body codec (JSON unless it names the binary type).
+    pub content_type: Option<String>,
+    /// The `accept` header value (trimmed), when sent — selects the
+    /// response-body codec (JSON unless it names the binary type).
+    pub accept: Option<String>,
 }
 
-/// Why a request could not be parsed. (A peer closing cleanly between
-/// requests is `Ok(None)` from [`read_request`], not an error.)
+/// Why a request could not be parsed. (Bytes that merely *end* before
+/// the request is complete are `Ok(None)` from [`parse_request`] — the
+/// connection layer reads more and retries.)
 #[derive(Debug)]
 pub enum ParseError {
-    /// The stream failed mid-request (timeout, reset); the connection is
-    /// unusable and is simply dropped.
-    Io(io::Error),
     /// The bytes were not a well-formed HTTP request; answered `400`.
     Malformed(&'static str),
     /// The declared body length exceeds [`MAX_BODY`]; answered `413`.
     BodyTooLarge,
 }
 
-impl From<io::Error> for ParseError {
-    fn from(e: io::Error) -> Self {
-        ParseError::Io(e)
+/// Pulls the next CRLF- (or bare-LF-) terminated line out of `buf`
+/// starting at `*pos`, capped at [`MAX_LINE`] bytes. `Ok(None)` means
+/// the line is not complete yet.
+fn next_line<'a>(buf: &'a [u8], pos: &mut usize) -> Result<Option<&'a str>, ParseError> {
+    let rest = &buf[*pos..];
+    match rest.iter().position(|&b| b == b'\n') {
+        Some(newline) => {
+            let mut line = &rest[..newline];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            if line.len() > MAX_LINE {
+                return Err(ParseError::Malformed("line too long"));
+            }
+            *pos += newline + 1;
+            std::str::from_utf8(line)
+                .map(Some)
+                .map_err(|_| ParseError::Malformed("non-UTF-8 header bytes"))
+        }
+        None if rest.len() > MAX_LINE => Err(ParseError::Malformed("line too long")),
+        None => Ok(None),
     }
 }
 
-/// Reads one CRLF- (or bare-LF-) terminated line, capped at [`MAX_LINE`]
-/// bytes. Returns `Ok(None)` on immediate EOF.
-fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, ParseError> {
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        let buf = reader.fill_buf()?;
-        if buf.is_empty() {
-            if line.is_empty() {
-                return Ok(None);
-            }
-            return Err(ParseError::Malformed("truncated line"));
-        }
-        match buf.iter().position(|&b| b == b'\n') {
-            Some(pos) => {
-                if line.len() + pos > MAX_LINE {
-                    return Err(ParseError::Malformed("line too long"));
-                }
-                line.extend_from_slice(&buf[..pos]);
-                reader.consume(pos + 1);
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                return String::from_utf8(line)
-                    .map(Some)
-                    .map_err(|_| ParseError::Malformed("non-UTF-8 header bytes"));
-            }
-            None => {
-                let take = buf.len();
-                if line.len() + take > MAX_LINE {
-                    return Err(ParseError::Malformed("line too long"));
-                }
-                line.extend_from_slice(buf);
-                reader.consume(take);
-            }
-        }
-    }
-}
-
-/// Parses one request off the stream. `Ok(None)` means the peer closed
-/// cleanly between requests (keep-alive end).
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, ParseError> {
-    let Some(request_line) = read_line(reader)? else {
+/// Parses one complete request off the front of `buf`. Returns the
+/// request plus the number of bytes it consumed, or `Ok(None)` when the
+/// buffer does not yet hold a whole request (head still arriving, or
+/// body shorter than its declared `content-length`).
+///
+/// # Errors
+///
+/// [`ParseError::Malformed`] for bytes that are not HTTP (answered
+/// `400`), [`ParseError::BodyTooLarge`] for bodies declared over
+/// [`MAX_BODY`] (answered `413`). Both are detected as early as the
+/// offending bytes arrive — an oversized declaration is refused before
+/// any of its body is read.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, ParseError> {
+    let mut pos = 0usize;
+    let Some(request_line) = next_line(buf, &mut pos)? else {
         return Ok(None);
     };
     let mut parts = request_line.split(' ');
@@ -118,11 +118,15 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Parse
     let mut content_length: Option<usize> = None;
     // HTTP/1.0 defaults to close, 1.1 to keep-alive.
     let mut keep_alive = version == "HTTP/1.1";
+    let mut content_type: Option<String> = None;
+    let mut accept: Option<String> = None;
     for i in 0.. {
         if i > MAX_HEADERS {
             return Err(ParseError::Malformed("too many headers"));
         }
-        let line = read_line(reader)?.ok_or(ParseError::Malformed("truncated headers"))?;
+        let Some(line) = next_line(buf, &mut pos)? else {
+            return Ok(None);
+        };
         if line.is_empty() {
             break;
         }
@@ -159,32 +163,49 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Parse
             return Err(ParseError::Malformed("transfer-encoding unsupported"));
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("content-type") {
+            content_type = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("accept") {
+            accept = Some(value.to_string());
         }
     }
     let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
         return Err(ParseError::BodyTooLarge);
     }
-    let mut body = vec![0u8; content_length];
-    io::Read::read_exact(reader, &mut body)?;
+    if buf.len() - pos < content_length {
+        return Ok(None);
+    }
+    let body = buf[pos..pos + content_length].to_vec();
     let path = target.split('?').next().unwrap_or(target).to_string();
-    Ok(Some(Request {
-        method: method.to_string(),
-        path,
-        body,
-        keep_alive,
-    }))
+    Ok(Some((
+        Request {
+            method: method.to_string(),
+            path,
+            body,
+            keep_alive,
+            content_type,
+            accept,
+        },
+        pos + content_length,
+    )))
 }
 
-/// One response ready to write: status, JSON body, connection verdict.
+/// One response ready to write: status, body bytes, codec, connection
+/// verdict and the optional backpressure hint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body (always JSON in this service).
-    pub body: String,
+    /// Response body bytes (JSON text or a binary frame).
+    pub body: Vec<u8>,
+    /// The `content-type` the body is encoded under.
+    pub content_type: &'static str,
     /// Whether the connection stays open after this response.
     pub keep_alive: bool,
+    /// When set, a `retry-after: N` header (seconds) rides along — the
+    /// backpressure hint on `503`s from a full request queue.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -192,8 +213,22 @@ impl Response {
     pub fn json(status: u16, body: impl Into<String>) -> Self {
         Response {
             status,
-            body: body.into(),
+            body: body.into().into_bytes(),
+            content_type: "application/json",
             keep_alive: true,
+            retry_after: None,
+        }
+    }
+
+    /// A binary-framed response with the given status (the codec's
+    /// content type; see [`crate::codec`]).
+    pub fn binary(status: u16, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            body,
+            content_type: crate::codec::CONTENT_TYPE,
+            keep_alive: true,
+            retry_after: None,
         }
     }
 
@@ -213,21 +248,45 @@ impl Response {
         }
     }
 
-    /// Serialises the response onto the stream.
+    /// Serialises the whole response (head and body) onto the end of
+    /// `out` — the connection layer's zero-IO encode step, so one
+    /// reusable per-connection buffer carries head plus body to the
+    /// socket in a single write.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        // Writes into a Vec<u8> are infallible.
+        let _ = write!(
+            out,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len(),
+        );
+        if let Some(seconds) = self.retry_after {
+            let _ = write!(out, "retry-after: {seconds}\r\n");
+        }
+        let _ = write!(
+            out,
+            "connection: {}\r\n\r\n",
+            if self.keep_alive {
+                "keep-alive"
+            } else {
+                "close"
+            },
+        );
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Serialises the response onto a blocking stream ([`Response::write_into`]
+    /// plus the IO).
     ///
     /// # Errors
     ///
     /// Propagates stream write errors (the connection is then dropped).
     pub fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
-        write!(
-            writer,
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
-            self.status,
-            self.reason(),
-            self.body.len(),
-            if self.keep_alive { "keep-alive" } else { "close" },
-        )?;
-        writer.write_all(self.body.as_bytes())?;
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        self.write_into(&mut out);
+        writer.write_all(&out)?;
         writer.flush()
     }
 }
@@ -235,26 +294,29 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader;
 
-    fn parse(bytes: &[u8]) -> Result<Option<Request>, ParseError> {
-        read_request(&mut BufReader::new(bytes))
+    fn parse(bytes: &[u8]) -> Result<Option<(Request, usize)>, ParseError> {
+        parse_request(bytes)
     }
 
     #[test]
     fn parses_a_post_with_body() {
-        let req = parse(b"POST /v1/x HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd")
+        let (req, consumed) = parse(b"POST /v1/x HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd")
             .unwrap()
             .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/x");
         assert_eq!(req.body, b"abcd");
         assert!(req.keep_alive);
+        assert_eq!(
+            consumed,
+            b"POST /v1/x HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd".len()
+        );
     }
 
     #[test]
     fn strips_query_and_honours_connection_close() {
-        let req = parse(b"GET /healthz?probe=1 HTTP/1.1\r\nConnection: close\r\n\r\n")
+        let (req, _) = parse(b"GET /healthz?probe=1 HTTP/1.1\r\nConnection: close\r\n\r\n")
             .unwrap()
             .unwrap();
         assert_eq!(req.path, "/healthz");
@@ -262,8 +324,42 @@ mod tests {
     }
 
     #[test]
-    fn clean_eof_is_not_an_error() {
-        assert!(matches!(parse(b""), Ok(None)));
+    fn captures_codec_headers() {
+        let (req, _) = parse(
+            b"POST /v1/x HTTP/1.1\r\ncontent-type: application/x-abbd-binary\r\n\
+              accept: application/x-abbd-binary\r\ncontent-length: 0\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            req.content_type.as_deref(),
+            Some("application/x-abbd-binary")
+        );
+        assert_eq!(req.accept.as_deref(), Some("application/x-abbd-binary"));
+    }
+
+    #[test]
+    fn incomplete_requests_ask_for_more_bytes() {
+        // An empty buffer, a partial head, a complete head with a short
+        // body — all "need more", none an error.
+        for partial in [
+            &b""[..],
+            b"POST /v1/x HT",
+            b"POST /v1/x HTTP/1.1\r\ncontent-len",
+            b"POST /v1/x HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc",
+        ] {
+            assert!(matches!(parse(partial), Ok(None)), "{partial:?}");
+        }
+    }
+
+    #[test]
+    fn consumes_exactly_one_request_leaving_pipelined_bytes() {
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (req, consumed) = parse(two).unwrap().unwrap();
+        assert_eq!(req.path, "/a");
+        let (req2, consumed2) = parse(&two[consumed..]).unwrap().unwrap();
+        assert_eq!(req2.path, "/b");
+        assert_eq!(consumed + consumed2, two.len());
     }
 
     #[test]
@@ -294,6 +390,7 @@ mod tests {
 
     #[test]
     fn oversized_declarations_are_refused() {
+        // The oversized declaration is refused before any body arrives.
         let huge = format!(
             "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
             MAX_BODY + 1
@@ -307,6 +404,13 @@ mod tests {
             parse(long_line.as_bytes()),
             Err(ParseError::Malformed(_))
         ));
+        // A line that never terminates is refused as soon as it exceeds
+        // the cap — a dribbling client cannot grow the buffer forever.
+        let unterminated = vec![b'a'; MAX_LINE + 8];
+        assert!(matches!(
+            parse(&unterminated),
+            Err(ParseError::Malformed(_))
+        ));
         let many_headers = format!(
             "GET / HTTP/1.1\r\n{}\r\n",
             "x-h: 1\r\n".repeat(MAX_HEADERS + 2)
@@ -318,14 +422,6 @@ mod tests {
     }
 
     #[test]
-    fn truncated_body_is_an_io_error() {
-        assert!(matches!(
-            parse(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc"),
-            Err(ParseError::Io(_))
-        ));
-    }
-
-    #[test]
     fn responses_render_with_framing() {
         let mut out = Vec::new();
         Response::json(200, "{}").write_to(&mut out).unwrap();
@@ -333,5 +429,17 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("content-length: 2\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn retry_after_rides_on_backpressure_responses() {
+        let mut response = Response::json(503, "{}");
+        response.retry_after = Some(1);
+        response.keep_alive = false;
+        let mut out = Vec::new();
+        response.write_into(&mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
     }
 }

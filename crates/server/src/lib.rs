@@ -4,10 +4,20 @@
 //! API of `abbd_core::session`: one process hosts a [`ModelRegistry`] of
 //! named, compile-once [`abbd_core::CompiledModel`]s, a [`SessionStore`]
 //! of live per-device [`abbd_core::DiagnosisSession`]s (TTL + LRU), and
-//! a fixed pool of worker threads serving JSON over
-//! [`std::net::TcpListener`]. The build environment is offline, so the
-//! HTTP layer is a small, strict in-tree implementation ([`http`]) in
-//! the spirit of the workspace's `shims/` — no tokio, no hyper.
+//! a readiness-driven connection layer (`net`, epoll-based) feeding a
+//! fixed pool of diagnosis workers. The build environment is offline, so
+//! the HTTP layer is a small, strict in-tree implementation ([`http`])
+//! in the spirit of the workspace's `shims/` — no tokio, no hyper.
+//!
+//! One event-loop thread owns every socket: it accepts, reads, parses
+//! and writes without blocking, and hands only *complete* requests to
+//! the workers through a bounded queue. An idle keep-alive connection
+//! therefore costs a socket and a few buffers — not a worker thread —
+//! so a 4-worker server holds thousands of idle connections (the
+//! `scaling` integration test drives hundreds concurrently; `abbd-
+//! loadgen --idle-soak` holds 1000+). When the queue is full the event
+//! loop answers `503` with a `retry-after` header itself: overload is
+//! explicit backpressure, never unbounded memory.
 //!
 //! Serving never compiles: every junction tree is triangulated at
 //! registration time, worker threads propagate through shared compiled
@@ -20,7 +30,7 @@
 //! |---------------|--------------|-----------|
 //! | `GET /healthz` | — → [`HealthReport`] | liveness plus model/session counts |
 //! | `GET /v1/models` | — → [`ModelsReport`] | the registry rows |
-//! | `GET /v1/stats` | — → [`StatsReport`] | serving counters (rounds, errors, compiles, store lifecycle) |
+//! | `GET /v1/stats` | — → [`StatsReport`] | serving + connection-layer counters |
 //! | `POST /v1/models/{name}/sessions` | — → [`OpenSessionReply`] | open a stored session (`201`; body ignored — configuration travels per round) |
 //! | `POST /v1/models/{name}/serve` | [`SessionRequest`] → [`SessionReport`] | one **stateless** decision round (fresh session per call) |
 //! | `POST /v1/models/{name}/diagnose_batch` | [`BatchRequest`] → [`BatchReply`] | fan N evidence sets across the worker pool (diagnosis only) |
@@ -31,14 +41,59 @@
 //! [`SessionReport`]: abbd_core::SessionReport
 //!
 //! Errors are structured JSON (`{"error":{"status":…,"code":…,"message":…}}`,
-//! see [`ApiError`]): `400` for bytes that are not HTTP or JSON, `404`
-//! for unknown models/sessions/routes, `405` for wrong verbs, `409` for
-//! concurrent rounds on one session, `413` for oversized bodies, `422`
-//! for well-formed requests the model rejects (unknown variables,
-//! out-of-range states, impossible evidence, malformed policies), `503`
-//! when the session store is full of busy sessions. Junk bytes on the
-//! socket never take a worker down — the connection is answered (when
-//! possible) and dropped.
+//! see [`ApiError`]): `400` for bytes that are not HTTP, JSON or valid
+//! binary frames, `404` for unknown models/sessions/routes, `405` for
+//! wrong verbs, `409` for concurrent rounds on one session, `413` for
+//! oversized bodies, `422` for well-formed requests the model rejects
+//! (unknown variables, out-of-range states, impossible evidence,
+//! malformed policies, delta rounds contradicting stored evidence),
+//! `503` with `retry-after` when the request queue or session store is
+//! full. Junk bytes on the socket never take the server down — the
+//! connection is answered (when possible) and dropped.
+//!
+//! ## Wire protocol
+//!
+//! Every endpoint speaks two bodies over plain HTTP/1.1:
+//!
+//! * **JSON** (default): `content-type: application/json`. Human-
+//!   readable, stable field names, what every example above shows.
+//! * **Compact binary** ([`codec`]): `content-type:
+//!   application/x-abbd-binary`. A versioned, length-prefixed frame —
+//!   magic `aB`, version byte, `u32` little-endian payload length, then
+//!   a tagged tree of null/bool/f64/string/array/object values with
+//!   LEB128 length prefixes. Decoding either body yields the *same*
+//!   in-memory request (the `codec` proptests pin byte-for-byte decode
+//!   equality), so the formats are interchangeable per request.
+//!
+//! Negotiation is per message direction and per request:
+//!
+//! * Send a binary **body** by setting `content-type:
+//!   application/x-abbd-binary` on the request.
+//! * Ask for a binary **reply** by listing that type in `accept`.
+//! * Anything else (or nothing) means JSON. Error responses are always
+//!   JSON — a client that cannot parse its own failure is debugging
+//!   blind.
+//!
+//! On `POST …/diagnose_batch` the binary request body streams row by
+//! row: one header frame (`{"deduction": …}`) followed by one frame per
+//! observation, concatenated. The server decodes rows without
+//! materialising a giant JSON array, and a binary reply is the
+//! concatenated per-row [`BatchEntry`] frames in input order.
+//!
+//! **Delta rounds** cut the upload side: a [`SessionRequest`] with
+//! `"delta": true` sends only *new* observations for a stored session —
+//! the session merges them into its accumulated evidence. Re-observing
+//! a variable at its stored state is an idempotent no-op; contradicting
+//! the stored state is refused with `422 inconsistent_delta` and the
+//! session is untouched. Control fields (`actions`, `strategy`,
+//! `policy`, `cost`, `deduction`) still apply per round; a delta round
+//! can omit observations entirely and just re-plan.
+//!
+//! Connection behaviour: keep-alive by default (HTTP/1.1), per-
+//! connection idle timeout ([`ServerConfig::idle_timeout`]) and request
+//! budget ([`ServerConfig::max_requests_per_conn`]), one in-flight
+//! request per connection (pipelined bytes wait server-side), `503` +
+//! `retry-after` under queue pressure.
 //!
 //! ## Session lifecycle
 //!
@@ -51,7 +106,8 @@
 //!    kernels alone — the fresh-session setup the stateless endpoint
 //!    re-pays every round is amortised away (the `server_throughput`
 //!    bench group prices both paths), and the device gets exclusive,
-//!    conflict-checked access to its own evidence.
+//!    conflict-checked access to its own evidence. Send binary delta
+//!    rounds to also amortise the wire: only new observations travel.
 //! 3. Stop when the reply's `stop` field is non-null (isolated /
 //!    exhausted / gain below threshold), then `DELETE` the session —
 //!    or walk away: TTL expiry reaps it, and LRU eviction frees the
@@ -65,7 +121,7 @@
 //!  "policy": {"fault_mass_threshold": 0.9, "max_steps": 32, "min_gain": 0.001},
 //!  "cost": {"test_seconds": 1.0, "suite_switch_seconds": 0.0, "probe_seconds": 1.0,
 //!           "overrides": [], "suite_of": [], "current_suite": null},
-//!  "deduction": null}
+//!  "deduction": null, "delta": false}
 //! ```
 //!
 //! and the reply mirrors [`abbd_core::SessionReport`] — `posteriors`,
@@ -88,18 +144,21 @@
 //! server.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // `forbid` until PR 6; `net::sys` now scopes the epoll FFI
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod codec;
 mod error;
 pub mod http;
+mod net;
 mod registry;
 mod service;
 mod store;
 
 pub use client::Client;
 pub use error::{ApiError, ErrorBody};
+pub use net::NetStats;
 pub use registry::{ModelBundle, ModelInfo, ModelRegistry};
 pub use service::{
     BatchDiagnosis, BatchEntry, BatchReply, BatchRequest, CloseSessionReply, HealthReport,
@@ -111,12 +170,9 @@ pub use store::{SessionStore, StoreStats, StoredSession};
 // crate.
 pub use abbd_core::{SessionReport, SessionRequest};
 
-use crate::http::ParseError;
-use std::io::{BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -125,94 +181,69 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Bind address; port `0` picks an ephemeral port (tests, benches).
     pub addr: String,
-    /// Worker threads serving connections (also the batch fan-out
-    /// width). A keep-alive connection occupies its worker until the
-    /// client closes or goes idle past [`ServerConfig::read_timeout`],
-    /// so size this to the expected number of *concurrent clients*, not
-    /// to core count — threads parked in socket reads are cheap.
+    /// Diagnosis worker threads (also the batch fan-out width). Workers
+    /// only ever see complete requests — connections, idle or flooding,
+    /// are the event loop's problem — so size this to core count, not to
+    /// the number of concurrent clients.
     pub workers: usize,
     /// Idle time after which a stored session is reaped.
     pub session_ttl: Duration,
     /// Maximum live sessions; beyond it the LRU idle session is evicted.
     pub session_capacity: usize,
-    /// Per-connection socket read timeout (a stalled client frees its
-    /// worker after this long).
-    pub read_timeout: Duration,
-    /// Accepted connections waiting for a free worker, beyond which new
-    /// connections are answered `503` and dropped — overload gets a
-    /// defined failure mode instead of unbounded socket build-up.
-    pub accept_backlog: usize,
+    /// Complete requests waiting for a worker, beyond which further
+    /// requests are answered `503` with `retry-after` (the connection
+    /// survives) — overload gets a defined failure mode instead of
+    /// unbounded queue build-up.
+    pub queue_depth: usize,
+    /// Per-connection idle deadline: a keep-alive connection with no
+    /// request in flight and no traffic for this long is closed and
+    /// counted in [`StatsReport::idle_timeouts`].
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server answers the
+    /// last one with `connection: close` — bounds how long a single
+    /// keep-alive connection can pin server-side state.
+    pub max_requests_per_conn: u64,
 }
 
 impl Default for ServerConfig {
     /// Loopback on an ephemeral port, 4 workers, 15-minute TTL, 1024
-    /// session slots, 10-second read timeout, 256-connection backlog.
+    /// session slots, 256-request queue, 60-second idle timeout, 100k
+    /// requests per connection.
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             session_ttl: Duration::from_secs(15 * 60),
             session_capacity: 1024,
-            read_timeout: Duration::from_secs(10),
-            accept_backlog: 256,
-        }
-    }
-}
-
-/// Live connection sockets, so shutdown can unblock workers parked in
-/// keep-alive reads instead of waiting out their read timeouts.
-#[derive(Debug, Default)]
-struct ConnTracker {
-    next_id: std::sync::atomic::AtomicU64,
-    conns: Mutex<Vec<(u64, TcpStream)>>,
-}
-
-impl ConnTracker {
-    fn register(&self, stream: &TcpStream) -> u64 {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            self.conns
-                .lock()
-                .expect("conn tracker lock")
-                .push((id, clone));
-        }
-        id
-    }
-
-    fn unregister(&self, id: u64) {
-        let mut conns = self.conns.lock().expect("conn tracker lock");
-        conns.retain(|(conn_id, _)| *conn_id != id);
-    }
-
-    fn shutdown_all(&self) {
-        let conns = self.conns.lock().expect("conn tracker lock");
-        for (_, stream) in conns.iter() {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
+            queue_depth: 256,
+            idle_timeout: Duration::from_secs(60),
+            max_requests_per_conn: 100_000,
         }
     }
 }
 
 /// The running service. Construct with [`Server::start`]; the value is a
 /// handle — dropping it (or calling [`Server::shutdown`]) stops the
-/// listener and joins every worker.
+/// event loop and joins every thread.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     state: Arc<ServiceState>,
     stop: Arc<AtomicBool>,
-    conns: Arc<ConnTracker>,
-    accept: Option<JoinHandle<()>>,
+    wake: Arc<net::WakeFd>,
+    queue: Arc<net::JobQueue>,
+    event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds the listener, spawns the accept thread and the worker pool,
-    /// and returns once the socket is live (its actual address is
-    /// [`Server::addr`]).
+    /// Binds the listener, builds the epoll set, spawns the event-loop
+    /// thread and the diagnosis worker pool, and returns once the socket
+    /// is live (its actual address is [`Server::addr`]).
     ///
     /// # Errors
     ///
-    /// Propagates socket bind errors.
+    /// Propagates socket bind and epoll/eventfd setup errors.
     pub fn start(registry: Arc<ModelRegistry>, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -221,32 +252,41 @@ impl Server {
             registry,
             store: SessionStore::new(config.session_ttl, config.session_capacity),
             stats: ServiceStats::default(),
+            net: NetStats::default(),
             workers,
         });
         let stop = Arc::new(AtomicBool::new(false));
-        let conns = Arc::new(ConnTracker::default());
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.accept_backlog.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let wake = Arc::new(net::WakeFd::new()?);
+        let queue = Arc::new(net::JobQueue::new(config.queue_depth));
+        let completions = Arc::new(net::CompletionQueue::new(Arc::clone(&wake)));
+        let event_loop = net::EventLoop::new(
+            listener,
+            Arc::clone(&state),
+            Arc::clone(&queue),
+            Arc::clone(&completions),
+            Arc::clone(&wake),
+            Arc::clone(&stop),
+            net::EventLoopConfig {
+                idle_timeout: config.idle_timeout.max(Duration::from_millis(1)),
+                max_requests_per_conn: config.max_requests_per_conn.max(1),
+            },
+        )?;
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|_| {
-                let rx = Arc::clone(&rx);
+                let queue = Arc::clone(&queue);
+                let completions = Arc::clone(&completions);
                 let state = Arc::clone(&state);
-                let conns = Arc::clone(&conns);
-                let stop = Arc::clone(&stop);
-                let read_timeout = config.read_timeout;
-                std::thread::spawn(move || worker_loop(&rx, &state, &conns, &stop, read_timeout))
+                std::thread::spawn(move || net::worker_loop(&queue, &completions, &state))
             })
             .collect();
-        let accept = {
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(&listener, &tx, &stop))
-        };
+        let event_loop = std::thread::spawn(move || event_loop.run());
         Ok(Server {
             addr,
             state,
             stop,
-            conns,
-            accept: Some(accept),
+            wake,
+            queue,
+            event_loop: Some(event_loop),
             workers: worker_handles,
         })
     }
@@ -262,8 +302,10 @@ impl Server {
         &self.state
     }
 
-    /// Stops accepting, drains the workers and joins every thread.
-    /// In-flight connections finish their current request.
+    /// Stops the event loop (closing the listener and every connection),
+    /// drains queued requests through the workers and joins every
+    /// thread. Responses already computed but not yet flushed when the
+    /// loop stops are discarded with their connections.
     pub fn shutdown(mut self) {
         self.stop_threads();
     }
@@ -272,14 +314,16 @@ impl Server {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the blocking `accept` so the accept thread observes the
-        // stop flag; ignore failure (the listener may already be gone).
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        // The waker pulls the event loop out of `epoll_wait`; it then
+        // observes the flag and exits, dropping listener and sockets.
+        self.wake.wake();
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
-        // Unblock workers parked in keep-alive reads.
-        self.conns.shutdown_all();
+        // Closing the queue drains the workers (jobs already queued are
+        // still computed; their connections are gone, so the completions
+        // fall on the floor).
+        self.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -289,134 +333,6 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop_threads();
-    }
-}
-
-/// Accepts connections until the stop flag trips, handing each stream to
-/// the worker pool's bounded queue. A full queue answers the connection
-/// `503` and drops it (overload has a defined failure mode); dropping
-/// `tx` on exit is what drains the workers.
-fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, stop: &AtomicBool) {
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        match tx.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(mut stream)) => {
-                let mut response = ApiError::new(503, "overloaded", "connection queue full; retry")
-                    .into_response();
-                response.keep_alive = false;
-                let _ = response.write_to(&mut stream);
-            }
-            Err(TrySendError::Disconnected(_)) => break,
-        }
-    }
-}
-
-/// One worker: pull connections off the shared queue until the channel
-/// closes, tallying any junction-tree compilations it (never) performs.
-/// Connections still queued when the stop flag trips are dropped
-/// unserved, so shutdown never waits on work nobody started.
-fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
-    state: &ServiceState,
-    conns: &ConnTracker,
-    stop: &AtomicBool,
-    read_timeout: Duration,
-) {
-    loop {
-        let next = {
-            let guard = rx.lock().expect("worker queue lock");
-            guard.recv()
-        };
-        let Ok(stream) = next else { break };
-        if stop.load(Ordering::SeqCst) {
-            continue; // drain the queue without serving
-        }
-        let conn_id = conns.register(&stream);
-        let before = abbd_bbn::jointree_compile_count();
-        // A panic anywhere in parsing/routing/diagnosis costs its own
-        // connection, never the worker thread: an unguarded unwind here
-        // would silently shrink the pool until the server accepts but
-        // never serves.
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_connection(stream, state, stop, read_timeout);
-        }))
-        .is_err()
-        {
-            state.stats.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        conns.unregister(conn_id);
-        let compiled = abbd_bbn::jointree_compile_count() - before;
-        if compiled > 0 {
-            state
-                .stats
-                .worker_compiles
-                .fetch_add(compiled, Ordering::Relaxed);
-        }
-    }
-}
-
-/// Serves one connection: parse → route → respond, keep-alive until the
-/// client closes, errors out, asks for `Connection: close`, or the
-/// server is shutting down (each in-flight request finishes; the
-/// connection just does not outlive it). Malformed bytes get a final
-/// structured error response; IO failures just drop the connection.
-/// Never panics.
-fn handle_connection(
-    stream: TcpStream,
-    state: &ServiceState,
-    stop: &AtomicBool,
-    read_timeout: Duration,
-) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    // The registration in `worker_loop` happens before this point, so a
-    // stop that was set before registration is caught here and one set
-    // after is caught by `ConnTracker::shutdown_all` breaking the read.
-    if stop.load(Ordering::SeqCst) {
-        return;
-    }
-    loop {
-        match http::read_request(&mut reader) {
-            Ok(None) => break,
-            Ok(Some(request)) => {
-                let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
-                let mut response = service::handle(state, &request);
-                response.keep_alive = keep_alive;
-                if response.write_to(&mut writer).is_err() || !keep_alive {
-                    break;
-                }
-            }
-            Err(ParseError::Io(_)) => break,
-            Err(ParseError::Malformed(reason)) => {
-                state.stats.errors.fetch_add(1, Ordering::Relaxed);
-                let mut response =
-                    ApiError::bad_request(format!("malformed request: {reason}")).into_response();
-                response.keep_alive = false;
-                let _ = response.write_to(&mut writer);
-                break;
-            }
-            Err(ParseError::BodyTooLarge) => {
-                state.stats.errors.fetch_add(1, Ordering::Relaxed);
-                let mut response = ApiError::new(
-                    413,
-                    "payload_too_large",
-                    format!("body exceeds {} bytes", http::MAX_BODY),
-                )
-                .into_response();
-                response.keep_alive = false;
-                let _ = response.write_to(&mut writer);
-                break;
-            }
-        }
     }
 }
 
@@ -464,5 +380,40 @@ mod tests {
             }
         }
         assert_eq!(dead, Some(true), "server kept serving after shutdown");
+    }
+
+    #[test]
+    fn many_idle_connections_coexist_with_a_tiny_worker_pool() {
+        let registry = ModelRegistry::new()
+            .insert("toy", toy_compiled_model())
+            .freeze();
+        let server = Server::start(
+            registry,
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // Far more open connections than workers: under the old thread-
+        // per-connection layer these would starve each other.
+        let mut idle: Vec<Client> = (0..64)
+            .map(|_| Client::connect(server.addr()).unwrap())
+            .collect();
+        let mut active = Client::connect(server.addr()).unwrap();
+        let (status, body) = active.get("/v1/stats").unwrap();
+        assert_eq!(status, 200);
+        let stats: StatsReport = serde_json::from_str(&body).unwrap();
+        assert!(
+            stats.connections_open >= 65,
+            "expected 65+ open connections, saw {}",
+            stats.connections_open
+        );
+        // Every idle connection still works.
+        for client in &mut idle {
+            let (status, _) = client.get("/healthz").unwrap();
+            assert_eq!(status, 200);
+        }
+        server.shutdown();
     }
 }

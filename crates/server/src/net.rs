@@ -1,0 +1,950 @@
+//! The readiness-driven connection layer: one event-loop thread owns
+//! every socket, parses complete requests out of per-connection state
+//! machines, and hands them to the fixed diagnosis worker pool through a
+//! bounded queue.
+//!
+//! The shape replaces PR 5's thread-per-keep-alive-connection accept
+//! loop, where an *idle* client pinned a whole worker thread until its
+//! read timeout. Here an idle connection costs its socket plus a few
+//! hundred bytes of buffers, so one process holds 10k+ keep-alive
+//! connections over a handful of workers:
+//!
+//! ```text
+//!            epoll (readiness)                bounded JobQueue
+//! sockets ──► event loop ── complete requests ──► worker pool ──► service::handle
+//!    ▲            │                                   │
+//!    └── writes ──┴◄─── CompletionQueue + eventfd ◄───┘
+//! ```
+//!
+//! * **Backpressure is explicit**: when the job queue is full the event
+//!   loop itself answers `503` with `retry-after`, the connection stays
+//!   usable, and `queue_full_rejections` counts the shed load.
+//! * **Flow control**: one request per connection is in flight at a
+//!   time — the parser is gated while a worker holds the request, so
+//!   pipelined bytes wait in the connection buffer (the steady-state
+//!   round costs no `epoll_ctl` traffic). Past `PIPELINE_BUF_CAP` of
+//!   unparsed backlog the loop drops read interest and lets TCP
+//!   throttle the flooding client.
+//! * **Idle timeouts** reap connections that sit quiet past the
+//!   configured deadline, and `max_requests_per_conn` bounds how long
+//!   one keep-alive connection can monopolise state.
+//!
+//! The build environment is offline (no tokio, no libc crate), so the
+//! `sys` module binds the four `epoll`/`eventfd` symbols directly from
+//! the C library std already links — the only `unsafe` in the crate,
+//! scoped to that module.
+
+use crate::error::ApiError;
+use crate::http::{self, ParseError, Request, Response};
+use crate::service::{self, ServiceState};
+use std::collections::VecDeque;
+use std::io::{self, Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Raw `epoll`/`eventfd` bindings against the C library symbols the
+/// standard library already links (the workspace builds offline, so no
+/// `libc` crate). Everything `unsafe` in `abbd-server` lives here,
+/// wrapped into safe, error-returning functions.
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+    use std::os::fd::RawFd;
+
+    /// Mirror of `struct epoll_event` (packed on x86-64).
+    #[derive(Clone, Copy)]
+    #[repr(C, packed)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EFD_CLOEXEC: i32 = 0x80000;
+    const EFD_NONBLOCK: i32 = 0x800;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut core::ffi::c_void, count: usize) -> isize;
+        fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub fn create_epoll() -> io::Result<RawFd> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    pub fn ctl(epfd: RawFd, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `event` outlives the call; the kernel copies it.
+        if unsafe { epoll_ctl(epfd, op, fd, &mut event) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub fn wait(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: the buffer is valid for `events.len()` entries.
+        let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(n as usize)
+    }
+
+    pub fn create_eventfd() -> io::Result<RawFd> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    pub fn eventfd_write(fd: RawFd) {
+        let one: u64 = 1;
+        // SAFETY: 8 valid bytes; an EAGAIN (counter saturated) still
+        // leaves the fd readable, which is all a wakeup needs.
+        let _ = unsafe { write(fd, (&raw const one).cast(), 8) };
+    }
+
+    pub fn eventfd_drain(fd: RawFd) {
+        let mut counter = [0u8; 8];
+        // SAFETY: 8 valid bytes; EFD_NONBLOCK makes an empty counter
+        // return EAGAIN instead of blocking.
+        let _ = unsafe { read(fd, counter.as_mut_ptr().cast(), 8) };
+    }
+
+    pub fn close_fd(fd: RawFd) {
+        // SAFETY: the callers own `fd` and never use it again.
+        let _ = unsafe { close(fd) };
+    }
+}
+
+/// Connection-layer counters, reported by `GET /v1/stats` next to the
+/// serving counters (gauges are point-in-time, the rest are monotonic).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Connections ever accepted.
+    pub accepted: AtomicU64,
+    /// Currently open connections (gauge).
+    pub open: AtomicU64,
+    /// Connections with a request in flight right now (gauge).
+    pub active: AtomicU64,
+    /// Requests waiting in the worker queue right now (gauge).
+    pub queue_depth: AtomicU64,
+    /// Requests answered `503` because the worker queue was full.
+    pub queue_full_rejections: AtomicU64,
+    /// Idle connections reaped by the per-connection timeout.
+    pub idle_timeouts: AtomicU64,
+}
+
+/// One complete request on its way to the worker pool, carrying the
+/// connection's recycled encode buffer so the response bytes land in
+/// storage the connection already owns.
+#[derive(Debug)]
+pub(crate) struct Job {
+    conn_index: usize,
+    conn_id: u64,
+    request: Request,
+    keep_alive: bool,
+    buf: Vec<u8>,
+}
+
+/// One encoded response on its way back to the event loop.
+pub(crate) struct Completion {
+    conn_index: usize,
+    conn_id: u64,
+    buf: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// The bounded hand-off from the event loop to the worker pool. A full
+/// queue refuses the push (the event loop answers `503 + retry-after`);
+/// closing it drains the workers.
+#[derive(Debug)]
+pub(crate) struct JobQueue {
+    inner: Mutex<QueueInner>,
+    takers: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            takers: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues unless full or closed; returns the depth after the push.
+    /// `Err` hands the whole job back so the event loop can turn it
+    /// into a `503` reply on the owning connection.
+    #[allow(clippy::result_large_err)]
+    fn try_push(&self, job: Job) -> Result<usize, Job> {
+        let mut inner = self.inner.lock().expect("job queue lock");
+        if inner.closed || inner.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        inner.jobs.push_back(job);
+        let depth = inner.jobs.len();
+        drop(inner);
+        self.takers.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed and
+    /// drained (jobs queued before the close are still served).
+    fn pop(&self) -> Option<(Job, usize)> {
+        let mut inner = self.inner.lock().expect("job queue lock");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                let depth = inner.jobs.len();
+                return Some((job, depth));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.takers.wait(inner).expect("job queue lock");
+        }
+    }
+
+    pub(crate) fn close(&self) {
+        self.inner.lock().expect("job queue lock").closed = true;
+        self.takers.notify_all();
+    }
+}
+
+/// The eventfd the workers ring to pull the event loop out of
+/// `epoll_wait` when a completion (or shutdown) is ready.
+pub(crate) struct WakeFd {
+    fd: RawFd,
+}
+
+impl WakeFd {
+    pub(crate) fn new() -> io::Result<Self> {
+        Ok(WakeFd {
+            fd: sys::create_eventfd()?,
+        })
+    }
+
+    pub(crate) fn wake(&self) {
+        sys::eventfd_write(self.fd);
+    }
+
+    fn drain(&self) {
+        sys::eventfd_drain(self.fd);
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        sys::close_fd(self.fd);
+    }
+}
+
+impl std::fmt::Debug for WakeFd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WakeFd({})", self.fd)
+    }
+}
+
+/// Responses travelling back from the workers to the event loop.
+pub(crate) struct CompletionQueue {
+    slots: Mutex<Vec<Completion>>,
+    wake: Arc<WakeFd>,
+}
+
+impl CompletionQueue {
+    pub(crate) fn new(wake: Arc<WakeFd>) -> Self {
+        CompletionQueue {
+            slots: Mutex::new(Vec::new()),
+            wake,
+        }
+    }
+
+    fn push(&self, completion: Completion) {
+        self.slots
+            .lock()
+            .expect("completion queue lock")
+            .push(completion);
+        self.wake.wake();
+    }
+
+    fn drain_into(&self, into: &mut Vec<Completion>) {
+        let mut slots = self.slots.lock().expect("completion queue lock");
+        std::mem::swap(&mut *slots, into);
+    }
+}
+
+/// One worker thread: pull complete requests, run the service handler
+/// (panic-isolated), encode the whole HTTP response into the job's
+/// recycled buffer, and ring the completion bell. Exits when the queue
+/// closes.
+pub(crate) fn worker_loop(queue: &JobQueue, completions: &CompletionQueue, state: &ServiceState) {
+    while let Some((job, depth)) = queue.pop() {
+        state.net.queue_depth.store(depth as u64, Ordering::Relaxed);
+        let before = abbd_bbn::jointree_compile_count();
+        // A panic anywhere in routing/diagnosis costs its own request,
+        // never the worker thread: an unguarded unwind would silently
+        // shrink the pool until the server accepts but never serves.
+        let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service::handle(state, &job.request)
+        }));
+        let mut response = match handled {
+            Ok(response) => response,
+            Err(_) => {
+                state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                ApiError::new(500, "internal", "panic while serving the request").into_response()
+            }
+        };
+        let compiled = abbd_bbn::jointree_compile_count() - before;
+        if compiled > 0 {
+            state
+                .stats
+                .worker_compiles
+                .fetch_add(compiled, Ordering::Relaxed);
+        }
+        response.keep_alive = job.keep_alive;
+        let mut buf = job.buf;
+        buf.clear();
+        response.write_into(&mut buf);
+        completions.push(Completion {
+            conn_index: job.conn_index,
+            conn_id: job.conn_id,
+            buf,
+            keep_alive: job.keep_alive,
+        });
+    }
+}
+
+/// Event-loop tuning, split off [`crate::ServerConfig`].
+pub(crate) struct EventLoopConfig {
+    pub idle_timeout: Duration,
+    pub max_requests_per_conn: u64,
+}
+
+/// One connection's state machine: buffered reads, the parse cursor, the
+/// in-flight marker and the write side with its recycled spare buffer.
+struct Conn {
+    /// Generation id, so a completion for a connection that died while
+    /// its request was in the workers cannot be written to a later
+    /// connection reusing the same slot.
+    id: u64,
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Recycled encode buffer: rides along inside the [`Job`], comes
+    /// back as the response's storage, and is reused for the next
+    /// response on this connection.
+    spare: Vec<u8>,
+    interest: u32,
+    in_flight: bool,
+    close_after_write: bool,
+    /// The peer shut its write side down (EOF on read). Requests already
+    /// buffered are still parsed and answered — a client may legitimately
+    /// half-close after its final request — but nothing more will arrive.
+    peer_closed: bool,
+    last_activity: Instant,
+    served: u64,
+}
+
+const LISTENER_TOKEN: u64 = u64::MAX;
+const WAKE_TOKEN: u64 = u64::MAX - 1;
+/// Read chunk size; also the initial spare-buffer guess.
+const READ_CHUNK: usize = 16 * 1024;
+/// How much unparsed pipeline a connection may buffer while a request
+/// is in flight before the event loop stops reading from it and lets
+/// TCP throttle the peer.
+const PIPELINE_BUF_CAP: usize = 256 * 1024;
+
+enum Flush {
+    Done,
+    Pending,
+    Closed,
+}
+
+/// The event loop: owns the listener, the epoll set and every
+/// connection. Built on the main thread (so bind/epoll errors surface
+/// from [`crate::Server::start`]) and then moved into its thread.
+pub(crate) struct EventLoop {
+    epoll_fd: RawFd,
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    queue: Arc<JobQueue>,
+    completions: Arc<CompletionQueue>,
+    wake: Arc<WakeFd>,
+    stop: Arc<AtomicBool>,
+    config: EventLoopConfig,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    freed_this_round: Vec<usize>,
+    next_conn_id: u64,
+    scratch: Vec<u8>,
+}
+
+impl EventLoop {
+    pub(crate) fn new(
+        listener: TcpListener,
+        state: Arc<ServiceState>,
+        queue: Arc<JobQueue>,
+        completions: Arc<CompletionQueue>,
+        wake: Arc<WakeFd>,
+        stop: Arc<AtomicBool>,
+        config: EventLoopConfig,
+    ) -> io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        let epoll_fd = sys::create_epoll()?;
+        let registered = sys::ctl(
+            epoll_fd,
+            sys::EPOLL_CTL_ADD,
+            listener.as_raw_fd(),
+            sys::EPOLLIN,
+            LISTENER_TOKEN,
+        )
+        .and_then(|()| {
+            sys::ctl(
+                epoll_fd,
+                sys::EPOLL_CTL_ADD,
+                wake.fd,
+                sys::EPOLLIN,
+                WAKE_TOKEN,
+            )
+        });
+        if let Err(e) = registered {
+            sys::close_fd(epoll_fd);
+            return Err(e);
+        }
+        Ok(EventLoop {
+            epoll_fd,
+            listener,
+            state,
+            queue,
+            completions,
+            wake,
+            stop,
+            config,
+            conns: Vec::new(),
+            free: Vec::new(),
+            freed_this_round: Vec::new(),
+            next_conn_id: 0,
+            scratch: vec![0u8; READ_CHUNK],
+        })
+    }
+
+    /// Runs until the stop flag trips (the waker gets it out of
+    /// `epoll_wait`). Dropping `self` afterwards closes every socket.
+    pub(crate) fn run(mut self) {
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 1024];
+        // Reap granularity: a quarter of the idle timeout, clamped to
+        // [25 ms, 250 ms] — cheap to scan, precise enough for second-
+        // scale deadlines.
+        let tick = (self.config.idle_timeout / 4)
+            .clamp(Duration::from_millis(25), Duration::from_millis(250));
+        let mut completed = Vec::new();
+        let mut last_reap = Instant::now();
+        while let Ok(ready) = sys::wait(self.epoll_fd, &mut events, tick.as_millis() as i32) {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            for event in &events[..ready] {
+                // Copies, not references: the struct is packed.
+                let (bits, token) = (event.events, event.data);
+                match token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKE_TOKEN => self.wake.drain(),
+                    index => self.conn_ready(index as usize, bits),
+                }
+            }
+            self.completions.drain_into(&mut completed);
+            for completion in completed.drain(..) {
+                self.apply_completion(completion);
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if last_reap.elapsed() >= tick {
+                self.reap_idle();
+                last_reap = Instant::now();
+            }
+            // Slots freed this round become reusable only now, so a
+            // stale readiness event later in the same batch can never
+            // land on a connection that replaced the dead one.
+            self.free.append(&mut self.freed_this_round);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.register(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (EMFILE under fd pressure,
+                // aborted handshakes): give up this readiness round
+                // rather than spinning.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        let fd = stream.as_raw_fd();
+        let index = match self.free.pop() {
+            Some(index) => index,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        let id = self.next_conn_id;
+        self.next_conn_id += 1;
+        if sys::ctl(
+            self.epoll_fd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            sys::EPOLLIN,
+            index as u64,
+        )
+        .is_err()
+        {
+            // Registration failed; the slot goes straight back (no
+            // readiness event can reference it).
+            self.free.push(index);
+            return;
+        }
+        self.conns[index] = Some(Conn {
+            id,
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            spare: Vec::new(),
+            interest: sys::EPOLLIN,
+            in_flight: false,
+            close_after_write: false,
+            peer_closed: false,
+            last_activity: Instant::now(),
+            served: 0,
+        });
+        let net = &self.state.net;
+        net.accepted.fetch_add(1, Ordering::Relaxed);
+        net.open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn conn(&mut self, index: usize) -> Option<&mut Conn> {
+        self.conns.get_mut(index).and_then(Option::as_mut)
+    }
+
+    fn close_conn(&mut self, index: usize) {
+        let Some(slot) = self.conns.get_mut(index) else {
+            return;
+        };
+        let Some(conn) = slot.take() else {
+            return;
+        };
+        let net = &self.state.net;
+        net.open.fetch_sub(1, Ordering::Relaxed);
+        if conn.in_flight {
+            net.active.fetch_sub(1, Ordering::Relaxed);
+        }
+        // Dropping the stream closes the fd, which also removes it from
+        // the epoll set.
+        drop(conn);
+        self.freed_this_round.push(index);
+    }
+
+    fn set_interest(&mut self, index: usize, events: u32) {
+        let epoll_fd = self.epoll_fd;
+        let Some(conn) = self.conn(index) else {
+            return;
+        };
+        if conn.interest == events {
+            return;
+        }
+        let fd = conn.stream.as_raw_fd();
+        if sys::ctl(epoll_fd, sys::EPOLL_CTL_MOD, fd, events, index as u64).is_ok() {
+            if let Some(conn) = self.conn(index) {
+                conn.interest = events;
+            }
+        } else {
+            self.close_conn(index);
+        }
+    }
+
+    fn conn_ready(&mut self, index: usize, bits: u32) {
+        if bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+            self.close_conn(index);
+            return;
+        }
+        if bits & sys::EPOLLIN != 0 && !self.read_ready(index) {
+            return;
+        }
+        self.drive(index);
+    }
+
+    /// Reads everything currently available; `false` means the
+    /// connection was closed here.
+    fn read_ready(&mut self, index: usize) -> bool {
+        loop {
+            let Some(conn) = self.conns.get_mut(index).and_then(Option::as_mut) else {
+                return false;
+            };
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    // EOF: the peer half-closed. Buffered requests still
+                    // get parsed and answered (`drive` closes once the
+                    // buffer runs dry), but the read side is done — drop
+                    // read interest so a level-triggered EOF cannot spin
+                    // the loop.
+                    conn.peer_closed = true;
+                    self.set_interest(index, 0);
+                    return true;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&self.scratch[..n]);
+                    conn.last_activity = Instant::now();
+                    // Backpressure for pipelining floods: while a request
+                    // is in flight (or a response is still flushing) the
+                    // parser is gated, so an aggressive client could grow
+                    // this buffer without bound. Past the cap, drop read
+                    // interest and let TCP throttle the peer; the parse
+                    // path re-arms `EPOLLIN` once the backlog drains.
+                    if conn.read_buf.len() > PIPELINE_BUF_CAP
+                        && (conn.in_flight || !conn.write_buf.is_empty())
+                    {
+                        let events = conn.interest & !sys::EPOLLIN;
+                        self.set_interest(index, events);
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(index);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Advances a connection's state machine as far as it will go
+    /// without new readiness: flush pending writes, then parse-and-
+    /// dispatch buffered requests, iteratively (never recursively, so a
+    /// pipelined flood cannot grow the stack).
+    fn drive(&mut self, index: usize) {
+        loop {
+            match self.flush_step(index) {
+                Flush::Pending | Flush::Closed => return,
+                Flush::Done => {}
+            }
+            if !self.parse_step(index) {
+                return;
+            }
+        }
+    }
+
+    /// Writes as much of the pending response as the socket takes.
+    fn flush_step(&mut self, index: usize) -> Flush {
+        loop {
+            let Some(conn) = self.conn(index) else {
+                return Flush::Closed;
+            };
+            if conn.write_pos >= conn.write_buf.len() {
+                if !conn.write_buf.is_empty() {
+                    // Response fully written: recycle the allocation.
+                    let mut buf = std::mem::take(&mut conn.write_buf);
+                    buf.clear();
+                    conn.write_pos = 0;
+                    conn.last_activity = Instant::now();
+                    if conn.spare.capacity() < buf.capacity() {
+                        conn.spare = buf;
+                    }
+                    if conn.close_after_write {
+                        self.close_conn(index);
+                        return Flush::Closed;
+                    }
+                }
+                return Flush::Done;
+            }
+            let pending = &conn.write_buf[conn.write_pos..];
+            match conn.stream.write(pending) {
+                Ok(0) => {
+                    self.close_conn(index);
+                    return Flush::Closed;
+                }
+                Ok(n) => {
+                    if let Some(conn) = self.conn(index) {
+                        conn.write_pos += n;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.set_interest(index, sys::EPOLLOUT);
+                    return Flush::Pending;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(index);
+                    return Flush::Closed;
+                }
+            }
+        }
+    }
+
+    /// Tries to parse-and-dispatch one request off the read buffer.
+    /// Returns `true` when it made progress worth another `drive` turn
+    /// (a response was staged for flushing).
+    fn parse_step(&mut self, index: usize) -> bool {
+        let stopping = self.stop.load(Ordering::SeqCst);
+        let max_requests = self.config.max_requests_per_conn;
+        let Some(conn) = self.conn(index) else {
+            return false;
+        };
+        if conn.in_flight || !conn.write_buf.is_empty() {
+            return false;
+        }
+        if conn.read_buf.is_empty() {
+            if conn.peer_closed {
+                // Orderly close: every buffered request was answered and
+                // no more can arrive.
+                self.close_conn(index);
+            } else {
+                self.set_interest(index, sys::EPOLLIN);
+            }
+            return false;
+        }
+        match http::parse_request(&conn.read_buf) {
+            Ok(None) => {
+                if conn.peer_closed {
+                    // A truncated request that can never complete.
+                    self.close_conn(index);
+                } else {
+                    self.set_interest(index, sys::EPOLLIN);
+                }
+                false
+            }
+            Ok(Some((request, consumed))) => {
+                conn.read_buf.drain(..consumed);
+                conn.served += 1;
+                conn.last_activity = Instant::now();
+                let keep_alive = request.keep_alive
+                    && conn.served < max_requests
+                    && !stopping
+                    && !conn.peer_closed;
+                let job = Job {
+                    conn_index: index,
+                    conn_id: conn.id,
+                    request,
+                    keep_alive,
+                    buf: std::mem::take(&mut conn.spare),
+                };
+                conn.in_flight = true;
+                let net = &self.state.net;
+                net.active.fetch_add(1, Ordering::Relaxed);
+                match self.queue.try_push(job) {
+                    Ok(depth) => {
+                        net.queue_depth.store(depth as u64, Ordering::Relaxed);
+                        // Read interest stays armed while the request is
+                        // in flight: the `in_flight` gate above keeps a
+                        // pipelined follow-up buffered-but-unparsed, and
+                        // a well-behaved keep-alive round therefore costs
+                        // zero `epoll_ctl` calls. A flooding client is
+                        // paused by the `PIPELINE_BUF_CAP` check in
+                        // `read_ready` instead.
+                        true
+                    }
+                    Err(job) => {
+                        // Queue full (or the server is draining): shed
+                        // this request, keep the connection.
+                        net.active.fetch_sub(1, Ordering::Relaxed);
+                        net.queue_full_rejections.fetch_add(1, Ordering::Relaxed);
+                        self.state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        if let Some(conn) = self.conn(index) {
+                            conn.in_flight = false;
+                            conn.spare = job.buf;
+                        }
+                        let mut response =
+                            ApiError::new(503, "overloaded", "request queue full; retry")
+                                .into_response();
+                        response.retry_after = Some(1);
+                        response.keep_alive = keep_alive;
+                        self.stage_response(index, &response);
+                        true
+                    }
+                }
+            }
+            Err(error) => {
+                self.state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let mut response = match error {
+                    ParseError::Malformed(reason) => {
+                        ApiError::bad_request(format!("malformed request: {reason}"))
+                            .into_response()
+                    }
+                    ParseError::BodyTooLarge => ApiError::new(
+                        413,
+                        "payload_too_large",
+                        format!("body exceeds {} bytes", http::MAX_BODY),
+                    )
+                    .into_response(),
+                };
+                response.keep_alive = false;
+                if let Some(conn) = self.conn(index) {
+                    // The cursor is lost after a framing error; whatever
+                    // else the client sent is unusable.
+                    conn.read_buf.clear();
+                }
+                self.stage_response(index, &response);
+                true
+            }
+        }
+    }
+
+    /// Encodes an event-loop-authored response (parse errors,
+    /// backpressure) into the connection's recycled buffer; the next
+    /// `drive` turn flushes it.
+    fn stage_response(&mut self, index: usize, response: &Response) {
+        let Some(conn) = self.conn(index) else {
+            return;
+        };
+        let mut buf = std::mem::take(&mut conn.spare);
+        buf.clear();
+        response.write_into(&mut buf);
+        conn.write_buf = buf;
+        conn.write_pos = 0;
+        if !response.keep_alive {
+            conn.close_after_write = true;
+        }
+    }
+
+    /// Lands a worker's response on its connection — unless the
+    /// connection died (or was replaced) while the request was in
+    /// flight, in which case the response is discarded.
+    fn apply_completion(&mut self, completion: Completion) {
+        let Some(conn) = self.conn(completion.conn_index) else {
+            return;
+        };
+        if conn.id != completion.conn_id || !conn.in_flight {
+            return;
+        }
+        conn.in_flight = false;
+        conn.write_buf = completion.buf;
+        conn.write_pos = 0;
+        if !completion.keep_alive {
+            conn.close_after_write = true;
+        }
+        self.state.net.active.fetch_sub(1, Ordering::Relaxed);
+        self.drive(completion.conn_index);
+    }
+
+    /// Closes connections idle past the deadline. A connection with a
+    /// request in flight (or bytes still to flush) is active by
+    /// definition and never reaped.
+    fn reap_idle(&mut self) {
+        let deadline = self.config.idle_timeout;
+        let mut expired = Vec::new();
+        for (index, slot) in self.conns.iter().enumerate() {
+            if let Some(conn) = slot {
+                if !conn.in_flight
+                    && conn.write_buf.is_empty()
+                    && conn.last_activity.elapsed() > deadline
+                {
+                    expired.push(index);
+                }
+            }
+        }
+        for index in expired {
+            self.state.net.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+            self.close_conn(index);
+        }
+    }
+}
+
+impl Drop for EventLoop {
+    fn drop(&mut self) {
+        sys::close_fd(self.epoll_fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_queue_bounds_and_drains() {
+        let queue = JobQueue::new(2);
+        let job = |i: usize| Job {
+            conn_index: i,
+            conn_id: i as u64,
+            request: Request {
+                method: "GET".into(),
+                path: "/healthz".into(),
+                body: Vec::new(),
+                keep_alive: true,
+                content_type: None,
+                accept: None,
+            },
+            keep_alive: true,
+            buf: Vec::new(),
+        };
+        assert_eq!(queue.try_push(job(0)).map_err(|_| ()), Ok(1));
+        assert!(queue.try_push(job(1)).is_ok());
+        assert!(queue.try_push(job(2)).is_err(), "third push exceeds cap");
+        let (first, _) = queue.pop().expect("first job");
+        assert_eq!(first.conn_index, 0);
+        queue.close();
+        let (second, _) = queue.pop().expect("queued jobs drain after close");
+        assert_eq!(second.conn_index, 1);
+        assert!(queue.pop().is_none(), "closed and empty");
+    }
+
+    #[test]
+    fn wake_fd_rings_and_drains() {
+        let wake = WakeFd::new().expect("eventfd");
+        wake.wake();
+        wake.wake();
+        wake.drain();
+        // Draining an already-empty fd must not block (EFD_NONBLOCK).
+        wake.drain();
+    }
+}

@@ -5,8 +5,10 @@
 //! serde DTOs of `abbd_core::session` ([`SessionRequest`] /
 //! [`SessionReport`]) plus the thin wire envelopes defined here.
 
+use crate::codec;
 use crate::error::ApiError;
 use crate::http::{Request, Response};
+use crate::net::NetStats;
 use crate::registry::{ModelInfo, ModelRegistry};
 use crate::store::{SessionStore, StoreStats};
 use abbd_core::{
@@ -14,6 +16,7 @@ use abbd_core::{
     StoppingPolicy,
 };
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -45,6 +48,8 @@ pub struct ServiceState {
     pub store: SessionStore,
     /// Serving counters.
     pub stats: ServiceStats,
+    /// Connection-layer counters, maintained by the event loop.
+    pub net: NetStats,
     /// Worker-pool width, which also caps batch fan-out.
     pub workers: usize,
 }
@@ -154,6 +159,20 @@ pub struct StatsReport {
     pub sessions_expired: u64,
     /// Sessions evicted by LRU pressure.
     pub sessions_evicted: u64,
+    /// Connections ever accepted.
+    pub connections_accepted: u64,
+    /// Currently open connections (gauge).
+    pub connections_open: u64,
+    /// Open connections with no request in flight right now (gauge).
+    pub connections_idle: u64,
+    /// Open connections with a request in flight right now (gauge).
+    pub connections_active: u64,
+    /// Requests waiting for a worker right now (gauge).
+    pub queue_depth: u64,
+    /// Requests answered `503` because the worker queue was full.
+    pub queue_full_rejections: u64,
+    /// Idle connections reaped by the per-connection timeout.
+    pub idle_timeouts: u64,
 }
 
 fn parse_json<T: Deserialize>(body: &[u8]) -> Result<T, ApiError> {
@@ -168,6 +187,44 @@ fn json_response(status: u16, value: &impl Serialize) -> Response {
         Err(e) => {
             ApiError::new(500, "internal", format!("response encoding failed: {e}")).into_response()
         }
+    }
+}
+
+/// `true` when the request *body* is the compact binary codec
+/// (`content-type: application/x-abbd-binary`, parameters ignored).
+fn binary_body(request: &Request) -> bool {
+    request.content_type.as_deref().is_some_and(|value| {
+        let media = value.split(';').next().unwrap_or("").trim();
+        media.eq_ignore_ascii_case(codec::CONTENT_TYPE)
+    })
+}
+
+/// `true` when the client asked for a binary *reply* (`accept` lists the
+/// codec's media type). Errors stay JSON regardless — a client that
+/// cannot parse its own failure is debugging blind.
+fn binary_reply(request: &Request) -> bool {
+    request
+        .accept
+        .as_deref()
+        .is_some_and(|value| value.to_ascii_lowercase().contains(codec::CONTENT_TYPE))
+}
+
+/// Decodes the request body in whichever format the headers declare.
+fn parse_body<T: Deserialize>(request: &Request) -> Result<T, ApiError> {
+    if binary_body(request) {
+        codec::from_frame(&request.body)
+            .map_err(|e| ApiError::bad_request(format!("body does not parse: {e}")))
+    } else {
+        parse_json(&request.body)
+    }
+}
+
+/// Encodes a success reply in whichever format the request negotiated.
+fn reply(request: &Request, status: u16, value: &impl Serialize) -> Response {
+    if binary_reply(request) {
+        Response::binary(status, codec::to_frame(value))
+    } else {
+        json_response(status, value)
     }
 }
 
@@ -186,7 +243,8 @@ fn route(state: &ServiceState, request: &Request) -> Result<Response, ApiError> 
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     let method = request.method.as_str();
     match (method, segments.as_slice()) {
-        ("GET", ["healthz"]) => Ok(json_response(
+        ("GET", ["healthz"]) => Ok(reply(
+            request,
             200,
             &HealthReport {
                 status: "ok".to_string(),
@@ -194,20 +252,20 @@ fn route(state: &ServiceState, request: &Request) -> Result<Response, ApiError> 
                 sessions: state.store.stats().live,
             },
         )),
-        ("GET", ["v1", "models"]) => Ok(json_response(
+        ("GET", ["v1", "models"]) => Ok(reply(
+            request,
             200,
             &ModelsReport {
                 models: state.registry.list(),
             },
         )),
-        ("GET", ["v1", "stats"]) => Ok(json_response(200, &stats_report(state))),
-        ("POST", ["v1", "models", name, "sessions"]) => open_session(state, name, &request.body),
-        ("POST", ["v1", "models", name, "serve"]) => serve_stateless(state, name, &request.body),
-        ("POST", ["v1", "models", name, "diagnose_batch"]) => {
-            diagnose_batch(state, name, &request.body)
-        }
-        ("POST", ["v1", "sessions", id, "round"]) => session_round(state, id, &request.body),
-        ("DELETE", ["v1", "sessions", id]) => Ok(json_response(
+        ("GET", ["v1", "stats"]) => Ok(reply(request, 200, &stats_report(state))),
+        ("POST", ["v1", "models", name, "sessions"]) => open_session(state, name, request),
+        ("POST", ["v1", "models", name, "serve"]) => serve_stateless(state, name, request),
+        ("POST", ["v1", "models", name, "diagnose_batch"]) => diagnose_batch(state, name, request),
+        ("POST", ["v1", "sessions", id, "round"]) => session_round(state, id, request),
+        ("DELETE", ["v1", "sessions", id]) => Ok(reply(
+            request,
             200,
             &CloseSessionReply {
                 closed: state.store.close(id),
@@ -230,6 +288,8 @@ fn stats_report(state: &ServiceState) -> StatsReport {
         expired,
         evicted,
     } = state.store.stats();
+    let open = state.net.open.load(Ordering::Relaxed);
+    let active = state.net.active.load(Ordering::Relaxed);
     StatsReport {
         requests: state.stats.requests.load(Ordering::Relaxed),
         rounds: state.stats.rounds.load(Ordering::Relaxed),
@@ -241,6 +301,13 @@ fn stats_report(state: &ServiceState) -> StatsReport {
         sessions_opened: opened,
         sessions_expired: expired,
         sessions_evicted: evicted,
+        connections_accepted: state.net.accepted.load(Ordering::Relaxed),
+        connections_open: open,
+        connections_idle: open.saturating_sub(active),
+        connections_active: active,
+        queue_depth: state.net.queue_depth.load(Ordering::Relaxed),
+        queue_full_rejections: state.net.queue_full_rejections.load(Ordering::Relaxed),
+        idle_timeouts: state.net.idle_timeouts.load(Ordering::Relaxed),
     }
 }
 
@@ -251,12 +318,13 @@ fn stats_report(state: &ServiceState) -> StatsReport {
 // stored round byte-identical to `CompiledModel::serve`; open-time knobs
 // would be silently superseded by the first round and are refused a
 // place in the protocol rather than left as a trap.
-fn open_session(state: &ServiceState, name: &str, _body: &[u8]) -> Result<Response, ApiError> {
+fn open_session(state: &ServiceState, name: &str, request: &Request) -> Result<Response, ApiError> {
     let compiled = state.registry.get(name)?;
     let session = DiagnosisSession::new(Arc::clone(compiled), StoppingPolicy::default())
         .map_err(|e| ApiError::from_core(&e))?;
     let session_id = state.store.open(name, session)?;
-    Ok(json_response(
+    Ok(reply(
+        request,
         201,
         &OpenSessionReply {
             session_id,
@@ -265,20 +333,24 @@ fn open_session(state: &ServiceState, name: &str, _body: &[u8]) -> Result<Respon
     ))
 }
 
-fn serve_stateless(state: &ServiceState, name: &str, body: &[u8]) -> Result<Response, ApiError> {
+fn serve_stateless(
+    state: &ServiceState,
+    name: &str,
+    request: &Request,
+) -> Result<Response, ApiError> {
     let compiled = state.registry.get(name)?;
-    let request: SessionRequest = parse_json(body)?;
+    let round: SessionRequest = parse_body(request)?;
     let report = compiled
-        .serve(&request)
+        .serve(&round)
         .map_err(|e| ApiError::from_core(&e))?;
     state.stats.stateless_rounds.fetch_add(1, Ordering::Relaxed);
-    Ok(json_response(200, &report))
+    Ok(reply(request, 200, &report))
 }
 
-fn session_round(state: &ServiceState, id: &str, body: &[u8]) -> Result<Response, ApiError> {
+fn session_round(state: &ServiceState, id: &str, request: &Request) -> Result<Response, ApiError> {
     // Parse before checkout so malformed bodies never toggle the busy
     // marker.
-    let request: SessionRequest = parse_json(body)?;
+    let round_request: SessionRequest = parse_body(request)?;
     let mut stored = state.store.checkout(id)?;
     // `serve_round` rolls the session back on any failure, so checking
     // it back in after an error hands the client a clean retry; a panic
@@ -286,7 +358,7 @@ fn session_round(state: &ServiceState, id: &str, body: &[u8]) -> Result<Response
     // half-mutated session must not serve again, and the busy marker
     // must not wedge the slot forever.
     let round = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        stored.session.serve_round(&request)
+        stored.session.serve_round(&round_request)
     }));
     match round {
         Ok(result) => {
@@ -296,7 +368,7 @@ fn session_round(state: &ServiceState, id: &str, body: &[u8]) -> Result<Response
                 state.stats.rounds.fetch_add(1, Ordering::Relaxed);
             }
             state.store.checkin(id, stored);
-            Ok(json_response(200, &result?))
+            Ok(reply(request, 200, &result?))
         }
         Err(_) => {
             drop(stored);
@@ -310,9 +382,17 @@ fn session_round(state: &ServiceState, id: &str, body: &[u8]) -> Result<Response
     }
 }
 
-fn diagnose_batch(state: &ServiceState, name: &str, body: &[u8]) -> Result<Response, ApiError> {
+fn diagnose_batch(
+    state: &ServiceState,
+    name: &str,
+    request: &Request,
+) -> Result<Response, ApiError> {
     let compiled = state.registry.get(name)?;
-    let batch: BatchRequest = parse_json(body)?;
+    let batch = if binary_body(request) {
+        parse_batch_binary(&request.body)?
+    } else {
+        parse_json(&request.body)?
+    };
     let policy = match batch.deduction {
         Some(p) => {
             p.validate().map_err(|e| ApiError::from_core(&e))?;
@@ -331,7 +411,53 @@ fn diagnose_batch(state: &ServiceState, name: &str, body: &[u8]) -> Result<Respo
         .stats
         .batch_items
         .fetch_add(batch.observations.len() as u64, Ordering::Relaxed);
-    Ok(json_response(200, &BatchReply { reports }))
+    if binary_reply(request) {
+        // Row-oriented streaming reply: one frame per entry, in input
+        // order, concatenated — a client can decode (and act on) each
+        // device's diagnosis as it arrives.
+        let mut body = Vec::new();
+        for entry in &reports {
+            codec::write_frame(&entry.to_value(), &mut body);
+        }
+        Ok(Response::binary(200, body))
+    } else {
+        Ok(json_response(200, &BatchReply { reports }))
+    }
+}
+
+/// Header frame of a binary (streaming) batch request: the batch-wide
+/// knobs, followed on the wire by one [`Observation`] frame per row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BatchHeader {
+    /// Deduction-policy override applied to every row.
+    #[serde(default)]
+    deduction: Option<DeductionPolicy>,
+}
+
+/// Decodes a binary `diagnose_batch` body: one header frame, then one
+/// observation frame per row. Rows decode frame by frame — no giant
+/// intermediate array value.
+fn parse_batch_binary(body: &[u8]) -> Result<BatchRequest, ApiError> {
+    let bad = |e: codec::CodecError| ApiError::bad_request(format!("body does not parse: {e}"));
+    let mut pos = 0;
+    let header_value = codec::read_frame(body, &mut pos).map_err(bad)?;
+    let header = BatchHeader::from_value(&header_value)
+        .map_err(|e| ApiError::bad_request(format!("batch header does not parse: {e}")))?;
+    let mut observations = Vec::new();
+    while pos < body.len() {
+        let row = codec::read_frame(body, &mut pos).map_err(bad)?;
+        let observation = Observation::from_value(&row).map_err(|e| {
+            ApiError::bad_request(format!(
+                "batch row {} does not parse: {e}",
+                observations.len()
+            ))
+        })?;
+        observations.push(observation);
+    }
+    Ok(BatchRequest {
+        observations,
+        deduction: header.deduction,
+    })
 }
 
 /// Fans `observations` across up to `workers` scoped threads, one
@@ -342,6 +468,16 @@ fn diagnose_batch(state: &ServiceState, name: &str, body: &[u8]) -> Result<Respo
 /// its (thread-local) junction-tree compile delta into `compiles` —
 /// the counter is per-thread, so the connection worker's own sampling
 /// cannot see what happens here.
+///
+/// Identical rows are identical work: ATE fan-outs routinely carry many
+/// devices whose discretised signatures coincide (the observation
+/// alphabet is small), so rows are first grouped by their exact
+/// encoding and each distinct evidence vector is diagnosed **once**;
+/// the entry is then replicated per duplicate row. Duplicates share
+/// the same bytes they would have computed independently — same input,
+/// same kernel, same output — so the reply is indistinguishable from
+/// the row-by-row run, at the cost of one diagnosis per *distinct*
+/// signature instead of one per device.
 fn fan_out(
     compiled: &Arc<CompiledModel>,
     observations: &[Observation],
@@ -352,11 +488,27 @@ fn fan_out(
     if observations.is_empty() {
         return Vec::new();
     }
-    let threads = workers.clamp(1, observations.len());
-    let chunk_len = observations.len().div_ceil(threads);
-    let mut reports = Vec::with_capacity(observations.len());
+    // Group by the canonical JSON rendering — unambiguous, and
+    // conservative: rows listing the same pairs in a different order
+    // stay separate, so a grouped row replays the exact compute path
+    // its own encoding would have taken.
+    let mut slot_of_key: HashMap<String, usize> = HashMap::new();
+    let mut unique: Vec<&Observation> = Vec::new();
+    let mut slot_of_row: Vec<usize> = Vec::with_capacity(observations.len());
+    for observation in observations {
+        let key = serde_json::to_string(observation).expect("observation encodes");
+        let next = unique.len();
+        let slot = *slot_of_key.entry(key).or_insert(next);
+        if slot == next {
+            unique.push(observation);
+        }
+        slot_of_row.push(slot);
+    }
+    let threads = workers.clamp(1, unique.len());
+    let chunk_len = unique.len().div_ceil(threads);
+    let mut entries = Vec::with_capacity(unique.len());
     std::thread::scope(|scope| {
-        let handles: Vec<_> = observations
+        let handles: Vec<_> = unique
             .chunks(chunk_len)
             .map(|chunk| {
                 scope.spawn(move || {
@@ -375,10 +527,13 @@ fn fan_out(
             })
             .collect();
         for handle in handles {
-            reports.extend(handle.join().expect("batch worker never panics"));
+            entries.extend(handle.join().expect("batch worker never panics"));
         }
     });
-    reports
+    slot_of_row
+        .into_iter()
+        .map(|slot| entries[slot].clone())
+        .collect()
 }
 
 fn diagnose_one(

@@ -6,7 +6,8 @@
 
 use abbd_core::fixtures::toy_compiled_model;
 use abbd_server::{
-    Client, ErrorBody, HealthReport, ModelRegistry, Server, ServerConfig, SessionRequest,
+    codec, Client, ErrorBody, HealthReport, ModelRegistry, OpenSessionReply, Server, ServerConfig,
+    SessionRequest,
 };
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -164,6 +165,81 @@ fn batch_isolates_per_item_failures() {
     assert!(reply.reports[2].ok.is_some(), "later items unaffected");
 }
 
+/// Opens a session, serves one full round pinning `pin = 1`, and
+/// returns the round path + session id.
+fn session_with_pin(c: &mut Client) -> (String, String) {
+    let (status, body) = c.post("/v1/models/toy/sessions", "{}").unwrap();
+    assert_eq!(status, 201, "open failed: {body}");
+    let open: OpenSessionReply = serde_json::from_str(&body).unwrap();
+    let path = format!("/v1/sessions/{}/round", open.session_id);
+    let mut first = SessionRequest::new(Default::default());
+    first.observation.set("pin", 1);
+    let (status, body) = c
+        .post(&path, &serde_json::to_string(&first).unwrap())
+        .unwrap();
+    assert_eq!(status, 200, "first round failed: {body}");
+    (path, open.session_id)
+}
+
+/// What every round on a `pin = 1` session must answer: the report of a
+/// fresh session given exactly that evidence.
+fn pin_reference_json() -> String {
+    let mut request = SessionRequest::new(Default::default());
+    request.observation.set("pin", 1);
+    let reference = toy_compiled_model().serve(&request).unwrap();
+    serde_json::to_string(&reference).unwrap()
+}
+
+#[test]
+fn inconsistent_deltas_are_422_and_leave_the_session_untouched() {
+    let mut c = client();
+    let (path, id) = session_with_pin(&mut c);
+
+    // A delta that contradicts the stored evidence — and smuggles a new
+    // variable alongside, which must not leak in either.
+    let mut bad = SessionRequest::new(Default::default()).into_delta();
+    bad.observation.set("pin", 0);
+    bad.observation.set("out1", 1);
+    let (status, body) = c
+        .post(&path, &serde_json::to_string(&bad).unwrap())
+        .unwrap();
+    assert_eq!(
+        decode_error(status, &body),
+        (422, "inconsistent_delta".into())
+    );
+
+    // An empty delta replays the stored evidence: byte-identical to a
+    // fresh session holding only `pin = 1`, so neither the contradiction
+    // nor the smuggled `out1` took.
+    let replay = SessionRequest::new(Default::default()).into_delta();
+    let (status, wire) = c
+        .post(&path, &serde_json::to_string(&replay).unwrap())
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(wire, pin_reference_json());
+    let _ = c.delete(&format!("/v1/sessions/{id}"));
+}
+
+#[test]
+fn binary_rounds_answer_the_same_report_as_json() {
+    let mut c = client();
+    let mut request = SessionRequest::new(Default::default());
+    request.observation.set("pin", 1);
+    let (status, bytes) = c
+        .post_binary("/v1/models/toy/serve", &codec::to_frame(&request))
+        .unwrap();
+    assert_eq!(status, 200);
+    let reference = toy_compiled_model().serve(&request).unwrap();
+    // The reply frame is exactly the codec encoding of the reference
+    // report, and it decodes to the same report the JSON path serves.
+    assert_eq!(bytes, codec::to_frame(&reference));
+    let decoded: abbd_server::SessionReport = codec::from_frame(&bytes).unwrap();
+    assert_eq!(
+        serde_json::to_string(&decoded).unwrap(),
+        serde_json::to_string(&reference).unwrap()
+    );
+}
+
 fn healthy() -> bool {
     let mut c = client();
     match c.get("/healthz") {
@@ -199,5 +275,64 @@ proptest! {
             prop_assert!(status == 400 || status == 422, "status {status}");
         }
         prop_assert!(healthy(), "server died after framed {body:?}");
+    }
+
+    /// Garbage presented as the compact binary codec — wrong magic,
+    /// truncated frames, lying length prefixes — is refused with a
+    /// client error, never a crash.
+    #[test]
+    fn binary_junk_bodies_never_kill_the_server(body in proptest::collection::vec(0u8..=255, 0..256)) {
+        let mut c = client();
+        if let Ok((status, _)) = c.post_binary("/v1/models/toy/serve", &body) {
+            prop_assert!(status == 400 || status == 422, "status {status}");
+        }
+        prop_assert!(healthy(), "server died after binary {body:?}");
+    }
+
+    /// A single corrupted byte inside an otherwise valid binary frame is
+    /// either still decodable (some bytes are payload) or refused — and
+    /// the server survives both.
+    #[test]
+    fn corrupted_binary_frames_never_kill_the_server(pos in 0usize..1024, byte in 0u8..=255) {
+        let mut frame = codec::to_frame(&SessionRequest::new(Default::default()));
+        let idx = pos % frame.len();
+        frame[idx] = byte;
+        let mut c = client();
+        if let Ok((status, _)) = c.post_binary("/v1/models/toy/serve", &frame) {
+            prop_assert!(status == 200 || status == 400 || status == 422, "status {status}");
+        }
+        prop_assert!(healthy(), "server died after flipping byte {idx} to {byte}");
+    }
+
+    /// Hostile delta rounds — contradictions, unknown variables,
+    /// out-of-range states, in any mix — never corrupt the stored
+    /// session: afterwards an empty delta still answers exactly what the
+    /// untouched evidence dictates.
+    #[test]
+    fn malformed_deltas_never_corrupt_sessions(
+        pairs in proptest::collection::vec((proptest::bool::ANY, 0usize..8), 0..4),
+    ) {
+        let mut c = client();
+        let (path, id) = session_with_pin(&mut c);
+        // Every generated pair either re-observes `pin` (state 1 is the
+        // idempotent no-op, anything else a contradiction or range
+        // error) or names an unknown variable — so no case can
+        // *legitimately* extend the evidence, and the session must stay
+        // exactly `{pin: 1}` whatever the server answered.
+        let mut hostile = SessionRequest::new(Default::default()).into_delta();
+        for (ghost, state) in &pairs {
+            if *ghost {
+                hostile.observation.set("ghost_pin", *state);
+            } else {
+                hostile.observation.set("pin", *state);
+            }
+        }
+        let (_, _) = c.post(&path, &serde_json::to_string(&hostile).unwrap()).unwrap();
+        let replay = SessionRequest::new(Default::default()).into_delta();
+        let (status, wire) = c.post(&path, &serde_json::to_string(&replay).unwrap()).unwrap();
+        prop_assert_eq!(status, 200);
+        prop_assert_eq!(wire, pin_reference_json(), "session drifted after {:?}", pairs);
+        let _ = c.delete(&format!("/v1/sessions/{id}"));
+        prop_assert!(healthy());
     }
 }

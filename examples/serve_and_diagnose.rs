@@ -9,8 +9,8 @@
 use abbd::core::fixtures::toy_compiled_model;
 use abbd::core::{Observation, SessionReport, SessionRequest};
 use abbd::server::{
-    Client, HealthReport, ModelRegistry, ModelsReport, OpenSessionReply, Server, ServerConfig,
-    StatsReport,
+    codec, Client, HealthReport, ModelRegistry, ModelsReport, OpenSessionReply, Server,
+    ServerConfig, StatsReport,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -80,7 +80,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // 5. Close the session and look at the serving counters.
+    // 5. The same loop, cheaper on the wire: a second session driven
+    //    with the compact binary codec and **delta rounds**. The first
+    //    request carries the full picture; every later one carries only
+    //    the measurement just taken (`delta: true`) — the server already
+    //    holds the rest. Replies come back as binary frames too
+    //    (`accept: application/x-abbd-binary`), and decode to exactly
+    //    the reports the JSON loop saw.
+    let (_, open2) = client.post("/v1/models/toy/sessions", "{}")?;
+    let open2: OpenSessionReply = serde_json::from_str(&open2)?;
+    let round_path = format!("/v1/sessions/{}/round", open2.session_id);
+    let mut observation = Observation::new();
+    observation.set("pin", 1);
+    let mut request = SessionRequest::new(observation);
+    for round in 1.. {
+        let (_, frame) = client.post_binary(&round_path, &codec::to_frame(&request))?;
+        let report: SessionReport = codec::from_frame(&frame)?;
+        println!(
+            "binary round {round}: {} bytes on the wire, top candidate {:?}",
+            frame.len(),
+            report.top_candidate
+        );
+        if let Some(stop) = report.stop {
+            println!("binary+delta loop stops: {stop:?}");
+            break;
+        }
+        let next = &report.ranked[0];
+        let (state, failing) = bench(next.action.target());
+        // Only the new evidence rides the next request.
+        let mut fresh = Observation::new();
+        fresh.set(next.action.target(), state);
+        if failing {
+            fresh.mark_failing(next.action.target());
+        }
+        request = SessionRequest::new(fresh).into_delta();
+    }
+    client.delete(&format!("/v1/sessions/{}", open2.session_id))?;
+
+    // 6. Close the first session and look at the serving counters.
     client.delete(&format!("/v1/sessions/{}", open.session_id))?;
     let (_, stats) = client.get("/v1/stats")?;
     let stats: StatsReport = serde_json::from_str(&stats)?;

@@ -1,28 +1,41 @@
 //! `abbd-loadgen` — drive a running `abbd-serve` and measure throughput.
 //!
 //! Generates the d1 decision-round workload (the regulator case study's
-//! control states, all posteriors + ranked actions per round) in three
-//! shapes and reports rounds/sec and mean latency:
+//! control states, all posteriors + ranked actions per round) and
+//! reports items/sec plus latency percentiles (p50/p95/p99):
 //!
-//! * `--mode session` (default): each client opens one stored session
-//!   and posts rounds to it — the store-amortised path;
+//! * `--mode session` (default): each connection opens one stored
+//!   session and posts rounds to it — the store-amortised path;
 //! * `--mode stateless`: each round goes to `/v1/models/{m}/serve`,
 //!   paying the fresh-session setup every time;
 //! * `--mode batch`: `--batch-size` evidence sets per
 //!   `/v1/models/{m}/diagnose_batch` request (diagnosis only, fanned
-//!   across the server's worker pool); the rate counts *items*.
+//!   across the server's worker pool); the rate counts *items*;
+//! * `--mode idle-soak`: open `--connections` keep-alive connections,
+//!   hold them idle for `--soak-secs`, and poll `/v1/stats` — the
+//!   readiness-driven server holds thousands of idle connections over a
+//!   handful of workers, and this mode proves it against a live process.
+//!
+//! `--connections N` (default: one per client) spreads each client's
+//! rounds round-robin across N/clients keep-alive connections, so the
+//! open-connection count can dwarf the server's worker pool. `--binary`
+//! switches bodies and replies to the compact binary codec, and
+//! `--delta` (session mode) sends incremental rounds: the controls
+//! travel once, every later round re-plans on the session's stored
+//! evidence with an empty delta — the minimal wire cost per decision.
 //!
 //! ```text
 //! abbd-loadgen [--addr 127.0.0.1:7171] [--model regulator]
-//!              [--mode session|stateless|batch] [--rounds 200]
-//!              [--clients 1] [--batch-size 16]
+//!              [--mode session|stateless|batch|idle-soak] [--rounds 200]
+//!              [--clients 1] [--connections N] [--batch-size 16]
+//!              [--binary] [--delta] [--soak-secs 10]
 //! ```
 
 use abbd::core::{Observation, SessionRequest};
 use abbd::designs::regulator::cases::case_studies;
-use abbd::server::{Client, OpenSessionReply};
+use abbd::server::{codec, Client, OpenSessionReply, StatsReport};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 #[derive(Clone)]
 struct Args {
@@ -31,7 +44,11 @@ struct Args {
     mode: String,
     rounds: usize,
     clients: usize,
+    connections: usize,
     batch_size: usize,
+    binary: bool,
+    delta: bool,
+    soak_secs: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,7 +58,11 @@ fn parse_args() -> Result<Args, String> {
         mode: "session".to_string(),
         rounds: 200,
         clients: 1,
+        connections: 0, // resolved below: defaults to one per client
         batch_size: 16,
+        binary: false,
+        delta: false,
+        soak_secs: 10,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -60,32 +81,60 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--clients: {e}"))?;
             }
+            "--connections" => {
+                args.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?;
+            }
             "--batch-size" => {
                 args.batch_size = value("--batch-size")?
                     .parse()
                     .map_err(|e| format!("--batch-size: {e}"))?;
+            }
+            "--binary" => args.binary = true,
+            "--delta" => args.delta = true,
+            "--soak-secs" => {
+                args.soak_secs = value("--soak-secs")?
+                    .parse()
+                    .map_err(|e| format!("--soak-secs: {e}"))?;
             }
             "--help" | "-h" => {
                 println!(
                     "abbd-loadgen: throughput driver for abbd-serve\n\n  \
                      --addr ADDR      server address (default 127.0.0.1:7171)\n  \
                      --model NAME     registry model (default regulator)\n  \
-                     --mode MODE      session | stateless | batch (default session)\n  \
+                     --mode MODE      session | stateless | batch | idle-soak (default session)\n  \
                      --rounds N       rounds per client (default 200)\n  \
-                     --clients N      concurrent clients (default 1)\n  \
-                     --batch-size N   evidence sets per batch request (default 16)"
+                     --clients N      concurrent client threads (default 1)\n  \
+                     --connections N  keep-alive connections to spread over (default: clients;\n                   \
+                     idle-soak default 1000)\n  \
+                     --batch-size N   evidence sets per batch request (default 16)\n  \
+                     --binary         compact binary bodies and replies\n  \
+                     --delta          incremental session rounds (controls travel once)\n  \
+                     --soak-secs N    idle-soak hold time (default 10)"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
-    if !["session", "stateless", "batch"].contains(&args.mode.as_str()) {
+    if !["session", "stateless", "batch", "idle-soak"].contains(&args.mode.as_str()) {
         return Err(format!(
-            "--mode must be session|stateless|batch, got `{}`",
+            "--mode must be session|stateless|batch|idle-soak, got `{}`",
             args.mode
         ));
     }
+    if args.delta && args.mode != "session" {
+        return Err("--delta only makes sense with --mode session".to_string());
+    }
+    if args.connections == 0 {
+        args.connections = if args.mode == "idle-soak" {
+            1000
+        } else {
+            args.clients
+        };
+    }
+    args.connections = args.connections.max(args.clients);
     Ok(args)
 }
 
@@ -107,52 +156,217 @@ fn check(status: u16, body: &str, what: &str) -> Result<(), String> {
     }
 }
 
-/// Runs one client's share; returns items completed.
-fn run_client(args: &Args) -> Result<usize, String> {
-    let mut client = Client::connect(&args.addr).map_err(|e| format!("connect: {e}"))?;
-    let request = SessionRequest::new(d1_controls());
-    let round_json = serde_json::to_string(&request).map_err(|e| e.to_string())?;
+/// Posts one request in the negotiated format, timing it.
+fn timed_post(
+    client: &mut Client,
+    path: &str,
+    json: &str,
+    frame: &[u8],
+    binary: bool,
+    what: &str,
+    latencies: &mut Vec<Duration>,
+) -> Result<(), String> {
+    let start = Instant::now();
+    let (status, text) = if binary {
+        let (status, bytes) = client.post_binary(path, frame).map_err(|e| e.to_string())?;
+        (status, String::from_utf8_lossy(&bytes).into_owned())
+    } else {
+        client.post(path, json).map_err(|e| e.to_string())?
+    };
+    latencies.push(start.elapsed());
+    check(status, &text, what)
+}
+
+/// Runs one client's share over its slice of keep-alive connections;
+/// returns (items completed, per-request latencies).
+fn run_client(args: &Args, conns_here: usize) -> Result<(usize, Vec<Duration>), String> {
+    let mut clients = Vec::with_capacity(conns_here);
+    for _ in 0..conns_here {
+        clients.push(Client::connect(&args.addr).map_err(|e| format!("connect: {e}"))?);
+    }
+    let full = SessionRequest::new(d1_controls());
+    let full_json = serde_json::to_string(&full).map_err(|e| e.to_string())?;
+    let full_frame = codec::to_frame(&full);
+    let mut latencies = Vec::with_capacity(args.rounds);
     match args.mode.as_str() {
         "stateless" => {
             let path = format!("/v1/models/{}/serve", args.model);
-            for _ in 0..args.rounds {
-                let (status, body) = client.post(&path, &round_json).map_err(|e| e.to_string())?;
-                check(status, &body, "serve")?;
+            for i in 0..args.rounds {
+                let client = &mut clients[i % conns_here];
+                timed_post(
+                    client,
+                    &path,
+                    &full_json,
+                    &full_frame,
+                    args.binary,
+                    "serve",
+                    &mut latencies,
+                )?;
             }
-            Ok(args.rounds)
+            Ok((args.rounds, latencies))
         }
         "session" => {
-            let (status, body) = client
-                .post(&format!("/v1/models/{}/sessions", args.model), "{}")
-                .map_err(|e| e.to_string())?;
-            check(status, &body, "open")?;
-            let open: OpenSessionReply =
-                serde_json::from_str(&body).map_err(|e| format!("open reply: {e}"))?;
-            let path = format!("/v1/sessions/{}/round", open.session_id);
-            for _ in 0..args.rounds {
-                let (status, body) = client.post(&path, &round_json).map_err(|e| e.to_string())?;
-                check(status, &body, "round")?;
+            // One stored session per connection (one device per wire).
+            let mut paths = Vec::with_capacity(conns_here);
+            let mut ids = Vec::with_capacity(conns_here);
+            for client in &mut clients {
+                let (status, body) = client
+                    .post(&format!("/v1/models/{}/sessions", args.model), "{}")
+                    .map_err(|e| e.to_string())?;
+                check(status, &body, "open")?;
+                let open: OpenSessionReply =
+                    serde_json::from_str(&body).map_err(|e| format!("open reply: {e}"))?;
+                paths.push(format!("/v1/sessions/{}/round", open.session_id));
+                ids.push(open.session_id);
             }
-            let _ = client.delete(&format!("/v1/sessions/{}", open.session_id));
-            Ok(args.rounds)
+            // Delta rounds: the controls travel once per session, then
+            // every timed round is an empty incremental re-plan.
+            let delta = SessionRequest::new(Observation::new()).into_delta();
+            let delta_json = serde_json::to_string(&delta).map_err(|e| e.to_string())?;
+            let delta_frame = codec::to_frame(&delta);
+            if args.delta {
+                for (client, path) in clients.iter_mut().zip(&paths) {
+                    let mut warmup = Vec::new();
+                    timed_post(
+                        client,
+                        path,
+                        &full_json,
+                        &full_frame,
+                        args.binary,
+                        "round",
+                        &mut warmup,
+                    )?;
+                }
+            }
+            let (round_json, round_frame) = if args.delta {
+                (&delta_json, &delta_frame)
+            } else {
+                (&full_json, &full_frame)
+            };
+            for i in 0..args.rounds {
+                let slot = i % conns_here;
+                timed_post(
+                    &mut clients[slot],
+                    &paths[slot],
+                    round_json,
+                    round_frame,
+                    args.binary,
+                    "round",
+                    &mut latencies,
+                )?;
+            }
+            for (client, id) in clients.iter_mut().zip(&ids) {
+                let _ = client.delete(&format!("/v1/sessions/{id}"));
+            }
+            Ok((args.rounds, latencies))
         }
         _ => {
             let observations: Vec<Observation> =
                 (0..args.batch_size).map(|_| d1_controls()).collect();
             let body = serde_json::to_string(&abbd::server::BatchRequest {
-                observations,
+                observations: observations.clone(),
                 deduction: None,
             })
             .map_err(|e| e.to_string())?;
+            // Binary batch: one header frame, then one frame per row.
+            let mut frame = Vec::new();
+            codec::write_frame(&serde::Serialize::to_value(&BatchHeader), &mut frame);
+            for obs in &observations {
+                codec::write_frame(&serde::Serialize::to_value(obs), &mut frame);
+            }
             let path = format!("/v1/models/{}/diagnose_batch", args.model);
             let requests = args.rounds.div_ceil(args.batch_size).max(1);
-            for _ in 0..requests {
-                let (status, reply) = client.post(&path, &body).map_err(|e| e.to_string())?;
-                check(status, &reply, "diagnose_batch")?;
+            for i in 0..requests {
+                let client = &mut clients[i % conns_here];
+                timed_post(
+                    client,
+                    &path,
+                    &body,
+                    &frame,
+                    args.binary,
+                    "diagnose_batch",
+                    &mut latencies,
+                )?;
             }
-            Ok(requests * args.batch_size)
+            Ok((requests * args.batch_size, latencies))
         }
     }
+}
+
+/// The header frame of a binary batch request (`{"deduction": null}`).
+struct BatchHeader;
+
+impl serde::Serialize for BatchHeader {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![("deduction".to_string(), serde::Value::Null)])
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn stats(addr: &str) -> Result<StatsReport, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let (status, body) = client.get("/v1/stats").map_err(|e| e.to_string())?;
+    check(status, &body, "stats")?;
+    serde_json::from_str(&body).map_err(|e| format!("stats reply: {e}"))
+}
+
+/// Holds `--connections` keep-alive connections idle for `--soak-secs`,
+/// polling the server's own connection gauges, then proves the
+/// connections still serve.
+fn idle_soak(args: &Args) -> Result<(), String> {
+    let mut herd = Vec::with_capacity(args.connections);
+    let start = Instant::now();
+    for i in 0..args.connections {
+        match Client::connect(&args.addr) {
+            Ok(client) => herd.push(client),
+            Err(e) => return Err(format!("connect #{i}: {e}")),
+        }
+    }
+    println!(
+        "opened {} keep-alive connections in {:.2}s",
+        herd.len(),
+        start.elapsed().as_secs_f64()
+    );
+    let mut peak_open = 0u64;
+    for second in 0..args.soak_secs.max(1) {
+        std::thread::sleep(Duration::from_secs(1));
+        let report = stats(&args.addr)?;
+        peak_open = peak_open.max(report.connections_open);
+        println!(
+            "t+{}s: open={} idle={} active={} queue_depth={} idle_timeouts={}",
+            second + 1,
+            report.connections_open,
+            report.connections_idle,
+            report.connections_active,
+            report.queue_depth,
+            report.idle_timeouts,
+        );
+    }
+    // Every surviving connection still serves (spot-check a spread).
+    let step = (herd.len() / 16).max(1);
+    let mut checked = 0usize;
+    for client in herd.iter_mut().step_by(step) {
+        let (status, _) = client
+            .get("/healthz")
+            .map_err(|e| format!("soak check: {e}"))?;
+        check(status, "", "healthz")?;
+        checked += 1;
+    }
+    println!(
+        "idle-soak: {} connections held {}s (server peak open {}), {} spot-checked live",
+        herd.len(),
+        args.soak_secs,
+        peak_open,
+        checked
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -163,12 +377,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.mode == "idle-soak" {
+        return match idle_soak(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("abbd-loadgen: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let start = Instant::now();
-    let results: Vec<Result<usize, String>> = std::thread::scope(|scope| {
+    let results: Vec<Result<(usize, Vec<Duration>), String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.clients)
-            .map(|_| {
+            .map(|i| {
                 let args = args.clone();
-                scope.spawn(move || run_client(&args))
+                // Split the connection budget across clients, first
+                // clients taking the remainder.
+                let base = args.connections / args.clients;
+                let extra = usize::from(i < args.connections % args.clients);
+                scope.spawn(move || run_client(&args, (base + extra).max(1)))
             })
             .collect();
         handles
@@ -178,24 +405,34 @@ fn main() -> ExitCode {
     });
     let elapsed = start.elapsed();
     let mut total = 0usize;
+    let mut latencies: Vec<Duration> = Vec::new();
     for result in results {
         match result {
-            Ok(items) => total += items,
+            Ok((items, lats)) => {
+                total += items;
+                latencies.extend(lats);
+            }
             Err(e) => {
                 eprintln!("abbd-loadgen: {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
+    latencies.sort_unstable();
     let secs = elapsed.as_secs_f64();
+    let format_tag = if args.binary { "binary" } else { "json" };
+    let delta_tag = if args.delta { "+delta" } else { "" };
     println!(
-        "{} mode: {} items in {:.2}s across {} client(s) = {:.0} items/sec ({:.3} ms mean)",
-        args.mode,
-        total,
-        secs,
-        args.clients,
+        "{} mode ({format_tag}{delta_tag}): {} items in {:.2}s across {} client(s) / {} connection(s) = {:.0} items/sec",
+        args.mode, total, secs, args.clients, args.connections,
         total as f64 / secs,
-        1e3 * secs * args.clients as f64 / total as f64,
+    );
+    println!(
+        "latency: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms over {} requests",
+        percentile(&latencies, 50.0).as_secs_f64() * 1e3,
+        percentile(&latencies, 95.0).as_secs_f64() * 1e3,
+        percentile(&latencies, 99.0).as_secs_f64() * 1e3,
+        latencies.len(),
     );
     ExitCode::SUCCESS
 }

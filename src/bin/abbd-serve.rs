@@ -8,6 +8,8 @@
 //! ```text
 //! abbd-serve [--addr 127.0.0.1:7171] [--workers 4]
 //!            [--session-ttl-secs 900] [--session-capacity 1024]
+//!            [--queue-depth 256] [--idle-timeout-secs 60]
+//!            [--max-requests-per-conn 100000]
 //!            [--devices 24] [--seed 42] [--full-fit] [--no-regulator]
 //!            [--model NAME=BUNDLE.json]...
 //! ```
@@ -66,6 +68,22 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--session-capacity: {e}"))?;
             }
+            "--queue-depth" => {
+                args.config.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--idle-timeout-secs" => {
+                let secs: u64 = value("--idle-timeout-secs")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-secs: {e}"))?;
+                args.config.idle_timeout = Duration::from_secs(secs);
+            }
+            "--max-requests-per-conn" => {
+                args.config.max_requests_per_conn = value("--max-requests-per-conn")?
+                    .parse()
+                    .map_err(|e| format!("--max-requests-per-conn: {e}"))?;
+            }
             "--devices" => {
                 args.devices = value("--devices")?
                     .parse()
@@ -104,6 +122,10 @@ const HELP: &str = "abbd-serve: the block-level Bayesian diagnosis service
   --workers N              worker threads (default 4)
   --session-ttl-secs N     idle session lifetime (default 900)
   --session-capacity N     max live sessions (default 1024)
+  --queue-depth N          requests queued for workers before 503 (default 256)
+  --idle-timeout-secs N    idle connection deadline (default 60)
+  --max-requests-per-conn N  requests before a keep-alive connection is
+                           recycled (default 100000)
   --devices N              regulator fit population (default 24)
   --seed N                 regulator fit seed (default 42)
   --full-fit               reference learning instead of quick EM
