@@ -48,6 +48,7 @@ mod infer;
 pub mod learn;
 mod network;
 mod query;
+mod submodel;
 
 pub use error::{Error, Result};
 pub use evidence::Evidence;
@@ -60,3 +61,4 @@ pub use infer::{
 };
 pub use network::{Network, NetworkBuilder, VarId};
 pub use query::{map_query, most_probable_explanation, query_batch, Explanation};
+pub use submodel::{extract_submodel, Submodel};

@@ -5,7 +5,11 @@
 use abbd_bbn::{
     likelihood_weighting, Evidence, JunctionTree, Network, NetworkBuilder, VariableElimination,
 };
-use abbd_core::{Action, CostModel, DiagnosisSession, SessionRequest, StoppingPolicy, Strategy};
+use abbd_core::{
+    Action, CompiledModel, CostModel, DiagnosisSession, HierarchicalSession, SessionRequest,
+    StoppingPolicy, Strategy,
+};
+use abbd_designs::board::{self, BoardConfig};
 use abbd_designs::regulator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -429,8 +433,7 @@ fn bench_server_throughput(c: &mut Criterion) {
         let id = store.open("regulator", session).expect("store admits");
         b.iter(|| {
             let mut stored = store.checkout(&id).expect("checkout");
-            stored.session.absorb_request(&request).expect("absorb");
-            let report = stored.session.report().expect("report");
+            let report = stored.session.serve_round(&request).expect("round");
             store.checkin(&id, stored);
             black_box(report.ranked.len())
         })
@@ -474,6 +477,78 @@ fn bench_server_throughput(c: &mut Criterion) {
     server.shutdown();
 }
 
+/// The compiled abstraction hierarchy (PR 7) on the 100-variable
+/// synthetic board: `flat100_per_decision` is the monolithic baseline —
+/// one VOI ranking over the full 42-observable candidate menu through
+/// the 100-variable junction tree; `root_per_decision` is the same
+/// decision at the abstract board level (30-variable root, 14 summary
+/// candidates) and `descended_block_per_decision` inside the extracted
+/// 9-variable block sub-model — the two prices the two-phase loop
+/// actually pays at steady state. The acceptance claim rides here: each
+/// hierarchical decision must be ≥2× cheaper than the flat one.
+/// `descend_first_visit` is the one-time toll at the boundary — compile
+/// the block sub-model lazily, lift the board evidence down and open the
+/// block session (later descents into the same block are pure cache, as
+/// the zero-alloc harness pins).
+fn bench_hierarchical(c: &mut Criterion) {
+    let config = BoardConfig::default();
+    let flat = CompiledModel::compile(board::flat_model(&config).expect("flat board builds"))
+        .expect("flat board compiles")
+        .shared();
+    let hierarchy = board::hierarchy(&config)
+        .expect("board hierarchy builds")
+        .shared();
+    let mut group = c.benchmark_group("hierarchical");
+
+    group.bench_function("flat100_per_decision", |b| {
+        let mut session =
+            DiagnosisSession::new(Arc::clone(&flat), StoppingPolicy::default()).unwrap();
+        session.observe("vin", 1).unwrap();
+        session.observe("vload", 0).unwrap();
+        b.iter(|| {
+            let scored = session.rank_actions().unwrap();
+            black_box(scored[0].expected_information_gain())
+        })
+    });
+    group.bench_function("root_per_decision", |b| {
+        let mut session =
+            HierarchicalSession::new(Arc::clone(&hierarchy), StoppingPolicy::default()).unwrap();
+        session.observe("vin", 1).unwrap();
+        session.observe("vload", 0).unwrap();
+        b.iter(|| {
+            let scored = session.rank_actions().unwrap();
+            black_box(scored[0].expected_information_gain())
+        })
+    });
+    group.bench_function("descended_block_per_decision", |b| {
+        let mut session =
+            HierarchicalSession::new(Arc::clone(&hierarchy), StoppingPolicy::default()).unwrap();
+        session.observe("vin", 1).unwrap();
+        session.observe("vload", 0).unwrap();
+        session.observe("out02", 0).unwrap();
+        session.mark_failing("out02");
+        session.descend(2).unwrap();
+        b.iter(|| {
+            let scored = session.rank_actions().unwrap();
+            black_box(scored[0].expected_information_gain())
+        })
+    });
+    group.bench_function("descend_first_visit", |b| {
+        // A fresh hierarchy per iteration so every descent pays the lazy
+        // sub-model compile (the cached path would be a no-op).
+        b.iter(|| {
+            let hierarchy = board::hierarchy(&config).unwrap().shared();
+            let mut session =
+                HierarchicalSession::new(hierarchy, StoppingPolicy::default()).unwrap();
+            session.observe("vin", 1).unwrap();
+            session.observe("vload", 0).unwrap();
+            session.descend(black_box(2)).unwrap();
+            black_box(session.descended_block().is_some())
+        })
+    });
+    group.finish();
+}
+
 fn bench_chain_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("chain_posteriors");
     for n in [10usize, 40, 160] {
@@ -502,6 +577,7 @@ criterion_group!(
     bench_lookahead_voi,
     bench_session_api,
     bench_server_throughput,
+    bench_hierarchical,
     bench_chain_scaling
 );
 criterion_main!(benches);

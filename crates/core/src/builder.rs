@@ -97,6 +97,19 @@ pub struct DiagnosticModel {
 }
 
 impl DiagnosticModel {
+    /// Pairs a circuit model with an already-fitted network, bypassing
+    /// the builder — the hierarchy layer uses this to wrap extracted
+    /// sub-model networks whose CPTs were *derived* from a fitted parent
+    /// rather than learned. The caller guarantees the spec/network
+    /// correspondence (same variables, same parent sets).
+    pub(crate) fn from_parts(model: CircuitModel, network: Network) -> Self {
+        DiagnosticModel {
+            model,
+            network,
+            summary: None,
+        }
+    }
+
     /// The fitted network.
     pub fn network(&self) -> &Network {
         &self.network

@@ -83,6 +83,11 @@ pub enum Error {
         /// Human-readable explanation.
         reason: String,
     },
+    /// A hierarchy definition is malformed: blocks that overlap or leave
+    /// variables uncovered, an invalid interface, a bad descend
+    /// threshold, or a block whose boundary breaks the extraction
+    /// contract.
+    Hierarchy(String),
 }
 
 impl fmt::Display for Error {
@@ -129,6 +134,7 @@ impl fmt::Display for Error {
             Error::Oracle { variable, reason } => {
                 write!(f, "measurement of `{variable}` failed: {reason}")
             }
+            Error::Hierarchy(reason) => write!(f, "invalid hierarchy: {reason}"),
         }
     }
 }
@@ -194,6 +200,7 @@ mod tests {
                 variable: "v".into(),
                 reason: "r".into(),
             },
+            Error::Hierarchy("h".into()),
         ];
         for e in samples {
             assert!(!e.to_string().is_empty());

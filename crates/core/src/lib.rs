@@ -34,6 +34,22 @@
 //! one decision round over serde for a service boundary. The legacy
 //! entry points (`SequentialDiagnoser`, `rank_probes`) remain as thin
 //! deprecated wrappers; the [`session`] docs carry the migration table.
+//!
+//! ## Hierarchical diagnosis
+//!
+//! For boards an order of magnitude bigger than one block, the
+//! [`hierarchy`] module compiles an abstraction tree over a single fitted
+//! [`DiagnosticModel`]: [`HierarchicalModel`] holds an abstract
+//! board-level root (interface rails, one binary pseudo-latent per block,
+//! the blocks' summary observables) plus one lazily compiled sub-model
+//! per block, extracted with [`abbd_bbn::extract_submodel`] so block
+//! posteriors given full interface evidence match the flat model exactly.
+//! [`HierarchicalSession`] drives the two-phase loop through the same
+//! [`Action`] vocabulary: isolate a suspect block on the root, descend
+//! once its fault mass crosses [`HierarchicalModel::descend_threshold`],
+//! lift the board evidence down, and finish block-locally. The
+//! [`hierarchy`] module docs spell out the extraction contract, the
+//! interface semantics and the descent policy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +61,8 @@ mod error;
 mod explain;
 #[doc(hidden)]
 pub mod fixtures;
+#[deny(missing_docs)]
+pub mod hierarchy;
 mod model;
 mod planner;
 mod probe;
@@ -62,6 +80,9 @@ pub use deduce::{
 pub use engine::{Diagnosis, DiagnosticEngine, Observation};
 pub use error::{Error, Result};
 pub use explain::FindingImpact;
+pub use hierarchy::{
+    BlockSpec, HierarchicalModel, HierarchicalSession, HierarchicalTrace, DEFAULT_DESCEND_THRESHOLD,
+};
 pub use model::CircuitModel;
 pub use planner::{
     CostModel, LookaheadPlanner, Strategy, DEFAULT_LOOKAHEAD_DISCOUNT, MAX_LOOKAHEAD_DEPTH,

@@ -1201,6 +1201,12 @@ impl DiagnosisSession {
         &self.policy
     }
 
+    /// The per-session deduction-policy override, if any (the hierarchy
+    /// layer copies it onto a freshly descended child session).
+    pub(crate) fn deduction_override(&self) -> Option<DeductionPolicy> {
+        self.deduction
+    }
+
     /// The session's cost ledger: every measurement applied, in
     /// execution order.
     pub fn applied(&self) -> &[AppliedMeasurement] {

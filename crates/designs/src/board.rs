@@ -1,0 +1,313 @@
+//! A parameterised synthetic multi-regulator board: the scale testbed
+//! for hierarchical block-level diagnosis.
+//!
+//! The paper's industrial regulator has a few dozen model variables — big
+//! enough to prove the method, too small to show why a board-level
+//! abstraction pays. This module fabricates boards of `N` regulator-like
+//! blocks hanging off two shared rails (`vin` supply, `vload` load
+//! profile), seven variables per block:
+//!
+//! ```text
+//!   vin ──► biasNN ──► bgNN ──► regNN ──► drvNN ──► outNN   (summary)
+//!                        │         ▲         ├────► ilimNN
+//!                        └► auxNN  └── vload ┘
+//! ```
+//!
+//! `bias`/`bg`/`reg`/`drv` are latent block states (state 0 = dead),
+//! `out` is the block's board-level summary observable, `aux` and `ilim`
+//! its block-internal specification tests. With `N = 14` the board has
+//! exactly 100 variables; [`BoardConfig::blocks`] scales to 500+. Every
+//! block's CPTs are deterministically jittered from the board seed, so
+//! blocks are distinguishable and regenerated boards are byte-identical.
+//!
+//! The partition feeding [`HierarchicalModel::build`] uses the two rails
+//! as the interface and one [`BlockSpec`] per regulator — satisfying the
+//! extraction contract by construction (every block parent is in-block
+//! or a rail; rails have no block ancestors).
+
+use crate::error::Result;
+use abbd_core::{
+    Action, BlockSpec, CircuitModel, DiagnosticModel, ExpertKnowledge, HierarchicalModel,
+    ModelBuilder, Outcome,
+};
+use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Shape of a synthetic board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoardConfig {
+    /// Number of regulator blocks (7 variables each, plus the 2 rails).
+    pub blocks: usize,
+    /// Board seed: drives the per-block CPT jitter deterministically.
+    pub seed: u64,
+}
+
+impl Default for BoardConfig {
+    /// 14 blocks → exactly 100 model variables.
+    fn default() -> Self {
+        BoardConfig {
+            blocks: 14,
+            seed: 2010,
+        }
+    }
+}
+
+impl BoardConfig {
+    /// Total model variable count: `7 * blocks + 2`.
+    pub fn variable_count(&self) -> usize {
+        7 * self.blocks + 2
+    }
+
+    /// The name of block `k`'s hierarchy block (`regNN`).
+    pub fn block_name(&self, k: usize) -> String {
+        format!("reg{k:02}")
+    }
+}
+
+/// Per-block variable names, in declaration order.
+fn block_vars(k: usize) -> [String; 7] {
+    [
+        format!("bias{k:02}"),
+        format!("bg{k:02}"),
+        format!("reg_s{k:02}"),
+        format!("drv{k:02}"),
+        format!("out{k:02}"),
+        format!("aux{k:02}"),
+        format!("ilim{k:02}"),
+    ]
+}
+
+fn latent(name: &str) -> VariableSpec {
+    VariableSpec {
+        name: name.into(),
+        ftype: FunctionalType::Latent,
+        bands: vec![
+            StateBand::new("dead", 0.0, 1.0, "block state faulty"),
+            StateBand::new("ok", 1.0, 2.0, "block state healthy"),
+        ],
+        ckt_ref: None,
+    }
+}
+
+fn observable(name: &str) -> VariableSpec {
+    VariableSpec {
+        name: name.into(),
+        ftype: FunctionalType::Observe,
+        bands: vec![
+            StateBand::new("fail", 0.0, 1.0, "out of specification"),
+            StateBand::new("pass", 1.0, 2.0, "within specification"),
+        ],
+        ckt_ref: None,
+    }
+}
+
+fn control(name: &str, low: &str, high: &str) -> VariableSpec {
+    VariableSpec {
+        name: name.into(),
+        ftype: FunctionalType::Control,
+        bands: vec![
+            StateBand::new(low, 0.0, 1.0, "rail condition 0"),
+            StateBand::new(high, 1.0, 2.0, "rail condition 1"),
+        ],
+        ckt_ref: None,
+    }
+}
+
+/// The board's structure model: rails, blocks, and the dependency DAG.
+pub fn circuit_model(config: &BoardConfig) -> Result<CircuitModel> {
+    let mut vars = vec![
+        control("vin", "low", "nominal"),
+        control("vload", "light", "heavy"),
+    ];
+    for k in 0..config.blocks {
+        let [bias, bg, reg, drv, out, aux, ilim] = block_vars(k);
+        vars.extend([
+            latent(&bias),
+            latent(&bg),
+            latent(&reg),
+            latent(&drv),
+            observable(&out),
+            observable(&aux),
+            observable(&ilim),
+        ]);
+    }
+    let mut cm = CircuitModel::new(ModelSpec::new(vars)?);
+    for k in 0..config.blocks {
+        let [bias, bg, reg, drv, out, aux, ilim] = block_vars(k);
+        cm.depends("vin", &bias)?;
+        cm.depends(&bias, &bg)?;
+        cm.depends("vload", &reg)?;
+        cm.depends(&bg, &reg)?;
+        cm.depends(&reg, &drv)?;
+        cm.depends(&drv, &out)?;
+        cm.depends(&bg, &aux)?;
+        cm.depends(&drv, &ilim)?;
+    }
+    Ok(cm)
+}
+
+/// The product expert's CPT estimate for the whole board, jittered per
+/// block from the board seed (same seed → byte-identical tables).
+pub fn expert(config: &BoardConfig) -> ExpertKnowledge {
+    let mut e = ExpertKnowledge::new(crate::regulator::DEFAULT_ESS);
+    e.cpt("vin", [[0.15, 0.85]]);
+    e.cpt("vload", [[0.45, 0.55]]);
+    for k in 0..config.blocks {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(k as u64));
+        // Jitter in [0, 0.02): enough to distinguish blocks, small
+        // enough that every block behaves like a regulator. One draw per
+        // CPT row, so every row still sums to 1 exactly.
+        let mut row = move |p0: f64| -> [f64; 2] {
+            let p = p0 + rng.gen_range(0.0..0.02);
+            [p, 1.0 - p]
+        };
+        let [bias, bg, reg, drv, out, aux, ilim] = block_vars(k);
+        e.cpt(&bias, [row(0.25), row(0.03)]);
+        e.cpt(&bg, [row(0.90), row(0.02)]);
+        // reg | vload, bg (bg fastest): a dead bandgap usually kills
+        // regulation; heavy load stresses it further.
+        e.cpt(&reg, [row(0.85), row(0.015), row(0.92), row(0.04)]);
+        e.cpt(&drv, [row(0.88), row(0.025)]);
+        e.cpt(&out, [row(0.95), row(0.02)]);
+        e.cpt(&aux, [row(0.85), row(0.05)]);
+        e.cpt(&ilim, [row(0.90), row(0.04)]);
+    }
+    e
+}
+
+/// The fitted flat board model (expert-only: the board is synthetic, so
+/// the expert tables *are* the ground truth).
+pub fn flat_model(config: &BoardConfig) -> Result<DiagnosticModel> {
+    Ok(ModelBuilder::new(circuit_model(config)?)
+        .with_expert(expert(config))
+        .build_expert_only()?)
+}
+
+/// The block partition: rails as interface, one block per regulator,
+/// `outNN` as each block's board-level summary test.
+pub fn partition(config: &BoardConfig) -> Vec<BlockSpec> {
+    (0..config.blocks)
+        .map(|k| {
+            let vars = block_vars(k);
+            let out = vars[4].clone();
+            BlockSpec::new(config.block_name(k), vars, [out])
+        })
+        .collect()
+}
+
+/// The compiled abstraction tree over the board: abstract root plus one
+/// lazily compiled sub-model per regulator block.
+pub fn hierarchy(config: &BoardConfig) -> Result<HierarchicalModel> {
+    Ok(HierarchicalModel::build(
+        flat_model(config)?,
+        ["vin", "vload"],
+        partition(config),
+    )?)
+}
+
+/// A d1-style single-fault scenario: one block's driver is dead, every
+/// other block state healthy, rails nominal — plus the deterministic
+/// measurement outcome of every variable on the bench.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScenario {
+    /// The faulty block's hierarchy name (`regNN`).
+    pub block: String,
+    /// The dead latent (`drvNN`).
+    pub fault: String,
+    /// Ground-truth state of every model variable.
+    pub truth: BTreeMap<String, usize>,
+}
+
+/// Builds the d1-style scenario with block `faulty`'s driver dead.
+pub fn d1_scenario(config: &BoardConfig, faulty: usize) -> FaultScenario {
+    let mut truth = BTreeMap::new();
+    truth.insert("vin".to_string(), 1);
+    truth.insert("vload".to_string(), 0);
+    for k in 0..config.blocks {
+        let [bias, bg, reg, drv, out, aux, ilim] = block_vars(k);
+        let dead = k == faulty;
+        truth.insert(bias, 1);
+        truth.insert(bg, 1);
+        truth.insert(reg, 1);
+        truth.insert(drv, if dead { 0 } else { 1 });
+        // A dead driver fails the output and trips the current limit;
+        // the bandgap-side aux test still passes.
+        truth.insert(out, if dead { 0 } else { 1 });
+        truth.insert(aux, 1);
+        truth.insert(ilim, if dead { 0 } else { 1 });
+    }
+    FaultScenario {
+        block: config.block_name(faulty),
+        fault: block_vars(faulty)[3].clone(),
+        truth,
+    }
+}
+
+/// A bench executor answering every test/probe from the scenario's
+/// ground truth (state 0 reads as a limit failure).
+pub fn scenario_executor(
+    scenario: &FaultScenario,
+) -> impl FnMut(&Action) -> abbd_core::Result<Outcome> + '_ {
+    move |action: &Action| {
+        let state = scenario
+            .truth
+            .get(action.target())
+            .copied()
+            .ok_or_else(|| abbd_core::Error::Oracle {
+                variable: action.target().into(),
+                reason: "not on the bench".into(),
+            })?;
+        Ok(Outcome {
+            state,
+            failing: state == 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abbd_core::{HierarchicalSession, StoppingPolicy};
+
+    #[test]
+    fn default_board_has_100_variables() {
+        let config = BoardConfig::default();
+        assert_eq!(config.variable_count(), 100);
+        let flat = flat_model(&config).expect("board builds");
+        assert_eq!(flat.network().var_count(), 100);
+    }
+
+    #[test]
+    fn board_is_deterministic() {
+        let config = BoardConfig::default();
+        let a = flat_model(&config).expect("board builds");
+        let b = flat_model(&config).expect("board builds");
+        assert_eq!(a.network().to_json(), b.network().to_json());
+    }
+
+    #[test]
+    fn hierarchy_isolates_the_dead_driver() {
+        let config = BoardConfig {
+            blocks: 4,
+            seed: 2010,
+        };
+        let tree = hierarchy(&config).expect("hierarchy builds").shared();
+        let scenario = d1_scenario(&config, 2);
+        let mut session = HierarchicalSession::new(tree.clone(), StoppingPolicy::default())
+            .expect("session opens");
+        let outcome = session
+            .run(scenario_executor(&scenario))
+            .expect("closed loop runs");
+        assert_eq!(session.descended_block(), Some(scenario.block.as_str()));
+        assert_eq!(
+            outcome.diagnosis.top_candidate(),
+            Some(scenario.fault.as_str()),
+            "stop: {:?}, fault mass: {:?}",
+            outcome.stop,
+            outcome.diagnosis.fault_mass()
+        );
+        assert_eq!(tree.submodel_compiles(), 1);
+    }
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod board;
 mod error;
 pub mod hypothetical;
 pub mod regulator;

@@ -22,7 +22,20 @@
 //! Serving never compiles: every junction tree is triangulated at
 //! registration time, worker threads propagate through shared compiled
 //! schedules, and `/v1/stats` exposes the worker-side compile counter so
-//! the integration suite can pin it at zero.
+//! the integration suite can pin it at zero. The one deliberate
+//! exception is hierarchy children ([`ModelRegistry::insert_hierarchy`]):
+//! a board registered as a compiled [`abbd_core::HierarchicalModel`]
+//! serves its abstract root under the board name and each block
+//! sub-model under `{board}/{block}`, compiled lazily on first use —
+//! at most once per block, counted by the
+//! `submodels_compiled_lazy` gauge in `/v1/stats` (and `models_compiled`
+//! tracks every resident compiled artifact). A stored session opened on
+//! a board name is *hierarchical*: its rounds serve from the abstract
+//! root until some block's posterior fault mass crosses the tree's
+//! descend threshold, then descend into the block sub-model server-side
+//! and keep answering from there, lifting the session's accumulated
+//! board evidence down. `GET /v1/models` lists the parent/child
+//! relationships (`parent`, `children` fields).
 //!
 //! ## Endpoints
 //!
@@ -164,7 +177,7 @@ pub use service::{
     BatchDiagnosis, BatchEntry, BatchReply, BatchRequest, CloseSessionReply, HealthReport,
     ModelsReport, OpenSessionReply, ServiceState, ServiceStats, StatsReport,
 };
-pub use store::{SessionStore, StoreStats, StoredSession};
+pub use store::{ServedSession, SessionStore, StoreStats, StoredSession};
 
 // The service boundary DTOs, re-exported so wire clients need only this
 // crate.

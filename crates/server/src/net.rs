@@ -319,6 +319,7 @@ pub(crate) fn worker_loop(queue: &JobQueue, completions: &CompletionQueue, state
     while let Some((job, depth)) = queue.pop() {
         state.net.queue_depth.store(depth as u64, Ordering::Relaxed);
         let before = abbd_bbn::jointree_compile_count();
+        let lazy_before = state.registry.lazy_submodel_compiles();
         // A panic anywhere in routing/diagnosis costs its own request,
         // never the worker thread: an unguarded unwind would silently
         // shrink the pool until the server accepts but never serves.
@@ -332,7 +333,14 @@ pub(crate) fn worker_loop(queue: &JobQueue, completions: &CompletionQueue, state
                 ApiError::new(500, "internal", "panic while serving the request").into_response()
             }
         };
-        let compiled = abbd_bbn::jointree_compile_count() - before;
+        // Hierarchy descent is the one sanctioned serve-time compile
+        // (at most once per block, tracked by its own gauge) — subtract
+        // it so `worker_compiles` keeps pinning the *unsanctioned* kind.
+        // The lazy counter is global while the jointree counter is
+        // thread-local, so a concurrent descent on another worker can
+        // over-subtract here; saturating keeps that harmless.
+        let lazy_delta = state.registry.lazy_submodel_compiles() - lazy_before;
+        let compiled = (abbd_bbn::jointree_compile_count() - before).saturating_sub(lazy_delta);
         if compiled > 0 {
             state
                 .stats

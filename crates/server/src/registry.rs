@@ -14,7 +14,7 @@
 //!   built with [`ModelBuilder::build_expert_only`] and compiled.
 
 use crate::error::ApiError;
-use abbd_core::{CircuitModel, CompiledModel, ExpertKnowledge, ModelBuilder};
+use abbd_core::{CircuitModel, CompiledModel, ExpertKnowledge, HierarchicalModel, ModelBuilder};
 use abbd_dlog2bbn::ModelSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -94,12 +94,29 @@ pub struct ModelInfo {
     pub latents: usize,
     /// Observable variables (test targets).
     pub observables: usize,
+    /// For a hierarchy child (`{board}/{block}`): the board it belongs
+    /// to. `null` for flat models and hierarchy roots.
+    #[serde(default)]
+    pub parent: Option<String>,
+    /// For a hierarchy root: its children's registry names, in block
+    /// order. Empty for flat models and children.
+    #[serde(default)]
+    pub children: Vec<String>,
 }
 
 /// Named compiled models, immutable after [`ModelRegistry::freeze`].
+///
+/// Two kinds of entry coexist: plain compiled models, and compiled
+/// [`HierarchicalModel`] trees. A hierarchy contributes its abstract
+/// root under the registered name plus one addressable child per block
+/// under `{board}/{block}` — children are compiled lazily on first use
+/// (the one deliberate exception to "serving never compiles", counted
+/// by [`ModelRegistry::lazy_submodel_compiles`] and surfaced in
+/// `/v1/stats`).
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
     models: BTreeMap<String, Arc<CompiledModel>>,
+    hierarchies: BTreeMap<String, Arc<HierarchicalModel>>,
 }
 
 impl ModelRegistry {
@@ -129,12 +146,26 @@ impl ModelRegistry {
         Ok(self.insert(name, compiled))
     }
 
+    /// Registers a compiled hierarchy under `name`: the abstract root
+    /// answers for `name` itself, and every block becomes addressable as
+    /// `{name}/{block}` (builder style; replaces any previous hierarchy
+    /// with that name).
+    pub fn insert_hierarchy(
+        mut self,
+        name: impl Into<String>,
+        hierarchy: Arc<HierarchicalModel>,
+    ) -> Self {
+        self.hierarchies.insert(name.into(), hierarchy);
+        self
+    }
+
     /// Freezes the registry for serving.
     pub fn freeze(self) -> Arc<Self> {
         Arc::new(self)
     }
 
-    /// Looks a model up by name.
+    /// Looks a *flat* model up by name (hierarchies resolve through
+    /// [`ModelRegistry::resolve`]).
     ///
     /// # Errors
     ///
@@ -145,27 +176,126 @@ impl ModelRegistry {
             .ok_or_else(|| ApiError::unknown_model(name))
     }
 
-    /// The registry rows, in name order.
+    /// Looks a hierarchy up by its board name.
+    pub fn hierarchy(&self, name: &str) -> Option<&Arc<HierarchicalModel>> {
+        self.hierarchies.get(name)
+    }
+
+    /// Resolves any registry name to a servable compiled model: a flat
+    /// model, a hierarchy's abstract root, or — for `{board}/{block}` —
+    /// a block's sub-model, compiled lazily on first resolution.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::unknown_model`] for names nothing answers to; a
+    /// `422`-shaped error if a lazy child compile fails.
+    pub fn resolve(&self, name: &str) -> Result<Arc<CompiledModel>, ApiError> {
+        if let Some(compiled) = self.models.get(name) {
+            return Ok(Arc::clone(compiled));
+        }
+        if let Some(hierarchy) = self.hierarchies.get(name) {
+            return Ok(Arc::clone(hierarchy.root()));
+        }
+        if let Some((board, block)) = name.rsplit_once('/') {
+            if let Some(hierarchy) = self.hierarchies.get(board) {
+                return hierarchy.child_by_name(block).map_err(|e| match e {
+                    abbd_core::Error::Hierarchy(_) => ApiError::unknown_model(name),
+                    other => ApiError::new(422, "invalid_request", other.to_string()),
+                });
+            }
+        }
+        Err(ApiError::unknown_model(name))
+    }
+
+    /// The registry rows, flat models in name order followed by each
+    /// hierarchy's root and its children in block order.
     pub fn list(&self) -> Vec<ModelInfo> {
-        self.models
+        let mut rows: Vec<ModelInfo> = self
+            .models
             .iter()
             .map(|(name, compiled)| ModelInfo {
                 name: name.clone(),
                 variables: compiled.model().circuit_model().spec().len(),
                 latents: compiled.latent_names().count(),
                 observables: compiled.observable_names().count(),
+                parent: None,
+                children: Vec::new(),
             })
-            .collect()
+            .collect();
+        for (name, hierarchy) in &self.hierarchies {
+            let root = hierarchy.root();
+            rows.push(ModelInfo {
+                name: name.clone(),
+                variables: root.model().circuit_model().spec().len(),
+                latents: root.latent_names().count(),
+                observables: root.observable_names().count(),
+                parent: None,
+                children: hierarchy
+                    .block_specs()
+                    .map(|b| format!("{name}/{}", b.name))
+                    .collect(),
+            });
+            // Child rows are derivable without forcing the lazy compile:
+            // a child's variables are its block members plus the
+            // interface.
+            let cm = hierarchy.flat().circuit_model();
+            let latents = cm.latents();
+            let observables = cm.observables();
+            for block in hierarchy.block_specs() {
+                rows.push(ModelInfo {
+                    name: format!("{name}/{}", block.name),
+                    variables: hierarchy.interface().len() + block.members.len(),
+                    latents: block
+                        .members
+                        .iter()
+                        .filter(|m| latents.contains(&m.as_str()))
+                        .count(),
+                    observables: block
+                        .members
+                        .iter()
+                        .filter(|m| observables.contains(&m.as_str()))
+                        .count(),
+                    parent: Some(name.clone()),
+                    children: Vec::new(),
+                });
+            }
+        }
+        rows
     }
 
-    /// Number of registered models.
+    /// Compiled models resident right now: flat models, hierarchy roots
+    /// and every lazily compiled child (the `/v1/stats` gauge).
+    pub fn compiled_models(&self) -> u64 {
+        let children: usize = self
+            .hierarchies
+            .values()
+            .map(|h| {
+                (0..h.block_count())
+                    .filter(|&k| h.child_compiled(k))
+                    .count()
+            })
+            .sum();
+        (self.models.len() + self.hierarchies.len() + children) as u64
+    }
+
+    /// Sub-models compiled lazily since startup, summed over every
+    /// hierarchy (the `/v1/stats` gauge pinned to "at most once per
+    /// block" by the integration suite).
+    pub fn lazy_submodel_compiles(&self) -> u64 {
+        self.hierarchies
+            .values()
+            .map(|h| h.submodel_compiles())
+            .sum()
+    }
+
+    /// Number of registered models (each hierarchy counts once).
     pub fn len(&self) -> usize {
-        self.models.len()
+        self.models.len() + self.hierarchies.len()
     }
 
     /// `true` when nothing is registered.
     pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
+        self.models.is_empty() && self.hierarchies.is_empty()
     }
 }
 

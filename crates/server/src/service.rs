@@ -10,10 +10,10 @@ use crate::error::ApiError;
 use crate::http::{Request, Response};
 use crate::net::NetStats;
 use crate::registry::{ModelInfo, ModelRegistry};
-use crate::store::{SessionStore, StoreStats};
+use crate::store::{ServedSession, SessionStore, StoreStats};
 use abbd_core::{
-    Candidate, CompiledModel, DeductionPolicy, DiagnosisSession, Observation, SessionRequest,
-    StoppingPolicy,
+    Candidate, CompiledModel, DeductionPolicy, DiagnosisSession, HierarchicalSession, Observation,
+    SessionRequest, StoppingPolicy,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -173,6 +173,15 @@ pub struct StatsReport {
     pub queue_full_rejections: u64,
     /// Idle connections reaped by the per-connection timeout.
     pub idle_timeouts: u64,
+    /// Compiled models resident: flat models, hierarchy roots, and
+    /// lazily compiled hierarchy children (gauge).
+    #[serde(default)]
+    pub models_compiled: u64,
+    /// Hierarchy sub-models compiled lazily since startup — bounded by
+    /// the total block count, because each block compiles at most once
+    /// (gauge).
+    #[serde(default)]
+    pub submodels_compiled_lazy: u64,
 }
 
 fn parse_json<T: Deserialize>(body: &[u8]) -> Result<T, ApiError> {
@@ -263,6 +272,17 @@ fn route(state: &ServiceState, request: &Request) -> Result<Response, ApiError> 
         ("POST", ["v1", "models", name, "sessions"]) => open_session(state, name, request),
         ("POST", ["v1", "models", name, "serve"]) => serve_stateless(state, name, request),
         ("POST", ["v1", "models", name, "diagnose_batch"]) => diagnose_batch(state, name, request),
+        // Hierarchy children live under `{board}/{block}` — one extra
+        // path segment on every model endpoint.
+        ("POST", ["v1", "models", board, block, "sessions"]) => {
+            open_session(state, &format!("{board}/{block}"), request)
+        }
+        ("POST", ["v1", "models", board, block, "serve"]) => {
+            serve_stateless(state, &format!("{board}/{block}"), request)
+        }
+        ("POST", ["v1", "models", board, block, "diagnose_batch"]) => {
+            diagnose_batch(state, &format!("{board}/{block}"), request)
+        }
         ("POST", ["v1", "sessions", id, "round"]) => session_round(state, id, request),
         ("DELETE", ["v1", "sessions", id]) => Ok(reply(
             request,
@@ -274,6 +294,7 @@ fn route(state: &ServiceState, request: &Request) -> Result<Response, ApiError> 
         // A known path shape with the wrong verb is 405, not 404.
         (_, ["healthz"] | ["v1", "models"] | ["v1", "stats"])
         | (_, ["v1", "models", _, "sessions" | "serve" | "diagnose_batch"])
+        | (_, ["v1", "models", _, _, "sessions" | "serve" | "diagnose_batch"])
         | (_, ["v1", "sessions", _, "round"] | ["v1", "sessions", _]) => {
             Err(ApiError::method_not_allowed(method, &request.path))
         }
@@ -308,6 +329,8 @@ fn stats_report(state: &ServiceState) -> StatsReport {
         queue_depth: state.net.queue_depth.load(Ordering::Relaxed),
         queue_full_rejections: state.net.queue_full_rejections.load(Ordering::Relaxed),
         idle_timeouts: state.net.idle_timeouts.load(Ordering::Relaxed),
+        models_compiled: state.registry.compiled_models(),
+        submodels_compiled_lazy: state.registry.lazy_submodel_compiles(),
     }
 }
 
@@ -319,9 +342,21 @@ fn stats_report(state: &ServiceState) -> StatsReport {
 // would be silently superseded by the first round and are refused a
 // place in the protocol rather than left as a trap.
 fn open_session(state: &ServiceState, name: &str, request: &Request) -> Result<Response, ApiError> {
-    let compiled = state.registry.get(name)?;
-    let session = DiagnosisSession::new(Arc::clone(compiled), StoppingPolicy::default())
-        .map_err(|e| ApiError::from_core(&e))?;
+    // A board name opens a *hierarchical* session — the store round then
+    // threads descent through: once a block's fault mass crosses the
+    // tree's threshold, subsequent rounds answer from the block
+    // sub-model. Flat models (and explicit `{board}/{block}` children)
+    // get an ordinary session.
+    let session: ServedSession = if let Some(hierarchy) = state.registry.hierarchy(name) {
+        HierarchicalSession::new(Arc::clone(hierarchy), StoppingPolicy::default())
+            .map_err(|e| ApiError::from_core(&e))?
+            .into()
+    } else {
+        let compiled = state.registry.resolve(name)?;
+        DiagnosisSession::new(compiled, StoppingPolicy::default())
+            .map_err(|e| ApiError::from_core(&e))?
+            .into()
+    };
     let session_id = state.store.open(name, session)?;
     Ok(reply(
         request,
@@ -338,7 +373,7 @@ fn serve_stateless(
     name: &str,
     request: &Request,
 ) -> Result<Response, ApiError> {
-    let compiled = state.registry.get(name)?;
+    let compiled = state.registry.resolve(name)?;
     let round: SessionRequest = parse_body(request)?;
     let report = compiled
         .serve(&round)
@@ -387,7 +422,7 @@ fn diagnose_batch(
     name: &str,
     request: &Request,
 ) -> Result<Response, ApiError> {
-    let compiled = state.registry.get(name)?;
+    let compiled = state.registry.resolve(name)?;
     let batch = if binary_body(request) {
         parse_batch_binary(&request.body)?
     } else {
@@ -401,7 +436,7 @@ fn diagnose_batch(
         None => *compiled.policy(),
     };
     let reports = fan_out(
-        compiled,
+        &compiled,
         &batch.observations,
         &policy,
         state.workers,

@@ -19,17 +19,97 @@
 //! check-in.
 
 use crate::error::ApiError;
-use abbd_core::DiagnosisSession;
+use abbd_core::{
+    DiagnosisSession, HierarchicalSession, Observation, Result as CoreResult, SessionReport,
+    SessionRequest,
+};
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// A session as the store holds it: flat (one [`DiagnosisSession`]) or
+/// hierarchical (a [`HierarchicalSession`] that descends from the board
+/// root into a block sub-model server-side, between rounds). Both speak
+/// the same [`SessionRequest`] / [`SessionReport`] wire round, so the
+/// round handler and the wire format are agnostic to the kind.
+#[derive(Debug)]
+pub enum ServedSession {
+    /// One compiled model, one session.
+    Flat(Box<DiagnosisSession>),
+    /// A board session over a compiled hierarchy.
+    Hierarchical(Box<HierarchicalSession>),
+}
+
+impl ServedSession {
+    /// Serves one decision round (transactional on error, both kinds).
+    ///
+    /// # Errors
+    ///
+    /// Same as the wrapped session's `serve_round`.
+    pub fn serve_round(&mut self, request: &SessionRequest) -> CoreResult<SessionReport> {
+        match self {
+            ServedSession::Flat(session) => session.serve_round(request),
+            ServedSession::Hierarchical(session) => session.serve_round(request),
+        }
+    }
+
+    /// Records one measurement outside a round.
+    ///
+    /// # Errors
+    ///
+    /// Same as the wrapped session's `observe`.
+    pub fn observe(&mut self, variable: &str, state: usize) -> CoreResult<()> {
+        match self {
+            ServedSession::Flat(session) => session.observe(variable, state),
+            ServedSession::Hierarchical(session) => session.observe(variable, state),
+        }
+    }
+
+    /// Flags an observed variable as limit-failing.
+    pub fn mark_failing(&mut self, variable: &str) {
+        match self {
+            ServedSession::Flat(session) => session.mark_failing(variable),
+            ServedSession::Hierarchical(session) => session.mark_failing(variable),
+        }
+    }
+
+    /// The accumulated evidence (the board-level record for a
+    /// hierarchical session).
+    pub fn observation(&self) -> &Observation {
+        match self {
+            ServedSession::Flat(session) => session.observation(),
+            ServedSession::Hierarchical(session) => session.board_observation(),
+        }
+    }
+
+    /// The block a hierarchical session has descended into (`None` for
+    /// flat sessions and boards still at the root).
+    pub fn descended_block(&self) -> Option<&str> {
+        match self {
+            ServedSession::Flat(_) => None,
+            ServedSession::Hierarchical(session) => session.descended_block(),
+        }
+    }
+}
+
+impl From<DiagnosisSession> for ServedSession {
+    fn from(session: DiagnosisSession) -> Self {
+        ServedSession::Flat(Box::new(session))
+    }
+}
+
+impl From<HierarchicalSession> for ServedSession {
+    fn from(session: HierarchicalSession) -> Self {
+        ServedSession::Hierarchical(Box::new(session))
+    }
+}
 
 /// One live session plus its bookkeeping, as held by (or checked out of)
 /// the store.
 #[derive(Debug)]
 pub struct StoredSession {
     /// The diagnosis session itself (evidence + workspaces + ledger).
-    pub session: DiagnosisSession,
+    pub session: ServedSession,
     /// The registry name of the model the session serves off.
     pub model: String,
     /// Decision rounds completed so far.
@@ -113,7 +193,7 @@ impl SessionStore {
     ///
     /// Returns [`ApiError::store_full`] when the store is at capacity and
     /// every resident session is busy.
-    pub fn open(&self, model: &str, session: DiagnosisSession) -> Result<String, ApiError> {
+    pub fn open(&self, model: &str, session: impl Into<ServedSession>) -> Result<String, ApiError> {
         self.open_at(model, session, Instant::now())
     }
 
@@ -125,7 +205,7 @@ impl SessionStore {
     pub fn open_at(
         &self,
         model: &str,
-        session: DiagnosisSession,
+        session: impl Into<ServedSession>,
         now: Instant,
     ) -> Result<String, ApiError> {
         let mut inner = self.inner.lock().expect("store lock");
@@ -143,7 +223,7 @@ impl SessionStore {
             id.clone(),
             Slot::Idle {
                 stored: Box::new(StoredSession {
-                    session,
+                    session: session.into(),
                     model: model.to_string(),
                     rounds: 0,
                 }),

@@ -1,0 +1,222 @@
+//! Hierarchical serving over the wire: a synthetic board registered as a
+//! compiled hierarchy serves its abstract root under the board name,
+//! descends a stored session into the suspect block **server-side**, and
+//! exposes the block sub-models under `{board}/{block}` — with the lazy
+//! child compile counted once per block in `/v1/stats`, never in the
+//! `worker_compiles` pin.
+
+use abbd_core::{Observation, SessionReport, SessionRequest};
+use abbd_designs::board::{self, BoardConfig};
+use abbd_server::{
+    Client, ModelInfo, ModelRegistry, ModelsReport, OpenSessionReply, Server, ServerConfig,
+    StatsReport,
+};
+
+const CONFIG: BoardConfig = BoardConfig {
+    blocks: 4,
+    seed: 2010,
+};
+
+fn board_server() -> Server {
+    let hierarchy = board::hierarchy(&CONFIG)
+        .expect("board hierarchy builds")
+        .shared();
+    let registry = ModelRegistry::new()
+        .insert_hierarchy("board", hierarchy)
+        .freeze();
+    Server::start(registry, ServerConfig::default()).expect("server binds")
+}
+
+fn stats(client: &mut Client) -> StatsReport {
+    let (status, body) = client.get("/v1/stats").expect("stats answers");
+    assert_eq!(status, 200, "stats failed: {body}");
+    serde_json::from_str(&body).expect("stats parse")
+}
+
+/// Posts one stored round with the cumulative `observation`.
+fn round(client: &mut Client, session_id: &str, observation: &Observation) -> SessionReport {
+    let request = SessionRequest::new(observation.clone());
+    let body = serde_json::to_string(&request).expect("request encodes");
+    let (status, reply) = client
+        .post(&format!("/v1/sessions/{session_id}/round"), &body)
+        .expect("round posts");
+    assert_eq!(status, 200, "round failed: {reply}");
+    serde_json::from_str(&reply).expect("report parses")
+}
+
+/// Drives one wire client through the d1-style two-phase loop: summary
+/// evidence in, descended block-level recommendations out, following the
+/// server's ranking until it stops. Returns the final report.
+fn drive_board_loop(client: &mut Client, scenario: &board::FaultScenario) -> SessionReport {
+    let (status, body) = client
+        .post("/v1/models/board/sessions", "{}")
+        .expect("open session");
+    assert_eq!(status, 201, "open failed: {body}");
+    let open: OpenSessionReply = serde_json::from_str(&body).expect("open reply parses");
+    assert_eq!(open.model, "board");
+
+    // Round 1: the board-level summary tests (the only measurements a
+    // tester has before descent).
+    let mut observation = Observation::new();
+    for k in 0..CONFIG.blocks {
+        let out = format!("out{k:02}");
+        let state = scenario.truth[&out];
+        observation.set(&out, state);
+        if state == 0 {
+            observation.mark_failing(&out);
+        }
+    }
+    let mut report = round(client, &open.session_id, &observation);
+    // The failing summary pushes the block over the descend threshold in
+    // this very round: the reply already speaks block-level variables.
+    assert!(
+        report
+            .posteriors
+            .iter()
+            .any(|(name, _)| name == &scenario.fault),
+        "report still board-level after a failing summary: {:?}",
+        report.posteriors.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+
+    // Follow the server's block-level recommendations to isolation.
+    while report.stop.is_none() {
+        let next = report.ranked.first().expect("no stop, so a ranked action");
+        let target = next.action.target();
+        let state = scenario.truth[target];
+        observation.set(target, state);
+        if state == 0 {
+            observation.mark_failing(target);
+        }
+        report = round(client, &open.session_id, &observation);
+    }
+    let (status, body) = client
+        .delete(&format!("/v1/sessions/{}", open.session_id))
+        .expect("close session");
+    assert_eq!(status, 200, "close failed: {body}");
+    report
+}
+
+#[test]
+fn models_report_lists_the_hierarchy() {
+    let server = board_server();
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let (status, body) = client.get("/v1/models").expect("models answers");
+    assert_eq!(status, 200, "models failed: {body}");
+    let report: ModelsReport = serde_json::from_str(&body).expect("models parse");
+    assert_eq!(report.models.len(), 1 + CONFIG.blocks);
+    let root: &ModelInfo = &report.models[0];
+    assert_eq!(root.name, "board");
+    assert_eq!(root.parent, None);
+    assert_eq!(
+        root.children,
+        (0..CONFIG.blocks)
+            .map(|k| format!("board/reg{k:02}"))
+            .collect::<Vec<_>>()
+    );
+    // Root model: 2 rails + per block one pseudo-latent and one summary.
+    assert_eq!(root.variables, 2 + 2 * CONFIG.blocks);
+    for (k, child) in report.models[1..].iter().enumerate() {
+        assert_eq!(child.name, format!("board/reg{k:02}"));
+        assert_eq!(child.parent.as_deref(), Some("board"));
+        assert!(child.children.is_empty());
+        // 7 block members + the 2-rail interface.
+        assert_eq!(child.variables, 9);
+        assert_eq!(child.latents, 4);
+        assert_eq!(child.observables, 3);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn stored_board_sessions_descend_server_side_and_compile_each_block_once() {
+    let server = board_server();
+    let mut client = Client::connect(server.addr()).expect("client connects");
+
+    let before = stats(&mut client);
+    assert_eq!(before.models_compiled, 1, "only the root at startup");
+    assert_eq!(before.submodels_compiled_lazy, 0);
+
+    let scenario = board::d1_scenario(&CONFIG, 2);
+    let report = drive_board_loop(&mut client, &scenario);
+    assert_eq!(
+        report.top_candidate.as_deref(),
+        Some(scenario.fault.as_str()),
+        "wire loop must isolate the dead driver (stop: {:?})",
+        report.stop
+    );
+
+    let after_first = stats(&mut client);
+    assert_eq!(
+        after_first.submodels_compiled_lazy, 1,
+        "one descent, one compile"
+    );
+    assert_eq!(after_first.models_compiled, 2, "root + one child resident");
+    assert_eq!(after_first.worker_compiles, 0, "descent is sanctioned");
+
+    // A second device with the same suspect block reuses the cached
+    // child — the compile-once pin, over the wire.
+    let report = drive_board_loop(&mut client, &scenario);
+    assert_eq!(
+        report.top_candidate.as_deref(),
+        Some(scenario.fault.as_str())
+    );
+    let after_second = stats(&mut client);
+    assert_eq!(
+        after_second.submodels_compiled_lazy, 1,
+        "block compiled at most once"
+    );
+    assert_eq!(after_second.worker_compiles, 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn child_submodels_serve_statelessly_under_slash_names() {
+    let server = board_server();
+    let mut client = Client::connect(server.addr()).expect("client connects");
+
+    // The block's full test signature (out/ilim fail, aux pass) — enough
+    // for one stateless round to implicate the driver.
+    let scenario = board::d1_scenario(&CONFIG, 1);
+    let mut observation = Observation::new();
+    for name in ["out01", "aux01", "ilim01"] {
+        let state = scenario.truth[name];
+        observation.set(name, state);
+        if state == 0 {
+            observation.mark_failing(name);
+        }
+    }
+    let request = SessionRequest::new(observation);
+    let body = serde_json::to_string(&request).expect("request encodes");
+    let (status, reply) = client
+        .post("/v1/models/board/reg01/serve", &body)
+        .expect("stateless serve posts");
+    assert_eq!(status, 200, "serve failed: {reply}");
+    let report: SessionReport = serde_json::from_str(&reply).expect("report parses");
+    // One passive round can't separate the dead driver from its
+    // upstream causes (the §IV-B deduction ranks the root cause first —
+    // probing is what settles it, as the stored-session test shows), but
+    // the whole verdict must stay inside the block, with the driver
+    // heavily implicated.
+    let block_latents = ["bias01", "bg01", "reg_s01", "drv01"];
+    let top = report.top_candidate.as_deref().expect("a candidate");
+    assert!(
+        block_latents.contains(&top),
+        "top candidate `{top}` is not a block latent"
+    );
+    let drv_mass = report
+        .fault_mass
+        .iter()
+        .find(|(name, _)| name == &scenario.fault)
+        .map(|&(_, mass)| mass)
+        .expect("driver fault mass reported");
+    assert!(drv_mass > 0.8, "dead driver under-implicated: {drv_mass}");
+
+    // Unknown blocks stay 404, exactly like unknown models.
+    let (status, _) = client
+        .post("/v1/models/board/reg99/serve", &body)
+        .expect("unknown block posts");
+    assert_eq!(status, 404);
+
+    server.shutdown();
+}

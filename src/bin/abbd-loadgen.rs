@@ -127,6 +127,10 @@ fn parse_args() -> Result<Args, String> {
     if args.delta && args.mode != "session" {
         return Err("--delta only makes sense with --mode session".to_string());
     }
+    if args.batch_size == 0 {
+        // `rounds.div_ceil(batch_size)` would divide by zero below.
+        return Err("--batch-size must be at least 1".to_string());
+    }
     if args.connections == 0 {
         args.connections = if args.mode == "idle-soak" {
             1000
@@ -156,7 +160,11 @@ fn check(status: u16, body: &str, what: &str) -> Result<(), String> {
     }
 }
 
-/// Posts one request in the negotiated format, timing it.
+/// Posts one request in the negotiated format, timing it. Returns
+/// whether the server completed it: a `503` (queue or store
+/// backpressure) is *not* fatal and records no latency sample — the
+/// caller counts it, and a fully rejected run still ends in a report
+/// (with its explicit "no samples" line) instead of aborting.
 fn timed_post(
     client: &mut Client,
     path: &str,
@@ -165,7 +173,7 @@ fn timed_post(
     binary: bool,
     what: &str,
     latencies: &mut Vec<Duration>,
-) -> Result<(), String> {
+) -> Result<bool, String> {
     let start = Instant::now();
     let (status, text) = if binary {
         let (status, bytes) = client.post_binary(path, frame).map_err(|e| e.to_string())?;
@@ -173,13 +181,20 @@ fn timed_post(
     } else {
         client.post(path, json).map_err(|e| e.to_string())?
     };
+    if status == 503 {
+        return Ok(false);
+    }
+    check(status, &text, what)?;
     latencies.push(start.elapsed());
-    check(status, &text, what)
+    Ok(true)
 }
 
-/// Runs one client's share over its slice of keep-alive connections;
-/// returns (items completed, per-request latencies).
-fn run_client(args: &Args, conns_here: usize) -> Result<(usize, Vec<Duration>), String> {
+/// One client's tally: (items completed, requests 503-rejected,
+/// per-request latencies).
+type ClientTally = (usize, usize, Vec<Duration>);
+
+/// Runs one client's share over its slice of keep-alive connections.
+fn run_client(args: &Args, conns_here: usize) -> Result<ClientTally, String> {
     let mut clients = Vec::with_capacity(conns_here);
     for _ in 0..conns_here {
         clients.push(Client::connect(&args.addr).map_err(|e| format!("connect: {e}"))?);
@@ -188,12 +203,14 @@ fn run_client(args: &Args, conns_here: usize) -> Result<(usize, Vec<Duration>), 
     let full_json = serde_json::to_string(&full).map_err(|e| e.to_string())?;
     let full_frame = codec::to_frame(&full);
     let mut latencies = Vec::with_capacity(args.rounds);
+    let mut completed = 0usize;
+    let mut rejected = 0usize;
     match args.mode.as_str() {
         "stateless" => {
             let path = format!("/v1/models/{}/serve", args.model);
             for i in 0..args.rounds {
                 let client = &mut clients[i % conns_here];
-                timed_post(
+                if timed_post(
                     client,
                     &path,
                     &full_json,
@@ -201,9 +218,13 @@ fn run_client(args: &Args, conns_here: usize) -> Result<(usize, Vec<Duration>), 
                     args.binary,
                     "serve",
                     &mut latencies,
-                )?;
+                )? {
+                    completed += 1;
+                } else {
+                    rejected += 1;
+                }
             }
-            Ok((args.rounds, latencies))
+            Ok((completed, rejected, latencies))
         }
         "session" => {
             // One stored session per connection (one device per wire).
@@ -227,7 +248,9 @@ fn run_client(args: &Args, conns_here: usize) -> Result<(usize, Vec<Duration>), 
             if args.delta {
                 for (client, path) in clients.iter_mut().zip(&paths) {
                     let mut warmup = Vec::new();
-                    timed_post(
+                    // A rejected warm-up is fine: the controls just
+                    // travel with a later round instead.
+                    let _ = timed_post(
                         client,
                         path,
                         &full_json,
@@ -245,7 +268,7 @@ fn run_client(args: &Args, conns_here: usize) -> Result<(usize, Vec<Duration>), 
             };
             for i in 0..args.rounds {
                 let slot = i % conns_here;
-                timed_post(
+                if timed_post(
                     &mut clients[slot],
                     &paths[slot],
                     round_json,
@@ -253,12 +276,16 @@ fn run_client(args: &Args, conns_here: usize) -> Result<(usize, Vec<Duration>), 
                     args.binary,
                     "round",
                     &mut latencies,
-                )?;
+                )? {
+                    completed += 1;
+                } else {
+                    rejected += 1;
+                }
             }
             for (client, id) in clients.iter_mut().zip(&ids) {
                 let _ = client.delete(&format!("/v1/sessions/{id}"));
             }
-            Ok((args.rounds, latencies))
+            Ok((completed, rejected, latencies))
         }
         _ => {
             let observations: Vec<Observation> =
@@ -278,7 +305,7 @@ fn run_client(args: &Args, conns_here: usize) -> Result<(usize, Vec<Duration>), 
             let requests = args.rounds.div_ceil(args.batch_size).max(1);
             for i in 0..requests {
                 let client = &mut clients[i % conns_here];
-                timed_post(
+                if timed_post(
                     client,
                     &path,
                     &body,
@@ -286,9 +313,13 @@ fn run_client(args: &Args, conns_here: usize) -> Result<(usize, Vec<Duration>), 
                     args.binary,
                     "diagnose_batch",
                     &mut latencies,
-                )?;
+                )? {
+                    completed += args.batch_size;
+                } else {
+                    rejected += 1;
+                }
             }
-            Ok((requests * args.batch_size, latencies))
+            Ok((completed, rejected, latencies))
         }
     }
 }
@@ -387,7 +418,7 @@ fn main() -> ExitCode {
         };
     }
     let start = Instant::now();
-    let results: Vec<Result<(usize, Vec<Duration>), String>> = std::thread::scope(|scope| {
+    let results: Vec<Result<ClientTally, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.clients)
             .map(|i| {
                 let args = args.clone();
@@ -405,11 +436,13 @@ fn main() -> ExitCode {
     });
     let elapsed = start.elapsed();
     let mut total = 0usize;
+    let mut rejected = 0usize;
     let mut latencies: Vec<Duration> = Vec::new();
     for result in results {
         match result {
-            Ok((items, lats)) => {
+            Ok((items, rej, lats)) => {
                 total += items;
+                rejected += rej;
                 latencies.extend(lats);
             }
             Err(e) => {
@@ -427,12 +460,21 @@ fn main() -> ExitCode {
         args.mode, total, secs, args.clients, args.connections,
         total as f64 / secs,
     );
-    println!(
-        "latency: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms over {} requests",
-        percentile(&latencies, 50.0).as_secs_f64() * 1e3,
-        percentile(&latencies, 95.0).as_secs_f64() * 1e3,
-        percentile(&latencies, 99.0).as_secs_f64() * 1e3,
-        latencies.len(),
-    );
+    if rejected > 0 {
+        println!("backpressure: {rejected} request(s) answered 503 and not retried");
+    }
+    if latencies.is_empty() {
+        // E.g. every round 503-rejected, or --rounds 0: percentiles of
+        // nothing are meaningless, say so instead of printing zeros.
+        println!("latency: no samples (no request completed)");
+    } else {
+        println!(
+            "latency: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms over {} requests",
+            percentile(&latencies, 50.0).as_secs_f64() * 1e3,
+            percentile(&latencies, 95.0).as_secs_f64() * 1e3,
+            percentile(&latencies, 99.0).as_secs_f64() * 1e3,
+            latencies.len(),
+        );
+    }
     ExitCode::SUCCESS
 }

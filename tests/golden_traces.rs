@@ -18,13 +18,18 @@
 //!
 //! then review the diff like any other code change.
 
-use abbd::core::{CostModel, DecisionTrace, DiagnosticEngine, StoppingPolicy, Strategy};
+use abbd::core::{
+    CostModel, DecisionTrace, DiagnosticEngine, HierarchicalSession, HierarchicalTrace,
+    StoppingPolicy, Strategy,
+};
+use abbd::designs::board::{self, BoardConfig};
 use abbd::designs::regulator::adaptive::{
     cross_suite_population, reference_cost_model, summarize_cross_suite, traced_case_study,
     CrossSuiteReport,
 };
 use abbd::designs::regulator::{self, cases::case_studies};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// The corpus strategies: file-name tag, strategy, and the cost model the
 /// scenario prices measurements with. Lookahead runs under unit costs —
@@ -180,4 +185,49 @@ fn golden_traces_replay_exactly() {
          `ABBD_REGEN_GOLDEN=1 cargo test --test golden_traces` and review the JSON diff.",
         mismatches.join("\n  ")
     );
+}
+
+/// The hierarchical corpus entry (PR 7): a 4-block synthetic board run
+/// through the two-phase loop — board-level rounds on the abstract root,
+/// the descent decision, and the block-level rounds inside the extracted
+/// sub-model — captured as one `HierarchicalTrace` and replayed
+/// byte-for-byte. Pins the descent *policy* (when the session drops a
+/// level and into which block) alongside the per-level decision streams.
+#[test]
+fn hierarchical_board_trace_replays_exactly() {
+    let config = BoardConfig {
+        blocks: 4,
+        seed: 2010,
+    };
+    let hierarchy = board::hierarchy(&config)
+        .expect("board hierarchy builds")
+        .shared();
+    let scenario = board::d1_scenario(&config, 2);
+    let mut session = HierarchicalSession::new(Arc::clone(&hierarchy), StoppingPolicy::default())
+        .expect("session opens");
+    session.observe("vin", 1).expect("vin");
+    session.observe("vload", 0).expect("vload");
+    let (outcome, trace) = session
+        .run_traced(board::scenario_executor(&scenario))
+        .expect("two-phase loop runs");
+    assert_eq!(trace.descended.as_deref(), Some("reg02"));
+    assert_eq!(outcome.diagnosis.top_candidate(), Some("drv02"));
+
+    let mut rendered = serde_json::to_string_pretty(&trace).expect("trace serialises");
+    rendered.push('\n');
+    let name = "board4_hierarchical.json";
+    if let Some(mismatch) = conform(name, &rendered) {
+        panic!(
+            "{mismatch}\nIf the change is intentional, regenerate with \
+             `ABBD_REGEN_GOLDEN=1 cargo test --test golden_traces` and review the JSON diff."
+        );
+    }
+    if !regen() {
+        // The stored corpus must round-trip through the typed
+        // representation (pins the hierarchy serde layer itself).
+        let stored = std::fs::read_to_string(golden_dir().join(name)).unwrap();
+        let parsed: HierarchicalTrace =
+            serde_json::from_str(&stored).expect("golden hierarchical trace parses");
+        assert_eq!(parsed, trace, "{name}: parsed trace differs from replay");
+    }
 }

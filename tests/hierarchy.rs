@@ -1,0 +1,142 @@
+//! Hierarchy acceptance pins (PR 7): the compiled abstraction hierarchy
+//! must be *exact* — block sub-model posteriors given full boundary
+//! evidence match the flat model to within 1e-9 — and *lazy-once* —
+//! every block sub-model compiles at most one junction tree no matter
+//! how many sessions (or threads) descend into it. The end-to-end check
+//! runs the two-phase loop on the 100-variable default board.
+
+use abbd::core::{DiagnosisSession, HierarchicalSession, StoppingPolicy};
+use abbd::designs::board::{self, BoardConfig};
+use std::sync::Arc;
+
+const SMALL: BoardConfig = BoardConfig {
+    blocks: 4,
+    seed: 2010,
+};
+
+/// Exactness property of the extraction: for every block, every joint
+/// configuration of the boundary rails (the *full* interface evidence
+/// that d-separates the block from the rest of the board) and every
+/// configuration of the block's own observables, the lazily compiled
+/// sub-model's latent posteriors equal the flat 30-variable model's to
+/// within 1e-9. A deterministic exhaustive sweep: 4 blocks × 4 rail
+/// configs × 8 observable configs = 128 paired inferences.
+#[test]
+fn extracted_block_posteriors_match_flat_within_1e9() {
+    let hierarchy = board::hierarchy(&SMALL).expect("hierarchy builds").shared();
+    let flat = abbd::core::CompiledModel::compile(board::flat_model(&SMALL).expect("flat builds"))
+        .expect("flat compiles")
+        .shared();
+
+    for k in 0..SMALL.blocks {
+        let child = hierarchy.child(k).expect("child compiles");
+        let latents = [
+            format!("bias{k:02}"),
+            format!("bg{k:02}"),
+            format!("reg_s{k:02}"),
+            format!("drv{k:02}"),
+        ];
+        let observables = [
+            format!("out{k:02}"),
+            format!("aux{k:02}"),
+            format!("ilim{k:02}"),
+        ];
+        for rails in 0..4usize {
+            let (vin, vload) = (rails & 1, rails >> 1);
+            for obs_bits in 0..(1usize << observables.len()) {
+                let mut on_flat =
+                    DiagnosisSession::new(Arc::clone(&flat), StoppingPolicy::exhaustive())
+                        .expect("flat session");
+                let mut on_child =
+                    DiagnosisSession::new(Arc::clone(&child), StoppingPolicy::exhaustive())
+                        .expect("child session");
+                for s in [&mut on_flat, &mut on_child] {
+                    s.observe("vin", vin).expect("vin observed");
+                    s.observe("vload", vload).expect("vload observed");
+                }
+                for (i, obs) in observables.iter().enumerate() {
+                    let state = (obs_bits >> i) & 1;
+                    on_flat.observe(obs, state).expect("flat observable");
+                    on_child.observe(obs, state).expect("child observable");
+                }
+                let flat_diag = on_flat.diagnose().expect("flat diagnosis").clone();
+                let child_diag = on_child.diagnose().expect("child diagnosis").clone();
+                for latent in &latents {
+                    let a = flat_diag.posterior_of(latent).expect("flat posterior");
+                    let b = child_diag.posterior_of(latent).expect("child posterior");
+                    assert_eq!(a.len(), b.len());
+                    for (state, (&pa, &pb)) in a.iter().zip(b).enumerate() {
+                        assert!(
+                            (pa - pb).abs() <= 1e-9,
+                            "block {k} {latent}[{state}] diverges under rails \
+                             ({vin},{vload}) obs {obs_bits:03b}: flat {pa} vs child {pb}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The lazy compile is idempotent under contention: eight threads racing
+/// to descend into every block still compile each sub-model exactly
+/// once, and repeated access afterwards never recompiles.
+#[test]
+fn child_submodels_compile_at_most_once_under_contention() {
+    let hierarchy = board::hierarchy(&SMALL).expect("hierarchy builds").shared();
+    assert_eq!(hierarchy.submodel_compiles(), 0, "construction is lazy");
+
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let hierarchy = Arc::clone(&hierarchy);
+            scope.spawn(move || {
+                for k in 0..SMALL.blocks {
+                    let child = hierarchy.child(k).expect("child compiles");
+                    assert!(child.model().circuit_model().latents().len() >= 4);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        hierarchy.submodel_compiles(),
+        SMALL.blocks as u64,
+        "each block compiles exactly once across 8 racing threads"
+    );
+
+    // Steady state: further access is pure cache.
+    for k in 0..SMALL.blocks {
+        let _ = hierarchy.child(k).expect("cached child");
+        assert!(hierarchy.child_compiled(k));
+    }
+    assert_eq!(hierarchy.submodel_compiles(), SMALL.blocks as u64);
+}
+
+/// The two-phase loop at the acceptance scale: on the 100-variable
+/// default board the session isolates a dead driver by descending into
+/// exactly one of the 14 blocks — one lazy compile, every measurement
+/// before descent confined to the abstract root.
+#[test]
+fn default_board_two_phase_loop_isolates_on_100_variables() {
+    let config = BoardConfig::default();
+    assert_eq!(config.variable_count(), 100);
+    let hierarchy = board::hierarchy(&config)
+        .expect("hierarchy builds")
+        .shared();
+    let scenario = board::d1_scenario(&config, 9);
+
+    let mut session = HierarchicalSession::new(Arc::clone(&hierarchy), StoppingPolicy::default())
+        .expect("session opens");
+    session.observe("vin", 1).expect("vin");
+    session.observe("vload", 0).expect("vload");
+    let outcome = session
+        .run(board::scenario_executor(&scenario))
+        .expect("two-phase loop runs");
+
+    assert_eq!(session.descended_block(), Some("reg09"));
+    assert_eq!(outcome.diagnosis.top_candidate(), Some("drv09"));
+    assert_eq!(
+        hierarchy.submodel_compiles(),
+        1,
+        "one descent, one sub-model compile on the 100-variable board"
+    );
+}

@@ -13,7 +13,10 @@
 
 use abbd::bbn::jointree_compile_count;
 use abbd::core::fixtures::toy_compiled_model;
-use abbd::core::{Action, CostModel, DiagnosisSession, Outcome, StoppingPolicy, Strategy};
+use abbd::core::{
+    Action, CostModel, DiagnosisSession, HierarchicalSession, Outcome, StoppingPolicy, Strategy,
+};
+use abbd::designs::board::{self, BoardConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::Arc;
@@ -152,5 +155,54 @@ fn steady_state_scoring_compiles_nothing_and_allocates_nothing() {
         jointree_compile_count() - compiles_before,
         0,
         "the lookahead closed loop must never recompile"
+    );
+
+    // The hierarchy's steady state (PR 7): descending into a block of a
+    // synthetic board pays exactly one junction-tree compile — the lazy
+    // sub-model extraction — and after that the descended session's
+    // decision loop inherits the full contract: zero compilations, zero
+    // heap allocations per ranking.
+    let config = BoardConfig {
+        blocks: 3,
+        seed: 2010,
+    };
+    let hierarchy = board::hierarchy(&config).unwrap().shared();
+    let mut h = HierarchicalSession::new(hierarchy, StoppingPolicy::exhaustive()).unwrap();
+    h.observe("vin", 1).unwrap();
+    h.observe("vload", 0).unwrap();
+    h.observe("out00", 1).unwrap();
+    h.observe("out01", 0).unwrap();
+    h.mark_failing("out01");
+    h.observe("out02", 1).unwrap();
+
+    let compiles_before = jointree_compile_count();
+    h.descend(1).unwrap();
+    assert_eq!(
+        jointree_compile_count() - compiles_before,
+        1,
+        "descent compiles the block sub-model exactly once"
+    );
+
+    // Warm-up, then the pinned window.
+    h.rank_actions().unwrap();
+    h.rank_actions().unwrap();
+    let compiles_before = jointree_compile_count();
+    let allocs_before = alloc_events();
+    let mut checksum = 0.0;
+    for _ in 0..16 {
+        let scored = h.rank_actions().unwrap();
+        checksum += scored[0].expected_information_gain();
+    }
+    let allocs = alloc_events() - allocs_before;
+    let compiles = jointree_compile_count() - compiles_before;
+
+    assert!(checksum.is_finite() && checksum > 0.0);
+    assert_eq!(
+        compiles, 0,
+        "descended steady-state scoring must reuse the cached block sub-model"
+    );
+    assert_eq!(
+        allocs, 0,
+        "descended steady-state scoring must not touch the heap ({allocs} allocation events in 16 decisions)"
     );
 }
