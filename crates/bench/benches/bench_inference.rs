@@ -460,9 +460,9 @@ fn bench_server_throughput(c: &mut Criterion) {
         // JSON row above, minus the JSON-string framing both ways.
         let mut wire = Vec::new();
         let header = serde::Value::Obj(vec![("deduction".to_string(), serde::Value::Null)]);
-        abbd_server::codec::write_frame(&header, &mut wire);
+        abbd_server::codec::frame_into(&header, &mut wire);
         for _ in 0..16 {
-            abbd_server::codec::write_frame(&serde::Serialize::to_value(&controls), &mut wire);
+            abbd_server::codec::frame_into(&controls, &mut wire);
         }
         let mut client = Client::connect(server.addr()).expect("client connects");
         b.iter(|| {
@@ -475,6 +475,90 @@ fn bench_server_throughput(c: &mut Criterion) {
     });
     group.finish();
     server.shutdown();
+}
+
+/// The serializer price list on a real `SessionReport` (the largest DTO
+/// that crosses the wire every round): for each codec, the streaming
+/// fast path — `write_json`/`write_binary` straight into a byte buffer,
+/// `read_from` straight off it — against the `Value`-tree fallback it
+/// replaced (build or parse the tree, then convert). The byte-identity
+/// proptests in `abbd-server/tests/codec.rs` pin that both paths emit
+/// the same bytes; this group prices the tree they no longer build.
+fn bench_wire_serialization(c: &mut Criterion) {
+    use abbd_server::{codec, SessionReport};
+    use serde::{Deserialize, Serialize};
+
+    let fitted = regulator::fit(30, 2010, regulator::default_algorithm()).expect("pipeline runs");
+    let compiled = Arc::clone(fitted.engine.compiled());
+    let case = &regulator::cases::case_studies()[0];
+    let request = SessionRequest::new(case.observation());
+    let report = compiled.serve(&request).expect("round serves");
+    let report_json = serde_json::to_string(&report).expect("report encodes");
+    let report_frame = codec::to_frame(&report);
+    let mut group = c.benchmark_group("wire_serialization");
+
+    group.bench_function("report_encode_json_streaming", |b| {
+        let mut buf = Vec::with_capacity(report_json.len());
+        b.iter(|| {
+            buf.clear();
+            black_box(&report).write_json(&mut buf);
+            black_box(buf.len())
+        })
+    });
+    group.bench_function("report_encode_json_value", |b| {
+        let mut buf = Vec::with_capacity(report_json.len());
+        b.iter(|| {
+            buf.clear();
+            serde::json::write_value(&black_box(&report).to_value(), &mut buf);
+            black_box(buf.len())
+        })
+    });
+    group.bench_function("report_encode_binary_streaming", |b| {
+        let mut buf = Vec::with_capacity(report_frame.len());
+        b.iter(|| {
+            buf.clear();
+            codec::frame_into(black_box(&report), &mut buf);
+            black_box(buf.len())
+        })
+    });
+    group.bench_function("report_encode_binary_value", |b| {
+        let mut buf = Vec::with_capacity(report_frame.len());
+        b.iter(|| {
+            buf.clear();
+            codec::write_frame(&black_box(&report).to_value(), &mut buf);
+            black_box(buf.len())
+        })
+    });
+    group.bench_function("report_decode_json_streaming", |b| {
+        b.iter(|| {
+            let report: SessionReport =
+                serde_json::from_str(black_box(&report_json)).expect("decodes");
+            black_box(report.ranked.len())
+        })
+    });
+    group.bench_function("report_decode_json_value", |b| {
+        b.iter(|| {
+            let tree = serde_json::parse_value_str(black_box(&report_json)).expect("parses");
+            let report = SessionReport::from_value(&tree).expect("decodes");
+            black_box(report.ranked.len())
+        })
+    });
+    group.bench_function("report_decode_binary_streaming", |b| {
+        b.iter(|| {
+            let report: SessionReport =
+                codec::from_frame(black_box(&report_frame)).expect("decodes");
+            black_box(report.ranked.len())
+        })
+    });
+    group.bench_function("report_decode_binary_value", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            let tree = codec::read_frame(black_box(&report_frame), &mut pos).expect("parses");
+            let report = SessionReport::from_value(&tree).expect("decodes");
+            black_box(report.ranked.len())
+        })
+    });
+    group.finish();
 }
 
 /// The compiled abstraction hierarchy (PR 7) on the 100-variable
@@ -577,6 +661,7 @@ criterion_group!(
     bench_lookahead_voi,
     bench_session_api,
     bench_server_throughput,
+    bench_wire_serialization,
     bench_hierarchical,
     bench_chain_scaling
 );

@@ -191,6 +191,30 @@ impl<A: Serialize> Serialize for Ranked<A> {
             ("score".to_string(), self.score.to_value()),
         ])
     }
+
+    fn write_json(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(b"{\"action\":");
+        self.action.write_json(out);
+        out.extend_from_slice(b",\"gain\":");
+        self.gain.write_json(out);
+        out.extend_from_slice(b",\"cost\":");
+        self.cost.write_json(out);
+        out.extend_from_slice(b",\"score\":");
+        self.score.write_json(out);
+        out.push(b'}');
+    }
+
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        serde::binary::write_obj(4, out);
+        serde::binary::write_key("action", out);
+        self.action.write_binary(out);
+        serde::binary::write_key("gain", out);
+        self.gain.write_binary(out);
+        serde::binary::write_key("cost", out);
+        self.cost.write_binary(out);
+        serde::binary::write_key("score", out);
+        self.score.write_binary(out);
+    }
 }
 
 impl<A: Deserialize> Deserialize for Ranked<A> {
@@ -206,6 +230,32 @@ impl<A: Deserialize> Deserialize for Ranked<A> {
             gain: Deserialize::from_value(field("gain")?)?,
             cost: Deserialize::from_value(field("cost")?)?,
             score: Deserialize::from_value(field("score")?)?,
+        })
+    }
+
+    fn read_from<'de, R: serde::Reader<'de>>(
+        reader: &mut R,
+    ) -> std::result::Result<Self, serde::DeError> {
+        reader.begin_object()?;
+        let mut action = None;
+        let mut gain = None;
+        let mut cost = None;
+        let mut score = None;
+        while let Some(key) = reader.object_key()? {
+            match &*key {
+                "action" if action.is_none() => action = Some(A::read_from(reader)?),
+                "gain" if gain.is_none() => gain = Some(f64::read_from(reader)?),
+                "cost" if cost.is_none() => cost = Some(f64::read_from(reader)?),
+                "score" if score.is_none() => score = Some(f64::read_from(reader)?),
+                _ => reader.skip_value()?,
+            }
+        }
+        let missing = |name| serde::DeError::missing(name, "Ranked");
+        Ok(Ranked {
+            action: action.ok_or_else(|| missing("action"))?,
+            gain: gain.ok_or_else(|| missing("gain"))?,
+            cost: cost.ok_or_else(|| missing("cost"))?,
+            score: score.ok_or_else(|| missing("score"))?,
         })
     }
 }

@@ -1,14 +1,24 @@
 //! The compact binary wire codec: versioned, length-prefixed frames
-//! over the same [`serde::Value`] tree the JSON codec serialises.
+//! over the same data model the JSON codec serialises.
 //!
 //! JSON stays the service default; a client opts into this codec per
 //! request by sending `content-type: application/x-abbd-binary`
 //! ([`CONTENT_TYPE`]) for its body and/or `accept:` the same type for
 //! the reply. Because both codecs are total maps over the identical
-//! `Value` tree (and the JSON shim prints floats shortest-roundtrip),
+//! value model (and the JSON shim prints floats shortest-roundtrip),
 //! **decoding either wire form yields the same value** — the proptest
 //! in `tests/codec.rs` pins that equivalence on arbitrary requests and
 //! reports.
+//!
+//! The payload encoding itself lives in [`serde::binary`]; this module
+//! adds the frame header and the typed entry points. Encoding streams
+//! through [`serde::Serialize::write_binary`] ([`frame_into`] /
+//! [`to_frame`]) and decoding through [`serde::binary::BinReader`]
+//! ([`decode_frame`] / [`from_frame`]), so report/request DTOs hit the
+//! wire without materialising an intermediate [`serde::Value`] tree —
+//! the tree forms ([`write_frame`] / [`read_frame`]) remain for
+//! callers that really want a `Value`, and both paths emit and accept
+//! bit-identical bytes (pinned by `tests/codec.rs`).
 //!
 //! ## Frame layout
 //!
@@ -32,10 +42,16 @@
 //!
 //! Decoding is hardened for the fuzz harness: every length is checked
 //! against the remaining buffer before allocation, nesting depth is
-//! capped at [`MAX_DEPTH`], and every failure is an error value — junk
-//! frames at worst cost the client a `400`.
+//! capped at [`MAX_DEPTH`] (shared with the JSON reader), and every
+//! failure is an error value — junk frames at worst cost the client a
+//! `400`.
 
+use serde::binary::BinReader;
 use serde::{Deserialize, Serialize, Value};
+
+/// Hard cap on value nesting (shared with the JSON reader), so
+/// adversarial frames cannot overflow the decoder's stack.
+pub use serde::MAX_DEPTH;
 
 /// The negotiated media type for this codec.
 pub const CONTENT_TYPE: &str = "application/x-abbd-binary";
@@ -43,17 +59,6 @@ pub const CONTENT_TYPE: &str = "application/x-abbd-binary";
 pub const MAGIC: [u8; 2] = *b"aB";
 /// The codec version this build writes (and the only one it reads).
 pub const VERSION: u8 = 1;
-/// Hard cap on value-tree nesting, so adversarial frames cannot
-/// overflow the decoder's stack.
-pub const MAX_DEPTH: usize = 128;
-
-const TAG_NULL: u8 = 0x00;
-const TAG_FALSE: u8 = 0x01;
-const TAG_TRUE: u8 = 0x02;
-const TAG_NUM: u8 = 0x03;
-const TAG_STR: u8 = 0x04;
-const TAG_ARR: u8 = 0x05;
-const TAG_OBJ: u8 = 0x06;
 
 /// Why a frame could not be decoded (maps to `400 bad_request` at the
 /// service boundary).
@@ -72,149 +77,52 @@ fn err<T>(message: impl Into<String>) -> Result<T, CodecError> {
     Err(CodecError(message.into()))
 }
 
-fn write_varint(mut n: u64, out: &mut Vec<u8>) {
-    loop {
-        let byte = (n & 0x7f) as u8;
-        n >>= 7;
-        if n == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
-    }
-}
-
-fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
-    let mut n = 0u64;
-    for shift in (0..64).step_by(7) {
-        let Some(&byte) = buf.get(*pos) else {
-            return err("truncated varint");
-        };
-        *pos += 1;
-        n |= u64::from(byte & 0x7f) << shift;
-        if byte & 0x80 == 0 {
-            return Ok(n);
-        }
-    }
-    err("varint too long")
-}
-
 /// Appends the binary encoding of `value` (no frame header) to `out`.
 pub fn write_value(value: &Value, out: &mut Vec<u8>) {
-    match value {
-        Value::Null => out.push(TAG_NULL),
-        Value::Bool(false) => out.push(TAG_FALSE),
-        Value::Bool(true) => out.push(TAG_TRUE),
-        Value::Num(n) => {
-            out.push(TAG_NUM);
-            out.extend_from_slice(&n.to_bits().to_le_bytes());
-        }
-        Value::Str(s) => {
-            out.push(TAG_STR);
-            write_varint(s.len() as u64, out);
-            out.extend_from_slice(s.as_bytes());
-        }
-        Value::Arr(items) => {
-            out.push(TAG_ARR);
-            write_varint(items.len() as u64, out);
-            for item in items {
-                write_value(item, out);
-            }
-        }
-        Value::Obj(entries) => {
-            out.push(TAG_OBJ);
-            write_varint(entries.len() as u64, out);
-            for (key, item) in entries {
-                write_varint(key.len() as u64, out);
-                out.extend_from_slice(key.as_bytes());
-                write_value(item, out);
-            }
-        }
-    }
-}
-
-fn read_exact<'b>(buf: &'b [u8], pos: &mut usize, len: usize) -> Result<&'b [u8], CodecError> {
-    let end = pos.checked_add(len).filter(|&end| end <= buf.len());
-    let Some(end) = end else {
-        return err("length runs past the end of the frame");
-    };
-    let bytes = &buf[*pos..end];
-    *pos = end;
-    Ok(bytes)
-}
-
-fn read_string(buf: &[u8], pos: &mut usize) -> Result<String, CodecError> {
-    let len = read_varint(buf, pos)?;
-    let len = usize::try_from(len).map_err(|_| CodecError("string length overflows".into()))?;
-    let bytes = read_exact(buf, pos, len)?;
-    match std::str::from_utf8(bytes) {
-        Ok(s) => Ok(s.to_string()),
-        Err(_) => err("non-UTF-8 string bytes"),
-    }
-}
-
-fn read_value_at(buf: &[u8], pos: &mut usize, depth: usize) -> Result<Value, CodecError> {
-    if depth > MAX_DEPTH {
-        return err("nesting too deep");
-    }
-    let Some(&tag) = buf.get(*pos) else {
-        return err("truncated value");
-    };
-    *pos += 1;
-    match tag {
-        TAG_NULL => Ok(Value::Null),
-        TAG_FALSE => Ok(Value::Bool(false)),
-        TAG_TRUE => Ok(Value::Bool(true)),
-        TAG_NUM => {
-            let bytes = read_exact(buf, pos, 8)?;
-            let mut raw = [0u8; 8];
-            raw.copy_from_slice(bytes);
-            Ok(Value::Num(f64::from_bits(u64::from_le_bytes(raw))))
-        }
-        TAG_STR => Ok(Value::Str(read_string(buf, pos)?)),
-        TAG_ARR => {
-            let count = read_varint(buf, pos)?;
-            let count =
-                usize::try_from(count).map_err(|_| CodecError("array length overflows".into()))?;
-            // Each element costs ≥ 1 byte, so an honest count never
-            // exceeds what is left — refuse it before allocating.
-            if count > buf.len() - *pos {
-                return err("array length runs past the end of the frame");
-            }
-            let mut items = Vec::with_capacity(count);
-            for _ in 0..count {
-                items.push(read_value_at(buf, pos, depth + 1)?);
-            }
-            Ok(Value::Arr(items))
-        }
-        TAG_OBJ => {
-            let count = read_varint(buf, pos)?;
-            let count =
-                usize::try_from(count).map_err(|_| CodecError("object length overflows".into()))?;
-            if count > buf.len() - *pos {
-                return err("object length runs past the end of the frame");
-            }
-            let mut entries = Vec::with_capacity(count);
-            for _ in 0..count {
-                let key = read_string(buf, pos)?;
-                let item = read_value_at(buf, pos, depth + 1)?;
-                entries.push((key, item));
-            }
-            Ok(Value::Obj(entries))
-        }
-        other => err(format!("unknown value tag 0x{other:02x}")),
-    }
+    serde::binary::write_value(value, out);
 }
 
 /// Appends one whole frame (header + encoded `value`) to `out`.
 pub fn write_frame(value: &Value, out: &mut Vec<u8>) {
+    frame_into(value, out);
+}
+
+/// Appends one whole frame (header + payload) to `out`, streaming the
+/// payload through [`Serialize::write_binary`] — no intermediate
+/// `Value` tree for types with streaming impls.
+pub fn frame_into<T: Serialize + ?Sized>(value: &T, out: &mut Vec<u8>) {
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
     let length_at = out.len();
     out.extend_from_slice(&[0u8; 4]);
-    write_value(value, out);
+    value.write_binary(out);
     let payload = (out.len() - length_at - 4) as u32;
     out[length_at..length_at + 4].copy_from_slice(&payload.to_le_bytes());
+}
+
+/// Validates the frame header at `*pos`, advancing past it; returns
+/// the payload's end offset.
+fn frame_header(buf: &[u8], pos: &mut usize) -> Result<usize, CodecError> {
+    let end = pos.checked_add(7).filter(|&end| end <= buf.len());
+    let Some(header_end) = end else {
+        return err("length runs past the end of the frame");
+    };
+    let header = &buf[*pos..header_end];
+    if header[..2] != MAGIC {
+        return err("bad frame magic");
+    }
+    if header[2] != VERSION {
+        return err(format!("unsupported codec version {}", header[2]));
+    }
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&header[3..7]);
+    let payload_len = u32::from_le_bytes(raw) as usize;
+    *pos = header_end;
+    let payload_end = pos.checked_add(payload_len).filter(|&end| end <= buf.len());
+    let Some(payload_end) = payload_end else {
+        return err("frame length runs past the end of the buffer");
+    };
+    Ok(payload_end)
 }
 
 /// Reads one frame starting at `*pos`, advancing `*pos` past it.
@@ -224,55 +132,55 @@ pub fn write_frame(value: &Value, out: &mut Vec<u8>) {
 /// Fails on a bad magic/version, a length prefix running past the end
 /// of `buf`, trailing payload garbage, or a malformed value encoding.
 pub fn read_frame(buf: &[u8], pos: &mut usize) -> Result<Value, CodecError> {
-    let header = read_exact(buf, pos, 3)?;
-    if header[..2] != MAGIC {
-        return err("bad frame magic");
-    }
-    if header[2] != VERSION {
-        return err(format!("unsupported codec version {}", header[2]));
-    }
-    let length = read_exact(buf, pos, 4)?;
-    let mut raw = [0u8; 4];
-    raw.copy_from_slice(length);
-    let payload_len = u32::from_le_bytes(raw) as usize;
-    let payload_end = pos.checked_add(payload_len).filter(|&end| end <= buf.len());
-    let Some(payload_end) = payload_end else {
-        return err("frame length runs past the end of the buffer");
-    };
-    let value = read_value_at(&buf[..payload_end], pos, 0)?;
-    if *pos != payload_end {
-        return err("trailing bytes after the framed value");
-    }
+    decode_frame(buf, pos)
+}
+
+/// Reads one frame starting at `*pos` straight into a
+/// serde-deserialisable type (no intermediate `Value` for types with
+/// streaming impls), advancing `*pos` past it.
+///
+/// # Errors
+///
+/// Fails like [`read_frame`], plus on shape mismatches from the target
+/// type's `Deserialize`.
+pub fn decode_frame<T: Deserialize>(buf: &[u8], pos: &mut usize) -> Result<T, CodecError> {
+    let payload_end = frame_header(buf, pos)?;
+    let mut reader = BinReader::new(&buf[*pos..payload_end]);
+    let value = T::read_from(&mut reader).map_err(|e| CodecError(e.0))?;
+    reader.expect_end().map_err(|e| CodecError(e.0))?;
+    *pos = payload_end;
     Ok(value)
 }
 
-/// Encodes any serde-serialisable value as one binary frame.
+/// Encodes any serde-serialisable value as one binary frame, streaming
+/// through [`frame_into`].
 pub fn to_frame<T: Serialize>(value: &T) -> Vec<u8> {
     let mut out = Vec::with_capacity(256);
-    write_frame(&value.to_value(), &mut out);
+    frame_into(value, &mut out);
     out
 }
 
 /// Decodes exactly one binary frame into a serde-deserialisable value
 /// (trailing bytes after the frame are an error — this is the
-/// whole-body form; use [`read_frame`] for streams of frames).
+/// whole-body form; use [`decode_frame`] for streams of frames).
 ///
 /// # Errors
 ///
-/// Propagates [`read_frame`] failures plus shape mismatches from the
+/// Propagates [`decode_frame`] failures plus shape mismatches from the
 /// target type's `Deserialize`.
 pub fn from_frame<T: Deserialize>(bytes: &[u8]) -> Result<T, CodecError> {
     let mut pos = 0usize;
-    let value = read_frame(bytes, &mut pos)?;
+    let value = decode_frame(bytes, &mut pos)?;
     if pos != bytes.len() {
         return err("trailing bytes after the frame");
     }
-    T::from_value(&value).map_err(|e| CodecError(e.0))
+    Ok(value)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde::binary::{TAG_ARR, TAG_NULL};
 
     fn round_trip(value: &Value) -> Value {
         let mut out = Vec::new();
@@ -355,5 +263,21 @@ mod tests {
         let mut pos = 0;
         let error = read_frame(&framed, &mut pos).expect_err("depth cap holds");
         assert!(error.0.contains("deep"), "{error}");
+    }
+
+    #[test]
+    fn streaming_frames_match_the_value_path() {
+        let value = Value::Obj(vec![
+            ("action".into(), Value::Str("probe".into())),
+            ("gain".into(), Value::Num(0.25)),
+            ("rows".into(), Value::Arr(vec![Value::Num(1.0)])),
+        ]);
+        let mut streamed = Vec::new();
+        frame_into(&value, &mut streamed);
+        let mut via_tree = Vec::new();
+        write_frame(&value, &mut via_tree);
+        assert_eq!(streamed, via_tree);
+        let decoded: Value = from_frame(&streamed).unwrap();
+        assert_eq!(decoded, value);
     }
 }

@@ -93,6 +93,26 @@
 //! materialising a giant JSON array, and a binary reply is the
 //! concatenated per-row [`BatchEntry`] frames in input order.
 //!
+//! Wire limits and number/string conventions, identical in both codecs:
+//!
+//! * Bodies are capped at 2 MiB (`413` beyond that) and container
+//!   nesting at [`codec::MAX_DEPTH`] (128) levels — a deeper payload is
+//!   a structured `400`, never a stack overflow, no matter where in the
+//!   document the nesting hides.
+//! * JSON numbers are shortest-roundtrip doubles: whole values below
+//!   `9e15` print as bare integer digits (every one exact — the
+//!   threshold sits under 2⁵³), `-0.0` keeps its sign, and non-finite
+//!   values cross as the marker strings `"NaN"`, `"inf"` and `"-inf"`
+//!   (`null` also reads back as NaN, for datalog gaps).
+//! * JSON strings are UTF-8; `\uXXXX` surrogate pairs decode to one
+//!   scalar and lone surrogate halves are a parse error, so a decoded
+//!   string is always valid UTF-8.
+//!
+//! Both directions serialize *directly* between DTOs and wire bytes
+//! (the `serde` shim's streaming `write_json`/`write_binary`/`read_from`
+//! paths); the `Value`-tree fallback remains for generic payloads and is
+//! pinned byte-identical by the `codec` proptests.
+//!
 //! **Delta rounds** cut the upload side: a [`SessionRequest`] with
 //! `"delta": true` sends only *new* observations for a stored session —
 //! the session merges them into its accumulated evidence. Re-observing

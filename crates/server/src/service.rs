@@ -452,7 +452,7 @@ fn diagnose_batch(
         // device's diagnosis as it arrives.
         let mut body = Vec::new();
         for entry in &reports {
-            codec::write_frame(&entry.to_value(), &mut body);
+            codec::frame_into(entry, &mut body);
         }
         Ok(Response::binary(200, body))
     } else {
@@ -473,15 +473,12 @@ struct BatchHeader {
 /// observation frame per row. Rows decode frame by frame — no giant
 /// intermediate array value.
 fn parse_batch_binary(body: &[u8]) -> Result<BatchRequest, ApiError> {
-    let bad = |e: codec::CodecError| ApiError::bad_request(format!("body does not parse: {e}"));
     let mut pos = 0;
-    let header_value = codec::read_frame(body, &mut pos).map_err(bad)?;
-    let header = BatchHeader::from_value(&header_value)
+    let header: BatchHeader = codec::decode_frame(body, &mut pos)
         .map_err(|e| ApiError::bad_request(format!("batch header does not parse: {e}")))?;
     let mut observations = Vec::new();
     while pos < body.len() {
-        let row = codec::read_frame(body, &mut pos).map_err(bad)?;
-        let observation = Observation::from_value(&row).map_err(|e| {
+        let observation: Observation = codec::decode_frame(body, &mut pos).map_err(|e| {
             ApiError::bad_request(format!(
                 "batch row {} does not parse: {e}",
                 observations.len()

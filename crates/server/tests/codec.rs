@@ -79,6 +79,76 @@ proptest! {
         prop_assert_eq!(json_of(&from_binary), json_of(&report));
     }
 
+    /// The streaming serializers emit byte-identical wire output to the
+    /// `Value`-tree fallback, both codecs, on arbitrary requests — so
+    /// retiring the intermediate tree cannot change a single wire byte.
+    #[test]
+    fn streaming_requests_are_byte_identical_to_the_value_path(
+        pin in 0usize..2,
+        threshold_millis in 1u32..1000,
+        max_steps in 1usize..64,
+        delta in proptest::bool::ANY,
+    ) {
+        let mut request = SessionRequest::new(Default::default());
+        request.observation.set("pin", pin);
+        request.policy.fault_mass_threshold = f64::from(threshold_millis) / 1000.0;
+        request.policy.max_steps = max_steps;
+        if delta {
+            request = request.into_delta();
+        }
+        let tree = serde::Serialize::to_value(&request);
+
+        let mut streamed_json = Vec::new();
+        serde::Serialize::write_json(&request, &mut streamed_json);
+        let mut tree_json = Vec::new();
+        serde::json::write_value(&tree, &mut tree_json);
+        prop_assert_eq!(&streamed_json, &tree_json);
+
+        let mut streamed_frame = Vec::new();
+        codec::frame_into(&request, &mut streamed_frame);
+        let mut tree_frame = Vec::new();
+        codec::write_frame(&tree, &mut tree_frame);
+        prop_assert_eq!(streamed_frame, tree_frame);
+    }
+
+    /// The same byte-identity on real inference output: reports stream
+    /// onto the wire exactly as the tree path encoded them, and the
+    /// streaming decoder reads back what the tree decoder reads.
+    #[test]
+    fn streaming_reports_are_byte_identical_to_the_value_path(
+        pin in 0usize..2,
+        fail_out1 in proptest::bool::ANY,
+    ) {
+        let mut request = SessionRequest::new(Default::default());
+        request.observation.set("pin", pin);
+        if fail_out1 {
+            request.observation.set("out1", 0);
+            request.observation.mark_failing("out1");
+        }
+        let report = toy_compiled_model().serve(&request).unwrap();
+        let tree = serde::Serialize::to_value(&report);
+
+        let mut streamed_json = Vec::new();
+        serde::Serialize::write_json(&report, &mut streamed_json);
+        let mut tree_json = Vec::new();
+        serde::json::write_value(&tree, &mut tree_json);
+        prop_assert_eq!(String::from_utf8(streamed_json).unwrap(), String::from_utf8(tree_json).unwrap());
+
+        let mut streamed_frame = Vec::new();
+        codec::frame_into(&report, &mut streamed_frame);
+        let mut tree_frame = Vec::new();
+        codec::write_frame(&tree, &mut tree_frame);
+        prop_assert_eq!(&streamed_frame, &tree_frame);
+
+        // Decode equivalence: the streaming reader and the tree reader
+        // agree on the same frame.
+        let streamed: SessionReport = codec::from_frame(&streamed_frame).unwrap();
+        let mut pos = 0;
+        let tree_back = codec::read_frame(&streamed_frame, &mut pos).unwrap();
+        let via_tree = <SessionReport as serde::Deserialize>::from_value(&tree_back).unwrap();
+        prop_assert_eq!(json_of(&streamed), json_of(&via_tree));
+    }
+
     /// Frame-level sanity under concatenation: N encoded requests stream
     /// back out of one buffer in order, exactly as the batch reply path
     /// relies on.

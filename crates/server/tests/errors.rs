@@ -134,6 +134,24 @@ fn a_failed_round_leaves_the_stored_session_untouched() {
     assert_eq!(wire_body, serde_json::to_string(&reference).unwrap());
 }
 
+/// A 100k-deep `[[[[…` JSON body used to overflow the parser's stack
+/// and abort the whole process; the streaming reader's depth cap turns
+/// it into an ordinary 400 and the server keeps serving.
+#[test]
+fn hundred_thousand_deep_json_is_400_not_a_crash() {
+    let mut c = client();
+    // The whole body is the hostile array...
+    let hostile = "[".repeat(100_000);
+    let (status, body) = c.post("/v1/models/toy/serve", &hostile).unwrap();
+    assert_eq!(decode_error(status, &body), (400, "bad_request".into()));
+    // ... and smuggled under an unknown field, where decoding skips it
+    // through the same depth-capped machinery.
+    let smuggled = format!("{{\"zzz\":{hostile}");
+    let (status, body) = c.post("/v1/models/toy/serve", &smuggled).unwrap();
+    assert_eq!(decode_error(status, &body), (400, "bad_request".into()));
+    assert!(healthy(), "server died on deep nesting");
+}
+
 #[test]
 fn oversized_bodies_are_413() {
     let mut c = client();

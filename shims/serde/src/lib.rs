@@ -7,15 +7,37 @@
 //! traits for plain structs and enums, honouring `#[serde(default)]` and
 //! `#[serde(skip)]`.
 //!
+//! On top of the tree model sits a **streaming fast path**:
+//! [`Serialize::write_json`] / [`Serialize::write_binary`] emit a type
+//! straight into a byte buffer, and [`Deserialize::read_from`] decodes
+//! it from an event-driven [`Reader`] ([`json::JsonReader`] or
+//! [`binary::BinReader`]) without materialising a `Value`. The default
+//! methods fall back through the tree, so hand-written impls stay
+//! correct without opting in, and both paths are pinned byte-identical
+//! (the derive and the fallback route through the same [`json`] /
+//! [`binary`] emit helpers).
+//!
+//! Wire limits: both readers cap container nesting at [`MAX_DEPTH`], so
+//! adversarial input fails with a parse error instead of exhausting the
+//! decoder's stack.
+//!
 //! Maps serialize as arrays of `[key, value]` pairs regardless of key type,
 //! which keeps the encoding self-consistent for non-string keys (the real
 //! serde_json would reject those).
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::Hash;
 
+pub mod binary;
+pub mod json;
+
 pub use serde_derive::{Deserialize, Serialize};
+
+/// Hard cap on container nesting for both wire readers, so adversarial
+/// `[[[[…` input (JSON or binary) cannot overflow the decoder's stack.
+pub const MAX_DEPTH: usize = 128;
 
 /// The common self-describing tree both traits speak.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,21 +124,249 @@ impl fmt::Display for DeError {
 
 impl std::error::Error for DeError {}
 
-/// Renders `self` into a [`Value`] tree.
+/// What kind of value sits next in a [`Reader`]'s input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Peek {
+    /// A `null`.
+    Null,
+    /// A boolean.
+    Bool,
+    /// A number (for JSON: any token that is not one of the others —
+    /// `read_f64` settles whether it actually parses).
+    Num,
+    /// A string.
+    Str,
+    /// An array.
+    Arr,
+    /// An object.
+    Obj,
+}
+
+/// An event-driven decoder over a borrowed input slice — the common
+/// interface [`Deserialize::read_from`] is written against, implemented
+/// by [`json::JsonReader`] and [`binary::BinReader`].
+///
+/// Containers are symmetric state machines: `begin_array` then
+/// `array_next` until it returns `false`; `begin_object` then
+/// `object_key` until it returns `None`. Strings borrow from the input
+/// (`'de`) whenever the encoding allows.
+pub trait Reader<'de> {
+    /// Classifies the next value without consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on exhausted input (or, for binary, an unknown tag).
+    fn peek(&mut self) -> Result<Peek, DeError>;
+
+    /// Consumes a `null`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next value is not `null`.
+    fn read_null(&mut self) -> Result<(), DeError>;
+
+    /// Consumes a boolean.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next value is not a boolean.
+    fn read_bool(&mut self) -> Result<bool, DeError>;
+
+    /// Consumes a number.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next value is not a number.
+    fn read_f64(&mut self) -> Result<f64, DeError>;
+
+    /// Consumes a string, borrowing from the input when possible.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next value is not a (well-formed) string.
+    fn read_str(&mut self) -> Result<Cow<'de, str>, DeError>;
+
+    /// Opens an array.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next value is not an array, or the nesting depth
+    /// exceeds [`MAX_DEPTH`].
+    fn begin_array(&mut self) -> Result<(), DeError>;
+
+    /// `true` if another element follows (read it next); `false` closes
+    /// the array.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input (e.g. a missing `,`).
+    fn array_next(&mut self) -> Result<bool, DeError>;
+
+    /// Opens an object.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next value is not an object, or the nesting depth
+    /// exceeds [`MAX_DEPTH`].
+    fn begin_object(&mut self) -> Result<(), DeError>;
+
+    /// The next entry's key (read its value next), or `None` closing
+    /// the object.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input.
+    fn object_key(&mut self) -> Result<Option<Cow<'de, str>>, DeError>;
+
+    /// Consumes and discards one whole value (any shape) — how struct
+    /// decoding skips unknown fields. Depth-capped like everything
+    /// else.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any parse failure inside the skipped value.
+    fn skip_value(&mut self) -> Result<(), DeError>
+    where
+        Self: Sized,
+    {
+        match self.peek()? {
+            Peek::Null => self.read_null(),
+            Peek::Bool => self.read_bool().map(drop),
+            Peek::Num => self.read_f64().map(drop),
+            Peek::Str => self.read_str().map(drop),
+            Peek::Arr => {
+                self.begin_array()?;
+                while self.array_next()? {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            Peek::Obj => {
+                self.begin_object()?;
+                while self.object_key()?.is_some() {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Consumes one whole value into a [`Value`] tree — the bridge that
+    /// lets [`Deserialize::from_value`]-only types decode from a
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any parse failure.
+    fn read_value(&mut self) -> Result<Value, DeError>
+    where
+        Self: Sized,
+    {
+        match self.peek()? {
+            Peek::Null => {
+                self.read_null()?;
+                Ok(Value::Null)
+            }
+            Peek::Bool => Ok(Value::Bool(self.read_bool()?)),
+            Peek::Num => Ok(Value::Num(self.read_f64()?)),
+            Peek::Str => Ok(Value::Str(self.read_str()?.into_owned())),
+            Peek::Arr => {
+                self.begin_array()?;
+                let mut items = Vec::new();
+                while self.array_next()? {
+                    items.push(self.read_value()?);
+                }
+                Ok(Value::Arr(items))
+            }
+            Peek::Obj => {
+                self.begin_object()?;
+                let mut entries = Vec::new();
+                while let Some(key) = self.object_key()? {
+                    let item = self.read_value()?;
+                    entries.push((key.into_owned(), item));
+                }
+                Ok(Value::Obj(entries))
+            }
+        }
+    }
+}
+
+/// Renders `self` into a [`Value`] tree, or streams it straight into a
+/// byte buffer.
 pub trait Serialize {
     /// The `Value` encoding of `self`.
     fn to_value(&self) -> Value;
+
+    /// Appends the compact JSON encoding of `self` to `out`, without
+    /// materialising a `Value`. The default falls back through
+    /// [`Serialize::to_value`]; both paths emit identical bytes.
+    fn write_json(&self, out: &mut Vec<u8>) {
+        json::write_value(&self.to_value(), out);
+    }
+
+    /// Appends the compact binary encoding of `self` to `out`, without
+    /// materialising a `Value`. The default falls back through
+    /// [`Serialize::to_value`]; both paths emit identical bytes.
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        binary::write_value(&self.to_value(), out);
+    }
 }
 
-/// Rebuilds `Self` from a [`Value`] tree.
+/// Rebuilds `Self` from a [`Value`] tree, or straight from a streaming
+/// [`Reader`].
 pub trait Deserialize: Sized {
     /// Parses `Self` out of `value`.
     fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// Parses `Self` out of a streaming reader. The default falls back
+    /// to [`Reader::read_value`] + [`Deserialize::from_value`], so
+    /// hand-written tree impls keep working; derived impls decode
+    /// event-by-event with no intermediate tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader parse failures and shape mismatches.
+    fn read_from<'de, R: Reader<'de>>(reader: &mut R) -> Result<Self, DeError> {
+        let value = reader.read_value()?;
+        Self::from_value(&value)
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+
+    fn write_json(&self, out: &mut Vec<u8>) {
+        (**self).write_json(out);
+    }
+
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        (**self).write_binary(out);
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+
+    fn write_json(&self, out: &mut Vec<u8>) {
+        json::write_value(self, out);
+    }
+
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        binary::write_value(self, out);
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+
+    fn read_from<'de, R: Reader<'de>>(reader: &mut R) -> Result<Self, DeError> {
+        reader.read_value()
     }
 }
 
@@ -126,12 +376,28 @@ macro_rules! impl_int {
             fn to_value(&self) -> Value {
                 Value::Num(*self as f64)
             }
+
+            fn write_json(&self, out: &mut Vec<u8>) {
+                json::write_f64(*self as f64, out);
+            }
+
+            fn write_binary(&self, out: &mut Vec<u8>) {
+                binary::write_f64(*self as f64, out);
+            }
         }
         impl Deserialize for $t {
             fn from_value(value: &Value) -> Result<Self, DeError> {
                 let n = value
                     .as_num()
                     .ok_or_else(|| DeError::expected("number", stringify!($t)))?;
+                if n.fract() != 0.0 {
+                    return Err(DeError::expected("integer", stringify!($t)));
+                }
+                Ok(n as $t)
+            }
+
+            fn read_from<'de, R: Reader<'de>>(reader: &mut R) -> Result<Self, DeError> {
+                let n = reader.read_f64()?;
                 if n.fract() != 0.0 {
                     return Err(DeError::expected("integer", stringify!($t)));
                 }
@@ -147,6 +413,14 @@ impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Num(*self)
     }
+
+    fn write_json(&self, out: &mut Vec<u8>) {
+        json::write_f64(*self, out);
+    }
+
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        binary::write_f64(*self, out);
+    }
 }
 
 impl Deserialize for f64 {
@@ -161,11 +435,38 @@ impl Deserialize for f64 {
             _ => Err(DeError::expected("number", "f64")),
         }
     }
+
+    fn read_from<'de, R: Reader<'de>>(reader: &mut R) -> Result<Self, DeError> {
+        match reader.peek()? {
+            Peek::Num => reader.read_f64(),
+            // Same leniency as `from_value`: NaN/inf arrive as null /
+            // string markers from the JSON encoding.
+            Peek::Null => {
+                reader.read_null()?;
+                Ok(f64::NAN)
+            }
+            Peek::Str => match reader.read_str()?.as_ref() {
+                "NaN" => Ok(f64::NAN),
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                _ => Err(DeError::expected("number", "f64")),
+            },
+            _ => Err(DeError::expected("number", "f64")),
+        }
+    }
 }
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Num(f64::from(*self))
+    }
+
+    fn write_json(&self, out: &mut Vec<u8>) {
+        json::write_f64(f64::from(*self), out);
+    }
+
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        binary::write_f64(f64::from(*self), out);
     }
 }
 
@@ -173,11 +474,23 @@ impl Deserialize for f32 {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         f64::from_value(value).map(|n| n as f32)
     }
+
+    fn read_from<'de, R: Reader<'de>>(reader: &mut R) -> Result<Self, DeError> {
+        f64::read_from(reader).map(|n| n as f32)
+    }
 }
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
+    }
+
+    fn write_json(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(if *self { b"true" } else { b"false" });
+    }
+
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        binary::write_bool(*self, out);
     }
 }
 
@@ -188,11 +501,23 @@ impl Deserialize for bool {
             _ => Err(DeError::expected("bool", "bool")),
         }
     }
+
+    fn read_from<'de, R: Reader<'de>>(reader: &mut R) -> Result<Self, DeError> {
+        reader.read_bool()
+    }
 }
 
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
+    }
+
+    fn write_json(&self, out: &mut Vec<u8>) {
+        json::write_escaped(self, out);
+    }
+
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        binary::write_str(self, out);
     }
 }
 
@@ -203,17 +528,37 @@ impl Deserialize for String {
             .map(str::to_owned)
             .ok_or_else(|| DeError::expected("string", "String"))
     }
+
+    fn read_from<'de, R: Reader<'de>>(reader: &mut R) -> Result<Self, DeError> {
+        Ok(reader.read_str()?.into_owned())
+    }
 }
 
 impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::Str(self.to_owned())
     }
+
+    fn write_json(&self, out: &mut Vec<u8>) {
+        json::write_escaped(self, out);
+    }
+
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        binary::write_str(self, out);
+    }
 }
 
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
+    }
+
+    fn write_json(&self, out: &mut Vec<u8>) {
+        json::write_escaped(self.encode_utf8(&mut [0u8; 4]), out);
+    }
+
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        binary::write_str(self.encode_utf8(&mut [0u8; 4]), out);
     }
 }
 
@@ -222,6 +567,15 @@ impl Deserialize for char {
         let s = value
             .as_str()
             .ok_or_else(|| DeError::expected("string", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+
+    fn read_from<'de, R: Reader<'de>>(reader: &mut R) -> Result<Self, DeError> {
+        let s = reader.read_str()?;
         let mut chars = s.chars();
         match (chars.next(), chars.next()) {
             (Some(c), None) => Ok(c),
@@ -237,6 +591,20 @@ impl<T: Serialize> Serialize for Option<T> {
             Some(v) => v.to_value(),
         }
     }
+
+    fn write_json(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.extend_from_slice(b"null"),
+            Some(v) => v.write_json(out),
+        }
+    }
+
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        match self {
+            None => binary::write_null(out),
+            Some(v) => v.write_binary(out),
+        }
+    }
 }
 
 impl<T: Deserialize> Deserialize for Option<T> {
@@ -246,11 +614,28 @@ impl<T: Deserialize> Deserialize for Option<T> {
             other => T::from_value(other).map(Some),
         }
     }
+
+    fn read_from<'de, R: Reader<'de>>(reader: &mut R) -> Result<Self, DeError> {
+        if reader.peek()? == Peek::Null {
+            reader.read_null()?;
+            Ok(None)
+        } else {
+            T::read_from(reader).map(Some)
+        }
+    }
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+
+    fn write_json(&self, out: &mut Vec<u8>) {
+        self.as_slice().write_json(out);
+    }
+
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        self.as_slice().write_binary(out);
     }
 }
 
@@ -263,11 +648,38 @@ impl<T: Deserialize> Deserialize for Vec<T> {
             .map(T::from_value)
             .collect()
     }
+
+    fn read_from<'de, R: Reader<'de>>(reader: &mut R) -> Result<Self, DeError> {
+        reader.begin_array()?;
+        let mut items = Vec::new();
+        while reader.array_next()? {
+            items.push(T::read_from(reader)?);
+        }
+        Ok(items)
+    }
 }
 
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+
+    fn write_json(&self, out: &mut Vec<u8>) {
+        out.push(b'[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(b',');
+            }
+            item.write_json(out);
+        }
+        out.push(b']');
+    }
+
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        binary::write_arr(self.len(), out);
+        for item in self {
+            item.write_binary(out);
+        }
     }
 }
 
@@ -276,6 +688,23 @@ macro_rules! impl_tuple {
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
             fn to_value(&self) -> Value {
                 Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+
+            fn write_json(&self, out: &mut Vec<u8>) {
+                out.push(b'[');
+                let mut first = true;
+                $(
+                    if !::std::mem::replace(&mut first, false) {
+                        out.push(b',');
+                    }
+                    self.$n.write_json(out);
+                )+
+                out.push(b']');
+            }
+
+            fn write_binary(&self, out: &mut Vec<u8>) {
+                binary::write_arr([$( stringify!($n) ),+].len(), out);
+                $( self.$n.write_binary(out); )+
             }
         }
         impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
@@ -289,6 +718,27 @@ macro_rules! impl_tuple {
                     )));
                 }
                 Ok(($($t::from_value(&items[$n])?,)+))
+            }
+
+            fn read_from<'de, R: Reader<'de>>(reader: &mut R) -> Result<Self, DeError> {
+                reader.begin_array()?;
+                let expected = [$( stringify!($n) ),+].len();
+                let short = || DeError::custom(format!(
+                    "tuple length mismatch: expected {expected}"
+                ));
+                let out = ($(
+                    {
+                        let _ = $n;
+                        if !reader.array_next()? {
+                            return Err(short());
+                        }
+                        $t::read_from(reader)?
+                    },
+                )+);
+                if reader.array_next()? {
+                    return Err(short());
+                }
+                Ok(out)
             }
         }
     )*};
@@ -310,11 +760,25 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
                 .collect(),
         )
     }
+
+    fn write_json(&self, out: &mut Vec<u8>) {
+        write_pairs_json(self.iter(), out);
+    }
+
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        write_pairs_binary(self.len(), self.iter(), out);
+    }
 }
 
 impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         map_pairs(value)?.collect()
+    }
+
+    fn read_from<'de, R: Reader<'de>>(reader: &mut R) -> Result<Self, DeError> {
+        read_pairs(reader, BTreeMap::new(), |map, k, v| {
+            map.insert(k, v);
+        })
     }
 }
 
@@ -333,12 +797,96 @@ impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Arr(pairs.into_iter().map(|(_, v)| v).collect())
     }
+
+    fn write_json(&self, out: &mut Vec<u8>) {
+        write_pairs_json(sorted_hash_pairs(self).into_iter(), out);
+    }
+
+    fn write_binary(&self, out: &mut Vec<u8>) {
+        write_pairs_binary(self.len(), sorted_hash_pairs(self).into_iter(), out);
+    }
 }
 
 impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         map_pairs(value)?.collect()
     }
+
+    fn read_from<'de, R: Reader<'de>>(reader: &mut R) -> Result<Self, DeError> {
+        read_pairs(reader, HashMap::new(), |map, k, v| {
+            map.insert(k, v);
+        })
+    }
+}
+
+/// The same deterministic ordering [`HashMap::to_value`] uses: pairs
+/// sorted by the debug rendering of the key's `Value` encoding.
+fn sorted_hash_pairs<K: Serialize, V>(map: &HashMap<K, V>) -> Vec<(&K, &V)> {
+    let mut pairs: Vec<(String, (&K, &V))> = map
+        .iter()
+        .map(|(k, v)| (format!("{:?}", k.to_value()), (k, v)))
+        .collect();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    pairs.into_iter().map(|(_, kv)| kv).collect()
+}
+
+/// Streams a map's `[[k, v], ...]` pair-array JSON encoding.
+fn write_pairs_json<'m, K: Serialize + 'm, V: Serialize + 'm>(
+    pairs: impl Iterator<Item = (&'m K, &'m V)>,
+    out: &mut Vec<u8>,
+) {
+    out.push(b'[');
+    for (i, (k, v)) in pairs.enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        out.push(b'[');
+        k.write_json(out);
+        out.push(b',');
+        v.write_json(out);
+        out.push(b']');
+    }
+    out.push(b']');
+}
+
+/// Streams a map's `[[k, v], ...]` pair-array binary encoding.
+fn write_pairs_binary<'m, K: Serialize + 'm, V: Serialize + 'm>(
+    len: usize,
+    pairs: impl Iterator<Item = (&'m K, &'m V)>,
+    out: &mut Vec<u8>,
+) {
+    binary::write_arr(len, out);
+    for (k, v) in pairs {
+        binary::write_arr(2, out);
+        k.write_binary(out);
+        v.write_binary(out);
+    }
+}
+
+/// Streams a map's pair-array decoding into `map` via `insert`.
+fn read_pairs<'de, R: Reader<'de>, K: Deserialize, V: Deserialize, M>(
+    reader: &mut R,
+    mut map: M,
+    insert: impl Fn(&mut M, K, V),
+) -> Result<M, DeError> {
+    let pair_error = || DeError::expected("[key, value] pair", "map");
+    reader.begin_array()?;
+    while reader.array_next()? {
+        reader.begin_array()?;
+        if !reader.array_next()? {
+            return Err(pair_error());
+        }
+        let k = K::read_from(reader)?;
+        if !reader.array_next()? {
+            return Err(pair_error());
+        }
+        let v = V::read_from(reader)?;
+        if reader.array_next()? {
+            return Err(pair_error());
+        }
+        insert(&mut map, k, v);
+    }
+    Ok(map)
 }
 
 /// Shared `[[k, v], ...]` decoding for both map types.
@@ -385,5 +933,65 @@ mod tests {
         m.insert(1u32, "a".to_string());
         let v = m.to_value();
         assert_eq!(BTreeMap::<u32, String>::from_value(&v), Ok(m));
+    }
+
+    /// Every built-in impl must emit the same bytes from its streaming
+    /// writer as the `Value`-tree fallback, both codecs.
+    #[test]
+    fn streaming_writers_match_the_value_path() {
+        fn check<T: Serialize>(v: &T) {
+            let (mut js, mut jv, mut bs, mut bv) = (vec![], vec![], vec![], vec![]);
+            v.write_json(&mut js);
+            json::write_value(&v.to_value(), &mut jv);
+            assert_eq!(js, jv);
+            v.write_binary(&mut bs);
+            binary::write_value(&v.to_value(), &mut bv);
+            assert_eq!(bs, bv);
+        }
+        check(&42u32);
+        check(&-7i64);
+        check(&1.5f64);
+        check(&f64::NAN);
+        check(&true);
+        check(&'π');
+        check(&"a\"b\\c\n".to_string());
+        check(&Option::<u8>::None);
+        check(&Some(3u8));
+        check(&Vec::<u8>::new());
+        check(&vec![1u8, 2, 3]);
+        check(&(1u8, "two".to_string(), 3.0f64));
+        let mut bt = BTreeMap::new();
+        bt.insert("k".to_string(), vec![1u32]);
+        check(&bt);
+        let mut hm = HashMap::new();
+        hm.insert("b".to_string(), 2u32);
+        hm.insert("a".to_string(), 1u32);
+        check(&hm);
+    }
+
+    /// The streaming readers must accept everything the `Value` path
+    /// accepts, including the f64 NaN/inf leniency.
+    #[test]
+    fn streaming_readers_match_the_value_path() {
+        fn json_read<T: Deserialize>(text: &str) -> Result<T, DeError> {
+            let mut reader = json::JsonReader::new(text);
+            let v = T::read_from(&mut reader)?;
+            reader.expect_end()?;
+            Ok(v)
+        }
+        assert_eq!(json_read::<u32>("42"), Ok(42));
+        assert!(json_read::<u32>("1.5").is_err());
+        assert!(json_read::<f64>("null").unwrap().is_nan());
+        assert_eq!(json_read::<f64>("\"inf\""), Ok(f64::INFINITY));
+        assert_eq!(json_read::<Option<bool>>("null"), Ok(None));
+        assert_eq!(
+            json_read::<(u8, String)>("[3,\"x\"]"),
+            Ok((3, "x".to_string()))
+        );
+        assert!(json_read::<(u8, u8)>("[1]").is_err());
+        assert!(json_read::<(u8, u8)>("[1,2,3]").is_err());
+        let m: HashMap<String, u32> = json_read("[[\"a\",1],[\"b\",2]]").unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["b"], 2);
     }
 }

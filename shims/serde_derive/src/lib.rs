@@ -265,43 +265,124 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
     }
 }
 
+/// `out.extend_from_slice(b"...");` for a static run of JSON text
+/// (field names are ASCII identifiers, so `{:?}` escaping is exact).
+fn extend_lit(text: &str) -> String {
+    format!("out.extend_from_slice(b{text:?});\n")
+}
+
+/// The streaming JSON body for an object of named fields, reading each
+/// live field through `access` (e.g. `&self.x` or a match binding).
+fn json_obj_body(fields: &[&Field], access: impl Fn(&str) -> String) -> String {
+    if fields.is_empty() {
+        return extend_lit("{}");
+    }
+    let mut body = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        let open = if i == 0 { '{' } else { ',' };
+        body.push_str(&extend_lit(&format!("{open}\"{}\":", f.name)));
+        body.push_str(&format!(
+            "::serde::Serialize::write_json({}, out);\n",
+            access(&f.name)
+        ));
+    }
+    body.push_str("out.push(b'}');\n");
+    body
+}
+
+/// The streaming binary body for an object of named fields.
+fn binary_obj_body(fields: &[&Field], access: impl Fn(&str) -> String) -> String {
+    let mut body = format!("::serde::binary::write_obj({}, out);\n", fields.len());
+    for f in fields {
+        body.push_str(&format!(
+            "::serde::binary::write_key(\"{}\", out);\n::serde::Serialize::write_binary({}, out);\n",
+            f.name,
+            access(&f.name)
+        ));
+    }
+    body
+}
+
 fn gen_serialize(shape: &Shape) -> String {
     match shape {
         Shape::NamedStruct { name, fields } => {
-            let mut body = String::from(
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut value = String::from(
                 "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
             );
-            for f in fields.iter().filter(|f| !f.skip) {
-                body.push_str(&format!(
+            for f in &live {
+                value.push_str(&format!(
                     "entries.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
                     f.name
                 ));
             }
-            body.push_str("::serde::Value::Obj(entries)");
-            impl_serialize(name, &body)
+            value.push_str("::serde::Value::Obj(entries)");
+            let json = json_obj_body(&live, |f| format!("&self.{f}"));
+            let bin = binary_obj_body(&live, |f| format!("&self.{f}"));
+            impl_serialize(name, &value, &json, &bin)
         }
         Shape::TupleStruct { name, arity } => {
-            let body = if *arity == 1 {
-                "::serde::Serialize::to_value(&self.0)".to_string()
+            let (value, json, bin);
+            if *arity == 1 {
+                value = "::serde::Serialize::to_value(&self.0)".to_string();
+                json = "::serde::Serialize::write_json(&self.0, out);\n".to_string();
+                bin = "::serde::Serialize::write_binary(&self.0, out);\n".to_string();
             } else {
                 let items: Vec<String> = (0..*arity)
                     .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
                     .collect();
-                format!("::serde::Value::Arr(vec![{}])", items.join(", "))
-            };
-            impl_serialize(name, &body)
+                value = format!("::serde::Value::Arr(vec![{}])", items.join(", "));
+                let mut j = String::from("out.push(b'[');\n");
+                for i in 0..*arity {
+                    if i > 0 {
+                        j.push_str("out.push(b',');\n");
+                    }
+                    j.push_str(&format!(
+                        "::serde::Serialize::write_json(&self.{i}, out);\n"
+                    ));
+                }
+                j.push_str("out.push(b']');\n");
+                json = j;
+                let mut b = format!("::serde::binary::write_arr({arity}, out);\n");
+                for i in 0..*arity {
+                    b.push_str(&format!(
+                        "::serde::Serialize::write_binary(&self.{i}, out);\n"
+                    ));
+                }
+                bin = b;
+            }
+            impl_serialize(name, &value, &json, &bin)
         }
-        Shape::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Shape::UnitStruct { name } => impl_serialize(
+            name,
+            "::serde::Value::Null",
+            &extend_lit("null"),
+            "::serde::binary::write_null(out);\n",
+        ),
         Shape::Enum { name, variants } => {
-            let mut arms = String::new();
+            let mut value_arms = String::new();
+            let mut json_arms = String::new();
+            let mut bin_arms = String::new();
             for v in variants {
                 match &v.kind {
-                    VariantKind::Unit => arms.push_str(&format!(
-                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n",
-                        v = v.name
-                    )),
+                    VariantKind::Unit => {
+                        value_arms.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n",
+                            v = v.name
+                        ));
+                        json_arms.push_str(&format!(
+                            "{name}::{v} => {{\n{body}}}\n",
+                            v = v.name,
+                            body = extend_lit(&format!("\"{}\"", v.name))
+                        ));
+                        bin_arms.push_str(&format!(
+                            "{name}::{v} => {{\n::serde::binary::write_str(\"{v}\", out);\n}}\n",
+                            v = v.name
+                        ));
+                    }
                     VariantKind::Tuple(arity) => {
                         let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let pattern = format!("{name}::{}({})", v.name, binds.join(", "));
                         let inner = if *arity == 1 {
                             "::serde::Serialize::to_value(f0)".to_string()
                         } else {
@@ -311,17 +392,46 @@ fn gen_serialize(shape: &Shape) -> String {
                                 .collect();
                             format!("::serde::Value::Arr(vec![{}])", items.join(", "))
                         };
-                        arms.push_str(&format!(
-                            "{name}::{v}({binds}) => ::serde::Value::Obj(vec![(\"{v}\".to_string(), {inner})]),\n",
-                            v = v.name,
-                            binds = binds.join(", ")
+                        value_arms.push_str(&format!(
+                            "{pattern} => ::serde::Value::Obj(vec![(\"{v}\".to_string(), {inner})]),\n",
+                            v = v.name
                         ));
+                        let mut j = extend_lit(&format!("{{\"{}\":", v.name));
+                        let mut b = format!(
+                            "::serde::binary::write_obj(1, out);\n::serde::binary::write_key(\"{}\", out);\n",
+                            v.name
+                        );
+                        if *arity == 1 {
+                            j.push_str("::serde::Serialize::write_json(f0, out);\n");
+                            b.push_str("::serde::Serialize::write_binary(f0, out);\n");
+                        } else {
+                            j.push_str("out.push(b'[');\n");
+                            for (i, bind) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    j.push_str("out.push(b',');\n");
+                                }
+                                j.push_str(&format!(
+                                    "::serde::Serialize::write_json({bind}, out);\n"
+                                ));
+                            }
+                            j.push_str("out.push(b']');\n");
+                            b.push_str(&format!("::serde::binary::write_arr({arity}, out);\n"));
+                            for bind in &binds {
+                                b.push_str(&format!(
+                                    "::serde::Serialize::write_binary({bind}, out);\n"
+                                ));
+                            }
+                        }
+                        j.push_str("out.push(b'}');\n");
+                        json_arms.push_str(&format!("{pattern} => {{\n{j}}}\n"));
+                        bin_arms.push_str(&format!("{pattern} => {{\n{b}}}\n"));
                     }
                     VariantKind::Struct(fields) => {
                         let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
-                        let items: Vec<String> = fields
+                        let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                        let pattern = format!("{name}::{} {{ {} }}", v.name, binds.join(", "));
+                        let items: Vec<String> = live
                             .iter()
-                            .filter(|f| !f.skip)
                             .map(|f| {
                                 format!(
                                     "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
@@ -329,23 +439,37 @@ fn gen_serialize(shape: &Shape) -> String {
                                 )
                             })
                             .collect();
-                        arms.push_str(&format!(
-                            "{name}::{v} {{ {binds} }} => ::serde::Value::Obj(vec![(\"{v}\".to_string(), ::serde::Value::Obj(vec![{items}]))]),\n",
+                        value_arms.push_str(&format!(
+                            "{pattern} => ::serde::Value::Obj(vec![(\"{v}\".to_string(), ::serde::Value::Obj(vec![{items}]))]),\n",
                             v = v.name,
-                            binds = binds.join(", "),
                             items = items.join(", ")
                         ));
+                        let mut j = extend_lit(&format!("{{\"{}\":", v.name));
+                        j.push_str(&json_obj_body(&live, |f| f.to_string()));
+                        j.push_str("out.push(b'}');\n");
+                        let mut b = format!(
+                            "::serde::binary::write_obj(1, out);\n::serde::binary::write_key(\"{}\", out);\n",
+                            v.name
+                        );
+                        b.push_str(&binary_obj_body(&live, |f| f.to_string()));
+                        json_arms.push_str(&format!("{pattern} => {{\n{j}}}\n"));
+                        bin_arms.push_str(&format!("{pattern} => {{\n{b}}}\n"));
                     }
                 }
             }
-            impl_serialize(name, &format!("match self {{\n{arms}\n}}"))
+            impl_serialize(
+                name,
+                &format!("match self {{\n{value_arms}\n}}"),
+                &format!("match self {{\n{json_arms}\n}}"),
+                &format!("match self {{\n{bin_arms}\n}}"),
+            )
         }
     }
 }
 
-fn impl_serialize(name: &str, body: &str) -> String {
+fn impl_serialize(name: &str, value_body: &str, json_body: &str, binary_body: &str) -> String {
     format!(
-        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{\n{body}\n  }}\n}}\n"
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{\n{value_body}\n  }}\n  fn write_json(&self, out: &mut ::std::vec::Vec<u8>) {{\n{json_body}\n  }}\n  fn write_binary(&self, out: &mut ::std::vec::Vec<u8>) {{\n{binary_body}\n  }}\n}}\n"
     )
 }
 
@@ -372,6 +496,75 @@ fn named_field_init(fields: &[Field], ty: &str, source: &str) -> String {
     init
 }
 
+/// A block expression that streams an object of named fields into
+/// `ctor { ... }` via `reader`, skipping unknown keys (first occurrence
+/// of a duplicate key wins, matching `obj_get` on the tree path).
+fn named_read_expr(fields: &[Field], ty: &str, ctor: &str) -> String {
+    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    let mut s = String::from("{\n::serde::Reader::begin_object(reader)?;\n");
+    for f in &live {
+        s.push_str(&format!(
+            "let mut __f_{} = ::std::option::Option::None;\n",
+            f.name
+        ));
+    }
+    s.push_str(
+        "while let ::std::option::Option::Some(__key) = ::serde::Reader::object_key(reader)? {\n",
+    );
+    if live.is_empty() {
+        s.push_str("let _ = __key;\n::serde::Reader::skip_value(reader)?;\n");
+    } else {
+        s.push_str("match &*__key {\n");
+        for f in &live {
+            s.push_str(&format!(
+                "\"{0}\" if __f_{0}.is_none() => {{ __f_{0} = ::std::option::Option::Some(::serde::Deserialize::read_from(reader)?); }}\n",
+                f.name
+            ));
+        }
+        s.push_str("_ => { ::serde::Reader::skip_value(reader)?; }\n}\n");
+    }
+    s.push_str("}\n");
+    s.push_str(&format!("{ctor} {{\n"));
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else if f.default {
+            s.push_str(&format!(
+                "{0}: match __f_{0} {{ ::std::option::Option::Some(v) => v, ::std::option::Option::None => ::std::default::Default::default() }},\n",
+                f.name
+            ));
+        } else {
+            s.push_str(&format!(
+                "{0}: match __f_{0} {{ ::std::option::Option::Some(v) => v, ::std::option::Option::None => return Err(::serde::DeError::missing(\"{0}\", \"{ty}\")) }},\n",
+                f.name
+            ));
+        }
+    }
+    s.push_str("}\n}");
+    s
+}
+
+/// A block expression that streams an exact-length array into
+/// `ctor(...)` via `reader`.
+fn tuple_read_expr(ctor: &str, arity: usize, ty: &str) -> String {
+    let err = format!("return Err(::serde::DeError::expected(\"array of {arity}\", \"{ty}\"))");
+    let mut s = String::from("{\n::serde::Reader::begin_array(reader)?;\n");
+    s.push_str(&format!("let __tuple = {ctor}(\n"));
+    for _ in 0..arity {
+        s.push_str(&format!(
+            "{{ if !::serde::Reader::array_next(reader)? {{ {err}; }} ::serde::Deserialize::read_from(reader)? }},\n"
+        ));
+    }
+    s.push_str(");\n");
+    s.push_str(&format!(
+        "if ::serde::Reader::array_next(reader)? {{ {err}; }}\n__tuple\n}}"
+    ));
+    s
+}
+
 fn gen_deserialize(shape: &Shape) -> String {
     match shape {
         Shape::NamedStruct { name, fields } => {
@@ -379,23 +572,31 @@ fn gen_deserialize(shape: &Shape) -> String {
                 "let entries = value.as_obj().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\nOk({name} {{\n{}\n}})",
                 named_field_init(fields, name, "entries")
             );
-            impl_deserialize(name, &body)
+            let read = format!("Ok({})", named_read_expr(fields, name, name));
+            impl_deserialize(name, &body, &read)
         }
         Shape::TupleStruct { name, arity } => {
-            let body = if *arity == 1 {
-                format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+            let (body, read);
+            if *arity == 1 {
+                body = format!("Ok({name}(::serde::Deserialize::from_value(value)?))");
+                read = format!("Ok({name}(::serde::Deserialize::read_from(reader)?))");
             } else {
                 let items: Vec<String> = (0..*arity)
                     .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
                     .collect();
-                format!(
+                body = format!(
                     "let items = value.as_arr().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\"))?;\nif items.len() != {arity} {{ return Err(::serde::DeError::expected(\"array of {arity}\", \"{name}\")); }}\nOk({name}({}))",
                     items.join(", ")
-                )
-            };
-            impl_deserialize(name, &body)
+                );
+                read = format!("Ok({})", tuple_read_expr(name, *arity, name));
+            }
+            impl_deserialize(name, &body, &read)
         }
-        Shape::UnitStruct { name } => impl_deserialize(name, &format!("Ok({name})")),
+        Shape::UnitStruct { name } => impl_deserialize(
+            name,
+            &format!("Ok({name})"),
+            &format!("::serde::Reader::skip_value(reader)?;\nOk({name})"),
+        ),
         Shape::Enum { name, variants } => {
             let mut unit_arms = String::new();
             let mut tagged_arms = String::new();
@@ -434,14 +635,73 @@ fn gen_deserialize(shape: &Shape) -> String {
             let body = format!(
                 "if let Some(tag) = value.as_str() {{\n  match tag {{\n{unit_arms}    _ => {{}}\n  }}\n}}\nif let Some(entries) = value.as_obj() {{\n  if entries.len() == 1 {{\n    let (tag, inner) = &entries[0];\n    let _ = inner;\n    match tag.as_str() {{\n{tagged_arms}      _ => {{}}\n    }}\n  }}\n}}\nErr(::serde::DeError::expected(\"variant\", \"{name}\"))"
             );
-            impl_deserialize(name, &body)
+
+            // Streaming mirror: a string is a unit variant, an object's
+            // single entry is a tagged variant; arms are only emitted
+            // for kinds the enum actually has.
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let tagged: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let mut read = String::new();
+            if !unit.is_empty() {
+                read.push_str(
+                    "if ::serde::Reader::peek(reader)? == ::serde::Peek::Str {\nlet __tag = ::serde::Reader::read_str(reader)?;\nmatch &*__tag {\n",
+                );
+                for v in &unit {
+                    read.push_str(&format!("\"{0}\" => return Ok({name}::{0}),\n", v.name));
+                }
+                read.push_str("_ => {}\n}\n");
+                read.push_str(&format!(
+                    "return Err(::serde::DeError::expected(\"variant\", \"{name}\"));\n}}\n"
+                ));
+            }
+            if !tagged.is_empty() {
+                read.push_str(
+                    "if ::serde::Reader::peek(reader)? == ::serde::Peek::Obj {\n::serde::Reader::begin_object(reader)?;\n",
+                );
+                read.push_str(&format!(
+                    "let ::std::option::Option::Some(__tag) = ::serde::Reader::object_key(reader)? else {{\nreturn Err(::serde::DeError::expected(\"variant\", \"{name}\"));\n}};\n"
+                ));
+                read.push_str("let __value = match &*__tag {\n");
+                for v in &tagged {
+                    let expr = match &v.kind {
+                        VariantKind::Tuple(arity) if *arity == 1 => format!(
+                            "{name}::{}(::serde::Deserialize::read_from(reader)?)",
+                            v.name
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            tuple_read_expr(&format!("{name}::{}", v.name), *arity, name)
+                        }
+                        VariantKind::Struct(fields) => {
+                            named_read_expr(fields, name, &format!("{name}::{}", v.name))
+                        }
+                        VariantKind::Unit => unreachable!("unit variants filtered out"),
+                    };
+                    read.push_str(&format!("\"{}\" => {expr},\n", v.name));
+                }
+                read.push_str(&format!(
+                    "_ => return Err(::serde::DeError::expected(\"variant\", \"{name}\")),\n}};\n"
+                ));
+                read.push_str(&format!(
+                    "if ::serde::Reader::object_key(reader)?.is_some() {{\nreturn Err(::serde::DeError::expected(\"variant\", \"{name}\"));\n}}\nreturn Ok(__value);\n}}\n"
+                ));
+            }
+            read.push_str(&format!(
+                "Err(::serde::DeError::expected(\"variant\", \"{name}\"))"
+            ));
+            impl_deserialize(name, &body, &read)
         }
     }
 }
 
-fn impl_deserialize(name: &str, body: &str) -> String {
+fn impl_deserialize(name: &str, body: &str, read_body: &str) -> String {
     format!(
-        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n  fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n  }}\n}}\n"
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n  fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n  }}\n  fn read_from<'de, __R: ::serde::Reader<'de>>(reader: &mut __R) -> ::std::result::Result<Self, ::serde::DeError> {{\n{read_body}\n  }}\n}}\n"
     )
 }
 

@@ -1,9 +1,18 @@
-//! Minimal in-tree JSON front-end for the serde shim: a recursive-descent
-//! parser into [`serde::Value`] plus a pretty printer, behind the
-//! `to_string_pretty` / `to_string` / `from_str` entry points the workspace
-//! uses. Non-finite floats are encoded as the strings `"NaN"`, `"inf"` and
-//! `"-inf"` so datalogs containing NaN measurements round-trip.
+//! Minimal in-tree JSON front-end for the serde shim, behind the
+//! `to_string_pretty` / `to_string` / `from_str` entry points the
+//! workspace uses.
+//!
+//! The grammar (number formatting, escaping, `"NaN"`/`"inf"`/`"-inf"`
+//! markers for non-finite floats, surrogate-pair handling) lives in
+//! [`serde::json`]; this crate is a thin shell over it. Encoding
+//! streams through [`serde::Serialize::write_json`] and decoding
+//! through [`serde::json::JsonReader`], so neither direction
+//! materialises an intermediate [`Value`] for types with streaming
+//! impls, and parsing inherits the reader's [`serde::MAX_DEPTH`]
+//! nesting cap — a 100k-deep `[[[[…` body is a parse error, not a
+//! stack overflow.
 
+use serde::json::JsonReader;
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
@@ -31,9 +40,9 @@ impl std::error::Error for Error {}
 ///
 /// Infallible in this shim; the `Result` mirrors the real API.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    let mut out = String::new();
-    write_value(&value.to_value(), &mut out, None, 0);
-    Ok(out)
+    let mut out = Vec::new();
+    value.write_json(&mut out);
+    Ok(String::from_utf8(out).expect("write_json emits UTF-8"))
 }
 
 /// Serialises `value` as 2-space-indented JSON.
@@ -42,20 +51,24 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 ///
 /// Infallible in this shim; the `Result` mirrors the real API.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    let mut out = String::new();
-    write_value(&value.to_value(), &mut out, Some(2), 0);
-    Ok(out)
+    let mut out = Vec::new();
+    write_pretty(&value.to_value(), &mut out, 0);
+    Ok(String::from_utf8(out).expect("write_pretty emits UTF-8"))
 }
 
-/// Parses JSON text into any shim-`Deserialize` type.
+/// Parses JSON text into any shim-`Deserialize` type, streaming straight
+/// into the type (no intermediate [`Value`] for types with `read_from`
+/// impls).
 ///
 /// # Errors
 ///
 /// Returns a parse error with byte position, or the type's own
 /// deserialization error.
 pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
-    let value = parse_value_str(text)?;
-    T::from_value(&value).map_err(|e| Error::new(e.to_string()))
+    let mut reader = JsonReader::new(text);
+    let value = T::read_from(&mut reader).map_err(|e| Error::new(e.to_string()))?;
+    reader.expect_end().map_err(|e| Error::new(e.to_string()))?;
+    Ok(value)
 }
 
 /// Parses JSON text into a raw [`Value`].
@@ -64,230 +77,59 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
 ///
 /// Returns a parse error with byte position.
 pub fn parse_value_str(text: &str) -> Result<Value, Error> {
-    let bytes = text.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(Error::new(format!("trailing content at byte {pos}")));
-    }
-    Ok(value)
+    from_str(text)
 }
 
-fn write_escaped(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn write_num(n: f64, out: &mut String) {
-    if n.is_nan() {
-        out.push_str("\"NaN\"");
-    } else if n == f64::INFINITY {
-        out.push_str("\"inf\"");
-    } else if n == f64::NEG_INFINITY {
-        out.push_str("\"-inf\"");
-    } else if n.fract() == 0.0 && n.abs() < 9e15 {
-        out.push_str(&format!("{}", n as i64));
-    } else {
-        // Shortest representation that round-trips.
-        out.push_str(&format!("{n}"));
-    }
-}
-
-fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
-    let pad = |out: &mut String, depth: usize| {
-        if let Some(w) = indent {
-            out.push('\n');
-            out.push_str(&" ".repeat(w * depth));
-        }
+/// 2-space-indented rendering of a [`Value`] tree. Stays tree-based —
+/// pretty output is for humans (golden files, CLI dumps), not the wire —
+/// but shares the escape/number formatters with the compact path.
+/// Depth is bounded by the tree that produced it, which decoding caps
+/// at [`serde::MAX_DEPTH`].
+fn write_pretty(v: &Value, out: &mut Vec<u8>, depth: usize) {
+    let pad = |out: &mut Vec<u8>, depth: usize| {
+        out.push(b'\n');
+        out.extend(std::iter::repeat_n(b' ', 2 * depth));
     };
     match v {
-        Value::Null => out.push_str("null"),
-        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::Num(n) => write_num(*n, out),
-        Value::Str(s) => write_escaped(s, out),
+        Value::Null => out.extend_from_slice(b"null"),
+        Value::Bool(b) => out.extend_from_slice(if *b { b"true" } else { b"false" }),
+        Value::Num(n) => serde::json::write_f64(*n, out),
+        Value::Str(s) => serde::json::write_escaped(s, out),
         Value::Arr(items) => {
             if items.is_empty() {
-                out.push_str("[]");
+                out.extend_from_slice(b"[]");
                 return;
             }
-            out.push('[');
+            out.push(b'[');
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.push(b',');
                 }
                 pad(out, depth + 1);
-                write_value(item, out, indent, depth + 1);
+                write_pretty(item, out, depth + 1);
             }
             pad(out, depth);
-            out.push(']');
+            out.push(b']');
         }
         Value::Obj(entries) => {
             if entries.is_empty() {
-                out.push_str("{}");
+                out.extend_from_slice(b"{}");
                 return;
             }
-            out.push('{');
+            out.push(b'{');
             for (i, (k, item)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.push(b',');
                 }
                 pad(out, depth + 1);
-                write_escaped(k, out);
-                out.push(':');
-                if indent.is_some() {
-                    out.push(' ');
-                }
-                write_value(item, out, indent, depth + 1);
+                serde::json::write_escaped(k, out);
+                out.extend_from_slice(b": ");
+                write_pretty(item, out, depth + 1);
             }
             pad(out, depth);
-            out.push('}');
+            out.push(b'}');
         }
     }
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(())
-    } else {
-        Err(Error::new(format!(
-            "expected `{lit}` at byte {pos}",
-            pos = *pos
-        )))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err(Error::new("unexpected end of input")),
-        Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
-        Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
-        Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
-        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            loop {
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) == Some(&b']') {
-                    *pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                if !items.is_empty() {
-                    expect(bytes, pos, ",")?;
-                }
-                items.push(parse_value(bytes, pos)?);
-            }
-        }
-        Some(b'{') => {
-            *pos += 1;
-            let mut entries = Vec::new();
-            loop {
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) == Some(&b'}') {
-                    *pos += 1;
-                    return Ok(Value::Obj(entries));
-                }
-                if !entries.is_empty() {
-                    expect(bytes, pos, ",")?;
-                    skip_ws(bytes, pos);
-                }
-                let key = parse_string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                expect(bytes, pos, ":")?;
-                let value = parse_value(bytes, pos)?;
-                entries.push((key, value));
-            }
-        }
-        Some(_) => parse_number(bytes, pos).map(Value::Num),
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
-    if bytes.get(*pos) != Some(&b'"') {
-        return Err(Error::new(format!("expected string at byte {}", *pos)));
-    }
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err(Error::new("unterminated string")),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| Error::new("bad \\u escape"))?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|_| Error::new("bad \\u escape"))?,
-                            16,
-                        )
-                        .map_err(|_| Error::new("bad \\u escape"))?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(Error::new("bad escape")),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 scalar.
-                let rest =
-                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| Error::new("invalid UTF-8"))?;
-                let c = rest.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, Error> {
-    let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
-        *pos += 1;
-    }
-    if start == *pos {
-        return Err(Error::new(format!("expected value at byte {start}")));
-    }
-    std::str::from_utf8(&bytes[start..*pos])
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| Error::new(format!("bad number at byte {start}")))
 }
 
 #[cfg(test)]
@@ -298,11 +140,7 @@ mod tests {
     fn roundtrip_nested() {
         let text = r#"{"a": [1, 2.5, "x\n", null, true], "b": {"c": -3}}"#;
         let v = parse_value_str(text).unwrap();
-        let compact = {
-            let mut s = String::new();
-            write_value(&v, &mut s, None, 0);
-            s
-        };
+        let compact = to_string(&v).unwrap();
         assert_eq!(parse_value_str(&compact).unwrap(), v);
     }
 
@@ -311,6 +149,7 @@ mod tests {
         assert!(parse_value_str("{not json").is_err());
         assert!(parse_value_str("[1,]").is_err());
         assert!(parse_value_str("").is_err());
+        assert!(parse_value_str("[1] trailing").is_err());
     }
 
     #[test]
@@ -319,5 +158,12 @@ mod tests {
         let text = to_string_pretty(&v).unwrap();
         let back: Vec<(String, usize)> = from_str(&text).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_crash() {
+        let hostile = "[".repeat(100_000);
+        let err = parse_value_str(&hostile).expect_err("must not overflow the stack");
+        assert!(err.0.contains("nesting deeper"), "{err}");
     }
 }

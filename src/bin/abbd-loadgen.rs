@@ -295,11 +295,12 @@ fn run_client(args: &Args, conns_here: usize) -> Result<ClientTally, String> {
                 deduction: None,
             })
             .map_err(|e| e.to_string())?;
-            // Binary batch: one header frame, then one frame per row.
+            // Binary batch: one header frame, then one frame per row,
+            // each streamed straight into the shared body buffer.
             let mut frame = Vec::new();
-            codec::write_frame(&serde::Serialize::to_value(&BatchHeader), &mut frame);
+            codec::frame_into(&BatchHeader, &mut frame);
             for obs in &observations {
-                codec::write_frame(&serde::Serialize::to_value(obs), &mut frame);
+                codec::frame_into(obs, &mut frame);
             }
             let path = format!("/v1/models/{}/diagnose_batch", args.model);
             let requests = args.rounds.div_ceil(args.batch_size).max(1);
