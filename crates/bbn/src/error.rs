@@ -58,6 +58,13 @@ pub enum Error {
     },
     /// Learning was invoked with no cases.
     NoCases,
+    /// Learning was invoked with cases that cannot inform a fit: every case
+    /// was impossible under the starting model, or a case carried a
+    /// non-finite or negative weight.
+    UnusableCases {
+        /// Human-readable explanation of why the datalog is unusable.
+        reason: String,
+    },
     /// (De)serialisation failure.
     Io(String),
 }
@@ -99,6 +106,9 @@ impl fmt::Display for Error {
                 write!(f, "{what} did not converge within {iterations} iterations")
             }
             Error::NoCases => write!(f, "no cases supplied for learning"),
+            Error::UnusableCases { reason } => {
+                write!(f, "cases cannot inform a fit: {reason}")
+            }
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
@@ -146,6 +156,9 @@ mod tests {
                 iterations: 10,
             },
             Error::NoCases,
+            Error::UnusableCases {
+                reason: "every case was impossible".into(),
+            },
             Error::Io("disk on fire".into()),
         ];
         for err in samples {

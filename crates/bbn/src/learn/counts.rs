@@ -224,13 +224,34 @@ impl SuffStats {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::ShapeMismatch`] on a wrong-length assignment.
+    /// Returns [`Error::ShapeMismatch`] on a wrong-length assignment and
+    /// [`Error::InvalidEvidence`] on an out-of-range state or a non-finite
+    /// or negative weight (either would corrupt the count tables and
+    /// surface later as NaN CPT rows).
     pub fn add_complete(&mut self, net: &Network, assignment: &[usize], weight: f64) -> Result<()> {
         if assignment.len() != net.var_count() {
             return Err(Error::ShapeMismatch {
                 expected: net.var_count(),
                 actual: assignment.len(),
             });
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(Error::InvalidEvidence {
+                variable: String::new(),
+                reason: format!("case weight {weight} must be finite and >= 0"),
+            });
+        }
+        for var in net.variables() {
+            if assignment[var.index()] >= net.card(var) {
+                return Err(Error::InvalidEvidence {
+                    variable: net.name(var).to_string(),
+                    reason: format!(
+                        "state {} out of range for cardinality {}",
+                        assignment[var.index()],
+                        net.card(var)
+                    ),
+                });
+            }
         }
         for var in net.variables() {
             let mut config = 0usize;
@@ -472,6 +493,40 @@ mod tests {
         // Shape mismatch is rejected.
         let wrong = Factor::unit();
         assert!(stats.add_family_marginal(c, &wrong, 1.0).is_err());
+    }
+
+    #[test]
+    fn single_outcome_datalog_never_yields_nan() {
+        // Every row reports the same outcome; unseen rows must fall back to
+        // the uniform distribution (zero prior) or the prior mean, and no
+        // cell may be NaN.
+        let net = two_node();
+        let cases = vec![vec![0, 0]; 8];
+        for prior in [
+            DirichletPrior::zero(&net),
+            DirichletPrior::uniform(&net, 0.5),
+            DirichletPrior::from_network(&net, 10.0),
+        ] {
+            let fitted = fit_complete(&net, &cases, &prior).unwrap();
+            for v in fitted.variables() {
+                let card = fitted.card(v);
+                for row in fitted.cpt(v).chunks(card) {
+                    assert!(row.iter().all(|p| p.is_finite()), "NaN row {row:?}");
+                    let total: f64 = row.iter().sum();
+                    assert!((total - 1.0).abs() < 1e-12, "row sums to {total}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_state_is_rejected_not_corrupted() {
+        let net = two_node();
+        let mut stats = SuffStats::new(&net);
+        let err = stats.add_complete(&net, &[2, 0], 1.0).unwrap_err();
+        assert!(matches!(err, Error::InvalidEvidence { .. }), "got {err:?}");
+        let err = stats.add_complete(&net, &[0, 0], f64::NAN).unwrap_err();
+        assert!(matches!(err, Error::InvalidEvidence { .. }), "got {err:?}");
     }
 
     #[test]

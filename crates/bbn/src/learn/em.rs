@@ -91,7 +91,11 @@ pub fn expected_statistics(jt: &JunctionTree, cases: &[Case]) -> Result<(SuffSta
 ///
 /// # Errors
 ///
-/// Returns [`Error::NoCases`] for an empty case list, plus shape errors.
+/// Returns [`Error::NoCases`] for an empty case list and
+/// [`Error::UnusableCases`] when a case carries a non-finite or negative
+/// weight or when every case is impossible under the starting model (a fit
+/// from such a datalog would silently return the prior, or worse, NaN
+/// rows), plus shape errors.
 ///
 /// # Examples
 ///
@@ -125,6 +129,14 @@ pub fn fit_em(
     if cases.is_empty() {
         return Err(Error::NoCases);
     }
+    for (i, case) in cases.iter().enumerate() {
+        let w = case.weight();
+        if !w.is_finite() || w < 0.0 {
+            return Err(Error::UnusableCases {
+                reason: format!("case {i} has weight {w}; weights must be finite and >= 0"),
+            });
+        }
+    }
     prior.validate(net)?;
     let mut current = net.clone();
     let mut jt = JunctionTree::compile(&current)?;
@@ -137,6 +149,16 @@ pub fn fit_em(
     for _ in 0..config.max_iterations {
         iterations += 1;
         let (stats, log_likelihood, skipped) = expected_statistics(&jt, cases)?;
+        if skipped == cases.len() {
+            // Without this check the M-step would quietly return the prior
+            // (or NaN rows under a zero prior) as if it were a fit.
+            return Err(Error::UnusableCases {
+                reason: format!(
+                    "all {} cases are impossible under the starting model",
+                    cases.len()
+                ),
+            });
+        }
         skipped_total = skipped;
         trace.push(log_likelihood);
 
@@ -350,5 +372,83 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.skipped_cases, 1);
+    }
+
+    #[test]
+    fn em_rejects_nonfinite_and_negative_weights() {
+        let net = hidden_chain();
+        let o1 = net.var("obs1").unwrap();
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let mut case = Case::from_pairs([(o1, 0)]);
+            case.set_weight(bad);
+            let cases = vec![case];
+            let err = fit_em(
+                &net,
+                &cases,
+                &DirichletPrior::zero(&net),
+                &EmConfig::default(),
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, Error::UnusableCases { .. }),
+                "weight {bad}: expected UnusableCases, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn em_rejects_all_impossible_datalog() {
+        // Same deterministic net as `em_skips_impossible_cases`, but every
+        // case contradicts the model; the fit must fail structurally
+        // instead of returning the prior as if it were learned.
+        let mut b = NetworkBuilder::new();
+        let h = b.variable("h", ["0", "1"]).unwrap();
+        let o = b.variable("o", ["0", "1"]).unwrap();
+        b.prior(h, [1.0, 0.0]).unwrap();
+        b.cpt(o, [h], [[1.0, 0.0], [0.0, 1.0]]).unwrap();
+        let net = b.build().unwrap();
+        let cases = vec![Case::from_pairs([(o, 1)]), Case::from_pairs([(o, 1)])];
+        let err = fit_em(
+            &net,
+            &cases,
+            &DirichletPrior::zero(&net),
+            &EmConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::UnusableCases { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn em_single_outcome_datalog_yields_finite_rows() {
+        // A datalog where every row reports the same single outcome must
+        // still produce normalised, finite CPTs (prior fallback on unseen
+        // rows), never NaN.
+        let net = hidden_chain();
+        let o1 = net.var("obs1").unwrap();
+        let o2 = net.var("obs2").unwrap();
+        let cases: Vec<Case> = (0..20)
+            .map(|_| Case::from_pairs([(o1, 0), (o2, 0)]))
+            .collect();
+        let out = fit_em(
+            &net,
+            &cases,
+            &DirichletPrior::uniform(&net, 0.5),
+            &EmConfig {
+                max_iterations: 10,
+                tolerance: 1e-8,
+            },
+        )
+        .unwrap();
+        for v in out.network.variables() {
+            let card = out.network.card(v);
+            for row in out.network.cpt(v).chunks(card) {
+                let total: f64 = row.iter().sum();
+                assert!(
+                    row.iter().all(|p| p.is_finite() && *p >= 0.0),
+                    "var {v}: non-finite CPT row {row:?}"
+                );
+                assert!((total - 1.0).abs() < 1e-9, "var {v}: row sums to {total}");
+            }
+        }
     }
 }

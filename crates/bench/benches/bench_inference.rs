@@ -633,6 +633,118 @@ fn bench_hierarchical(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fleet-learning loop's price list (PR 9): `aggregate_record_per_trace`
+/// is the per-completed-session append into a model's sufficient
+/// statistics — the only fleet cost a serving thread ever pays, and only
+/// on a session's terminal round; `session_round_wire_lifecycle`
+/// re-measures the stored wire round of `server_throughput` against a
+/// *lifecycle-managed* registry, so the aggregation plumbing's hot-path
+/// tax is the delta against `session_round_wire` (acceptance: ≤2%);
+/// `refit_to_promotion` is one whole background learning cycle —
+/// snapshot, incumbent-seeded EM, junction-tree compile, conformance
+/// gate, promotion; `serve_round_during_refit` prices a serving round
+/// while a background thread runs that cycle in a loop, the hot-swap
+/// design's claim that learning never blocks serving.
+fn bench_fleet_learning(c: &mut Criterion) {
+    use abbd_core::conformance::self_references;
+    use abbd_core::{ModelLifecycle, Observation, RefitPolicy, TraceAggregator};
+    use abbd_server::{Client, ModelRegistry, OpenSessionReply, Server, ServerConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let fitted = regulator::fit(30, 2010, regulator::default_algorithm()).expect("pipeline runs");
+    let compiled = Arc::clone(fitted.engine.compiled());
+    let observations: Vec<abbd_core::Observation> =
+        fitted.cases.iter().map(Observation::from).collect();
+    let d1 = &regulator::cases::case_studies()[0];
+    let references = self_references(&compiled, [("d1".to_string(), d1.observation())])
+        .expect("reference corpus");
+    // The fitted population is 30 devices; lower the floor so every
+    // refit in the timing loop actually fits rather than early-outs.
+    let policy = RefitPolicy {
+        min_rows: 8,
+        ..RefitPolicy::default()
+    };
+    let lifecycle = |name: &str| {
+        let lc = ModelLifecycle::new(
+            name,
+            Arc::clone(&compiled),
+            references.clone(),
+            policy.clone(),
+        )
+        .shared();
+        for observation in &observations {
+            lc.aggregator()
+                .record(observation, &[("sw".to_string(), 0.25)]);
+        }
+        lc
+    };
+    let mut group = c.benchmark_group("fleet_learning");
+
+    group.bench_function("aggregate_record_per_trace", |b| {
+        let aggregator = TraceAggregator::new(&compiled, 64);
+        let timings = [("sw".to_string(), 0.25)];
+        let mut i = 0usize;
+        b.iter(|| {
+            let recorded =
+                aggregator.record(black_box(&observations[i % observations.len()]), &timings);
+            i += 1;
+            black_box(recorded)
+        })
+    });
+    group.bench_function("session_round_wire_lifecycle", |b| {
+        let registry = ModelRegistry::new()
+            .insert_lifecycle("regulator", lifecycle("regulator"))
+            .freeze();
+        let server = Server::start(registry, ServerConfig::default()).expect("server binds");
+        let mut controls = Observation::new();
+        for (name, state) in d1.controls {
+            controls.set(name, state);
+        }
+        let round_json = serde_json::to_string(&abbd_core::SessionRequest::new(controls))
+            .expect("request encodes");
+        let mut client = Client::connect(server.addr()).expect("client connects");
+        let (status, body) = client
+            .post("/v1/models/regulator/sessions", "{}")
+            .expect("open session");
+        assert_eq!(status, 201);
+        let open: OpenSessionReply = serde_json::from_str(&body).expect("open reply");
+        let path = format!("/v1/sessions/{}/round", open.session_id);
+        b.iter(|| {
+            let (status, body) = client.post(&path, &round_json).expect("stored round");
+            assert_eq!(status, 200);
+            black_box(body.len())
+        });
+        drop(client);
+        server.shutdown();
+    });
+    group
+        .sample_size(10)
+        .bench_function("refit_to_promotion", |b| {
+            let lc = lifecycle("regulator");
+            b.iter(|| {
+                let report = lc.refit();
+                assert!(report.promoted, "the bench fit must pass its own gate");
+                black_box(report.version)
+            })
+        });
+    group.bench_function("serve_round_during_refit", |b| {
+        let lc = lifecycle("regulator");
+        let request = SessionRequest::new(d1.observation());
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    black_box(lc.refit().promoted);
+                }
+            });
+            let serving = lc.active();
+            b.iter(|| black_box(serving.serve(black_box(&request)).unwrap().ranked.len()));
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+    group.finish();
+}
+
 fn bench_chain_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("chain_posteriors");
     for n in [10usize, 40, 160] {
@@ -663,6 +775,7 @@ criterion_group!(
     bench_server_throughput,
     bench_wire_serialization,
     bench_hierarchical,
+    bench_fleet_learning,
     bench_chain_scaling
 );
 criterion_main!(benches);

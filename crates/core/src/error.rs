@@ -88,6 +88,9 @@ pub enum Error {
     /// threshold, or a block whose boundary breaks the extraction
     /// contract.
     Hierarchy(String),
+    /// A model-lifecycle operation failed: an unknown version was
+    /// requested, or a fleet-learning invariant was violated.
+    Fleet(String),
 }
 
 impl fmt::Display for Error {
@@ -135,6 +138,7 @@ impl fmt::Display for Error {
                 write!(f, "measurement of `{variable}` failed: {reason}")
             }
             Error::Hierarchy(reason) => write!(f, "invalid hierarchy: {reason}"),
+            Error::Fleet(reason) => write!(f, "model lifecycle error: {reason}"),
         }
     }
 }
@@ -201,6 +205,7 @@ mod tests {
                 reason: "r".into(),
             },
             Error::Hierarchy("h".into()),
+            Error::Fleet("unknown version 7".into()),
         ];
         for e in samples {
             assert!(!e.to_string().is_empty());

@@ -1162,6 +1162,7 @@ impl HierarchicalSession {
                         cost: request.cost.clone(),
                         deduction: request.deduction,
                         delta: true,
+                        timings: Vec::new(),
                     })?
                 } else {
                     report
@@ -1211,5 +1212,6 @@ fn filter_request(request: &SessionRequest, model: &DiagnosticModel) -> SessionR
         cost: request.cost.clone(),
         deduction: request.deduction,
         delta: request.delta,
+        timings: request.timings.clone(),
     }
 }

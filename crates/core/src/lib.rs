@@ -50,17 +50,32 @@
 //! lift the board evidence down, and finish block-locally. The
 //! [`hierarchy`] module docs spell out the extraction contract, the
 //! interface semantics and the descent policy.
+//!
+//! ## Model lifecycle
+//!
+//! The [`fleet`] module closes the learning loop at serving time: a
+//! [`TraceAggregator`] folds completed sessions into per-model
+//! sufficient statistics, a background [`Refitter`] re-fits CPTs and
+//! measurement prices from them, and a [`ModelLifecycle`] gates each
+//! candidate on a [`conformance`] reference corpus plus a recent-trace
+//! holdout before atomically hot-swapping the default version —
+//! in-flight sessions keep their pinned compile, and any retained
+//! version can be reactivated ([`ModelLifecycle::activate`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod builder;
+#[deny(missing_docs)]
+pub mod conformance;
 mod deduce;
 mod engine;
 mod error;
 mod explain;
 #[doc(hidden)]
 pub mod fixtures;
+#[deny(missing_docs)]
+pub mod fleet;
 #[deny(missing_docs)]
 pub mod hierarchy;
 mod model;
@@ -73,6 +88,7 @@ pub mod session;
 mod voi;
 
 pub use builder::{DiagnosticModel, ExpertKnowledge, LearnAlgorithm, LearnSummary, ModelBuilder};
+pub use conformance::{GoldenCorpus, ReplayCase, ReplayMismatch, ReplayOutcome};
 pub use deduce::{
     ancestor_fault_probability, conditional_fault_expectation, deduce_candidates, Candidate,
     DeductionPolicy, HealthClass,
@@ -80,6 +96,10 @@ pub use deduce::{
 pub use engine::{Diagnosis, DiagnosticEngine, Observation};
 pub use error::{Error, Result};
 pub use explain::FindingImpact;
+pub use fleet::{
+    compile_candidate, AggregateSnapshot, GateRejection, ModelLifecycle, RefitPolicy, RefitReport,
+    Refitter, TraceAggregator, VersionInfo,
+};
 pub use hierarchy::{
     BlockSpec, HierarchicalModel, HierarchicalSession, HierarchicalTrace, DEFAULT_DESCEND_THRESHOLD,
 };

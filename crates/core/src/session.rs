@@ -866,6 +866,13 @@ pub struct SessionRequest {
     /// delta behaves exactly like a full round. Wire default: `false`.
     #[serde(default)]
     pub delta: bool,
+    /// Observed wall cost of the measurements taken since the last round,
+    /// as `(variable, tester_seconds)` pairs. Purely telemetry: the values
+    /// never influence this round's answer, they feed the fleet-learning
+    /// aggregate ([`crate::fleet`]) so a background refit can re-price the
+    /// [`CostModel`] from production testers. Wire default: empty.
+    #[serde(default)]
+    pub timings: Vec<(String, f64)>,
 }
 
 impl SessionRequest {
@@ -880,6 +887,7 @@ impl SessionRequest {
             cost: CostModel::unit(),
             deduction: None,
             delta: false,
+            timings: Vec::new(),
         }
     }
 

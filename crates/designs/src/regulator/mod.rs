@@ -6,6 +6,7 @@
 pub mod adaptive;
 pub mod cases;
 pub mod circuit;
+pub mod drift;
 pub mod expert;
 pub mod faults;
 pub mod model;
@@ -112,6 +113,24 @@ pub struct Population {
 /// Propagates simulation and case-generation errors.
 pub fn synthesize(n_failing: usize, seed: u64, first_id: u64) -> Result<Population> {
     let rig = rig();
+    let universe = rig.universe.clone();
+    synthesize_with(&rig, &universe, n_failing, seed, first_id)
+}
+
+/// [`synthesize`] drawing defects from a caller-supplied fault universe
+/// instead of the rig's default — the lever for fleet-drift scenarios
+/// ([`drift`]): same circuit, same test program, different defect mix.
+///
+/// # Errors
+///
+/// Propagates simulation and case-generation errors.
+pub fn synthesize_with(
+    rig: &RegulatorRig,
+    universe: &FaultUniverse,
+    n_failing: usize,
+    seed: u64,
+    first_id: u64,
+) -> Result<Population> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut devices: Vec<Device> = Vec::with_capacity(n_failing);
     let mut logs: Vec<DeviceLog> = Vec::with_capacity(n_failing);
@@ -124,7 +143,7 @@ pub fn synthesize(n_failing: usize, seed: u64, first_id: u64) -> Result<Populati
                 "fault universe cannot produce enough failing devices".into(),
             ));
         }
-        let batch = sample_defective_devices(&rig.circuit, &rig.universe, 1, next_id, &mut rng);
+        let batch = sample_defective_devices(&rig.circuit, universe, 1, next_id, &mut rng);
         let Some(device) = batch.into_iter().next() else {
             return Err(Error::Pipeline("empty fault universe".into()));
         };

@@ -37,6 +37,36 @@
 //! board evidence down. `GET /v1/models` lists the parent/child
 //! relationships (`parent`, `children` fields).
 //!
+//! ## Model lifecycle
+//!
+//! Every flat registry entry is a versioned [`ModelLifecycle`] (see
+//! [`abbd_core::fleet`]), which closes the paper's learning loop at
+//! serving time. Completed traces feed the model's
+//! [`abbd_core::fleet::TraceAggregator`]: a stored session's cumulative
+//! observation is folded in once, on its first terminal round; a
+//! stateless round that reaches a stop contributes itself; every
+//! successfully diagnosed `diagnose_batch` row counts as one device
+//! datalog. Per-measurement wall costs ride along in
+//! [`SessionRequest`]'s optional `timings` field (`[variable, seconds]`
+//! pairs) and become learned [`abbd_core::CostModel`] prices.
+//!
+//! A refit — triggered by `POST /v1/models/{name}/refit`, or by the
+//! background refitter when [`ServerConfig::refit_interval`] is set and
+//! enough rows accumulated — snapshots the aggregate, re-fits the CPTs
+//! with the incumbent's parameters as prior, and runs the candidate
+//! through the conformance gate (reference-scenario replay + recent-
+//! trace holdout scoring). Promotion appends `name@vN` and atomically
+//! repoints the bare name; in-flight sessions finish on the compile
+//! they opened with, and `POST …/activate` rolls the default back to
+//! any retained version. A bare model name always serves the active
+//! version; `name@vN` pins one explicitly (sessions, serve, batch).
+//! Rejections are structured ([`GateRejection`] inside the
+//! [`RefitReport`]), and `/v1/stats` carries the loop's counters:
+//! `traces_aggregated`, `refits_run`, `refits_rejected`, per-model
+//! rounds and active versions. Refit compiles run on dedicated
+//! threads, so the `worker_compiles` invariant (zero) survives the
+//! whole loop.
+//!
 //! ## Endpoints
 //!
 //! | method & path | body → reply | semantics |
@@ -49,6 +79,9 @@
 //! | `POST /v1/models/{name}/diagnose_batch` | [`BatchRequest`] → [`BatchReply`] | fan N evidence sets across the worker pool (diagnosis only) |
 //! | `POST /v1/sessions/{id}/round` | [`SessionRequest`] → [`SessionReport`] | one **stateful** decision round on the stored session |
 //! | `DELETE /v1/sessions/{id}` | — → [`CloseSessionReply`] | close a stored session |
+//! | `POST /v1/models/{name}/refit` | — → [`RefitReport`] | snapshot the trace aggregate, re-fit, gate, and (on a pass) hot-swap the default version |
+//! | `GET /v1/models/{name}/versions` | — → [`VersionsReport`] | every retained version with its provenance |
+//! | `POST /v1/models/{name}/activate` | [`ActivateRequest`] → [`ActivateReply`] | repoint the default at a retained version (rollback / roll-forward) |
 //!
 //! [`SessionRequest`]: abbd_core::SessionRequest
 //! [`SessionReport`]: abbd_core::SessionReport
@@ -194,10 +227,16 @@ pub use error::{ApiError, ErrorBody};
 pub use net::NetStats;
 pub use registry::{ModelBundle, ModelInfo, ModelRegistry};
 pub use service::{
-    BatchDiagnosis, BatchEntry, BatchReply, BatchRequest, CloseSessionReply, HealthReport,
-    ModelsReport, OpenSessionReply, ServiceState, ServiceStats, StatsReport,
+    ActivateReply, ActivateRequest, BatchDiagnosis, BatchEntry, BatchReply, BatchRequest,
+    CloseSessionReply, HealthReport, ModelStats, ModelsReport, OpenSessionReply, ServiceState,
+    ServiceStats, StatsReport, VersionsReport,
 };
 pub use store::{ServedSession, SessionStore, StoreStats, StoredSession};
+
+// The lifecycle DTOs that cross the wire on the refit/versions
+// endpoints, re-exported from `abbd_core::fleet` so wire clients need
+// only this crate.
+pub use abbd_core::fleet::{GateRejection, ModelLifecycle, RefitPolicy, RefitReport, VersionInfo};
 
 // The service boundary DTOs, re-exported so wire clients need only this
 // crate.
@@ -236,6 +275,11 @@ pub struct ServerConfig {
     /// last one with `connection: close` — bounds how long a single
     /// keep-alive connection can pin server-side state.
     pub max_requests_per_conn: u64,
+    /// Poll interval of the background [`abbd_core::fleet::Refitter`]
+    /// over the registry's model lifecycles; `None` (the default)
+    /// disables background refits — `POST /v1/models/{name}/refit`
+    /// still triggers them on demand.
+    pub refit_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -251,6 +295,7 @@ impl Default for ServerConfig {
             queue_depth: 256,
             idle_timeout: Duration::from_secs(60),
             max_requests_per_conn: 100_000,
+            refit_interval: None,
         }
     }
 }
@@ -267,6 +312,7 @@ pub struct Server {
     queue: Arc<net::JobQueue>,
     event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    refitter: Option<abbd_core::fleet::Refitter>,
 }
 
 impl Server {
@@ -287,6 +333,18 @@ impl Server {
             stats: ServiceStats::default(),
             net: NetStats::default(),
             workers,
+            started: std::time::Instant::now(),
+        });
+        // The background refitter is its own thread: EM and junction-
+        // tree compilation for candidate models never run on (or count
+        // against) the serving workers.
+        let refitter = config.refit_interval.map(|interval| {
+            let lifecycles = state
+                .registry
+                .lifecycles()
+                .map(|(_, lc)| Arc::clone(lc))
+                .collect();
+            abbd_core::fleet::Refitter::spawn(lifecycles, interval)
         });
         let stop = Arc::new(AtomicBool::new(false));
         let wake = Arc::new(net::WakeFd::new()?);
@@ -321,6 +379,7 @@ impl Server {
             queue,
             event_loop: Some(event_loop),
             workers: worker_handles,
+            refitter,
         })
     }
 
@@ -346,6 +405,12 @@ impl Server {
     fn stop_threads(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
+        }
+        // Stop the refitter first: a refit in flight finishes (promotion
+        // is atomic either way), but no new cycle starts while the
+        // serving threads wind down.
+        if let Some(mut refitter) = self.refitter.take() {
+            refitter.stop();
         }
         // The waker pulls the event loop out of `epoll_wait`; it then
         // observes the flag and exits, dropping listener and sockets.

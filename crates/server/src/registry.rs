@@ -14,10 +14,12 @@
 //!   built with [`ModelBuilder::build_expert_only`] and compiled.
 
 use crate::error::ApiError;
+use abbd_core::fleet::{ModelLifecycle, RefitPolicy};
 use abbd_core::{CircuitModel, CompiledModel, ExpertKnowledge, HierarchicalModel, ModelBuilder};
 use abbd_dlog2bbn::ModelSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A self-contained, JSON-loadable model definition: everything needed
@@ -106,17 +108,31 @@ pub struct ModelInfo {
 
 /// Named compiled models, immutable after [`ModelRegistry::freeze`].
 ///
-/// Two kinds of entry coexist: plain compiled models, and compiled
-/// [`HierarchicalModel`] trees. A hierarchy contributes its abstract
-/// root under the registered name plus one addressable child per block
-/// under `{board}/{block}` — children are compiled lazily on first use
-/// (the one deliberate exception to "serving never compiles", counted
-/// by [`ModelRegistry::lazy_submodel_compiles`] and surfaced in
+/// Two kinds of entry coexist: lifecycle-managed flat models, and
+/// compiled [`HierarchicalModel`] trees. A hierarchy contributes its
+/// abstract root under the registered name plus one addressable child
+/// per block under `{board}/{block}` — children are compiled lazily on
+/// first use (the one deliberate exception to "serving never compiles",
+/// counted by [`ModelRegistry::lazy_submodel_compiles`] and surfaced in
 /// `/v1/stats`).
+///
+/// ## Model lifecycle
+///
+/// Every flat entry is a [`ModelLifecycle`] (see [`abbd_core::fleet`]):
+/// the registry structure stays frozen after
+/// [`ModelRegistry::freeze`] — no names appear or disappear — but each
+/// lifecycle *internally* versions its compiled model. A bare name
+/// resolves to the lifecycle's current default version (the atomic
+/// hot-swap point); `name@vN` pins any retained version, so a client
+/// can compare a refit against its predecessor or keep serving the old
+/// parameters during a staged rollout.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
-    models: BTreeMap<String, Arc<CompiledModel>>,
+    models: BTreeMap<String, Arc<ModelLifecycle>>,
     hierarchies: BTreeMap<String, Arc<HierarchicalModel>>,
+    /// Decision rounds served per hierarchy (root and children pooled
+    /// under the board name); flat models count inside their lifecycle.
+    hierarchy_rounds: BTreeMap<String, AtomicU64>,
 }
 
 impl ModelRegistry {
@@ -126,9 +142,25 @@ impl ModelRegistry {
     }
 
     /// Registers a compiled model under `name` (builder style; replaces
-    /// any previous entry with that name).
-    pub fn insert(mut self, name: impl Into<String>, model: Arc<CompiledModel>) -> Self {
-        self.models.insert(name.into(), model);
+    /// any previous entry with that name). The model is wrapped in a
+    /// [`ModelLifecycle`] with no reference corpus and the default
+    /// [`RefitPolicy`]; use [`ModelRegistry::insert_lifecycle`] to
+    /// control gating.
+    pub fn insert(self, name: impl Into<String>, model: Arc<CompiledModel>) -> Self {
+        let name = name.into();
+        let lifecycle =
+            ModelLifecycle::new(name.clone(), model, Vec::new(), RefitPolicy::default()).shared();
+        self.insert_lifecycle(name, lifecycle)
+    }
+
+    /// Registers a fully configured model lifecycle (reference corpus,
+    /// refit policy) under `name`.
+    pub fn insert_lifecycle(
+        mut self,
+        name: impl Into<String>,
+        lifecycle: Arc<ModelLifecycle>,
+    ) -> Self {
+        self.models.insert(name.into(), lifecycle);
         self
     }
 
@@ -155,7 +187,10 @@ impl ModelRegistry {
         name: impl Into<String>,
         hierarchy: Arc<HierarchicalModel>,
     ) -> Self {
-        self.hierarchies.insert(name.into(), hierarchy);
+        let name = name.into();
+        self.hierarchy_rounds
+            .insert(name.clone(), AtomicU64::new(0));
+        self.hierarchies.insert(name, hierarchy);
         self
     }
 
@@ -164,15 +199,29 @@ impl ModelRegistry {
         Arc::new(self)
     }
 
-    /// Looks a *flat* model up by name (hierarchies resolve through
-    /// [`ModelRegistry::resolve`]).
+    /// Looks a *flat* model up by name, returning its current default
+    /// version (hierarchies resolve through [`ModelRegistry::resolve`]).
     ///
     /// # Errors
     ///
     /// Returns [`ApiError::unknown_model`] when absent.
-    pub fn get(&self, name: &str) -> Result<&Arc<CompiledModel>, ApiError> {
+    pub fn get(&self, name: &str) -> Result<Arc<CompiledModel>, ApiError> {
         self.models
             .get(name)
+            .map(|lc| lc.active())
+            .ok_or_else(|| ApiError::unknown_model(name))
+    }
+
+    /// Looks a flat model's lifecycle up by name (accepting a `@vN` pin,
+    /// which addresses the same lifecycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::unknown_model`] when absent.
+    pub fn lifecycle(&self, name: &str) -> Result<&Arc<ModelLifecycle>, ApiError> {
+        let base = name.split_once('@').map_or(name, |(base, _)| base);
+        self.models
+            .get(base)
             .ok_or_else(|| ApiError::unknown_model(name))
     }
 
@@ -181,17 +230,55 @@ impl ModelRegistry {
         self.hierarchies.get(name)
     }
 
+    /// Iterates the lifecycle-managed flat models in name order.
+    pub fn lifecycles(&self) -> impl Iterator<Item = (&str, &Arc<ModelLifecycle>)> {
+        self.models.iter().map(|(n, lc)| (n.as_str(), lc))
+    }
+
+    /// Iterates `(board, rounds served)` for the registered hierarchies.
+    pub fn hierarchy_round_counts(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.hierarchy_rounds
+            .iter()
+            .map(|(n, c)| (n.as_str(), c.load(Ordering::Relaxed)))
+    }
+
+    /// Counts one served decision round against `name` (a flat model,
+    /// possibly `@vN`-pinned, a hierarchy root, or a `{board}/{block}`
+    /// child — children pool under their board).
+    pub fn note_round(&self, name: &str) {
+        let base = name.split_once('@').map_or(name, |(base, _)| base);
+        if let Some(lifecycle) = self.models.get(base) {
+            lifecycle.note_round();
+            return;
+        }
+        let board = base.rsplit_once('/').map_or(base, |(board, _)| board);
+        if let Some(counter) = self.hierarchy_rounds.get(board) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Resolves any registry name to a servable compiled model: a flat
-    /// model, a hierarchy's abstract root, or — for `{board}/{block}` —
-    /// a block's sub-model, compiled lazily on first resolution.
+    /// model's default version, a `name@vN` pinned version, a
+    /// hierarchy's abstract root, or — for `{board}/{block}` — a block's
+    /// sub-model, compiled lazily on first resolution.
     ///
     /// # Errors
     ///
-    /// [`ApiError::unknown_model`] for names nothing answers to; a
+    /// [`ApiError::unknown_model`] for names nothing answers to
+    /// (including a pinned version that was never promoted); a
     /// `422`-shaped error if a lazy child compile fails.
     pub fn resolve(&self, name: &str) -> Result<Arc<CompiledModel>, ApiError> {
-        if let Some(compiled) = self.models.get(name) {
-            return Ok(Arc::clone(compiled));
+        if let Some(lifecycle) = self.models.get(name) {
+            return Ok(lifecycle.active());
+        }
+        if let Some((base, pin)) = name.split_once('@') {
+            if let Some(lifecycle) = self.models.get(base) {
+                return pin
+                    .strip_prefix('v')
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .and_then(|v| lifecycle.version(v))
+                    .ok_or_else(|| ApiError::unknown_model(name));
+            }
         }
         if let Some(hierarchy) = self.hierarchies.get(name) {
             return Ok(Arc::clone(hierarchy.root()));
@@ -213,13 +300,16 @@ impl ModelRegistry {
         let mut rows: Vec<ModelInfo> = self
             .models
             .iter()
-            .map(|(name, compiled)| ModelInfo {
-                name: name.clone(),
-                variables: compiled.model().circuit_model().spec().len(),
-                latents: compiled.latent_names().count(),
-                observables: compiled.observable_names().count(),
-                parent: None,
-                children: Vec::new(),
+            .map(|(name, lifecycle)| {
+                let compiled = lifecycle.active();
+                ModelInfo {
+                    name: name.clone(),
+                    variables: compiled.model().circuit_model().spec().len(),
+                    latents: compiled.latent_names().count(),
+                    observables: compiled.observable_names().count(),
+                    parent: None,
+                    children: Vec::new(),
+                }
             })
             .collect();
         for (name, hierarchy) in &self.hierarchies {

@@ -11,6 +11,7 @@ use crate::http::{Request, Response};
 use crate::net::NetStats;
 use crate::registry::{ModelInfo, ModelRegistry};
 use crate::store::{ServedSession, SessionStore, StoreStats};
+use abbd_core::fleet::VersionInfo;
 use abbd_core::{
     Candidate, CompiledModel, DeductionPolicy, DiagnosisSession, HierarchicalSession, Observation,
     SessionRequest, StoppingPolicy,
@@ -19,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Serving counters, all monotonic (reported by `GET /v1/stats`).
 #[derive(Debug, Default)]
@@ -52,6 +54,8 @@ pub struct ServiceState {
     pub net: NetStats,
     /// Worker-pool width, which also caps batch fan-out.
     pub workers: usize,
+    /// Server start time (feeds `uptime_secs` in `/v1/stats`).
+    pub started: Instant,
 }
 
 /// `GET /healthz` body.
@@ -136,6 +140,55 @@ pub struct BatchReply {
     pub reports: Vec<BatchEntry>,
 }
 
+/// `GET /v1/models/{name}/versions` body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionsReport {
+    /// The lifecycle's model name.
+    pub model: String,
+    /// The version new sessions currently open against.
+    pub active_version: u32,
+    /// Every retained version, oldest first.
+    pub versions: Vec<VersionInfo>,
+}
+
+/// `POST /v1/models/{name}/activate` body: which retained version
+/// becomes the default (rollback or roll-forward).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivateRequest {
+    /// 1-based version number to activate.
+    pub version: u32,
+}
+
+/// `POST /v1/models/{name}/activate` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivateReply {
+    /// The lifecycle's model name.
+    pub model: String,
+    /// The default version after the switch.
+    pub active_version: u32,
+}
+
+/// One model's serving and lifecycle counters in `/v1/stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Registry name (hierarchies report under their board name, with
+    /// children's rounds pooled in).
+    pub name: String,
+    /// The lifecycle's current default version; `null` for hierarchies,
+    /// which are not lifecycle-managed.
+    #[serde(default)]
+    pub active_version: Option<u32>,
+    /// Decision rounds served against this model (stored + stateless,
+    /// all versions).
+    pub rounds: u64,
+    /// Completed traces folded into the model's learning aggregate.
+    pub traces_aggregated: u64,
+    /// Refit attempts (background or endpoint-triggered).
+    pub refits_run: u64,
+    /// Refit attempts the conformance gate rejected.
+    pub refits_rejected: u64,
+}
+
 /// `GET /v1/stats` body.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsReport {
@@ -182,6 +235,24 @@ pub struct StatsReport {
     /// (gauge).
     #[serde(default)]
     pub submodels_compiled_lazy: u64,
+    /// Whole seconds since the server started.
+    #[serde(default)]
+    pub uptime_secs: u64,
+    /// Completed traces folded into learning aggregates, summed over
+    /// every lifecycle-managed model.
+    #[serde(default)]
+    pub traces_aggregated: u64,
+    /// Refit attempts, summed over every lifecycle-managed model.
+    #[serde(default)]
+    pub refits_run: u64,
+    /// Rejected refit attempts, summed over every lifecycle-managed
+    /// model.
+    #[serde(default)]
+    pub refits_rejected: u64,
+    /// Per-model round and lifecycle counters: lifecycle-managed flat
+    /// models first (name order), then hierarchies (board name order).
+    #[serde(default)]
+    pub models: Vec<ModelStats>,
 }
 
 fn parse_json<T: Deserialize>(body: &[u8]) -> Result<T, ApiError> {
@@ -272,6 +343,9 @@ fn route(state: &ServiceState, request: &Request) -> Result<Response, ApiError> 
         ("POST", ["v1", "models", name, "sessions"]) => open_session(state, name, request),
         ("POST", ["v1", "models", name, "serve"]) => serve_stateless(state, name, request),
         ("POST", ["v1", "models", name, "diagnose_batch"]) => diagnose_batch(state, name, request),
+        ("POST", ["v1", "models", name, "refit"]) => refit_model(state, name, request),
+        ("GET", ["v1", "models", name, "versions"]) => model_versions(state, name, request),
+        ("POST", ["v1", "models", name, "activate"]) => activate_model(state, name, request),
         // Hierarchy children live under `{board}/{block}` — one extra
         // path segment on every model endpoint.
         ("POST", ["v1", "models", board, block, "sessions"]) => {
@@ -293,7 +367,10 @@ fn route(state: &ServiceState, request: &Request) -> Result<Response, ApiError> 
         )),
         // A known path shape with the wrong verb is 405, not 404.
         (_, ["healthz"] | ["v1", "models"] | ["v1", "stats"])
-        | (_, ["v1", "models", _, "sessions" | "serve" | "diagnose_batch"])
+        | (
+            _,
+            ["v1", "models", _, "sessions" | "serve" | "diagnose_batch" | "refit" | "versions" | "activate"],
+        )
         | (_, ["v1", "models", _, _, "sessions" | "serve" | "diagnose_batch"])
         | (_, ["v1", "sessions", _, "round"] | ["v1", "sessions", _]) => {
             Err(ApiError::method_not_allowed(method, &request.path))
@@ -311,6 +388,39 @@ fn stats_report(state: &ServiceState) -> StatsReport {
     } = state.store.stats();
     let open = state.net.open.load(Ordering::Relaxed);
     let active = state.net.active.load(Ordering::Relaxed);
+    let mut traces_aggregated = 0;
+    let mut refits_run = 0;
+    let mut refits_rejected = 0;
+    let mut models: Vec<ModelStats> = state
+        .registry
+        .lifecycles()
+        .map(|(name, lifecycle)| {
+            traces_aggregated += lifecycle.traces_aggregated();
+            refits_run += lifecycle.refits_run();
+            refits_rejected += lifecycle.refits_rejected();
+            ModelStats {
+                name: name.to_string(),
+                active_version: Some(lifecycle.active_version()),
+                rounds: lifecycle.rounds(),
+                traces_aggregated: lifecycle.traces_aggregated(),
+                refits_run: lifecycle.refits_run(),
+                refits_rejected: lifecycle.refits_rejected(),
+            }
+        })
+        .collect();
+    models.extend(
+        state
+            .registry
+            .hierarchy_round_counts()
+            .map(|(name, rounds)| ModelStats {
+                name: name.to_string(),
+                active_version: None,
+                rounds,
+                traces_aggregated: 0,
+                refits_run: 0,
+                refits_rejected: 0,
+            }),
+    );
     StatsReport {
         requests: state.stats.requests.load(Ordering::Relaxed),
         rounds: state.stats.rounds.load(Ordering::Relaxed),
@@ -331,7 +441,84 @@ fn stats_report(state: &ServiceState) -> StatsReport {
         idle_timeouts: state.net.idle_timeouts.load(Ordering::Relaxed),
         models_compiled: state.registry.compiled_models(),
         submodels_compiled_lazy: state.registry.lazy_submodel_compiles(),
+        uptime_secs: state.started.elapsed().as_secs(),
+        traces_aggregated,
+        refits_run,
+        refits_rejected,
+        models,
     }
+}
+
+/// Resolves `name` to its model lifecycle, turning hierarchy names into
+/// a `422` — boards re-learn through their flat source model, not
+/// through the compiled abstraction.
+fn lifecycle_of<'a>(
+    state: &'a ServiceState,
+    name: &str,
+) -> Result<&'a Arc<abbd_core::fleet::ModelLifecycle>, ApiError> {
+    if state.registry.hierarchy(name).is_some() {
+        return Err(ApiError::new(
+            422,
+            "invalid_request",
+            format!(
+                "model `{name}` is a compiled hierarchy; lifecycle endpoints address flat models"
+            ),
+        ));
+    }
+    state.registry.lifecycle(name)
+}
+
+fn refit_model(state: &ServiceState, name: &str, request: &Request) -> Result<Response, ApiError> {
+    let lifecycle = Arc::clone(lifecycle_of(state, name)?);
+    // EM and junction-tree compilation run on a dedicated thread, never
+    // inline on the worker: the worker loop samples its *thread-local*
+    // compile counter around every request, and a refit must not show up
+    // there — the zero-compile serving invariant holds even while models
+    // re-learn.
+    let report = std::thread::scope(|scope| {
+        scope
+            .spawn(|| lifecycle.refit())
+            .join()
+            .map_err(|_| ApiError::new(500, "internal", "refit thread panicked"))
+    })?;
+    Ok(reply(request, 200, &report))
+}
+
+fn model_versions(
+    state: &ServiceState,
+    name: &str,
+    request: &Request,
+) -> Result<Response, ApiError> {
+    let lifecycle = lifecycle_of(state, name)?;
+    Ok(reply(
+        request,
+        200,
+        &VersionsReport {
+            model: lifecycle.name().to_string(),
+            active_version: lifecycle.active_version(),
+            versions: lifecycle.versions(),
+        },
+    ))
+}
+
+fn activate_model(
+    state: &ServiceState,
+    name: &str,
+    request: &Request,
+) -> Result<Response, ApiError> {
+    let body: ActivateRequest = parse_body(request)?;
+    let lifecycle = lifecycle_of(state, name)?;
+    lifecycle
+        .activate(body.version)
+        .map_err(|e| ApiError::new(422, "invalid_request", e.to_string()))?;
+    Ok(reply(
+        request,
+        200,
+        &ActivateReply {
+            model: lifecycle.name().to_string(),
+            active_version: lifecycle.active_version(),
+        },
+    ))
 }
 
 // The open body is intentionally empty (send nothing or `{}`): every
@@ -379,6 +566,19 @@ fn serve_stateless(
         .serve(&round)
         .map_err(|e| ApiError::from_core(&e))?;
     state.stats.stateless_rounds.fetch_add(1, Ordering::Relaxed);
+    state.registry.note_round(name);
+    if let Ok(lifecycle) = state.registry.lifecycle(name) {
+        // A stateless round is its own whole session: the observation is
+        // a complete trace when the round reaches a stop, and a
+        // cost-sample source either way.
+        if report.stop.is_some() {
+            lifecycle
+                .aggregator()
+                .record(&round.observation, &round.timings);
+        } else {
+            lifecycle.aggregator().record_timings(&round.timings);
+        }
+    }
     Ok(reply(request, 200, &report))
 }
 
@@ -398,9 +598,26 @@ fn session_round(state: &ServiceState, id: &str, request: &Request) -> Result<Re
     match round {
         Ok(result) => {
             let result = result.map_err(|e| ApiError::from_core(&e));
-            if result.is_ok() {
+            if let Ok(report) = &result {
                 stored.rounds += 1;
                 state.stats.rounds.fetch_add(1, Ordering::Relaxed);
+                state.registry.note_round(&stored.model);
+                if let Ok(lifecycle) = state.registry.lifecycle(&stored.model) {
+                    // Fold the session's cumulative observation into the
+                    // model's learning aggregate exactly once, on the
+                    // first terminal round; non-terminal rounds only
+                    // contribute their measurement timings (an empty-
+                    // slice no-op on the common hot path).
+                    if report.stop.is_some() && !stored.trace_recorded {
+                        stored.trace_recorded = lifecycle
+                            .aggregator()
+                            .record(stored.session.observation(), &round_request.timings);
+                    } else {
+                        lifecycle
+                            .aggregator()
+                            .record_timings(&round_request.timings);
+                    }
+                }
             }
             state.store.checkin(id, stored);
             Ok(reply(request, 200, &result?))
@@ -446,6 +663,15 @@ fn diagnose_batch(
         .stats
         .batch_items
         .fetch_add(batch.observations.len() as u64, Ordering::Relaxed);
+    if let Ok(lifecycle) = state.registry.lifecycle(name) {
+        // Each successfully diagnosed batch row is one complete device
+        // datalog — exactly the learning shape the paper fits from.
+        for (observation, entry) in batch.observations.iter().zip(&reports) {
+            if entry.ok.is_some() {
+                lifecycle.aggregator().record(observation, &[]);
+            }
+        }
+    }
     if binary_reply(request) {
         // Row-oriented streaming reply: one frame per entry, in input
         // order, concatenated — a client can decode (and act on) each

@@ -114,6 +114,11 @@ pub struct StoredSession {
     pub model: String,
     /// Decision rounds completed so far.
     pub rounds: u64,
+    /// `true` once the session's cumulative observation has been folded
+    /// into the model's trace aggregate (set on the first terminal
+    /// round, so a client polling past isolation contributes one row,
+    /// not one per poll).
+    pub trace_recorded: bool,
 }
 
 #[derive(Debug)]
@@ -226,6 +231,7 @@ impl SessionStore {
                     session: session.into(),
                     model: model.to_string(),
                     rounds: 0,
+                    trace_recorded: false,
                 }),
                 last_used: now,
                 lru,

@@ -477,5 +477,44 @@ fn main() -> ExitCode {
             latencies.len(),
         );
     }
+    // The server's own view of the run: uptime, error/compile counters,
+    // and per-model rounds plus the fleet-learning loop's progress.
+    match stats(&args.addr) {
+        Ok(report) => print_server_stats(&report),
+        Err(e) => eprintln!("abbd-loadgen: server stats unavailable: {e}"),
+    }
     ExitCode::SUCCESS
+}
+
+/// Prints the end-of-run server-side counters (`GET /v1/stats`).
+fn print_server_stats(report: &StatsReport) {
+    println!(
+        "server: uptime {}s, {} requests ({} errors), rounds {} stored / {} stateless, \
+         {} batch items, worker_compiles {}",
+        report.uptime_secs,
+        report.requests,
+        report.errors,
+        report.rounds,
+        report.stateless_rounds,
+        report.batch_items,
+        report.worker_compiles,
+    );
+    println!(
+        "fleet: {} traces aggregated, {} refits run ({} rejected)",
+        report.traces_aggregated, report.refits_run, report.refits_rejected,
+    );
+    for model in &report.models {
+        let version = model
+            .active_version
+            .map_or_else(|| "hierarchy".to_string(), |v| format!("v{v} active"));
+        println!(
+            "model {}: {} ({} rounds, {} traces aggregated, {} refits run, {} rejected)",
+            model.name,
+            version,
+            model.rounds,
+            model.traces_aggregated,
+            model.refits_run,
+            model.refits_rejected,
+        );
+    }
 }

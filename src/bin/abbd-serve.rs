@@ -11,6 +11,7 @@
 //!            [--queue-depth 256] [--idle-timeout-secs 60]
 //!            [--max-requests-per-conn 100000]
 //!            [--devices 24] [--seed 42] [--full-fit] [--no-regulator]
+//!            [--refit-interval-secs N] [--refit-min-rows 32]
 //!            [--model NAME=BUNDLE.json]...
 //! ```
 //!
@@ -19,9 +20,10 @@
 //! Each `--model` registers one additional bundle (see
 //! `abbd_server::ModelBundle` for the format).
 
-use abbd::core::LearnAlgorithm;
+use abbd::core::conformance::self_references;
+use abbd::core::{LearnAlgorithm, Observation};
 use abbd::designs::regulator;
-use abbd::server::{ModelBundle, ModelRegistry, Server, ServerConfig};
+use abbd::server::{ModelBundle, ModelLifecycle, ModelRegistry, RefitPolicy, Server, ServerConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -32,6 +34,7 @@ struct Args {
     seed: u64,
     full_fit: bool,
     regulator: bool,
+    refit_min_rows: Option<u64>,
     bundles: Vec<(String, String)>,
 }
 
@@ -45,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         full_fit: false,
         regulator: true,
+        refit_min_rows: None,
         bundles: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -94,6 +98,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--refit-interval-secs" => {
+                let secs: u64 = value("--refit-interval-secs")?
+                    .parse()
+                    .map_err(|e| format!("--refit-interval-secs: {e}"))?;
+                args.config.refit_interval = Some(Duration::from_secs(secs.max(1)));
+            }
+            "--refit-min-rows" => {
+                args.refit_min_rows = Some(
+                    value("--refit-min-rows")?
+                        .parse()
+                        .map_err(|e| format!("--refit-min-rows: {e}"))?,
+                );
+            }
             "--full-fit" => args.full_fit = true,
             "--no-regulator" => args.regulator = false,
             "--model" => {
@@ -130,6 +147,11 @@ const HELP: &str = "abbd-serve: the block-level Bayesian diagnosis service
   --seed N                 regulator fit seed (default 42)
   --full-fit               reference learning instead of quick EM
   --no-regulator           skip the built-in regulator model
+  --refit-interval-secs N  poll interval of the background refitter
+                           (default: background refits disabled; the
+                           refit endpoint still works on demand)
+  --refit-min-rows N       aggregated traces required before a refit
+                           attempt (default 32)
   --model NAME=PATH        register a ModelBundle JSON file (repeatable)";
 
 fn build_registry(args: &Args) -> Result<ModelRegistry, String> {
@@ -149,7 +171,27 @@ fn build_registry(args: &Args) -> Result<ModelRegistry, String> {
         );
         let fitted = regulator::fit(args.devices, args.seed, algorithm)
             .map_err(|e| format!("regulator fit failed: {e}"))?;
-        registry = registry.insert("regulator", Arc::clone(fitted.engine.compiled()));
+        let compiled = Arc::clone(fitted.engine.compiled());
+        // The five Table VI case studies become the refit conformance
+        // corpus: a candidate must isolate whatever the startup fit
+        // isolates on each of them before it may serve.
+        let scenarios = regulator::cases::case_studies().into_iter().map(|case| {
+            let mut observation = Observation::new();
+            for &(name, state) in case.controls.iter().chain(case.observables.iter()) {
+                observation.set(name, state);
+            }
+            (case.id.to_string(), observation)
+        });
+        let references = self_references(&compiled, scenarios)
+            .map_err(|e| format!("regulator reference corpus failed: {e}"))?;
+        let policy = RefitPolicy {
+            min_rows: args
+                .refit_min_rows
+                .unwrap_or(RefitPolicy::default().min_rows),
+            ..RefitPolicy::default()
+        };
+        let lifecycle = ModelLifecycle::new("regulator", compiled, references, policy).shared();
+        registry = registry.insert_lifecycle("regulator", lifecycle);
     }
     for (name, path) in &args.bundles {
         let text = std::fs::read_to_string(path)

@@ -19,8 +19,8 @@
 //! then review the diff like any other code change.
 
 use abbd::core::{
-    CostModel, DecisionTrace, DiagnosticEngine, HierarchicalSession, HierarchicalTrace,
-    StoppingPolicy, Strategy,
+    CostModel, DecisionTrace, DiagnosticEngine, GoldenCorpus, HierarchicalSession,
+    HierarchicalTrace, StoppingPolicy, Strategy,
 };
 use abbd::designs::board::{self, BoardConfig};
 use abbd::designs::regulator::adaptive::{
@@ -28,7 +28,7 @@ use abbd::designs::regulator::adaptive::{
     CrossSuiteReport,
 };
 use abbd::designs::regulator::{self, cases::case_studies};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::Arc;
 
 /// The corpus strategies: file-name tag, strategy, and the cost model the
@@ -67,42 +67,17 @@ fn engine() -> DiagnosticEngine {
     .engine
 }
 
-fn golden_dir() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
-}
-
-fn regen() -> bool {
-    std::env::var("ABBD_REGEN_GOLDEN").is_ok_and(|v| v == "1")
-}
-
-/// Compares (or regenerates) one golden file, returning a description of
-/// the mismatch if any.
-fn conform(name: &str, rendered: &str) -> Option<String> {
-    let path = golden_dir().join(name);
-    if regen() {
-        std::fs::create_dir_all(golden_dir()).expect("golden dir is creatable");
-        std::fs::write(&path, rendered).expect("golden file is writable");
-        return None;
-    }
-    match std::fs::read_to_string(&path) {
-        Err(e) => Some(format!("{name}: unreadable ({e}); regenerate the corpus")),
-        Ok(stored) if stored == rendered => None,
-        Ok(stored) => {
-            let diverges = stored
-                .lines()
-                .zip(rendered.lines())
-                .position(|(a, b)| a != b)
-                .map_or_else(
-                    || "lengths differ".to_string(),
-                    |line| format!("first divergence at line {}", line + 1),
-                );
-            Some(format!("{name}: trace diverged ({diverges})"))
-        }
-    }
+/// The corpus handle: byte-for-byte conformance (or `ABBD_REGEN_GOLDEN=1`
+/// regeneration) via the shared [`abbd::core::conformance`]
+/// implementation — the same code the server-side refit gate reports
+/// mismatches through.
+fn corpus() -> GoldenCorpus {
+    GoldenCorpus::new(Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden"))
 }
 
 #[test]
 fn golden_traces_replay_exactly() {
+    let corpus = corpus();
     let engine = engine();
     let policy = StoppingPolicy::default();
     let mut mismatches: Vec<String> = Vec::new();
@@ -119,12 +94,12 @@ fn golden_traces_replay_exactly() {
             let mut rendered = serde_json::to_string_pretty(&trace).expect("traces serialise");
             rendered.push('\n');
             let name = format!("{}_{}.json", case.id, tag);
-            if let Some(m) = conform(&name, &rendered) {
+            if let Some(m) = corpus.conform(&name, &rendered) {
                 mismatches.push(m);
-            } else if !regen() {
+            } else if !corpus.regenerating() {
                 // The stored corpus must also round-trip through the
                 // typed representation (pins the serde layer itself).
-                let stored = std::fs::read_to_string(golden_dir().join(&name)).unwrap();
+                let stored = std::fs::read_to_string(corpus.path(&name)).unwrap();
                 let parsed: DecisionTrace =
                     serde_json::from_str(&stored).expect("golden trace parses");
                 assert_eq!(parsed, trace, "{name}: parsed trace differs from replay");
@@ -158,13 +133,13 @@ fn golden_traces_replay_exactly() {
         switches.push(summary.stimulus_switches);
         let mut rendered = serde_json::to_string_pretty(&reports).expect("reports serialise");
         rendered.push('\n');
-        if let Some(m) = conform(&format!("population16_{tag}.json"), &rendered) {
+        if let Some(m) = corpus.conform(&format!("population16_{tag}.json"), &rendered) {
             mismatches.push(m);
         }
         let mut summary_rendered =
             serde_json::to_string_pretty(&summary).expect("summary serialises");
         summary_rendered.push('\n');
-        if let Some(m) = conform(
+        if let Some(m) = corpus.conform(
             &format!("population16_{tag}_summary.json"),
             &summary_rendered,
         ) {
@@ -213,19 +188,20 @@ fn hierarchical_board_trace_replays_exactly() {
     assert_eq!(trace.descended.as_deref(), Some("reg02"));
     assert_eq!(outcome.diagnosis.top_candidate(), Some("drv02"));
 
+    let corpus = corpus();
     let mut rendered = serde_json::to_string_pretty(&trace).expect("trace serialises");
     rendered.push('\n');
     let name = "board4_hierarchical.json";
-    if let Some(mismatch) = conform(name, &rendered) {
+    if let Some(mismatch) = corpus.conform(name, &rendered) {
         panic!(
             "{mismatch}\nIf the change is intentional, regenerate with \
              `ABBD_REGEN_GOLDEN=1 cargo test --test golden_traces` and review the JSON diff."
         );
     }
-    if !regen() {
+    if !corpus.regenerating() {
         // The stored corpus must round-trip through the typed
         // representation (pins the hierarchy serde layer itself).
-        let stored = std::fs::read_to_string(golden_dir().join(name)).unwrap();
+        let stored = std::fs::read_to_string(corpus.path(name)).unwrap();
         let parsed: HierarchicalTrace =
             serde_json::from_str(&stored).expect("golden hierarchical trace parses");
         assert_eq!(parsed, trace, "{name}: parsed trace differs from replay");
