@@ -39,7 +39,7 @@
 //! .collect();
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-//! let log = test_device(&circuit, &program, &Device::golden(&circuit), NoiseModel::none(), &mut rng)?;
+//! let log = test_device(&circuit, &program, &Device::golden(&circuit), &NoiseModel::none(), &mut rng)?;
 //! assert!(log.all_passed());
 //! # Ok(())
 //! # }

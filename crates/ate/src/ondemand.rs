@@ -138,8 +138,11 @@ impl DeviceSession<'_, '_> {
         let (value, passed) = match self.ops[si].as_ref().expect("just solved") {
             Some(op) => {
                 let raw = op.voltage(test.measured);
-                let noisy = if self.noise.sigma > 0.0 {
-                    raw + self.noise.sigma * standard_normal(&mut self.rng)
+                let sigma = self
+                    .noise
+                    .sigma_for(self.tester.circuit.net_name(test.measured));
+                let noisy = if sigma > 0.0 {
+                    raw + sigma * standard_normal(&mut self.rng)
                 } else {
                     raw
                 };
@@ -319,7 +322,7 @@ mod tests {
 
         // Noiseless on-demand values equal the batch harness's.
         let mut rng = StdRng::seed_from_u64(9);
-        let log = test_device(&circuit, &program, &golden, NoiseModel::none(), &mut rng).unwrap();
+        let log = test_device(&circuit, &program, &golden, &NoiseModel::none(), &mut rng).unwrap();
         for record in session.records() {
             let batch = log
                 .records

@@ -8,21 +8,71 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Additive measurement noise applied to every voltage reading.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The base `sigma` models the rack's default voltmeter; per-instrument
+/// overrides (keyed by measured net name) model the fact that a real ATE
+/// routes different nets through different meters, relays and contactor
+/// pins — and that any one of those paths can degrade independently. The
+/// scenario engine's degraded-instrument fault mode is expressed here:
+/// same device, same limits, one noisy measurement path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NoiseModel {
-    /// 1-sigma measurement noise in volts.
+    /// 1-sigma measurement noise in volts for every net without an
+    /// override.
     pub sigma: f64,
+    /// Per-net sigma overrides `(net name, sigma)`; the last entry for a
+    /// net wins.
+    #[serde(default)]
+    pub overrides: Vec<(String, f64)>,
 }
 
 impl NoiseModel {
     /// A noiseless meter.
     pub fn none() -> Self {
-        NoiseModel { sigma: 0.0 }
+        NoiseModel {
+            sigma: 0.0,
+            overrides: Vec::new(),
+        }
     }
 
     /// A typical production voltmeter (2 mV sigma).
     pub fn production() -> Self {
-        NoiseModel { sigma: 0.002 }
+        NoiseModel {
+            sigma: 0.002,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// A uniform meter with the given sigma on every net.
+    pub fn uniform(sigma: f64) -> Self {
+        NoiseModel {
+            sigma,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Overrides the instrument on `net` with an absolute sigma
+    /// (builder style).
+    pub fn with_instrument(mut self, net: impl Into<String>, sigma: f64) -> Self {
+        self.overrides.push((net.into(), sigma));
+        self
+    }
+
+    /// A degraded instrument on `net`: the base sigma scaled by `factor`
+    /// (builder style). `factor` 1.0 is a healthy path.
+    pub fn degraded(self, net: impl Into<String>, factor: f64) -> Self {
+        let sigma = self.sigma * factor;
+        self.with_instrument(net, sigma)
+    }
+
+    /// The effective 1-sigma noise of the instrument measuring `net`.
+    pub fn sigma_for(&self, net: &str) -> f64 {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(n, _)| n == net)
+            .map(|&(_, s)| s)
+            .unwrap_or(self.sigma)
     }
 }
 
@@ -97,7 +147,7 @@ pub fn test_device<R: Rng + ?Sized>(
     circuit: &Circuit,
     program: &TestProgram,
     device: &Device,
-    noise: NoiseModel,
+    noise: &NoiseModel,
     rng: &mut R,
 ) -> Result<DeviceLog> {
     program.validate(circuit)?;
@@ -109,8 +159,9 @@ pub fn test_device<R: Rng + ?Sized>(
             let (value, passed) = match &op {
                 Ok(op) => {
                     let raw = op.voltage(test.measured);
-                    let noisy = if noise.sigma > 0.0 {
-                        raw + noise.sigma * standard_normal(rng)
+                    let sigma = noise.sigma_for(circuit.net_name(test.measured));
+                    let noisy = if sigma > 0.0 {
+                        raw + sigma * standard_normal(rng)
                     } else {
                         raw
                     };
@@ -150,7 +201,7 @@ pub fn test_population<R: Rng + ?Sized>(
     circuit: &Circuit,
     program: &TestProgram,
     devices: &[Device],
-    noise: NoiseModel,
+    noise: &NoiseModel,
     rng: &mut R,
 ) -> Result<Vec<DeviceLog>> {
     devices
@@ -175,7 +226,7 @@ pub fn test_population_batch(
     circuit: &Circuit,
     program: &TestProgram,
     devices: &[Device],
-    noise: NoiseModel,
+    noise: &NoiseModel,
     seed: u64,
 ) -> Result<Vec<DeviceLog>> {
     use rand::rngs::StdRng;
@@ -286,7 +337,7 @@ mod tests {
             &circuit,
             &program,
             &Device::golden(&circuit),
-            NoiseModel::none(),
+            &NoiseModel::none(),
             &mut rng,
         )
         .unwrap();
@@ -305,12 +356,51 @@ mod tests {
         dut.id = 7;
         dut.faults = DeviceFaults::single(Fault::new(bandgap, FaultMode::Dead));
         let mut rng = StdRng::seed_from_u64(2);
-        let log = test_device(&circuit, &program, &dut, NoiseModel::none(), &mut rng).unwrap();
+        let log = test_device(&circuit, &program, &dut, &NoiseModel::none(), &mut rng).unwrap();
         assert_eq!(log.device_id, 7);
         assert_eq!(log.records.len(), 3, "no-stop-on-fail keeps all records");
         // vout_reg and vref_nom fail; vout_off still passes (0 V expected).
         assert_eq!(log.fail_count(), 2);
         assert_eq!(log.truth, vec!["bandgap:dead".to_string()]);
+    }
+
+    #[test]
+    fn per_instrument_override_targets_one_net() {
+        let (circuit, program) = rig();
+        // A noiseless rack with one badly degraded instrument: only the
+        // overridden net's readings move, every other net stays exact.
+        let noise = NoiseModel::none().with_instrument("vout", 0.05);
+        assert_eq!(noise.sigma_for("vout"), 0.05);
+        assert_eq!(noise.sigma_for("vmid"), 0.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let clean = test_device(
+            &circuit,
+            &program,
+            &Device::golden(&circuit),
+            &NoiseModel::none(),
+            &mut rng,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let degraded = test_device(
+            &circuit,
+            &program,
+            &Device::golden(&circuit),
+            &noise,
+            &mut rng,
+        )
+        .unwrap();
+        for (a, b) in clean.records.iter().zip(&degraded.records) {
+            if a.net == "vout" {
+                assert!((a.value - b.value).abs() > 1e-9, "vout must be perturbed");
+            } else {
+                assert_eq!(a.value, b.value, "net {} must stay exact", a.net);
+            }
+        }
+        // `degraded` scales the base sigma instead of replacing it.
+        let scaled = NoiseModel::production().degraded("vout", 10.0);
+        assert!((scaled.sigma_for("vout") - 0.02).abs() < 1e-12);
+        assert!((scaled.sigma_for("vmid") - 0.002).abs() < 1e-12);
     }
 
     #[test]
@@ -321,7 +411,7 @@ mod tests {
             &circuit,
             &program,
             &Device::golden(&circuit),
-            NoiseModel::none(),
+            &NoiseModel::none(),
             &mut rng,
         )
         .unwrap();
@@ -329,7 +419,7 @@ mod tests {
             &circuit,
             &program,
             &Device::golden(&circuit),
-            NoiseModel { sigma: 0.01 },
+            &NoiseModel::uniform(0.01),
             &mut rng,
         )
         .unwrap();
@@ -354,9 +444,9 @@ mod tests {
             }
             devices.push(d);
         }
-        let a = test_population_batch(&circuit, &program, &devices, NoiseModel::production(), 7)
+        let a = test_population_batch(&circuit, &program, &devices, &NoiseModel::production(), 7)
             .unwrap();
-        let b = test_population_batch(&circuit, &program, &devices, NoiseModel::production(), 7)
+        let b = test_population_batch(&circuit, &program, &devices, &NoiseModel::production(), 7)
             .unwrap();
         assert_eq!(a, b, "same seed must reproduce the logs exactly");
         let ids: Vec<u64> = a.iter().map(|l| l.device_id).collect();
@@ -366,7 +456,7 @@ mod tests {
             "logs come back in device order"
         );
         assert!(a.iter().filter(|l| !l.all_passed()).count() >= 4);
-        let c = test_population_batch(&circuit, &program, &devices, NoiseModel::production(), 8)
+        let c = test_population_batch(&circuit, &program, &devices, &NoiseModel::production(), 8)
             .unwrap();
         assert_ne!(a, c, "a different seed must perturb the noise");
     }
@@ -384,7 +474,7 @@ mod tests {
             &circuit,
             &program,
             &[good, bad],
-            NoiseModel::none(),
+            &NoiseModel::none(),
             &mut rng,
         )
         .unwrap();

@@ -745,6 +745,72 @@ fn bench_fleet_learning(c: &mut Criterion) {
     group.finish();
 }
 
+/// The scenario engine (PR 10): fleet sampling cost, the per-decision
+/// price of ranking the regulator grid's full 60-candidate stimulus
+/// family (cost-weighted, suite-switch priced — the decision geometry
+/// the paper's 5-test menus never reach), and the whole grid closed loop
+/// against a seeded catalogue fault. The Monte-Carlo hypothesis fit runs
+/// once per group at a reduced sample count; per-decision numbers only
+/// depend on the model's shape (22 hypothesis states × 60 observables).
+fn bench_scenario_engine(c: &mut Criterion) {
+    use abbd_designs::regulator::grid;
+    use abbd_scenarios::{sample_model_population, McFitConfig};
+
+    let rig = grid::grid_rig_with(&McFitConfig {
+        samples: 8,
+        ..McFitConfig::default()
+    })
+    .expect("grid rig builds");
+    let reg = regulator::rig();
+    let model = abbd_core::ModelBuilder::new(reg.model)
+        .with_expert(reg.expert)
+        .build_expert_only()
+        .expect("expert-only model builds");
+    let library = regulator::faults::fault_library();
+    let controls: Vec<(String, usize)> = regulator::cases::case_studies()[0]
+        .controls
+        .iter()
+        .map(|&(name, state)| (name.to_string(), state))
+        .collect();
+    let mut group = c.benchmark_group("scenario_engine");
+
+    group.bench_function("sample_fleet_16", |b| {
+        b.iter(|| {
+            sample_model_population(&model, &library, black_box(&controls), 16, 2010)
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("grid60_per_decision", |b| {
+        let mut session =
+            DiagnosisSession::new(Arc::clone(&rig.compiled), grid::grid_policy()).unwrap();
+        session.set_strategy(Strategy::CostWeighted).unwrap();
+        session
+            .set_cost_model(rig.program.cost_model(grid::GRID_PROBE_SECONDS).unwrap())
+            .unwrap();
+        session.set_actions(rig.program.actions()).unwrap();
+        b.iter(|| {
+            let scored = session.rank_actions().unwrap();
+            black_box(scored[0].expected_information_gain())
+        })
+    });
+    group.bench_function("grid60_closed_loop", |b| {
+        let entry = grid::grid_library()
+            .entries()
+            .iter()
+            .find(|e| e.tag() == "reg1:dead")
+            .expect("catalogue has reg1:dead")
+            .clone();
+        let device = grid::device_for_entry(&rig.circuit, &entry, 9001).unwrap();
+        let noise = grid::noise_for_entry(&entry);
+        b.iter(|| {
+            let (outcome, _, _) = grid::diagnose_device(&rig, &device, &noise, 77).unwrap();
+            black_box(outcome.tests_used())
+        })
+    });
+    group.finish();
+}
+
 fn bench_chain_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("chain_posteriors");
     for n in [10usize, 40, 160] {
@@ -776,6 +842,7 @@ criterion_group!(
     bench_wire_serialization,
     bench_hierarchical,
     bench_fleet_learning,
+    bench_scenario_engine,
     bench_chain_scaling
 );
 criterion_main!(benches);

@@ -24,7 +24,7 @@ fn bench_pipeline_stages(c: &mut Criterion) {
                 &rig.circuit,
                 &rig.program,
                 black_box(&device),
-                NoiseModel::production(),
+                &NoiseModel::production(),
                 &mut rng,
             )
             .unwrap()
@@ -36,7 +36,7 @@ fn bench_pipeline_stages(c: &mut Criterion) {
         &rig.circuit,
         &rig.program,
         &device,
-        NoiseModel::production(),
+        &NoiseModel::production(),
         &mut rng2,
     )
     .unwrap();
@@ -76,7 +76,7 @@ fn bench_pipeline_stages(c: &mut Criterion) {
                 &rig.circuit,
                 &rig.program,
                 black_box(&golden),
-                NoiseModel::none(),
+                &NoiseModel::none(),
                 &mut rng,
             )
             .unwrap()

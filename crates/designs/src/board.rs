@@ -221,26 +221,27 @@ pub struct FaultScenario {
 }
 
 /// Builds the d1-style scenario with block `faulty`'s driver dead.
+///
+/// The ground truth is no longer hand-tabulated: the scenario engine
+/// propagates the injected fault (`drvNN = 0` under nominal rails)
+/// through the board's own fitted network by per-variable argmax
+/// ([`abbd_scenarios::most_likely_truth`]), so the truth map follows the
+/// CPTs — a dead driver fails the output and trips the current limit
+/// while the bandgap-side aux test keeps passing, because the tables say
+/// so, for any board size or seed.
 pub fn d1_scenario(config: &BoardConfig, faulty: usize) -> FaultScenario {
-    let mut truth = BTreeMap::new();
-    truth.insert("vin".to_string(), 1);
-    truth.insert("vload".to_string(), 0);
-    for k in 0..config.blocks {
-        let [bias, bg, reg, drv, out, aux, ilim] = block_vars(k);
-        let dead = k == faulty;
-        truth.insert(bias, 1);
-        truth.insert(bg, 1);
-        truth.insert(reg, 1);
-        truth.insert(drv, if dead { 0 } else { 1 });
-        // A dead driver fails the output and trips the current limit;
-        // the bandgap-side aux test still passes.
-        truth.insert(out, if dead { 0 } else { 1 });
-        truth.insert(aux, 1);
-        truth.insert(ilim, if dead { 0 } else { 1 });
-    }
+    let fault = block_vars(faulty)[3].clone();
+    let model = flat_model(config).expect("board spec is static");
+    let forced = [
+        ("vin".to_string(), 1),
+        ("vload".to_string(), 0),
+        (fault.clone(), 0),
+    ];
+    let truth = abbd_scenarios::most_likely_truth(model.network(), &forced)
+        .expect("forced variables are in the board model");
     FaultScenario {
         block: config.block_name(faulty),
-        fault: block_vars(faulty)[3].clone(),
+        fault,
         truth,
     }
 }

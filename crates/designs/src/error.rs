@@ -69,6 +69,19 @@ impl From<abbd_core::Error> for Error {
     }
 }
 
+impl From<abbd_scenarios::Error> for Error {
+    fn from(e: abbd_scenarios::Error) -> Self {
+        match e {
+            abbd_scenarios::Error::Ate(e) => Error::Ate(e),
+            abbd_scenarios::Error::Blocks(e) => Error::Blocks(e),
+            abbd_scenarios::Error::Core(e) => Error::Core(e),
+            abbd_scenarios::Error::Dlog(e) => Error::Dlog(e),
+            abbd_scenarios::Error::Bbn(e) => Error::Pipeline(format!("bbn: {e}")),
+            abbd_scenarios::Error::Scenario(msg) => Error::Pipeline(msg),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

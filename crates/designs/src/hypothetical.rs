@@ -284,7 +284,7 @@ pub fn fit(n_failing: usize, seed: u64, algorithm: LearnAlgorithm) -> Result<Fit
             &circuit,
             &program,
             std::slice::from_ref(&device),
-            NoiseModel::production(),
+            &NoiseModel::production(),
             &mut rng,
         )?;
         let log = batch.pop().expect("one log per device");
@@ -371,7 +371,7 @@ pub fn closed_loop_population_with(
             &circuit,
             &program,
             std::slice::from_ref(&device),
-            NoiseModel::production(),
+            &NoiseModel::production(),
             &mut rng,
         )?
         .pop()

@@ -532,7 +532,7 @@ pub fn closed_loop_population_with_noise(
         let controls = CONTROL_VARS.iter().copied().zip(plan.control_states);
 
         let mut adaptive_d = seeded_session(engine, controls.clone(), policy)?;
-        let mut session = tester.session(device, noise, seed);
+        let mut session = tester.session(device, noise.clone(), seed);
         let adaptive = match adaptive_d.run(bench_oracle(&mut session, spec, si)) {
             Ok(outcome) => outcome,
             // An unbinnable reading means this device cannot be diagnosed
@@ -545,7 +545,7 @@ pub fn closed_loop_population_with_noise(
         };
 
         let mut fixed_d = seeded_session(engine, controls, policy)?;
-        let mut session = tester.session(device, noise, seed);
+        let mut session = tester.session(device, noise.clone(), seed);
         let fixed = match fixed_d.run_scripted(&OBSERVED_VARS, bench_oracle(&mut session, spec, si))
         {
             Ok(outcome) => outcome,
@@ -588,7 +588,7 @@ mod tests {
             6,
             2,
             StoppingPolicy::default(),
-            NoiseModel { sigma: 0.25 },
+            NoiseModel::uniform(0.25),
         )
         .unwrap();
         assert_eq!(

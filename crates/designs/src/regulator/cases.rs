@@ -215,7 +215,7 @@ mod tests {
             let id = c.require_block(block).unwrap();
             let mut dut = Device::golden(&c);
             dut.faults = DeviceFaults::single(Fault::new(id, mode));
-            let log = test_device(&c, &program, &dut, NoiseModel::none(), &mut rng).unwrap();
+            let log = test_device(&c, &program, &dut, &NoiseModel::none(), &mut rng).unwrap();
             let si = plans.iter().position(|p| p.name == case.suite).unwrap();
             for (oi, (var, expected_state)) in case.observables.into_iter().enumerate() {
                 let number = test_number(si, oi);

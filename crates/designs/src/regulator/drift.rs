@@ -33,9 +33,10 @@
 
 use crate::error::Result;
 use crate::regulator::{synthesize_with, Population, RegulatorRig};
-use abbd_blocks::{Fault, FaultMode, FaultUniverse};
+use abbd_blocks::{FaultMode, FaultUniverse};
 use abbd_core::{CompiledModel, Observation};
 use abbd_dlog2bbn::NamedCase;
+use abbd_scenarios::{FaultKind, FaultLibrary};
 
 /// Relative occurrence weights per `(block, mode)` after the drift: a
 /// process excursion in the switchable output driver. Roughly 93% of
@@ -62,18 +63,19 @@ pub fn drifted_catalog() -> Vec<(&'static str, FaultMode, f64)> {
     ]
 }
 
-/// Builds the drifted fault universe over the rig's circuit.
-pub fn drifted_universe(rig: &RegulatorRig) -> FaultUniverse {
+/// The drifted catalogue as a scenario-engine fault library.
+pub fn drifted_library() -> FaultLibrary {
     drifted_catalog()
         .into_iter()
-        .map(|(block, mode, weight)| {
-            let id = rig
-                .circuit
-                .require_block(block)
-                .expect("catalog names exist");
-            (Fault::new(id, mode), weight)
-        })
+        .map(|(block, mode, weight)| (block, FaultKind::from(mode), weight))
         .collect()
+}
+
+/// Builds the drifted fault universe over the rig's circuit.
+pub fn drifted_universe(rig: &RegulatorRig) -> FaultUniverse {
+    drifted_library()
+        .universe(&rig.circuit)
+        .expect("catalog names exist")
 }
 
 /// Fabricates `n_failing` defective regulators from the *drifted* defect

@@ -1,8 +1,13 @@
 //! The regulator's fault universe: the catalogue of block-level defects
 //! the synthetic "customer return" population is drawn from (standing in
 //! for the paper's 70 failed products).
+//!
+//! The catalogue is expressed as an [`abbd_scenarios::FaultLibrary`], so
+//! the same entries drive device-level sampling here and model-level
+//! scenario generation in the scenario engine.
 
-use abbd_blocks::{Circuit, Fault, FaultMode, FaultUniverse};
+use abbd_blocks::{Circuit, FaultMode, FaultUniverse};
+use abbd_scenarios::{FaultKind, FaultLibrary};
 
 /// Relative occurrence weights per `(block, mode)`. The mix is skewed the
 /// way the paper's case studies suggest: supply-status (`warnvpst`) and
@@ -32,15 +37,21 @@ pub fn fault_catalog() -> Vec<(&'static str, FaultMode, f64)> {
     ]
 }
 
-/// Builds the weighted fault universe over a circuit instance.
-pub fn fault_universe(circuit: &Circuit) -> FaultUniverse {
+/// The catalogue as a scenario-engine fault library — the single source
+/// both the device-level universe and the model-level population
+/// samplers compile from.
+pub fn fault_library() -> FaultLibrary {
     fault_catalog()
         .into_iter()
-        .map(|(block, mode, weight)| {
-            let id = circuit.require_block(block).expect("catalog names exist");
-            (Fault::new(id, mode), weight)
-        })
+        .map(|(block, mode, weight)| (block, FaultKind::from(mode), weight))
         .collect()
+}
+
+/// Builds the weighted fault universe over a circuit instance.
+pub fn fault_universe(circuit: &Circuit) -> FaultUniverse {
+    fault_library()
+        .universe(circuit)
+        .expect("catalog names exist")
 }
 
 #[cfg(test)]

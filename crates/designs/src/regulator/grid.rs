@@ -1,0 +1,212 @@
+//! The regulator's stimulus-grid diagnosis rig: a supply × enable test
+//! family, a noise-calibrated fault-hypothesis model, and the closed
+//! loop that isolates a seeded fault from a 60-candidate menu.
+//!
+//! The paper's program picks six hand-chosen stimulus corners; this
+//! module sweeps the primary supply `vp1` across six levels crossed with
+//! the 1.3 V-domain enable pin, measures all five outputs at every grid
+//! point, and lets `rank_actions` choose among the resulting 60
+//! candidates. The model is the scenario engine's single-latent
+//! hypothesis fit: one state per catalogue fault (plus a degraded
+//! `sw_out` instrument and "healthy"), observable CPTs Monte-Carlo
+//! calibrated under the production noise model.
+
+use crate::error::Result;
+use crate::regulator::{circuit, faults};
+use abbd_ate::NoiseModel;
+use abbd_blocks::{Circuit, Device, DeviceFaults, Fault};
+use abbd_core::{
+    CompiledModel, DecisionTrace, DiagnosisSession, SequentialOutcome, StoppingPolicy, Strategy,
+};
+use abbd_scenarios::{
+    fit_fault_hypotheses, FamilyMeasure, FamilyProgram, FaultEntry, FaultKind, FaultLibrary,
+    HypothesisFit, McFitConfig, StimulusAxis, TestFamily,
+};
+use std::sync::Arc;
+
+/// Seconds one probe costs on the grid bench (tests are priced by the
+/// family's timing).
+pub const GRID_PROBE_SECONDS: f64 = 30.0;
+
+/// The supply × enable stimulus family: `vp1` at six levels crossed with
+/// `enb13_pin` off/on, the three remaining supplies and enables held at
+/// their nominal-on levels, all five outputs measured at every point —
+/// 12 suites, 60 candidates.
+pub fn grid_family() -> TestFamily {
+    TestFamily::new("grid")
+        .hold("vp1x", 15.0)
+        .hold("vp2", 8.0)
+        .hold("enb4_pin", 1.2)
+        .hold("enbsw_pin", 1.2)
+        .sweep(StimulusAxis::new("vp1", [2.0, 6.5, 9.0, 12.0, 16.0, 20.0]))
+        .sweep(StimulusAxis::new("enb13_pin", [0.0, 1.2]))
+        .measure(FamilyMeasure::new("reg1_out", 0.35, 25.0))
+        .measure(FamilyMeasure::new("reg2_out", 0.25, 25.0))
+        .measure(FamilyMeasure::new("reg3_out", 0.25, 25.0))
+        .measure(FamilyMeasure::new("reg4_out", 0.16, 25.0))
+        .measure(FamilyMeasure::new("sw_out", 0.6, 25.0))
+        .timing(1.0, 5.0)
+}
+
+/// The grid's hypothesis library: the full device-fault catalogue plus a
+/// degraded instrument on the switched output's measurement path, so the
+/// hypothesis space also spans "the rack is lying about `sw_out`".
+pub fn grid_library() -> FaultLibrary {
+    let mut library = faults::fault_library();
+    library.add("sw_out", FaultKind::DegradedInstrument(250.0), 0.4);
+    library
+}
+
+/// The grid stopping policy. The hypothesis model has a single latent,
+/// so isolation-by-fault-mass is meaningless (the latent always carries
+/// the whole mass); the loop instead runs until no candidate offers
+/// gain, like the paper's exhaustive baseline but pruned by VOI.
+pub fn grid_policy() -> StoppingPolicy {
+    StoppingPolicy {
+        fault_mass_threshold: 1.0,
+        max_steps: 32,
+        min_gain: 1e-3,
+    }
+}
+
+/// The assembled grid rig: circuit, discretised family, fitted
+/// hypothesis model and its compiled form.
+#[derive(Debug)]
+pub struct GridRig {
+    /// The behavioural regulator circuit.
+    pub circuit: Circuit,
+    /// The discretised supply × enable family (12 suites, 60 tests).
+    pub program: FamilyProgram,
+    /// The noise-calibrated hypothesis fit.
+    pub fit: HypothesisFit,
+    /// The fit's model, compiled for sessions.
+    pub compiled: Arc<CompiledModel>,
+}
+
+/// Builds the grid rig with the default Monte-Carlo fit configuration.
+///
+/// # Errors
+///
+/// Propagates family discretisation, fit and compile failures.
+pub fn grid_rig() -> Result<GridRig> {
+    grid_rig_with(&McFitConfig::default())
+}
+
+/// [`grid_rig`] with an explicit fit configuration (benches shrink the
+/// sample count).
+///
+/// # Errors
+///
+/// Propagates family discretisation, fit and compile failures.
+pub fn grid_rig_with(cfg: &McFitConfig) -> Result<GridRig> {
+    let circuit = circuit::circuit();
+    let program = grid_family().discretize(&circuit)?;
+    let fit = fit_fault_hypotheses(
+        &circuit,
+        &grid_library(),
+        &program,
+        &NoiseModel::production(),
+        cfg,
+    )?;
+    let compiled = CompiledModel::compile(fit.model.clone())?.shared();
+    Ok(GridRig {
+        circuit,
+        program,
+        fit,
+        compiled,
+    })
+}
+
+/// Fabricates the device a library entry describes: golden part plus the
+/// entry's fault for device kinds, a plain golden part for instrument
+/// kinds (the defect is in the rack, not the part).
+///
+/// # Errors
+///
+/// Propagates unknown-block lookups.
+pub fn device_for_entry(circuit: &Circuit, entry: &FaultEntry, id: u64) -> Result<Device> {
+    let mut device = Device::golden(circuit);
+    device.id = id;
+    if let Some(mode) = entry.kind.device_mode() {
+        let block = circuit.require_block(&entry.target)?;
+        device.faults = DeviceFaults::single(Fault::new(block, mode));
+    }
+    Ok(device)
+}
+
+/// The bench noise a library entry's scenario is measured under: the
+/// production rack, degraded per the entry for instrument kinds.
+pub fn noise_for_entry(entry: &FaultEntry) -> NoiseModel {
+    match entry.kind {
+        FaultKind::DegradedInstrument(factor) => {
+            NoiseModel::production().degraded(entry.target.clone(), factor)
+        }
+        _ => NoiseModel::production(),
+    }
+}
+
+/// Runs the closed loop over the full 60-candidate grid menu for one
+/// device: cost-weighted candidate selection under the family's
+/// suite-switch pricing, measurements executed on demand through the
+/// virtual ATE, full decision trace captured. Returns the outcome, the
+/// trace, and the hypothesis tag the final posterior puts on top.
+///
+/// # Errors
+///
+/// Propagates session and bench failures.
+pub fn diagnose_device(
+    rig: &GridRig,
+    device: &Device,
+    noise: &NoiseModel,
+    seed: u64,
+) -> Result<(SequentialOutcome, DecisionTrace, String)> {
+    let mut session = DiagnosisSession::new(Arc::clone(&rig.compiled), grid_policy())?;
+    session.set_strategy(Strategy::CostWeighted)?;
+    session.set_cost_model(rig.program.cost_model(GRID_PROBE_SECONDS)?)?;
+    session.set_actions(rig.program.actions())?;
+    let tester = rig.program.tester(&rig.circuit)?;
+    let spec = rig.fit.model.circuit_model().spec();
+    let bench = tester.session(device, noise.clone(), seed);
+    let executor = rig.program.executor(spec, bench);
+    let (outcome, trace) = session.run_traced(executor)?;
+    let posterior = outcome
+        .diagnosis
+        .posterior_of(&rig.fit.fault_var)
+        .expect("hypothesis latent has a posterior");
+    let top = posterior
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(s, _)| rig.fit.tags[s].clone())
+        .expect("hypothesis latent has states");
+    Ok((outcome, trace, top))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_grid_shape() {
+        let fam = grid_family();
+        assert_eq!(fam.grid_size(), 12);
+        assert_eq!(fam.candidate_count(), 60);
+    }
+
+    #[test]
+    fn discretized_program_validates() {
+        let circuit = circuit::circuit();
+        let program = grid_family().discretize(&circuit).expect("grid builds");
+        assert_eq!(program.program.suite_count(), 12);
+        assert_eq!(program.program.test_count(), 60);
+        assert_eq!(program.variables.len(), 60);
+        // Per-family pricing: candidates in different suites pay the
+        // switch, candidates in the active suite do not.
+        let mut cost = program.cost_model(GRID_PROBE_SECONDS).expect("cost builds");
+        let (first, _, first_suite) = program.var_test[0].clone();
+        let (last, _, last_suite) = program.var_test[59].clone();
+        assert_ne!(first_suite, last_suite);
+        cost.set_current_suite(Some(first_suite));
+        assert!(cost.cost_of(&last, false) > cost.cost_of(&first, false));
+    }
+}

@@ -9,17 +9,16 @@ pub mod circuit;
 pub mod drift;
 pub mod expert;
 pub mod faults;
+pub mod grid;
 pub mod model;
 pub mod paper;
 pub mod program;
 
-use crate::error::{Error, Result};
-use abbd_ate::{test_population, DeviceLog, NoiseModel, TestProgram};
-use abbd_blocks::{sample_defective_devices, Circuit, Device, FaultUniverse};
+use crate::error::Result;
+use abbd_ate::{DeviceLog, NoiseModel, TestProgram};
+use abbd_blocks::{Circuit, Device, FaultUniverse};
 use abbd_core::{CircuitModel, DiagnosticEngine, ExpertKnowledge, LearnAlgorithm, ModelBuilder};
-use abbd_dlog2bbn::{generate_cases, CaseMapping, GenerationStats, NamedCase};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use abbd_dlog2bbn::{CaseMapping, GenerationStats, NamedCase};
 
 /// Default equivalent sample size of the expert estimate. Each CPT row
 /// carries this many pseudo-observations, so the designer's tables anchor
@@ -121,6 +120,12 @@ pub fn synthesize(n_failing: usize, seed: u64, first_id: u64) -> Result<Populati
 /// instead of the rig's default — the lever for fleet-drift scenarios
 /// ([`drift`]): same circuit, same test program, different defect mix.
 ///
+/// Delegates to the scenario engine's device-level sampler
+/// ([`abbd_scenarios::synthesize_failing`]) under the production noise
+/// model; the draw sequence is identical to the historical in-crate
+/// loop, so seeded populations (and the golden-trace corpus built on
+/// them) are unchanged.
+///
 /// # Errors
 ///
 /// Propagates simulation and case-generation errors.
@@ -131,42 +136,22 @@ pub fn synthesize_with(
     seed: u64,
     first_id: u64,
 ) -> Result<Population> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut devices: Vec<Device> = Vec::with_capacity(n_failing);
-    let mut logs: Vec<DeviceLog> = Vec::with_capacity(n_failing);
-    let mut next_id = first_id;
-    let mut guard = 0usize;
-    while logs.len() < n_failing {
-        guard += 1;
-        if guard > n_failing * 20 + 100 {
-            return Err(Error::Pipeline(
-                "fault universe cannot produce enough failing devices".into(),
-            ));
-        }
-        let batch = sample_defective_devices(&rig.circuit, universe, 1, next_id, &mut rng);
-        let Some(device) = batch.into_iter().next() else {
-            return Err(Error::Pipeline("empty fault universe".into()));
-        };
-        next_id += 1;
-        let mut batch_logs = test_population(
-            &rig.circuit,
-            &rig.program,
-            std::slice::from_ref(&device),
-            NoiseModel::production(),
-            &mut rng,
-        )?;
-        let log = batch_logs.pop().expect("one device in, one log out");
-        if !log.all_passed() {
-            devices.push(device);
-            logs.push(log);
-        }
-    }
-    let (cases, stats) = generate_cases(rig.model.spec(), &rig.mapping, &logs)?;
+    let population = abbd_scenarios::synthesize_failing(
+        &rig.circuit,
+        &rig.program,
+        &rig.mapping,
+        rig.model.spec(),
+        universe,
+        n_failing,
+        seed,
+        first_id,
+        &NoiseModel::production(),
+    )?;
     Ok(Population {
-        devices,
-        logs,
-        cases,
-        stats,
+        devices: population.devices,
+        logs: population.logs,
+        cases: population.cases,
+        stats: population.stats,
     })
 }
 

@@ -224,7 +224,7 @@ mod tests {
             &c,
             &program,
             &Device::golden(&c),
-            NoiseModel::none(),
+            &NoiseModel::none(),
             &mut rng,
         )
         .unwrap();

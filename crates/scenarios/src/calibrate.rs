@@ -1,0 +1,447 @@
+//! Noise-calibrated likelihoods: measurement error propagated into the
+//! observable CPTs at fit time.
+//!
+//! The paper's models threshold a measurement into a state band as if
+//! instruments were exact; with a real rack, a reading near a band edge
+//! is a coin flip and the network's likelihoods should say so. Two fit
+//! paths:
+//!
+//! * [`fit_fault_hypotheses`] — circuit-backed: Monte-Carlo-simulate
+//!   every fault hypothesis of a [`FaultLibrary`] through a discretised
+//!   [`FamilyProgram`] under a per-instrument [`NoiseModel`], and tally
+//!   the noisy readings into a single-latent hypothesis model whose
+//!   observable CPTs *are* the noise-calibrated likelihoods.
+//! * [`calibrate_observables`] — model-only: fold a per-state noise
+//!   confusion matrix into an existing [`ExpertKnowledge`] table, for
+//!   models (like the synthetic board) that never touch a circuit.
+//!
+//! Both emit a [`CalibrationReport`] comparing *modelled*
+//! misclassification (what the calibrated CPTs claim) against
+//! *empirical* misclassification (a fresh, independently seeded
+//! Monte-Carlo batch), so a fit that distorts the likelihoods instead of
+//! calibrating them is caught by inspection — or by a test asserting
+//! [`CalibrationReport::max_gap`] stays small.
+
+use crate::error::{Error, Result};
+use crate::family::FamilyProgram;
+use crate::faults::{FaultKind, FaultLibrary};
+use crate::SEED_MIX;
+use abbd_ate::{test_device, NoiseModel};
+use abbd_blocks::{standard_normal, Circuit, Device, DeviceFaults, Fault, Variation};
+use abbd_core::{CircuitModel, DiagnosticModel, ExpertKnowledge, ModelBuilder};
+use abbd_dlog2bbn::{FunctionalType, ModelSpec, StateBand, VariableSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Monte-Carlo fit configuration for [`fit_fault_hypotheses`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McFitConfig {
+    /// Simulated devices per hypothesis state (fit batch; the empirical
+    /// check draws the same number again with fresh seeds).
+    pub samples: usize,
+    /// Base seed; every simulated device derives its stream from
+    /// `(seed, state, sample)`.
+    pub seed: u64,
+    /// Equivalent sample size of the resulting expert tables.
+    pub ess: f64,
+    /// Prior weight of the trailing "healthy" hypothesis, on the same
+    /// scale as the library entry weights.
+    pub healthy_weight: f64,
+}
+
+impl Default for McFitConfig {
+    fn default() -> Self {
+        McFitConfig {
+            samples: 48,
+            seed: 0xCA11_B07E,
+            ess: 8.0,
+            healthy_weight: 4.0,
+        }
+    }
+}
+
+/// Sampling configuration for [`calibrate_observables`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseCalibration {
+    /// Noise draws per observable state.
+    pub samples: usize,
+    /// Base seed; each observable derives its stream from its spec
+    /// index.
+    pub seed: u64,
+}
+
+impl Default for NoiseCalibration {
+    fn default() -> Self {
+        NoiseCalibration {
+            samples: 256,
+            seed: 0x0b5e_70e5,
+        }
+    }
+}
+
+/// Per-observable calibration outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservableCalibration {
+    /// The observable variable.
+    pub variable: String,
+    /// The instrument sigma applied to it.
+    pub sigma: f64,
+    /// Misclassification probability the calibrated CPTs model.
+    pub modelled: f64,
+    /// Misclassification frequency of a fresh, independently seeded
+    /// Monte-Carlo batch.
+    pub empirical: f64,
+}
+
+impl ObservableCalibration {
+    /// `|modelled − empirical|`.
+    pub fn gap(&self) -> f64 {
+        (self.modelled - self.empirical).abs()
+    }
+}
+
+/// The fit-time calibration report: per-observable modelled vs empirical
+/// misclassification.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// One entry per calibrated observable, in spec order.
+    pub entries: Vec<ObservableCalibration>,
+}
+
+impl CalibrationReport {
+    /// The largest modelled-vs-empirical gap across observables (`0.0`
+    /// when nothing was calibrated) — the bound a regression test pins.
+    pub fn max_gap(&self) -> f64 {
+        self.entries.iter().map(|e| e.gap()).fold(0.0, f64::max)
+    }
+
+    /// Renders the report as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("observable                 sigma   modelled  empirical  gap\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:<26} {:>6.4}  {:>8.4}  {:>9.4}  {:>6.4}\n",
+                e.variable,
+                e.sigma,
+                e.modelled,
+                e.empirical,
+                e.gap()
+            ));
+        }
+        out
+    }
+}
+
+/// A fitted single-latent hypothesis model over a fault library and a
+/// discretised test family.
+#[derive(Debug, Clone)]
+pub struct HypothesisFit {
+    /// The fitted model: latent [`HypothesisFit::fault_var`] →
+    /// every family observable, CPTs Monte-Carlo-calibrated under the
+    /// noise model.
+    pub model: DiagnosticModel,
+    /// The latent hypothesis variable's name (`"fault"`).
+    pub fault_var: String,
+    /// Hypothesis state tags, in state order — library entry tags
+    /// followed by `"healthy"`.
+    pub tags: Vec<String>,
+    /// Modelled vs empirical misclassification per observable.
+    pub report: CalibrationReport,
+}
+
+impl HypothesisFit {
+    /// The state index of a hypothesis tag, if present.
+    pub fn state_of(&self, tag: &str) -> Option<usize> {
+        self.tags.iter().position(|t| t == tag)
+    }
+}
+
+/// Laplace-smoothed probability row from a tally.
+fn smoothed_row(tally: &[usize], samples: usize) -> Vec<f64> {
+    let card = tally.len();
+    let denom = samples as f64 + 0.5 * card as f64;
+    tally.iter().map(|&c| (c as f64 + 0.5) / denom).collect()
+}
+
+/// Bins a reading with a spec variable, clamping out-of-band readings to
+/// the nearest band (non-finite readings land in band 0).
+fn bin_clamped(var: &VariableSpec, value: f64) -> usize {
+    if let Some(s) = var.bin(value) {
+        return s;
+    }
+    if !value.is_finite() {
+        return 0;
+    }
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (s, band) in var.bands.iter().enumerate() {
+        let d = if value < band.lo {
+            band.lo - value
+        } else if value > band.hi {
+            value - band.hi
+        } else {
+            0.0
+        };
+        if d < best_d {
+            best_d = d;
+            best = s;
+        }
+    }
+    best
+}
+
+/// Fits a noise-calibrated hypothesis model: one latent `"fault"`
+/// variable whose states are the library's entries (plus a trailing
+/// `"healthy"` state) driving every observable of the discretised
+/// family, with CPTs tallied from seeded Monte-Carlo simulation of each
+/// hypothesis through the family's test program under `noise`.
+///
+/// Device-fault entries simulate a faulted device;
+/// [`FaultKind::DegradedInstrument`] entries simulate a *healthy* device
+/// measured through the degraded instrument — the hypothesis space spans
+/// both "the part is bad" and "the rack is lying".
+///
+/// Deterministic for a fixed config: device `(state s, sample k)` draws
+/// from a stream seeded with `seed ^ ((s·samples + k) · SEED_MIX)`.
+///
+/// # Errors
+///
+/// Returns [`Error::Scenario`] for an empty library or a zero-sample
+/// config, and propagates circuit, simulation and model-build failures.
+pub fn fit_fault_hypotheses(
+    circuit: &Circuit,
+    library: &FaultLibrary,
+    fam: &FamilyProgram,
+    noise: &NoiseModel,
+    cfg: &McFitConfig,
+) -> Result<HypothesisFit> {
+    if library.is_empty() {
+        return Err(Error::Scenario(
+            "cannot fit hypotheses over an empty fault library".into(),
+        ));
+    }
+    if cfg.samples == 0 {
+        return Err(Error::Scenario(
+            "McFitConfig.samples must be positive".into(),
+        ));
+    }
+    let entries = library.entries();
+    let n_states = entries.len() + 1;
+    let healthy = n_states - 1;
+    let mut tags: Vec<String> = entries.iter().map(|e| e.tag()).collect();
+    tags.push("healthy".into());
+
+    // Per-state injection: the device fault to fabricate with, and the
+    // noise model the readings pass through.
+    let mut state_faults: Vec<Option<Fault>> = Vec::with_capacity(n_states);
+    let mut state_noise: Vec<NoiseModel> = Vec::with_capacity(n_states);
+    for entry in entries {
+        match entry.kind {
+            FaultKind::DegradedInstrument(factor) => {
+                state_faults.push(None);
+                state_noise.push(noise.clone().degraded(entry.target.clone(), factor));
+            }
+            _ => {
+                let block = circuit.require_block(&entry.target)?;
+                let mode = entry
+                    .kind
+                    .device_mode()
+                    .expect("non-instrument kinds map to device modes");
+                state_faults.push(Some(Fault::new(block, mode)));
+                state_noise.push(noise.clone());
+            }
+        }
+    }
+    state_faults.push(None);
+    state_noise.push(noise.clone());
+
+    // Hypothesis spec: the latent followed by the family observables.
+    let fault_var = "fault".to_string();
+    let mut vars = Vec::with_capacity(1 + fam.variables.len());
+    vars.push(VariableSpec {
+        name: fault_var.clone(),
+        ftype: FunctionalType::Latent,
+        bands: tags
+            .iter()
+            .enumerate()
+            .map(|(i, tag)| StateBand::new(tag.clone(), i as f64, i as f64 + 0.5, tag.clone()))
+            .collect(),
+        ckt_ref: None,
+    });
+    vars.extend(fam.variables.iter().cloned());
+    let spec = ModelSpec::new(vars)?;
+    let mut model = CircuitModel::new(spec);
+    let entry_states: Vec<usize> = (0..healthy).collect();
+    model.set_fault_states(&fault_var, &entry_states)?;
+    for v in &fam.variables {
+        model.depends(&fault_var, &v.name)?;
+        model.set_fault_states(&v.name, &[0, 2])?;
+    }
+
+    // Monte-Carlo tally: fit batch indices 0..n_states·samples, then an
+    // extra healthy batch for the empirical check.
+    let n_obs = fam.variables.len();
+    let mut tally = vec![vec![vec![0usize; 3]; n_states]; n_obs];
+    let mut empirical_fail = vec![0usize; n_obs];
+    for s in 0..=n_states {
+        let (inject, batch_noise) = if s < n_states {
+            (state_faults[s], &state_noise[s])
+        } else {
+            (None, &state_noise[healthy])
+        };
+        for k in 0..cfg.samples {
+            let idx = (s * cfg.samples + k) as u64;
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ idx.wrapping_mul(SEED_MIX));
+            let device = Device {
+                id: idx,
+                variation: Variation::sample(circuit.block_count(), &mut rng),
+                faults: inject.map(DeviceFaults::single).unwrap_or_default(),
+            };
+            let log = test_device(circuit, &fam.program, &device, batch_noise, &mut rng)?;
+            debug_assert_eq!(log.records.len(), n_obs);
+            for (j, record) in log.records.iter().enumerate() {
+                let bin = bin_clamped(&fam.variables[j], record.value);
+                if s < n_states {
+                    tally[j][s][bin] += 1;
+                } else if bin != 1 {
+                    empirical_fail[j] += 1;
+                }
+            }
+        }
+    }
+
+    // Expert tables: weighted prior over hypotheses, tallied likelihoods
+    // per observable.
+    let mut expert = ExpertKnowledge::new(cfg.ess);
+    let mut prior: Vec<f64> = entries.iter().map(|e| e.weight.max(0.0)).collect();
+    prior.push(cfg.healthy_weight.max(0.0));
+    let total: f64 = prior.iter().sum();
+    if total <= 0.0 {
+        return Err(Error::Scenario(
+            "hypothesis prior has no positive weight".into(),
+        ));
+    }
+    for w in &mut prior {
+        *w /= total;
+    }
+    expert.cpt(&fault_var, [prior]);
+    let mut report = CalibrationReport::default();
+    for (j, v) in fam.variables.iter().enumerate() {
+        let rows: Vec<Vec<f64>> = (0..n_states)
+            .map(|s| smoothed_row(&tally[j][s], cfg.samples))
+            .collect();
+        let modelled = 1.0 - rows[healthy][1];
+        let (_, number, _) = fam.var_test[j];
+        let sigma = fam
+            .program
+            .find_test(number)
+            .map(|(_, t)| noise.sigma_for(circuit.net_name(t.measured)))
+            .unwrap_or(noise.sigma);
+        report.entries.push(ObservableCalibration {
+            variable: v.name.clone(),
+            sigma,
+            modelled,
+            empirical: empirical_fail[j] as f64 / cfg.samples as f64,
+        });
+        expert.cpt(&v.name, rows);
+    }
+
+    let model = ModelBuilder::new(model)
+        .with_expert(expert)
+        .build_expert_only()?;
+    Ok(HypothesisFit {
+        model,
+        fault_var,
+        tags,
+        report,
+    })
+}
+
+/// Noise confusion matrix of one banded variable: `m[s][j]` is the
+/// probability a value truly in band `s` reads back in band `j` after a
+/// Gaussian draw of `sigma`.
+fn confusion(var: &VariableSpec, sigma: f64, samples: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let card = var.card();
+    let mut m = vec![vec![0.0f64; card]; card];
+    for (s, band) in var.bands.iter().enumerate() {
+        for _ in 0..samples {
+            let true_value = if band.hi > band.lo {
+                band.lo + rng.gen::<f64>() * (band.hi - band.lo)
+            } else {
+                band.lo
+            };
+            let read = true_value + standard_normal(rng) * sigma;
+            m[s][bin_clamped(var, read)] += 1.0;
+        }
+        for p in &mut m[s] {
+            *p /= samples as f64;
+        }
+    }
+    m
+}
+
+/// Folds per-instrument measurement noise into the expert CPTs of every
+/// observable that has one: each row becomes `row × M`, where `M` is the
+/// variable's Monte-Carlo noise confusion matrix under
+/// [`NoiseModel::sigma_for`] (keyed by *variable name* — add overrides
+/// named after model variables to degrade a single observable). This is
+/// the model-only calibration path for networks with no behavioural
+/// circuit behind them, applied between expert estimation and learning.
+///
+/// Returns the calibration report; variables without an expert table and
+/// zero-sigma instruments are left untouched and unreported.
+///
+/// # Errors
+///
+/// Returns [`Error::Scenario`] for a zero-sample config.
+pub fn calibrate_observables(
+    model: &CircuitModel,
+    expert: &mut ExpertKnowledge,
+    noise: &NoiseModel,
+    cfg: &NoiseCalibration,
+) -> Result<CalibrationReport> {
+    if cfg.samples == 0 {
+        return Err(Error::Scenario(
+            "NoiseCalibration.samples must be positive".into(),
+        ));
+    }
+    let mut report = CalibrationReport::default();
+    for (vi, var) in model.spec().variables().iter().enumerate() {
+        if !var.ftype.is_observable() {
+            continue;
+        }
+        let sigma = noise.sigma_for(&var.name);
+        if sigma <= 0.0 {
+            continue;
+        }
+        let Some(table) = expert.table(&var.name).map(<[f64]>::to_vec) else {
+            continue;
+        };
+        let card = var.card();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (vi as u64).wrapping_mul(SEED_MIX));
+        let m = confusion(var, sigma, cfg.samples, &mut rng);
+        let mut eval_rng =
+            StdRng::seed_from_u64(cfg.seed ^ SEED_MIX ^ (vi as u64).wrapping_mul(SEED_MIX));
+        let m_eval = confusion(var, sigma, cfg.samples, &mut eval_rng);
+        let rows: Vec<Vec<f64>> = table
+            .chunks(card)
+            .map(|row| {
+                (0..card)
+                    .map(|j| (0..card).map(|s| row[s] * m[s][j]).sum())
+                    .collect()
+            })
+            .collect();
+        expert.cpt(&var.name, rows);
+        let diag = |mat: &[Vec<f64>]| {
+            1.0 - mat.iter().enumerate().map(|(s, r)| r[s]).sum::<f64>() / card as f64
+        };
+        report.entries.push(ObservableCalibration {
+            variable: var.name.clone(),
+            sigma,
+            modelled: diag(&m),
+            empirical: diag(&m_eval),
+        });
+    }
+    Ok(report)
+}

@@ -1,0 +1,69 @@
+//! Scenario-engine errors.
+
+use std::fmt;
+
+/// Everything that can go wrong while generating scenarios.
+#[derive(Debug)]
+pub enum Error {
+    /// The virtual ATE failed (program validation, unknown test, …).
+    Ate(abbd_ate::Error),
+    /// The Bayesian-network layer failed (unknown variable, bad row, …).
+    Bbn(abbd_bbn::Error),
+    /// The behavioural circuit layer failed (unknown net or block, …).
+    Blocks(abbd_blocks::Error),
+    /// The diagnosis core failed (model build, spec lookup, …).
+    Core(abbd_core::Error),
+    /// Datalog-to-case conversion failed.
+    Dlog(abbd_dlog2bbn::Error),
+    /// A scenario pipeline invariant was violated (exhausted fault
+    /// universe, non-converging golden device, empty library, …).
+    Scenario(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Ate(e) => write!(f, "ate: {e}"),
+            Error::Bbn(e) => write!(f, "bbn: {e}"),
+            Error::Blocks(e) => write!(f, "blocks: {e}"),
+            Error::Core(e) => write!(f, "core: {e}"),
+            Error::Dlog(e) => write!(f, "dlog2bbn: {e}"),
+            Error::Scenario(msg) => write!(f, "scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<abbd_ate::Error> for Error {
+    fn from(e: abbd_ate::Error) -> Self {
+        Error::Ate(e)
+    }
+}
+
+impl From<abbd_bbn::Error> for Error {
+    fn from(e: abbd_bbn::Error) -> Self {
+        Error::Bbn(e)
+    }
+}
+
+impl From<abbd_blocks::Error> for Error {
+    fn from(e: abbd_blocks::Error) -> Self {
+        Error::Blocks(e)
+    }
+}
+
+impl From<abbd_core::Error> for Error {
+    fn from(e: abbd_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<abbd_dlog2bbn::Error> for Error {
+    fn from(e: abbd_dlog2bbn::Error) -> Self {
+        Error::Dlog(e)
+    }
+}
+
+/// Scenario-engine result alias.
+pub type Result<T> = std::result::Result<T, Error>;

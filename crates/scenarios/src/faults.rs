@@ -1,0 +1,307 @@
+//! The fault-mode library: a named, weighted catalogue of fault modes
+//! that injects at every level of the stack.
+//!
+//! A [`FaultEntry`] names a target (a circuit block / model latent, or a
+//! measured net for instrument faults), a [`FaultKind`] and an occurrence
+//! weight. One [`FaultLibrary`] then drives:
+//!
+//! * **device-level** injection — [`FaultLibrary::universe`] compiles the
+//!   device kinds into an [`abbd_blocks::FaultUniverse`] for the virtual
+//!   ATE's defective-population samplers;
+//! * **model-level** injection — [`FaultLibrary::sample_model_entry`]
+//!   picks a weighted entry whose latent fault state seeds truth-map
+//!   construction ([`crate::population`]), and [`pin_prior`] rewrites the
+//!   latent's CPT prior so a fitted model *believes* the scenario;
+//! * **tester-level** injection — [`FaultLibrary::noise_model`] folds the
+//!   degraded-instrument kinds into an [`abbd_ate::NoiseModel`] as
+//!   per-net sigma overrides.
+
+use crate::error::{Error, Result};
+use abbd_ate::NoiseModel;
+use abbd_blocks::{Circuit, Fault, FaultMode, FaultUniverse};
+use abbd_core::{CircuitModel, ExpertKnowledge};
+use rand::Rng;
+
+/// What a fault mode does, abstracted over injection level.
+///
+/// The first six kinds are *device* faults (they map onto
+/// [`abbd_blocks::FaultMode`] behaviours); [`FaultKind::DegradedInstrument`]
+/// is a *measurement-path* fault — the device is healthy, one instrument
+/// is noisy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Open defect: the block's output floats (high-impedance node).
+    Open,
+    /// Short defect: the block's output is shorted to its first input.
+    Short,
+    /// The block is dead (output stuck at the low rail).
+    Dead,
+    /// Output stuck at a fixed voltage regardless of inputs.
+    StuckAt(f64),
+    /// Parameter drift: gain scaled by the factor.
+    GainDrift(f64),
+    /// Parameter drift: output offset shifted by the voltage.
+    OffsetDrift(f64),
+    /// The instrument measuring the target net is degraded: its noise
+    /// sigma is the rack's base sigma scaled by this factor.
+    DegradedInstrument(f64),
+}
+
+impl FaultKind {
+    /// The behavioural device fault this kind injects, or `None` for
+    /// measurement-path kinds.
+    pub fn device_mode(&self) -> Option<FaultMode> {
+        match *self {
+            FaultKind::Open => Some(FaultMode::FloatingOutput),
+            FaultKind::Short => Some(FaultMode::ShortToInput),
+            FaultKind::Dead => Some(FaultMode::Dead),
+            FaultKind::StuckAt(v) => Some(FaultMode::StuckAt(v)),
+            FaultKind::GainDrift(k) => Some(FaultMode::GainDrift(k)),
+            FaultKind::OffsetDrift(dv) => Some(FaultMode::OffsetDrift(dv)),
+            FaultKind::DegradedInstrument(_) => None,
+        }
+    }
+
+    /// `true` for measurement-path kinds (no device fault is injected).
+    pub fn is_instrument(&self) -> bool {
+        matches!(self, FaultKind::DegradedInstrument(_))
+    }
+
+    /// Short human tag, identical to [`FaultMode::tag`] for device kinds
+    /// so library tags match the ATE's datalog ground-truth labels.
+    pub fn tag(&self) -> String {
+        match *self {
+            FaultKind::DegradedInstrument(factor) => format!("noise×{factor:.1}"),
+            _ => self
+                .device_mode()
+                .expect("non-instrument kinds map to device modes")
+                .tag(),
+        }
+    }
+}
+
+impl From<FaultMode> for FaultKind {
+    fn from(mode: FaultMode) -> Self {
+        match mode {
+            FaultMode::FloatingOutput => FaultKind::Open,
+            FaultMode::ShortToInput => FaultKind::Short,
+            FaultMode::Dead => FaultKind::Dead,
+            FaultMode::StuckAt(v) => FaultKind::StuckAt(v),
+            FaultMode::GainDrift(k) => FaultKind::GainDrift(k),
+            FaultMode::OffsetDrift(dv) => FaultKind::OffsetDrift(dv),
+        }
+    }
+}
+
+/// One catalogued fault mode: target, kind and relative occurrence
+/// weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEntry {
+    /// The faulted circuit block / model latent — or, for
+    /// [`FaultKind::DegradedInstrument`], the measured net.
+    pub target: String,
+    /// The fault mode.
+    pub kind: FaultKind,
+    /// Relative occurrence weight (must be positive to be sampled).
+    pub weight: f64,
+    /// The latent state the fault manifests as at the model level.
+    /// `None` uses the model's first declared fault state of the target.
+    pub model_state: Option<usize>,
+}
+
+impl FaultEntry {
+    /// `"target:mode"` — the ground-truth label format the ATE writes
+    /// into [`abbd_ate::DeviceLog::truth`].
+    pub fn tag(&self) -> String {
+        format!("{}:{}", self.target, self.kind.tag())
+    }
+}
+
+/// A weighted catalogue of fault modes — the scenario engine's source of
+/// defects for every model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultLibrary {
+    entries: Vec<FaultEntry>,
+}
+
+impl FaultLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        FaultLibrary {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds one entry (builder style).
+    pub fn add(&mut self, target: impl Into<String>, kind: FaultKind, weight: f64) -> &mut Self {
+        self.entries.push(FaultEntry {
+            target: target.into(),
+            kind,
+            weight,
+            model_state: None,
+        });
+        self
+    }
+
+    /// All entries, in declaration order.
+    pub fn entries(&self) -> &[FaultEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the library has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The device-fault entries (everything except instrument kinds).
+    pub fn device_entries(&self) -> impl Iterator<Item = &FaultEntry> {
+        self.entries.iter().filter(|e| !e.kind.is_instrument())
+    }
+
+    /// Compiles the device-fault entries into a weighted
+    /// [`FaultUniverse`] over a circuit instance — the sampler the
+    /// virtual ATE's defective-population flow consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Blocks`] when an entry targets a block the
+    /// circuit does not contain.
+    pub fn universe(&self, circuit: &Circuit) -> Result<FaultUniverse> {
+        let mut universe = FaultUniverse::new();
+        for entry in self.device_entries() {
+            let id = circuit.require_block(&entry.target)?;
+            let mode = entry
+                .kind
+                .device_mode()
+                .expect("device_entries filters instrument kinds");
+            universe.add(Fault::new(id, mode), entry.weight);
+        }
+        Ok(universe)
+    }
+
+    /// Folds the degraded-instrument entries into `base` as per-net
+    /// sigma overrides — the tester-level injection.
+    pub fn noise_model(&self, base: NoiseModel) -> NoiseModel {
+        self.entries
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::DegradedInstrument(factor) => Some((e.target.clone(), factor)),
+                _ => None,
+            })
+            .fold(base, |noise, (net, factor)| noise.degraded(net, factor))
+    }
+
+    /// Samples one *model-level* entry (device kinds only, weighted) —
+    /// the seed of a labelled model scenario. Returns `None` when no
+    /// device entry has positive weight.
+    pub fn sample_model_entry<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&FaultEntry> {
+        let total: f64 = self
+            .device_entries()
+            .map(|e| e.weight.max(0.0))
+            .sum::<f64>();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut draw = rng.gen::<f64>() * total;
+        let mut last = None;
+        for entry in self.device_entries() {
+            let w = entry.weight.max(0.0);
+            if w <= 0.0 {
+                continue;
+            }
+            last = Some(entry);
+            if draw < w {
+                return Some(entry);
+            }
+            draw -= w;
+        }
+        last
+    }
+
+    /// The latent fault state an entry manifests as under `model`: the
+    /// explicit [`FaultEntry::model_state`] if set, otherwise the first
+    /// declared fault state of the target variable.
+    pub fn model_state_of(&self, model: &CircuitModel, entry: &FaultEntry) -> usize {
+        entry.model_state.unwrap_or_else(|| {
+            model
+                .fault_states(&entry.target)
+                .first()
+                .copied()
+                .unwrap_or(0)
+        })
+    }
+}
+
+impl FromIterator<(String, FaultKind, f64)> for FaultLibrary {
+    fn from_iter<T: IntoIterator<Item = (String, FaultKind, f64)>>(iter: T) -> Self {
+        let mut lib = FaultLibrary::new();
+        for (target, kind, weight) in iter {
+            lib.add(target, kind, weight);
+        }
+        lib
+    }
+}
+
+impl<'a> FromIterator<(&'a str, FaultKind, f64)> for FaultLibrary {
+    fn from_iter<T: IntoIterator<Item = (&'a str, FaultKind, f64)>>(iter: T) -> Self {
+        iter.into_iter()
+            .map(|(t, k, w)| (t.to_string(), k, w))
+            .collect()
+    }
+}
+
+/// Rewrites a latent's CPT prior in an [`ExpertKnowledge`] so that
+/// `mass` of every row's probability sits on `state` — the model-level
+/// face of fault injection: a scenario-conditioned model that *expects*
+/// the fault, used for drifted-prior studies and for building
+/// per-scenario reference posteriors.
+///
+/// The remaining `1 - mass` is spread uniformly over the other states.
+/// All parent configurations get the same row (the injected belief is
+/// unconditional).
+///
+/// # Errors
+///
+/// Returns [`Error::Core`] when `variable` is not in the model's spec,
+/// and [`Error::Scenario`] when `state` is out of range or `mass` is not
+/// a probability.
+pub fn pin_prior(
+    expert: &mut ExpertKnowledge,
+    model: &CircuitModel,
+    variable: &str,
+    state: usize,
+    mass: f64,
+) -> Result<()> {
+    let spec = model.spec();
+    let card = spec.require(variable)?.card();
+    if state >= card {
+        return Err(Error::Scenario(format!(
+            "state {state} out of range for `{variable}` (card {card})"
+        )));
+    }
+    if !(0.0..=1.0).contains(&mass) {
+        return Err(Error::Scenario(format!("prior mass {mass} outside [0, 1]")));
+    }
+    let rest = if card > 1 {
+        (1.0 - mass) / (card - 1) as f64
+    } else {
+        0.0
+    };
+    let row: Vec<f64> = (0..card)
+        .map(|s| if s == state { mass } else { rest })
+        .collect();
+    let configs: usize = model
+        .parents_of(variable)
+        .iter()
+        .map(|p| spec.require(p).map(|v| v.card()))
+        .collect::<std::result::Result<Vec<_>, _>>()?
+        .into_iter()
+        .product();
+    expert.cpt(variable, std::iter::repeat_n(row, configs.max(1)));
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! # abbd-scenarios — the scenario engine
+//!
+//! Diagnosis workloads are generated here instead of hand-coded. The
+//! paper's block-level Bayesian diagnosis is only as good as the fault
+//! scenarios and test designs it is exercised on; this crate turns the
+//! three hand-built regulator case studies and the one synthetic board
+//! into *families* of labelled workloads that every downstream layer
+//! (planner, server, fleet loop, benches) can draw from.
+//!
+//! ## Scenario engine
+//!
+//! Three pillars, one per module:
+//!
+//! 1. **Fault-mode library** ([`faults`]) — opens, shorts, stuck-at,
+//!    parameter drift and degraded-instrument modes as composable
+//!    [`FaultEntry`] injectors. One [`FaultLibrary`] drives all three
+//!    injection levels: device-level (an [`abbd_blocks::FaultUniverse`]
+//!    for the virtual ATE), model-level (forcing a latent's fault state
+//!    and rewriting its CPT prior via [`pin_prior`]), and tester-level
+//!    (folding degraded instruments into an [`abbd_ate::NoiseModel`]).
+//! 2. **Stimulus-parameterised test families** ([`family`]) — a
+//!    [`TestFamily`] sweeps a stimulus grid (supply × enable, voltage ×
+//!    load, …) and discretises every grid point into limit-checked
+//!    specification tests: one [`abbd_ate::TestSuite`] per point, one
+//!    observable model variable and one `Action::Test` candidate per
+//!    measurement. A 6 × 2 grid over five outputs hands
+//!    `DiagnosisSession::rank_actions` a 60-candidate menu priced
+//!    per-family through `CostModel` suite assignments and executed
+//!    through the [`abbd_ate::OnDemandTester`].
+//! 3. **Noise-calibrated likelihoods** ([`calibrate`]) — per-instrument
+//!    noise models are Monte-Carlo-propagated into the observable CPTs
+//!    at fit time ([`fit_fault_hypotheses`] for circuit-backed grids,
+//!    [`calibrate_observables`] for any band-specified model), so the
+//!    network's likelihoods reflect measurement error instead of hard
+//!    thresholds. Every fit emits a [`CalibrationReport`] comparing
+//!    modelled against empirical misclassification per observable.
+//!
+//! Population samplers ([`population`]) tie the pillars together: the
+//! same library generates labelled device fleets for the regulator (via
+//! the behavioural circuit and virtual ATE) and for the 100-variable
+//! board (via ancestral sampling on the fitted network) through one API,
+//! and every sampler takes an explicit seed and is byte-reproducible.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod calibrate;
+mod error;
+pub mod family;
+pub mod faults;
+pub mod population;
+
+pub use calibrate::{
+    calibrate_observables, fit_fault_hypotheses, CalibrationReport, HypothesisFit, McFitConfig,
+    NoiseCalibration, ObservableCalibration,
+};
+pub use error::{Error, Result};
+pub use family::{FamilyMeasure, FamilyProgram, StimulusAxis, TestFamily};
+pub use faults::{pin_prior, FaultEntry, FaultKind, FaultLibrary};
+pub use population::{
+    most_likely_truth, sample_model_population, sample_truth, scenario_executor,
+    synthesize_failing, CircuitPopulation, FaultLabel, ModelScenario,
+};
+
+/// The golden-ratio multiplier every sampler mixes ids and indices into
+/// seeds with — the same constant the ATE batch harness uses, so streams
+/// never collide and every draw is reproducible from `(seed, index)`.
+pub(crate) const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;

@@ -1,0 +1,330 @@
+//! Population samplers: labelled scenarios for *any* model through one
+//! API, plus the circuit-backed failing-population pipeline.
+//!
+//! Two sampling levels, one library:
+//!
+//! * **Model-level** ([`sample_model_population`]) works for every
+//!   fitted model — regulator, 100-variable board, or a served bundle —
+//!   by forcing a library-sampled latent into its fault state and
+//!   ancestral-sampling the rest of the network. Each draw is a
+//!   [`ModelScenario`]: a full ground-truth assignment, the fault label,
+//!   and the observation a no-stop-on-fail datalog would produce.
+//! * **Device-level** ([`synthesize_failing`]) drives the behavioural
+//!   circuit and virtual ATE: sample a defective device from the
+//!   library's universe, test it, keep it if it fails, convert datalogs
+//!   to cases — the paper's "customer returns" flow, generalised out of
+//!   the regulator module so any circuit-backed design can use it.
+//!
+//! Every sampler takes an explicit seed and mixes indices with the
+//! crate's golden-ratio constant (`SEED_MIX`); outputs are
+//! byte-reproducible across runs and across debug/release builds.
+
+use crate::error::{Error, Result};
+use crate::faults::FaultLibrary;
+use crate::SEED_MIX;
+use abbd_ate::{test_population, DeviceLog, NoiseModel, TestProgram};
+use abbd_bbn::Network;
+use abbd_blocks::{sample_defective_devices, Circuit, Device, FaultUniverse};
+use abbd_core::{Action, CircuitModel, DiagnosticModel, Observation, Outcome};
+use abbd_dlog2bbn::{generate_cases, CaseMapping, GenerationStats, ModelSpec, NamedCase};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The seeded fault of a model-level scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultLabel {
+    /// The faulted latent block.
+    pub block: String,
+    /// The library tag (`"block:mode"`).
+    pub tag: String,
+    /// The latent state the fault manifests as.
+    pub state: usize,
+}
+
+/// One labelled scenario over a model: ground truth for every variable,
+/// the seeded fault, and a deterministic name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelScenario {
+    /// Deterministic scenario name (`"s{index}_{block}"`).
+    pub name: String,
+    /// The seeded fault (`None` for healthy draws).
+    pub fault: Option<FaultLabel>,
+    /// Ground-truth state of every model variable.
+    pub truth: BTreeMap<String, usize>,
+}
+
+impl ModelScenario {
+    /// The observation a full no-stop-on-fail pass over this scenario
+    /// produces: every control and observable pinned to its ground-truth
+    /// state, with observables in a fault state marked failing.
+    pub fn observation(&self, model: &CircuitModel) -> Observation {
+        let mut obs = Observation::new();
+        for var in model.spec().variables() {
+            if !(var.ftype.is_control() || var.ftype.is_observable()) {
+                continue;
+            }
+            let Some(&state) = self.truth.get(&var.name) else {
+                continue;
+            };
+            obs.set(var.name.clone(), state);
+            if var.ftype.is_observable() && model.fault_states(&var.name).contains(&state) {
+                obs.mark_failing(var.name.clone());
+            }
+        }
+        obs
+    }
+}
+
+/// Resolves each variable's state in network topological order: forced
+/// variables keep their state, everything else takes `pick`'s choice
+/// from its CPT row given the already-resolved parents.
+fn propagate_truth<F>(
+    network: &Network,
+    forced: &[(String, usize)],
+    mut pick: F,
+) -> Result<BTreeMap<String, usize>>
+where
+    F: FnMut(&[f64]) -> usize,
+{
+    let mut states: Vec<Option<usize>> = vec![None; network.var_count()];
+    let mut forced_by_var: Vec<Option<usize>> = vec![None; network.var_count()];
+    for (name, state) in forced {
+        let var = network.require_var(name)?;
+        forced_by_var[var.index()] = Some(*state);
+    }
+    let mut parent_states: Vec<usize> = Vec::new();
+    for &var in network.topological_order() {
+        let state = if let Some(state) = forced_by_var[var.index()] {
+            state
+        } else {
+            parent_states.clear();
+            for &p in network.parents(var) {
+                parent_states
+                    .push(states[p.index()].expect("topological order resolves parents first"));
+            }
+            let row = network.cpt_row(var, &parent_states)?;
+            pick(row)
+        };
+        states[var.index()] = Some(state);
+    }
+    Ok(network
+        .variables()
+        .map(|v| {
+            (
+                network.name(v).to_string(),
+                states[v.index()].expect("all variables resolved"),
+            )
+        })
+        .collect())
+}
+
+/// The *most likely* ground-truth assignment given forced variables:
+/// every unforced variable takes the argmax of its CPT row given its
+/// (already resolved) parents. Deterministic — this is how archetype
+/// scenarios (the board's "d1", golden-trace seeds) are built from a
+/// fault injection instead of by hand.
+///
+/// # Errors
+///
+/// Returns [`Error::Core`]/[`Error::Scenario`] for unknown forced
+/// variables or out-of-range states.
+pub fn most_likely_truth(
+    network: &Network,
+    forced: &[(String, usize)],
+) -> Result<BTreeMap<String, usize>> {
+    propagate_truth(network, forced, |row| {
+        let mut best = 0usize;
+        for (s, &p) in row.iter().enumerate() {
+            if p > row[best] {
+                best = s;
+            }
+        }
+        best
+    })
+}
+
+/// One *sampled* ground-truth assignment given forced variables:
+/// ancestral sampling from each CPT row. Deterministic for a fixed RNG —
+/// this is how labelled fleets acquire natural per-device variation.
+///
+/// # Errors
+///
+/// Returns [`Error::Core`]/[`Error::Scenario`] for unknown forced
+/// variables or out-of-range states.
+pub fn sample_truth<R: Rng + ?Sized>(
+    network: &Network,
+    forced: &[(String, usize)],
+    rng: &mut R,
+) -> Result<BTreeMap<String, usize>> {
+    propagate_truth(network, forced, |row| {
+        let draw = rng.gen::<f64>();
+        let mut acc = 0.0;
+        for (s, &p) in row.iter().enumerate() {
+            acc += p;
+            if draw < acc {
+                return s;
+            }
+        }
+        row.len().saturating_sub(1)
+    })
+}
+
+/// Samples `n` labelled scenarios over any fitted model: each draw picks
+/// a weighted fault entry from the library, forces the target latent
+/// into its fault state on top of the supplied control assignment, and
+/// ancestral-samples the remaining variables. Works identically for the
+/// regulator and the 100-variable board — the model is the only input
+/// that changes.
+///
+/// Deterministic for a fixed `seed`: scenario `i` draws from a stream
+/// seeded with `seed ^ (i · SEED_MIX)`, so populations are stable under
+/// re-ordering and across builds.
+///
+/// # Errors
+///
+/// Returns [`Error::Scenario`] when the library has no device entries,
+/// and propagates model/spec lookup failures.
+pub fn sample_model_population(
+    model: &DiagnosticModel,
+    library: &FaultLibrary,
+    controls: &[(String, usize)],
+    n: usize,
+    seed: u64,
+) -> Result<Vec<ModelScenario>> {
+    let circuit_model = model.circuit_model();
+    let mut scenarios = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(SEED_MIX));
+        let entry = library
+            .sample_model_entry(&mut rng)
+            .ok_or_else(|| Error::Scenario("fault library has no device entries".into()))?;
+        let state = library.model_state_of(circuit_model, entry);
+        circuit_model.spec().require(&entry.target)?;
+        let mut forced: Vec<(String, usize)> = controls.to_vec();
+        forced.push((entry.target.clone(), state));
+        let truth = sample_truth(model.network(), &forced, &mut rng)?;
+        scenarios.push(ModelScenario {
+            name: format!("s{i:03}_{}", entry.target),
+            fault: Some(FaultLabel {
+                block: entry.target.clone(),
+                tag: entry.tag(),
+                state,
+            }),
+            truth,
+        });
+    }
+    Ok(scenarios)
+}
+
+/// A measurement oracle answering from a scenario's ground truth: tests
+/// and probes read the truth map, and the failing flag follows the
+/// model's fault states. The generic replacement for hand-written
+/// per-design executors in closed-loop (`DiagnosisSession::run`) tests.
+pub fn scenario_executor(
+    model: &CircuitModel,
+    scenario: &ModelScenario,
+) -> impl FnMut(&Action) -> abbd_core::Result<Outcome> {
+    let truth = scenario.truth.clone();
+    let fault_states: BTreeMap<String, Vec<usize>> = truth
+        .keys()
+        .map(|name| (name.clone(), model.fault_states(name)))
+        .collect();
+    move |action: &Action| {
+        let target = action.target();
+        let Some(&state) = truth.get(target) else {
+            return Err(abbd_core::Error::Oracle {
+                variable: target.to_string(),
+                reason: "not on this scenario's bench".into(),
+            });
+        };
+        let failing = fault_states
+            .get(target)
+            .is_some_and(|fs| fs.contains(&state));
+        Ok(Outcome { state, failing })
+    }
+}
+
+/// A synthetic failing population from the circuit-backed pipeline:
+/// devices, datalogs, and the Dlog2BBN cases fitted models learn from.
+#[derive(Debug, Clone)]
+pub struct CircuitPopulation {
+    /// The defective devices, in fabrication order.
+    pub devices: Vec<Device>,
+    /// Their no-stop-on-fail datalogs (ground truth in
+    /// [`DeviceLog::truth`]).
+    pub logs: Vec<DeviceLog>,
+    /// The generated learning cases, one per `(device, suite)`.
+    pub cases: Vec<NamedCase>,
+    /// Case-generation statistics.
+    pub stats: GenerationStats,
+}
+
+/// Fabricates `n_failing` defective devices (the paper's "customer
+/// returns"): sample a fault from the universe, fabricate, run the full
+/// test program, keep the device only if it fails at least one limit,
+/// then convert the surviving datalogs to cases. Deterministic for a
+/// fixed `seed`; `first_id` offsets device serial numbers so separate
+/// populations never collide.
+///
+/// This is the scenario engine's device-level sampler: the regulator's
+/// `synthesize`/`synthesize_with` delegate here, and any circuit-backed
+/// design gets the same flow by supplying its own program, mapping and
+/// universe (e.g. from [`FaultLibrary::universe`]).
+///
+/// # Errors
+///
+/// Returns [`Error::Scenario`] when the universe cannot produce enough
+/// failing devices, and propagates simulation and case-generation
+/// errors.
+#[allow(clippy::too_many_arguments)]
+pub fn synthesize_failing(
+    circuit: &Circuit,
+    program: &TestProgram,
+    mapping: &CaseMapping,
+    spec: &ModelSpec,
+    universe: &FaultUniverse,
+    n_failing: usize,
+    seed: u64,
+    first_id: u64,
+    noise: &NoiseModel,
+) -> Result<CircuitPopulation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut devices: Vec<Device> = Vec::with_capacity(n_failing);
+    let mut logs: Vec<DeviceLog> = Vec::with_capacity(n_failing);
+    let mut next_id = first_id;
+    let mut guard = 0usize;
+    while logs.len() < n_failing {
+        guard += 1;
+        if guard > n_failing * 20 + 100 {
+            return Err(Error::Scenario(
+                "fault universe cannot produce enough failing devices".into(),
+            ));
+        }
+        let batch = sample_defective_devices(circuit, universe, 1, next_id, &mut rng);
+        let Some(device) = batch.into_iter().next() else {
+            return Err(Error::Scenario("empty fault universe".into()));
+        };
+        next_id += 1;
+        let mut batch_logs = test_population(
+            circuit,
+            program,
+            std::slice::from_ref(&device),
+            noise,
+            &mut rng,
+        )?;
+        let log = batch_logs.pop().expect("one device in, one log out");
+        if !log.all_passed() {
+            devices.push(device);
+            logs.push(log);
+        }
+    }
+    let (cases, stats) = generate_cases(spec, mapping, &logs)?;
+    Ok(CircuitPopulation {
+        devices,
+        logs,
+        cases,
+        stats,
+    })
+}

@@ -225,7 +225,7 @@ mod store;
 pub use client::Client;
 pub use error::{ApiError, ErrorBody};
 pub use net::NetStats;
-pub use registry::{ModelBundle, ModelInfo, ModelRegistry};
+pub use registry::{BundleBlock, BundlePartition, ModelBundle, ModelInfo, ModelRegistry};
 pub use service::{
     ActivateReply, ActivateRequest, BatchDiagnosis, BatchEntry, BatchReply, BatchRequest,
     CloseSessionReply, HealthReport, ModelStats, ModelsReport, OpenSessionReply, ServiceState,

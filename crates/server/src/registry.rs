@@ -15,7 +15,10 @@
 
 use crate::error::ApiError;
 use abbd_core::fleet::{ModelLifecycle, RefitPolicy};
-use abbd_core::{CircuitModel, CompiledModel, ExpertKnowledge, HierarchicalModel, ModelBuilder};
+use abbd_core::{
+    BlockSpec, CircuitModel, CompiledModel, DiagnosticModel, ExpertKnowledge, HierarchicalModel,
+    ModelBuilder,
+};
 use abbd_dlog2bbn::ModelSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -37,6 +40,35 @@ pub struct ModelBundle {
     /// Per-variable fault-state overrides (defaults apply when absent).
     #[serde(default)]
     pub fault_states: Vec<(String, Vec<usize>)>,
+    /// Optional hierarchy partition. When present, the bundle registers
+    /// as a compiled abstraction tree instead of a flat model: the board
+    /// answers under the registered name and every block under
+    /// `{name}/{block}`, exactly like the in-process board fixture.
+    #[serde(default)]
+    pub partition: Option<BundlePartition>,
+}
+
+/// A bundle's block partition: the interface variables shared across
+/// blocks, and the blocks themselves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BundlePartition {
+    /// Interface variables (shared rails): visible to every block, no
+    /// block-internal ancestors.
+    pub interface: Vec<String>,
+    /// The blocks, in board order.
+    pub blocks: Vec<BundleBlock>,
+}
+
+/// One block of a [`BundlePartition`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BundleBlock {
+    /// Block name — the `{block}` segment of `{board}/{block}`.
+    pub name: String,
+    /// Member variables (every non-interface parent of a member must be
+    /// a member too).
+    pub members: Vec<String>,
+    /// The members serving as board-level summary observables.
+    pub summary: Vec<String>,
 }
 
 impl ModelBundle {
@@ -55,15 +87,10 @@ impl ModelBundle {
         Ok(bundle)
     }
 
-    /// Builds and compiles the bundle into the servable artifact (the
-    /// expert-only CPT path — fine-tuning on case data happens offline,
-    /// upstream of the server).
-    ///
-    /// # Errors
-    ///
-    /// Returns a `422`-shaped [`ApiError`] for inconsistent bundles
-    /// (unknown edge endpoints, CPT shape mismatches, cyclic structure).
-    pub fn compile(&self) -> Result<Arc<CompiledModel>, ApiError> {
+    /// Builds the fitted (expert-only) flat model the bundle describes —
+    /// the shared front half of both the flat and the partitioned
+    /// compile paths.
+    fn build(&self) -> Result<DiagnosticModel, ApiError> {
         let mut model = CircuitModel::new(self.spec.clone());
         for (parent, child) in &self.edges {
             model
@@ -75,13 +102,48 @@ impl ModelBundle {
                 .set_fault_states(variable, states)
                 .map_err(|e| ApiError::new(422, "invalid_request", e.to_string()))?;
         }
-        let fitted = ModelBuilder::new(model)
+        ModelBuilder::new(model)
             .with_expert(self.expert.clone())
             .build_expert_only()
-            .map_err(|e| ApiError::new(422, "invalid_request", e.to_string()))?;
-        let compiled = CompiledModel::compile(fitted)
+            .map_err(|e| ApiError::new(422, "invalid_request", e.to_string()))
+    }
+
+    /// Builds and compiles the bundle into the servable artifact (the
+    /// expert-only CPT path — fine-tuning on case data happens offline,
+    /// upstream of the server). Ignores any partition stanza; use
+    /// [`ModelBundle::compile_hierarchy`] for the tree form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `422`-shaped [`ApiError`] for inconsistent bundles
+    /// (unknown edge endpoints, CPT shape mismatches, cyclic structure).
+    pub fn compile(&self) -> Result<Arc<CompiledModel>, ApiError> {
+        let compiled = CompiledModel::compile(self.build()?)
             .map_err(|e| ApiError::new(422, "invalid_request", e.to_string()))?;
         Ok(compiled.shared())
+    }
+
+    /// Builds the bundle's partition stanza into a compiled abstraction
+    /// tree. Returns `None` when the bundle has no partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `422`-shaped [`ApiError`] for inconsistent bundles and
+    /// for partitions violating the extraction contract (a member's
+    /// parent outside block and interface, interface with block
+    /// ancestors, unknown names).
+    pub fn compile_hierarchy(&self) -> Result<Option<Arc<HierarchicalModel>>, ApiError> {
+        let Some(partition) = &self.partition else {
+            return Ok(None);
+        };
+        let blocks: Vec<BlockSpec> = partition
+            .blocks
+            .iter()
+            .map(|b| BlockSpec::new(b.name.clone(), b.members.clone(), b.summary.clone()))
+            .collect();
+        let tree = HierarchicalModel::build(self.build()?, partition.interface.clone(), blocks)
+            .map_err(|e| ApiError::new(422, "invalid_request", e.to_string()))?;
+        Ok(Some(tree.shared()))
     }
 }
 
@@ -164,16 +226,23 @@ impl ModelRegistry {
         self
     }
 
-    /// Registers a [`ModelBundle`], compiling it now.
+    /// Registers a [`ModelBundle`], compiling it now. A bundle with a
+    /// partition stanza registers as a hierarchy — the board under
+    /// `name`, each block under `{name}/{block}` — a flat bundle as a
+    /// lifecycle-managed flat model.
     ///
     /// # Errors
     ///
-    /// Propagates [`ModelBundle::compile`] errors.
+    /// Propagates [`ModelBundle::compile`] /
+    /// [`ModelBundle::compile_hierarchy`] errors.
     pub fn insert_bundle(
         self,
         name: impl Into<String>,
         bundle: &ModelBundle,
     ) -> Result<Self, ApiError> {
+        if let Some(tree) = bundle.compile_hierarchy()? {
+            return Ok(self.insert_hierarchy(name, tree));
+        }
         let compiled = bundle.compile()?;
         Ok(self.insert(name, compiled))
     }
@@ -419,6 +488,62 @@ mod tests {
             edges: vec![("src".into(), "out".into())],
             expert,
             fault_states: Vec::new(),
+            partition: None,
+        }
+    }
+
+    /// A two-block board bundle: a `vin` rail feeding two latent/observable
+    /// pairs, partitioned one block per pair.
+    fn board_bundle() -> ModelBundle {
+        let var = |name: &str, ftype| VariableSpec {
+            name: name.into(),
+            ftype,
+            bands: vec![
+                StateBand::new("0", 0.0, 1.0, "bad"),
+                StateBand::new("1", 1.0, 2.0, "good"),
+            ],
+            ckt_ref: None,
+        };
+        let spec = ModelSpec::new([
+            var("vin", FunctionalType::Control),
+            var("lat_a", FunctionalType::Latent),
+            var("obs_a", FunctionalType::Observe),
+            var("lat_b", FunctionalType::Latent),
+            var("obs_b", FunctionalType::Observe),
+        ])
+        .unwrap();
+        let mut expert = ExpertKnowledge::new(10.0);
+        for lat in ["lat_a", "lat_b"] {
+            expert.cpt(lat, [[0.05, 0.95], [0.02, 0.98]]);
+        }
+        for obs in ["obs_a", "obs_b"] {
+            expert.cpt(obs, [[0.95, 0.05], [0.1, 0.9]]);
+        }
+        ModelBundle {
+            spec,
+            edges: vec![
+                ("vin".into(), "lat_a".into()),
+                ("lat_a".into(), "obs_a".into()),
+                ("vin".into(), "lat_b".into()),
+                ("lat_b".into(), "obs_b".into()),
+            ],
+            expert,
+            fault_states: Vec::new(),
+            partition: Some(BundlePartition {
+                interface: vec!["vin".into()],
+                blocks: vec![
+                    BundleBlock {
+                        name: "blk_a".into(),
+                        members: vec!["lat_a".into(), "obs_a".into()],
+                        summary: vec!["obs_a".into()],
+                    },
+                    BundleBlock {
+                        name: "blk_b".into(),
+                        members: vec!["lat_b".into(), "obs_b".into()],
+                        summary: vec!["obs_b".into()],
+                    },
+                ],
+            }),
         }
     }
 
@@ -457,5 +582,40 @@ mod tests {
         assert_eq!(rows[1].latents, 3);
         assert!(registry.get("toy").is_ok());
         assert_eq!(registry.get("ghost").unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn partitioned_bundles_register_as_hierarchies() {
+        let bundle = board_bundle();
+        let json = serde_json::to_string(&bundle).unwrap();
+        let back = ModelBundle::from_json(&json).unwrap();
+        assert_eq!(back, bundle);
+        let registry = ModelRegistry::new()
+            .insert_bundle("board", &back)
+            .unwrap()
+            .freeze();
+        assert_eq!(registry.len(), 1);
+        assert!(registry.hierarchy("board").is_some());
+        let rows = registry.list();
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["board", "board/blk_a", "board/blk_b"]);
+        assert_eq!(rows[0].children, ["board/blk_a", "board/blk_b"]);
+        assert_eq!(rows[1].parent.as_deref(), Some("board"));
+        // A flat bundle (no stanza) still lands in the lifecycle path.
+        assert!(board_bundle().compile().is_ok());
+    }
+
+    #[test]
+    fn bad_partitions_are_422_not_panics() {
+        let mut bundle = board_bundle();
+        // Violates the extraction contract: lat_b's parent vin stays
+        // interface, but obs_b's parent lat_b moves out of the block.
+        bundle.partition.as_mut().unwrap().blocks[1]
+            .members
+            .retain(|m| m != "lat_b");
+        let err = ModelRegistry::new()
+            .insert_bundle("board", &bundle)
+            .unwrap_err();
+        assert_eq!(err.status, 422);
     }
 }

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &rig.circuit,
         &rig.program,
         &devices,
-        NoiseModel::production(),
+        &NoiseModel::production(),
         &mut rng,
     )?;
     let failing: Vec<_> = logs.iter().filter(|l| !l.all_passed()).cloned().collect();

@@ -24,15 +24,23 @@
 //! travel once, every later round re-plans on the session's stored
 //! evidence with an empty delta — the minimal wire cost per decision.
 //!
+//! `--scenario` swaps the fixed d1 body for a labelled fleet from the
+//! scenario engine: every round carries a different device drawn from
+//! the regulator's fault-mode library (controls, observables and failing
+//! marks from the sampled ground truth), so the server sees the evidence
+//! diversity of a real return floor instead of one memoised case.
+//!
 //! ```text
 //! abbd-loadgen [--addr 127.0.0.1:7171] [--model regulator]
 //!              [--mode session|stateless|batch|idle-soak] [--rounds 200]
 //!              [--clients 1] [--connections N] [--batch-size 16]
-//!              [--binary] [--delta] [--soak-secs 10]
+//!              [--binary] [--delta] [--scenario] [--seed 2010]
+//!              [--soak-secs 10]
 //! ```
 
 use abbd::core::{Observation, SessionRequest};
-use abbd::designs::regulator::cases::case_studies;
+use abbd::designs::regulator::{self, cases::case_studies};
+use abbd::scenarios::sample_model_population;
 use abbd::server::{codec, Client, OpenSessionReply, StatsReport};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -48,6 +56,8 @@ struct Args {
     batch_size: usize,
     binary: bool,
     delta: bool,
+    scenario: bool,
+    seed: u64,
     soak_secs: u64,
 }
 
@@ -62,6 +72,8 @@ fn parse_args() -> Result<Args, String> {
         batch_size: 16,
         binary: false,
         delta: false,
+        scenario: false,
+        seed: 2010,
         soak_secs: 10,
     };
     let mut it = std::env::args().skip(1);
@@ -93,6 +105,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--binary" => args.binary = true,
             "--delta" => args.delta = true,
+            "--scenario" => args.scenario = true,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
             "--soak-secs" => {
                 args.soak_secs = value("--soak-secs")?
                     .parse()
@@ -111,6 +129,9 @@ fn parse_args() -> Result<Args, String> {
                      --batch-size N   evidence sets per batch request (default 16)\n  \
                      --binary         compact binary bodies and replies\n  \
                      --delta          incremental session rounds (controls travel once)\n  \
+                     --scenario       per-round bodies drawn from the scenario engine's\n                   \
+                     labelled regulator fleet instead of the fixed d1 case\n  \
+                     --seed N         scenario fleet seed (default 2010)\n  \
                      --soak-secs N    idle-soak hold time (default 10)"
                 );
                 std::process::exit(0);
@@ -127,6 +148,11 @@ fn parse_args() -> Result<Args, String> {
     if args.delta && args.mode != "session" {
         return Err("--delta only makes sense with --mode session".to_string());
     }
+    if args.delta && args.scenario {
+        // Delta rounds post empty bodies after the first, so a per-round
+        // fleet would silently degenerate to one device per connection.
+        return Err("--scenario conflicts with --delta".to_string());
+    }
     if args.batch_size == 0 {
         // `rounds.div_ceil(batch_size)` would divide by zero below.
         return Err("--batch-size must be at least 1".to_string());
@@ -142,7 +168,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// The d1 control states — the workload every mode posts.
+/// The d1 control states — the workload every mode posts by default.
 fn d1_controls() -> Observation {
     let case = &case_studies()[0];
     let mut observation = Observation::new();
@@ -150,6 +176,33 @@ fn d1_controls() -> Observation {
         observation.set(name, state);
     }
     observation
+}
+
+/// The per-round request bodies: the fixed d1 controls, or (with
+/// `--scenario`) one observation per device of a labelled fleet sampled
+/// from the regulator's fault-mode library under the d1 stimulus.
+fn workload(args: &Args) -> Result<Vec<Observation>, String> {
+    if !args.scenario {
+        return Ok(vec![d1_controls()]);
+    }
+    let rig = regulator::rig();
+    let model = abbd::core::ModelBuilder::new(rig.model)
+        .with_expert(rig.expert)
+        .build_expert_only()
+        .map_err(|e| format!("regulator model: {e}"))?;
+    let library = regulator::faults::fault_library();
+    let controls: Vec<(String, usize)> = case_studies()[0]
+        .controls
+        .iter()
+        .map(|&(name, state)| (name.to_string(), state))
+        .collect();
+    let fleet = args.rounds.max(args.batch_size).max(1);
+    let scenarios = sample_model_population(&model, &library, &controls, fleet, args.seed)
+        .map_err(|e| format!("scenario fleet: {e}"))?;
+    Ok(scenarios
+        .iter()
+        .map(|s| s.observation(model.circuit_model()))
+        .collect())
 }
 
 fn check(status: u16, body: &str, what: &str) -> Result<(), String> {
@@ -199,9 +252,16 @@ fn run_client(args: &Args, conns_here: usize) -> Result<ClientTally, String> {
     for _ in 0..conns_here {
         clients.push(Client::connect(&args.addr).map_err(|e| format!("connect: {e}"))?);
     }
-    let full = SessionRequest::new(d1_controls());
-    let full_json = serde_json::to_string(&full).map_err(|e| e.to_string())?;
-    let full_frame = codec::to_frame(&full);
+    let bodies = workload(args)?;
+    let rounds_of: Vec<SessionRequest> = bodies
+        .iter()
+        .map(|obs| SessionRequest::new(obs.clone()))
+        .collect();
+    let jsons: Vec<String> = rounds_of
+        .iter()
+        .map(|r| serde_json::to_string(r).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let frames: Vec<Vec<u8>> = rounds_of.iter().map(codec::to_frame).collect();
     let mut latencies = Vec::with_capacity(args.rounds);
     let mut completed = 0usize;
     let mut rejected = 0usize;
@@ -213,8 +273,8 @@ fn run_client(args: &Args, conns_here: usize) -> Result<ClientTally, String> {
                 if timed_post(
                     client,
                     &path,
-                    &full_json,
-                    &full_frame,
+                    &jsons[i % jsons.len()],
+                    &frames[i % frames.len()],
                     args.binary,
                     "serve",
                     &mut latencies,
@@ -253,21 +313,21 @@ fn run_client(args: &Args, conns_here: usize) -> Result<ClientTally, String> {
                     let _ = timed_post(
                         client,
                         path,
-                        &full_json,
-                        &full_frame,
+                        &jsons[0],
+                        &frames[0],
                         args.binary,
                         "round",
                         &mut warmup,
                     )?;
                 }
             }
-            let (round_json, round_frame) = if args.delta {
-                (&delta_json, &delta_frame)
-            } else {
-                (&full_json, &full_frame)
-            };
             for i in 0..args.rounds {
                 let slot = i % conns_here;
+                let (round_json, round_frame) = if args.delta {
+                    (&delta_json, &delta_frame)
+                } else {
+                    (&jsons[i % jsons.len()], &frames[i % frames.len()])
+                };
                 if timed_post(
                     &mut clients[slot],
                     &paths[slot],
@@ -288,8 +348,9 @@ fn run_client(args: &Args, conns_here: usize) -> Result<ClientTally, String> {
             Ok((completed, rejected, latencies))
         }
         _ => {
-            let observations: Vec<Observation> =
-                (0..args.batch_size).map(|_| d1_controls()).collect();
+            let observations: Vec<Observation> = (0..args.batch_size)
+                .map(|j| bodies[j % bodies.len()].clone())
+                .collect();
             let body = serde_json::to_string(&abbd::server::BatchRequest {
                 observations: observations.clone(),
                 deduction: None,
@@ -455,7 +516,13 @@ fn main() -> ExitCode {
     latencies.sort_unstable();
     let secs = elapsed.as_secs_f64();
     let format_tag = if args.binary { "binary" } else { "json" };
-    let delta_tag = if args.delta { "+delta" } else { "" };
+    let delta_tag = if args.delta {
+        "+delta"
+    } else if args.scenario {
+        "+scenario"
+    } else {
+        ""
+    };
     println!(
         "{} mode ({format_tag}{delta_tag}): {} items in {:.2}s across {} client(s) / {} connection(s) = {:.0} items/sec",
         args.mode, total, secs, args.clients, args.connections,

@@ -152,7 +152,9 @@ const HELP: &str = "abbd-serve: the block-level Bayesian diagnosis service
                            refit endpoint still works on demand)
   --refit-min-rows N       aggregated traces required before a refit
                            attempt (default 32)
-  --model NAME=PATH        register a ModelBundle JSON file (repeatable)";
+  --model NAME=PATH        register a ModelBundle JSON file (repeatable);
+                           a bundle with a `partition` stanza serves as a
+                           hierarchy: NAME plus NAME/{block} children";
 
 fn build_registry(args: &Args) -> Result<ModelRegistry, String> {
     let mut registry = ModelRegistry::new();

@@ -15,6 +15,7 @@
 //! | [`ate`] | `abbd-ate` | specification test programs and datalogs |
 //! | [`dlog2bbn`] | `abbd-dlog2bbn` | the paper's case-generator tool |
 //! | [`core`] | `abbd-core` | model builder, diagnostic engine, candidate deduction |
+//! | [`scenarios`] | `abbd-scenarios` | fault-mode library, stimulus families, noise-calibrated fits |
 //! | [`designs`] | `abbd-designs` | the paper's two reference circuits, end to end |
 //! | [`baselines`] | `abbd-baselines` | fault dictionary, naive Bayes, random floor |
 //! | [`server`] | `abbd-server` | multi-threaded HTTP diagnosis service (registry + session store + batch fan-out) |
@@ -53,4 +54,5 @@ pub use abbd_blocks as blocks;
 pub use abbd_core as core;
 pub use abbd_designs as designs;
 pub use abbd_dlog2bbn as dlog2bbn;
+pub use abbd_scenarios as scenarios;
 pub use abbd_server as server;

@@ -19,15 +19,16 @@
 //! then review the diff like any other code change.
 
 use abbd::core::{
-    CostModel, DecisionTrace, DiagnosticEngine, GoldenCorpus, HierarchicalSession,
-    HierarchicalTrace, StoppingPolicy, Strategy,
+    CostModel, DecisionTrace, DiagnosisSession, DiagnosticEngine, GoldenCorpus,
+    HierarchicalSession, HierarchicalTrace, StoppingPolicy, Strategy,
 };
 use abbd::designs::board::{self, BoardConfig};
 use abbd::designs::regulator::adaptive::{
     cross_suite_population, reference_cost_model, summarize_cross_suite, traced_case_study,
     CrossSuiteReport,
 };
-use abbd::designs::regulator::{self, cases::case_studies};
+use abbd::designs::regulator::{self, cases::case_studies, grid};
+use abbd::scenarios::{sample_model_population, scenario_executor, FaultKind, FaultLibrary};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -157,6 +158,139 @@ fn golden_traces_replay_exactly() {
     assert!(
         mismatches.is_empty(),
         "golden traces diverged:\n  {}\nIf the change is intentional, regenerate with \
+         `ABBD_REGEN_GOLDEN=1 cargo test --test golden_traces` and review the JSON diff.",
+        mismatches.join("\n  ")
+    );
+}
+
+/// The scenario-engine corpus entries (PR 10): library-generated
+/// labelled fleets for both reference designs (mixed fault modes —
+/// dead, drift, stuck-at, short — drawn from one weighted catalogue),
+/// the closed-loop decision trace a sampled regulator scenario produces,
+/// and the 60-candidate stimulus-grid trace. Byte-for-byte conformance
+/// pins the samplers (seed → fleet), the generic scenario oracle, and
+/// the grid loop's suite-switch-priced decisions in one reviewable
+/// artefact set.
+#[test]
+fn scenario_goldens_replay_exactly() {
+    let corpus = corpus();
+    let mut mismatches: Vec<String> = Vec::new();
+
+    // The regulator fleet: the full 19-entry catalogue (dead, gain
+    // drift, stuck-at, short modes) under the d1 stimulus.
+    let rig = regulator::rig();
+    let reg_model = abbd::core::ModelBuilder::new(rig.model)
+        .with_expert(rig.expert)
+        .build_expert_only()
+        .expect("expert-only regulator model builds");
+    let controls: Vec<(String, usize)> = case_studies()[0]
+        .controls
+        .iter()
+        .map(|&(name, state)| (name.to_string(), state))
+        .collect();
+    let reg_fleet = sample_model_population(
+        &reg_model,
+        &regulator::faults::fault_library(),
+        &controls,
+        12,
+        2010,
+    )
+    .expect("regulator fleet samples");
+    let modes: std::collections::BTreeSet<&str> = reg_fleet
+        .iter()
+        .filter_map(|s| s.fault.as_ref())
+        .filter_map(|f| f.tag.split(':').nth(1))
+        .collect();
+    assert!(modes.len() >= 2, "the fleet mixes fault modes: {modes:?}");
+    let mut rendered = serde_json::to_string_pretty(&reg_fleet).expect("fleets serialise");
+    rendered.push('\n');
+    if let Some(m) = corpus.conform("scenario_population_regulator.json", &rendered) {
+        mismatches.push(m);
+    }
+
+    // The 100-variable board fleet: same API, different model and
+    // library.
+    let config = BoardConfig::default();
+    let board_model = board::flat_model(&config).expect("board model builds");
+    let board_library: FaultLibrary = [
+        ("drv00", FaultKind::Dead, 2.0),
+        ("bg03", FaultKind::Dead, 1.0),
+        ("drv07", FaultKind::Dead, 1.5),
+        ("bias11", FaultKind::Dead, 0.5),
+        ("reg_s05", FaultKind::Dead, 1.0),
+    ]
+    .into_iter()
+    .collect();
+    let board_controls = vec![("vin".to_string(), 1), ("vload".to_string(), 0)];
+    let board_fleet =
+        sample_model_population(&board_model, &board_library, &board_controls, 6, 2010)
+            .expect("board fleet samples");
+    let mut rendered = serde_json::to_string_pretty(&board_fleet).expect("fleets serialise");
+    rendered.push('\n');
+    if let Some(m) = corpus.conform("scenario_population_board.json", &rendered) {
+        mismatches.push(m);
+    }
+
+    // The generic oracle closing the loop on a sampled regulator
+    // scenario: the decision stream is corpus-pinned like the hand-built
+    // case studies.
+    let compiled = abbd::core::CompiledModel::compile(reg_model)
+        .expect("regulator model compiles")
+        .shared();
+    let scenario = &reg_fleet[0];
+    let mut session = DiagnosisSession::new(Arc::clone(&compiled), StoppingPolicy::default())
+        .expect("session opens");
+    for (name, state) in &controls {
+        session.observe(name, *state).expect("controls observe");
+    }
+    let (_, trace) = session
+        .run_traced(scenario_executor(
+            compiled.model().circuit_model(),
+            scenario,
+        ))
+        .expect("scenario loop runs");
+    let mut rendered = serde_json::to_string_pretty(&trace).expect("traces serialise");
+    rendered.push('\n');
+    let name = "scenario_regulator_trace.json";
+    if let Some(m) = corpus.conform(name, &rendered) {
+        mismatches.push(m);
+    } else if !corpus.regenerating() {
+        let stored = std::fs::read_to_string(corpus.path(name)).unwrap();
+        let parsed: DecisionTrace = serde_json::from_str(&stored).expect("golden trace parses");
+        assert_eq!(parsed, trace, "{name}: parsed trace differs from replay");
+    }
+
+    // The stimulus-grid loop: a catalogue fault diagnosed against the
+    // noise-calibrated hypothesis model over the full 60-candidate menu.
+    let rig = grid::grid_rig().expect("grid rig builds");
+    let entry = grid::grid_library()
+        .entries()
+        .iter()
+        .find(|e| e.tag() == "reg1:dead")
+        .expect("catalogue has reg1:dead")
+        .clone();
+    let device = grid::device_for_entry(&rig.circuit, &entry, 9001).expect("device fabricates");
+    let noise = grid::noise_for_entry(&entry);
+    let (_, trace, top) = grid::diagnose_device(&rig, &device, &noise, 77).expect("grid loop runs");
+    assert_eq!(top, "reg1:dead", "the grid loop isolates the seeded fault");
+    assert!(
+        trace.steps.first().is_some_and(|s| s.scores.len() >= 50),
+        "the first decision ranks the whole grid menu"
+    );
+    let mut rendered = serde_json::to_string_pretty(&trace).expect("traces serialise");
+    rendered.push('\n');
+    let name = "scenario_grid_trace.json";
+    if let Some(m) = corpus.conform(name, &rendered) {
+        mismatches.push(m);
+    } else if !corpus.regenerating() {
+        let stored = std::fs::read_to_string(corpus.path(name)).unwrap();
+        let parsed: DecisionTrace = serde_json::from_str(&stored).expect("golden trace parses");
+        assert_eq!(parsed, trace, "{name}: parsed trace differs from replay");
+    }
+
+    assert!(
+        mismatches.is_empty(),
+        "scenario goldens diverged:\n  {}\nIf the change is intentional, regenerate with \
          `ABBD_REGEN_GOLDEN=1 cargo test --test golden_traces` and review the JSON diff.",
         mismatches.join("\n  ")
     );

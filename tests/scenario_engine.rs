@@ -1,0 +1,254 @@
+//! PR 10 acceptance harness for the scenario engine: one fault-mode
+//! library API produces labelled populations for *both* reference
+//! designs, every sampler is byte-reproducible from its explicit seed,
+//! noise calibration measurably moves observable CPTs while its report
+//! bounds the modelled-vs-empirical misclassification gap, and the
+//! closed loop isolates a seeded fault from the 60-candidate stimulus
+//! grid.
+
+use abbd::ate::NoiseModel;
+use abbd::core::{DiagnosisSession, DiagnosticModel, StoppingPolicy};
+use abbd::designs::board::{self, BoardConfig};
+use abbd::designs::regulator::{self, grid};
+use abbd::scenarios::{
+    calibrate_observables, sample_model_population, scenario_executor, FaultKind, FaultLibrary,
+    ModelScenario, NoiseCalibration,
+};
+use std::sync::Arc;
+
+/// The regulator's expert-only diagnostic model (no population fit — the
+/// scenario API is model-agnostic, so the cheap build is enough here).
+fn regulator_model() -> DiagnosticModel {
+    let rig = regulator::rig();
+    abbd::core::ModelBuilder::new(rig.model)
+        .with_expert(rig.expert)
+        .build_expert_only()
+        .expect("expert-only regulator model builds")
+}
+
+/// Nominal-on control states (paper Table VI, cases d1/d2).
+fn nominal_controls() -> Vec<(String, usize)> {
+    [
+        ("vp1", 2),
+        ("vp1x", 4),
+        ("vp2", 2),
+        ("enb13_pin", 1),
+        ("enb4_pin", 1),
+        ("enbsw_pin", 1),
+    ]
+    .into_iter()
+    .map(|(n, s)| (n.to_string(), s))
+    .collect()
+}
+
+/// A small board fault library: dead drivers and bandgaps across three
+/// blocks, weighted.
+fn board_library() -> FaultLibrary {
+    [
+        ("drv00", FaultKind::Dead, 2.0),
+        ("bg01", FaultKind::Dead, 1.0),
+        ("drv02", FaultKind::Dead, 1.5),
+        ("bias01", FaultKind::Dead, 0.5),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// One library, two designs: the same `sample_model_population` call
+/// labels fleets over the regulator's 19-variable model and the board's
+/// 100-variable model, and every scenario's truth covers every variable
+/// with the seeded fault pinned to its fault state.
+#[test]
+fn one_api_labels_populations_for_both_designs() {
+    // Regulator: the full device-fault catalogue at the model level.
+    let reg_model = regulator_model();
+    let reg_lib = regulator::faults::fault_library();
+    let reg = sample_model_population(&reg_model, &reg_lib, &nominal_controls(), 20, 7)
+        .expect("regulator population samples");
+    assert_eq!(reg.len(), 20);
+    for s in &reg {
+        assert_eq!(s.truth.len(), 19, "truth covers every model variable");
+        let fault = s.fault.as_ref().expect("every draw is labelled");
+        assert_eq!(s.truth[&fault.block], fault.state, "label matches truth");
+        assert!(s.name.contains(&fault.block));
+        // The derived observation pins all controls and observables.
+        let obs = s.observation(reg_model.circuit_model());
+        assert!(obs.len() >= 6);
+    }
+    // More than one distinct fault target across the fleet.
+    let distinct: std::collections::BTreeSet<&str> = reg
+        .iter()
+        .filter_map(|s| s.fault.as_ref().map(|f| f.block.as_str()))
+        .collect();
+    assert!(distinct.len() > 3, "weighted sampling spreads targets");
+
+    // Board: same call, 100-variable model, different library.
+    let config = BoardConfig::default();
+    assert_eq!(config.variable_count(), 100);
+    let board_model = board::flat_model(&config).expect("board model builds");
+    let controls = vec![("vin".to_string(), 1), ("vload".to_string(), 0)];
+    let pop = sample_model_population(&board_model, &board_library(), &controls, 12, 99)
+        .expect("board population samples");
+    assert_eq!(pop.len(), 12);
+    for s in &pop {
+        assert_eq!(s.truth.len(), 100);
+        let fault = s.fault.as_ref().unwrap();
+        assert_eq!(s.truth[&fault.block], 0, "dead latents manifest as state 0");
+        assert_eq!(s.truth["vin"], 1, "forced controls survive propagation");
+    }
+
+    // ... and the generic oracle closes the loop on a board scenario:
+    // diagnosing against its own ground truth ranks the seeded block top.
+    let seeded = pop
+        .iter()
+        .find(|s| s.fault.as_ref().is_some_and(|f| f.block == "drv02"))
+        .or(pop.first())
+        .expect("population is non-empty");
+    let compiled = abbd::core::CompiledModel::compile(board_model.clone())
+        .expect("board compiles")
+        .shared();
+    let mut session = DiagnosisSession::new(Arc::clone(&compiled), StoppingPolicy::default())
+        .expect("session opens");
+    for (name, state) in &controls {
+        session.observe(name, *state).expect("controls observe");
+    }
+    let outcome = session
+        .run(scenario_executor(board_model.circuit_model(), seeded))
+        .expect("closed loop runs");
+    let block = &seeded.fault.as_ref().unwrap().block;
+    let posterior = outcome
+        .diagnosis
+        .posterior_of(block)
+        .expect("seeded latent has a posterior");
+    assert!(
+        posterior[0] > 0.5,
+        "seeded block `{block}` should be believed dead (p={:.3})",
+        posterior[0]
+    );
+}
+
+/// Explicit seeds are the whole identity of a sampled population: same
+/// seed → byte-identical JSON, different seed → a different fleet.
+#[test]
+fn sampling_is_byte_reproducible_from_the_seed() {
+    let model = regulator_model();
+    let lib = regulator::faults::fault_library();
+    let controls = nominal_controls();
+    let a = sample_model_population(&model, &lib, &controls, 16, 2010).unwrap();
+    let b = sample_model_population(&model, &lib, &controls, 16, 2010).unwrap();
+    let bytes_a = serde_json::to_string(&a).unwrap();
+    let bytes_b = serde_json::to_string(&b).unwrap();
+    assert_eq!(bytes_a, bytes_b, "same seed must be byte-identical");
+
+    let c = sample_model_population(&model, &lib, &controls, 16, 2011).unwrap();
+    assert_ne!(
+        bytes_a,
+        serde_json::to_string(&c).unwrap(),
+        "a different seed must draw a different fleet"
+    );
+
+    // Prefix stability: scenario i depends only on (seed, i), so growing
+    // the fleet never rewrites the scenarios already drawn.
+    let longer = sample_model_population(&model, &lib, &controls, 24, 2010).unwrap();
+    assert_eq!(&longer[..16], &a[..]);
+
+    // Round-trip through serde: populations are archivable artefacts.
+    let parsed: Vec<ModelScenario> = serde_json::from_str(&bytes_a).unwrap();
+    assert_eq!(parsed, a);
+}
+
+/// Noise calibration is not a no-op: folding the production rack's
+/// confusion into the board expert changes at least one observable CPT
+/// in the fitted network, and the report's modelled-vs-empirical gap is
+/// bounded.
+#[test]
+fn noise_calibration_moves_observable_cpts_and_reports_the_gap() {
+    let config = BoardConfig {
+        blocks: 3,
+        seed: 2010,
+    };
+    let model = board::circuit_model(&config).expect("board model builds");
+    let baseline = board::expert(&config);
+    let mut calibrated = board::expert(&config);
+    // The board's bands are unit-wide; a 0.15-sigma instrument leaks a
+    // few percent of each state's mass across the boundary.
+    let noise = NoiseModel::uniform(0.15);
+    let report = calibrate_observables(
+        &model,
+        &mut calibrated,
+        &noise,
+        &NoiseCalibration::default(),
+    )
+    .expect("calibration runs");
+    assert_eq!(
+        report.entries.len(),
+        3 * 3,
+        "every observable with an expert table is calibrated"
+    );
+    for entry in &report.entries {
+        assert!(
+            entry.modelled > 0.0,
+            "{}: noise must leak mass",
+            entry.variable
+        );
+        assert!(
+            entry.gap() <= 0.05,
+            "{}: modelled {:.4} vs empirical {:.4} drifted apart",
+            entry.variable,
+            entry.modelled,
+            entry.empirical
+        );
+    }
+    assert!(report.max_gap() <= 0.05);
+    assert!(report.render().contains("out00"));
+
+    // The fitted networks must actually differ on ≥1 observable CPT.
+    let fit = |expert: abbd::core::ExpertKnowledge| {
+        abbd::core::ModelBuilder::new(board::circuit_model(&config).unwrap())
+            .with_expert(expert)
+            .build_expert_only()
+            .expect("expert-only board fit")
+    };
+    let plain = fit(baseline);
+    let noisy = fit(calibrated);
+    let moved = (0..config.blocks).any(|k| {
+        ["out", "aux", "ilim"].iter().any(|stem| {
+            let name = format!("{stem}{k:02}");
+            let a = plain.network().require_var(&name).unwrap();
+            let b = noisy.network().require_var(&name).unwrap();
+            plain.network().cpt_row(a, &[0]).unwrap() != noisy.network().cpt_row(b, &[0]).unwrap()
+        })
+    });
+    assert!(moved, "calibration must change at least one observable CPT");
+}
+
+/// The stimulus-grid loop end to end: a fault seeded from the library is
+/// isolated by cost-weighted candidate selection over the 60-candidate
+/// menu, paying for suite switches, with the decision trace to show it.
+#[test]
+fn grid_closed_loop_isolates_a_seeded_fault() {
+    let rig = grid::grid_rig().expect("grid rig builds");
+    assert_eq!(rig.program.actions().len(), 60);
+    assert!(
+        rig.fit.report.max_gap() <= 0.25,
+        "hypothesis fit calibration drifted: {}",
+        rig.fit.report.render()
+    );
+
+    // Seed the highest-weight dead-regulator fault from the library.
+    let entry = grid::grid_library()
+        .entries()
+        .iter()
+        .find(|e| e.tag() == "reg1:dead")
+        .expect("catalogue has reg1:dead")
+        .clone();
+    let device = grid::device_for_entry(&rig.circuit, &entry, 9001).expect("device fabricates");
+    let noise = grid::noise_for_entry(&entry);
+    let (outcome, trace, top) =
+        grid::diagnose_device(&rig, &device, &noise, 77).expect("closed loop runs");
+    assert_eq!(top, "reg1:dead", "the seeded fault wins the posterior");
+    assert!(outcome.tests_used() >= 1);
+    assert!(!trace.steps.is_empty());
+    // Every step chose among the full grid menu.
+    assert!(trace.steps[0].scores.len() >= 50);
+}

@@ -17,6 +17,8 @@ use abbd::core::{
     Action, CostModel, DiagnosisSession, HierarchicalSession, Outcome, StoppingPolicy, Strategy,
 };
 use abbd::designs::board::{self, BoardConfig};
+use abbd::designs::regulator::grid;
+use abbd::scenarios::McFitConfig;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::Arc;
@@ -204,5 +206,46 @@ fn steady_state_scoring_compiles_nothing_and_allocates_nothing() {
     assert_eq!(
         allocs, 0,
         "descended steady-state scoring must not touch the heap ({allocs} allocation events in 16 decisions)"
+    );
+
+    // The stimulus-grid menu (PR 10): cost-weighted ranking over the
+    // regulator grid's full 60-candidate family — suite-switch pricing
+    // and all — inherits the same contract. The Monte-Carlo fit runs at
+    // a reduced sample count here (the model's *shape* — 22 hypothesis
+    // states × 60 observables — is what the pin exercises, not the CPT
+    // values).
+    let rig = grid::grid_rig_with(&McFitConfig {
+        samples: 4,
+        ..McFitConfig::default()
+    })
+    .unwrap();
+    let mut g = DiagnosisSession::new(Arc::clone(&rig.compiled), grid::grid_policy()).unwrap();
+    g.set_strategy(Strategy::CostWeighted).unwrap();
+    g.set_cost_model(rig.program.cost_model(grid::GRID_PROBE_SECONDS).unwrap())
+        .unwrap();
+    let actions = rig.program.actions();
+    assert!(actions.len() >= 50, "the grid menu is ≥50 candidates");
+    g.set_actions(actions).unwrap();
+
+    g.rank_actions().unwrap();
+    g.rank_actions().unwrap();
+    let compiles_before = jointree_compile_count();
+    let allocs_before = alloc_events();
+    let mut checksum = 0.0;
+    for _ in 0..8 {
+        let scored = g.rank_actions().unwrap();
+        checksum += scored[0].expected_information_gain();
+    }
+    let allocs = alloc_events() - allocs_before;
+    let compiles = jointree_compile_count() - compiles_before;
+
+    assert!(checksum.is_finite() && checksum > 0.0);
+    assert_eq!(
+        compiles, 0,
+        "60-candidate grid scoring must reuse the compiled junction tree"
+    );
+    assert_eq!(
+        allocs, 0,
+        "60-candidate grid scoring must not touch the heap ({allocs} allocation events in 8 decisions)"
     );
 }
